@@ -1,0 +1,66 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro [--full] <id>...      # table1 fig10 table2 table3 table4 fig11
+//!                             # table6 fig12 fig13 fig14 fig15 fig16 table7
+//!                             # fig17 fig18 fig19 table8
+//!                             # basecase tilesweep layouts heaps parts
+//!                             # machines worstcase
+//! repro [--full] all          # everything, in paper order
+//! repro --list                # print the available ids
+//! ```
+//!
+//! Default sizes finish in minutes on a laptop; `--full` uses the paper's
+//! problem sizes (N up to 4096 for FW, 64 K vertices for Dijkstra/Prim)
+//! and can take hours and several GB of RAM.
+
+use cachegraph_bench::{experiments, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut full = false;
+    let mut ids: Vec<String> = Vec::new();
+    for a in &args {
+        match a.as_str() {
+            "--full" => full = true,
+            "--list" => {
+                for id in experiments::ALL_IDS {
+                    println!("{id}");
+                }
+                return;
+            }
+            "--help" | "-h" => {
+                println!("usage: repro [--full] <id>... | all | --list");
+                return;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        eprintln!("usage: repro [--full] <id>... | all | --list");
+        std::process::exit(2);
+    }
+    if ids.iter().any(|i| i == "all") {
+        ids = experiments::ALL_IDS.iter().map(|s| s.to_string()).collect();
+    }
+    let scale = if full { Scale::full() } else { Scale::quick() };
+    println!(
+        "# cachegraph repro — scale: {} (results validated against baselines on every run)\n",
+        if full { "FULL (paper sizes)" } else { "quick" }
+    );
+    let mut unknown = Vec::new();
+    for id in &ids {
+        match experiments::run(id, scale) {
+            Some(tables) => {
+                for t in tables {
+                    println!("{t}");
+                }
+            }
+            None => unknown.push(id.clone()),
+        }
+    }
+    if !unknown.is_empty() {
+        eprintln!("unknown experiment ids: {} (try --list)", unknown.join(", "));
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,54 @@
+//! One function per paper table/figure, plus the ablations DESIGN.md
+//! calls out. See each submodule for the experiment definitions.
+
+mod fw;
+mod matching;
+mod sssp;
+
+pub use fw::{basecase, fig10, fig11, fig14, layouts, machines, table1, table2, table3, table4_5, threecs, tilesweep};
+pub use matching::{fig17, fig18, fig19, parts, table8, worstcase};
+pub use sssp::{fig12, fig13, fig15, fig16, heaps, prefetch, table6, table7};
+
+use crate::{Scale, Table};
+
+/// All experiment ids the `repro` binary accepts, in paper order.
+pub const ALL_IDS: &[&str] = &[
+    "table1", "fig10", "table2", "table3", "table4", "fig11", "table6", "fig12", "fig13",
+    "fig14", "fig15", "fig16", "table7", "fig17", "fig18", "fig19", "table8",
+    // Ablations and extensions:
+    "basecase", "tilesweep", "layouts", "heaps", "parts", "machines", "worstcase", "threecs", "prefetch",
+];
+
+/// Run one experiment by id. Returns `None` for an unknown id.
+pub fn run(id: &str, scale: Scale) -> Option<Vec<Table>> {
+    let tables = match id {
+        "table1" => vec![table1(scale)],
+        "fig10" => vec![fig10(scale)],
+        "table2" => vec![table2(scale)],
+        "table3" => vec![table3(scale)],
+        "table4" | "table5" | "table4_5" => table4_5(scale),
+        "fig11" => vec![fig11(scale)],
+        "table6" => vec![table6(scale)],
+        "fig12" => vec![fig12(scale)],
+        "fig13" => vec![fig13(scale)],
+        "fig14" => vec![fig14(scale)],
+        "fig15" => vec![fig15(scale)],
+        "fig16" => vec![fig16(scale)],
+        "table7" => vec![table7(scale)],
+        "fig17" => vec![fig17(scale)],
+        "fig18" => vec![fig18(scale)],
+        "fig19" => vec![fig19(scale)],
+        "table8" => vec![table8(scale)],
+        "basecase" => vec![basecase(scale)],
+        "tilesweep" => vec![tilesweep(scale)],
+        "layouts" => vec![layouts(scale)],
+        "heaps" => vec![heaps(scale)],
+        "parts" => vec![parts(scale)],
+        "machines" => vec![machines(scale)],
+        "worstcase" => vec![worstcase(scale)],
+        "threecs" => vec![threecs(scale)],
+        "prefetch" => vec![prefetch(scale)],
+        _ => return None,
+    };
+    Some(tables)
+}

@@ -1,0 +1,290 @@
+//! Dijkstra and Prim experiments: Tables 6–7, Figs. 12, 13, 15, 16, and
+//! the priority-queue ablation.
+
+use cachegraph_graph::EdgeListBuilder;
+use cachegraph_pq::{DAryHeap, FibonacciHeap, IndexedBinaryHeap, PairingHeap, RadixHeap};
+use cachegraph_sim::profiles;
+use cachegraph_sssp::instrumented::{
+    sim_dijkstra_adj_array, sim_dijkstra_adj_list, sim_prim_adj_array, sim_prim_adj_list,
+};
+use cachegraph_sssp::{
+    dijkstra, dijkstra_binary_heap, dijkstra_dense, dijkstra_lazy, dijkstra_lazy_sequence,
+    prim, prim_binary_heap,
+};
+
+use crate::workloads::{dijkstra_graph, prim_graph};
+use crate::{speedup, time_once, Scale, Table};
+
+fn fmt_m(x: u64) -> String {
+    format!("{:.3}", x as f64 / 1e6)
+}
+
+/// Table 6: simulated cache misses, Dijkstra over adjacency list vs array.
+pub fn table6(scale: Scale) -> Table {
+    let (n, d) = scale.pick((4096, 0.05), (16384, 0.1));
+    let b = dijkstra_graph(n, d, 42);
+    let list = sim_dijkstra_adj_list(&b.build_list(), 0, profiles::simplescalar());
+    let arr = sim_dijkstra_adj_array(&b.build_array(), 0, profiles::simplescalar());
+    assert_eq!(list.keys, arr.keys, "both representations must yield the same distances");
+    let mut t = Table::new(
+        format!("Table 6: Dijkstra simulated cache misses (millions), N={n}, density={d}"),
+        &["level", "linked list", "adj. array", "ratio"],
+    );
+    for lvl in 0..2 {
+        let (lm, am) = (list.stats.levels[lvl].misses, arr.stats.levels[lvl].misses);
+        t.row(vec![
+            format!("L{}", lvl + 1),
+            fmt_m(lm),
+            fmt_m(am),
+            format!("{:.2}x", lm as f64 / am.max(1) as f64),
+        ]);
+    }
+    t.note("paper (16K nodes, 0.1 density): ~20% fewer L1 misses, ~2x fewer L2 misses");
+    t
+}
+
+/// Table 7: the same simulation for Prim.
+pub fn table7(scale: Scale) -> Table {
+    let (n, d) = scale.pick((4096, 0.05), (16384, 0.1));
+    let b = prim_graph(n, d, 42);
+    let list = sim_prim_adj_list(&b.build_list(), 0, profiles::simplescalar());
+    let arr = sim_prim_adj_array(&b.build_array(), 0, profiles::simplescalar());
+    assert_eq!(list.total, arr.total, "MST weight must agree across representations");
+    let mut t = Table::new(
+        format!("Table 7: Prim simulated cache misses (millions), N={n}, density={d}"),
+        &["level", "linked list", "adj. array", "ratio"],
+    );
+    for lvl in 0..2 {
+        let (lm, am) = (list.stats.levels[lvl].misses, arr.stats.levels[lvl].misses);
+        t.row(vec![
+            format!("L{}", lvl + 1),
+            fmt_m(lm),
+            fmt_m(am),
+            format!("{:.2}x", lm as f64 / am.max(1) as f64),
+        ]);
+    }
+    t.note("paper: ~20% fewer L1 misses, ~2x fewer L2 misses — mirrors Table 6");
+    t
+}
+
+/// Time Dijkstra (all-vertices-inserted variant) on both representations.
+/// The representations are built and dropped one at a time so the largest
+/// (64 K-vertex) instances fit in memory alongside the edge list.
+fn time_dijkstra(b: &EdgeListBuilder) -> (f64, f64) {
+    let (tl, rl) = {
+        let list = b.build_list();
+        time_once(|| dijkstra_binary_heap(&list, 0))
+    };
+    let (ta, ra) = {
+        let arr = b.build_array();
+        time_once(|| dijkstra_binary_heap(&arr, 0))
+    };
+    assert_eq!(rl.dist, ra.dist, "representations must agree");
+    (tl.as_secs_f64(), ta.as_secs_f64())
+}
+
+fn time_prim(b: &EdgeListBuilder) -> (f64, f64) {
+    let (tl, rl) = {
+        let list = b.build_list();
+        time_once(|| prim_binary_heap(&list, 0))
+    };
+    let (ta, ra) = {
+        let arr = b.build_array();
+        time_once(|| prim_binary_heap(&arr, 0))
+    };
+    assert_eq!(rl.total_weight, ra.total_weight, "representations must agree");
+    (tl.as_secs_f64(), ta.as_secs_f64())
+}
+
+/// Fig. 12: Dijkstra speedup (list -> array) across densities.
+pub fn fig12(scale: Scale) -> Table {
+    let n = scale.pick(2048, 4096);
+    let densities = [0.1, 0.3, 0.5, 0.7, 0.9];
+    let mut t = Table::new(
+        format!("Fig. 12: Dijkstra speedup from adjacency array, N={n}, density sweep"),
+        &["density", "list (s)", "array (s)", "speedup"],
+    );
+    for d in densities {
+        let b = dijkstra_graph(n, d, 9);
+        let (tl, ta) = time_dijkstra(&b);
+        t.row(vec![
+            format!("{:.0}%", d * 100.0),
+            format!("{tl:.4}"),
+            format!("{ta:.4}"),
+            format!("{:.2}x", tl / ta.max(1e-12)),
+        ]);
+    }
+    t.note("paper: ~2x on Pentium III, ~20% on UltraSPARC III, across all densities");
+    t
+}
+
+/// Fig. 13: Dijkstra speedup across problem sizes at 10% density.
+pub fn fig13(scale: Scale) -> Table {
+    let sizes = scale.pick(vec![4096, 8192, 16384], vec![16384, 32768, 65536]);
+    let mut t = Table::new(
+        "Fig. 13: Dijkstra speedup from adjacency array, 10% density, size sweep",
+        &["N", "list (s)", "array (s)", "speedup"],
+    );
+    for n in sizes {
+        let b = dijkstra_graph(n, 0.1, 10);
+        let (tl, ta) = time_dijkstra(&b);
+        t.row(vec![
+            n.to_string(),
+            format!("{tl:.4}"),
+            format!("{ta:.4}"),
+            format!("{:.2}x", tl / ta.max(1e-12)),
+        ]);
+    }
+    t.note("paper: ~2x on Pentium III throughout 16K-64K nodes");
+    t
+}
+
+/// Fig. 15: Prim speedup across densities.
+pub fn fig15(scale: Scale) -> Table {
+    let n = scale.pick(2048, 4096);
+    let densities = [0.1, 0.3, 0.5, 0.7, 0.9];
+    let mut t = Table::new(
+        format!("Fig. 15: Prim speedup from adjacency array, N={n}, density sweep"),
+        &["density", "list (s)", "array (s)", "speedup"],
+    );
+    for d in densities {
+        let b = prim_graph(n, d, 11);
+        let (tl, ta) = time_prim(&b);
+        t.row(vec![
+            format!("{:.0}%", d * 100.0),
+            format!("{tl:.4}"),
+            format!("{ta:.4}"),
+            format!("{:.2}x", tl / ta.max(1e-12)),
+        ]);
+    }
+    t.note("paper: ~2x on Pentium III, ~20% on UltraSPARC III");
+    t
+}
+
+/// Fig. 16: Prim speedup across sizes at 10% density.
+pub fn fig16(scale: Scale) -> Table {
+    let sizes = scale.pick(vec![4096, 8192, 16384], vec![16384, 32768, 65536]);
+    let mut t = Table::new(
+        "Fig. 16: Prim speedup from adjacency array, 10% density, size sweep",
+        &["N", "list (s)", "array (s)", "speedup"],
+    );
+    for n in sizes {
+        let b = prim_graph(n, 0.1, 12);
+        let (tl, ta) = time_prim(&b);
+        t.row(vec![
+            n.to_string(),
+            format!("{tl:.4}"),
+            format!("{ta:.4}"),
+            format!("{:.2}x", tl / ta.max(1e-12)),
+        ]);
+    }
+    t.note("paper: ~2x on Pentium III throughout — mirrors Fig. 13");
+    t
+}
+
+/// Priority-queue ablation (§2): binary vs d-ary vs Fibonacci vs pairing
+/// heaps under Dijkstra and Prim — reproducing the observation that the
+/// Fibonacci heap's constants make it lose despite optimal asymptotics.
+pub fn heaps(scale: Scale) -> Table {
+    let (n, d) = scale.pick((8192, 0.05), (32768, 0.05));
+    let dij = dijkstra_graph(n, d, 13).build_array();
+    let pri = prim_graph(n, d, 13).build_array();
+    let mut t = Table::new(
+        format!("Ablation: priority queues under Dijkstra and Prim, N={n}, density={d}"),
+        &["queue", "Dijkstra (s)", "Prim (s)", "Dijkstra slowdown vs binary"],
+    );
+    let (t_bin, r_bin) = time_once(|| dijkstra::<_, IndexedBinaryHeap>(&dij, 0));
+    let (p_bin, _) = time_once(|| prim::<_, IndexedBinaryHeap>(&pri, 0));
+    let mut add = |name: &str, td: std::time::Duration, tp: std::time::Duration| {
+        t.row(vec![
+            name.into(),
+            format!("{:.4}", td.as_secs_f64()),
+            format!("{:.4}", tp.as_secs_f64()),
+            format!("{:.2}x", speedup(td, t_bin)),
+        ]);
+    };
+    add("binary", t_bin, p_bin);
+    let (td, r) = time_once(|| dijkstra::<_, DAryHeap<4>>(&dij, 0));
+    assert_eq!(r.dist, r_bin.dist);
+    let (tp, _) = time_once(|| prim::<_, DAryHeap<4>>(&pri, 0));
+    add("4-ary", td, tp);
+    let (td, r) = time_once(|| dijkstra::<_, DAryHeap<8>>(&dij, 0));
+    assert_eq!(r.dist, r_bin.dist);
+    let (tp, _) = time_once(|| prim::<_, DAryHeap<8>>(&pri, 0));
+    add("8-ary", td, tp);
+    let (td, r) = time_once(|| dijkstra::<_, PairingHeap>(&dij, 0));
+    assert_eq!(r.dist, r_bin.dist);
+    let (tp, _) = time_once(|| prim::<_, PairingHeap>(&pri, 0));
+    add("pairing", td, tp);
+    let (td, r) = time_once(|| dijkstra::<_, FibonacciHeap>(&dij, 0));
+    assert_eq!(r.dist, r_bin.dist);
+    let (tp, _) = time_once(|| prim::<_, FibonacciHeap>(&pri, 0));
+    add("Fibonacci", td, tp);
+
+    // Extension rows (Dijkstra only): queue designs without Update.
+    let mut add_dij_only = |name: &str, td: std::time::Duration| {
+        t.row(vec![
+            name.into(),
+            format!("{:.4}", td.as_secs_f64()),
+            "-".into(),
+            format!("{:.2}x", speedup(td, t_bin)),
+        ]);
+    };
+    // The radix heap requires monotone keys: Dijkstra qualifies (extracted
+    // distances never decrease); Prim does NOT (keys are raw edge weights,
+    // which can dip below the last extracted key), so no Prim column.
+    let (td, r) = time_once(|| dijkstra::<_, RadixHeap>(&dij, 0));
+    assert_eq!(r.dist, r_bin.dist);
+    add_dij_only("radix (monotone)", td);
+    let (td, r) = time_once(|| dijkstra_lazy(&dij, 0));
+    assert_eq!(r.dist, r_bin.dist);
+    add_dij_only("lazy (std heap)", td);
+    let (td, r) = time_once(|| dijkstra_lazy_sequence(&dij, 0));
+    assert_eq!(r.dist, r_bin.dist);
+    add_dij_only("lazy (sequence heap)", td);
+    let (td, r) = time_once(|| dijkstra_dense(&dij, 0));
+    assert_eq!(r.dist, r_bin.dist);
+    add_dij_only("dense O(N^2) scan", td);
+    t.note("paper §2: 'the large constant factors present in the Fibonacci heap caused it to perform very poorly'");
+    t.note("lazy rows need no Update (Sanders-style heaps become usable); dense row needs no queue at all");
+    t
+}
+
+/// §3.2's prefetching claim, measured: the adjacency array "maximises the
+/// prefetching ability of the processor" while pointer chasing defeats
+/// it. Running both representations with and without a next-line
+/// prefetcher shows the array converting prefetches into hits and the
+/// list wasting them.
+pub fn prefetch(scale: Scale) -> Table {
+    let (n, d) = scale.pick((4096, 0.05), (16384, 0.1));
+    let b = dijkstra_graph(n, d, 17);
+    let plain = profiles::simplescalar;
+    let pf = profiles::simplescalar_prefetch;
+    let arr = b.build_array();
+    let list = b.build_list();
+    let a0 = sim_dijkstra_adj_array(&arr, 0, plain());
+    let a1 = sim_dijkstra_adj_array(&arr, 0, pf());
+    let l0 = sim_dijkstra_adj_list(&list, 0, plain());
+    let l1 = sim_dijkstra_adj_list(&list, 0, pf());
+    assert_eq!(a0.keys, l0.keys);
+    assert_eq!(a1.keys, l1.keys);
+    let mut t = Table::new(
+        format!("Prefetching ablation: Dijkstra L1 misses, N={n}, density={d}"),
+        &["representation", "no prefetch", "next-line prefetch", "miss reduction"],
+    );
+    let row = |name: &str,
+               base: &cachegraph_sssp::instrumented::SsspSimResult,
+               with: &cachegraph_sssp::instrumented::SsspSimResult| {
+        let (m0, m1) = (base.stats.levels[0].misses, with.stats.levels[0].misses);
+        vec![
+            name.into(),
+            fmt_m(m0),
+            fmt_m(m1),
+            format!("{:.1}%", (1.0 - m1 as f64 / m0.max(1) as f64) * 100.0),
+        ]
+    };
+    t.row(row("adj. array", &a0, &a1));
+    t.row(row("linked list", &l0, &l1));
+    t.note("the streaming array converts next-line prefetches into hits; pointer chasing cannot");
+    t
+}

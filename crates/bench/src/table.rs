@@ -1,0 +1,104 @@
+//! Plain-text result tables.
+
+use std::fmt;
+
+/// A titled table of strings, printed with aligned columns — the output
+//  format of the `repro` binary.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Title, e.g. `"Table 1: FWR vs baseline simulated cache misses"`.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells; ragged rows are padded when printed.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes printed under the table (paper comparison etc.).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// An empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Append a note line.
+    pub fn note(&mut self, s: impl Into<String>) -> &mut Self {
+        self.notes.push(s.into());
+        self
+    }
+
+    /// Cell at `(row, col)` (tests use this to assert on results).
+    pub fn cell(&self, row: usize, col: usize) -> &str {
+        &self.rows[row][col]
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.headers.len().max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        for (w, h) in widths.iter_mut().zip(&self.headers) {
+            *w = (*w).max(h.len());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        let print_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let mut line = String::new();
+            for (i, &width) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                line.push_str(&format!("{cell:<width$}  "));
+            }
+            writeln!(f, "{}", line.trim_end())
+        };
+        print_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * cols;
+        writeln!(f, "{}", "-".repeat(total.min(120)))?;
+        for row in &self.rows {
+            print_row(f, row)?;
+        }
+        for n in &self.notes {
+            writeln!(f, "  note: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("demo", &["n", "value"]);
+        t.row(vec!["1".into(), "short".into()]);
+        t.row(vec!["1024".into(), "x".into()]);
+        t.note("a note");
+        let s = t.to_string();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("note: a note"));
+        assert!(s.lines().count() >= 5);
+    }
+
+    #[test]
+    fn cell_accessor() {
+        let mut t = Table::new("demo", &["a"]);
+        t.row(vec!["42".into()]);
+        assert_eq!(t.cell(0, 0), "42");
+    }
+}

@@ -1,0 +1,52 @@
+//! Harness-level tests. The experiments themselves are exercised by the
+//! `repro` binary (and `experiments_smoke` below, which is `#[ignore]`d
+//! because it runs minutes of release-grade work in a debug test build).
+
+use crate::{experiments, speedup, Scale, Table};
+use std::time::Duration;
+
+#[test]
+fn scale_picks_sides() {
+    assert_eq!(Scale::quick().pick(1, 2), 1);
+    assert_eq!(Scale::full().pick(1, 2), 2);
+}
+
+#[test]
+fn speedup_ratio() {
+    let s = speedup(Duration::from_millis(100), Duration::from_millis(50));
+    assert!((s - 2.0).abs() < 1e-9);
+}
+
+#[test]
+fn all_ids_are_unique_and_unknown_is_rejected() {
+    let mut ids = experiments::ALL_IDS.to_vec();
+    ids.sort_unstable();
+    let before = ids.len();
+    ids.dedup();
+    assert_eq!(ids.len(), before, "duplicate experiment id");
+    assert!(experiments::run("definitely-not-an-id", Scale::quick()).is_none());
+}
+
+#[test]
+fn table_renders_ragged_rows() {
+    let mut t = Table::new("t", &["a", "b", "c"]);
+    t.row(vec!["1".into()]);
+    t.row(vec!["1".into(), "2".into(), "3".into()]);
+    let s = t.to_string();
+    assert!(s.lines().count() >= 4);
+    assert!(s.contains("== t =="));
+}
+
+/// Full quick-scale smoke of every experiment. Run explicitly with
+/// `cargo test -p cachegraph-bench --release -- --ignored`.
+#[test]
+#[ignore = "minutes of work; run with --release -- --ignored"]
+fn experiments_smoke() {
+    for id in experiments::ALL_IDS {
+        let tables = experiments::run(id, Scale::quick()).expect("known id");
+        assert!(!tables.is_empty(), "{id} produced no tables");
+        for t in tables {
+            assert!(!t.rows.is_empty(), "{id} produced an empty table");
+        }
+    }
+}

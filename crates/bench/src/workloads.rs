@@ -1,0 +1,66 @@
+//! Shared workload construction for the experiments.
+
+use cachegraph_graph::{generators, EdgeListBuilder, Weight, INF};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Dense row-major random cost matrix with edge probability `density`,
+/// zero diagonal, `INF` elsewhere — the Floyd-Warshall input.
+pub fn random_cost_matrix(n: usize, density: f64, max_w: Weight, seed: u64) -> Vec<Weight> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut costs = vec![INF; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                costs[i * n + j] = 0;
+            } else if rng.gen_bool(density) {
+                costs[i * n + j] = rng.gen_range(1..=max_w);
+            }
+        }
+    }
+    costs
+}
+
+/// Directed random graph for Dijkstra (Figs. 12–14). Edges are shuffled
+/// so the list baseline's arena nodes scatter in allocation order, as a
+/// heap-allocating program's would (the geometric sampler would otherwise
+/// emit them conveniently sorted by source vertex).
+pub fn dijkstra_graph(n: usize, density: f64, seed: u64) -> EdgeListBuilder {
+    let mut b = generators::random_directed(n, density, 100, seed);
+    b.shuffle(seed);
+    b
+}
+
+/// Connected undirected random graph for Prim (Figs. 15–16), shuffled for
+/// the same reason as [`dijkstra_graph`].
+pub fn prim_graph(n: usize, density: f64, seed: u64) -> EdgeListBuilder {
+    let mut b = generators::random_undirected(n, density, 100, seed);
+    generators::connect(&mut b, 100, seed);
+    b.shuffle(seed);
+    b
+}
+
+/// Random bipartite instance for matching (Figs. 17, 19, Table 8).
+pub fn matching_graph(n: usize, density: f64, seed: u64) -> EdgeListBuilder {
+    generators::random_bipartite(n, density, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_matrix_shape() {
+        let c = random_cost_matrix(10, 0.5, 50, 1);
+        assert_eq!(c.len(), 100);
+        for v in 0..10 {
+            assert_eq!(c[v * 10 + v], 0);
+        }
+        assert!(c.iter().any(|&x| x != 0 && x != INF));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(random_cost_matrix(8, 0.3, 9, 7), random_cost_matrix(8, 0.3, 9, 7));
+    }
+}

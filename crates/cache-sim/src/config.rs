@@ -1,0 +1,189 @@
+//! Configuration types for caches, TLBs, and whole hierarchies.
+
+/// Write policy of a cache level.
+///
+/// The paper's machines (and SimpleScalar's default `dl1`/`ul2`) are
+/// write-back, write-allocate; that is the default here. Write-through is
+/// provided so the simulator can model simpler hierarchies in tests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum WritePolicy {
+    /// Dirty lines are written to the next level only on eviction.
+    #[default]
+    WriteBack,
+    /// Every write is propagated to the next level immediately.
+    WriteThrough,
+}
+
+/// Geometry and policy of a single cache level.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Human-readable label, e.g. `"L1d"`.
+    pub name: String,
+    /// Total capacity in bytes. Must be a power of two.
+    pub size_bytes: usize,
+    /// Line (block) size in bytes. Must be a power of two.
+    pub line_bytes: usize,
+    /// Number of ways. `1` means direct mapped; `size_bytes / line_bytes`
+    /// means fully associative.
+    pub associativity: usize,
+    /// Write policy for this level.
+    pub write_policy: WritePolicy,
+    /// Number of entries in an optional fully-associative victim cache
+    /// attached to this level (the Alpha 21264 has an 8-entry one on L1).
+    /// `0` disables it.
+    pub victim_entries: usize,
+    /// Enable a tagged next-line prefetcher: on a demand miss for line `l`,
+    /// line `l + 1` is brought in as well (if absent). Models the hardware
+    /// stream prefetching the paper relies on for adjacency arrays.
+    pub next_line_prefetch: bool,
+}
+
+impl CacheConfig {
+    /// A write-back cache with no victim cache and no prefetcher.
+    pub fn new(name: &str, size_bytes: usize, line_bytes: usize, associativity: usize) -> Self {
+        let cfg = Self {
+            name: name.to_string(),
+            size_bytes,
+            line_bytes,
+            associativity,
+            write_policy: WritePolicy::WriteBack,
+            victim_entries: 0,
+            next_line_prefetch: false,
+        };
+        cfg.validate();
+        cfg
+    }
+
+    /// Number of sets implied by the geometry.
+    pub fn num_sets(&self) -> usize {
+        self.size_bytes / (self.line_bytes * self.associativity)
+    }
+
+    /// Panics if the geometry is not realizable.
+    pub fn validate(&self) {
+        assert!(self.size_bytes.is_power_of_two(), "cache size must be a power of two");
+        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(self.associativity >= 1, "associativity must be at least 1");
+        assert!(
+            self.size_bytes >= self.line_bytes * self.associativity,
+            "cache must hold at least one set"
+        );
+        assert_eq!(
+            self.size_bytes % (self.line_bytes * self.associativity),
+            0,
+            "size must be divisible by line_bytes * associativity"
+        );
+        assert!(self.num_sets().is_power_of_two(), "number of sets must be a power of two");
+    }
+
+    /// Builder-style: attach a victim cache with `entries` lines.
+    pub fn with_victim(mut self, entries: usize) -> Self {
+        self.victim_entries = entries;
+        self
+    }
+
+    /// Builder-style: enable next-line prefetch.
+    pub fn with_prefetch(mut self) -> Self {
+        self.next_line_prefetch = true;
+        self
+    }
+
+    /// Builder-style: set the write policy.
+    pub fn with_write_policy(mut self, policy: WritePolicy) -> Self {
+        self.write_policy = policy;
+        self
+    }
+}
+
+/// Geometry of a TLB.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// Number of entries. Must be a power of two per way.
+    pub entries: usize,
+    /// Page size in bytes. Must be a power of two.
+    pub page_bytes: usize,
+    /// Associativity; `entries` for fully associative.
+    pub associativity: usize,
+}
+
+impl TlbConfig {
+    /// A fully-associative TLB, the common case for the paper's machines.
+    pub fn fully_associative(entries: usize, page_bytes: usize) -> Self {
+        Self { entries, page_bytes, associativity: entries }
+    }
+}
+
+/// A complete memory hierarchy: ordered cache levels (L1 first) plus an
+/// optional TLB.
+#[derive(Clone, Debug)]
+pub struct HierarchyConfig {
+    /// Human-readable label, e.g. `"SimpleScalar default"`.
+    pub name: String,
+    /// Cache levels ordered from closest to the processor outward.
+    pub levels: Vec<CacheConfig>,
+    /// Optional TLB, probed once per access.
+    pub tlb: Option<TlbConfig>,
+}
+
+impl HierarchyConfig {
+    /// Validate every level. Panics on an unrealizable configuration.
+    pub fn validate(&self) {
+        assert!(!self.levels.is_empty(), "hierarchy needs at least one level");
+        for level in &self.levels {
+            level.validate();
+        }
+        for pair in self.levels.windows(2) {
+            assert!(
+                pair[0].line_bytes <= pair[1].line_bytes,
+                "outer levels must have line size >= inner levels"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn num_sets_direct_mapped() {
+        let c = CacheConfig::new("L1", 16 * 1024, 32, 1);
+        assert_eq!(c.num_sets(), 512);
+    }
+
+    #[test]
+    fn num_sets_fully_associative() {
+        let c = CacheConfig::new("L1", 4096, 64, 64);
+        assert_eq!(c.num_sets(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_pow2_size() {
+        CacheConfig::new("L1", 3000, 32, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one set")]
+    fn rejects_assoc_larger_than_capacity() {
+        CacheConfig::new("L1", 64, 64, 2);
+    }
+
+    #[test]
+    fn builder_flags() {
+        let c = CacheConfig::new("L1", 1024, 32, 2).with_victim(8).with_prefetch();
+        assert_eq!(c.victim_entries, 8);
+        assert!(c.next_line_prefetch);
+    }
+
+    #[test]
+    #[should_panic(expected = "line size")]
+    fn rejects_shrinking_line_size() {
+        let h = HierarchyConfig {
+            name: "bad".into(),
+            levels: vec![CacheConfig::new("L1", 1024, 64, 2), CacheConfig::new("L2", 4096, 32, 2)],
+            tlb: None,
+        };
+        h.validate();
+    }
+}

@@ -1,0 +1,129 @@
+//! Cache-hierarchy profiles for the machines in the paper's §4.
+//!
+//! Wall-clock numbers obviously cannot be reproduced without the original
+//! hardware; these profiles let the *cache-behaviour* experiments be re-run
+//! under each machine's hierarchy geometry, which is what drives the
+//! cross-architecture variation the paper reports.
+
+use crate::config::{CacheConfig, HierarchyConfig, TlbConfig};
+
+/// SimpleScalar configuration used for all simulation tables (§4):
+/// 16 KB 4-way L1 data cache, 256 KB 8-way L2, 32 B lines.
+pub fn simplescalar() -> HierarchyConfig {
+    HierarchyConfig {
+        name: "SimpleScalar default".into(),
+        levels: vec![
+            CacheConfig::new("DL1", 16 * 1024, 32, 4),
+            CacheConfig::new("UL2", 256 * 1024, 32, 8),
+        ],
+        tlb: None,
+    }
+}
+
+/// Like [`simplescalar`] but with a next-line prefetcher on both levels,
+/// modeling the "aggressive prefetching" of §3.2 that adjacency arrays
+/// exploit and pointer-chasing defeats.
+pub fn simplescalar_prefetch() -> HierarchyConfig {
+    let mut cfg = simplescalar();
+    for level in &mut cfg.levels {
+        level.next_line_prefetch = true;
+    }
+    cfg.name = "SimpleScalar + next-line prefetch".into();
+    cfg
+}
+
+/// Pentium III Xeon, 700 MHz: 32 KB 4-way L1 (32 B lines),
+/// 1 MB 8-way on-chip L2 (32 B lines).
+pub fn pentium_iii() -> HierarchyConfig {
+    HierarchyConfig {
+        name: "Pentium III Xeon".into(),
+        levels: vec![
+            CacheConfig::new("L1d", 32 * 1024, 32, 4),
+            CacheConfig::new("L2", 1024 * 1024, 32, 8),
+        ],
+        tlb: Some(TlbConfig::fully_associative(64, 4096)),
+    }
+}
+
+/// UltraSPARC III (SUN Blade 1000), 750 MHz: 64 KB 4-way L1 (32 B lines),
+/// 8 MB direct-mapped L2 (64 B lines).
+pub fn ultrasparc_iii() -> HierarchyConfig {
+    HierarchyConfig {
+        name: "UltraSPARC III".into(),
+        levels: vec![
+            CacheConfig::new("L1d", 64 * 1024, 32, 4),
+            CacheConfig::new("L2", 8 * 1024 * 1024, 64, 1),
+        ],
+        tlb: Some(TlbConfig::fully_associative(64, 8192)),
+    }
+}
+
+/// Alpha 21264, 500 MHz: 64 KB 2-way L1 (64 B lines) with an 8-entry
+/// fully-associative victim cache, 4 MB direct-mapped L2 (64 B lines).
+pub fn alpha_21264() -> HierarchyConfig {
+    HierarchyConfig {
+        name: "Alpha 21264".into(),
+        levels: vec![
+            CacheConfig::new("L1d", 64 * 1024, 64, 2).with_victim(8),
+            CacheConfig::new("L2", 4 * 1024 * 1024, 64, 1),
+        ],
+        tlb: Some(TlbConfig::fully_associative(128, 8192)),
+    }
+}
+
+/// MIPS R12000, 300 MHz: 32 KB 2-way L1 (32 B lines),
+/// 8 MB direct-mapped L2 (64 B lines).
+pub fn mips_r12000() -> HierarchyConfig {
+    HierarchyConfig {
+        name: "MIPS R12000".into(),
+        levels: vec![
+            CacheConfig::new("L1d", 32 * 1024, 32, 2),
+            CacheConfig::new("L2", 8 * 1024 * 1024, 64, 1),
+        ],
+        tlb: Some(TlbConfig::fully_associative(64, 4096)),
+    }
+}
+
+/// All four experimental machines, for cross-architecture sweeps.
+pub fn all_machines() -> Vec<HierarchyConfig> {
+    vec![pentium_iii(), ultrasparc_iii(), alpha_21264(), mips_r12000()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_profiles_validate() {
+        for cfg in [
+            simplescalar(),
+            simplescalar_prefetch(),
+            pentium_iii(),
+            ultrasparc_iii(),
+            alpha_21264(),
+            mips_r12000(),
+        ] {
+            cfg.validate();
+        }
+    }
+
+    #[test]
+    fn simplescalar_geometry_matches_paper() {
+        let cfg = simplescalar();
+        assert_eq!(cfg.levels[0].size_bytes, 16 * 1024);
+        assert_eq!(cfg.levels[0].associativity, 4);
+        assert_eq!(cfg.levels[1].size_bytes, 256 * 1024);
+        assert_eq!(cfg.levels[1].associativity, 8);
+    }
+
+    #[test]
+    fn alpha_has_victim_cache() {
+        assert_eq!(alpha_21264().levels[0].victim_entries, 8);
+    }
+
+    #[test]
+    fn sparc_and_mips_l2_direct_mapped() {
+        assert_eq!(ultrasparc_iii().levels[1].associativity, 1);
+        assert_eq!(mips_r12000().levels[1].associativity, 1);
+    }
+}

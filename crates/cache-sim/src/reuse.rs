@@ -1,0 +1,284 @@
+//! Reuse-distance (LRU stack-distance) profiling.
+//!
+//! The stack distance of an access is the number of *distinct* lines
+//! touched since the previous access to the same line. A fully-associative
+//! LRU cache of capacity `C` misses exactly the accesses with stack
+//! distance `>= C` (plus every first touch), so one profiling pass yields
+//! the miss count for *every* capacity at once — the standard tool for
+//! questions like "how big a cache would the baseline need to behave like
+//! the tiled version?" (the paper's Eq. 13 is a closed-form answer to the
+//! inverse question for one algorithm).
+//!
+//! Implementation: Bennett-Kruskal. Each line is marked at the time of
+//! its most recent access; a Fenwick tree over time counts marked
+//! positions between two accesses in `O(log M)`.
+
+use std::collections::HashMap;
+
+/// Fenwick (binary-indexed) tree over time indices, growing by doubling.
+/// Growth rebuilds the tree from the raw mark bitmap — a Fenwick update
+/// must touch ancestor nodes beyond the old length, so appending zeros
+/// alone would silently lose counts.
+#[derive(Clone, Debug)]
+struct Fenwick {
+    /// Raw marks, one per time position.
+    bits: Vec<bool>,
+    /// 1-based Fenwick array over `bits`.
+    tree: Vec<u32>,
+}
+
+impl Fenwick {
+    fn new() -> Self {
+        Self { bits: Vec::new(), tree: vec![0; 1025] }
+    }
+
+    /// Ensure position `i` (0-based) is addressable.
+    fn grow_to(&mut self, i: usize) {
+        if i < self.bits.len() {
+            return;
+        }
+        self.bits.resize((i + 1).max(self.bits.len() * 2), false);
+        // Rebuild: O(n log n) on each doubling, amortised O(log n)/op.
+        self.tree = vec![0; self.bits.len() + 1];
+        for (pos, &set) in self.bits.clone().iter().enumerate() {
+            if set {
+                self.raw_add(pos, 1);
+            }
+        }
+    }
+
+    fn raw_add(&mut self, pos: usize, delta: i32) {
+        let mut i = pos + 1;
+        while i < self.tree.len() {
+            self.tree[i] = (self.tree[i] as i64 + delta as i64) as u32;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    fn set(&mut self, pos: usize) {
+        self.grow_to(pos);
+        debug_assert!(!self.bits[pos]);
+        self.bits[pos] = true;
+        self.raw_add(pos, 1);
+    }
+
+    fn clear(&mut self, pos: usize) {
+        debug_assert!(self.bits[pos]);
+        self.bits[pos] = false;
+        self.raw_add(pos, -1);
+    }
+
+    /// Sum of positions `0..=i`.
+    fn prefix(&self, pos: usize) -> u64 {
+        let mut i = (pos + 1).min(self.tree.len() - 1);
+        let mut s = 0u64;
+        while i > 0 {
+            s += self.tree[i] as u64;
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+}
+
+/// Accumulates a reuse-distance histogram over a line-address stream.
+#[derive(Clone, Debug)]
+pub struct ReuseProfiler {
+    line_bytes: u64,
+    /// line -> time of its most recent access.
+    last_access: HashMap<u64, usize>,
+    marks: Fenwick,
+    clock: usize,
+    /// `histogram[d]` = accesses with stack distance exactly `d`
+    /// (saturated into the last bucket).
+    histogram: Vec<u64>,
+    /// First touches (infinite distance).
+    compulsory: u64,
+    accesses: u64,
+}
+
+impl ReuseProfiler {
+    /// Profile a stream of byte addresses at the given line granularity.
+    /// Distances above `max_tracked` land in the final histogram bucket.
+    pub fn new(line_bytes: u64, max_tracked: usize) -> Self {
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        Self {
+            line_bytes,
+            last_access: HashMap::new(),
+            marks: Fenwick::new(),
+            clock: 0,
+            histogram: vec![0; max_tracked + 1],
+            compulsory: 0,
+            accesses: 0,
+        }
+    }
+
+    /// Record one access.
+    pub fn access(&mut self, addr: u64) {
+        let line = addr / self.line_bytes;
+        let t = self.clock;
+        self.clock += 1;
+        self.accesses += 1;
+        match self.last_access.insert(line, t) {
+            None => {
+                self.compulsory += 1;
+            }
+            Some(prev) => {
+                // Distinct lines touched strictly between prev and t.
+                let between = self.marks.prefix(t) - self.marks.prefix(prev);
+                let d = (between as usize).min(self.histogram.len() - 1);
+                self.histogram[d] += 1;
+                self.marks.clear(prev);
+            }
+        }
+        self.marks.set(t);
+    }
+
+    /// Total accesses recorded.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// First-touch (compulsory) count.
+    pub fn compulsory(&self) -> u64 {
+        self.compulsory
+    }
+
+    /// The reuse-distance histogram (index = distinct lines between
+    /// reuses; last bucket aggregates everything at or beyond the cap).
+    pub fn histogram(&self) -> &[u64] {
+        &self.histogram
+    }
+
+    /// Predicted misses for a fully-associative LRU cache of
+    /// `capacity_lines` lines: compulsory plus every reuse at distance
+    /// `>= capacity_lines`. Exact for capacities below the tracking cap.
+    pub fn misses_for_capacity(&self, capacity_lines: usize) -> u64 {
+        let from = capacity_lines.min(self.histogram.len() - 1);
+        self.compulsory + self.histogram[from..].iter().sum::<u64>()
+    }
+
+    /// The smallest capacity (in lines) whose predicted miss count is at
+    /// most `target`, if any capacity under the tracking cap achieves it.
+    pub fn capacity_for_misses(&self, target: u64) -> Option<usize> {
+        (0..self.histogram.len()).find(|&c| self.misses_for_capacity(c) <= target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_scan_is_all_compulsory() {
+        let mut p = ReuseProfiler::new(64, 128);
+        for i in 0..100u64 {
+            p.access(i * 64);
+        }
+        assert_eq!(p.compulsory(), 100);
+        assert_eq!(p.misses_for_capacity(1), 100);
+    }
+
+    #[test]
+    fn immediate_reuse_has_distance_zero() {
+        let mut p = ReuseProfiler::new(64, 16);
+        p.access(0);
+        p.access(0);
+        p.access(8); // same line
+        assert_eq!(p.compulsory(), 1);
+        assert_eq!(p.histogram()[0], 2);
+        // Even a 1-line cache captures distance-0 reuses.
+        assert_eq!(p.misses_for_capacity(1), 1);
+    }
+
+    #[test]
+    fn round_robin_distances() {
+        // Cycle over k lines: every reuse has distance k - 1.
+        let k = 5u64;
+        let mut p = ReuseProfiler::new(64, 16);
+        for round in 0..4u64 {
+            for l in 0..k {
+                p.access(l * 64);
+                let _ = round;
+            }
+        }
+        assert_eq!(p.compulsory(), k);
+        assert_eq!(p.histogram()[(k - 1) as usize], 3 * k);
+        // Cache of k lines: only compulsory; cache of k-1: everything misses.
+        assert_eq!(p.misses_for_capacity(k as usize), k);
+        assert_eq!(p.misses_for_capacity((k - 1) as usize), 4 * k);
+    }
+
+    #[test]
+    fn matches_fully_associative_simulation() {
+        use crate::cache::{AccessKind, SetAssocCache};
+        use crate::config::CacheConfig;
+        // Pseudo-random trace; compare predicted vs simulated FA-LRU
+        // misses for several capacities.
+        let mut trace = Vec::new();
+        let mut x = 12345u64;
+        for _ in 0..4000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            trace.push((x >> 16) % (256 * 64));
+        }
+        let mut p = ReuseProfiler::new(64, 512);
+        for &a in &trace {
+            p.access(a);
+        }
+        for lines in [4usize, 16, 64, 128] {
+            let mut cache = SetAssocCache::new(CacheConfig::new("fa", lines * 64, 64, lines));
+            for &a in &trace {
+                cache.access(a, AccessKind::Read);
+            }
+            assert_eq!(
+                p.misses_for_capacity(lines),
+                cache.stats().misses,
+                "capacity {lines} lines"
+            );
+        }
+    }
+
+    #[test]
+    fn capacity_for_misses_inverts() {
+        let mut p = ReuseProfiler::new(64, 64);
+        for _ in 0..10 {
+            for l in 0..8u64 {
+                p.access(l * 64);
+            }
+        }
+        // 8 lines suffice for compulsory-only behaviour.
+        assert_eq!(p.capacity_for_misses(8), Some(8));
+        assert_eq!(p.capacity_for_misses(0), None);
+    }
+
+    #[test]
+    fn working_set_question_for_blocked_vs_linear() {
+        // Blocked traversal of an 8x8-line matrix in 4x4 tiles reuses
+        // within a 16-line working set; linear row scans of the same
+        // matrix column-by-column need all 64.
+        let lines_per_row = 8u64;
+        let mut blocked = ReuseProfiler::new(64, 256);
+        for bi in 0..2u64 {
+            for bj in 0..2u64 {
+                for _rep in 0..4 {
+                    for i in 0..4u64 {
+                        for j in 0..4u64 {
+                            blocked.access(((bi * 4 + i) * lines_per_row + bj * 4 + j) * 64);
+                        }
+                    }
+                }
+            }
+        }
+        let mut linear = ReuseProfiler::new(64, 256);
+        for _rep in 0..4 {
+            for i in 0..8u64 {
+                for j in 0..8u64 {
+                    linear.access((i * lines_per_row + j) * 64);
+                }
+            }
+        }
+        // At a 16-line cache the blocked order is compulsory-only; the
+        // linear order still misses everything.
+        assert_eq!(blocked.misses_for_capacity(16), 64);
+        assert!(linear.misses_for_capacity(16) > 64 * 3);
+    }
+}

@@ -1,0 +1,255 @@
+//! Address-trace recording and replay.
+//!
+//! SimpleScalar's `EIO` traces let an expensive workload be captured once
+//! and replayed against many cache configurations; this module provides
+//! the same workflow. A [`TraceRecorder`] wraps any instrumented run and
+//! captures its access stream into a compact delta-encoded binary buffer;
+//! [`replay`] drives any [`MemoryHierarchy`] (or a [`ReuseProfiler`])
+//! from the recording without re-running the algorithm.
+//!
+//! Format (little-endian, after an 8-byte magic/version header): each
+//! access is a 1-byte tag (`kind` + delta class) followed by the address
+//! delta from the previous access (i8 / i32 / i64 by class) and a 1-byte
+//! size. Graph-algorithm traces are dominated by short strides, so the
+//! common case is 3 bytes per access versus 13 raw.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::cache::AccessKind;
+use crate::hierarchy::MemoryHierarchy;
+use crate::reuse::ReuseProfiler;
+
+const MAGIC: &[u8; 6] = b"CGTRC1";
+
+/// Tag bits: bit 0 = write, bits 1-2 = delta width (0: i8, 1: i32, 2: i64).
+const WIDTH_I8: u8 = 0 << 1;
+const WIDTH_I32: u8 = 1 << 1;
+const WIDTH_I64: u8 = 2 << 1;
+
+/// Records an access stream into a compact buffer.
+#[derive(Clone, Debug)]
+pub struct TraceRecorder {
+    buf: BytesMut,
+    prev_addr: u64,
+    count: u64,
+}
+
+impl Default for TraceRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceRecorder {
+    /// An empty recording.
+    pub fn new() -> Self {
+        let mut buf = BytesMut::with_capacity(4096);
+        buf.put_slice(MAGIC);
+        buf.put_u16_le(0); // reserved
+        Self { buf, prev_addr: 0, count: 0 }
+    }
+
+    /// Record one access.
+    pub fn record(&mut self, addr: u64, size: usize, kind: AccessKind) {
+        debug_assert!(size > 0 && size <= 255, "size must fit one byte");
+        let delta = addr.wrapping_sub(self.prev_addr) as i64;
+        self.prev_addr = addr;
+        let write_bit = u8::from(kind == AccessKind::Write);
+        if let Ok(d) = i8::try_from(delta) {
+            self.buf.put_u8(write_bit | WIDTH_I8);
+            self.buf.put_i8(d);
+        } else if let Ok(d) = i32::try_from(delta) {
+            self.buf.put_u8(write_bit | WIDTH_I32);
+            self.buf.put_i32_le(d);
+        } else {
+            self.buf.put_u8(write_bit | WIDTH_I64);
+            self.buf.put_i64_le(delta);
+        }
+        self.buf.put_u8(size as u8);
+        self.count += 1;
+    }
+
+    /// Number of accesses recorded.
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Bytes used by the encoding so far.
+    pub fn encoded_bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Finish and return the immutable trace.
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+}
+
+/// Errors from decoding a trace.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TraceError {
+    /// Header missing or wrong.
+    BadHeader,
+    /// Buffer ended mid-record.
+    Truncated,
+    /// Unknown tag bits.
+    BadTag(u8),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::BadHeader => write!(f, "not a cachegraph trace (bad header)"),
+            TraceError::Truncated => write!(f, "trace truncated mid-record"),
+            TraceError::BadTag(t) => write!(f, "unknown record tag {t:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Iterate a trace, calling `f(addr, size, kind)` per access.
+pub fn for_each_access(
+    trace: &Bytes,
+    mut f: impl FnMut(u64, usize, AccessKind),
+) -> Result<u64, TraceError> {
+    let mut buf = trace.clone();
+    if buf.remaining() < 8 || &buf.copy_to_bytes(6)[..] != MAGIC {
+        return Err(TraceError::BadHeader);
+    }
+    buf.advance(2); // reserved
+    let mut addr = 0u64;
+    let mut count = 0u64;
+    while buf.has_remaining() {
+        let tag = buf.get_u8();
+        let kind = if tag & 1 == 1 { AccessKind::Write } else { AccessKind::Read };
+        let width = tag & 0b110;
+        let need = match width {
+            WIDTH_I8 => 1,
+            WIDTH_I32 => 4,
+            WIDTH_I64 => 8,
+            _ => return Err(TraceError::BadTag(tag)),
+        };
+        if buf.remaining() < need + 1 {
+            return Err(TraceError::Truncated);
+        }
+        let delta = match width {
+            WIDTH_I8 => buf.get_i8() as i64,
+            WIDTH_I32 => buf.get_i32_le() as i64,
+            _ => buf.get_i64_le(),
+        };
+        addr = addr.wrapping_add(delta as u64);
+        let size = buf.get_u8() as usize;
+        f(addr, size, kind);
+        count += 1;
+    }
+    Ok(count)
+}
+
+/// Replay a trace against a hierarchy. Returns the access count.
+pub fn replay(trace: &Bytes, hier: &mut MemoryHierarchy) -> Result<u64, TraceError> {
+    for_each_access(trace, |addr, size, kind| hier.access(addr, size, kind))
+}
+
+/// Replay a trace into a reuse-distance profiler (line-granular).
+pub fn replay_reuse(trace: &Bytes, profiler: &mut ReuseProfiler) -> Result<u64, TraceError> {
+    for_each_access(trace, |addr, _, _| profiler.access(addr))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CacheConfig, HierarchyConfig};
+
+    fn hier() -> MemoryHierarchy {
+        MemoryHierarchy::new(HierarchyConfig {
+            name: "t".into(),
+            levels: vec![CacheConfig::new("L1", 1024, 32, 2)],
+            tlb: None,
+        })
+    }
+
+    #[test]
+    fn roundtrip_preserves_accesses() {
+        let mut rec = TraceRecorder::new();
+        let accesses = [
+            (0u64, 4usize, AccessKind::Read),
+            (4, 4, AccessKind::Write),
+            (1 << 20, 8, AccessKind::Read), // large forward delta
+            (16, 2, AccessKind::Read),      // large backward delta
+            (u64::MAX - 7, 1, AccessKind::Write),
+        ];
+        for &(a, s, k) in &accesses {
+            rec.record(a, s, k);
+        }
+        let trace = rec.finish();
+        let mut got = Vec::new();
+        let n = for_each_access(&trace, |a, s, k| got.push((a, s, k))).expect("decode");
+        assert_eq!(n, accesses.len() as u64);
+        assert_eq!(got, accesses);
+    }
+
+    #[test]
+    fn replay_matches_live_simulation() {
+        // Drive a hierarchy live and via a recorded trace: identical stats.
+        let mut x = 99u64;
+        let mut live = hier();
+        let mut rec = TraceRecorder::new();
+        for i in 0..5000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let addr = (x >> 20) % 8192;
+            let kind = if i % 4 == 0 { AccessKind::Write } else { AccessKind::Read };
+            live.access(addr, 4, kind);
+            rec.record(addr, 4, kind);
+        }
+        let trace = rec.finish();
+        let mut replayed = hier();
+        let n = replay(&trace, &mut replayed).expect("replay");
+        assert_eq!(n, 5000);
+        assert_eq!(live.stats(), replayed.stats());
+    }
+
+    #[test]
+    fn compact_encoding_for_sequential_strides() {
+        let mut rec = TraceRecorder::new();
+        for i in 0..1000u64 {
+            rec.record(i * 4, 4, AccessKind::Read);
+        }
+        // Stride-4 deltas fit i8: 3 bytes/access plus the 8-byte header.
+        assert!(rec.encoded_bytes() <= 8 + 3 * 1000);
+    }
+
+    #[test]
+    fn one_trace_many_configurations() {
+        let mut rec = TraceRecorder::new();
+        for i in 0..256u64 {
+            rec.record((i * 64) % 2048, 4, AccessKind::Read);
+        }
+        let trace = rec.finish();
+        // Replay against a reuse profiler and two cache sizes.
+        let mut p = ReuseProfiler::new(32, 128);
+        replay_reuse(&trace, &mut p).expect("reuse replay");
+        assert_eq!(p.accesses(), 256);
+        let mut small = hier();
+        replay(&trace, &mut small).expect("replay");
+        assert!(small.stats().levels[0].misses > 0);
+    }
+
+    #[test]
+    fn decode_errors() {
+        assert_eq!(
+            for_each_access(&Bytes::from_static(b"junk"), |_, _, _| {}),
+            Err(TraceError::BadHeader)
+        );
+        let mut rec = TraceRecorder::new();
+        rec.record(0, 4, AccessKind::Read);
+        let full = rec.finish();
+        let truncated = full.slice(0..full.len() - 1);
+        assert_eq!(for_each_access(&truncated, |_, _, _| {}), Err(TraceError::Truncated));
+    }
+}

@@ -1,0 +1,145 @@
+//! A small `--flag value` argument parser (no external dependencies).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Argument parsing errors.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ArgsError {
+    /// A `--flag` had no value.
+    MissingValue(String),
+    /// A positional argument appeared where none is accepted.
+    UnexpectedPositional(String),
+    /// A required flag is absent.
+    MissingFlag(String),
+    /// A value failed to parse.
+    BadValue { flag: String, value: String, expected: &'static str },
+}
+
+impl fmt::Display for ArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgsError::MissingValue(flag) => write!(f, "flag {flag} needs a value"),
+            ArgsError::UnexpectedPositional(arg) => write!(f, "unexpected argument '{arg}'"),
+            ArgsError::MissingFlag(flag) => write!(f, "required flag {flag} is missing"),
+            ArgsError::BadValue { flag, value, expected } => {
+                write!(f, "flag {flag}: '{value}' is not a valid {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgsError {}
+
+/// Parsed `--flag value` pairs (flags keyed without the dashes; `-i` and
+/// `-o` are aliases for `--input` / `--output`).
+#[derive(Debug, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parse everything after the subcommand.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, ArgsError> {
+        let mut values = HashMap::new();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            let key = match arg.as_str() {
+                "-i" => "input".to_string(),
+                "-o" => "output".to_string(),
+                s if s.starts_with("--") => s[2..].to_string(),
+                other => return Err(ArgsError::UnexpectedPositional(other.to_string())),
+            };
+            let value = it.next().ok_or_else(|| ArgsError::MissingValue(format!("--{key}")))?;
+            values.insert(key, value);
+        }
+        Ok(Self { values })
+    }
+
+    /// Required string flag.
+    pub fn require(&self, flag: &str) -> Result<&str, ArgsError> {
+        self.values
+            .get(flag)
+            .map(String::as_str)
+            .ok_or_else(|| ArgsError::MissingFlag(format!("--{flag}")))
+    }
+
+    /// Optional string flag with a default.
+    pub fn get_or<'a>(&'a self, flag: &str, default: &'a str) -> &'a str {
+        self.values.get(flag).map(String::as_str).unwrap_or(default)
+    }
+
+    /// Parse a flag into `T`, with a default when absent.
+    pub fn parse_or<T: std::str::FromStr>(
+        &self,
+        flag: &str,
+        default: T,
+        expected: &'static str,
+    ) -> Result<T, ArgsError> {
+        match self.values.get(flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgsError::BadValue {
+                flag: format!("--{flag}"),
+                value: v.clone(),
+                expected,
+            }),
+        }
+    }
+
+    /// Required parsed flag.
+    pub fn parse_required<T: std::str::FromStr>(
+        &self,
+        flag: &str,
+        expected: &'static str,
+    ) -> Result<T, ArgsError> {
+        let v = self.require(flag)?;
+        v.parse().map_err(|_| ArgsError::BadValue {
+            flag: format!("--{flag}"),
+            value: v.to_string(),
+            expected,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Result<Args, ArgsError> {
+        Args::parse(s.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_flags_and_aliases() {
+        let a = args(&["--n", "100", "-i", "in.gr", "-o", "out.gr"]).expect("parse");
+        assert_eq!(a.require("n").unwrap(), "100");
+        assert_eq!(a.require("input").unwrap(), "in.gr");
+        assert_eq!(a.require("output").unwrap(), "out.gr");
+    }
+
+    #[test]
+    fn typed_access() {
+        let a = args(&["--n", "64", "--density", "0.25"]).expect("parse");
+        assert_eq!(a.parse_required::<usize>("n", "integer").unwrap(), 64);
+        assert_eq!(a.parse_or::<f64>("density", 0.1, "number").unwrap(), 0.25);
+        assert_eq!(a.parse_or::<u64>("seed", 42, "integer").unwrap(), 42);
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(
+            args(&["--n"]).unwrap_err(),
+            ArgsError::MissingValue("--n".into())
+        );
+        assert_eq!(
+            args(&["loose"]).unwrap_err(),
+            ArgsError::UnexpectedPositional("loose".into())
+        );
+        let a = args(&["--n", "abc"]).expect("parse");
+        assert!(matches!(
+            a.parse_required::<usize>("n", "integer"),
+            Err(ArgsError::BadValue { .. })
+        ));
+        assert!(matches!(a.require("missing"), Err(ArgsError::MissingFlag(_))));
+    }
+}

@@ -1,0 +1,28 @@
+//! The `cachegraph` command-line tool. See [`cachegraph_cli::USAGE`].
+
+use cachegraph_cli::{run, Args, USAGE};
+
+fn main() {
+    let mut argv = std::env::args().skip(1);
+    let Some(command) = argv.next() else {
+        eprint!("{USAGE}");
+        std::process::exit(2);
+    };
+    if command == "--help" || command == "-h" || command == "help" {
+        print!("{USAGE}");
+        return;
+    }
+    let args = match Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprint!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let mut stdout = std::io::stdout();
+    if let Err(e) = run(&command, args, &mut stdout) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,418 @@
+//! The subcommand implementations. Each takes parsed [`Args`] and writes
+//! its report to the given writer, so tests can drive them directly.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::time::Instant;
+
+use cachegraph_fw::{fw_iterative_slice, fw_recursive, fw_tiled, transitive_closure_of, FwMatrix, INF};
+use cachegraph_graph::io::{read_dimacs, write_dimacs, DimacsError};
+use cachegraph_graph::{generators, EdgeListBuilder, Graph};
+use cachegraph_layout::{select_block_size, BlockLayout, ZMorton};
+use cachegraph_matching::{find_matching, find_matching_partitioned, Matching, PartitionScheme};
+use cachegraph_pq::DAryHeap;
+use cachegraph_sim::profiles;
+use cachegraph_sssp::instrumented::{sim_dijkstra_adj_array, sim_dijkstra_adj_list};
+use cachegraph_sssp::{
+    dijkstra, dijkstra_binary_heap, dijkstra_dense, dijkstra_lazy, dijkstra_lazy_sequence,
+    kruskal, prim_binary_heap,
+};
+
+use crate::args::{Args, ArgsError};
+
+/// Errors surfaced to the binary's exit path.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line.
+    Args(ArgsError),
+    /// Unknown subcommand.
+    UnknownCommand(String),
+    /// Bad flag value for which parsing succeeded but the domain is wrong.
+    Invalid(String),
+    /// File / format problems.
+    Dimacs(DimacsError),
+    /// I/O problems.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Args(e) => write!(f, "{e}"),
+            CliError::UnknownCommand(c) => write!(f, "unknown command '{c}'"),
+            CliError::Invalid(m) => write!(f, "{m}"),
+            CliError::Dimacs(e) => write!(f, "{e}"),
+            CliError::Io(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgsError> for CliError {
+    fn from(e: ArgsError) -> Self {
+        CliError::Args(e)
+    }
+}
+
+impl From<DimacsError> for CliError {
+    fn from(e: DimacsError) -> Self {
+        CliError::Dimacs(e)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+/// Dispatch a subcommand; the report goes to `out`.
+pub fn run(command: &str, args: Args, out: &mut dyn Write) -> Result<(), CliError> {
+    match command {
+        "gen" => cmd_gen(args, out),
+        "sssp" => cmd_sssp(args, out),
+        "apsp" => cmd_apsp(args, out),
+        "mst" => cmd_mst(args, out),
+        "match" => cmd_match(args, out),
+        "closure" => cmd_closure(args, out),
+        "simulate" => cmd_simulate(args, out),
+        other => Err(CliError::UnknownCommand(other.to_string())),
+    }
+}
+
+fn load(args: &Args) -> Result<EdgeListBuilder, CliError> {
+    let path = args.require("input")?;
+    let file = File::open(path)?;
+    Ok(read_dimacs(BufReader::new(file))?)
+}
+
+fn cmd_gen(args: Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let kind = args.get_or("kind", "random");
+    let seed: u64 = args.parse_or("seed", 42, "integer")?;
+    let density: f64 = args.parse_or("density", 0.1, "number")?;
+    let max_w: u32 = args.parse_or("max-weight", 100, "integer")?;
+    let b = match kind {
+        "random" => {
+            let n: usize = args.parse_required("n", "integer")?;
+            generators::random_directed(n, density, max_w, seed)
+        }
+        "undirected" => {
+            let n: usize = args.parse_required("n", "integer")?;
+            let mut b = generators::random_undirected(n, density, max_w, seed);
+            generators::connect(&mut b, max_w, seed);
+            b
+        }
+        "bipartite" => {
+            let n: usize = args.parse_required("n", "integer")?;
+            generators::random_bipartite(n, density, seed)
+        }
+        "grid" => {
+            let rows: usize = args.parse_required("rows", "integer")?;
+            let cols: usize = args.parse_required("cols", "integer")?;
+            generators::grid_graph(rows, cols)
+        }
+        other => return Err(CliError::Invalid(format!("unknown graph kind '{other}'"))),
+    };
+    let path = args.require("output")?;
+    let file = File::create(path)?;
+    write_dimacs(BufWriter::new(file), &b)?;
+    writeln!(out, "wrote {} vertices, {} arcs to {path}", b.num_vertices(), b.edges().len())?;
+    Ok(())
+}
+
+fn cmd_sssp(args: Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let b = load(&args)?;
+    let source: u32 = args.parse_or("source", 0, "vertex id")?;
+    if source as usize >= b.num_vertices() {
+        return Err(CliError::Invalid(format!("source {source} out of range")));
+    }
+    let rep = args.get_or("rep", "array");
+    let algo = args.get_or("algo", "binary");
+    let t0 = Instant::now();
+    let result = match rep {
+        "array" => {
+            let g = b.build_array();
+            match algo {
+                "binary" => dijkstra_binary_heap(&g, source),
+                "dary" => dijkstra::<_, DAryHeap<4>>(&g, source),
+                "lazy" => dijkstra_lazy(&g, source),
+                "sequence" => dijkstra_lazy_sequence(&g, source),
+                "dense" => dijkstra_dense(&g, source),
+                other => return Err(CliError::Invalid(format!("unknown algo '{other}'"))),
+            }
+        }
+        "list" => dijkstra_binary_heap(&b.build_list(), source),
+        "matrix" => dijkstra_binary_heap(&b.build_matrix(), source),
+        other => return Err(CliError::Invalid(format!("unknown representation '{other}'"))),
+    };
+    let elapsed = t0.elapsed();
+    let reachable = result.dist.iter().filter(|&&d| d != INF).count();
+    let far = result
+        .dist
+        .iter()
+        .enumerate()
+        .filter(|&(_, &d)| d != INF)
+        .max_by_key(|&(_, &d)| d);
+    writeln!(out, "source {source} ({rep}, {algo}): {reachable}/{} reachable", result.dist.len())?;
+    if let Some((v, d)) = far {
+        writeln!(out, "farthest reachable vertex: {v} at distance {d}")?;
+    }
+    writeln!(out, "time: {:.3} ms", elapsed.as_secs_f64() * 1e3)?;
+    Ok(())
+}
+
+fn cmd_apsp(args: Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let b = load(&args)?;
+    let n = b.num_vertices();
+    let costs = b.build_matrix().costs().to_vec();
+    let algo = args.get_or("algo", "recursive");
+    let block: usize =
+        args.parse_or("block", select_block_size(32 * 1024, 8, 4).estimate.min(n), "integer")?;
+    let t0 = Instant::now();
+    let dist = match algo {
+        "iterative" => {
+            let mut d = costs;
+            fw_iterative_slice(&mut d, n);
+            d
+        }
+        "recursive" => {
+            let mut m = FwMatrix::from_costs(ZMorton::new(n, block), &costs);
+            fw_recursive(&mut m, block);
+            m.to_row_major()
+        }
+        "tiled" => {
+            let mut m = FwMatrix::from_costs(BlockLayout::new(n, block), &costs);
+            fw_tiled(&mut m, block);
+            m.to_row_major()
+        }
+        other => return Err(CliError::Invalid(format!("unknown algo '{other}'"))),
+    };
+    let elapsed = t0.elapsed();
+    let finite: Vec<u32> = dist.iter().copied().filter(|&d| d != INF && d > 0).collect();
+    let connected_pairs = finite.len();
+    let diameter = finite.iter().max().copied().unwrap_or(0);
+    let avg = if finite.is_empty() {
+        0.0
+    } else {
+        finite.iter().map(|&d| d as f64).sum::<f64>() / finite.len() as f64
+    };
+    writeln!(out, "APSP ({algo}, block {block}) over {n} vertices")?;
+    writeln!(out, "connected ordered pairs: {connected_pairs}")?;
+    writeln!(out, "diameter: {diameter}, mean finite distance: {avg:.2}")?;
+    writeln!(out, "time: {:.3} ms", elapsed.as_secs_f64() * 1e3)?;
+    Ok(())
+}
+
+fn cmd_mst(args: Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let b = load(&args)?;
+    let root: u32 = args.parse_or("root", 0, "vertex id")?;
+    if root as usize >= b.num_vertices() {
+        return Err(CliError::Invalid(format!("root {root} out of range")));
+    }
+    let t0 = Instant::now();
+    let mst = prim_binary_heap(&b.build_array(), root);
+    let elapsed = t0.elapsed();
+    let (kw, _) = kruskal(b.num_vertices(), b.edges());
+    writeln!(out, "Prim MST from {root}: weight {}, {} vertices in tree", mst.total_weight, mst.tree_size)?;
+    if mst.tree_size == b.num_vertices() {
+        writeln!(out, "Kruskal cross-check: {kw} ({})", if kw == mst.total_weight { "agrees" } else { "MISMATCH" })?;
+    } else {
+        writeln!(out, "graph is disconnected; Kruskal forest weight: {kw}")?;
+    }
+    writeln!(out, "time: {:.3} ms", elapsed.as_secs_f64() * 1e3)?;
+    Ok(())
+}
+
+fn cmd_match(args: Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let b = load(&args)?;
+    let n = b.num_vertices();
+    if n % 2 != 0 {
+        return Err(CliError::Invalid("matching expects an even vertex count (left = first half)".into()));
+    }
+    let parts: usize = args.parse_or("parts", 8, "integer")?;
+    let g = b.build_array();
+    let t0 = Instant::now();
+    let base = find_matching(&g, n / 2, Matching::empty(n));
+    let t_base = t0.elapsed();
+    let t0 = Instant::now();
+    let (opt, stats) =
+        find_matching_partitioned(&g, n / 2, b.edges(), PartitionScheme::Contiguous(parts));
+    let t_opt = t0.elapsed();
+    if base.size != opt.size {
+        return Err(CliError::Invalid("internal error: implementations disagree".into()));
+    }
+    writeln!(out, "maximum matching: {} of {} possible pairs", opt.size, n / 2)?;
+    writeln!(
+        out,
+        "baseline: {:.3} ms; partitioned ({} parts, {} matched locally): {:.3} ms",
+        t_base.as_secs_f64() * 1e3,
+        stats.parts,
+        stats.local_matched,
+        t_opt.as_secs_f64() * 1e3,
+    )?;
+    Ok(())
+}
+
+fn cmd_closure(args: Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let b = load(&args)?;
+    let g = b.build_array();
+    let t0 = Instant::now();
+    let c = transitive_closure_of(&g);
+    let elapsed = t0.elapsed();
+    let n = g.num_vertices();
+    let mut reachable_pairs = 0usize;
+    for i in 0..n {
+        for j in 0..n {
+            if i != j && c.get(i, j) {
+                reachable_pairs += 1;
+            }
+        }
+    }
+    writeln!(out, "transitive closure over {n} vertices: {reachable_pairs} reachable ordered pairs")?;
+    writeln!(out, "time: {:.3} ms", elapsed.as_secs_f64() * 1e3)?;
+    Ok(())
+}
+
+fn cmd_simulate(args: Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let b = load(&args)?;
+    let source: u32 = args.parse_or("source", 0, "vertex id")?;
+    let machine = args.get_or("machine", "simplescalar");
+    let cfg = match machine {
+        "simplescalar" => profiles::simplescalar(),
+        "p3" => profiles::pentium_iii(),
+        "sparc" => profiles::ultrasparc_iii(),
+        "alpha" => profiles::alpha_21264(),
+        "mips" => profiles::mips_r12000(),
+        other => return Err(CliError::Invalid(format!("unknown machine '{other}'"))),
+    };
+    let rep = args.get_or("rep", "array");
+    let r = match rep {
+        "array" => sim_dijkstra_adj_array(&b.build_array(), source, cfg),
+        "list" => sim_dijkstra_adj_list(&b.build_list(), source, cfg),
+        other => return Err(CliError::Invalid(format!("unknown representation '{other}'"))),
+    };
+    writeln!(out, "simulated Dijkstra ({rep}) on {machine}:")?;
+    for l in &r.stats.levels {
+        writeln!(
+            out,
+            "  L{}: {} accesses, {} misses ({:.2}%)",
+            l.level + 1,
+            l.accesses,
+            l.misses,
+            l.miss_rate * 100.0
+        )?;
+    }
+    if let Some(tlb) = &r.stats.tlb {
+        writeln!(out, "  TLB: {} misses / {} translations", tlb.misses, tlb.accesses)?;
+    }
+    writeln!(out, "  memory lines fetched: {}", r.stats.memory_lines_fetched)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Args {
+        Args::parse(s.iter().map(|x| x.to_string())).expect("args")
+    }
+
+    fn run_str(cmd: &str, a: &[&str]) -> Result<String, CliError> {
+        let mut out = Vec::new();
+        run(cmd, args(a), &mut out)?;
+        Ok(String::from_utf8(out).expect("utf8"))
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("cachegraph-cli-tests");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn gen_then_run_every_analysis() {
+        let path = tmp("pipeline.gr");
+        let report = run_str(
+            "gen",
+            &["--kind", "random", "--n", "64", "--density", "0.15", "--seed", "3", "-o", &path],
+        )
+        .expect("gen");
+        assert!(report.contains("wrote 64 vertices"));
+
+        let sssp = run_str("sssp", &["-i", &path, "--source", "0"]).expect("sssp");
+        assert!(sssp.contains("reachable"), "{sssp}");
+
+        let apsp = run_str("apsp", &["-i", &path, "--algo", "tiled", "--block", "16"]).expect("apsp");
+        assert!(apsp.contains("diameter"), "{apsp}");
+
+        let closure = run_str("closure", &["-i", &path]).expect("closure");
+        assert!(closure.contains("reachable ordered pairs"), "{closure}");
+
+        let sim = run_str("simulate", &["-i", &path, "--machine", "p3"]).expect("simulate");
+        assert!(sim.contains("L1:"), "{sim}");
+        assert!(sim.contains("TLB:"), "{sim}");
+    }
+
+    #[test]
+    fn mst_on_connected_graph() {
+        let path = tmp("mst.gr");
+        run_str("gen", &["--kind", "undirected", "--n", "50", "--density", "0.1", "-o", &path])
+            .expect("gen");
+        let mst = run_str("mst", &["-i", &path]).expect("mst");
+        assert!(mst.contains("agrees"), "Kruskal must confirm Prim: {mst}");
+    }
+
+    #[test]
+    fn matching_on_bipartite_graph() {
+        let path = tmp("match.gr");
+        run_str("gen", &["--kind", "bipartite", "--n", "64", "--density", "0.2", "-o", &path])
+            .expect("gen");
+        let m = run_str("match", &["-i", &path, "--parts", "4"]).expect("match");
+        assert!(m.contains("maximum matching"), "{m}");
+    }
+
+    #[test]
+    fn sssp_algos_agree_via_reports() {
+        let path = tmp("algos.gr");
+        run_str("gen", &["--kind", "random", "--n", "80", "--density", "0.1", "-o", &path])
+            .expect("gen");
+        let lines = |s: String| s.lines().take(2).map(String::from).collect::<Vec<_>>();
+        let base = lines(run_str("sssp", &["-i", &path, "--algo", "binary"]).expect("binary"));
+        for algo in ["dary", "lazy", "sequence", "dense"] {
+            let got = lines(run_str("sssp", &["-i", &path, "--algo", algo]).expect(algo));
+            // First line differs in the algo label; the farthest-vertex
+            // line must be identical.
+            assert_eq!(got[1], base[1], "algo {algo}");
+        }
+    }
+
+    #[test]
+    fn grid_generation() {
+        let path = tmp("grid.gr");
+        let r = run_str("gen", &["--kind", "grid", "--rows", "4", "--cols", "5", "-o", &path])
+            .expect("gen");
+        assert!(r.contains("wrote 20 vertices"), "{r}");
+    }
+
+    #[test]
+    fn error_paths() {
+        assert!(matches!(run_str("nope", &[]), Err(CliError::UnknownCommand(_))));
+        assert!(matches!(run_str("sssp", &[]), Err(CliError::Args(_))));
+        assert!(matches!(
+            run_str("gen", &["--kind", "weird", "--n", "4", "-o", "/tmp/x.gr"]),
+            Err(CliError::Invalid(_))
+        ));
+        let path = tmp("err.gr");
+        run_str("gen", &["--kind", "random", "--n", "8", "-o", &path]).expect("gen");
+        assert!(matches!(
+            run_str("sssp", &["-i", &path, "--source", "99"]),
+            Err(CliError::Invalid(_))
+        ));
+        assert!(matches!(
+            run_str("sssp", &["-i", &path, "--algo", "quantum"]),
+            Err(CliError::Invalid(_))
+        ));
+    }
+}

@@ -1,0 +1,40 @@
+//! Command implementations behind the `cachegraph` binary.
+//!
+//! ```text
+//! cachegraph gen    --kind random --n 1024 --density 0.1 --seed 7 -o g.gr
+//! cachegraph sssp   -i g.gr --source 0 [--rep array|list|matrix] [--algo binary|dary|lazy|dense]
+//! cachegraph apsp   -i g.gr [--algo recursive|tiled|iterative] [--block B]
+//! cachegraph mst    -i g.gr [--root 0]
+//! cachegraph match  -i g.gr [--parts 8]
+//! cachegraph closure -i g.gr
+//! cachegraph simulate -i g.gr --machine simplescalar|p3|sparc|alpha|mips [--rep array|list]
+//! ```
+//!
+//! Graphs are exchanged in the DIMACS `sp` format
+//! (`cachegraph_graph::io`). Every command prints a short plain-text
+//! report; exit status is non-zero on any error.
+
+mod args;
+mod commands;
+
+pub use args::{Args, ArgsError};
+pub use commands::{run, CliError};
+
+/// Usage text for the binary.
+pub const USAGE: &str = "\
+usage: cachegraph <command> [options]
+
+commands:
+  gen       generate a graph        --kind random|undirected|bipartite|grid
+                                    --n N [--density D] [--seed S] [--max-weight W]
+                                    [--rows R --cols C]  -o FILE
+  sssp      shortest paths          -i FILE [--source V] [--rep array|list|matrix]
+                                    [--algo binary|dary|lazy|sequence|dense]
+  apsp      all-pairs distances     -i FILE [--algo recursive|tiled|iterative]
+                                    [--block B]
+  mst       minimum spanning tree   -i FILE [--root V]
+  match     bipartite matching      -i FILE [--parts P] (left side = first half)
+  closure   transitive closure      -i FILE
+  simulate  cache simulation        -i FILE [--machine simplescalar|p3|sparc|alpha|mips]
+                                    [--rep array|list] [--source V]
+";

@@ -1,0 +1,77 @@
+//! One-call APSP with automatic layout and block-size selection.
+
+use cachegraph_graph::Weight;
+use cachegraph_layout::{select_block_size, ZMorton};
+
+use crate::matrix::FwMatrix;
+use crate::recursive::fw_recursive;
+
+/// Default L1 parameters used when the caller does not know the host
+/// cache: 32 KB, 8-way — typical for x86 since ~2010 and a safe
+/// under-estimate elsewhere. The recursive algorithm is cache-oblivious
+/// above the base case, so this choice only tunes the leaf size.
+pub const DEFAULT_L1_BYTES: usize = 32 * 1024;
+/// See [`DEFAULT_L1_BYTES`].
+pub const DEFAULT_L1_ASSOC: usize = 8;
+
+/// All-pairs shortest paths from a row-major `n x n` cost matrix
+/// (`INF` = no edge), using the cache-oblivious recursive implementation
+/// on a Z-Morton layout with an Eq. 13 base case for the given L1 cache.
+/// Returns the row-major distance matrix.
+pub fn solve_apsp_with_cache(
+    costs: &[Weight],
+    n: usize,
+    l1_bytes: usize,
+    l1_assoc: usize,
+) -> Vec<Weight> {
+    let block = select_block_size(l1_bytes, l1_assoc, std::mem::size_of::<Weight>())
+        .estimate
+        .min(n.next_power_of_two());
+    let mut m = FwMatrix::from_costs(ZMorton::new(n, block), costs);
+    fw_recursive(&mut m, block);
+    m.to_row_major()
+}
+
+/// [`solve_apsp_with_cache`] with the default cache parameters.
+pub fn solve_apsp(costs: &[Weight], n: usize) -> Vec<Weight> {
+    solve_apsp_with_cache(costs, n, DEFAULT_L1_BYTES, DEFAULT_L1_ASSOC)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fw_iterative_slice;
+    use cachegraph_graph::INF;
+
+    #[test]
+    fn matches_baseline() {
+        let n = 37;
+        let mut costs = vec![INF; n * n];
+        for v in 0..n {
+            costs[v * n + v] = 0;
+        }
+        // A ring plus a chord.
+        for v in 0..n {
+            costs[v * n + (v + 1) % n] = 2;
+        }
+        costs[3 * n + 30] = 1;
+        let auto = solve_apsp(&costs, n);
+        let mut expect = costs;
+        fw_iterative_slice(&mut expect, n);
+        assert_eq!(auto, expect);
+    }
+
+    #[test]
+    fn tiny_cache_parameters_still_work() {
+        let n = 9;
+        let mut costs = vec![INF; n * n];
+        for v in 0..n {
+            costs[v * n + v] = 0;
+            if v + 1 < n {
+                costs[v * n + v + 1] = 1;
+            }
+        }
+        let d = solve_apsp_with_cache(&costs, n, 64, 1);
+        assert_eq!(d[n - 1], (n - 1) as u32);
+    }
+}

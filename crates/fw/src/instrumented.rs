@@ -1,0 +1,275 @@
+//! Cache-simulated Floyd-Warshall runs (Tables 1, 2, 3).
+//!
+//! Each function builds the distance matrix in the appropriate layout,
+//! places it in a simulated address space, and replays the *identical*
+//! algorithm drivers used for real timing through a traced accessor, so
+//! the miss counts describe exactly the measured code. The computed
+//! distances are returned alongside the statistics — every simulation also
+//! validates correctness.
+
+use cachegraph_graph::{Weight, INF};
+use cachegraph_layout::{BlockLayout, Layout, RowMajor, ZMorton};
+use cachegraph_sim::{
+    AddressSpace, HierarchyConfig, HierarchyStats, MemoryHierarchy, TracedBuffer,
+};
+
+use crate::kernel::{CellAccess, View};
+use crate::recursive::run_recursive;
+use crate::tiled::run_tiled;
+
+/// Result of a simulated FW run.
+#[derive(Clone, Debug)]
+pub struct FwSimResult {
+    /// Cache/TLB counters from the run.
+    pub stats: HierarchyStats,
+    /// The computed all-pairs distances, row-major over the logical `n`.
+    pub dist: Vec<Weight>,
+}
+
+/// Accessor that routes every cell access through the cache simulator.
+struct TracedAccess<'h> {
+    buf: TracedBuffer<Weight>,
+    hier: &'h mut MemoryHierarchy,
+}
+
+impl CellAccess for TracedAccess<'_> {
+    #[inline]
+    fn read(&mut self, idx: usize) -> Weight {
+        self.buf.read(self.hier, idx)
+    }
+
+    #[inline]
+    fn write(&mut self, idx: usize, v: Weight) {
+        self.buf.write(self.hier, idx, v)
+    }
+}
+
+/// Build the padded storage for `layout` from a row-major cost matrix:
+/// `INF` padding, zero diagonal (including padded vertices).
+fn padded_storage<L: Layout>(layout: &L, costs: &[Weight]) -> Vec<Weight> {
+    let n = layout.n();
+    assert_eq!(costs.len(), n * n, "cost matrix must be n*n");
+    let mut data = vec![INF; layout.storage_len()];
+    for i in 0..n {
+        for j in 0..n {
+            data[layout.index(i, j)] = costs[i * n + j];
+        }
+    }
+    for v in 0..layout.padded_n() {
+        data[layout.index(v, v)] = 0;
+    }
+    data
+}
+
+/// Read the logical distances back out of layout-ordered storage.
+fn extract_dist<L: Layout>(layout: &L, data: &[Weight]) -> Vec<Weight> {
+    let n = layout.n();
+    let mut out = Vec::with_capacity(n * n);
+    for i in 0..n {
+        for j in 0..n {
+            out.push(data[layout.index(i, j)]);
+        }
+    }
+    out
+}
+
+fn run_traced_with<L: Layout>(
+    layout: &L,
+    costs: &[Weight],
+    config: HierarchyConfig,
+    classify: bool,
+    f: impl FnOnce(&mut TracedAccess<'_>),
+) -> FwSimResult {
+    let data = padded_storage(layout, costs);
+    let mut hier = if classify {
+        MemoryHierarchy::new_classifying(config)
+    } else {
+        MemoryHierarchy::new(config)
+    };
+    let mut space = AddressSpace::new();
+    let buf = space.adopt(data);
+    let mut acc = TracedAccess { buf, hier: &mut hier };
+    f(&mut acc);
+    let dist = extract_dist(layout, acc.buf.as_slice());
+    FwSimResult { stats: hier.stats(), dist }
+}
+
+fn run_traced<L: Layout>(
+    layout: &L,
+    costs: &[Weight],
+    config: HierarchyConfig,
+    f: impl FnOnce(&mut TracedAccess<'_>),
+) -> FwSimResult {
+    run_traced_with(layout, costs, config, false, f)
+}
+
+/// [`sim_tiled_bdl`] with three-Cs classification of the L1 misses
+/// (`stats.l1_classes`) — used to show BDL eliminating the interference
+/// misses (§3.1.2.2).
+pub fn sim_tiled_bdl_classified(
+    costs: &[Weight],
+    n: usize,
+    b: usize,
+    config: HierarchyConfig,
+) -> FwSimResult {
+    let layout = BlockLayout::new(n, b);
+    run_traced_with(&layout, costs, config, true, |acc| run_tiled(&layout, n, acc, b))
+}
+
+/// [`sim_tiled_rowmajor`] with three-Cs classification of the L1 misses.
+pub fn sim_tiled_rowmajor_classified(
+    costs: &[Weight],
+    n: usize,
+    b: usize,
+    config: HierarchyConfig,
+) -> FwSimResult {
+    assert!(n.is_multiple_of(b), "row-major tiling requires b | n");
+    let layout = RowMajor::new(n);
+    run_traced_with(&layout, costs, config, true, |acc| run_tiled(&layout, n, acc, b))
+}
+
+/// Simulate the iterative baseline (row-major, Fig. 1).
+pub fn sim_iterative(costs: &[Weight], n: usize, config: HierarchyConfig) -> FwSimResult {
+    let layout = RowMajor::new(n);
+    run_traced(&layout, costs, config, |acc| {
+        let v = View { offset: 0, stride: n };
+        crate::kernel::fwi_access(acc, v, v, v, n);
+    })
+}
+
+/// Simulate the recursive implementation on the Z-Morton layout with the
+/// given base-case tile size.
+pub fn sim_recursive_morton(
+    costs: &[Weight],
+    n: usize,
+    base: usize,
+    config: HierarchyConfig,
+) -> FwSimResult {
+    let layout = ZMorton::new(n, base);
+    run_traced(&layout, costs, config, |acc| run_recursive(&layout, n, acc, base))
+}
+
+/// Simulate the tiled implementation on the Block Data Layout.
+pub fn sim_tiled_bdl(costs: &[Weight], n: usize, b: usize, config: HierarchyConfig) -> FwSimResult {
+    let layout = BlockLayout::new(n, b);
+    run_traced(&layout, costs, config, |acc| run_tiled(&layout, n, acc, b))
+}
+
+/// Simulate the tiled implementation on a **row-major** layout (the
+/// configuration of [43] that Table 2 compares against BDL). `b` must
+/// divide `n`.
+pub fn sim_tiled_rowmajor(
+    costs: &[Weight],
+    n: usize,
+    b: usize,
+    config: HierarchyConfig,
+) -> FwSimResult {
+    assert!(n.is_multiple_of(b), "row-major tiling requires b | n");
+    let layout = RowMajor::new(n);
+    run_traced(&layout, costs, config, |acc| run_tiled(&layout, n, acc, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fw_iterative_slice;
+    use cachegraph_sim::profiles;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_costs(n: usize, density: f64, seed: u64) -> Vec<u32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut costs = vec![INF; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    costs[i * n + j] = 0;
+                } else if rng.gen_bool(density) {
+                    costs[i * n + j] = rng.gen_range(1..100);
+                }
+            }
+        }
+        costs
+    }
+
+    #[test]
+    fn all_simulated_variants_compute_correct_distances() {
+        let n = 16;
+        let costs = random_costs(n, 0.3, 3);
+        let mut expect = costs.clone();
+        fw_iterative_slice(&mut expect, n);
+        let cfg = profiles::simplescalar;
+        assert_eq!(sim_iterative(&costs, n, cfg()).dist, expect);
+        assert_eq!(sim_recursive_morton(&costs, n, 4, cfg()).dist, expect);
+        assert_eq!(sim_tiled_bdl(&costs, n, 4, cfg()).dist, expect);
+        assert_eq!(sim_tiled_rowmajor(&costs, n, 4, cfg()).dist, expect);
+    }
+
+    #[test]
+    fn blocked_variants_miss_less_than_baseline() {
+        // A matrix big enough to spill a tiny test cache: use a small
+        // custom hierarchy so the effect is visible at n = 64.
+        use cachegraph_sim::{CacheConfig, HierarchyConfig};
+        let tiny = || HierarchyConfig {
+            name: "tiny".into(),
+            levels: vec![CacheConfig::new("L1", 4 * 1024, 32, 4)],
+            tlb: None,
+        };
+        let n = 64;
+        let costs = random_costs(n, 0.4, 9);
+        let base = sim_iterative(&costs, n, tiny());
+        let rec = sim_recursive_morton(&costs, n, 16, tiny());
+        let tiled = sim_tiled_bdl(&costs, n, 16, tiny());
+        let m0 = base.stats.levels[0].misses;
+        assert!(
+            rec.stats.levels[0].misses < m0,
+            "recursive should miss less: {} vs {}",
+            rec.stats.levels[0].misses,
+            m0
+        );
+        assert!(
+            tiled.stats.levels[0].misses < m0,
+            "tiled should miss less: {} vs {}",
+            tiled.stats.levels[0].misses,
+            m0
+        );
+    }
+
+    #[test]
+    fn bdl_reduces_conflict_misses_vs_rowmajor_tiling() {
+        // §3.1.2.2: with the same tile size, the contiguous blocked layout
+        // removes self/cross-interference misses that the strided
+        // row-major tiles suffer.
+        let n = 64;
+        let b = 16;
+        let costs = random_costs(n, 0.4, 4);
+        use cachegraph_sim::{CacheConfig, HierarchyConfig};
+        // A small direct-mapped L1 makes interference visible.
+        let tiny = || HierarchyConfig {
+            name: "dm".into(),
+            levels: vec![CacheConfig::new("L1", 2 * 1024, 32, 1)],
+            tlb: None,
+        };
+        let rw = sim_tiled_rowmajor_classified(&costs, n, b, tiny());
+        let bd = sim_tiled_bdl_classified(&costs, n, b, tiny());
+        assert_eq!(rw.dist, bd.dist);
+        let rw_conflict = rw.stats.l1_classes.expect("classified").conflict;
+        let bd_conflict = bd.stats.l1_classes.expect("classified").conflict;
+        assert!(
+            bd_conflict < rw_conflict,
+            "BDL should reduce conflict misses: {bd_conflict} vs {rw_conflict}"
+        );
+    }
+
+    #[test]
+    fn accesses_scale_with_n_cubed() {
+        let n = 16;
+        let costs = random_costs(n, 1.0, 1);
+        let r = sim_iterative(&costs, n, profiles::simplescalar());
+        // Dense graph: ~3 accesses per (k, i, j) step plus row reads.
+        let accesses = r.stats.levels[0].accesses;
+        let n3 = (n * n * n) as u64;
+        assert!(accesses >= n3, "expected at least n^3 accesses, got {accesses}");
+        assert!(accesses <= 4 * n3, "unexpectedly many accesses: {accesses}");
+    }
+}

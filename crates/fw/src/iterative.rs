@@ -1,0 +1,107 @@
+//! The iterative baseline (Fig. 1).
+
+use cachegraph_graph::Weight;
+use cachegraph_layout::Layout;
+
+use crate::kernel::{fwi, StridedView, View};
+use crate::matrix::FwMatrix;
+
+/// The classic Floyd-Warshall triple loop over a raw row-major slice —
+/// the exact baseline of every speedup figure in the paper.
+pub fn fw_iterative_slice(dist: &mut [Weight], n: usize) {
+    assert_eq!(dist.len(), n * n, "dist must be n*n row-major");
+    fwi(dist, View { offset: 0, stride: n }, View { offset: 0, stride: n }, View { offset: 0, stride: n }, n);
+}
+
+/// Iterative Floyd-Warshall over any layout with full-matrix strided views
+/// (row-major in practice; used in the layout ablation with a generic
+/// fallback for blocked layouts).
+pub fn fw_iterative<L: StridedView>(m: &mut FwMatrix<L>) {
+    let p = m.padded_n();
+    if let Some(v) = m.layout().view(0, 0, p) {
+        let data = m.storage_mut();
+        fwi(data, v, v, v, p);
+    } else {
+        fw_iterative_generic(m);
+    }
+}
+
+/// Fallback triple loop through `Layout::index` for layouts that cannot
+/// express the whole matrix as one strided view (BDL, Morton). Same
+/// operation order as the baseline; only the address computation differs.
+fn fw_iterative_generic<L: Layout>(m: &mut FwMatrix<L>) {
+    let p = m.padded_n();
+    let layout = m.layout().clone();
+    let data = m.storage_mut();
+    for k in 0..p {
+        for i in 0..p {
+            let bik = data[layout.index(i, k)];
+            if bik == Weight::MAX {
+                continue;
+            }
+            for j in 0..p {
+                let via = bik.saturating_add(data[layout.index(k, j)]);
+                let cell = &mut data[layout.index(i, j)];
+                if via < *cell {
+                    *cell = via;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachegraph_graph::INF;
+    use cachegraph_layout::{BlockLayout, RowMajor};
+
+    #[test]
+    fn small_known_answer() {
+        // 0 -(1)-> 1 -(1)-> 2, plus 0 -(5)-> 2.
+        let costs = vec![0, 1, 5, INF, 0, 1, INF, INF, 0];
+        let mut m = FwMatrix::from_costs(RowMajor::new(3), &costs);
+        fw_iterative(&mut m);
+        assert_eq!(m.dist(0, 2), 2);
+        assert_eq!(m.dist(0, 1), 1);
+        assert_eq!(m.dist(2, 0), INF);
+    }
+
+    #[test]
+    fn slice_variant_matches_matrix_variant() {
+        let costs = vec![0, 4, INF, 9, 0, 2, 3, INF, 0];
+        let mut raw = costs.clone();
+        fw_iterative_slice(&mut raw, 3);
+        let mut m = FwMatrix::from_costs(RowMajor::new(3), &costs);
+        fw_iterative(&mut m);
+        assert_eq!(raw, m.to_row_major());
+    }
+
+    #[test]
+    fn generic_fallback_on_bdl_matches_row_major() {
+        let costs = vec![
+            0, 7, 2, INF, 0, 3, INF, INF, 0,
+        ];
+        let mut rm = FwMatrix::from_costs(RowMajor::new(3), &costs);
+        fw_iterative(&mut rm);
+        let mut bd = FwMatrix::from_costs(BlockLayout::new(3, 2), &costs);
+        fw_iterative(&mut bd);
+        assert_eq!(rm.to_row_major(), bd.to_row_major());
+    }
+
+    #[test]
+    fn disconnected_stays_inf() {
+        let costs = vec![0, INF, INF, 0];
+        let mut m = FwMatrix::from_costs(RowMajor::new(2), &costs);
+        fw_iterative(&mut m);
+        assert_eq!(m.dist(0, 1), INF);
+        assert_eq!(m.dist(1, 0), INF);
+    }
+
+    #[test]
+    fn single_vertex() {
+        let mut m = FwMatrix::from_costs(RowMajor::new(1), &[0]);
+        fw_iterative(&mut m);
+        assert_eq!(m.dist(0, 0), 0);
+    }
+}

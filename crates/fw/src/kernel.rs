@@ -1,0 +1,263 @@
+//! The FWI kernel (Fig. 2) over strided views, and the view abstraction.
+//!
+//! Every FW variant bottoms out in the same triple loop
+//! `a[i][j] = min(a[i][j], b[i][k] + c[k][j])`. The three arguments may be
+//! the same region, overlapping regions, or disjoint regions of one
+//! storage slice, so the kernel addresses them as `(offset, row-stride)`
+//! descriptors into a single `&mut [Weight]` — in-place semantics exactly
+//! like the paper's C code, with no aliasing gymnastics.
+
+use cachegraph_graph::{Weight, INF};
+use cachegraph_layout::{BlockLayout, Layout, RowMajor, ZMorton};
+
+/// A square sub-matrix described as base offset + row stride into a flat
+/// storage slice.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct View {
+    /// Flat index of element `(0, 0)` of the view.
+    pub offset: usize,
+    /// Distance between consecutive rows.
+    pub stride: usize,
+}
+
+impl View {
+    /// Flat index of `(i, j)` within this view.
+    #[inline(always)]
+    pub fn at(&self, i: usize, j: usize) -> usize {
+        self.offset + i * self.stride + j
+    }
+}
+
+/// Layouts whose aligned `size x size` sub-matrices can be addressed as a
+/// strided view. This is what lets one recursive/tiled code path run over
+/// row-major, BDL, and Z-Morton storage.
+pub trait StridedView: Layout {
+    /// View of the `size x size` sub-matrix whose top-left corner is
+    /// `(r0, c0)` (padded coordinates), or `None` if this layout cannot
+    /// express that region with a single stride.
+    fn view(&self, r0: usize, c0: usize, size: usize) -> Option<View>;
+}
+
+impl StridedView for RowMajor {
+    fn view(&self, r0: usize, c0: usize, size: usize) -> Option<View> {
+        if r0 + size <= self.padded_n() && c0 + size <= self.padded_n() {
+            Some(View { offset: self.index(r0, c0), stride: self.padded_n() })
+        } else {
+            None
+        }
+    }
+}
+
+impl StridedView for BlockLayout {
+    fn view(&self, r0: usize, c0: usize, size: usize) -> Option<View> {
+        let b = self.block();
+        // A single block, tile-aligned: contiguous with stride b.
+        if size == b && r0.is_multiple_of(b) && c0.is_multiple_of(b) && r0 + size <= self.padded_n() && c0 + size <= self.padded_n() {
+            Some(View { offset: self.block_start(r0 / b, c0 / b), stride: b })
+        } else {
+            None
+        }
+    }
+}
+
+impl StridedView for ZMorton {
+    fn view(&self, r0: usize, c0: usize, size: usize) -> Option<View> {
+        let b = self.base();
+        // A single leaf tile, tile-aligned: contiguous with stride b.
+        if size == b && r0.is_multiple_of(b) && c0.is_multiple_of(b) && r0 + size <= self.padded_n() && c0 + size <= self.padded_n() {
+            Some(View { offset: self.index(r0, c0), stride: b })
+        } else {
+            None
+        }
+    }
+}
+
+/// Storage access abstraction: the same FWI/tiled/recursive drivers run
+/// over a plain slice (for real timing) or a traced buffer that replays
+/// each access against the cache simulator (for the miss-count tables).
+pub trait CellAccess {
+    /// Read the cell at flat index `idx`.
+    fn read(&mut self, idx: usize) -> Weight;
+
+    /// Write the cell at flat index `idx`.
+    fn write(&mut self, idx: usize, v: Weight);
+
+    /// FWI(A, B, C) over `size x size` views. The default implementation
+    /// goes cell-by-cell through `read`/`write` (what the traced accessor
+    /// wants); [`SliceAccess`] overrides it with a vectorisation-friendly
+    /// slice kernel — identical operation order, faster address math.
+    fn fwi_block(&mut self, a: View, b: View, c: View, size: usize) {
+        for k in 0..size {
+            for i in 0..size {
+                let bik = self.read(b.at(i, k));
+                if bik == INF {
+                    continue; // min-plus identity: nothing in this row changes
+                }
+                let c_row = c.at(k, 0);
+                let a_row = a.at(i, 0);
+                for j in 0..size {
+                    // Saturating add keeps INF absorbing: INF can never win
+                    // the min, so no INF test is needed on c.
+                    let via = bik.saturating_add(self.read(c_row + j));
+                    let cell = self.read(a_row + j);
+                    if via < cell {
+                        self.write(a_row + j, via);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Direct slice access — zero-cost after monomorphisation.
+pub struct SliceAccess<'a>(pub &'a mut [Weight]);
+
+impl CellAccess for SliceAccess<'_> {
+    #[inline(always)]
+    fn read(&mut self, idx: usize) -> Weight {
+        self.0[idx]
+    }
+
+    #[inline(always)]
+    fn write(&mut self, idx: usize, v: Weight) {
+        self.0[idx] = v;
+    }
+
+    fn fwi_block(&mut self, a: View, b: View, c: View, size: usize) {
+        // Row pairs within/between tiles are either identical or disjoint
+        // (tiles are disjoint contiguous regions; within a tile, distinct
+        // rows are disjoint), so the inner loop can run over plain slices,
+        // which LLVM vectorises.
+        let data = &mut *self.0;
+        for k in 0..size {
+            for i in 0..size {
+                let bik = data[b.at(i, k)];
+                if bik == INF {
+                    continue;
+                }
+                let c_row = c.at(k, 0);
+                let a_row = a.at(i, 0);
+                if a_row == c_row {
+                    // Self-update: element-wise, same index read and write.
+                    let row = &mut data[a_row..a_row + size];
+                    for cell in row {
+                        let via = bik.saturating_add(*cell);
+                        if via < *cell {
+                            *cell = via;
+                        }
+                    }
+                } else {
+                    let (a_slice, c_slice): (&mut [Weight], &[Weight]) = if a_row < c_row {
+                        debug_assert!(a_row + size <= c_row, "rows must not partially overlap");
+                        let (lo, hi) = data.split_at_mut(c_row);
+                        (&mut lo[a_row..a_row + size], &hi[..size])
+                    } else {
+                        debug_assert!(c_row + size <= a_row, "rows must not partially overlap");
+                        let (lo, hi) = data.split_at_mut(a_row);
+                        (&mut hi[..size], &lo[c_row..c_row + size])
+                    };
+                    for (av, &cv) in a_slice.iter_mut().zip(c_slice) {
+                        let via = bik.saturating_add(cv);
+                        if via < *av {
+                            *av = via;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// FWI(A, B, C) of Fig. 2 over `size x size` views through any accessor:
+/// `a[i][j] = min(a[i][j], b[i][k] + c[k][j])` for `k, i, j` in `0..size`.
+///
+/// Views may alias each other in any combination (the clarified A=B, A=C,
+/// A=B=C cases of Appendix A fall out of operating in place on the shared
+/// storage).
+pub fn fwi_access<A: CellAccess>(acc: &mut A, a: View, b: View, c: View, size: usize) {
+    acc.fwi_block(a, b, c, size);
+}
+
+/// [`fwi_access`] over a plain slice.
+pub fn fwi(data: &mut [Weight], a: View, b: View, c: View, size: usize) {
+    fwi_access(&mut SliceAccess(data), a, b, c, size);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_major_views_everywhere() {
+        let l = RowMajor::new(8);
+        let v = l.view(2, 4, 4).expect("row-major always strided");
+        assert_eq!(v.offset, 2 * 8 + 4);
+        assert_eq!(v.stride, 8);
+        assert!(l.view(6, 6, 4).is_none(), "out of range");
+    }
+
+    #[test]
+    fn bdl_views_only_aligned_blocks() {
+        let l = BlockLayout::new(8, 4);
+        let v = l.view(4, 0, 4).expect("aligned block");
+        assert_eq!(v.stride, 4);
+        assert_eq!(v.offset, l.block_start(1, 0));
+        assert!(l.view(2, 0, 4).is_none(), "unaligned");
+        assert!(l.view(0, 0, 8).is_none(), "multi-block");
+    }
+
+    #[test]
+    fn morton_views_only_leaf_tiles() {
+        let l = ZMorton::new(8, 4);
+        let v = l.view(4, 4, 4).expect("leaf tile");
+        assert_eq!(v.stride, 4);
+        assert!(l.view(0, 0, 8).is_none());
+    }
+
+    #[test]
+    fn fwi_disjoint_matches_min_plus_product() {
+        // With A != B != C and A initialized to INF, FWI computes the
+        // min-plus product A = B (*) C.
+        let b = [0u32, 2, 7, 0]; // 2x2
+        let c = [1u32, 3, 5, 0];
+        let mut data = vec![INF; 12];
+        data[4..8].copy_from_slice(&b);
+        data[8..12].copy_from_slice(&c);
+        let va = View { offset: 0, stride: 2 };
+        let vb = View { offset: 4, stride: 2 };
+        let vc = View { offset: 8, stride: 2 };
+        fwi(&mut data, va, vb, vc, 2);
+        // a[0][0] = min(b00+c00, b01+c10) = min(1, 7) = 1
+        // a[0][1] = min(b00+c01, b01+c11) = min(3, 2) = 2
+        // a[1][0] = min(b10+c00, b11+c10) = min(8, 5) = 5
+        // a[1][1] = min(b10+c01, b11+c11) = min(10, 0) = 0
+        assert_eq!(&data[0..4], &[1, 2, 5, 0]);
+    }
+
+    #[test]
+    fn fwi_all_aliased_is_floyd_warshall() {
+        // 3-cycle 0 -> 1 -> 2 -> 0 with weights 1, 2, 4.
+        let mut data = vec![
+            0,
+            1,
+            INF,
+            INF,
+            0,
+            2,
+            4,
+            INF,
+            0,
+        ];
+        let v = View { offset: 0, stride: 3 };
+        fwi(&mut data, v, v, v, 3);
+        assert_eq!(data, vec![0, 1, 3, 6, 0, 2, 4, 5, 0]);
+    }
+
+    #[test]
+    fn fwi_handles_inf_without_overflow() {
+        let mut data = vec![0, INF, INF, 0];
+        let v = View { offset: 0, stride: 2 };
+        fwi(&mut data, v, v, v, 2);
+        assert_eq!(data, vec![0, INF, INF, 0]);
+    }
+}

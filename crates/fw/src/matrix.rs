@@ -1,0 +1,93 @@
+//! The padded distance matrix all FW variants operate on.
+
+use cachegraph_graph::{Weight, INF};
+use cachegraph_layout::{Layout, Matrix};
+
+/// A square min-plus distance matrix in layout `L`, padded as the layout
+/// requires. Padding cells are `INF` with a zero diagonal — isolated
+/// phantom vertices that can never shorten a real path, so computing over
+/// the padded region is harmless (§4.1 discusses this padding).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FwMatrix<L: Layout> {
+    inner: Matrix<Weight, L>,
+}
+
+impl<L: Layout> FwMatrix<L> {
+    /// Build from a row-major `n x n` cost matrix (`INF` = no edge). The
+    /// diagonal is forced to zero, as Floyd-Warshall requires.
+    pub fn from_costs(layout: L, costs: &[Weight]) -> Self {
+        let n = layout.n();
+        assert_eq!(costs.len(), n * n, "cost matrix must be n*n");
+        let mut inner = Matrix::from_row_major(layout, costs, INF);
+        for v in 0..inner.padded_n() {
+            inner.set_padded(v, v, 0);
+        }
+        Self { inner }
+    }
+
+    /// Logical number of vertices.
+    pub fn n(&self) -> usize {
+        self.inner.n()
+    }
+
+    /// Padded dimension the kernels run over.
+    pub fn padded_n(&self) -> usize {
+        self.inner.padded_n()
+    }
+
+    /// The layout.
+    pub fn layout(&self) -> &L {
+        self.inner.layout()
+    }
+
+    /// Distance from `i` to `j` (after running an FW variant).
+    #[inline]
+    pub fn dist(&self, i: usize, j: usize) -> Weight {
+        self.inner.get(i, j)
+    }
+
+    /// The logical distances in row-major order.
+    pub fn to_row_major(&self) -> Vec<Weight> {
+        self.inner.to_row_major()
+    }
+
+    /// Raw storage in layout order (used by the kernels).
+    pub fn storage(&self) -> &[Weight] {
+        self.inner.as_slice()
+    }
+
+    /// Mutable raw storage in layout order.
+    pub fn storage_mut(&mut self) -> &mut [Weight] {
+        self.inner.as_mut_slice()
+    }
+
+    /// Padded-coordinate read (tests / instrumentation).
+    pub fn get_padded(&self, i: usize, j: usize) -> Weight {
+        self.inner.get_padded(i, j)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachegraph_layout::{BlockLayout, RowMajor};
+
+    #[test]
+    fn diagonal_forced_to_zero() {
+        let costs = vec![5, 9, 9, 5]; // non-zero diagonal in the input
+        let m = FwMatrix::from_costs(RowMajor::new(2), &costs);
+        assert_eq!(m.dist(0, 0), 0);
+        assert_eq!(m.dist(1, 1), 0);
+        assert_eq!(m.dist(0, 1), 9);
+    }
+
+    #[test]
+    fn padding_is_inf_with_zero_diag() {
+        let costs = vec![0, 1, INF, 0];
+        let m = FwMatrix::from_costs(BlockLayout::new(2, 3), &costs);
+        assert_eq!(m.padded_n(), 3);
+        assert_eq!(m.get_padded(2, 2), 0);
+        assert_eq!(m.get_padded(0, 2), INF);
+        assert_eq!(m.get_padded(2, 1), INF);
+    }
+}

@@ -1,0 +1,226 @@
+//! Parallel tiled Floyd-Warshall — the parallelisation the paper's
+//! conclusion sketches: "Since computation and data are already decomposed,
+//! what need to be added are computation and data distribution [and]
+//! synchronization".
+//!
+//! Within one block iteration `t` the tiled decomposition has three
+//! phases with a barrier between them:
+//!
+//! 1. the diagonal tile `(t, t)` — inherently sequential;
+//! 2. the rest of row `t` and column `t` — every tile independent, each
+//!    reading only itself and the (now stable) diagonal tile;
+//! 3. all remaining tiles — every tile independent, each reading only
+//!    itself and its (now stable) row-`t` / column-`t` tiles.
+//!
+//! Tiles in phases 2 and 3 are written by exactly one task and read tiles
+//! written only in earlier phases, so tasks are data-race free. Work is
+//! distributed over `crossbeam` scoped threads; the kernel runs over raw
+//! pointers because disjoint mutable tile views of one allocation cannot
+//! be expressed as safe slices.
+
+use cachegraph_graph::{Weight, INF};
+
+use crate::kernel::{StridedView, View};
+use crate::matrix::FwMatrix;
+
+/// Shared storage handle for the scoped worker threads. Soundness
+/// argument: within each parallel phase, every task writes only its own A
+/// tile (disjoint per task) and reads tiles no task writes in that phase.
+#[derive(Clone, Copy)]
+struct SharedStorage {
+    ptr: *mut Weight,
+    len: usize,
+}
+
+unsafe impl Sync for SharedStorage {}
+unsafe impl Send for SharedStorage {}
+
+impl SharedStorage {
+    #[inline(always)]
+    unsafe fn read(&self, idx: usize) -> Weight {
+        debug_assert!(idx < self.len);
+        unsafe { *self.ptr.add(idx) }
+    }
+
+    #[inline(always)]
+    unsafe fn write(&self, idx: usize, v: Weight) {
+        debug_assert!(idx < self.len);
+        unsafe { *self.ptr.add(idx) = v }
+    }
+}
+
+/// FWI over raw storage — same operation order as [`crate::fwi`].
+///
+/// # Safety
+/// The A view must not be concurrently accessed by any other thread, and
+/// the B/C views must not be concurrently written.
+unsafe fn fwi_raw(data: SharedStorage, a: View, b: View, c: View, size: usize) {
+    for k in 0..size {
+        for i in 0..size {
+            let bik = unsafe { data.read(b.at(i, k)) };
+            if bik == INF {
+                continue;
+            }
+            let c_row = c.at(k, 0);
+            let a_row = a.at(i, 0);
+            for j in 0..size {
+                let via = bik.saturating_add(unsafe { data.read(c_row + j) });
+                let idx = a_row + j;
+                if via < unsafe { data.read(idx) } {
+                    unsafe { data.write(idx, via) };
+                }
+            }
+        }
+    }
+}
+
+/// One unit of phase-2/3 work: update tile A using tiles B and C.
+#[derive(Clone, Copy)]
+struct Task {
+    a: View,
+    b: View,
+    c: View,
+}
+
+/// Run `tasks` across `threads` scoped workers.
+fn run_parallel(data: SharedStorage, tasks: &[Task], b: usize, threads: usize) {
+    if tasks.is_empty() {
+        return;
+    }
+    let threads = threads.min(tasks.len()).max(1);
+    if threads == 1 {
+        for t in tasks {
+            // SAFETY: single-threaded here; views disjoint per task by
+            // construction of the tiled decomposition.
+            unsafe { fwi_raw(data, t.a, t.b, t.c, b) };
+        }
+        return;
+    }
+    let chunk = tasks.len().div_ceil(threads);
+    crossbeam::scope(|s| {
+        for slice in tasks.chunks(chunk) {
+            s.spawn(move |_| {
+                for t in slice {
+                    // SAFETY: each task's A tile is written by exactly one
+                    // task in this phase; B/C tiles are only read and are
+                    // not any task's A tile in this phase.
+                    unsafe { fwi_raw(data, t.a, t.b, t.c, b) };
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+/// Parallel tiled Floyd-Warshall with tile size `b` on `threads` threads.
+/// Produces the same result as [`crate::fw_tiled`].
+pub fn fw_tiled_parallel<L: StridedView>(m: &mut FwMatrix<L>, b: usize, threads: usize) {
+    let p = m.padded_n();
+    let n = m.n();
+    assert!(b >= 1 && p.is_multiple_of(b), "padded size {p} must be a multiple of the tile size {b}");
+    assert!(threads >= 1, "need at least one thread");
+    let real_tiles = n.div_ceil(b);
+    let layout = m.layout().clone();
+    let view = |ti: usize, tj: usize| {
+        layout.view(ti * b, tj * b, b).expect("layout must expose aligned bxb tiles")
+    };
+    let storage = m.storage_mut();
+    let data = SharedStorage { ptr: storage.as_mut_ptr(), len: storage.len() };
+
+    let mut phase2 = Vec::new();
+    let mut phase3 = Vec::new();
+    for t in 0..real_tiles {
+        let diag = view(t, t);
+        // Phase 1: sequential diagonal tile.
+        // SAFETY: no other thread is running.
+        unsafe { fwi_raw(data, diag, diag, diag, b) };
+
+        phase2.clear();
+        for j in 0..real_tiles {
+            if j != t {
+                let a = view(t, j);
+                phase2.push(Task { a, b: diag, c: a });
+            }
+        }
+        for i in 0..real_tiles {
+            if i != t {
+                let a = view(i, t);
+                phase2.push(Task { a, b: a, c: diag });
+            }
+        }
+        run_parallel(data, &phase2, b, threads);
+
+        phase3.clear();
+        for i in 0..real_tiles {
+            if i == t {
+                continue;
+            }
+            let bt = view(i, t);
+            for j in 0..real_tiles {
+                if j == t {
+                    continue;
+                }
+                phase3.push(Task { a: view(i, j), b: bt, c: view(t, j) });
+            }
+        }
+        run_parallel(data, &phase3, b, threads);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fw_iterative_slice;
+    use cachegraph_layout::BlockLayout;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_costs(n: usize, density: f64, seed: u64) -> Vec<u32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut costs = vec![INF; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    costs[i * n + j] = 0;
+                } else if rng.gen_bool(density) {
+                    costs[i * n + j] = rng.gen_range(1..100);
+                }
+            }
+        }
+        costs
+    }
+
+    #[test]
+    fn parallel_matches_sequential_baseline() {
+        for n in [8, 17, 32] {
+            let costs = random_costs(n, 0.3, n as u64);
+            let mut expect = costs.clone();
+            fw_iterative_slice(&mut expect, n);
+            for threads in [1, 2, 4] {
+                let mut m = FwMatrix::from_costs(BlockLayout::new(n, 4), &costs);
+                fw_tiled_parallel(&mut m, 4, threads);
+                assert_eq!(m.to_row_major(), expect, "n={n} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_tile_problem() {
+        let costs = random_costs(4, 0.5, 9);
+        let mut expect = costs.clone();
+        fw_iterative_slice(&mut expect, 4);
+        let mut m = FwMatrix::from_costs(BlockLayout::new(4, 4), &costs);
+        fw_tiled_parallel(&mut m, 4, 4);
+        assert_eq!(m.to_row_major(), expect);
+    }
+
+    #[test]
+    fn many_threads_more_than_tasks() {
+        let costs = random_costs(8, 0.4, 2);
+        let mut expect = costs.clone();
+        fw_iterative_slice(&mut expect, 8);
+        let mut m = FwMatrix::from_costs(BlockLayout::new(8, 4), &costs);
+        fw_tiled_parallel(&mut m, 4, 64);
+        assert_eq!(m.to_row_major(), expect);
+    }
+}

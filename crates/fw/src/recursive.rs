@@ -1,0 +1,227 @@
+//! The cache-oblivious recursive implementation FWR (Fig. 3, §3.1.1).
+//!
+//! `FWR(A, B, C)` splits each argument into quadrants and makes eight
+//! recursive calls — the first four walking the matrix from the northwest
+//! to the southeast quadrant, the last four in exactly the reverse order.
+//! This ordering satisfies the extra dependencies Floyd-Warshall has over
+//! matrix multiplication (Claim 1: `k′ ≥ k−1` suffices), which is what
+//! makes the algorithm correct (Theorem 3.1) and traffic-optimal
+//! (Theorems 3.2–3.4: `O(N³/√C)` at every level of the hierarchy, with no
+//! machine-specific tuning).
+//!
+//! Recursion stops at `base x base` sub-problems, where the FWI triple
+//! loop runs. The paper shows (§3.1) that stopping at a base case sized to
+//! the L1 cache — instead of recursing to 1 — cuts the recursion overhead
+//! by `B³` and buys up to another 2x.
+
+use crate::kernel::{fwi_access, CellAccess, SliceAccess, StridedView, View};
+use crate::matrix::FwMatrix;
+
+/// Quadrant coordinates: top-left corner of a square region, in units of
+/// base tiles.
+#[derive(Clone, Copy)]
+struct Quad {
+    r: usize,
+    c: usize,
+}
+
+/// Cache-oblivious recursive Floyd-Warshall with the given base-case size.
+///
+/// Requirements (checked): the padded dimension is `base * 2^k`, and the
+/// layout exposes every aligned `base x base` tile as a strided view —
+/// [`ZMorton::new(n, base)`](cachegraph_layout::ZMorton) satisfies both by
+/// construction and is the layout that matches this access pattern
+/// (§3.1.3); [`RowMajor`](cachegraph_layout::RowMajor) works whenever its
+/// size is `base * 2^k`; [`BlockLayout`](cachegraph_layout::BlockLayout)
+/// works when its block is `base` and blocks-per-side is a power of two.
+///
+/// Sub-problems whose output quadrant lies entirely in the padding region
+/// are skipped (padding is `INF` + zero diagonal and cannot affect real
+/// paths), implementing the padding-skip the paper recommends in §4.1.
+pub fn fw_recursive<L: StridedView>(m: &mut FwMatrix<L>, base: usize) {
+    let layout = m.layout().clone();
+    let n = m.n();
+    run_recursive(&layout, n, &mut SliceAccess(m.storage_mut()), base);
+}
+
+/// Accessor-generic driver behind [`fw_recursive`]; the instrumented
+/// (cache-simulated) variant runs the identical decomposition through a
+/// traced accessor.
+pub fn run_recursive<L: StridedView, A: CellAccess>(layout: &L, n: usize, acc: &mut A, base: usize) {
+    let p = layout.padded_n();
+    assert!(base >= 1 && p.is_multiple_of(base), "padded size {p} must be a multiple of base {base}");
+    let tiles = p / base;
+    assert!(
+        tiles.is_power_of_two(),
+        "padded size / base = {tiles} must be a power of two for halving recursion"
+    );
+    // Tiles that contain at least one real (non-padding) vertex.
+    let real_tiles = n.div_ceil(base);
+    let mut ctx = Ctx { layout: layout.clone(), base, real_tiles };
+    let origin = Quad { r: 0, c: 0 };
+    rec(&mut ctx, acc, origin, origin, origin, tiles);
+}
+
+struct Ctx<L: StridedView> {
+    layout: L,
+    base: usize,
+    real_tiles: usize,
+}
+
+fn rec<L: StridedView, A: CellAccess>(
+    ctx: &mut Ctx<L>,
+    acc: &mut A,
+    a: Quad,
+    b: Quad,
+    c: Quad,
+    size: usize,
+) {
+    // Skip sub-problems that only update padding (A fully past the real
+    // region). B/C fully in padding implies their values are all INF /
+    // zero-diagonal and can never change A, but the cheap test on A
+    // already removes the bulk of the padding work.
+    if a.r >= ctx.real_tiles || a.c >= ctx.real_tiles {
+        return;
+    }
+    if size == 1 {
+        let view = |q: Quad| -> View {
+            ctx.layout
+                .view(q.r * ctx.base, q.c * ctx.base, ctx.base)
+                .expect("layout must expose aligned base tiles")
+        };
+        let (va, vb, vc) = (view(a), view(b), view(c));
+        fwi_access(acc, va, vb, vc, ctx.base);
+        return;
+    }
+    let h = size / 2;
+    let q = |q: Quad, dr: usize, dc: usize| Quad { r: q.r + dr * h, c: q.c + dc * h };
+    // Quadrants: X11 = NW, X12 = NE, X21 = SW, X22 = SE.
+    let (a11, a12, a21, a22) = (q(a, 0, 0), q(a, 0, 1), q(a, 1, 0), q(a, 1, 1));
+    let (b11, b12, b21, b22) = (q(b, 0, 0), q(b, 0, 1), q(b, 1, 0), q(b, 1, 1));
+    let (c11, c12, c21, c22) = (q(c, 0, 0), q(c, 0, 1), q(c, 1, 0), q(c, 1, 1));
+    // The eight calls of Fig. 3: forward sweep ...
+    rec(ctx, acc, a11, b11, c11, h);
+    rec(ctx, acc, a12, b11, c12, h);
+    rec(ctx, acc, a21, b21, c11, h);
+    rec(ctx, acc, a22, b21, c12, h);
+    // ... then the reverse sweep.
+    rec(ctx, acc, a22, b22, c22, h);
+    rec(ctx, acc, a21, b22, c21, h);
+    rec(ctx, acc, a12, b12, c22, h);
+    rec(ctx, acc, a11, b12, c21, h);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iterative::fw_iterative_slice;
+    use cachegraph_graph::INF;
+    use cachegraph_layout::{BlockLayout, RowMajor, ZMorton};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_costs(n: usize, density: f64, seed: u64) -> Vec<u32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut costs = vec![INF; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    costs[i * n + j] = 0;
+                } else if rng.gen_bool(density) {
+                    costs[i * n + j] = rng.gen_range(1..100);
+                }
+            }
+        }
+        costs
+    }
+
+    fn baseline(costs: &[u32], n: usize) -> Vec<u32> {
+        let mut d = costs.to_vec();
+        fw_iterative_slice(&mut d, n);
+        d
+    }
+
+    #[test]
+    fn matches_baseline_on_morton() {
+        for n in [2, 3, 5, 8, 13, 16, 21, 32] {
+            let costs = random_costs(n, 0.3, n as u64);
+            let expect = baseline(&costs, n);
+            for base in [1, 2, 4] {
+                let mut m = FwMatrix::from_costs(ZMorton::new(n, base), &costs);
+                fw_recursive(&mut m, base);
+                assert_eq!(m.to_row_major(), expect, "n={n} base={base}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_baseline_on_row_major_pow2() {
+        for n in [4, 8, 16] {
+            let costs = random_costs(n, 0.35, 50 + n as u64);
+            let expect = baseline(&costs, n);
+            for base in [1, 2, 4] {
+                let mut m = FwMatrix::from_costs(RowMajor::new(n), &costs);
+                fw_recursive(&mut m, base);
+                assert_eq!(m.to_row_major(), expect, "n={n} base={base}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_baseline_on_bdl_pow2_blocks() {
+        let n = 13; // pads to 16 with b = 4 -> 4 tiles per side (pow2)
+        let costs = random_costs(n, 0.3, 77);
+        let expect = baseline(&costs, n);
+        let mut m = FwMatrix::from_costs(BlockLayout::new(n, 4), &costs);
+        fw_recursive(&mut m, 4);
+        assert_eq!(m.to_row_major(), expect);
+    }
+
+    #[test]
+    fn full_recursion_base_one_equals_tuned_base() {
+        let n = 16;
+        let costs = random_costs(n, 0.4, 5);
+        let mut full = FwMatrix::from_costs(ZMorton::new(n, 1), &costs);
+        fw_recursive(&mut full, 1);
+        let mut tuned = FwMatrix::from_costs(ZMorton::new(n, 8), &costs);
+        fw_recursive(&mut tuned, 8);
+        assert_eq!(full.to_row_major(), tuned.to_row_major());
+    }
+
+    #[test]
+    fn negative_free_cycles_keep_diagonal_zero() {
+        let n = 8;
+        let costs = random_costs(n, 0.8, 11);
+        let mut m = FwMatrix::from_costs(ZMorton::new(n, 2), &costs);
+        fw_recursive(&mut m, 2);
+        for v in 0..n {
+            assert_eq!(m.dist(v, v), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_pow2_tile_grid() {
+        let costs = random_costs(12, 0.5, 1);
+        let mut m = FwMatrix::from_costs(RowMajor::new(12), &costs);
+        fw_recursive(&mut m, 4); // 3 tiles per side
+    }
+
+    #[test]
+    fn triangle_inequality_holds_everywhere() {
+        let n = 24;
+        let costs = random_costs(n, 0.2, 42);
+        let mut m = FwMatrix::from_costs(ZMorton::new(n, 4), &costs);
+        fw_recursive(&mut m, 4);
+        let d = m.to_row_major();
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    let direct = d[i * n + j];
+                    let via = d[i * n + k].saturating_add(d[k * n + j]);
+                    assert!(direct <= via, "({i},{j}) via {k}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! The tiled implementation (Fig. 4, §3.1.2).
+//!
+//! Correctness comes from the special case of Claim 1 with
+//! `k−1 ≤ k′ ≤ k+B−1`: during block iteration `b`, first the diagonal tile
+//! `(b, b)` is brought fully up to date (self-dependent FWI), then the rest
+//! of row `b` and column `b` (each depends on the diagonal tile), then all
+//! remaining tiles (each depends on its row-`b` and column-`b` tiles).
+
+use crate::kernel::{fwi_access, CellAccess, SliceAccess, StridedView};
+use crate::matrix::FwMatrix;
+
+/// Tiled Floyd-Warshall with tile size `b`. The padded dimension must be a
+/// multiple of `b`, and the layout must expose every aligned `b x b` tile
+/// as a strided view (true for [`RowMajor`](cachegraph_layout::RowMajor)
+/// with any `b`, and for [`BlockLayout`](cachegraph_layout::BlockLayout) /
+/// [`ZMorton`](cachegraph_layout::ZMorton) when `b` equals their block
+/// size — the "layout matches the access pattern" configuration of §3.1.3).
+///
+/// Tiles lying entirely in the padding region are skipped — the efficient
+/// handling of padding the paper calls for in §4.1. (Padding cells are
+/// `INF` except a zero diagonal, so they can never improve a real path.)
+pub fn fw_tiled<L: StridedView>(m: &mut FwMatrix<L>, b: usize) {
+    let layout = m.layout().clone();
+    let n = m.n();
+    run_tiled(&layout, n, &mut SliceAccess(m.storage_mut()), b);
+}
+
+/// Accessor-generic driver behind [`fw_tiled`]; the instrumented
+/// (cache-simulated) variant runs the identical decomposition through a
+/// traced accessor.
+pub fn run_tiled<L: StridedView, A: CellAccess>(layout: &L, n: usize, acc: &mut A, b: usize) {
+    let p = layout.padded_n();
+    assert!(b >= 1 && p.is_multiple_of(b), "padded size {p} must be a multiple of the tile size {b}");
+    // Number of tile rows/cols that contain at least one real vertex.
+    let real_tiles = n.div_ceil(b);
+    let view = |ti: usize, tj: usize| {
+        layout
+            .view(ti * b, tj * b, b)
+            .expect("layout must expose aligned bxb tiles as strided views")
+    };
+
+    for t in 0..real_tiles {
+        let diag = view(t, t);
+        // Phase 1: the diagonal tile, fully self-dependent.
+        fwi_access(acc, diag, diag, diag, b);
+        // Phase 2: remainder of row t (C = diagonal) and column t (B = diagonal).
+        for j in 0..real_tiles {
+            if j != t {
+                let a = view(t, j);
+                fwi_access(acc, a, diag, a, b);
+            }
+        }
+        for i in 0..real_tiles {
+            if i != t {
+                let a = view(i, t);
+                fwi_access(acc, a, a, diag, b);
+            }
+        }
+        // Phase 3: every remaining tile via its row-t and column-t tiles.
+        for i in 0..real_tiles {
+            if i == t {
+                continue;
+            }
+            let bt = view(i, t);
+            for j in 0..real_tiles {
+                if j == t {
+                    continue;
+                }
+                let a = view(i, j);
+                let ct = view(t, j);
+                fwi_access(acc, a, bt, ct, b);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iterative::fw_iterative_slice;
+    use cachegraph_graph::INF;
+    use cachegraph_layout::{BlockLayout, RowMajor, ZMorton};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_costs(n: usize, density: f64, seed: u64) -> Vec<u32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut costs = vec![INF; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    costs[i * n + j] = 0;
+                } else if rng.gen_bool(density) {
+                    costs[i * n + j] = rng.gen_range(1..100);
+                }
+            }
+        }
+        costs
+    }
+
+    fn baseline(costs: &[u32], n: usize) -> Vec<u32> {
+        let mut d = costs.to_vec();
+        fw_iterative_slice(&mut d, n);
+        d
+    }
+
+    #[test]
+    fn tiled_row_major_matches_baseline() {
+        for n in [4, 7, 8, 16, 23] {
+            let costs = random_costs(n, 0.3, n as u64);
+            let expect = baseline(&costs, n);
+            for b in [1, 2, 4] {
+                // Row-major views exist for any aligned tile only if b
+                // divides the padded dimension; RowMajor has no padding,
+                // so only divisors of n are valid.
+                if n % b != 0 {
+                    continue;
+                }
+                let mut m = FwMatrix::from_costs(RowMajor::new(n), &costs);
+                fw_tiled(&mut m, b);
+                assert_eq!(m.to_row_major(), expect, "n={n} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_bdl_matches_baseline_with_padding() {
+        for n in [5, 9, 16, 30] {
+            let costs = random_costs(n, 0.25, 100 + n as u64);
+            let expect = baseline(&costs, n);
+            for b in [2, 4, 8] {
+                let mut m = FwMatrix::from_costs(BlockLayout::new(n, b), &costs);
+                fw_tiled(&mut m, b);
+                assert_eq!(m.to_row_major(), expect, "n={n} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_morton_matches_baseline() {
+        for n in [6, 12, 16] {
+            let costs = random_costs(n, 0.4, 7 * n as u64);
+            let expect = baseline(&costs, n);
+            let mut m = FwMatrix::from_costs(ZMorton::new(n, 4), &costs);
+            fw_tiled(&mut m, 4);
+            assert_eq!(m.to_row_major(), expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn dense_and_empty_graphs() {
+        let n = 8;
+        let dense = random_costs(n, 1.0, 1);
+        let empty = random_costs(n, 0.0, 2);
+        for costs in [dense, empty] {
+            let expect = baseline(&costs, n);
+            let mut m = FwMatrix::from_costs(BlockLayout::new(n, 4), &costs);
+            fw_tiled(&mut m, 4);
+            assert_eq!(m.to_row_major(), expect);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the tile size")]
+    fn rejects_non_dividing_tile() {
+        let costs = random_costs(6, 0.5, 3);
+        let mut m = FwMatrix::from_costs(RowMajor::new(6), &costs);
+        fw_tiled(&mut m, 4);
+    }
+}

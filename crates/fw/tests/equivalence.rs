@@ -1,0 +1,94 @@
+//! Property tests: every Floyd-Warshall variant, over every layout, must
+//! agree with the iterative row-major baseline on arbitrary graphs.
+
+use cachegraph_fw::{
+    fw_iterative, fw_iterative_slice, fw_recursive, fw_tiled, parallel::fw_tiled_parallel,
+    FwMatrix, INF,
+};
+use cachegraph_layout::{BlockLayout, RowMajor, ZMorton};
+use proptest::prelude::*;
+
+/// Strategy: a random n x n cost matrix with ~`density` edges.
+fn costs_strategy(max_n: usize) -> impl Strategy<Value = (usize, Vec<u32>)> {
+    (2..=max_n).prop_flat_map(|n| {
+        let cells = prop::collection::vec(
+            prop_oneof![3 => Just(INF), 2 => 1u32..100],
+            n * n,
+        );
+        cells.prop_map(move |mut c| {
+            for v in 0..n {
+                c[v * n + v] = 0;
+            }
+            (n, c)
+        })
+    })
+}
+
+fn baseline(costs: &[u32], n: usize) -> Vec<u32> {
+    let mut d = costs.to_vec();
+    fw_iterative_slice(&mut d, n);
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn recursive_morton_matches_baseline((n, costs) in costs_strategy(20), base in 1usize..5) {
+        let expect = baseline(&costs, n);
+        let mut m = FwMatrix::from_costs(ZMorton::new(n, base), &costs);
+        fw_recursive(&mut m, base);
+        prop_assert_eq!(m.to_row_major(), expect);
+    }
+
+    #[test]
+    fn tiled_bdl_matches_baseline((n, costs) in costs_strategy(20), b in 1usize..6) {
+        let expect = baseline(&costs, n);
+        let mut m = FwMatrix::from_costs(BlockLayout::new(n, b), &costs);
+        fw_tiled(&mut m, b);
+        prop_assert_eq!(m.to_row_major(), expect);
+    }
+
+    #[test]
+    fn iterative_layout_generic_matches_baseline((n, costs) in costs_strategy(16), b in 1usize..5) {
+        let expect = baseline(&costs, n);
+        let mut m = FwMatrix::from_costs(BlockLayout::new(n, b), &costs);
+        fw_iterative(&mut m);
+        prop_assert_eq!(m.to_row_major(), expect);
+    }
+
+    #[test]
+    fn parallel_matches_baseline((n, costs) in costs_strategy(16), threads in 1usize..5) {
+        let expect = baseline(&costs, n);
+        let mut m = FwMatrix::from_costs(BlockLayout::new(n, 4), &costs);
+        fw_tiled_parallel(&mut m, 4, threads);
+        prop_assert_eq!(m.to_row_major(), expect);
+    }
+
+    #[test]
+    fn row_major_recursive_matches_baseline(costs in prop::collection::vec(
+        prop_oneof![3 => Just(INF), 2 => 1u32..50], 64), base in 1usize..4) {
+        let n = 8;
+        let mut costs = costs;
+        for v in 0..n {
+            costs[v * n + v] = 0;
+        }
+        let expect = baseline(&costs, n);
+        let mut m = FwMatrix::from_costs(RowMajor::new(n), &costs);
+        // 8 / base tiles must be a power of two: base in {1, 2} works for
+        // n = 8; base 3 pads? RowMajor cannot pad, so restrict.
+        if 8 % base == 0 && (8 / base).is_power_of_two() {
+            fw_recursive(&mut m, base);
+            prop_assert_eq!(m.to_row_major(), expect);
+        }
+    }
+
+    /// Metric closure property: the result must be idempotent — running any
+    /// variant again cannot improve any distance.
+    #[test]
+    fn result_is_a_fixed_point((n, costs) in costs_strategy(14)) {
+        let once = baseline(&costs, n);
+        let twice = baseline(&once, n);
+        prop_assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,117 @@
+//! Structural fidelity test: the recursive implementation must perform
+//! exactly the eight sub-calls of the paper's Fig. 3, in order — the
+//! forward sweep NW→SE and then the reverse sweep SE→NW. The ordering is
+//! the crux of Theorem 3.1's correctness argument, so it is pinned here
+//! independently of the numeric result.
+
+use cachegraph_fw::{run_recursive, CellAccess, View};
+use cachegraph_layout::{Layout, RowMajor};
+
+/// Records the (a, b, c) views of every base-case FWI call.
+struct Recorder {
+    data: Vec<u32>,
+    calls: Vec<(View, View, View, usize)>,
+}
+
+impl CellAccess for Recorder {
+    fn read(&mut self, idx: usize) -> u32 {
+        self.data[idx]
+    }
+
+    fn write(&mut self, idx: usize, v: u32) {
+        self.data[idx] = v;
+    }
+
+    fn fwi_block(&mut self, a: View, b: View, c: View, size: usize) {
+        self.calls.push((a, b, c, size));
+    }
+}
+
+/// Quadrant name for a 2x2-tile row-major matrix (tile size t, dim 2t).
+fn quad(v: View, t: usize, n: usize) -> &'static str {
+    let (r, c) = (v.offset / n, v.offset % n);
+    match (r / t, c / t) {
+        (0, 0) => "11",
+        (0, 1) => "12",
+        (1, 0) => "21",
+        (1, 1) => "22",
+        _ => panic!("not a quadrant corner: offset {}", v.offset),
+    }
+}
+
+#[test]
+fn recursion_performs_the_eight_calls_of_figure_3() {
+    // 2x2 tiles of size 4 over an 8x8 row-major matrix, one recursion level.
+    let n = 8;
+    let t = 4;
+    let layout = RowMajor::new(n);
+    let mut rec = Recorder { data: vec![0; layout.storage_len()], calls: Vec::new() };
+    run_recursive(&layout, n, &mut rec, t);
+
+    let observed: Vec<(String, String, String)> = rec
+        .calls
+        .iter()
+        .map(|&(a, b, c, size)| {
+            assert_eq!(size, t, "base case must run on base-sized tiles");
+            (quad(a, t, n).into(), quad(b, t, n).into(), quad(c, t, n).into())
+        })
+        .collect();
+
+    // Fig. 3, lines 4-11.
+    let expected = [
+        ("11", "11", "11"),
+        ("12", "11", "12"),
+        ("21", "21", "11"),
+        ("22", "21", "12"),
+        ("22", "22", "22"),
+        ("21", "22", "21"),
+        ("12", "12", "22"),
+        ("11", "12", "21"),
+    ];
+    assert_eq!(observed.len(), 8, "exactly eight sub-calls per level");
+    for (i, ((oa, ob, oc), &(ea, eb, ec))) in observed.iter().zip(&expected).enumerate() {
+        assert_eq!(
+            (oa.as_str(), ob.as_str(), oc.as_str()),
+            (ea, eb, ec),
+            "call {i} deviates from Fig. 3"
+        );
+    }
+}
+
+#[test]
+fn two_levels_of_recursion_expand_to_sixty_four_calls() {
+    // 4x4 tiles: each of the 8 calls recurses into 8 more.
+    let n = 16;
+    let t = 4;
+    let layout = RowMajor::new(n);
+    let mut rec = Recorder { data: vec![0; layout.storage_len()], calls: Vec::new() };
+    run_recursive(&layout, n, &mut rec, t);
+    assert_eq!(rec.calls.len(), 64);
+    // First call of the expansion must be the fully-aliased NW base case...
+    let (a, b, c, _) = rec.calls[0];
+    assert_eq!(a, b);
+    assert_eq!(b, c);
+    assert_eq!(a.offset, 0);
+    // ...and the last must be the A11 <- B12 * C21 combination of the
+    // reverse sweep, at the top-left corner again.
+    let (a, b, c, _) = rec.calls[63];
+    assert_eq!(a.offset, 0, "reverse sweep ends at NW");
+    assert_ne!(b.offset, a.offset);
+    assert_ne!(c.offset, a.offset);
+}
+
+#[test]
+fn padding_only_quadrants_are_skipped() {
+    // Logical n = 5 with base 4 pads to 8: the 21/22/12 output quadrants
+    // contain real cells (row/col 4), so only calls whose A-quadrant is
+    // fully padding would be skipped — with real_tiles = 2 none are.
+    let n8 = 8;
+    let layout = RowMajor::new(n8);
+    let mut rec = Recorder { data: vec![0; layout.storage_len()], calls: Vec::new() };
+    run_recursive(&layout, 3, &mut rec, 4); // real_tiles = ceil(3/4) = 1
+    // Only the A11 calls survive: calls 1 and 8 of Fig. 3.
+    assert_eq!(rec.calls.len(), 2);
+    for (a, _, _, _) in &rec.calls {
+        assert_eq!(a.offset, 0, "all surviving calls write the NW quadrant");
+    }
+}

@@ -1,0 +1,136 @@
+//! The dense adjacency-matrix representation.
+//!
+//! `O(N²)` space regardless of density, but perfectly contiguous; the paper
+//! uses it as the natural input of the Floyd-Warshall family and discusses
+//! it (§3.2) as the dense alternative for Dijkstra/Prim.
+
+use crate::traits::{Graph, VertexId, Weight, INF};
+use crate::Edge;
+
+/// Dense `n x n` cost matrix. `INF` marks absent edges; the diagonal is 0.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AdjacencyMatrix {
+    n: usize,
+    weights: Vec<Weight>,
+    num_edges: usize,
+}
+
+impl AdjacencyMatrix {
+    /// An edgeless graph (all `INF` off-diagonal, 0 diagonal).
+    pub fn new(n: usize) -> Self {
+        let mut weights = vec![INF; n * n];
+        for v in 0..n {
+            weights[v * n + v] = 0;
+        }
+        Self { n, weights, num_edges: 0 }
+    }
+
+    /// Build from an edge list (parallel edges keep the minimum weight).
+    pub fn from_edges(n: usize, edges: &[Edge]) -> Self {
+        let mut m = Self::new(n);
+        for e in edges {
+            m.add_edge(e.from, e.to, e.weight);
+        }
+        m
+    }
+
+    /// Insert or relax edge `(u, v)`.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId, w: Weight) {
+        assert!((u as usize) < self.n && (v as usize) < self.n, "edge endpoint out of range");
+        let cell = &mut self.weights[u as usize * self.n + v as usize];
+        if *cell == INF && u != v {
+            self.num_edges += 1;
+        }
+        *cell = (*cell).min(w);
+    }
+
+    /// Weight of edge `(u, v)`; `INF` if absent.
+    #[inline]
+    pub fn weight(&self, u: VertexId, v: VertexId) -> Weight {
+        self.weights[u as usize * self.n + v as usize]
+    }
+
+    /// Row-major cost matrix — the direct input to the Floyd-Warshall
+    /// implementations.
+    pub fn costs(&self) -> &[Weight] {
+        &self.weights
+    }
+}
+
+/// Iterator that scans one matrix row, skipping absent edges.
+pub struct MatrixNeighbors<'a> {
+    row: &'a [Weight],
+    v: usize,
+    j: usize,
+}
+
+impl<'a> Iterator for MatrixNeighbors<'a> {
+    type Item = (VertexId, Weight);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while self.j < self.row.len() {
+            let j = self.j;
+            self.j += 1;
+            if self.row[j] != INF && j != self.v {
+                return Some((j as VertexId, self.row[j]));
+            }
+        }
+        None
+    }
+}
+
+impl Graph for AdjacencyMatrix {
+    type Neighbors<'a> = MatrixNeighbors<'a>;
+
+    fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    fn degree(&self, v: VertexId) -> usize {
+        self.neighbors(v).count()
+    }
+
+    fn neighbors(&self, v: VertexId) -> Self::Neighbors<'_> {
+        let start = v as usize * self.n;
+        MatrixNeighbors { row: &self.weights[start..start + self.n], v: v as usize, j: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_zero_rest_inf() {
+        let m = AdjacencyMatrix::new(3);
+        assert_eq!(m.weight(1, 1), 0);
+        assert_eq!(m.weight(0, 2), INF);
+    }
+
+    #[test]
+    fn parallel_edges_keep_minimum() {
+        let mut m = AdjacencyMatrix::new(2);
+        m.add_edge(0, 1, 9);
+        m.add_edge(0, 1, 4);
+        m.add_edge(0, 1, 6);
+        assert_eq!(m.weight(0, 1), 4);
+        assert_eq!(m.num_edges(), 1);
+    }
+
+    #[test]
+    fn neighbors_skip_inf_and_self() {
+        let m = AdjacencyMatrix::from_edges(4, &[Edge::new(1, 0, 3), Edge::new(1, 3, 7)]);
+        let n: Vec<_> = m.neighbors(1).collect();
+        assert_eq!(n, vec![(0, 3), (3, 7)]);
+    }
+
+    #[test]
+    fn costs_row_major() {
+        let m = AdjacencyMatrix::from_edges(2, &[Edge::new(0, 1, 5)]);
+        assert_eq!(m.costs(), &[0, 5, INF, 0]);
+    }
+}

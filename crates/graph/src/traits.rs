@@ -1,0 +1,38 @@
+//! Core types and the representation-independent [`Graph`] trait.
+
+/// Vertex identifier. The paper's experiments go up to 65 536 vertices,
+/// so `u32` is ample and keeps adjacency structures compact.
+pub type VertexId = u32;
+
+/// Edge weight. Unsigned, as in the paper's shortest-path experiments.
+pub type Weight = u32;
+
+/// "No edge" / "unreachable" marker. Saturating arithmetic keeps the
+/// min-plus algebra closed under this representation.
+pub const INF: Weight = Weight::MAX;
+
+/// Read-only access to a weighted directed graph.
+///
+/// Algorithms in `cachegraph-sssp` and `cachegraph-matching` are generic
+/// over this trait, so the same Dijkstra/Prim/matching code runs over the
+/// pointer-chasing list and the cache-friendly array, isolating the
+/// representation as the only experimental variable — exactly the
+/// comparison the paper makes.
+pub trait Graph {
+    /// Iterator over `(neighbour, weight)` pairs of one vertex.
+    type Neighbors<'a>: Iterator<Item = (VertexId, Weight)> + 'a
+    where
+        Self: 'a;
+
+    /// Number of vertices.
+    fn num_vertices(&self) -> usize;
+
+    /// Number of directed edges (arcs).
+    fn num_edges(&self) -> usize;
+
+    /// Out-degree of `v`.
+    fn degree(&self, v: VertexId) -> usize;
+
+    /// Neighbours of `v` with edge weights.
+    fn neighbors(&self, v: VertexId) -> Self::Neighbors<'_>;
+}

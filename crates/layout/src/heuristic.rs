@@ -1,0 +1,109 @@
+//! Block-size selection heuristic (paper §3.1, Eq. 13).
+//!
+//! The paper's recipe:
+//!
+//! 1. Apply the 2:1 rule of thumb (Hennessy & Patterson): a direct-mapped
+//!    cache of size `N` has about the same miss rate as a 2-way cache of
+//!    size `N/2`. Used in reverse, a cache of associativity `a < 4` behaves
+//!    like a 4-way cache of size `C / 2^(log2(4) - log2(a))`. The working
+//!    set of the tiled Floyd-Warshall is three tiles, so 4-way behaviour is
+//!    what eliminates cross-interference; within a tile, contiguity (BDL)
+//!    eliminates self-interference.
+//! 2. Pick the largest `B` with `3 · B² · d ≤ C_eff` (Eq. 13), `d` the
+//!    element size in bytes.
+//!
+//! The paper stresses that the heuristic gives a *starting estimate* and the
+//! best block size is found experimentally (ATLAS-style search), possibly at
+//! the L2 rather than L1 size — the harness's ablation sweep does exactly
+//! that search.
+
+/// Outcome of the heuristic: the estimate plus the search bounds the paper
+/// recommends sweeping.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockSizeChoice {
+    /// The Eq. 13 estimate for this cache level.
+    pub estimate: usize,
+    /// Lower end of the recommended experimental sweep (half the estimate).
+    pub sweep_min: usize,
+    /// Upper end of the recommended sweep (twice the estimate).
+    pub sweep_max: usize,
+}
+
+/// Size of an equivalent 4-way set-associative cache per the 2:1 rule.
+///
+/// Caches that are already at least 4-way keep their full size; 2-way
+/// counts as half, direct-mapped as a quarter.
+pub fn effective_cache_bytes(cache_bytes: usize, associativity: usize) -> usize {
+    assert!(associativity >= 1);
+    match associativity {
+        1 => cache_bytes / 4,
+        2..=3 => cache_bytes / 2,
+        _ => cache_bytes,
+    }
+}
+
+/// Largest power-of-two `B` satisfying `3 · B² · d ≤ effective cache size`
+/// (powers of two keep the recursive implementation's halving exact and the
+/// BDL padding modest).
+pub fn select_block_size(cache_bytes: usize, associativity: usize, elem_bytes: usize) -> BlockSizeChoice {
+    assert!(elem_bytes >= 1);
+    let c_eff = effective_cache_bytes(cache_bytes, associativity);
+    let mut b = 1usize;
+    while 3 * (b * 2) * (b * 2) * elem_bytes <= c_eff {
+        b *= 2;
+    }
+    BlockSizeChoice { estimate: b, sweep_min: (b / 2).max(1), sweep_max: b * 2 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_to_one_rule() {
+        assert_eq!(effective_cache_bytes(16 * 1024, 4), 16 * 1024);
+        assert_eq!(effective_cache_bytes(16 * 1024, 8), 16 * 1024);
+        assert_eq!(effective_cache_bytes(16 * 1024, 2), 8 * 1024);
+        assert_eq!(effective_cache_bytes(16 * 1024, 1), 4 * 1024);
+    }
+
+    #[test]
+    fn simplescalar_l1_estimate() {
+        // 16 KB 4-way, 4-byte elements: 3·B²·4 ≤ 16384 -> B² ≤ 1365 -> B=32.
+        let c = select_block_size(16 * 1024, 4, 4);
+        assert_eq!(c.estimate, 32);
+        assert_eq!(c.sweep_min, 16);
+        assert_eq!(c.sweep_max, 64);
+    }
+
+    #[test]
+    fn pentium_iii_l1_estimate() {
+        // 32 KB 4-way, 4-byte elements -> B = 32 (64 would need 48 KB).
+        assert_eq!(select_block_size(32 * 1024, 4, 4).estimate, 32);
+    }
+
+    #[test]
+    fn direct_mapped_l2_is_discounted() {
+        // 8 MB direct-mapped behaves like 2 MB 4-way: B = 256 for u32
+        // (3·512²·4 = 3 MB > 2 MB).
+        assert_eq!(select_block_size(8 * 1024 * 1024, 1, 4).estimate, 256);
+    }
+
+    #[test]
+    fn estimate_satisfies_equation() {
+        for (c, a, d) in [(16384, 4, 4), (32768, 4, 8), (1 << 20, 8, 4), (64, 1, 4)] {
+            let b = select_block_size(c, a, d).estimate;
+            let c_eff = effective_cache_bytes(c, a);
+            assert!(3 * b * b * d <= c_eff || b == 1);
+            // Maximality: doubling violates the bound.
+            assert!(3 * (2 * b) * (2 * b) * d > c_eff);
+        }
+    }
+
+    #[test]
+    fn tiny_cache_degenerates_to_one() {
+        let c = select_block_size(16, 1, 8);
+        assert_eq!(c.estimate, 1);
+        assert_eq!(c.sweep_min, 1);
+    }
+}

@@ -1,0 +1,26 @@
+//! Cache-conscious matrix data layouts (paper §3.1.2.2 and §3.1.3).
+//!
+//! The paper's Floyd-Warshall optimizations pair each computation order with
+//! a data layout that matches its access pattern:
+//!
+//! * the iterative baseline uses the usual **row-major** layout;
+//! * the tiled implementation uses the **Block Data Layout** (BDL), a
+//!   two-level mapping that stores each `B x B` tile contiguously, tiles in
+//!   row-major order;
+//! * the recursive (cache-oblivious) implementation uses the **Z-Morton**
+//!   layout, which stores quadrants recursively in NW, NE, SW, SE order
+//!   down to a small tile that is stored row-major.
+//!
+//! All layouts implement the [`Layout`] trait, mapping logical `(i, j)`
+//! coordinates to a flat storage index. [`Matrix`] couples a layout with
+//! storage. The [`heuristic`] module implements the paper's block-size
+//! selection rule (the 2:1 associativity rule of thumb plus `3·B²·d = C`,
+//! Eq. 13).
+
+pub mod heuristic;
+mod layouts;
+mod matrix;
+
+pub use heuristic::{effective_cache_bytes, select_block_size, BlockSizeChoice};
+pub use layouts::{BlockLayout, Layout, RowMajor, ZMorton};
+pub use matrix::Matrix;

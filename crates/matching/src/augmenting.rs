@@ -1,0 +1,279 @@
+//! The augmenting-path matching algorithm (Fig. 8).
+//!
+//! [`find_matching`] is the faithful `FindMatching(G, M)` of the paper:
+//! *while an augmenting path exists, increase `|M|` by one using it* —
+//! each iteration performs one breadth-first search over the alternating
+//! structure (from every free left vertex) and flips the single path it
+//! finds, giving the stated `O(N·E)` running time. This is both the
+//! baseline of §4.4 and the subroutine the cache-friendly implementation
+//! (Fig. 9) calls on sub-problems and on the final global pass.
+//!
+//! [`find_matching_fast`] is a modern single-pass variant (one attempt
+//! per free left vertex, stamp-cleared visit marks). It computes the same
+//! maximum matching with far less work; it is *not* the paper's baseline
+//! — it exists as an extension and as a differential-testing oracle.
+
+use cachegraph_graph::{Graph, VertexId};
+
+use crate::FREE;
+
+/// A matching over `n` vertices: `mate[v]` is `v`'s partner or [`FREE`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Matching {
+    /// Partner per vertex.
+    pub mate: Vec<VertexId>,
+    /// Number of matched edges.
+    pub size: usize,
+}
+
+impl Matching {
+    /// An empty matching over `n` vertices.
+    pub fn empty(n: usize) -> Self {
+        Self { mate: vec![FREE; n], size: 0 }
+    }
+
+    /// True if `v` is not matched.
+    pub fn is_free(&self, v: VertexId) -> bool {
+        self.mate[v as usize] == FREE
+    }
+
+    /// Check structural consistency (symmetry, size) against a graph;
+    /// panics on violation. Used by tests and debug assertions.
+    pub fn assert_valid<G: Graph>(&self, g: &G) {
+        let mut count = 0;
+        for v in 0..self.mate.len() {
+            let m = self.mate[v];
+            if m == FREE {
+                continue;
+            }
+            assert_eq!(self.mate[m as usize], v as u32, "mate not symmetric at {v}");
+            assert!(
+                g.neighbors(v as u32).any(|(u, _)| u == m),
+                "matched pair ({v}, {m}) is not an edge"
+            );
+            count += 1;
+        }
+        assert_eq!(count, self.size * 2, "size does not match mate array");
+    }
+}
+
+/// `FindMatching(G, M)` of Fig. 8: repeat a whole-graph BFS for one
+/// augmenting path and flip it, until no augmenting path exists. Left
+/// vertices are `0..n_left`. Returns the (maximum) matching.
+pub fn find_matching<G: Graph>(g: &G, n_left: usize, initial: Matching) -> Matching {
+    let n = g.num_vertices();
+    assert!(n_left <= n, "left side larger than the graph");
+    assert_eq!(initial.mate.len(), n, "initial matching has wrong size");
+    let mut m = initial;
+    // parent[r] = left vertex from which right vertex r was reached.
+    let mut parent = vec![FREE; n];
+    let mut visited = vec![false; n];
+    let mut queue: Vec<VertexId> = Vec::with_capacity(n_left);
+    loop {
+        // One BFS from ALL free left vertices over alternating paths
+        // (unmatched edges left -> right, matched edges right -> left).
+        visited.fill(false);
+        queue.clear();
+        for (u, &mate) in m.mate.iter().enumerate().take(n_left) {
+            if mate == FREE {
+                visited[u] = true;
+                queue.push(u as VertexId);
+            }
+        }
+        let mut head = 0;
+        let mut endpoint = None;
+        'search: while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            for (r, _) in g.neighbors(u) {
+                if visited[r as usize] {
+                    continue;
+                }
+                visited[r as usize] = true;
+                parent[r as usize] = u;
+                let rm = m.mate[r as usize];
+                if rm == FREE {
+                    endpoint = Some(r);
+                    break 'search;
+                }
+                if !visited[rm as usize] {
+                    visited[rm as usize] = true;
+                    queue.push(rm);
+                }
+            }
+        }
+        let Some(mut right) = endpoint else {
+            break; // no augmenting path: m is maximum
+        };
+        // Flip the alternating path back to its free left origin.
+        loop {
+            let left = parent[right as usize];
+            let next_right = m.mate[left as usize];
+            m.mate[right as usize] = left;
+            m.mate[left as usize] = right;
+            if next_right == FREE {
+                break; // reached the free left endpoint
+            }
+            right = next_right;
+        }
+        m.size += 1;
+    }
+    m
+}
+
+/// Scratch space for [`find_matching_fast`], reused across searches.
+struct Scratch {
+    queue: Vec<VertexId>,
+    parent: Vec<VertexId>,
+    stamp_of: Vec<u32>,
+    stamp: u32,
+}
+
+impl Scratch {
+    fn new(n: usize) -> Self {
+        Self { queue: Vec::new(), parent: vec![FREE; n], stamp_of: vec![0; n], stamp: 0 }
+    }
+}
+
+/// Single-BFS augmentation attempt from `start` for the fast variant.
+fn augment_from<G: Graph>(g: &G, start: VertexId, m: &mut Matching, s: &mut Scratch) -> bool {
+    s.stamp += 1;
+    s.queue.clear();
+    s.queue.push(start);
+    let mut head = 0;
+    while head < s.queue.len() {
+        let u = s.queue[head];
+        head += 1;
+        for (r, _) in g.neighbors(u) {
+            if s.stamp_of[r as usize] == s.stamp {
+                continue;
+            }
+            s.stamp_of[r as usize] = s.stamp;
+            s.parent[r as usize] = u;
+            let rm = m.mate[r as usize];
+            if rm == FREE {
+                let mut right = r;
+                loop {
+                    let left = s.parent[right as usize];
+                    let next_right = m.mate[left as usize];
+                    m.mate[right as usize] = left;
+                    m.mate[left as usize] = right;
+                    if left == start {
+                        break;
+                    }
+                    right = next_right;
+                }
+                m.size += 1;
+                return true;
+            }
+            s.queue.push(rm);
+        }
+    }
+    false
+}
+
+/// Modern one-pass variant: one augmentation attempt per free left vertex
+/// with stamp-cleared marks. One attempt each suffices for maximality
+/// (if no augmenting path exists from a free vertex, later augmentations
+/// cannot create one). Same result as [`find_matching`], much faster —
+/// an extension beyond the paper, also used as a test oracle.
+pub fn find_matching_fast<G: Graph>(g: &G, n_left: usize, initial: Matching) -> Matching {
+    let n = g.num_vertices();
+    assert!(n_left <= n, "left side larger than the graph");
+    assert_eq!(initial.mate.len(), n, "initial matching has wrong size");
+    let mut m = initial;
+    let mut scratch = Scratch::new(n);
+    for u in 0..n_left as VertexId {
+        if m.is_free(u) {
+            augment_from(g, u, &mut m, &mut scratch);
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachegraph_graph::{generators, EdgeListBuilder};
+
+    #[test]
+    fn perfect_matching_on_pairs() {
+        // 0-2, 1-3: a perfect matching exists trivially.
+        let mut b = EdgeListBuilder::new(4);
+        b.add_undirected(0, 2, 1).add_undirected(1, 3, 1);
+        let m = find_matching(&b.build_array(), 2, Matching::empty(4));
+        assert_eq!(m.size, 2);
+        m.assert_valid(&b.build_array());
+    }
+
+    #[test]
+    fn augmenting_path_is_found() {
+        // 0-2, 1-2, 1-3: a greedy pass could match (1,2) and strand 0;
+        // augmentation must reach size 2.
+        let mut b = EdgeListBuilder::new(4);
+        b.add_undirected(1, 2, 1).add_undirected(0, 2, 1).add_undirected(1, 3, 1);
+        let g = b.build_array();
+        let m = find_matching(&g, 2, Matching::empty(4));
+        assert_eq!(m.size, 2);
+        m.assert_valid(&g);
+    }
+
+    #[test]
+    fn star_matches_once() {
+        // Left {0,1,2} all connect only to right 3.
+        let mut b = EdgeListBuilder::new(4);
+        b.add_undirected(0, 3, 1).add_undirected(1, 3, 1).add_undirected(2, 3, 1);
+        let m = find_matching(&b.build_array(), 3, Matching::empty(4));
+        assert_eq!(m.size, 1);
+    }
+
+    #[test]
+    fn empty_graph_empty_matching() {
+        let b = EdgeListBuilder::new(6);
+        let m = find_matching(&b.build_array(), 3, Matching::empty(6));
+        assert_eq!(m.size, 0);
+    }
+
+    #[test]
+    fn starting_matching_is_respected_and_extended() {
+        let mut b = EdgeListBuilder::new(4);
+        b.add_undirected(0, 2, 1).add_undirected(1, 3, 1);
+        let g = b.build_array();
+        // Seed with (0, 2) already matched.
+        let mut seed = Matching::empty(4);
+        seed.mate[0] = 2;
+        seed.mate[2] = 0;
+        seed.size = 1;
+        let m = find_matching(&g, 2, seed);
+        assert_eq!(m.size, 2);
+        assert_eq!(m.mate[0], 2, "seeded pair kept");
+    }
+
+    #[test]
+    fn fast_variant_matches_baseline() {
+        for seed in 0..8 {
+            let b = generators::random_bipartite(60, 0.1, seed);
+            let g = b.build_array();
+            let slow = find_matching(&g, 30, Matching::empty(60));
+            let fast = find_matching_fast(&g, 30, Matching::empty(60));
+            assert_eq!(slow.size, fast.size, "seed {seed}");
+            slow.assert_valid(&g);
+            fast.assert_valid(&g);
+        }
+    }
+
+    #[test]
+    fn random_bipartite_matching_is_maximal() {
+        let b = generators::random_bipartite(40, 0.15, 9);
+        let g = b.build_array();
+        let m = find_matching(&g, 20, Matching::empty(40));
+        m.assert_valid(&g);
+        // Maximality (weaker than maximum): no edge joins two free vertices.
+        for e in b.edges() {
+            assert!(
+                !(m.is_free(e.from) && m.is_free(e.to)),
+                "edge {e:?} joins two free vertices"
+            );
+        }
+    }
+}

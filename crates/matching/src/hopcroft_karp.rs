@@ -1,0 +1,117 @@
+//! Hopcroft-Karp maximum bipartite matching — an independent `O(E·√V)`
+//! oracle used to validate the augmenting-path implementations.
+
+use cachegraph_graph::{Graph, VertexId};
+
+use crate::augmenting::Matching;
+use crate::FREE;
+
+const INF_DIST: u32 = u32::MAX;
+
+/// Hopcroft-Karp over the crate's bipartite convention (left `0..n_left`).
+pub fn hopcroft_karp<G: Graph>(g: &G, n_left: usize) -> Matching {
+    let n = g.num_vertices();
+    let mut m = Matching::empty(n);
+    let mut dist = vec![INF_DIST; n_left];
+    let mut queue: Vec<VertexId> = Vec::with_capacity(n_left);
+
+    loop {
+        // BFS phase: layer the free left vertices.
+        queue.clear();
+        for (u, d) in dist.iter_mut().enumerate().take(n_left) {
+            if m.mate[u] == FREE {
+                *d = 0;
+                queue.push(u as VertexId);
+            } else {
+                *d = INF_DIST;
+            }
+        }
+        let mut found_free_right = false;
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            for (r, _) in g.neighbors(u) {
+                let rm = m.mate[r as usize];
+                if rm == FREE {
+                    found_free_right = true;
+                } else if dist[rm as usize] == INF_DIST {
+                    dist[rm as usize] = dist[u as usize] + 1;
+                    queue.push(rm);
+                }
+            }
+        }
+        if !found_free_right {
+            break;
+        }
+        // DFS phase: vertex-disjoint shortest augmenting paths.
+        for u in 0..n_left as VertexId {
+            if m.mate[u as usize] == FREE {
+                dfs(g, u, &mut m, &mut dist);
+            }
+        }
+    }
+    m.recount(n_left);
+    m
+}
+
+fn dfs<G: Graph>(g: &G, u: VertexId, m: &mut Matching, dist: &mut [u32]) -> bool {
+    for (r, _) in g.neighbors(u) {
+        let rm = m.mate[r as usize];
+        let advance = if rm == FREE {
+            true
+        } else { dist[rm as usize] == dist[u as usize] + 1 && dfs(g, rm, m, dist) };
+        if advance {
+            m.mate[u as usize] = r;
+            m.mate[r as usize] = u;
+            return true;
+        }
+    }
+    dist[u as usize] = INF_DIST; // dead end: prune for this phase
+    false
+}
+
+// `hopcroft_karp` mutates mates directly; the size is recomputed once at
+// the end rather than tracked per augmentation.
+impl Matching {
+    /// Recount `size` from the mate array (left-side pairs).
+    pub(crate) fn recount(&mut self, n_left: usize) {
+        self.size = self.mate[..n_left].iter().filter(|&&x| x != FREE).count();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::find_matching;
+    use cachegraph_graph::{generators, EdgeListBuilder};
+
+    #[test]
+    fn perfect_matching_found() {
+        let mut b = EdgeListBuilder::new(6);
+        b.add_undirected(0, 3, 1)
+            .add_undirected(0, 4, 1)
+            .add_undirected(1, 3, 1)
+            .add_undirected(2, 5, 1)
+            .add_undirected(1, 5, 1);
+        let m = hopcroft_karp(&b.build_array(), 3);
+        assert_eq!(m.size, 3);
+    }
+
+    #[test]
+    fn agrees_with_augmenting_path_on_random_graphs() {
+        for seed in 0..8 {
+            let b = generators::random_bipartite(60, 0.08, seed);
+            let g = b.build_array();
+            let hk = hopcroft_karp(&g, 30);
+            let ap = find_matching(&g, 30, Matching::empty(60));
+            assert_eq!(hk.size, ap.size, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let b = EdgeListBuilder::new(4);
+        assert_eq!(hopcroft_karp(&b.build_array(), 2).size, 0);
+    }
+}

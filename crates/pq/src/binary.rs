@@ -1,0 +1,188 @@
+//! Indexed binary heap: array heap plus a position map for decrease-key.
+
+use crate::{DecreaseKeyQueue, Item, Key};
+
+/// Position-map sentinels.
+const ABSENT: u32 = u32::MAX;
+const CONSUMED: u32 = u32::MAX - 1;
+
+/// The classic implicit binary min-heap with an item → slot index, giving
+/// `O(log n)` insert / extract-min / decrease-key. This is the baseline
+/// queue for all Dijkstra/Prim experiments.
+#[derive(Clone, Debug)]
+pub struct IndexedBinaryHeap {
+    /// `(key, item)` pairs in heap order.
+    slots: Vec<(Key, Item)>,
+    /// `pos[item]` = slot index, or a sentinel.
+    pos: Vec<u32>,
+}
+
+impl IndexedBinaryHeap {
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.slots[parent].0 <= self.slots[i].0 {
+                break;
+            }
+            self.swap_slots(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.slots.len();
+        loop {
+            let l = 2 * i + 1;
+            if l >= n {
+                break;
+            }
+            let r = l + 1;
+            let child = if r < n && self.slots[r].0 < self.slots[l].0 { r } else { l };
+            if self.slots[i].0 <= self.slots[child].0 {
+                break;
+            }
+            self.swap_slots(i, child);
+            i = child;
+        }
+    }
+
+    #[inline]
+    fn swap_slots(&mut self, a: usize, b: usize) {
+        self.slots.swap(a, b);
+        self.pos[self.slots[a].1 as usize] = a as u32;
+        self.pos[self.slots[b].1 as usize] = b as u32;
+    }
+}
+
+impl DecreaseKeyQueue for IndexedBinaryHeap {
+    fn with_capacity(capacity: usize) -> Self {
+        Self { slots: Vec::with_capacity(capacity), pos: vec![ABSENT; capacity] }
+    }
+
+    fn insert(&mut self, item: Item, key: Key) {
+        assert_eq!(self.pos[item as usize], ABSENT, "item {item} inserted twice");
+        let i = self.slots.len();
+        self.slots.push((key, item));
+        self.pos[item as usize] = i as u32;
+        self.sift_up(i);
+    }
+
+    fn extract_min(&mut self) -> Option<(Item, Key)> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let (key, item) = self.slots[0];
+        self.pos[item as usize] = CONSUMED;
+        let last = self.slots.pop().expect("non-empty");
+        if !self.slots.is_empty() {
+            self.slots[0] = last;
+            self.pos[last.1 as usize] = 0;
+            self.sift_down(0);
+        }
+        Some((item, key))
+    }
+
+    fn decrease_key(&mut self, item: Item, new_key: Key) -> bool {
+        let p = self.pos[item as usize];
+        if p == ABSENT || p == CONSUMED {
+            return false;
+        }
+        let i = p as usize;
+        if self.slots[i].0 <= new_key {
+            return false;
+        }
+        self.slots[i].0 = new_key;
+        self.sift_up(i);
+        true
+    }
+
+    fn key_of(&self, item: Item) -> Option<Key> {
+        let p = self.pos[item as usize];
+        if p == ABSENT || p == CONSUMED {
+            None
+        } else {
+            Some(self.slots[p as usize].0)
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_in_key_order() {
+        let mut h = IndexedBinaryHeap::with_capacity(5);
+        for (i, k) in [(0u32, 50u32), (1, 10), (2, 30), (3, 20), (4, 40)] {
+            h.insert(i, k);
+        }
+        let mut out = Vec::new();
+        while let Some((_, k)) = h.extract_min() {
+            out.push(k);
+        }
+        assert_eq!(out, vec![10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn decrease_key_promotes() {
+        let mut h = IndexedBinaryHeap::with_capacity(3);
+        h.insert(0, 100);
+        h.insert(1, 50);
+        h.insert(2, 75);
+        assert!(h.decrease_key(0, 1));
+        assert_eq!(h.extract_min(), Some((0, 1)));
+    }
+
+    #[test]
+    fn decrease_key_rejects_increase_and_absent() {
+        let mut h = IndexedBinaryHeap::with_capacity(3);
+        h.insert(0, 10);
+        assert!(!h.decrease_key(0, 10));
+        assert!(!h.decrease_key(0, 20));
+        assert!(!h.decrease_key(1, 5)); // never inserted
+        h.extract_min();
+        assert!(!h.decrease_key(0, 5)); // consumed
+    }
+
+    #[test]
+    fn key_of_tracks_state() {
+        let mut h = IndexedBinaryHeap::with_capacity(2);
+        assert_eq!(h.key_of(0), None);
+        h.insert(0, 9);
+        assert_eq!(h.key_of(0), Some(9));
+        h.decrease_key(0, 3);
+        assert_eq!(h.key_of(0), Some(3));
+        h.extract_min();
+        assert_eq!(h.key_of(0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "inserted twice")]
+    fn double_insert_panics() {
+        let mut h = IndexedBinaryHeap::with_capacity(2);
+        h.insert(0, 1);
+        h.insert(0, 2);
+    }
+
+    #[test]
+    fn empty_extract_is_none() {
+        let mut h = IndexedBinaryHeap::with_capacity(1);
+        assert_eq!(h.extract_min(), None);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn duplicate_keys_all_come_out() {
+        let mut h = IndexedBinaryHeap::with_capacity(4);
+        for i in 0..4 {
+            h.insert(i, 7);
+        }
+        let mut items: Vec<_> = std::iter::from_fn(|| h.extract_min()).map(|(i, _)| i).collect();
+        items.sort_unstable();
+        assert_eq!(items, vec![0, 1, 2, 3]);
+    }
+}

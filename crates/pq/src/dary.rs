@@ -1,0 +1,165 @@
+//! D-ary heap: an indexed heap with fan-out `D`.
+//!
+//! A wider node packs siblings into fewer cache lines and shortens the
+//! tree, trading cheaper decrease-keys (shorter sift-up paths) for more
+//! comparisons per sift-down level — the classic cache-conscious heap
+//! variant, included for the ablation sweep over queue structures.
+
+use crate::{DecreaseKeyQueue, Item, Key};
+
+const ABSENT: u32 = u32::MAX;
+const CONSUMED: u32 = u32::MAX - 1;
+
+/// Implicit `D`-ary min-heap with a position map. `D = 2` replicates
+/// [`IndexedBinaryHeap`](crate::IndexedBinaryHeap); `D = 4` or `8` fits a
+/// node's children into one or two cache lines.
+#[derive(Clone, Debug)]
+pub struct DAryHeap<const D: usize> {
+    slots: Vec<(Key, Item)>,
+    pos: Vec<u32>,
+}
+
+impl<const D: usize> DAryHeap<D> {
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / D;
+            if self.slots[parent].0 <= self.slots[i].0 {
+                break;
+            }
+            self.swap_slots(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.slots.len();
+        loop {
+            let first = D * i + 1;
+            if first >= n {
+                break;
+            }
+            let last = (first + D).min(n);
+            let mut child = first;
+            for c in first + 1..last {
+                if self.slots[c].0 < self.slots[child].0 {
+                    child = c;
+                }
+            }
+            if self.slots[i].0 <= self.slots[child].0 {
+                break;
+            }
+            self.swap_slots(i, child);
+            i = child;
+        }
+    }
+
+    #[inline]
+    fn swap_slots(&mut self, a: usize, b: usize) {
+        self.slots.swap(a, b);
+        self.pos[self.slots[a].1 as usize] = a as u32;
+        self.pos[self.slots[b].1 as usize] = b as u32;
+    }
+}
+
+impl<const D: usize> DecreaseKeyQueue for DAryHeap<D> {
+    fn with_capacity(capacity: usize) -> Self {
+        assert!(D >= 2, "fan-out must be at least 2");
+        Self { slots: Vec::with_capacity(capacity), pos: vec![ABSENT; capacity] }
+    }
+
+    fn insert(&mut self, item: Item, key: Key) {
+        assert_eq!(self.pos[item as usize], ABSENT, "item {item} inserted twice");
+        let i = self.slots.len();
+        self.slots.push((key, item));
+        self.pos[item as usize] = i as u32;
+        self.sift_up(i);
+    }
+
+    fn extract_min(&mut self) -> Option<(Item, Key)> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let (key, item) = self.slots[0];
+        self.pos[item as usize] = CONSUMED;
+        let last = self.slots.pop().expect("non-empty");
+        if !self.slots.is_empty() {
+            self.slots[0] = last;
+            self.pos[last.1 as usize] = 0;
+            self.sift_down(0);
+        }
+        Some((item, key))
+    }
+
+    fn decrease_key(&mut self, item: Item, new_key: Key) -> bool {
+        let p = self.pos[item as usize];
+        if p == ABSENT || p == CONSUMED {
+            return false;
+        }
+        let i = p as usize;
+        if self.slots[i].0 <= new_key {
+            return false;
+        }
+        self.slots[i].0 = new_key;
+        self.sift_up(i);
+        true
+    }
+
+    fn key_of(&self, item: Item) -> Option<Key> {
+        let p = self.pos[item as usize];
+        if p == ABSENT || p == CONSUMED {
+            None
+        } else {
+            Some(self.slots[p as usize].0)
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn heapsort<const D: usize>(keys: &[Key]) -> Vec<Key> {
+        let mut h = DAryHeap::<D>::with_capacity(keys.len());
+        for (i, &k) in keys.iter().enumerate() {
+            h.insert(i as Item, k);
+        }
+        std::iter::from_fn(|| h.extract_min()).map(|(_, k)| k).collect()
+    }
+
+    #[test]
+    fn sorts_for_various_fanouts() {
+        let keys = [9u32, 1, 8, 2, 7, 3, 6, 4, 5, 0, 10, 11, 2];
+        let mut expect = keys.to_vec();
+        expect.sort_unstable();
+        assert_eq!(heapsort::<2>(&keys), expect);
+        assert_eq!(heapsort::<3>(&keys), expect);
+        assert_eq!(heapsort::<4>(&keys), expect);
+        assert_eq!(heapsort::<8>(&keys), expect);
+    }
+
+    #[test]
+    fn decrease_key_works_wide() {
+        let mut h = DAryHeap::<4>::with_capacity(16);
+        for i in 0..16 {
+            h.insert(i, 100 + i);
+        }
+        assert!(h.decrease_key(15, 1));
+        assert_eq!(h.extract_min(), Some((15, 1)));
+        assert_eq!(h.extract_min(), Some((0, 100)));
+    }
+
+    #[test]
+    fn len_tracks_operations() {
+        let mut h = DAryHeap::<4>::with_capacity(4);
+        assert_eq!(h.len(), 0);
+        h.insert(0, 5);
+        h.insert(1, 6);
+        assert_eq!(h.len(), 2);
+        h.extract_min();
+        assert_eq!(h.len(), 1);
+    }
+}

@@ -1,0 +1,335 @@
+//! Fibonacci heap (CLRS construction) on an index arena.
+//!
+//! Asymptotically optimal for Dijkstra/Prim — `O(1)` amortised decrease-key
+//! — but, as the paper notes (§2), "the large constant factors present in
+//! the Fibonacci heap caused it to perform very poorly" in practice. It is
+//! here so that claim can be measured rather than taken on faith.
+
+use crate::{DecreaseKeyQueue, Item, Key};
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Clone, Copy, Debug)]
+struct Node {
+    key: Key,
+    item: Item,
+    parent: u32,
+    child: u32,
+    /// Circular doubly-linked sibling list.
+    left: u32,
+    right: u32,
+    degree: u32,
+    mark: bool,
+    in_heap: bool,
+}
+
+/// Arena-backed Fibonacci min-heap.
+#[derive(Clone, Debug)]
+pub struct FibonacciHeap {
+    nodes: Vec<Node>,
+    /// `handle[item]` = arena index, or `NIL`.
+    handle: Vec<u32>,
+    min: u32,
+    len: usize,
+}
+
+impl FibonacciHeap {
+    /// Splice node `x` into the circular list containing `at` (after `at`).
+    fn splice_after(&mut self, at: u32, x: u32) {
+        let next = self.nodes[at as usize].right;
+        self.nodes[x as usize].left = at;
+        self.nodes[x as usize].right = next;
+        self.nodes[at as usize].right = x;
+        self.nodes[next as usize].left = x;
+    }
+
+    /// Unlink `x` from its sibling list (leaves x's own pointers dangling).
+    fn unlink(&mut self, x: u32) {
+        let l = self.nodes[x as usize].left;
+        let r = self.nodes[x as usize].right;
+        self.nodes[l as usize].right = r;
+        self.nodes[r as usize].left = l;
+    }
+
+    /// Make `x` a singleton circular list.
+    fn make_singleton(&mut self, x: u32) {
+        self.nodes[x as usize].left = x;
+        self.nodes[x as usize].right = x;
+    }
+
+    /// Add `x` to the root list and update the min pointer.
+    fn add_root(&mut self, x: u32) {
+        self.nodes[x as usize].parent = NIL;
+        self.nodes[x as usize].mark = false;
+        if self.min == NIL {
+            self.make_singleton(x);
+            self.min = x;
+        } else {
+            self.splice_after(self.min, x);
+            if self.nodes[x as usize].key < self.nodes[self.min as usize].key {
+                self.min = x;
+            }
+        }
+    }
+
+    /// Link root `y` under root `x` (CLRS `FIB-HEAP-LINK`).
+    fn link(&mut self, y: u32, x: u32) {
+        self.unlink(y);
+        self.nodes[y as usize].parent = x;
+        self.nodes[y as usize].mark = false;
+        let child = self.nodes[x as usize].child;
+        if child == NIL {
+            self.make_singleton(y);
+            self.nodes[x as usize].child = y;
+        } else {
+            self.splice_after(child, y);
+        }
+        self.nodes[x as usize].degree += 1;
+    }
+
+    /// Consolidate the root list so no two roots share a degree.
+    fn consolidate(&mut self) {
+        if self.min == NIL {
+            return;
+        }
+        // Collect current roots first; the list is rewired during linking.
+        let mut roots = Vec::new();
+        let start = self.min;
+        let mut cur = start;
+        loop {
+            roots.push(cur);
+            cur = self.nodes[cur as usize].right;
+            if cur == start {
+                break;
+            }
+        }
+        // Degree table big enough for n <= 2^64.
+        let mut by_degree = [NIL; 64];
+        for mut x in roots {
+            let mut d = self.nodes[x as usize].degree as usize;
+            while by_degree[d] != NIL {
+                let mut y = by_degree[d];
+                if self.nodes[y as usize].key < self.nodes[x as usize].key {
+                    std::mem::swap(&mut x, &mut y);
+                }
+                self.link(y, x);
+                by_degree[d] = NIL;
+                d += 1;
+            }
+            by_degree[d] = x;
+        }
+        // Rebuild the root list and min pointer from the degree table.
+        self.min = NIL;
+        for x in by_degree.into_iter().filter(|&x| x != NIL) {
+            if self.min == NIL {
+                self.make_singleton(x);
+                self.nodes[x as usize].parent = NIL;
+                self.min = x;
+            } else {
+                self.make_singleton(x);
+                self.add_root(x);
+            }
+        }
+    }
+
+    /// Cut `x` from its parent and move it to the root list.
+    fn cut(&mut self, x: u32, parent: u32) {
+        if self.nodes[parent as usize].child == x {
+            let r = self.nodes[x as usize].right;
+            self.nodes[parent as usize].child = if r == x { NIL } else { r };
+        }
+        self.unlink(x);
+        self.nodes[parent as usize].degree -= 1;
+        self.add_root(x);
+    }
+
+    fn cascading_cut(&mut self, mut y: u32) {
+        loop {
+            let z = self.nodes[y as usize].parent;
+            if z == NIL {
+                return;
+            }
+            if !self.nodes[y as usize].mark {
+                self.nodes[y as usize].mark = true;
+                return;
+            }
+            self.cut(y, z);
+            y = z;
+        }
+    }
+}
+
+impl DecreaseKeyQueue for FibonacciHeap {
+    fn with_capacity(capacity: usize) -> Self {
+        Self {
+            nodes: Vec::with_capacity(capacity),
+            handle: vec![NIL; capacity],
+            min: NIL,
+            len: 0,
+        }
+    }
+
+    fn insert(&mut self, item: Item, key: Key) {
+        assert_eq!(self.handle[item as usize], NIL, "item {item} inserted twice");
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(Node {
+            key,
+            item,
+            parent: NIL,
+            child: NIL,
+            left: idx,
+            right: idx,
+            degree: 0,
+            mark: false,
+            in_heap: true,
+        });
+        self.handle[item as usize] = idx;
+        self.add_root(idx);
+        self.len += 1;
+    }
+
+    fn extract_min(&mut self) -> Option<(Item, Key)> {
+        if self.min == NIL {
+            return None;
+        }
+        let z = self.min;
+        // Promote children to roots.
+        let child = self.nodes[z as usize].child;
+        if child != NIL {
+            let mut kids = Vec::new();
+            let mut c = child;
+            loop {
+                kids.push(c);
+                c = self.nodes[c as usize].right;
+                if c == child {
+                    break;
+                }
+            }
+            for k in kids {
+                self.unlink(k);
+                self.make_singleton(k);
+                self.add_root(k);
+            }
+            self.nodes[z as usize].child = NIL;
+        }
+        // Remove z from the root list.
+        let right = self.nodes[z as usize].right;
+        self.unlink(z);
+        if right == z {
+            self.min = NIL;
+        } else {
+            self.min = right;
+            self.consolidate();
+        }
+        self.nodes[z as usize].in_heap = false;
+        self.len -= 1;
+        Some((self.nodes[z as usize].item, self.nodes[z as usize].key))
+    }
+
+    fn decrease_key(&mut self, item: Item, new_key: Key) -> bool {
+        let x = self.handle[item as usize];
+        if x == NIL || !self.nodes[x as usize].in_heap {
+            return false;
+        }
+        if self.nodes[x as usize].key <= new_key {
+            return false;
+        }
+        self.nodes[x as usize].key = new_key;
+        let parent = self.nodes[x as usize].parent;
+        if parent != NIL && new_key < self.nodes[parent as usize].key {
+            self.cut(x, parent);
+            self.cascading_cut(parent);
+        }
+        if new_key < self.nodes[self.min as usize].key {
+            self.min = x;
+        }
+        true
+    }
+
+    fn key_of(&self, item: Item) -> Option<Key> {
+        let x = self.handle[item as usize];
+        if x == NIL || !self.nodes[x as usize].in_heap {
+            None
+        } else {
+            Some(self.nodes[x as usize].key)
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts() {
+        let keys = [42u32, 7, 19, 3, 3, 99, 0, 55, 23, 8];
+        let mut h = FibonacciHeap::with_capacity(keys.len());
+        for (i, &k) in keys.iter().enumerate() {
+            h.insert(i as Item, k);
+        }
+        let out: Vec<Key> = std::iter::from_fn(|| h.extract_min()).map(|(_, k)| k).collect();
+        let mut expect = keys.to_vec();
+        expect.sort_unstable();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn decrease_key_cuts_and_promotes() {
+        let mut h = FibonacciHeap::with_capacity(10);
+        for i in 0..10 {
+            h.insert(i, 100 + i);
+        }
+        // Force consolidation so trees exist.
+        assert_eq!(h.extract_min(), Some((0, 100)));
+        assert!(h.decrease_key(9, 1));
+        assert_eq!(h.extract_min(), Some((9, 1)));
+        assert!(h.decrease_key(5, 2));
+        assert!(h.decrease_key(7, 3));
+        assert_eq!(h.extract_min(), Some((5, 2)));
+        assert_eq!(h.extract_min(), Some((7, 3)));
+        assert_eq!(h.extract_min(), Some((1, 101)));
+    }
+
+    #[test]
+    fn cascading_cuts_preserve_order() {
+        // Interleave decreases and extracts to exercise marks.
+        let mut h = FibonacciHeap::with_capacity(64);
+        for i in 0..64 {
+            h.insert(i, 1000 + i);
+        }
+        h.extract_min(); // consolidate
+        for i in (40..64).rev() {
+            assert!(h.decrease_key(i, i - 40));
+        }
+        let mut prev = 0;
+        for _ in 0..24 {
+            let (_, k) = h.extract_min().expect("non-empty");
+            assert!(k >= prev);
+            prev = k;
+        }
+    }
+
+    #[test]
+    fn rejects_bad_decrease() {
+        let mut h = FibonacciHeap::with_capacity(2);
+        h.insert(0, 10);
+        assert!(!h.decrease_key(0, 11));
+        assert!(!h.decrease_key(1, 1));
+        h.extract_min();
+        assert!(!h.decrease_key(0, 1));
+    }
+
+    #[test]
+    fn key_of_reflects_decreases() {
+        let mut h = FibonacciHeap::with_capacity(2);
+        h.insert(1, 20);
+        assert_eq!(h.key_of(1), Some(20));
+        h.decrease_key(1, 5);
+        assert_eq!(h.key_of(1), Some(5));
+        assert_eq!(h.key_of(0), None);
+    }
+}

@@ -1,0 +1,84 @@
+//! Priority queues supporting the Update (decrease-key) operation.
+//!
+//! Dijkstra's and Prim's algorithms perform `O(N)` Extract-Mins and `O(E)`
+//! Updates (paper §2); the paper observes that heap literature often omits
+//! Update (it is unnecessary for sorting), that Sanders' sequential heap
+//! does not support it, and that the asymptotically optimal Fibonacci heap
+//! loses in practice to simpler heaps because of its constant factors. The
+//! queues here make that comparison reproducible:
+//!
+//! * [`IndexedBinaryHeap`] — the workhorse array heap with a position map;
+//! * [`DAryHeap`] — generalisation with fan-out `D` (shallower, more
+//!   cache-friendly sift-downs for `D = 4` or `8`);
+//! * [`FibonacciHeap`] — amortised-optimal, pointer-heavy;
+//! * [`PairingHeap`] — the practical pointer-based contender.
+//!
+//! All queues store `u32` item ids in `0..capacity` with `u32` keys and
+//! implement [`DecreaseKeyQueue`], so the graph algorithms are generic over
+//! the queue. Items can be inserted at most once per lifetime of the queue
+//! (the Dijkstra/Prim pattern).
+//!
+//! ```
+//! use cachegraph_pq::{DecreaseKeyQueue, IndexedBinaryHeap};
+//!
+//! let mut q = IndexedBinaryHeap::with_capacity(4);
+//! q.insert(0, 30);
+//! q.insert(1, 20);
+//! q.insert(2, 10);
+//! assert!(q.decrease_key(0, 5));  // the Update operation
+//! assert!(!q.decrease_key(1, 25)); // never increases
+//! assert_eq!(q.extract_min(), Some((0, 5)));
+//! assert_eq!(q.extract_min(), Some((2, 10)));
+//! ```
+
+mod binary;
+mod dary;
+mod fibonacci;
+mod pairing;
+mod radix;
+pub mod reference;
+mod sequence;
+
+pub use binary::IndexedBinaryHeap;
+pub use dary::DAryHeap;
+pub use fibonacci::FibonacciHeap;
+pub use pairing::PairingHeap;
+pub use radix::RadixHeap;
+pub use reference::ReferenceQueue;
+pub use sequence::SequenceHeap;
+
+/// Item identifier (vertex id in the graph algorithms).
+pub type Item = u32;
+
+/// Priority key.
+pub type Key = u32;
+
+/// A min-priority queue over items `0..capacity` with decrease-key.
+pub trait DecreaseKeyQueue {
+    /// An empty queue able to hold items `0..capacity`.
+    fn with_capacity(capacity: usize) -> Self;
+
+    /// Insert `item` with priority `key`. Panics if the item is out of
+    /// range or was already inserted.
+    fn insert(&mut self, item: Item, key: Key);
+
+    /// Remove and return the `(item, key)` pair with the smallest key
+    /// (ties broken arbitrarily), or `None` if empty.
+    fn extract_min(&mut self) -> Option<(Item, Key)>;
+
+    /// Lower `item`'s key to `new_key`. Returns `true` if the key was
+    /// lowered; `false` if the item is absent or `new_key` is not smaller
+    /// (the Update pattern of Dijkstra/Prim relaxation).
+    fn decrease_key(&mut self, item: Item, new_key: Key) -> bool;
+
+    /// Current key of `item`, if it is in the queue.
+    fn key_of(&self, item: Item) -> Option<Key>;
+
+    /// Number of items currently queued.
+    fn len(&self) -> usize;
+
+    /// True when no items are queued.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}

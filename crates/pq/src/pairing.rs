@@ -1,0 +1,230 @@
+//! Pairing heap on an index arena.
+//!
+//! The practical pointer-based heap: `O(log n)` amortised extract-min,
+//! `o(log n)` amortised decrease-key, tiny constants. Included as the
+//! strongest pointer-structure contender against the array heaps in the
+//! queue ablation.
+
+use crate::{DecreaseKeyQueue, Item, Key};
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Clone, Copy, Debug)]
+struct Node {
+    key: Key,
+    item: Item,
+    /// First child.
+    child: u32,
+    /// Next sibling.
+    sibling: u32,
+    /// Previous sibling, or parent if this is the first child.
+    prev: u32,
+    in_heap: bool,
+}
+
+/// Arena-backed pairing min-heap.
+#[derive(Clone, Debug)]
+pub struct PairingHeap {
+    nodes: Vec<Node>,
+    handle: Vec<u32>,
+    root: u32,
+    len: usize,
+}
+
+impl PairingHeap {
+    /// Meld two tree roots, returning the new root.
+    fn meld(&mut self, a: u32, b: u32) -> u32 {
+        if a == NIL {
+            return b;
+        }
+        if b == NIL {
+            return a;
+        }
+        let (parent, child) = if self.nodes[a as usize].key <= self.nodes[b as usize].key {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        let first = self.nodes[parent as usize].child;
+        self.nodes[child as usize].sibling = first;
+        if first != NIL {
+            self.nodes[first as usize].prev = child;
+        }
+        self.nodes[child as usize].prev = parent;
+        self.nodes[parent as usize].child = child;
+        self.nodes[parent as usize].sibling = NIL;
+        self.nodes[parent as usize].prev = NIL;
+        parent
+    }
+
+    /// Two-pass pairwise meld of a sibling list; returns the merged root.
+    fn merge_pairs(&mut self, first: u32) -> u32 {
+        if first == NIL {
+            return NIL;
+        }
+        // Pass 1: meld adjacent pairs left to right.
+        let mut pairs = Vec::new();
+        let mut cur = first;
+        while cur != NIL {
+            let next = self.nodes[cur as usize].sibling;
+            if next == NIL {
+                self.nodes[cur as usize].sibling = NIL;
+                self.nodes[cur as usize].prev = NIL;
+                pairs.push(cur);
+                break;
+            }
+            let after = self.nodes[next as usize].sibling;
+            self.nodes[cur as usize].sibling = NIL;
+            self.nodes[cur as usize].prev = NIL;
+            self.nodes[next as usize].sibling = NIL;
+            self.nodes[next as usize].prev = NIL;
+            pairs.push(self.meld(cur, next));
+            cur = after;
+        }
+        // Pass 2: meld right to left.
+        let mut root = pairs.pop().expect("at least one pair");
+        while let Some(p) = pairs.pop() {
+            root = self.meld(p, root);
+        }
+        root
+    }
+
+    /// Detach a non-root node from its parent's child list.
+    fn detach(&mut self, x: u32) {
+        let prev = self.nodes[x as usize].prev;
+        let sib = self.nodes[x as usize].sibling;
+        debug_assert_ne!(prev, NIL, "detach called on root");
+        if self.nodes[prev as usize].child == x {
+            self.nodes[prev as usize].child = sib;
+        } else {
+            self.nodes[prev as usize].sibling = sib;
+        }
+        if sib != NIL {
+            self.nodes[sib as usize].prev = prev;
+        }
+        self.nodes[x as usize].sibling = NIL;
+        self.nodes[x as usize].prev = NIL;
+    }
+}
+
+impl DecreaseKeyQueue for PairingHeap {
+    fn with_capacity(capacity: usize) -> Self {
+        Self { nodes: Vec::with_capacity(capacity), handle: vec![NIL; capacity], root: NIL, len: 0 }
+    }
+
+    fn insert(&mut self, item: Item, key: Key) {
+        assert_eq!(self.handle[item as usize], NIL, "item {item} inserted twice");
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(Node { key, item, child: NIL, sibling: NIL, prev: NIL, in_heap: true });
+        self.handle[item as usize] = idx;
+        self.root = self.meld(self.root, idx);
+        self.len += 1;
+    }
+
+    fn extract_min(&mut self) -> Option<(Item, Key)> {
+        if self.root == NIL {
+            return None;
+        }
+        let z = self.root;
+        let child = self.nodes[z as usize].child;
+        self.root = if child == NIL { NIL } else { self.merge_pairs(child) };
+        self.nodes[z as usize].in_heap = false;
+        self.nodes[z as usize].child = NIL;
+        self.len -= 1;
+        Some((self.nodes[z as usize].item, self.nodes[z as usize].key))
+    }
+
+    fn decrease_key(&mut self, item: Item, new_key: Key) -> bool {
+        let x = self.handle[item as usize];
+        if x == NIL || !self.nodes[x as usize].in_heap {
+            return false;
+        }
+        if self.nodes[x as usize].key <= new_key {
+            return false;
+        }
+        self.nodes[x as usize].key = new_key;
+        if x != self.root {
+            self.detach(x);
+            self.root = self.meld(self.root, x);
+        }
+        true
+    }
+
+    fn key_of(&self, item: Item) -> Option<Key> {
+        let x = self.handle[item as usize];
+        if x == NIL || !self.nodes[x as usize].in_heap {
+            None
+        } else {
+            Some(self.nodes[x as usize].key)
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts() {
+        let keys = [5u32, 2, 8, 2, 9, 1, 7, 0, 6, 4, 3];
+        let mut h = PairingHeap::with_capacity(keys.len());
+        for (i, &k) in keys.iter().enumerate() {
+            h.insert(i as Item, k);
+        }
+        let out: Vec<Key> = std::iter::from_fn(|| h.extract_min()).map(|(_, k)| k).collect();
+        let mut expect = keys.to_vec();
+        expect.sort_unstable();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn decrease_deep_node() {
+        let mut h = PairingHeap::with_capacity(32);
+        for i in 0..32 {
+            h.insert(i, 10 + i);
+        }
+        h.extract_min(); // builds structure via merge_pairs
+        assert!(h.decrease_key(31, 0));
+        assert_eq!(h.extract_min(), Some((31, 0)));
+        assert_eq!(h.extract_min(), Some((1, 11)));
+    }
+
+    #[test]
+    fn decrease_root_is_in_place() {
+        let mut h = PairingHeap::with_capacity(4);
+        h.insert(0, 10);
+        h.insert(1, 20);
+        assert!(h.decrease_key(0, 5)); // 0 is the root
+        assert_eq!(h.extract_min(), Some((0, 5)));
+    }
+
+    #[test]
+    fn detach_middle_sibling() {
+        let mut h = PairingHeap::with_capacity(8);
+        // Insert equal keys so all become children of one root on extract.
+        for i in 0..8 {
+            h.insert(i, 50);
+        }
+        let (first, _) = h.extract_min().expect("non-empty");
+        // Decrease several non-root nodes; order must stay correct.
+        let targets: Vec<Item> = (0..8).filter(|&i| i != first).take(3).collect();
+        for (j, &t) in targets.iter().enumerate() {
+            assert!(h.decrease_key(t, j as Key));
+        }
+        for (j, &t) in targets.iter().enumerate() {
+            assert_eq!(h.extract_min(), Some((t, j as Key)));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_decrease() {
+        let mut h = PairingHeap::with_capacity(2);
+        h.insert(0, 3);
+        assert!(!h.decrease_key(0, 3));
+        assert!(!h.decrease_key(1, 1));
+    }
+}

@@ -1,0 +1,248 @@
+//! Radix heap: the monotone integer priority queue.
+//!
+//! Dijkstra's queue is *monotone* — extracted keys never decrease — and
+//! its keys are integers. A radix heap exploits both: items live in
+//! `~log₂(max key span)` buckets by the position of the highest bit in
+//! which their key differs from the last extracted minimum. All bucket
+//! storage is contiguous vectors, so (like the adjacency array of §3.2)
+//! its traffic is streaming rather than pointer chasing — a natural
+//! companion structure for the paper's representation argument, included
+//! in the queue ablation.
+//!
+//! Supports insert and decrease-key (as re-insert) under the monotonicity
+//! contract: keys must be `>=` the last extracted minimum. **Dijkstra
+//! satisfies this** (extracted distances are non-decreasing and every
+//! relaxation key is `extracted + weight`); **Prim does not** — its keys
+//! are raw edge weights, which can dip below the last extracted key — so
+//! pairing this queue with Prim panics by design.
+
+use crate::{DecreaseKeyQueue, Item, Key};
+
+const NBUCKETS: usize = 33; // bucket 0 = equal to last min; 1..=32 by MSB
+
+/// Monotone radix heap over `u32` keys.
+#[derive(Clone, Debug)]
+pub struct RadixHeap {
+    buckets: Vec<Vec<(Key, Item)>>,
+    /// Last extracted minimum (the monotone floor).
+    last: Key,
+    /// Current key per item (meaningful only while `present`). Stale
+    /// bucket entries are skipped on extraction (lazy deletion of
+    /// superseded keys after decrease-key re-inserts). Presence is a
+    /// separate flag because `Key::MAX` is a legitimate key (Dijkstra's
+    /// initial INF).
+    current: Vec<Key>,
+    present: Vec<bool>,
+    consumed: Vec<bool>,
+    len: usize,
+}
+
+impl RadixHeap {
+    fn bucket_of(&self, key: Key) -> usize {
+        debug_assert!(key >= self.last, "monotonicity violated: {key} < {}", self.last);
+        let diff = key ^ self.last;
+        if diff == 0 {
+            0
+        } else {
+            (32 - diff.leading_zeros()) as usize
+        }
+    }
+
+    fn push(&mut self, item: Item, key: Key) {
+        let b = self.bucket_of(key);
+        self.buckets[b].push((key, item));
+    }
+}
+
+impl DecreaseKeyQueue for RadixHeap {
+    fn with_capacity(capacity: usize) -> Self {
+        Self {
+            buckets: vec![Vec::new(); NBUCKETS],
+            last: 0,
+            current: vec![0; capacity],
+            present: vec![false; capacity],
+            consumed: vec![false; capacity],
+            len: 0,
+        }
+    }
+
+    fn insert(&mut self, item: Item, key: Key) {
+        assert!(
+            !self.present[item as usize] && !self.consumed[item as usize],
+            "item {item} inserted twice"
+        );
+        assert!(key >= self.last, "radix heap requires monotone keys");
+        self.current[item as usize] = key;
+        self.present[item as usize] = true;
+        self.push(item, key);
+        self.len += 1;
+    }
+
+    fn extract_min(&mut self) -> Option<(Item, Key)> {
+        if self.len == 0 {
+            return None;
+        }
+        // Find the first non-empty bucket (after dropping stale entries).
+        loop {
+            let Some(b) = (0..NBUCKETS).find(|&b| !self.buckets[b].is_empty()) else {
+                unreachable!("len > 0 but all buckets empty");
+            };
+            if b == 0 {
+                // Bucket 0 entries all equal `last`: pop directly.
+                while let Some((key, item)) = self.buckets[0].pop() {
+                    if self.present[item as usize]
+                        && self.current[item as usize] == key
+                        && !self.consumed[item as usize]
+                    {
+                        self.present[item as usize] = false;
+                        self.consumed[item as usize] = true;
+                        self.len -= 1;
+                        return Some((item, key));
+                    }
+                }
+                continue; // bucket 0 was all stale; rescan
+            }
+            // Redistribute bucket b around its minimum *live* key.
+            let entries = std::mem::take(&mut self.buckets[b]);
+            let mut min_key = Key::MAX;
+            let mut live = Vec::with_capacity(entries.len());
+            for (key, item) in entries {
+                if self.present[item as usize]
+                    && self.current[item as usize] == key
+                    && !self.consumed[item as usize]
+                {
+                    min_key = min_key.min(key);
+                    live.push((key, item));
+                }
+            }
+            if live.is_empty() {
+                continue;
+            }
+            self.last = min_key;
+            for (key, item) in live {
+                self.push(item, key);
+            }
+            // Now bucket 0 holds the minimum; loop around to pop it.
+        }
+    }
+
+    fn decrease_key(&mut self, item: Item, new_key: Key) -> bool {
+        if self.consumed[item as usize] || !self.present[item as usize] {
+            return false;
+        }
+        let cur = self.current[item as usize];
+        if new_key >= cur {
+            return false;
+        }
+        assert!(new_key >= self.last, "radix heap requires monotone keys");
+        // Lazy: the old bucket entry goes stale; push the new one.
+        self.current[item as usize] = new_key;
+        self.push(item, new_key);
+        true
+    }
+
+    fn key_of(&self, item: Item) -> Option<Key> {
+        if self.present[item as usize] {
+            Some(self.current[item as usize])
+        } else {
+            None
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_monotone_input() {
+        let keys = [5u32, 17, 3, 99, 3, 42, 0, 77];
+        let mut h = RadixHeap::with_capacity(keys.len());
+        for (i, &k) in keys.iter().enumerate() {
+            h.insert(i as Item, k);
+        }
+        let out: Vec<Key> = std::iter::from_fn(|| h.extract_min()).map(|(_, k)| k).collect();
+        let mut expect = keys.to_vec();
+        expect.sort_unstable();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn decrease_key_supersedes() {
+        let mut h = RadixHeap::with_capacity(3);
+        h.insert(0, 100);
+        h.insert(1, 50);
+        h.insert(2, 70);
+        assert!(h.decrease_key(0, 10));
+        assert!(!h.decrease_key(0, 20), "not a decrease");
+        assert_eq!(h.extract_min(), Some((0, 10)));
+        assert_eq!(h.extract_min(), Some((1, 50)));
+        assert!(h.decrease_key(2, 60));
+        assert_eq!(h.extract_min(), Some((2, 60)));
+        assert_eq!(h.extract_min(), None);
+    }
+
+    #[test]
+    fn dijkstra_like_monotone_flow() {
+        // Simulate Dijkstra's pattern: extract, then insert/decrease keys
+        // that are >= the extracted minimum.
+        let mut h = RadixHeap::with_capacity(64);
+        h.insert(0, 0);
+        let mut frontier = 1u32;
+        let mut extracted = Vec::new();
+        while let Some((_, k)) = h.extract_min() {
+            extracted.push(k);
+            // Two "relaxations" per extraction while items remain.
+            for _ in 0..2 {
+                if frontier < 64 {
+                    h.insert(frontier, k + 1 + (frontier % 7));
+                    frontier += 1;
+                }
+            }
+        }
+        assert_eq!(extracted.len(), 64);
+        assert!(extracted.windows(2).all(|w| w[0] <= w[1]), "monotone extraction");
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn rejects_key_below_floor() {
+        let mut h = RadixHeap::with_capacity(4);
+        h.insert(0, 10);
+        h.extract_min();
+        h.insert(1, 5); // below the floor: contract violation
+    }
+
+    #[test]
+    fn dijkstra_insert_all_then_decrease() {
+        // The exact pattern of the paper's Dijkstra: every vertex starts
+        // at INF, then relaxations decrease.
+        let mut q = RadixHeap::with_capacity(4);
+        q.insert(0, 0);
+        for v in 1..4 {
+            q.insert(v, Key::MAX);
+        }
+        assert_eq!(q.extract_min(), Some((0, 0)));
+        assert!(q.decrease_key(3, 7));
+        assert_eq!(q.extract_min(), Some((3, 7)));
+        assert_eq!(q.extract_min().map(|(_, k)| k), Some(Key::MAX));
+        assert_eq!(q.extract_min().map(|(_, k)| k), Some(Key::MAX));
+        assert_eq!(q.extract_min(), None);
+    }
+
+    #[test]
+    fn key_of_tracks() {
+        let mut h = RadixHeap::with_capacity(2);
+        assert_eq!(h.key_of(0), None);
+        h.insert(0, 9);
+        assert_eq!(h.key_of(0), Some(9));
+        h.decrease_key(0, 4);
+        assert_eq!(h.key_of(0), Some(4));
+        h.extract_min();
+        assert_eq!(h.key_of(0), None);
+    }
+}

@@ -1,0 +1,75 @@
+//! A trivially-correct reference queue for differential testing.
+
+use std::collections::BTreeSet;
+
+use crate::{DecreaseKeyQueue, Item, Key};
+
+/// Ordered-set-backed queue: obviously correct, used as the oracle in
+/// property tests against the real heaps.
+#[derive(Clone, Debug)]
+pub struct ReferenceQueue {
+    set: BTreeSet<(Key, Item)>,
+    key: Vec<Option<Key>>,
+    consumed: Vec<bool>,
+}
+
+impl ReferenceQueue {
+    /// Smallest key currently queued.
+    pub fn peek_min_key(&self) -> Option<Key> {
+        self.set.iter().next().map(|&(k, _)| k)
+    }
+
+    /// Remove an arbitrary item (oracle-only operation, used to resolve
+    /// equal-key ties when differential-testing the real heaps).
+    pub fn remove(&mut self, item: Item) -> bool {
+        match self.key[item as usize] {
+            Some(k) => {
+                self.set.remove(&(k, item));
+                self.key[item as usize] = None;
+                self.consumed[item as usize] = true;
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+impl DecreaseKeyQueue for ReferenceQueue {
+    fn with_capacity(capacity: usize) -> Self {
+        Self { set: BTreeSet::new(), key: vec![None; capacity], consumed: vec![false; capacity] }
+    }
+
+    fn insert(&mut self, item: Item, key: Key) {
+        assert!(self.key[item as usize].is_none() && !self.consumed[item as usize]);
+        self.key[item as usize] = Some(key);
+        self.set.insert((key, item));
+    }
+
+    fn extract_min(&mut self) -> Option<(Item, Key)> {
+        let &(key, item) = self.set.iter().next()?;
+        self.set.remove(&(key, item));
+        self.key[item as usize] = None;
+        self.consumed[item as usize] = true;
+        Some((item, key))
+    }
+
+    fn decrease_key(&mut self, item: Item, new_key: Key) -> bool {
+        match self.key[item as usize] {
+            Some(old) if new_key < old => {
+                self.set.remove(&(old, item));
+                self.set.insert((new_key, item));
+                self.key[item as usize] = Some(new_key);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn key_of(&self, item: Item) -> Option<Key> {
+        self.key[item as usize]
+    }
+
+    fn len(&self) -> usize {
+        self.set.len()
+    }
+}

@@ -1,0 +1,183 @@
+//! A simplified sequence heap in the spirit of Sanders [38] (paper §2).
+//!
+//! Sanders' cache-aware heap achieves its speed by trading the pointer
+//! structure of classic heaps for *sorted sequences* merged on demand:
+//! inserts go to a small buffer; full buffers are sorted into runs;
+//! delete-min takes the smallest run head. Crucially — and this is the
+//! paper's point in §2 — it supports Insert and Delete-min **only**: there
+//! is no Update, so Dijkstra/Prim must use lazy deletion with it
+//! ([`cachegraph-sssp`]'s `dijkstra_lazy_sequence`).
+//!
+//! This implementation keeps the cache-friendly skeleton (sequential
+//! buffers and runs, occasional consolidation) without Sanders' full
+//! multi-level merge machinery; it is an honest stand-in for measuring
+//! the insert/delete-min-only design point, not a replication of [38].
+
+use crate::{Item, Key};
+
+/// Insert buffer capacity: small enough to stay cache-resident.
+const BUFFER_CAP: usize = 128;
+/// Consolidate when the number of runs exceeds this.
+const MAX_RUNS: usize = 32;
+
+/// An insert / delete-min priority queue over `(key, item)` pairs.
+/// Duplicate items are allowed (lazy-deletion friendly).
+#[derive(Clone, Debug, Default)]
+pub struct SequenceHeap {
+    /// Unsorted insertion buffer, scanned linearly on delete-min.
+    buffer: Vec<(Key, Item)>,
+    /// Sorted runs, each descending so the minimum pops from the end.
+    runs: Vec<Vec<(Key, Item)>>,
+    len: usize,
+}
+
+impl SequenceHeap {
+    /// An empty heap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of queued pairs.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Queue a pair. `O(1)` amortised; spills the buffer into a sorted
+    /// run when full.
+    pub fn insert(&mut self, item: Item, key: Key) {
+        self.buffer.push((key, item));
+        self.len += 1;
+        if self.buffer.len() >= BUFFER_CAP {
+            self.spill();
+        }
+    }
+
+    fn spill(&mut self) {
+        if self.buffer.is_empty() {
+            return;
+        }
+        let mut run = std::mem::take(&mut self.buffer);
+        run.sort_unstable_by(|a, b| b.cmp(a)); // descending: min at the end
+        self.runs.push(run);
+        if self.runs.len() > MAX_RUNS {
+            self.consolidate();
+        }
+    }
+
+    /// Merge all runs into one (amortised against the inserts that built
+    /// them; keeps delete-min's run scan short).
+    fn consolidate(&mut self) {
+        let mut all: Vec<(Key, Item)> = self.runs.drain(..).flatten().collect();
+        all.sort_unstable_by(|a, b| b.cmp(a));
+        self.runs.push(all);
+    }
+
+    /// Remove and return the minimum pair.
+    pub fn extract_min(&mut self) -> Option<(Item, Key)> {
+        if self.len == 0 {
+            return None;
+        }
+        // Candidate from the buffer (linear scan, cache-resident).
+        let buf_min = self
+            .buffer
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &(k, i))| (k, i))
+            .map(|(idx, &(k, _))| (k, idx));
+        // Candidate among run tails.
+        let run_min = self
+            .runs
+            .iter()
+            .enumerate()
+            .filter_map(|(ri, r)| r.last().map(|&(k, i)| ((k, i), ri)))
+            .min();
+        let from_buffer = match (buf_min, run_min) {
+            (Some((bk, _)), Some(((rk, _), _))) => bk <= rk,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => unreachable!("len > 0 but no candidates"),
+        };
+        self.len -= 1;
+        if from_buffer {
+            let (_, idx) = buf_min.expect("buffer candidate");
+            let (k, i) = self.buffer.swap_remove(idx);
+            Some((i, k))
+        } else {
+            let (_, ri) = run_min.expect("run candidate");
+            let (k, i) = self.runs[ri].pop().expect("non-empty run");
+            if self.runs[ri].is_empty() {
+                self.runs.swap_remove(ri);
+            }
+            Some((i, k))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn sorts_small_input() {
+        let mut h = SequenceHeap::new();
+        for (i, k) in [(0u32, 5u32), (1, 2), (2, 9), (3, 2), (4, 0)] {
+            h.insert(i, k);
+        }
+        let out: Vec<Key> = std::iter::from_fn(|| h.extract_min()).map(|(_, k)| k).collect();
+        assert_eq!(out, vec![0, 2, 2, 5, 9]);
+    }
+
+    #[test]
+    fn sorts_across_many_spills_and_consolidations() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut h = SequenceHeap::new();
+        let mut keys = Vec::new();
+        for i in 0..20_000u32 {
+            let k = rng.gen_range(0..1_000_000);
+            keys.push(k);
+            h.insert(i, k);
+        }
+        keys.sort_unstable();
+        let out: Vec<Key> = std::iter::from_fn(|| h.extract_min()).map(|(_, k)| k).collect();
+        assert_eq!(out, keys);
+    }
+
+    #[test]
+    fn interleaved_insert_extract() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut h = SequenceHeap::new();
+        let mut reference = std::collections::BinaryHeap::new();
+        for step in 0..50_000u32 {
+            if rng.gen_bool(0.6) || reference.is_empty() {
+                let k = rng.gen_range(0..100_000);
+                h.insert(step, k);
+                reference.push(std::cmp::Reverse(k));
+            } else {
+                let (_, k) = h.extract_min().expect("non-empty");
+                let std::cmp::Reverse(rk) = reference.pop().expect("non-empty");
+                assert_eq!(k, rk, "at step {step}");
+            }
+        }
+        assert_eq!(h.len(), reference.len());
+    }
+
+    #[test]
+    fn duplicates_are_fine() {
+        let mut h = SequenceHeap::new();
+        h.insert(3, 7);
+        h.insert(3, 7);
+        h.insert(3, 5);
+        assert_eq!(h.extract_min(), Some((3, 5)));
+        assert_eq!(h.extract_min(), Some((3, 7)));
+        assert_eq!(h.extract_min(), Some((3, 7)));
+        assert_eq!(h.extract_min(), None);
+        assert!(h.is_empty());
+    }
+}

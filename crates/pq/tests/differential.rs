@@ -1,0 +1,98 @@
+//! Differential property tests: every heap must agree with the reference
+//! queue on arbitrary interleavings of insert / extract-min / decrease-key.
+
+use cachegraph_pq::{
+    DAryHeap, DecreaseKeyQueue, FibonacciHeap, IndexedBinaryHeap, PairingHeap, ReferenceQueue,
+};
+use proptest::prelude::*;
+
+/// A scripted operation over items `0..CAP`.
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(u32, u32),
+    ExtractMin,
+    DecreaseKey(u32, u32),
+}
+
+const CAP: u32 = 24;
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0..CAP, 0u32..1000).prop_map(|(i, k)| Op::Insert(i, k)),
+        2 => Just(Op::ExtractMin),
+        3 => (0..CAP, 0u32..1000).prop_map(|(i, k)| Op::DecreaseKey(i, k)),
+    ]
+}
+
+/// Replay `ops` on both queues, checking observable agreement at each step.
+///
+/// Equal-key ties may be broken differently by different heaps, so on
+/// extract the oracle checks the key is minimal and removes the *same*
+/// item the heap under test produced.
+fn check<Q: DecreaseKeyQueue>(ops: &[Op]) -> Result<(), TestCaseError> {
+    let mut q = Q::with_capacity(CAP as usize);
+    let mut r = ReferenceQueue::with_capacity(CAP as usize);
+    let mut inserted = vec![false; CAP as usize];
+    for op in ops {
+        match *op {
+            Op::Insert(i, k) => {
+                if !inserted[i as usize] {
+                    q.insert(i, k);
+                    r.insert(i, k);
+                    inserted[i as usize] = true;
+                }
+            }
+            Op::ExtractMin => {
+                match q.extract_min() {
+                    None => prop_assert_eq!(r.len(), 0, "heap empty but reference is not"),
+                    Some((item, key)) => {
+                        // The extracted key must be the global minimum, and
+                        // the extracted item must actually hold that key.
+                        // (Equal-key ties may be broken differently, so the
+                        // oracle removes the *same* item, not its own min.)
+                        prop_assert_eq!(Some(key), r.peek_min_key(), "not the minimum key");
+                        prop_assert_eq!(r.key_of(item), Some(key), "item/key mismatch");
+                        prop_assert!(r.remove(item));
+                    }
+                }
+            }
+            Op::DecreaseKey(i, k) => {
+                let a = q.decrease_key(i, k);
+                let b = r.decrease_key(i, k);
+                prop_assert_eq!(a, b, "decrease_key disagreement for {} -> {}", i, k);
+                prop_assert_eq!(q.key_of(i), r.key_of(i));
+            }
+        }
+        prop_assert_eq!(q.len(), r.len());
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn binary_heap_matches_reference(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        check::<IndexedBinaryHeap>(&ops)?;
+    }
+
+    #[test]
+    fn dary4_heap_matches_reference(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        check::<DAryHeap<4>>(&ops)?;
+    }
+
+    #[test]
+    fn dary8_heap_matches_reference(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        check::<DAryHeap<8>>(&ops)?;
+    }
+
+    #[test]
+    fn fibonacci_heap_matches_reference(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        check::<FibonacciHeap>(&ops)?;
+    }
+
+    #[test]
+    fn pairing_heap_matches_reference(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        check::<PairingHeap>(&ops)?;
+    }
+}

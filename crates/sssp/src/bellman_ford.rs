@@ -1,0 +1,74 @@
+//! Bellman-Ford — the first extension algorithm named in the paper's
+//! conclusion: it "visits every neighbor of a node once the node is
+//! labeled", so the adjacency-array layout matches its access pattern just
+//! as it does Dijkstra's.
+
+use cachegraph_graph::{Graph, VertexId, INF};
+
+use crate::dijkstra::SsspResult;
+use crate::NO_VERTEX;
+
+/// Bellman-Ford single-source shortest paths with early termination when a
+/// full pass performs no relaxation. Weights are unsigned, so negative
+/// cycles cannot occur and the result always converges within `n - 1`
+/// passes.
+pub fn bellman_ford<G: Graph>(g: &G, source: VertexId) -> SsspResult {
+    let n = g.num_vertices();
+    assert!((source as usize) < n, "source out of range");
+    let mut dist = vec![INF; n];
+    let mut pred = vec![NO_VERTEX; n];
+    dist[source as usize] = 0;
+    for _pass in 0..n {
+        let mut changed = false;
+        for u in 0..n as VertexId {
+            let du = dist[u as usize];
+            if du == INF {
+                continue;
+            }
+            for (v, w) in g.neighbors(u) {
+                let nd = du.saturating_add(w);
+                if nd < dist[v as usize] {
+                    dist[v as usize] = nd;
+                    pred[v as usize] = u;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    SsspResult { dist, pred }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra_binary_heap;
+    use cachegraph_graph::{generators, EdgeListBuilder};
+
+    #[test]
+    fn agrees_with_dijkstra_on_random_graphs() {
+        for seed in 0..5 {
+            let g = generators::random_directed(60, 0.15, 50, seed).build_array();
+            let bf = bellman_ford(&g, 0);
+            let dj = dijkstra_binary_heap(&g, 0);
+            assert_eq!(bf.dist, dj.dist, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn chain_distances() {
+        let mut b = EdgeListBuilder::new(4);
+        b.add(0, 1, 2).add(1, 2, 2).add(2, 3, 2);
+        let r = bellman_ford(&b.build_array(), 0);
+        assert_eq!(r.dist, vec![0, 2, 4, 6]);
+    }
+
+    #[test]
+    fn unreachable_is_inf() {
+        let b = EdgeListBuilder::new(2);
+        let r = bellman_ford(&b.build_array(), 0);
+        assert_eq!(r.dist[1], INF);
+    }
+}

@@ -1,0 +1,111 @@
+//! Kruskal's algorithm — an independent MST oracle for testing Prim.
+
+use cachegraph_graph::{Edge, VertexId};
+
+/// Path-compressing, union-by-rank disjoint-set forest.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Self { parent: (0..n as u32).collect(), rank: vec![0; n], components: n }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, x: u32) -> u32 {
+        let mut root = x;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merge the sets of `a` and `b`; returns `false` if already joined.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ra as usize] >= self.rank[rb as usize] { (ra, rb) } else { (rb, ra) };
+        self.parent[lo as usize] = hi;
+        if self.rank[hi as usize] == self.rank[lo as usize] {
+            self.rank[hi as usize] += 1;
+        }
+        self.components -= 1;
+        true
+    }
+
+    /// Number of disjoint sets remaining.
+    pub fn num_components(&self) -> usize {
+        self.components
+    }
+}
+
+/// MST weight (over all components: a minimum spanning forest) from an
+/// undirected edge list (each edge may appear once or as both arcs —
+/// duplicates are harmless for Kruskal).
+pub fn kruskal(n: usize, edges: &[Edge]) -> (u64, Vec<(VertexId, VertexId)>) {
+    let mut sorted: Vec<&Edge> = edges.iter().collect();
+    sorted.sort_by_key(|e| e.weight);
+    let mut uf = UnionFind::new(n);
+    let mut total = 0u64;
+    let mut tree = Vec::new();
+    for e in sorted {
+        if uf.union(e.from, e.to) {
+            total += e.weight as u64;
+            tree.push((e.from, e.to));
+        }
+    }
+    (total, tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachegraph_graph::EdgeListBuilder;
+
+    #[test]
+    fn simple_mst() {
+        let mut b = EdgeListBuilder::new(4);
+        b.add_undirected(0, 1, 1)
+            .add_undirected(1, 2, 2)
+            .add_undirected(2, 3, 3)
+            .add_undirected(3, 0, 4);
+        let (w, tree) = kruskal(4, b.edges());
+        assert_eq!(w, 6);
+        assert_eq!(tree.len(), 3);
+    }
+
+    #[test]
+    fn forest_on_disconnected_graph() {
+        let mut b = EdgeListBuilder::new(4);
+        b.add_undirected(0, 1, 5).add_undirected(2, 3, 7);
+        let (w, tree) = kruskal(4, b.edges());
+        assert_eq!(w, 12);
+        assert_eq!(tree.len(), 2);
+    }
+
+    #[test]
+    fn union_find_components() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.num_components(), 5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2));
+        assert_eq!(uf.num_components(), 3);
+        assert_eq!(uf.find(2), uf.find(0));
+        assert_ne!(uf.find(3), uf.find(0));
+    }
+}

@@ -1,0 +1,117 @@
+//! Lazy-deletion Dijkstra — the modern alternative to Update.
+//!
+//! The paper (§2) observes that heap literature often omits the Update
+//! operation. The standard way to avoid needing it at all is lazy
+//! deletion: push a fresh `(dist, vertex)` pair on every relaxation and
+//! discard stale pops. The queue grows to `O(E)` but every operation is a
+//! plain insert/pop, which suits cache-optimized heaps like Sanders'
+//! sequence heap. Included as an extension so the decrease-key designs
+//! can be measured against it.
+
+use cachegraph_graph::{Graph, VertexId, INF};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::dijkstra::SsspResult;
+use crate::NO_VERTEX;
+
+/// Dijkstra with lazy deletion over `std::collections::BinaryHeap`.
+/// Produces exactly the same distances as the decrease-key variants.
+pub fn dijkstra_lazy<G: Graph>(g: &G, source: VertexId) -> SsspResult {
+    let n = g.num_vertices();
+    assert!((source as usize) < n, "source out of range");
+    let mut dist = vec![INF; n];
+    let mut pred = vec![NO_VERTEX; n];
+    let mut done = vec![false; n];
+    let mut heap = BinaryHeap::new();
+    dist[source as usize] = 0;
+    heap.push(Reverse((0u32, source)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if done[u as usize] {
+            continue; // stale entry
+        }
+        done[u as usize] = true;
+        for (v, w) in g.neighbors(u) {
+            let nd = d.saturating_add(w);
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                pred[v as usize] = u;
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+    SsspResult { dist, pred }
+}
+
+/// Lazy-deletion Dijkstra over the [`cachegraph_pq::SequenceHeap`] — the
+/// §2 design point the paper describes: Sanders' cache-optimized heap
+/// "does support Insert and Delete-min very efficiently; however the
+/// Update operation is not supported", so it must be paired with lazy
+/// deletion to run Dijkstra at all.
+pub fn dijkstra_lazy_sequence<G: Graph>(g: &G, source: VertexId) -> SsspResult {
+    let n = g.num_vertices();
+    assert!((source as usize) < n, "source out of range");
+    let mut dist = vec![INF; n];
+    let mut pred = vec![NO_VERTEX; n];
+    let mut done = vec![false; n];
+    let mut heap = cachegraph_pq::SequenceHeap::new();
+    dist[source as usize] = 0;
+    heap.insert(source, 0);
+    while let Some((u, d)) = heap.extract_min() {
+        if done[u as usize] {
+            continue;
+        }
+        done[u as usize] = true;
+        for (v, w) in g.neighbors(u) {
+            let nd = d.saturating_add(w);
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                pred[v as usize] = u;
+                heap.insert(v, nd);
+            }
+        }
+    }
+    SsspResult { dist, pred }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra_binary_heap;
+    use cachegraph_graph::{generators, EdgeListBuilder};
+
+    #[test]
+    fn agrees_with_decrease_key_dijkstra() {
+        for seed in 0..6 {
+            let g = generators::random_directed(120, 0.08, 60, seed).build_array();
+            let lazy = dijkstra_lazy(&g, 0);
+            let eager = dijkstra_binary_heap(&g, 0);
+            assert_eq!(lazy.dist, eager.dist, "seed {seed}");
+            let seq = dijkstra_lazy_sequence(&g, 0);
+            assert_eq!(seq.dist, eager.dist, "sequence heap, seed {seed}");
+        }
+    }
+
+    #[test]
+    fn trivial_cases() {
+        let empty = EdgeListBuilder::new(3);
+        let r = dijkstra_lazy(&empty.build_array(), 1);
+        assert_eq!(r.dist, vec![INF, 0, INF]);
+
+        let mut chain = EdgeListBuilder::new(3);
+        chain.add(0, 1, 4).add(1, 2, 5);
+        let r = dijkstra_lazy(&chain.build_array(), 0);
+        assert_eq!(r.dist, vec![0, 4, 9]);
+        assert_eq!(r.pred, vec![NO_VERTEX, 0, 1]);
+    }
+
+    #[test]
+    fn stale_entries_are_skipped() {
+        // Many parallel-ish relaxations of the same vertex.
+        let mut b = EdgeListBuilder::new(4);
+        b.add(0, 1, 10).add(0, 2, 1).add(2, 1, 1).add(1, 3, 1);
+        let r = dijkstra_lazy(&b.build_array(), 0);
+        assert_eq!(r.dist, vec![0, 2, 1, 3]);
+        assert_eq!(r.pred[1], 2);
+    }
+}

@@ -1,0 +1,256 @@
+//! Graph traversals and connectivity — the remaining extension algorithms
+//! from the paper's conclusion (§5): BFS, DFS, connected components, and
+//! strongly connected components, all of which stream the representation
+//! and therefore inherit the adjacency-array optimization.
+
+use cachegraph_graph::{Graph, VertexId};
+use std::collections::VecDeque;
+
+use crate::NO_VERTEX;
+
+/// BFS tree from a source.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BfsResult {
+    /// Hop count from the source, `u32::MAX` if unreachable.
+    pub hops: Vec<u32>,
+    /// BFS tree parent, [`NO_VERTEX`] for the source / unreachable.
+    pub pred: Vec<VertexId>,
+    /// Vertices in visit order.
+    pub order: Vec<VertexId>,
+}
+
+/// Breadth-first search from `source`.
+pub fn bfs<G: Graph>(g: &G, source: VertexId) -> BfsResult {
+    let n = g.num_vertices();
+    assert!((source as usize) < n, "source out of range");
+    let mut hops = vec![u32::MAX; n];
+    let mut pred = vec![NO_VERTEX; n];
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    hops[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        for (v, _) in g.neighbors(u) {
+            if hops[v as usize] == u32::MAX {
+                hops[v as usize] = hops[u as usize] + 1;
+                pred[v as usize] = u;
+                queue.push_back(v);
+            }
+        }
+    }
+    BfsResult { hops, pred, order }
+}
+
+/// Iterative depth-first search; returns vertices in preorder.
+pub fn dfs_preorder<G: Graph>(g: &G, source: VertexId) -> Vec<VertexId> {
+    let n = g.num_vertices();
+    assert!((source as usize) < n, "source out of range");
+    let mut seen = vec![false; n];
+    let mut order = Vec::new();
+    let mut stack = vec![source];
+    while let Some(u) = stack.pop() {
+        if seen[u as usize] {
+            continue;
+        }
+        seen[u as usize] = true;
+        order.push(u);
+        // Push in reverse so the first neighbour is visited first.
+        let mut nbrs: Vec<VertexId> = g.neighbors(u).map(|(v, _)| v).collect();
+        nbrs.reverse();
+        for v in nbrs {
+            if !seen[v as usize] {
+                stack.push(v);
+            }
+        }
+    }
+    order
+}
+
+/// Connected-component labels for an undirected graph (both arcs present).
+/// Returns `(labels, count)`; labels are dense in `0..count`.
+pub fn connected_components<G: Graph>(g: &G) -> (Vec<u32>, usize) {
+    let n = g.num_vertices();
+    let mut label = vec![u32::MAX; n];
+    let mut count = 0u32;
+    let mut stack = Vec::new();
+    for s in 0..n as VertexId {
+        if label[s as usize] != u32::MAX {
+            continue;
+        }
+        label[s as usize] = count;
+        stack.push(s);
+        while let Some(u) = stack.pop() {
+            for (v, _) in g.neighbors(u) {
+                if label[v as usize] == u32::MAX {
+                    label[v as usize] = count;
+                    stack.push(v);
+                }
+            }
+        }
+        count += 1;
+    }
+    (label, count as usize)
+}
+
+/// Strongly connected components of a directed graph (iterative Tarjan).
+/// Returns `(labels, count)`; labels are in reverse topological order of
+/// the condensation.
+pub fn scc<G: Graph>(g: &G) -> (Vec<u32>, usize) {
+    let n = g.num_vertices();
+    const UNSET: u32 = u32::MAX;
+    let mut index = vec![UNSET; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut comp = vec![UNSET; n];
+    let mut stack: Vec<VertexId> = Vec::new();
+    let mut next_index = 0u32;
+    let mut count = 0u32;
+
+    // Explicit DFS frames: (vertex, neighbour iterator position).
+    struct Frame {
+        v: VertexId,
+        nbrs: Vec<VertexId>,
+        pos: usize,
+    }
+
+    for root in 0..n as VertexId {
+        if index[root as usize] != UNSET {
+            continue;
+        }
+        let mut frames = vec![Frame {
+            v: root,
+            nbrs: g.neighbors(root).map(|(w, _)| w).collect(),
+            pos: 0,
+        }];
+        index[root as usize] = next_index;
+        lowlink[root as usize] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root as usize] = true;
+
+        while let Some(frame) = frames.last_mut() {
+            let v = frame.v;
+            if frame.pos < frame.nbrs.len() {
+                let w = frame.nbrs[frame.pos];
+                frame.pos += 1;
+                if index[w as usize] == UNSET {
+                    index[w as usize] = next_index;
+                    lowlink[w as usize] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w as usize] = true;
+                    frames.push(Frame {
+                        v: w,
+                        nbrs: g.neighbors(w).map(|(x, _)| x).collect(),
+                        pos: 0,
+                    });
+                } else if on_stack[w as usize] {
+                    lowlink[v as usize] = lowlink[v as usize].min(index[w as usize]);
+                }
+            } else {
+                // Post-visit: close the component if v is a root.
+                if lowlink[v as usize] == index[v as usize] {
+                    loop {
+                        let w = stack.pop().expect("tarjan stack non-empty");
+                        on_stack[w as usize] = false;
+                        comp[w as usize] = count;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    count += 1;
+                }
+                frames.pop();
+                if let Some(parent) = frames.last() {
+                    let p = parent.v;
+                    lowlink[p as usize] = lowlink[p as usize].min(lowlink[v as usize]);
+                }
+            }
+        }
+    }
+    (comp, count as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachegraph_graph::{generators, EdgeListBuilder};
+
+    #[test]
+    fn bfs_hops_on_grid() {
+        let g = generators::grid_graph(3, 3).build_array();
+        let r = bfs(&g, 0);
+        assert_eq!(r.hops[0], 0);
+        assert_eq!(r.hops[8], 4); // Manhattan distance corner to corner
+        assert_eq!(r.order.len(), 9);
+    }
+
+    #[test]
+    fn dfs_preorder_visits_all_reachable() {
+        let g = generators::grid_graph(2, 4).build_array();
+        let order = dfs_preorder(&g, 0);
+        assert_eq!(order.len(), 8);
+        assert_eq!(order[0], 0);
+    }
+
+    #[test]
+    fn components_of_disjoint_paths() {
+        let mut b = EdgeListBuilder::new(6);
+        b.add_undirected(0, 1, 1).add_undirected(1, 2, 1).add_undirected(3, 4, 1);
+        let (labels, count) = connected_components(&b.build_array());
+        assert_eq!(count, 3); // {0,1,2}, {3,4}, {5}
+        assert_eq!(labels[0], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[3]);
+        assert_ne!(labels[5], labels[0]);
+    }
+
+    #[test]
+    fn scc_of_two_cycles_and_bridge() {
+        // Cycle {0,1,2}, cycle {3,4}, bridge 2 -> 3.
+        let mut b = EdgeListBuilder::new(5);
+        b.add(0, 1, 1).add(1, 2, 1).add(2, 0, 1).add(2, 3, 1).add(3, 4, 1).add(4, 3, 1);
+        let (comp, count) = scc(&b.build_array());
+        assert_eq!(count, 2);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[0], comp[2]);
+        assert_eq!(comp[3], comp[4]);
+        assert_ne!(comp[0], comp[3]);
+        // Reverse topological order: the sink component {3,4} closes first.
+        assert!(comp[3] < comp[0]);
+    }
+
+    #[test]
+    fn scc_dag_has_singleton_components() {
+        let mut b = EdgeListBuilder::new(4);
+        b.add(0, 1, 1).add(1, 2, 1).add(0, 2, 1).add(2, 3, 1);
+        let (comp, count) = scc(&b.build_array());
+        assert_eq!(count, 4);
+        let mut c = comp.clone();
+        c.sort_unstable();
+        c.dedup();
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn scc_self_loop_single_vertex() {
+        let mut b = EdgeListBuilder::new(1);
+        b.add(0, 0, 1);
+        let (comp, count) = scc(&b.build_array());
+        assert_eq!(count, 1);
+        assert_eq!(comp[0], 0);
+    }
+
+    #[test]
+    fn bfs_pred_forms_shortest_hop_tree() {
+        let g = generators::grid_graph(4, 4).build_array();
+        let r = bfs(&g, 5);
+        for v in 0..16u32 {
+            if v != 5 {
+                let p = r.pred[v as usize];
+                assert_eq!(r.hops[v as usize], r.hops[p as usize] + 1);
+            }
+        }
+    }
+}

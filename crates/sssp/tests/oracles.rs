@@ -1,0 +1,96 @@
+//! Cross-algorithm oracle tests: Dijkstra vs Bellman-Ford, Prim vs
+//! Kruskal, over random graphs and all representation/queue combinations.
+
+use cachegraph_graph::{generators, Graph, INF};
+use cachegraph_pq::{DAryHeap, FibonacciHeap, IndexedBinaryHeap, PairingHeap, RadixHeap};
+use cachegraph_sssp::{bellman_ford, dijkstra, kruskal, prim, NO_VERTEX};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dijkstra_matches_bellman_ford(
+        n in 2usize..80,
+        density in 0.02f64..0.5,
+        seed in any::<u64>(),
+    ) {
+        let b = generators::random_directed(n, density, 64, seed);
+        let g = b.build_array();
+        let bf = bellman_ford(&g, 0);
+        let dj = dijkstra::<_, IndexedBinaryHeap>(&g, 0);
+        prop_assert_eq!(bf.dist, dj.dist);
+    }
+
+    #[test]
+    fn dijkstra_agrees_across_queues_and_reps(
+        n in 2usize..60,
+        density in 0.05f64..0.4,
+        seed in any::<u64>(),
+    ) {
+        let b = generators::random_directed(n, density, 64, seed);
+        let arr = b.build_array();
+        let list = b.build_list();
+        let expect = dijkstra::<_, IndexedBinaryHeap>(&arr, 0).dist;
+        prop_assert_eq!(&dijkstra::<_, DAryHeap<4>>(&arr, 0).dist, &expect);
+        prop_assert_eq!(&dijkstra::<_, FibonacciHeap>(&arr, 0).dist, &expect);
+        prop_assert_eq!(&dijkstra::<_, PairingHeap>(&arr, 0).dist, &expect);
+        prop_assert_eq!(&dijkstra::<_, RadixHeap>(&arr, 0).dist, &expect);
+        prop_assert_eq!(&dijkstra::<_, IndexedBinaryHeap>(&list, 0).dist, &expect);
+    }
+
+    #[test]
+    fn prim_weight_matches_kruskal(
+        n in 2usize..60,
+        density in 0.05f64..0.5,
+        seed in any::<u64>(),
+    ) {
+        let mut b = generators::random_undirected(n, density, 64, seed);
+        generators::connect(&mut b, 64, seed); // spanning tree must exist
+        let g = b.build_array();
+        let p = prim::<_, IndexedBinaryHeap>(&g, 0);
+        let (kw, ktree) = kruskal(n, b.edges());
+        prop_assert_eq!(p.total_weight, kw);
+        prop_assert_eq!(p.tree_size, n);
+        prop_assert_eq!(ktree.len(), n - 1);
+    }
+
+    #[test]
+    fn dijkstra_distances_satisfy_triangle_inequality(
+        n in 2usize..40,
+        density in 0.05f64..0.5,
+        seed in any::<u64>(),
+    ) {
+        let g = generators::random_directed(n, density, 64, seed).build_array();
+        let d = dijkstra::<_, IndexedBinaryHeap>(&g, 0).dist;
+        // Every edge must be relaxed: d[v] <= d[u] + w(u, v).
+        for u in 0..n as u32 {
+            if d[u as usize] == INF {
+                continue;
+            }
+            for (v, w) in g.neighbors(u) {
+                prop_assert!(d[v as usize] <= d[u as usize].saturating_add(w));
+            }
+        }
+    }
+
+    #[test]
+    fn dijkstra_tree_edges_are_tight(
+        n in 2usize..40,
+        density in 0.05f64..0.5,
+        seed in any::<u64>(),
+    ) {
+        let g = generators::random_directed(n, density, 64, seed).build_array();
+        let r = dijkstra::<_, IndexedBinaryHeap>(&g, 0);
+        for v in 0..n {
+            let p = r.pred[v];
+            if p == NO_VERTEX {
+                continue;
+            }
+            // d[v] = d[p] + w(p, v) for the tree edge actually used.
+            let w = g.neighbors(p).find(|&(x, _)| x as usize == v).map(|(_, w)| w);
+            let w = w.expect("pred edge must exist");
+            prop_assert_eq!(r.dist[v], r.dist[p as usize].saturating_add(w));
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Correlated gene clusters — the paper's Bioinformatics motivation (§1,
+//! citing Nakaya et al.): given several graphs relating the same set of
+//! genes (co-expression, pathway adjacency, ...), find groups of genes
+//! that are close to each other in *every* graph. The first step is
+//! all-pairs distances per graph — exactly the Floyd-Warshall workload,
+//! here run with the cache-oblivious recursive implementation.
+//!
+//! ```text
+//! cargo run --release --example gene_clusters
+//! ```
+
+use cachegraph::fw::{fw_recursive, FwMatrix, INF};
+use cachegraph::graph::generators;
+use cachegraph::layout::ZMorton;
+use cachegraph::sssp::{connected_components, NO_VERTEX};
+use cachegraph::graph::EdgeListBuilder;
+
+/// Genes within this distance count as "close".
+const CLOSE: u32 = 5;
+
+fn main() {
+    let genes = 192;
+    // Three relation graphs over the same genes, different structure.
+    let graphs: Vec<EdgeListBuilder> = (0..3u64)
+        .map(|s| {
+            let mut b = generators::random_undirected(genes, 0.02, 6, 1000 + s);
+            generators::connect(&mut b, 6, 1000 + s);
+            b
+        })
+        .collect();
+
+    // Per-graph all-pairs distances via recursive FW.
+    let mut dists = Vec::new();
+    for (i, b) in graphs.iter().enumerate() {
+        let dense = b.build_matrix();
+        let mut m = FwMatrix::from_costs(ZMorton::new(genes, 32), dense.costs());
+        fw_recursive(&mut m, 32);
+        println!("graph {i}: {} edges, APSP done", b.edges().len() / 2);
+        dists.push(m);
+    }
+
+    // "Close in every graph" relation -> cluster = connected component of
+    // the intersection graph.
+    let mut close = EdgeListBuilder::new(genes);
+    let mut close_pairs = 0usize;
+    for a in 0..genes {
+        for b in (a + 1)..genes {
+            let everywhere = dists.iter().all(|m| {
+                let d = m.dist(a, b);
+                d != INF && d <= CLOSE
+            });
+            if everywhere {
+                close.add_undirected(a as u32, b as u32, 1);
+                close_pairs += 1;
+            }
+        }
+    }
+    let (labels, count) = connected_components(&close.build_array());
+
+    // Report the clusters with at least 3 genes.
+    let mut sizes = vec![0usize; count];
+    for &l in &labels {
+        if l != NO_VERTEX {
+            sizes[l as usize] += 1;
+        }
+    }
+    let mut big: Vec<(usize, usize)> =
+        sizes.iter().enumerate().filter(|&(_, &s)| s >= 3).map(|(c, &s)| (c, s)).collect();
+    big.sort_by_key(|&(_, s)| std::cmp::Reverse(s));
+    println!("\n{close_pairs} gene pairs are within distance {CLOSE} in all graphs");
+    println!("{} correlated clusters of 3+ genes:", big.len());
+    for (c, s) in big.iter().take(8) {
+        let members: Vec<usize> =
+            labels.iter().enumerate().filter(|&(_, &l)| l == *c as u32).map(|(g, _)| g).collect();
+        let preview: Vec<String> = members.iter().take(6).map(|g| format!("g{g}")).collect();
+        println!("  cluster {c}: {s} genes [{}{}]", preview.join(", "), if *s > 6 { ", ..." } else { "" });
+    }
+}

@@ -1,0 +1,54 @@
+//! Backbone design with minimum spanning trees: pick the cheapest cable
+//! plan connecting every site, with Prim (over both graph representations,
+//! timed) and Kruskal as an independent check — the Prim workload of the
+//! paper's §3.2 / Figs. 15-16 in an application setting.
+//!
+//! ```text
+//! cargo run --release --example mst_network
+//! ```
+
+use cachegraph::graph::generators;
+use cachegraph::sssp::{kruskal, prim_binary_heap, NO_VERTEX};
+use std::time::Instant;
+
+fn main() {
+    let sites = 4096;
+    // Candidate cable routes: random geometric-ish costs, guaranteed
+    // connected.
+    let mut b = generators::random_undirected(sites, 0.02, 1000, 99);
+    generators::connect(&mut b, 1000, 99);
+    b.shuffle(99); // heap-allocation order for the list representation
+
+    let list = b.build_list();
+    let array = b.build_array();
+    println!("{sites} sites, {} candidate links", b.edges().len() / 2);
+
+    // Prim over the pointer-chasing list vs the adjacency array.
+    let t0 = Instant::now();
+    let mst_list = prim_binary_heap(&list, 0);
+    let t_list = t0.elapsed();
+    let t0 = Instant::now();
+    let mst_array = prim_binary_heap(&array, 0);
+    let t_array = t0.elapsed();
+    assert_eq!(mst_list.total_weight, mst_array.total_weight);
+
+    println!("backbone cost: {}", mst_array.total_weight);
+    println!(
+        "Prim: adjacency list {:.1} ms, adjacency array {:.1} ms ({:.2}x from the layout)",
+        t_list.as_secs_f64() * 1e3,
+        t_array.as_secs_f64() * 1e3,
+        t_list.as_secs_f64() / t_array.as_secs_f64().max(1e-12),
+    );
+
+    // Independent check with Kruskal.
+    let (kw, ktree) = kruskal(sites, b.edges());
+    assert_eq!(kw, mst_array.total_weight, "Prim and Kruskal must agree");
+    println!("Kruskal confirms the cost with {} tree links", ktree.len());
+
+    // A couple of plan facts.
+    let leaves = (0..sites)
+        .filter(|&v| mst_array.parent.iter().filter(|&&p| p == v as u32).count() == 0)
+        .filter(|&v| mst_array.parent[v] != NO_VERTEX || v != 0)
+        .count();
+    println!("{leaves} leaf sites hang off a single link");
+}

@@ -1,0 +1,84 @@
+//! OSPF-style routing — the paper's networking motivation (§1): in Open
+//! Shortest Path First, every router runs Dijkstra over the link-state
+//! database to compute its routing table. This example builds an
+//! autonomous system, computes each router's table over the cache-friendly
+//! adjacency array, then fails a link and shows which routes change.
+//!
+//! ```text
+//! cargo run --release --example ospf_routing
+//! ```
+
+use cachegraph::graph::{generators, EdgeListBuilder, Graph, VertexId, INF};
+use cachegraph::sssp::{dijkstra_binary_heap, NO_VERTEX};
+
+/// First hop from `src` toward `dst` along the shortest-path tree.
+fn first_hop(pred: &[VertexId], src: VertexId, dst: VertexId) -> Option<VertexId> {
+    let mut cur = dst;
+    while pred[cur as usize] != NO_VERTEX {
+        let parent = pred[cur as usize];
+        if parent == src {
+            return Some(cur);
+        }
+        cur = parent;
+    }
+    None
+}
+
+fn routing_table(g: &impl Graph, router: VertexId) -> Vec<Option<VertexId>> {
+    let sp = dijkstra_binary_heap(g, router);
+    (0..g.num_vertices() as VertexId)
+        .map(|dst| {
+            if dst == router || sp.dist[dst as usize] == INF {
+                None
+            } else {
+                first_hop(&sp.pred, router, dst)
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let routers = 64;
+    // An AS topology: ring backbone plus random peering links.
+    let mut b = EdgeListBuilder::new(routers);
+    for r in 0..routers as u32 {
+        b.add_undirected(r, (r + 1) % routers as u32, 10);
+    }
+    let extra = generators::random_undirected(routers, 0.06, 40, 7);
+    for e in extra.edges() {
+        if e.from < e.to {
+            b.add_undirected(e.from, e.to, e.weight);
+        }
+    }
+    let lsdb = b.build_array(); // the link-state database, adjacency-array form
+
+    // Every router computes its table (the per-SPF-run workload the paper
+    // optimizes).
+    let tables: Vec<_> = (0..routers as u32).map(|r| routing_table(&lsdb, r)).collect();
+    let routed = tables.iter().flatten().filter(|h| h.is_some()).count();
+    println!("{routers} routers, {} links", lsdb.num_edges() / 2);
+    println!("computed {routers} routing tables ({routed} routes total)");
+
+    // Fail the backbone link 0 - 1 and recompute router 0's table.
+    let mut b2 = EdgeListBuilder::new(routers);
+    for e in b.edges() {
+        let backbone = (e.from, e.to) == (0, 1) || (e.from, e.to) == (1, 0);
+        if !backbone {
+            b2.add(e.from, e.to, e.weight);
+        }
+    }
+    let lsdb2 = b2.build_array();
+    let before = &tables[0];
+    let after = routing_table(&lsdb2, 0);
+    let changed: Vec<usize> = (0..routers)
+        .filter(|&d| before[d] != after[d])
+        .collect();
+    println!("\nlink 0-1 failed: {} of router 0's routes changed next hop", changed.len());
+    for d in changed.iter().take(6) {
+        println!(
+            "  dst {d}: via {:?} -> via {:?}",
+            before[*d].map(|h| h.to_string()).unwrap_or_else(|| "-".into()),
+            after[*d].map(|h| h.to_string()).unwrap_or_else(|| "-".into()),
+        );
+    }
+}

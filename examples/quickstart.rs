@@ -1,0 +1,50 @@
+//! Quickstart: one tour through the four optimized algorithms.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use cachegraph::fw::{extract_path, fw_iterative_with_paths, fw_recursive, FwMatrix, INF};
+use cachegraph::graph::{generators, Graph};
+use cachegraph::layout::ZMorton;
+use cachegraph::matching::{find_matching, verify, Matching};
+use cachegraph::sssp::{dijkstra_binary_heap, prim_binary_heap};
+
+fn main() {
+    let n = 256;
+
+    // --- All-pairs shortest paths, cache-obliviously (Floyd-Warshall). ---
+    let builder = generators::random_directed(n, 0.1, 100, 42);
+    let dense = builder.build_matrix();
+    let mut apsp = FwMatrix::from_costs(ZMorton::new(n, 32), dense.costs());
+    fw_recursive(&mut apsp, 32);
+    println!("FW (recursive, Z-Morton): dist(0, {}) = {}", n - 1, apsp.dist(0, n - 1));
+
+    // --- Single-source shortest paths (Dijkstra, adjacency array). ---
+    let csr = builder.build_array();
+    let sp = dijkstra_binary_heap(&csr, 0);
+    assert_eq!(sp.dist[n - 1], apsp.dist(0, n - 1), "FW and Dijkstra agree");
+    let reachable = sp.dist.iter().filter(|&&d| d != INF).count();
+    println!("Dijkstra from 0: {reachable}/{n} vertices reachable");
+
+    // --- An explicit shortest path (predecessor-matrix variant). ---
+    let mut d = dense.costs().to_vec();
+    let paths = fw_iterative_with_paths(&mut d, n);
+    if let Some(p) = extract_path(&paths, 0, (n - 1) as u32) {
+        println!("shortest 0 -> {}: {} hops", n - 1, p.len() - 1);
+    }
+
+    // --- Minimum spanning tree (Prim, adjacency array). ---
+    let mut und = generators::random_undirected(n, 0.1, 100, 42);
+    generators::connect(&mut und, 100, 42);
+    let mst = prim_binary_heap(&und.build_array(), 0);
+    println!("Prim MST: total weight {}, {} vertices", mst.total_weight, mst.tree_size);
+
+    // --- Maximum bipartite matching with a König certificate. ---
+    let bip = generators::random_bipartite(n, 0.1, 42);
+    let g = bip.build_array();
+    let m = find_matching(&g, n / 2, Matching::empty(n));
+    verify::assert_maximum(&g, n / 2, &m); // proves maximality
+    println!("maximum matching: {} of {} possible pairs (certified)", m.size, n / 2);
+    println!("graph: {} vertices, {} arcs", g.num_vertices(), g.num_edges());
+}

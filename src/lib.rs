@@ -1,0 +1,46 @@
+//! # cachegraph
+//!
+//! A Rust reproduction of *Optimizing Graph Algorithms for Improved Cache
+//! Performance* (Park, Penner & Prasanna, IPDPS 2002): cache-oblivious and
+//! cache-friendly implementations of four fundamental graph algorithms,
+//! the substrates they need, and a cache-hierarchy simulator that stands
+//! in for the paper's SimpleScalar measurements.
+//!
+//! This facade crate re-exports the public API of every workspace crate:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`sim`] | `cachegraph-sim` | multi-level cache + TLB simulator, traced buffers, machine profiles |
+//! | [`layout`] | `cachegraph-layout` | row-major / Block Data Layout / Z-Morton layouts, block-size heuristic |
+//! | [`graph`] | `cachegraph-graph` | adjacency matrix / list / array representations, workload generators |
+//! | [`pq`] | `cachegraph-pq` | binary, d-ary, Fibonacci, pairing heaps with decrease-key |
+//! | [`fw`] | `cachegraph-fw` | iterative / tiled / recursive / parallel Floyd-Warshall |
+//! | [`sssp`] | `cachegraph-sssp` | Dijkstra, Prim, Bellman-Ford, BFS/DFS/CC/SCC |
+//! | [`matching`] | `cachegraph-matching` | augmenting-path and partitioned bipartite matching, max-flow |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cachegraph::fw::{fw_recursive, FwMatrix};
+//! use cachegraph::graph::generators;
+//! use cachegraph::layout::ZMorton;
+//! use cachegraph::sssp::dijkstra_binary_heap;
+//!
+//! // All-pairs shortest paths, cache-obliviously.
+//! let g = generators::random_directed(64, 0.3, 100, 42);
+//! let costs = g.build_matrix();
+//! let mut m = FwMatrix::from_costs(ZMorton::new(64, 16), costs.costs());
+//! fw_recursive(&mut m, 16);
+//!
+//! // Single-source shortest paths over the cache-friendly representation.
+//! let sp = dijkstra_binary_heap(&g.build_array(), 0);
+//! assert_eq!(m.dist(0, 5), sp.dist[5]);
+//! ```
+
+pub use cachegraph_fw as fw;
+pub use cachegraph_graph as graph;
+pub use cachegraph_layout as layout;
+pub use cachegraph_matching as matching;
+pub use cachegraph_pq as pq;
+pub use cachegraph_sim as sim;
+pub use cachegraph_sssp as sssp;

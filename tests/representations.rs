@@ -1,0 +1,119 @@
+//! Integration tests focused on representation edge cases and the
+//! library's behaviour on structured (non-random) graphs.
+
+use cachegraph::fw::{solve_apsp, transitive_closure_of, INF};
+use cachegraph::graph::{generators, io, EdgeListBuilder, Graph};
+use cachegraph::pq::SequenceHeap;
+use cachegraph::sssp::{bfs, connected_components, dijkstra_binary_heap, dijkstra_lazy_sequence};
+
+/// Grid graphs have known shortest-path structure: Manhattan distances.
+#[test]
+fn grid_distances_are_manhattan() {
+    let (rows, cols) = (7, 9);
+    let g = generators::grid_graph(rows, cols).build_array();
+    let sp = dijkstra_binary_heap(&g, 0);
+    let hops = bfs(&g, 0);
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = r * cols + c;
+            assert_eq!(sp.dist[v], (r + c) as u32, "({r},{c})");
+            assert_eq!(hops.hops[v], (r + c) as u32, "bfs ({r},{c})");
+        }
+    }
+}
+
+/// Path graph: distances are positions; closure is the upper triangle
+/// (plus the symmetric lower, since the path is undirected).
+#[test]
+fn path_graph_structure() {
+    let n = 50;
+    let b = generators::path_graph(n, 3);
+    let costs = b.build_matrix().costs().to_vec();
+    let d = solve_apsp(&costs, n);
+    for i in 0..n {
+        for j in 0..n {
+            assert_eq!(d[i * n + j], 3 * (i.abs_diff(j)) as u32);
+        }
+    }
+    let c = transitive_closure_of(&b.build_array());
+    assert!(c.get(0, n - 1) && c.get(n - 1, 0));
+}
+
+/// A weighted graph where the hop-shortest and weight-shortest paths
+/// differ: BFS and Dijkstra must disagree in the expected way.
+#[test]
+fn hops_versus_weights() {
+    let mut b = EdgeListBuilder::new(4);
+    b.add(0, 3, 10); // direct but heavy
+    b.add(0, 1, 1).add(1, 2, 1).add(2, 3, 1); // long but light
+    let g = b.build_array();
+    assert_eq!(bfs(&g, 0).hops[3], 1);
+    assert_eq!(dijkstra_binary_heap(&g, 0).dist[3], 3);
+}
+
+/// DIMACS round-trip through the facade: write, read, same answers.
+#[test]
+fn dimacs_roundtrip_preserves_distances() {
+    let b = generators::random_directed(120, 0.08, 50, 33);
+    let mut buf = Vec::new();
+    io::write_dimacs(&mut buf, &b).expect("write");
+    let back = io::read_dimacs(buf.as_slice()).expect("read");
+    assert_eq!(
+        dijkstra_binary_heap(&b.build_array(), 0).dist,
+        dijkstra_binary_heap(&back.build_array(), 0).dist,
+    );
+}
+
+/// The sequence heap sustains the full lazy-Dijkstra duplicate load.
+#[test]
+fn sequence_heap_under_lazy_dijkstra_load() {
+    let g = generators::random_directed(300, 0.1, 40, 8).build_array();
+    let seq = dijkstra_lazy_sequence(&g, 5);
+    let eager = dijkstra_binary_heap(&g, 5);
+    assert_eq!(seq.dist, eager.dist);
+
+    // Standalone duplicate stress: many inserts of one item.
+    let mut h = SequenceHeap::new();
+    for k in (0..1000u32).rev() {
+        h.insert(7, k);
+    }
+    assert_eq!(h.len(), 1000);
+    let mut prev = 0;
+    while let Some((item, k)) = h.extract_min() {
+        assert_eq!(item, 7);
+        assert!(k >= prev);
+        prev = k;
+    }
+}
+
+/// Self-loops and parallel arcs must not break anything.
+#[test]
+fn self_loops_and_parallel_arcs() {
+    let mut b = EdgeListBuilder::new(3);
+    b.add(0, 0, 5); // self-loop
+    b.add(0, 1, 9).add(0, 1, 2).add(0, 1, 7); // parallel arcs
+    b.add(1, 2, 1);
+    let g = b.build_array();
+    assert_eq!(g.num_edges(), 5);
+    let sp = dijkstra_binary_heap(&g, 0);
+    assert_eq!(sp.dist, vec![0, 2, 3], "min parallel arc must win");
+    // Matrix representation collapses parallels to the min.
+    let m = b.build_matrix();
+    assert_eq!(dijkstra_binary_heap(&m, 0).dist, vec![0, 2, 3]);
+    let c = transitive_closure_of(&g);
+    assert!(c.get(0, 2));
+}
+
+/// Isolated vertices exist peacefully everywhere.
+#[test]
+fn isolated_vertices() {
+    let mut b = EdgeListBuilder::new(5);
+    b.add_undirected(1, 3, 2);
+    let g = b.build_array();
+    let (labels, count) = connected_components(&g);
+    assert_eq!(count, 4); // {1,3} plus three singletons
+    assert_eq!(labels[1], labels[3]);
+    let sp = dijkstra_binary_heap(&g, 0);
+    assert_eq!(sp.dist[0], 0);
+    assert!(sp.dist[1..].iter().take(4).any(|&d| d == INF));
+}
