@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 gate plus static analysis — everything CI runs, runnable locally.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test -q"
+cargo test -q --workspace
+
+echo "==> cachegraph-tidy"
+cargo run -q -p cachegraph-tidy
+
+echo "==> clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "ci: all green"

@@ -1,132 +1,100 @@
-//! Criterion benches for the Floyd-Warshall family — the wall-clock side
-//! of Figs. 10 and 11 and Tables 4/5, at criterion-friendly sizes.
+//! Wall-clock benches for the Floyd-Warshall family — Figs. 10 and 11 and
+//! Tables 4/5 at bench-friendly sizes. Plain timing harness (criterion is
+//! unavailable offline); run with `cargo bench -p cachegraph-bench`.
 
 use cachegraph_bench::workloads::random_cost_matrix;
+use cachegraph_bench::{bench_report, black_box};
 use cachegraph_fw::{
     fw_iterative_slice, fw_recursive, fw_tiled, parallel::fw_tiled_parallel, FwMatrix,
 };
 use cachegraph_layout::{BlockLayout, RowMajor, ZMorton};
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 const SIZES: &[usize] = &[128, 256, 512];
 const B: usize = 32;
+const SAMPLES: usize = 5;
 
 /// Fig. 10 / Fig. 11: baseline vs recursive vs tiled.
-fn bench_fw_variants(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fw");
-    g.sample_size(10);
+fn bench_fw_variants() {
     for &n in SIZES {
         let costs = random_cost_matrix(n, 0.3, 100, n as u64);
-        g.bench_with_input(BenchmarkId::new("iterative_baseline", n), &n, |b, _| {
-            b.iter(|| {
-                let mut d = costs.clone();
-                fw_iterative_slice(&mut d, n);
-                black_box(d)
-            })
+        bench_report("fw", &format!("iterative_baseline/{n}"), SAMPLES, || {
+            let mut d = costs.clone();
+            fw_iterative_slice(&mut d, n);
+            black_box(&d);
         });
-        g.bench_with_input(BenchmarkId::new("recursive_morton", n), &n, |b, _| {
-            b.iter(|| {
-                let mut m = FwMatrix::from_costs(ZMorton::new(n, B), &costs);
-                fw_recursive(&mut m, B);
-                black_box(m)
-            })
+        bench_report("fw", &format!("recursive_morton/{n}"), SAMPLES, || {
+            let mut m = FwMatrix::from_costs(ZMorton::new(n, B), &costs);
+            fw_recursive(&mut m, B);
+            black_box(&m);
         });
-        g.bench_with_input(BenchmarkId::new("tiled_bdl", n), &n, |b, _| {
-            b.iter(|| {
-                let mut m = FwMatrix::from_costs(BlockLayout::new(n, B), &costs);
-                fw_tiled(&mut m, B);
-                black_box(m)
-            })
+        bench_report("fw", &format!("tiled_bdl/{n}"), SAMPLES, || {
+            let mut m = FwMatrix::from_costs(BlockLayout::new(n, B), &costs);
+            fw_tiled(&mut m, B);
+            black_box(&m);
         });
     }
-    g.finish();
 }
 
 /// Tables 4/5: layout choice within one algorithm.
-fn bench_fw_layouts(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fw_layouts");
-    g.sample_size(10);
+fn bench_fw_layouts() {
     let n = 256;
     let costs = random_cost_matrix(n, 0.3, 100, 3);
-    g.bench_function("tiled_row_major", |b| {
-        b.iter(|| {
-            let mut m = FwMatrix::from_costs(RowMajor::new(n), &costs);
-            fw_tiled(&mut m, B);
-            black_box(m)
-        })
+    bench_report("fw_layouts", "tiled_row_major", SAMPLES, || {
+        let mut m = FwMatrix::from_costs(RowMajor::new(n), &costs);
+        fw_tiled(&mut m, B);
+        black_box(&m);
     });
-    g.bench_function("tiled_bdl", |b| {
-        b.iter(|| {
-            let mut m = FwMatrix::from_costs(BlockLayout::new(n, B), &costs);
-            fw_tiled(&mut m, B);
-            black_box(m)
-        })
+    bench_report("fw_layouts", "tiled_bdl", SAMPLES, || {
+        let mut m = FwMatrix::from_costs(BlockLayout::new(n, B), &costs);
+        fw_tiled(&mut m, B);
+        black_box(&m);
     });
-    g.bench_function("tiled_morton", |b| {
-        b.iter(|| {
-            let mut m = FwMatrix::from_costs(ZMorton::new(n, B), &costs);
-            fw_tiled(&mut m, B);
-            black_box(m)
-        })
+    bench_report("fw_layouts", "tiled_morton", SAMPLES, || {
+        let mut m = FwMatrix::from_costs(ZMorton::new(n, B), &costs);
+        fw_tiled(&mut m, B);
+        black_box(&m);
     });
-    g.bench_function("recursive_morton", |b| {
-        b.iter(|| {
-            let mut m = FwMatrix::from_costs(ZMorton::new(n, B), &costs);
-            fw_recursive(&mut m, B);
-            black_box(m)
-        })
+    bench_report("fw_layouts", "recursive_morton", SAMPLES, || {
+        let mut m = FwMatrix::from_costs(ZMorton::new(n, B), &costs);
+        fw_recursive(&mut m, B);
+        black_box(&m);
     });
-    g.bench_function("recursive_bdl", |b| {
-        b.iter(|| {
-            let mut m = FwMatrix::from_costs(BlockLayout::new(n, B), &costs);
-            fw_recursive(&mut m, B);
-            black_box(m)
-        })
+    bench_report("fw_layouts", "recursive_bdl", SAMPLES, || {
+        let mut m = FwMatrix::from_costs(BlockLayout::new(n, B), &costs);
+        fw_recursive(&mut m, B);
+        black_box(&m);
     });
-    g.finish();
 }
 
 /// §3.1 base-case ablation at bench scale.
-fn bench_fw_basecase(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fw_basecase");
-    g.sample_size(10);
+fn bench_fw_basecase() {
     let n = 256;
     let costs = random_cost_matrix(n, 0.3, 100, 4);
     for base in [1usize, 8, 32, 64] {
-        g.bench_with_input(BenchmarkId::from_parameter(base), &base, |b, &base| {
-            b.iter(|| {
-                let mut m = FwMatrix::from_costs(ZMorton::new(n, base), &costs);
-                fw_recursive(&mut m, base);
-                black_box(m)
-            })
+        bench_report("fw_basecase", &format!("base{base}"), SAMPLES, || {
+            let mut m = FwMatrix::from_costs(ZMorton::new(n, base), &costs);
+            fw_recursive(&mut m, base);
+            black_box(&m);
         });
     }
-    g.finish();
 }
 
 /// Conclusion extension: parallel tiled FW thread scaling.
-fn bench_fw_parallel(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fw_parallel");
-    g.sample_size(10);
+fn bench_fw_parallel() {
     let n = 512;
     let costs = random_cost_matrix(n, 0.3, 100, 5);
     for threads in [1usize, 2, 4] {
-        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
-            b.iter(|| {
-                let mut m = FwMatrix::from_costs(BlockLayout::new(n, B), &costs);
-                fw_tiled_parallel(&mut m, B, threads);
-                black_box(m)
-            })
+        bench_report("fw_parallel", &format!("threads{threads}"), SAMPLES, || {
+            let mut m = FwMatrix::from_costs(BlockLayout::new(n, B), &costs);
+            fw_tiled_parallel(&mut m, B, threads);
+            black_box(&m);
         });
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_fw_variants,
-    bench_fw_layouts,
-    bench_fw_basecase,
-    bench_fw_parallel
-);
-criterion_main!(benches);
+fn main() {
+    bench_fw_variants();
+    bench_fw_layouts();
+    bench_fw_basecase();
+    bench_fw_parallel();
+}

@@ -1,79 +1,65 @@
-//! Criterion benches for matching — the wall-clock side of Figs. 17–19.
+//! Wall-clock benches for matching — Figs. 17–19. Plain timing harness;
+//! run with `cargo bench -p cachegraph-bench`.
 
 use cachegraph_bench::workloads::matching_graph;
+use cachegraph_bench::{bench_report, black_box};
 use cachegraph_graph::{generators, AdjacencyArray};
 use cachegraph_matching::{find_matching, find_matching_partitioned, Matching, PartitionScheme};
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const SAMPLES: usize = 5;
 
 /// Fig. 17: baseline vs partitioned across densities.
-fn bench_matching_density(c: &mut Criterion) {
-    let mut g = c.benchmark_group("matching_density");
-    g.sample_size(10);
+fn bench_matching_density() {
     let n = 2048;
     for &d in &[0.1f64, 0.3] {
         let b = matching_graph(n, d, 11);
         let arr = AdjacencyArray::from_edges(n, b.edges());
         let edges = b.edges().to_vec();
         let label = format!("d{}", (d * 100.0) as u32);
-        g.bench_with_input(BenchmarkId::new("baseline", &label), &n, |bch, _| {
-            bch.iter(|| black_box(find_matching(&arr, n / 2, Matching::empty(n))))
+        bench_report("matching_density", &format!("baseline/{label}"), SAMPLES, || {
+            black_box(find_matching(&arr, n / 2, Matching::empty(n)));
         });
-        g.bench_with_input(BenchmarkId::new("partitioned", &label), &n, |bch, _| {
-            bch.iter(|| {
-                black_box(find_matching_partitioned(
-                    &arr,
-                    n / 2,
-                    &edges,
-                    PartitionScheme::Contiguous(8),
-                ))
-            })
+        bench_report("matching_density", &format!("partitioned/{label}"), SAMPLES, || {
+            black_box(find_matching_partitioned(
+                &arr,
+                n / 2,
+                &edges,
+                PartitionScheme::Contiguous(8),
+            ));
         });
     }
-    g.finish();
 }
 
 /// Fig. 18: best-case aligned instances.
-fn bench_matching_best_case(c: &mut Criterion) {
-    let mut g = c.benchmark_group("matching_best_case");
-    g.sample_size(10);
+fn bench_matching_best_case() {
     let n = 2048;
     let b = generators::matching_best_case(n, 8, 0.05, 12);
     let arr = AdjacencyArray::from_edges(n, b.edges());
     let edges = b.edges().to_vec();
-    g.bench_function("baseline", |bch| {
-        bch.iter(|| black_box(find_matching(&arr, n / 2, Matching::empty(n))))
+    bench_report("matching_best_case", "baseline", SAMPLES, || {
+        black_box(find_matching(&arr, n / 2, Matching::empty(n)));
     });
-    g.bench_function("partitioned", |bch| {
-        bch.iter(|| {
-            black_box(find_matching_partitioned(&arr, n / 2, &edges, PartitionScheme::Contiguous(8)))
-        })
+    bench_report("matching_best_case", "partitioned", SAMPLES, || {
+        black_box(find_matching_partitioned(&arr, n / 2, &edges, PartitionScheme::Contiguous(8)));
     });
-    g.finish();
 }
 
 /// Fig. 19: the two-way partitioner on random graphs.
-fn bench_matching_two_way(c: &mut Criterion) {
-    let mut g = c.benchmark_group("matching_two_way");
-    g.sample_size(10);
+fn bench_matching_two_way() {
     let n = 2048;
     let b = matching_graph(n, 0.1, 13);
     let arr = AdjacencyArray::from_edges(n, b.edges());
     let edges = b.edges().to_vec();
-    g.bench_function("baseline", |bch| {
-        bch.iter(|| black_box(find_matching(&arr, n / 2, Matching::empty(n))))
+    bench_report("matching_two_way", "baseline", SAMPLES, || {
+        black_box(find_matching(&arr, n / 2, Matching::empty(n)));
     });
-    g.bench_function("two_way_partitioned", |bch| {
-        bch.iter(|| {
-            black_box(find_matching_partitioned(&arr, n / 2, &edges, PartitionScheme::TwoWay))
-        })
+    bench_report("matching_two_way", "two_way_partitioned", SAMPLES, || {
+        black_box(find_matching_partitioned(&arr, n / 2, &edges, PartitionScheme::TwoWay));
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_matching_density,
-    bench_matching_best_case,
-    bench_matching_two_way
-);
-criterion_main!(benches);
+fn main() {
+    bench_matching_density();
+    bench_matching_best_case();
+    bench_matching_two_way();
+}

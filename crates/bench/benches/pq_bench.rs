@@ -1,29 +1,28 @@
-//! Criterion micro-benches for the priority queues in isolation: the
-//! Dijkstra/Prim operation mix (`N` inserts, `N` extract-mins, `~E`
-//! decrease-keys) from §2's discussion of heap choices.
+//! Micro-benches for the priority queues in isolation: the Dijkstra/Prim
+//! operation mix (`N` inserts, `N` extract-mins, `~E` decrease-keys) from
+//! §2's discussion of heap choices. Plain timing harness; run with
+//! `cargo bench -p cachegraph-bench`.
 
-use cachegraph_pq::{
-    DAryHeap, DecreaseKeyQueue, FibonacciHeap, IndexedBinaryHeap, PairingHeap,
-};
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cachegraph_bench::{bench_report, black_box};
+use cachegraph_pq::{DAryHeap, DecreaseKeyQueue, FibonacciHeap, IndexedBinaryHeap, PairingHeap};
+use cachegraph_rng::StdRng;
 
 const N: usize = 16 * 1024;
 const UPDATES_PER_ITEM: usize = 8;
+const SAMPLES: usize = 5;
 
 /// The Dijkstra mix: insert all, interleave decrease-keys, drain.
 fn workload<Q: DecreaseKeyQueue>() -> u64 {
     let mut rng = StdRng::seed_from_u64(99);
     let mut q = Q::with_capacity(N);
     for i in 0..N as u32 {
-        q.insert(i, 1_000_000 + rng.gen_range(0..1_000_000));
+        q.insert(i, 1_000_000 + rng.gen_range(0u32..1_000_000));
     }
     let mut checksum = 0u64;
     for _ in 0..N * UPDATES_PER_ITEM {
         let item = rng.gen_range(0..N as u32);
         if let Some(k) = q.key_of(item) {
-            let cut = rng.gen_range(1..10_000);
+            let cut = rng.gen_range(1u32..10_000);
             let _ = q.decrease_key(item, k.saturating_sub(cut));
         }
     }
@@ -33,16 +32,21 @@ fn workload<Q: DecreaseKeyQueue>() -> u64 {
     checksum
 }
 
-fn bench_queues(c: &mut Criterion) {
-    let mut g = c.benchmark_group("pq_dijkstra_mix");
-    g.sample_size(10);
-    g.bench_function("binary", |b| b.iter(|| black_box(workload::<IndexedBinaryHeap>())));
-    g.bench_function("dary4", |b| b.iter(|| black_box(workload::<DAryHeap<4>>())));
-    g.bench_function("dary8", |b| b.iter(|| black_box(workload::<DAryHeap<8>>())));
-    g.bench_function("pairing", |b| b.iter(|| black_box(workload::<PairingHeap>())));
-    g.bench_function("fibonacci", |b| b.iter(|| black_box(workload::<FibonacciHeap>())));
-    g.finish();
+fn main() {
+    let g = "pq_dijkstra_mix";
+    bench_report(g, "binary", SAMPLES, || {
+        black_box(workload::<IndexedBinaryHeap>());
+    });
+    bench_report(g, "dary4", SAMPLES, || {
+        black_box(workload::<DAryHeap<4>>());
+    });
+    bench_report(g, "dary8", SAMPLES, || {
+        black_box(workload::<DAryHeap<8>>());
+    });
+    bench_report(g, "pairing", SAMPLES, || {
+        black_box(workload::<PairingHeap>());
+    });
+    bench_report(g, "fibonacci", SAMPLES, || {
+        black_box(workload::<FibonacciHeap>());
+    });
 }
-
-criterion_group!(benches, bench_queues);
-criterion_main!(benches);

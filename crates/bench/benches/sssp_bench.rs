@@ -1,83 +1,83 @@
-//! Criterion benches for Dijkstra and Prim — the wall-clock side of
-//! Figs. 12, 13, 15, 16 plus the priority-queue ablation.
+//! Wall-clock benches for Dijkstra and Prim — Figs. 12, 13, 15, 16 plus
+//! the priority-queue ablation. Plain timing harness; run with
+//! `cargo bench -p cachegraph-bench`.
 
 use cachegraph_bench::workloads::{dijkstra_graph, prim_graph};
+use cachegraph_bench::{bench_report, black_box};
 use cachegraph_pq::{DAryHeap, FibonacciHeap, IndexedBinaryHeap, PairingHeap};
 use cachegraph_sssp::{bellman_ford, dijkstra, dijkstra_binary_heap, prim_binary_heap};
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const SAMPLES: usize = 5;
 
 /// Figs. 12/13: representation comparison for Dijkstra.
-fn bench_dijkstra_representation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dijkstra_representation");
-    g.sample_size(10);
+fn bench_dijkstra_representation() {
     for &(n, d) in &[(2048usize, 0.1f64), (4096, 0.1), (2048, 0.5)] {
         let builder = dijkstra_graph(n, d, 7);
         let list = builder.build_list();
         let arr = builder.build_array();
         let label = format!("n{n}_d{}", (d * 100.0) as u32);
-        g.bench_with_input(BenchmarkId::new("adj_list", &label), &n, |b, _| {
-            b.iter(|| black_box(dijkstra_binary_heap(&list, 0)))
+        bench_report("dijkstra_representation", &format!("adj_list/{label}"), SAMPLES, || {
+            black_box(dijkstra_binary_heap(&list, 0));
         });
-        g.bench_with_input(BenchmarkId::new("adj_array", &label), &n, |b, _| {
-            b.iter(|| black_box(dijkstra_binary_heap(&arr, 0)))
+        bench_report("dijkstra_representation", &format!("adj_array/{label}"), SAMPLES, || {
+            black_box(dijkstra_binary_heap(&arr, 0));
         });
     }
-    g.finish();
 }
 
 /// Figs. 15/16: representation comparison for Prim.
-fn bench_prim_representation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("prim_representation");
-    g.sample_size(10);
+fn bench_prim_representation() {
     for &(n, d) in &[(2048usize, 0.1f64), (4096, 0.1)] {
         let builder = prim_graph(n, d, 8);
         let list = builder.build_list();
         let arr = builder.build_array();
         let label = format!("n{n}_d{}", (d * 100.0) as u32);
-        g.bench_with_input(BenchmarkId::new("adj_list", &label), &n, |b, _| {
-            b.iter(|| black_box(prim_binary_heap(&list, 0)))
+        bench_report("prim_representation", &format!("adj_list/{label}"), SAMPLES, || {
+            black_box(prim_binary_heap(&list, 0));
         });
-        g.bench_with_input(BenchmarkId::new("adj_array", &label), &n, |b, _| {
-            b.iter(|| black_box(prim_binary_heap(&arr, 0)))
+        bench_report("prim_representation", &format!("adj_array/{label}"), SAMPLES, || {
+            black_box(prim_binary_heap(&arr, 0));
         });
     }
-    g.finish();
 }
 
 /// §2 ablation: queue structures under Dijkstra.
-fn bench_dijkstra_queues(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dijkstra_queues");
-    g.sample_size(10);
+fn bench_dijkstra_queues() {
     let arr = dijkstra_graph(4096, 0.1, 9).build_array();
-    g.bench_function("binary", |b| {
-        b.iter(|| black_box(dijkstra::<_, IndexedBinaryHeap>(&arr, 0)))
+    let g = "dijkstra_queues";
+    bench_report(g, "binary", SAMPLES, || {
+        black_box(dijkstra::<_, IndexedBinaryHeap>(&arr, 0));
     });
-    g.bench_function("dary4", |b| b.iter(|| black_box(dijkstra::<_, DAryHeap<4>>(&arr, 0))));
-    g.bench_function("dary8", |b| b.iter(|| black_box(dijkstra::<_, DAryHeap<8>>(&arr, 0))));
-    g.bench_function("pairing", |b| b.iter(|| black_box(dijkstra::<_, PairingHeap>(&arr, 0))));
-    g.bench_function("fibonacci", |b| {
-        b.iter(|| black_box(dijkstra::<_, FibonacciHeap>(&arr, 0)))
+    bench_report(g, "dary4", SAMPLES, || {
+        black_box(dijkstra::<_, DAryHeap<4>>(&arr, 0));
     });
-    g.finish();
+    bench_report(g, "dary8", SAMPLES, || {
+        black_box(dijkstra::<_, DAryHeap<8>>(&arr, 0));
+    });
+    bench_report(g, "pairing", SAMPLES, || {
+        black_box(dijkstra::<_, PairingHeap>(&arr, 0));
+    });
+    bench_report(g, "fibonacci", SAMPLES, || {
+        black_box(dijkstra::<_, FibonacciHeap>(&arr, 0));
+    });
 }
 
 /// Conclusion extension: Bellman-Ford also benefits from the layout.
-fn bench_bellman_ford(c: &mut Criterion) {
-    let mut g = c.benchmark_group("bellman_ford_representation");
-    g.sample_size(10);
+fn bench_bellman_ford() {
     let builder = dijkstra_graph(1024, 0.1, 10);
     let list = builder.build_list();
     let arr = builder.build_array();
-    g.bench_function("adj_list", |b| b.iter(|| black_box(bellman_ford(&list, 0))));
-    g.bench_function("adj_array", |b| b.iter(|| black_box(bellman_ford(&arr, 0))));
-    g.finish();
+    bench_report("bellman_ford_representation", "adj_list", SAMPLES, || {
+        black_box(bellman_ford(&list, 0));
+    });
+    bench_report("bellman_ford_representation", "adj_array", SAMPLES, || {
+        black_box(bellman_ford(&arr, 0));
+    });
 }
 
-criterion_group!(
-    benches,
-    bench_dijkstra_representation,
-    bench_prim_representation,
-    bench_dijkstra_queues,
-    bench_bellman_ford
-);
-criterion_main!(benches);
+fn main() {
+    bench_dijkstra_representation();
+    bench_prim_representation();
+    bench_dijkstra_queues();
+    bench_bellman_ford();
+}

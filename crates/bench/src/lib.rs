@@ -59,3 +59,27 @@ pub fn time_once<T>(f: impl FnOnce() -> T) -> (Duration, T) {
 pub fn speedup(baseline: Duration, optimized: Duration) -> f64 {
     baseline.as_secs_f64() / optimized.as_secs_f64().max(1e-12)
 }
+
+/// Minimal bench runner for the `[[bench]]` targets (`harness = false`):
+/// runs `f` for `samples` timed samples after one warmup and prints the
+/// best and median wall-clock time. Criterion is unavailable offline;
+/// this keeps the bench binaries useful without it.
+pub fn bench_report(group: &str, name: &str, samples: usize, mut f: impl FnMut()) {
+    f(); // warmup
+    let mut times: Vec<Duration> = (0..samples.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed()
+        })
+        .collect();
+    times.sort_unstable();
+    let best = times[0];
+    let median = times[times.len() / 2];
+    println!("{group}/{name}: best {best:?}  median {median:?}  ({} samples)", times.len());
+}
+
+/// Defeat the optimizer without `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}

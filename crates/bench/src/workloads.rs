@@ -1,8 +1,7 @@
 //! Shared workload construction for the experiments.
 
 use cachegraph_graph::{generators, EdgeListBuilder, Weight, INF};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cachegraph_rng::StdRng;
 
 /// Dense row-major random cost matrix with edge probability `density`,
 /// zero diagonal, `INF` elsewhere — the Floyd-Warshall input.

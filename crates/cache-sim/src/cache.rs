@@ -244,10 +244,11 @@ impl SetAssocCache {
             // out of the victim cache becomes the write-back.
             self.victim.insert(0, (evicted_addr, evicted.dirty));
             if self.victim.len() > self.config.victim_entries {
-                let (old_addr, old_dirty) = self.victim.pop().expect("victim non-empty");
-                if old_dirty {
-                    self.stats.writebacks += 1;
-                    return Some(old_addr);
+                if let Some((old_addr, old_dirty)) = self.victim.pop() {
+                    if old_dirty {
+                        self.stats.writebacks += 1;
+                        return Some(old_addr);
+                    }
                 }
             }
             None

@@ -91,7 +91,7 @@ impl MemoryHierarchy {
     }
 
     /// Stop recording and return the captured trace, if any.
-    pub fn take_trace(&mut self) -> Option<bytes::Bytes> {
+    pub fn take_trace(&mut self) -> Option<Vec<u8>> {
         self.recorder.take().map(TraceRecorder::finish)
     }
 

@@ -50,7 +50,9 @@ impl Fenwick {
     fn raw_add(&mut self, pos: usize, delta: i32) {
         let mut i = pos + 1;
         while i < self.tree.len() {
-            self.tree[i] = (self.tree[i] as i64 + delta as i64) as u32;
+            // Counts never underflow: a line is only decremented on the
+            // prefixes it was previously incremented on.
+            self.tree[i] = self.tree[i].wrapping_add_signed(delta);
             i += i & i.wrapping_neg();
         }
     }

@@ -12,8 +12,9 @@
 //! delta from the previous access (i8 / i32 / i64 by class) and a 1-byte
 //! size. Graph-algorithm traces are dominated by short strides, so the
 //! common case is 3 bytes per access versus 13 raw.
-
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+//!
+//! Traces are plain `Vec<u8>` buffers, so they can be written to and read
+//! from disk with no further framing.
 
 use crate::cache::AccessKind;
 use crate::hierarchy::MemoryHierarchy;
@@ -29,7 +30,7 @@ const WIDTH_I64: u8 = 2 << 1;
 /// Records an access stream into a compact buffer.
 #[derive(Clone, Debug)]
 pub struct TraceRecorder {
-    buf: BytesMut,
+    buf: Vec<u8>,
     prev_addr: u64,
     count: u64,
 }
@@ -43,9 +44,9 @@ impl Default for TraceRecorder {
 impl TraceRecorder {
     /// An empty recording.
     pub fn new() -> Self {
-        let mut buf = BytesMut::with_capacity(4096);
-        buf.put_slice(MAGIC);
-        buf.put_u16_le(0); // reserved
+        let mut buf = Vec::with_capacity(4096);
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&0u16.to_le_bytes()); // reserved
         Self { buf, prev_addr: 0, count: 0 }
     }
 
@@ -56,16 +57,18 @@ impl TraceRecorder {
         self.prev_addr = addr;
         let write_bit = u8::from(kind == AccessKind::Write);
         if let Ok(d) = i8::try_from(delta) {
-            self.buf.put_u8(write_bit | WIDTH_I8);
-            self.buf.put_i8(d);
+            self.buf.push(write_bit | WIDTH_I8);
+            self.buf.extend_from_slice(&d.to_le_bytes());
         } else if let Ok(d) = i32::try_from(delta) {
-            self.buf.put_u8(write_bit | WIDTH_I32);
-            self.buf.put_i32_le(d);
+            self.buf.push(write_bit | WIDTH_I32);
+            self.buf.extend_from_slice(&d.to_le_bytes());
         } else {
-            self.buf.put_u8(write_bit | WIDTH_I64);
-            self.buf.put_i64_le(delta);
+            self.buf.push(write_bit | WIDTH_I64);
+            self.buf.extend_from_slice(&delta.to_le_bytes());
         }
-        self.buf.put_u8(size as u8);
+        // Simulator accesses are 1..=8 bytes; saturate defensively rather
+        // than truncate if a caller ever passes a larger size.
+        self.buf.push(u8::try_from(size).unwrap_or(u8::MAX));
         self.count += 1;
     }
 
@@ -84,9 +87,9 @@ impl TraceRecorder {
         self.buf.len()
     }
 
-    /// Finish and return the immutable trace.
-    pub fn finish(self) -> Bytes {
-        self.buf.freeze()
+    /// Finish and return the encoded trace.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
     }
 }
 
@@ -113,38 +116,64 @@ impl std::fmt::Display for TraceError {
 
 impl std::error::Error for TraceError {}
 
-/// Iterate a trace, calling `f(addr, size, kind)` per access.
-pub fn for_each_access(
-    trace: &Bytes,
-    mut f: impl FnMut(u64, usize, AccessKind),
-) -> Result<u64, TraceError> {
-    let mut buf = trace.clone();
-    if buf.remaining() < 8 || &buf.copy_to_bytes(6)[..] != MAGIC {
-        return Err(TraceError::BadHeader);
+/// Little-endian reader over the raw trace bytes.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
     }
-    buf.advance(2); // reserved
-    let mut addr = 0u64;
-    let mut count = 0u64;
-    while buf.has_remaining() {
-        let tag = buf.get_u8();
-        let kind = if tag & 1 == 1 { AccessKind::Write } else { AccessKind::Read };
-        let width = tag & 0b110;
-        let need = match width {
-            WIDTH_I8 => 1,
-            WIDTH_I32 => 4,
-            WIDTH_I64 => 8,
-            _ => return Err(TraceError::BadTag(tag)),
-        };
-        if buf.remaining() < need + 1 {
+
+    /// Take the next `n` bytes, or report truncation.
+    fn take(&mut self, n: usize) -> Result<&'a [u8], TraceError> {
+        if self.remaining() < n {
             return Err(TraceError::Truncated);
         }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, TraceError> {
+        Ok(self.take(1)?[0])
+    }
+}
+
+/// Iterate a trace, calling `f(addr, size, kind)` per access.
+pub fn for_each_access(
+    trace: &[u8],
+    mut f: impl FnMut(u64, usize, AccessKind),
+) -> Result<u64, TraceError> {
+    let mut r = Reader { buf: trace, pos: 0 };
+    if r.remaining() < 8 || r.take(6).ok() != Some(MAGIC.as_slice()) {
+        return Err(TraceError::BadHeader);
+    }
+    r.take(2)?; // reserved
+    let mut addr = 0u64;
+    let mut count = 0u64;
+    while r.remaining() > 0 {
+        let tag = r.u8()?;
+        let kind = if tag & 1 == 1 { AccessKind::Write } else { AccessKind::Read };
+        let width = tag & 0b110;
         let delta = match width {
-            WIDTH_I8 => buf.get_i8() as i64,
-            WIDTH_I32 => buf.get_i32_le() as i64,
-            _ => buf.get_i64_le(),
+            WIDTH_I8 => i64::from(i8::from_le_bytes([r.u8()?])),
+            WIDTH_I32 => {
+                let mut b = [0u8; 4];
+                b.copy_from_slice(r.take(4)?);
+                i32::from_le_bytes(b) as i64
+            }
+            WIDTH_I64 => {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(r.take(8)?);
+                i64::from_le_bytes(b)
+            }
+            _ => return Err(TraceError::BadTag(tag)),
         };
         addr = addr.wrapping_add(delta as u64);
-        let size = buf.get_u8() as usize;
+        let size = r.u8()? as usize;
         f(addr, size, kind);
         count += 1;
     }
@@ -152,12 +181,12 @@ pub fn for_each_access(
 }
 
 /// Replay a trace against a hierarchy. Returns the access count.
-pub fn replay(trace: &Bytes, hier: &mut MemoryHierarchy) -> Result<u64, TraceError> {
+pub fn replay(trace: &[u8], hier: &mut MemoryHierarchy) -> Result<u64, TraceError> {
     for_each_access(trace, |addr, size, kind| hier.access(addr, size, kind))
 }
 
 /// Replay a trace into a reuse-distance profiler (line-granular).
-pub fn replay_reuse(trace: &Bytes, profiler: &mut ReuseProfiler) -> Result<u64, TraceError> {
+pub fn replay_reuse(trace: &[u8], profiler: &mut ReuseProfiler) -> Result<u64, TraceError> {
     for_each_access(trace, |addr, _, _| profiler.access(addr))
 }
 
@@ -242,14 +271,11 @@ mod tests {
 
     #[test]
     fn decode_errors() {
-        assert_eq!(
-            for_each_access(&Bytes::from_static(b"junk"), |_, _, _| {}),
-            Err(TraceError::BadHeader)
-        );
+        assert_eq!(for_each_access(b"junk", |_, _, _| {}), Err(TraceError::BadHeader));
         let mut rec = TraceRecorder::new();
         rec.record(0, 4, AccessKind::Read);
         let full = rec.finish();
-        let truncated = full.slice(0..full.len() - 1);
-        assert_eq!(for_each_access(&truncated, |_, _, _| {}), Err(TraceError::Truncated));
+        let truncated = &full[..full.len() - 1];
+        assert_eq!(for_each_access(truncated, |_, _, _| {}), Err(TraceError::Truncated));
     }
 }

@@ -1,13 +1,17 @@
-//! Property tests for the cache simulator: classic LRU laws that must
-//! hold on every access trace.
+//! Randomized tests for the cache simulator: classic LRU laws that must
+//! hold on every access trace. Traces are drawn from a seeded PRNG so
+//! runs are deterministic.
 
+use cachegraph_rng::StdRng;
 use cachegraph_sim::{AccessKind, CacheConfig, ReuseProfiler, SetAssocCache};
-use proptest::prelude::*;
+
+const CASES: usize = 128;
 
 /// A short trace of byte addresses in a small region (so collisions and
 /// reuses actually happen).
-fn trace_strategy() -> impl Strategy<Value = Vec<u64>> {
-    prop::collection::vec(0u64..4096, 1..600)
+fn random_trace(rng: &mut StdRng) -> Vec<u64> {
+    let len = rng.gen_range(1usize..600);
+    (0..len).map(|_| rng.gen_range(0u64..4096)).collect()
 }
 
 fn misses(config: CacheConfig, trace: &[u64]) -> u64 {
@@ -18,77 +22,97 @@ fn misses(config: CacheConfig, trace: &[u64]) -> u64 {
     c.stats().misses
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Accounting: hits + misses == accesses, always.
-    #[test]
-    fn hits_plus_misses_equals_accesses(trace in trace_strategy()) {
+/// Accounting: hits + misses == accesses, always.
+#[test]
+fn hits_plus_misses_equals_accesses() {
+    let mut rng = StdRng::seed_from_u64(0xacc7);
+    for _ in 0..CASES {
+        let trace = random_trace(&mut rng);
         let mut c = SetAssocCache::new(CacheConfig::new("t", 512, 32, 2));
         for &a in &trace {
             c.probe(a, AccessKind::Read);
         }
         let s = c.stats();
-        prop_assert_eq!(s.hits + s.misses, s.accesses);
-        prop_assert_eq!(s.accesses, trace.len() as u64);
+        assert_eq!(s.hits + s.misses, s.accesses);
+        assert_eq!(s.accesses, trace.len() as u64);
     }
+}
 
-    /// LRU inclusion: growing associativity at fixed set count (i.e.
-    /// deepening every LRU stack) never adds misses.
-    #[test]
-    fn more_ways_never_hurt(trace in trace_strategy()) {
+/// LRU inclusion: growing associativity at fixed set count (i.e.
+/// deepening every LRU stack) never adds misses.
+#[test]
+fn more_ways_never_hurt() {
+    let mut rng = StdRng::seed_from_u64(0x3a15);
+    for _ in 0..CASES {
+        let trace = random_trace(&mut rng);
         // 8 sets x 32 B lines; 1, 2, 4 ways.
         let m1 = misses(CacheConfig::new("a1", 8 * 32, 32, 1), &trace);
         let m2 = misses(CacheConfig::new("a2", 2 * 8 * 32, 32, 2), &trace);
         let m4 = misses(CacheConfig::new("a4", 4 * 8 * 32, 32, 4), &trace);
-        prop_assert!(m2 <= m1, "2-way ({m2}) vs direct-mapped ({m1})");
-        prop_assert!(m4 <= m2, "4-way ({m4}) vs 2-way ({m2})");
+        assert!(m2 <= m1, "2-way ({m2}) vs direct-mapped ({m1})");
+        assert!(m4 <= m2, "4-way ({m4}) vs 2-way ({m2})");
     }
+}
 
-    /// LRU stack inclusion: a larger fully-associative LRU cache never
-    /// misses more than a smaller one. (Note the tempting stronger claim
-    /// — "FA always beats equal-capacity set-associative" — is FALSE:
-    /// set partitioning occasionally protects a line FA-LRU would have
-    /// evicted. Proptest found a counterexample; the simulator is right.)
-    #[test]
-    fn bigger_fa_cache_never_misses_more(trace in trace_strategy()) {
+/// LRU stack inclusion: a larger fully-associative LRU cache never misses
+/// more than a smaller one. (Note the tempting stronger claim — "FA
+/// always beats equal-capacity set-associative" — is FALSE: set
+/// partitioning occasionally protects a line FA-LRU would have evicted.
+/// Randomized testing found a counterexample; the simulator is right.)
+#[test]
+fn bigger_fa_cache_never_misses_more() {
+    let mut rng = StdRng::seed_from_u64(0xb19f);
+    for _ in 0..CASES {
+        let trace = random_trace(&mut rng);
         let mut prev = u64::MAX;
         for lines in [2usize, 4, 8, 16, 32] {
             let m = misses(CacheConfig::new("fa", lines * 32, 32, lines), &trace);
-            prop_assert!(m <= prev, "{lines}-line FA missed {m} > smaller's {prev}");
+            assert!(m <= prev, "{lines}-line FA missed {m} > smaller's {prev}");
             prev = m;
         }
     }
+}
 
-    /// The reuse profiler's prediction equals FA-LRU simulation at every
-    /// capacity.
-    #[test]
-    fn reuse_profile_predicts_fa_lru(trace in trace_strategy(), lines_pow in 0u32..6) {
-        let lines = 1usize << lines_pow;
+/// The reuse profiler's prediction equals FA-LRU simulation at every
+/// capacity.
+#[test]
+fn reuse_profile_predicts_fa_lru() {
+    let mut rng = StdRng::seed_from_u64(0x4e05);
+    for _ in 0..CASES {
+        let trace = random_trace(&mut rng);
+        let lines = 1usize << rng.gen_range(0u32..6);
         let mut p = ReuseProfiler::new(32, 256);
         for &a in &trace {
             p.access(a);
         }
         let fa = misses(CacheConfig::new("fa", lines * 32, 32, lines), &trace);
-        prop_assert_eq!(p.misses_for_capacity(lines), fa, "capacity {} lines", lines);
+        assert_eq!(p.misses_for_capacity(lines), fa, "capacity {lines} lines");
     }
+}
 
-    /// Repeating a trace twice: the second pass can only add accesses that
-    /// hit or miss, never lose the first pass's state — miss count over
-    /// the doubled trace is at most twice the single-pass count.
-    #[test]
-    fn repetition_is_subadditive(trace in trace_strategy()) {
+/// Repeating a trace twice: the second pass can only add accesses that
+/// hit or miss, never lose the first pass's state — miss count over the
+/// doubled trace is at most twice the single-pass count.
+#[test]
+fn repetition_is_subadditive() {
+    let mut rng = StdRng::seed_from_u64(0x4e9e);
+    for _ in 0..CASES {
+        let trace = random_trace(&mut rng);
         let single = misses(CacheConfig::new("t", 512, 32, 2), &trace);
         let mut doubled = trace.clone();
         doubled.extend_from_slice(&trace);
         let both = misses(CacheConfig::new("t", 512, 32, 2), &doubled);
-        prop_assert!(both <= 2 * single);
+        assert!(both <= 2 * single);
     }
+}
 
-    /// Writes and reads have identical placement behaviour (write-back
-    /// allocate-on-write): miss counts match read-only replay.
-    #[test]
-    fn writes_allocate_like_reads(trace in trace_strategy()) {
+/// Writes and reads have identical placement behaviour (write-back
+/// allocate-on-write): miss counts match read-only replay.
+#[test]
+fn writes_allocate_like_reads() {
+    let mut rng = StdRng::seed_from_u64(0x3417);
+    for _ in 0..CASES {
+        let trace = random_trace(&mut rng);
         let mut rw = SetAssocCache::new(CacheConfig::new("rw", 512, 32, 2));
         let mut ro = SetAssocCache::new(CacheConfig::new("ro", 512, 32, 2));
         for (i, &a) in trace.iter().enumerate() {
@@ -96,6 +120,6 @@ proptest! {
             rw.probe(a, kind);
             ro.probe(a, AccessKind::Read);
         }
-        prop_assert_eq!(rw.stats().misses, ro.stats().misses);
+        assert_eq!(rw.stats().misses, ro.stats().misses);
     }
 }

@@ -48,11 +48,6 @@ impl BitMatrix {
         self.bits[i * self.words_per_row + j / 64] |= 1 << (j % 64);
     }
 
-    /// Row `i` as words.
-    fn row(&self, i: usize) -> &[u64] {
-        &self.bits[i * self.words_per_row..(i + 1) * self.words_per_row]
-    }
-
     /// `row(dst) |= row(src)`; returns true if `dst` changed.
     fn or_row_into(&mut self, src: usize, dst: usize) -> bool {
         debug_assert_ne!(src, dst);

@@ -174,8 +174,7 @@ mod tests {
     use super::*;
     use crate::fw_iterative_slice;
     use cachegraph_sim::profiles;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use cachegraph_rng::StdRng;
 
     fn random_costs(n: usize, density: f64, seed: u64) -> Vec<u32> {
         let mut rng = StdRng::seed_from_u64(seed);

@@ -7,6 +7,7 @@
 //! descriptors into a single `&mut [Weight]` — in-place semantics exactly
 //! like the paper's C code, with no aliasing gymnastics.
 
+// tidy: kernel
 use cachegraph_graph::{Weight, INF};
 use cachegraph_layout::{BlockLayout, Layout, RowMajor, ZMorton};
 

@@ -73,7 +73,9 @@ pub fn extract_path(paths: &PathMatrix, i: VertexId, j: VertexId) -> Option<Vec<
     let n = paths.n();
     let mut rev = vec![j];
     let mut cur = j;
-    // A simple path has at most n vertices; more means a bug/corruption.
+    // A simple path has at most n vertices; a longer predecessor chain
+    // means the path matrix is corrupt. Degrade to "no path" rather than
+    // aborting — callers treat None as unreachable either way.
     for _ in 0..n {
         cur = paths.pred(i as usize, cur as usize)?;
         rev.push(cur);
@@ -82,7 +84,7 @@ pub fn extract_path(paths: &PathMatrix, i: VertexId, j: VertexId) -> Option<Vec<
             return Some(rev);
         }
     }
-    panic!("predecessor chain longer than n — corrupt path matrix");
+    None
 }
 
 #[cfg(test)]

@@ -55,6 +55,13 @@ pub fn run_recursive<L: StridedView, A: CellAccess>(layout: &L, n: usize, acc: &
         tiles.is_power_of_two(),
         "padded size / base = {tiles} must be a power of two for halving recursion"
     );
+    // Every layout in this crate that can express tile (0, 0) as a strided
+    // view can express all aligned in-range tiles, so one check up front
+    // validates the whole recursion.
+    assert!(
+        layout.view(0, 0, base).is_some(),
+        "layout must expose aligned {base}x{base} tiles (base must match the layout's block size)"
+    );
     // Tiles that contain at least one real (non-padding) vertex.
     let real_tiles = n.div_ceil(base);
     let mut ctx = Ctx { layout: layout.clone(), base, real_tiles };
@@ -85,9 +92,9 @@ fn rec<L: StridedView, A: CellAccess>(
     }
     if size == 1 {
         let view = |q: Quad| -> View {
-            ctx.layout
-                .view(q.r * ctx.base, q.c * ctx.base, ctx.base)
-                .expect("layout must expose aligned base tiles")
+            let v = ctx.layout.view(q.r * ctx.base, q.c * ctx.base, ctx.base);
+            // tidy: allow(panic-policy) -- tiling validated by the assert in run_recursive
+            v.expect("layout must expose aligned base tiles")
         };
         let (va, vb, vc) = (view(a), view(b), view(c));
         fwi_access(acc, va, vb, vc, ctx.base);
@@ -117,8 +124,7 @@ mod tests {
     use crate::iterative::fw_iterative_slice;
     use cachegraph_graph::INF;
     use cachegraph_layout::{BlockLayout, RowMajor, ZMorton};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use cachegraph_rng::StdRng;
 
     fn random_costs(n: usize, density: f64, seed: u64) -> Vec<u32> {
         let mut rng = StdRng::seed_from_u64(seed);

@@ -31,12 +31,19 @@ pub fn fw_tiled<L: StridedView>(m: &mut FwMatrix<L>, b: usize) {
 pub fn run_tiled<L: StridedView, A: CellAccess>(layout: &L, n: usize, acc: &mut A, b: usize) {
     let p = layout.padded_n();
     assert!(b >= 1 && p.is_multiple_of(b), "padded size {p} must be a multiple of the tile size {b}");
+    // Every layout in this crate that can express tile (0, 0) as a strided
+    // view can express all aligned in-range tiles, so one check up front
+    // validates the whole decomposition.
+    assert!(
+        layout.view(0, 0, b).is_some(),
+        "layout must expose aligned {b}x{b} tiles (tile size must match the layout's block size)"
+    );
     // Number of tile rows/cols that contain at least one real vertex.
     let real_tiles = n.div_ceil(b);
     let view = |ti: usize, tj: usize| {
-        layout
-            .view(ti * b, tj * b, b)
-            .expect("layout must expose aligned bxb tiles as strided views")
+        let v = layout.view(ti * b, tj * b, b);
+        // tidy: allow(panic-policy) -- tiling validated by the assert above
+        v.expect("layout must expose aligned bxb tiles as strided views")
     };
 
     for t in 0..real_tiles {
@@ -80,8 +87,7 @@ mod tests {
     use crate::iterative::fw_iterative_slice;
     use cachegraph_graph::INF;
     use cachegraph_layout::{BlockLayout, RowMajor, ZMorton};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use cachegraph_rng::StdRng;
 
     fn random_costs(n: usize, density: f64, seed: u64) -> Vec<u32> {
         let mut rng = StdRng::seed_from_u64(seed);

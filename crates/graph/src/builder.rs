@@ -51,8 +51,7 @@ impl EdgeListBuilder {
     /// graph edge-by-edge with heap-allocated list nodes, which is the
     /// pointer-chasing baseline of §3.2. Call before `build_*`.
     pub fn shuffle(&mut self, seed: u64) -> &mut Self {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x5f3759df);
+        let mut rng = cachegraph_rng::StdRng::seed_from_u64(seed ^ 0x5f3759df);
         for i in (1..self.edges.len()).rev() {
             let j = rng.gen_range(0..=i);
             self.edges.swap(i, j);

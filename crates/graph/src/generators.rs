@@ -8,8 +8,7 @@
 //! All generators are deterministic in `seed`, so the adjacency-list and
 //! adjacency-array sides of every comparison see identical graphs.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cachegraph_rng::StdRng;
 
 use crate::builder::EdgeListBuilder;
 use crate::traits::{VertexId, Weight};

@@ -1,9 +1,9 @@
-//! Property tests: the three graph representations built from one edge
-//! list must present identical adjacency, and shuffling the build order
-//! must not change it.
+//! Randomized property tests: the three graph representations built from
+//! one edge list must present identical adjacency, and shuffling the
+//! build order must not change it. Cases come from a seeded PRNG.
 
 use cachegraph_graph::{generators, Graph, VertexId};
-use proptest::prelude::*;
+use cachegraph_rng::StdRng;
 
 fn sorted_adjacency<G: Graph>(g: &G) -> Vec<Vec<(VertexId, u32)>> {
     (0..g.num_vertices() as VertexId)
@@ -15,62 +15,66 @@ fn sorted_adjacency<G: Graph>(g: &G) -> Vec<Vec<(VertexId, u32)>> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn representations_agree(
-        n in 1usize..60,
-        density in 0.0f64..0.6,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn representations_agree() {
+    let mut rng = StdRng::seed_from_u64(0x4e95);
+    for _ in 0..64 {
+        let n = rng.gen_range(1usize..60);
+        let density = rng.gen_range(0.0f64..0.6);
+        let seed = rng.next_u64();
         let b = generators::random_directed(n.max(2), density, 50, seed);
         let arr = sorted_adjacency(&b.build_array());
         let list = sorted_adjacency(&b.build_list());
         let mat = sorted_adjacency(&b.build_matrix());
-        prop_assert_eq!(&arr, &list);
-        prop_assert_eq!(&arr, &mat);
+        assert_eq!(arr, list, "n={n} density={density} seed={seed}");
+        assert_eq!(arr, mat, "n={n} density={density} seed={seed}");
     }
+}
 
-    #[test]
-    fn shuffle_is_representation_invariant(
-        n in 2usize..60,
-        density in 0.0f64..0.6,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn shuffle_is_representation_invariant() {
+    let mut rng = StdRng::seed_from_u64(0x5476);
+    for _ in 0..64 {
+        let n = rng.gen_range(2usize..60);
+        let density = rng.gen_range(0.0f64..0.6);
+        let seed = rng.next_u64();
         let mut b = generators::random_directed(n, density, 50, seed);
         let before = sorted_adjacency(&b.build_array());
         b.shuffle(seed.wrapping_add(1));
         let after_arr = sorted_adjacency(&b.build_array());
         let after_list = sorted_adjacency(&b.build_list());
-        prop_assert_eq!(&before, &after_arr);
-        prop_assert_eq!(&before, &after_list);
+        assert_eq!(before, after_arr, "n={n} density={density} seed={seed}");
+        assert_eq!(before, after_list, "n={n} density={density} seed={seed}");
     }
+}
 
-    #[test]
-    fn degrees_sum_to_edge_count(
-        n in 2usize..60,
-        density in 0.0f64..0.6,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn degrees_sum_to_edge_count() {
+    let mut rng = StdRng::seed_from_u64(0xde64);
+    for _ in 0..64 {
+        let n = rng.gen_range(2usize..60);
+        let density = rng.gen_range(0.0f64..0.6);
+        let seed = rng.next_u64();
         let b = generators::random_directed(n, density, 50, seed);
         let g = b.build_array();
         let total: usize = (0..n as VertexId).map(|v| g.degree(v)).sum();
-        prop_assert_eq!(total, g.num_edges());
-        prop_assert_eq!(total, b.edges().len());
+        assert_eq!(total, g.num_edges());
+        assert_eq!(total, b.edges().len());
     }
+}
 
-    #[test]
-    fn undirected_generator_is_symmetric(
-        n in 2usize..50,
-        density in 0.0f64..0.5,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn undirected_generator_is_symmetric() {
+    let mut rng = StdRng::seed_from_u64(0x59e7);
+    for _ in 0..64 {
+        let n = rng.gen_range(2usize..50);
+        let density = rng.gen_range(0.0f64..0.5);
+        let seed = rng.next_u64();
         let b = generators::random_undirected(n, density, 50, seed);
         let g = b.build_array();
         for u in 0..n as VertexId {
             for (v, w) in g.neighbors(u) {
-                prop_assert!(
+                assert!(
                     g.neighbors(v).any(|(x, xw)| x == u && xw == w),
                     "missing reverse arc ({v}, {u})"
                 );

@@ -1,5 +1,7 @@
 //! The three layouts: row-major, Block Data Layout, Z-Morton.
 
+// tidy: kernel
+
 /// Maps logical matrix coordinates to flat storage indices.
 ///
 /// A layout may *pad* the logical `n x n` matrix to a larger

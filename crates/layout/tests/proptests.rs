@@ -1,64 +1,93 @@
-//! Property-based tests for the layout crate: every layout must be a
+//! Randomized property tests for the layout crate: every layout must be a
 //! bijection onto the storage range, and matrices must round-trip through
-//! any layout.
+//! any layout. Cases are drawn from a seeded PRNG so runs are
+//! deterministic and reproducible offline.
 
 use cachegraph_layout::{BlockLayout, Layout, Matrix, RowMajor, ZMorton};
-use proptest::prelude::*;
+use cachegraph_rng::StdRng;
 use std::collections::HashSet;
 
-fn assert_bijection<L: Layout>(l: &L) -> Result<(), TestCaseError> {
+fn assert_bijection<L: Layout>(l: &L) {
     let p = l.padded_n();
     let mut seen = HashSet::with_capacity(p * p);
     for i in 0..p {
         for j in 0..p {
             let idx = l.index(i, j);
-            prop_assert!(idx < l.storage_len());
-            prop_assert!(seen.insert(idx), "collision at ({}, {})", i, j);
+            assert!(idx < l.storage_len());
+            assert!(seen.insert(idx), "collision at ({i}, {j})");
         }
     }
-    Ok(())
 }
 
-proptest! {
-    #[test]
-    fn block_layout_bijective(n in 1usize..48, b in 1usize..12) {
-        assert_bijection(&BlockLayout::new(n, b))?;
+#[test]
+fn block_layout_bijective() {
+    let mut rng = StdRng::seed_from_u64(0xb1b1);
+    for _ in 0..64 {
+        let n = rng.gen_range(1usize..48);
+        let b = rng.gen_range(1usize..12);
+        assert_bijection(&BlockLayout::new(n, b));
     }
+}
 
-    #[test]
-    fn morton_bijective(n in 1usize..48, base in 1usize..12) {
-        assert_bijection(&ZMorton::new(n, base))?;
+#[test]
+fn morton_bijective() {
+    let mut rng = StdRng::seed_from_u64(0x3035);
+    for _ in 0..64 {
+        let n = rng.gen_range(1usize..48);
+        let base = rng.gen_range(1usize..12);
+        assert_bijection(&ZMorton::new(n, base));
     }
+}
 
-    #[test]
-    fn row_major_bijective(n in 1usize..48) {
-        assert_bijection(&RowMajor::new(n))?;
+#[test]
+fn row_major_bijective() {
+    for n in 1usize..48 {
+        assert_bijection(&RowMajor::new(n));
     }
+}
 
-    #[test]
-    fn matrix_roundtrip_bdl(n in 1usize..24, b in 1usize..9, seed in any::<u64>()) {
-        let data: Vec<u32> = (0..n * n).map(|i| (seed.wrapping_mul(i as u64 + 1) >> 13) as u32).collect();
+#[test]
+fn matrix_roundtrip_bdl() {
+    let mut rng = StdRng::seed_from_u64(0xbd1);
+    for _ in 0..64 {
+        let n = rng.gen_range(1usize..24);
+        let b = rng.gen_range(1usize..9);
+        let seed = rng.next_u64();
+        let data: Vec<u32> =
+            (0..n * n).map(|i| (seed.wrapping_mul(i as u64 + 1) >> 13) as u32).collect();
         let m = Matrix::from_row_major(BlockLayout::new(n, b), &data, u32::MAX);
-        prop_assert_eq!(m.to_row_major(), data);
+        assert_eq!(m.to_row_major(), data);
     }
+}
 
-    #[test]
-    fn matrix_roundtrip_morton(n in 1usize..24, base in 1usize..9, seed in any::<u64>()) {
-        let data: Vec<u32> = (0..n * n).map(|i| (seed.wrapping_mul(i as u64 + 7) >> 11) as u32).collect();
+#[test]
+fn matrix_roundtrip_morton() {
+    let mut rng = StdRng::seed_from_u64(0x2015);
+    for _ in 0..64 {
+        let n = rng.gen_range(1usize..24);
+        let base = rng.gen_range(1usize..9);
+        let seed = rng.next_u64();
+        let data: Vec<u32> =
+            (0..n * n).map(|i| (seed.wrapping_mul(i as u64 + 7) >> 11) as u32).collect();
         let m = Matrix::from_row_major(ZMorton::new(n, base), &data, u32::MAX);
-        prop_assert_eq!(m.to_row_major(), data);
+        assert_eq!(m.to_row_major(), data);
     }
+}
 
-    #[test]
-    fn layouts_agree_on_logical_contents(n in 1usize..20, seed in any::<u64>()) {
+#[test]
+fn layouts_agree_on_logical_contents() {
+    let mut rng = StdRng::seed_from_u64(0xa9e5);
+    for _ in 0..64 {
+        let n = rng.gen_range(1usize..20);
+        let seed = rng.next_u64();
         let data: Vec<u32> = (0..n * n).map(|i| (seed ^ (i as u64 * 0x9e37_79b9)) as u32).collect();
         let rm = Matrix::from_row_major(RowMajor::new(n), &data, 0);
         let bd = Matrix::from_row_major(BlockLayout::new(n, 3), &data, 0);
         let zm = Matrix::from_row_major(ZMorton::new(n, 2), &data, 0);
         for i in 0..n {
             for j in 0..n {
-                prop_assert_eq!(rm.get(i, j), bd.get(i, j));
-                prop_assert_eq!(rm.get(i, j), zm.get(i, j));
+                assert_eq!(rm.get(i, j), bd.get(i, j));
+                assert_eq!(rm.get(i, j), zm.get(i, j));
             }
         }
     }

@@ -81,7 +81,7 @@ impl<const D: usize> DecreaseKeyQueue for DAryHeap<D> {
         }
         let (key, item) = self.slots[0];
         self.pos[item as usize] = CONSUMED;
-        let last = self.slots.pop().expect("non-empty");
+        let last = self.slots.pop()?;
         if !self.slots.is_empty() {
             self.slots[0] = last;
             self.pos[last.1 as usize] = 0;

@@ -81,8 +81,9 @@ impl PairingHeap {
             pairs.push(self.meld(cur, next));
             cur = after;
         }
-        // Pass 2: meld right to left.
-        let mut root = pairs.pop().expect("at least one pair");
+        // Pass 2: meld right to left. `meld` treats a NIL root as the
+        // identity, so the fold needs no non-empty special case.
+        let mut root = NIL;
         while let Some(p) = pairs.pop() {
             root = self.meld(p, root);
         }

@@ -96,24 +96,26 @@ impl SequenceHeap {
             .enumerate()
             .filter_map(|(ri, r)| r.last().map(|&(k, i)| ((k, i), ri)))
             .min();
-        let from_buffer = match (buf_min, run_min) {
-            (Some((bk, _)), Some(((rk, _), _))) => bk <= rk,
-            (Some(_), None) => true,
-            (None, Some(_)) => false,
-            (None, None) => unreachable!("len > 0 but no candidates"),
-        };
         self.len -= 1;
-        if from_buffer {
-            let (_, idx) = buf_min.expect("buffer candidate");
-            let (k, i) = self.buffer.swap_remove(idx);
-            Some((i, k))
-        } else {
-            let (_, ri) = run_min.expect("run candidate");
-            let (k, i) = self.runs[ri].pop().expect("non-empty run");
-            if self.runs[ri].is_empty() {
-                self.runs.swap_remove(ri);
+        match (buf_min, run_min) {
+            (Some((bk, idx)), Some(((rk, _), _))) if bk <= rk => {
+                let (k, i) = self.buffer.swap_remove(idx);
+                Some((i, k))
             }
-            Some((i, k))
+            (Some((_, idx)), None) => {
+                let (k, i) = self.buffer.swap_remove(idx);
+                Some((i, k))
+            }
+            (_, Some(((rk, ri_item), ri))) => {
+                // The winning (key, item) pair is already in `run_min`;
+                // pop just removes it from its run tail.
+                self.runs[ri].pop();
+                if self.runs[ri].is_empty() {
+                    self.runs.swap_remove(ri);
+                }
+                Some((ri_item, rk))
+            }
+            (None, None) => unreachable!("len > 0 but no candidates"),
         }
     }
 }
@@ -121,8 +123,7 @@ impl SequenceHeap {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use cachegraph_rng::StdRng;
 
     #[test]
     fn sorts_small_input() {

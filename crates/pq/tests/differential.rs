@@ -1,10 +1,11 @@
-//! Differential property tests: every heap must agree with the reference
-//! queue on arbitrary interleavings of insert / extract-min / decrease-key.
+//! Differential tests: every heap must agree with the reference queue on
+//! randomized interleavings of insert / extract-min / decrease-key. Op
+//! scripts are drawn from a seeded PRNG so runs are deterministic.
 
 use cachegraph_pq::{
     DAryHeap, DecreaseKeyQueue, FibonacciHeap, IndexedBinaryHeap, PairingHeap, ReferenceQueue,
 };
-use proptest::prelude::*;
+use cachegraph_rng::StdRng;
 
 /// A scripted operation over items `0..CAP`.
 #[derive(Clone, Debug)]
@@ -15,13 +16,19 @@ enum Op {
 }
 
 const CAP: u32 = 24;
+const CASES: usize = 256;
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        3 => (0..CAP, 0u32..1000).prop_map(|(i, k)| Op::Insert(i, k)),
-        2 => Just(Op::ExtractMin),
-        3 => (0..CAP, 0u32..1000).prop_map(|(i, k)| Op::DecreaseKey(i, k)),
-    ]
+/// Weighted op mix matching the old proptest strategy (3 insert :
+/// 2 extract-min : 3 decrease-key).
+fn random_ops(rng: &mut StdRng) -> Vec<Op> {
+    let len = rng.gen_range(1usize..120);
+    (0..len)
+        .map(|_| match rng.gen_range(0u32..8) {
+            0..=2 => Op::Insert(rng.gen_range(0..CAP), rng.gen_range(0u32..1000)),
+            3..=4 => Op::ExtractMin,
+            _ => Op::DecreaseKey(rng.gen_range(0..CAP), rng.gen_range(0u32..1000)),
+        })
+        .collect()
 }
 
 /// Replay `ops` on both queues, checking observable agreement at each step.
@@ -29,7 +36,7 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 /// Equal-key ties may be broken differently by different heaps, so on
 /// extract the oracle checks the key is minimal and removes the *same*
 /// item the heap under test produced.
-fn check<Q: DecreaseKeyQueue>(ops: &[Op]) -> Result<(), TestCaseError> {
+fn check<Q: DecreaseKeyQueue>(ops: &[Op]) {
     let mut q = Q::with_capacity(CAP as usize);
     let mut r = ReferenceQueue::with_capacity(CAP as usize);
     let mut inserted = vec![false; CAP as usize];
@@ -44,55 +51,57 @@ fn check<Q: DecreaseKeyQueue>(ops: &[Op]) -> Result<(), TestCaseError> {
             }
             Op::ExtractMin => {
                 match q.extract_min() {
-                    None => prop_assert_eq!(r.len(), 0, "heap empty but reference is not"),
+                    None => assert_eq!(r.len(), 0, "heap empty but reference is not"),
                     Some((item, key)) => {
                         // The extracted key must be the global minimum, and
                         // the extracted item must actually hold that key.
                         // (Equal-key ties may be broken differently, so the
                         // oracle removes the *same* item, not its own min.)
-                        prop_assert_eq!(Some(key), r.peek_min_key(), "not the minimum key");
-                        prop_assert_eq!(r.key_of(item), Some(key), "item/key mismatch");
-                        prop_assert!(r.remove(item));
+                        assert_eq!(Some(key), r.peek_min_key(), "not the minimum key");
+                        assert_eq!(r.key_of(item), Some(key), "item/key mismatch");
+                        assert!(r.remove(item));
                     }
                 }
             }
             Op::DecreaseKey(i, k) => {
                 let a = q.decrease_key(i, k);
                 let b = r.decrease_key(i, k);
-                prop_assert_eq!(a, b, "decrease_key disagreement for {} -> {}", i, k);
-                prop_assert_eq!(q.key_of(i), r.key_of(i));
+                assert_eq!(a, b, "decrease_key disagreement for {i} -> {k}");
+                assert_eq!(q.key_of(i), r.key_of(i));
             }
         }
-        prop_assert_eq!(q.len(), r.len());
+        assert_eq!(q.len(), r.len());
     }
-    Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn binary_heap_matches_reference(ops in prop::collection::vec(op_strategy(), 1..120)) {
-        check::<IndexedBinaryHeap>(&ops)?;
+fn run_cases<Q: DecreaseKeyQueue>(seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..CASES {
+        check::<Q>(&random_ops(&mut rng));
     }
+}
 
-    #[test]
-    fn dary4_heap_matches_reference(ops in prop::collection::vec(op_strategy(), 1..120)) {
-        check::<DAryHeap<4>>(&ops)?;
-    }
+#[test]
+fn binary_heap_matches_reference() {
+    run_cases::<IndexedBinaryHeap>(0xb17a);
+}
 
-    #[test]
-    fn dary8_heap_matches_reference(ops in prop::collection::vec(op_strategy(), 1..120)) {
-        check::<DAryHeap<8>>(&ops)?;
-    }
+#[test]
+fn dary4_heap_matches_reference() {
+    run_cases::<DAryHeap<4>>(0xda24);
+}
 
-    #[test]
-    fn fibonacci_heap_matches_reference(ops in prop::collection::vec(op_strategy(), 1..120)) {
-        check::<FibonacciHeap>(&ops)?;
-    }
+#[test]
+fn dary8_heap_matches_reference() {
+    run_cases::<DAryHeap<8>>(0xda28);
+}
 
-    #[test]
-    fn pairing_heap_matches_reference(ops in prop::collection::vec(op_strategy(), 1..120)) {
-        check::<PairingHeap>(&ops)?;
-    }
+#[test]
+fn fibonacci_heap_matches_reference() {
+    run_cases::<FibonacciHeap>(0xf1b0);
+}
+
+#[test]
+fn pairing_heap_matches_reference() {
+    run_cases::<PairingHeap>(0x9a12);
 }

@@ -1,0 +1,196 @@
+//! Minimal deterministic pseudo-random numbers for tests, generators and
+//! benches.
+//!
+//! The workspace must build offline, so it cannot depend on the `rand`
+//! crate; this crate provides the tiny slice of its API the repo actually
+//! uses — seed from a `u64`, sample a uniform integer from a range, a
+//! uniform `f64`, and a Bernoulli draw — over a xoshiro256++ generator
+//! seeded with SplitMix64 (the construction recommended by the xoshiro
+//! authors). Streams are fully determined by the seed, on every platform,
+//! so generated workloads are reproducible across runs and machines.
+//!
+//! Not cryptographically secure; do not use for anything but workload
+//! generation and tests.
+
+use std::ops::{Range, RangeInclusive};
+
+/// xoshiro256++ generator. `StdRng` is kept as the workspace-wide alias so
+/// call sites read like the `rand` idiom they replaced.
+pub type StdRng = Xoshiro256;
+
+/// The xoshiro256++ state: 256 bits, never all zero.
+#[derive(Clone, Debug)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    /// Seed deterministically from a single `u64` by running SplitMix64
+    /// four times, as the xoshiro reference implementation recommends.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        Self { s: [next(), next(), next(), next()] }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let out = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Uniform value from `range` (half-open `a..b` or inclusive `a..=b`
+    /// over the common integer types, half-open over `f64`).
+    ///
+    /// Panics if the range is empty, like `rand::Rng::gen_range`.
+    pub fn gen_range<T>(&mut self, range: impl SampleRange<T>) -> T {
+        range.sample(self)
+    }
+
+    /// Uniform `u64` in `0..span` via multiply-shift rejection (unbiased).
+    fn uniform_below(&mut self, span: u64) -> u64 {
+        debug_assert!(span >= 1);
+        // Reject draws from the final partial bucket so every residue is
+        // equally likely.
+        let zone = u64::MAX - (u64::MAX - span + 1) % span;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return v % span;
+            }
+        }
+    }
+}
+
+/// A range that can be sampled uniformly — the receiver-side half of
+/// [`Xoshiro256::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw one uniform value from `self`.
+    fn sample(self, rng: &mut Xoshiro256) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut Xoshiro256) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                let off = rng.uniform_below(span);
+                ((self.start as i128) + off as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut Xoshiro256) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "gen_range on empty range");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let off = rng.uniform_below(span + 1);
+                ((lo as i128) + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample(self, rng: &mut Xoshiro256) -> f64 {
+        assert!(self.start < self.end, "gen_range on empty range");
+        let v = self.start + rng.next_f64() * (self.end - self.start);
+        // Rounding can land exactly on `end`; fold it back inside.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn int_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3u32..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(0usize..=5);
+            assert!(w <= 5);
+            let x = rng.gen_range(-4i64..=4);
+            assert!((-4..=4).contains(&x));
+        }
+    }
+
+    #[test]
+    fn all_residues_reachable() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "every residue should appear: {seen:?}");
+    }
+
+    #[test]
+    fn f64_range_and_bool() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut trues = 0;
+        for _ in 0..10_000 {
+            let v = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            assert!((0.0..1.0).contains(&v));
+            if rng.gen_bool(0.25) {
+                trues += 1;
+            }
+        }
+        assert!((1500..3500).contains(&trues), "p=0.25 of 10000 gave {trues}");
+    }
+
+    #[test]
+    fn full_u64_inclusive_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        // Must not overflow or hang.
+        let _ = rng.gen_range(0u64..=u64::MAX);
+    }
+}

@@ -151,8 +151,9 @@ pub fn scc<G: Graph>(g: &G) -> (Vec<u32>, usize) {
             } else {
                 // Post-visit: close the component if v is a root.
                 if lowlink[v as usize] == index[v as usize] {
-                    loop {
-                        let w = stack.pop().expect("tarjan stack non-empty");
+                    // v is on the stack by the Tarjan invariant, so the
+                    // loop always terminates at w == v.
+                    while let Some(w) = stack.pop() {
                         on_stack[w as usize] = false;
                         comp[w as usize] = count;
                         if w == v {

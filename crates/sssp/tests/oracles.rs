@@ -1,66 +1,71 @@
 //! Cross-algorithm oracle tests: Dijkstra vs Bellman-Ford, Prim vs
 //! Kruskal, over random graphs and all representation/queue combinations.
+//! Instances are drawn from a seeded PRNG so runs are deterministic.
 
 use cachegraph_graph::{generators, Graph, INF};
 use cachegraph_pq::{DAryHeap, FibonacciHeap, IndexedBinaryHeap, PairingHeap, RadixHeap};
+use cachegraph_rng::StdRng;
 use cachegraph_sssp::{bellman_ford, dijkstra, kruskal, prim, NO_VERTEX};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn dijkstra_matches_bellman_ford(
-        n in 2usize..80,
-        density in 0.02f64..0.5,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn dijkstra_matches_bellman_ford() {
+    let mut rng = StdRng::seed_from_u64(0xd1b4);
+    for _ in 0..48 {
+        let n = rng.gen_range(2usize..80);
+        let density = rng.gen_range(0.02f64..0.5);
+        let seed = rng.next_u64();
         let b = generators::random_directed(n, density, 64, seed);
         let g = b.build_array();
         let bf = bellman_ford(&g, 0);
         let dj = dijkstra::<_, IndexedBinaryHeap>(&g, 0);
-        prop_assert_eq!(bf.dist, dj.dist);
+        assert_eq!(bf.dist, dj.dist, "n={n} density={density} seed={seed}");
     }
+}
 
-    #[test]
-    fn dijkstra_agrees_across_queues_and_reps(
-        n in 2usize..60,
-        density in 0.05f64..0.4,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn dijkstra_agrees_across_queues_and_reps() {
+    let mut rng = StdRng::seed_from_u64(0xd1ae);
+    for _ in 0..48 {
+        let n = rng.gen_range(2usize..60);
+        let density = rng.gen_range(0.05f64..0.4);
+        let seed = rng.next_u64();
         let b = generators::random_directed(n, density, 64, seed);
         let arr = b.build_array();
         let list = b.build_list();
         let expect = dijkstra::<_, IndexedBinaryHeap>(&arr, 0).dist;
-        prop_assert_eq!(&dijkstra::<_, DAryHeap<4>>(&arr, 0).dist, &expect);
-        prop_assert_eq!(&dijkstra::<_, FibonacciHeap>(&arr, 0).dist, &expect);
-        prop_assert_eq!(&dijkstra::<_, PairingHeap>(&arr, 0).dist, &expect);
-        prop_assert_eq!(&dijkstra::<_, RadixHeap>(&arr, 0).dist, &expect);
-        prop_assert_eq!(&dijkstra::<_, IndexedBinaryHeap>(&list, 0).dist, &expect);
+        assert_eq!(dijkstra::<_, DAryHeap<4>>(&arr, 0).dist, expect);
+        assert_eq!(dijkstra::<_, FibonacciHeap>(&arr, 0).dist, expect);
+        assert_eq!(dijkstra::<_, PairingHeap>(&arr, 0).dist, expect);
+        assert_eq!(dijkstra::<_, RadixHeap>(&arr, 0).dist, expect);
+        assert_eq!(dijkstra::<_, IndexedBinaryHeap>(&list, 0).dist, expect);
     }
+}
 
-    #[test]
-    fn prim_weight_matches_kruskal(
-        n in 2usize..60,
-        density in 0.05f64..0.5,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn prim_weight_matches_kruskal() {
+    let mut rng = StdRng::seed_from_u64(0x9817);
+    for _ in 0..48 {
+        let n = rng.gen_range(2usize..60);
+        let density = rng.gen_range(0.05f64..0.5);
+        let seed = rng.next_u64();
         let mut b = generators::random_undirected(n, density, 64, seed);
         generators::connect(&mut b, 64, seed); // spanning tree must exist
         let g = b.build_array();
         let p = prim::<_, IndexedBinaryHeap>(&g, 0);
         let (kw, ktree) = kruskal(n, b.edges());
-        prop_assert_eq!(p.total_weight, kw);
-        prop_assert_eq!(p.tree_size, n);
-        prop_assert_eq!(ktree.len(), n - 1);
+        assert_eq!(p.total_weight, kw, "n={n} density={density} seed={seed}");
+        assert_eq!(p.tree_size, n);
+        assert_eq!(ktree.len(), n - 1);
     }
+}
 
-    #[test]
-    fn dijkstra_distances_satisfy_triangle_inequality(
-        n in 2usize..40,
-        density in 0.05f64..0.5,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn dijkstra_distances_satisfy_triangle_inequality() {
+    let mut rng = StdRng::seed_from_u64(0x7214);
+    for _ in 0..48 {
+        let n = rng.gen_range(2usize..40);
+        let density = rng.gen_range(0.05f64..0.5);
+        let seed = rng.next_u64();
         let g = generators::random_directed(n, density, 64, seed).build_array();
         let d = dijkstra::<_, IndexedBinaryHeap>(&g, 0).dist;
         // Every edge must be relaxed: d[v] <= d[u] + w(u, v).
@@ -69,17 +74,19 @@ proptest! {
                 continue;
             }
             for (v, w) in g.neighbors(u) {
-                prop_assert!(d[v as usize] <= d[u as usize].saturating_add(w));
+                assert!(d[v as usize] <= d[u as usize].saturating_add(w));
             }
         }
     }
+}
 
-    #[test]
-    fn dijkstra_tree_edges_are_tight(
-        n in 2usize..40,
-        density in 0.05f64..0.5,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn dijkstra_tree_edges_are_tight() {
+    let mut rng = StdRng::seed_from_u64(0x7164);
+    for _ in 0..48 {
+        let n = rng.gen_range(2usize..40);
+        let density = rng.gen_range(0.05f64..0.5);
+        let seed = rng.next_u64();
         let g = generators::random_directed(n, density, 64, seed).build_array();
         let r = dijkstra::<_, IndexedBinaryHeap>(&g, 0);
         for v in 0..n {
@@ -90,7 +97,7 @@ proptest! {
             // d[v] = d[p] + w(p, v) for the tree edge actually used.
             let w = g.neighbors(p).find(|&(x, _)| x as usize == v).map(|(_, w)| w);
             let w = w.expect("pred edge must exist");
-            prop_assert_eq!(r.dist[v], r.dist[p as usize].saturating_add(w));
+            assert_eq!(r.dist[v], r.dist[p as usize].saturating_add(w));
         }
     }
 }

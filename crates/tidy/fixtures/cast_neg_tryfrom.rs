@@ -1,0 +1,3 @@
+pub fn set_index(addr: u64, shift: u32) -> Option<u32> {
+    u32::try_from(addr >> shift).ok()
+}

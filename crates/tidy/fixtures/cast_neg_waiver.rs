@@ -1,0 +1,4 @@
+pub fn line_offset(addr: u64) -> u16 {
+    // tidy: allow(cast-soundness) -- low 6 bits only, always fits u16
+    (addr & 0x3f) as u16
+}

@@ -1,0 +1,3 @@
+pub fn low_byte(delta: i64) -> i8 {
+    delta as i8
+}

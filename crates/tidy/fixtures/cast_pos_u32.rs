@@ -1,0 +1,3 @@
+pub fn set_index(addr: u64, shift: u32) -> u32 {
+    (addr >> shift) as u32
+}

@@ -1,0 +1,14 @@
+// tidy: kernel
+
+pub fn add(a: u32, b: u32) -> u32 {
+    a.wrapping_add(b)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn adds() {
+        let v = vec![super::add(1, 2)];
+        assert_eq!(v[0], 3);
+    }
+}

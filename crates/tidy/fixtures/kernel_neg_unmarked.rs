@@ -1,0 +1,5 @@
+pub fn gather(n: usize) -> Vec<usize> {
+    let mut v = Vec::new();
+    v.push(n);
+    v
+}

@@ -1,0 +1,7 @@
+// tidy: kernel
+
+pub fn collect_sum(n: usize) -> usize {
+    let mut v = Vec::new();
+    v.push(n);
+    v.len()
+}

@@ -1,0 +1,5 @@
+// tidy: kernel
+
+pub fn load(m: &std::sync::Mutex<u32>) -> u32 {
+    *m.lock().unwrap_or_else(|e| e.into_inner())
+}

@@ -1,0 +1,4 @@
+pub fn first(v: &[u32]) -> u32 {
+    // tidy: allow(panic-policy) -- fixture: waiver must suppress the report
+    v.first().copied().expect("non-empty")
+}

@@ -1,0 +1,5 @@
+pub fn check(v: u32) {
+    if v > 100 {
+        panic!("value out of range");
+    }
+}

@@ -1,0 +1,8 @@
+/// Reads one byte.
+///
+/// # Safety
+/// `p` must be valid for reads.
+pub unsafe fn read(p: *const u8) -> u8 {
+    // SAFETY: contract forwarded to the caller.
+    unsafe { *p }
+}

@@ -1,0 +1,3 @@
+pub fn keyword() -> &'static str {
+    "unsafe { *p }"
+}

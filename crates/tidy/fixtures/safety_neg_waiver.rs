@@ -1,0 +1,4 @@
+pub struct Handle(*mut u8);
+
+// tidy: allow(safety-comments) -- fixture: waiver must suppress the report
+unsafe impl Send for Handle {}

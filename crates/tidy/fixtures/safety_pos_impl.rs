@@ -1,0 +1,3 @@
+pub struct Handle(*mut u8);
+
+unsafe impl Send for Handle {}

@@ -1,0 +1,36 @@
+//! Per-crate lint configuration. Kept as plain tables in source so the
+//! pass stays dependency-free; edit here to opt crates in or out.
+
+/// Crates whose *library* code is exempt from the panic policy: the CLI
+/// and the bench harness are leaf binaries where aborting on a bad input
+/// or a poisoned invariant is the intended behaviour.
+pub const PANIC_POLICY_EXEMPT_CRATES: &[&str] = &["cli", "bench", "tidy"];
+
+/// Crates whose address/set-index arithmetic must not use bare truncating
+/// `as` casts (the cache simulator works in a 64-bit address space; a
+/// silent truncation skews set indexing and therefore every miss count).
+pub const CAST_SOUNDNESS_CRATES: &[&str] = &["cache-sim"];
+
+/// Direct dependencies allowed anywhere in the workspace. The sandbox has
+/// no registry access, so only path-local `cachegraph-*` crates are
+/// permitted; growing this list is a deliberate, reviewed act.
+pub const DEPENDENCY_ALLOWLIST: &[&str] = &[
+    "cachegraph",
+    "cachegraph-sim",
+    "cachegraph-layout",
+    "cachegraph-graph",
+    "cachegraph-pq",
+    "cachegraph-fw",
+    "cachegraph-sssp",
+    "cachegraph-matching",
+    "cachegraph-rng",
+    "cachegraph-bench",
+    "cachegraph-cli",
+    "cachegraph-tidy",
+];
+
+/// Marker comment opting a file into the kernel-purity rule.
+pub const KERNEL_MARKER: &str = "tidy: kernel";
+
+/// Directories never scanned (relative path components).
+pub const SKIP_DIRS: &[&str] = &["target", ".git", "fixtures"];

@@ -1,0 +1,37 @@
+//! Workspace lint driver: `cargo run -p cachegraph-tidy`.
+//!
+//! Prints every unwaived violation as `path:line: [rule] message` and
+//! exits non-zero if any were found.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let cwd = match std::env::current_dir() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("cachegraph-tidy: cannot determine current directory: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(root) = cachegraph_tidy::find_workspace_root(&cwd) else {
+        eprintln!("cachegraph-tidy: no workspace root (Cargo.toml with [workspace]) above {}", cwd.display());
+        return ExitCode::FAILURE;
+    };
+    match cachegraph_tidy::run_workspace(&root) {
+        Ok(diags) if diags.is_empty() => {
+            println!("cachegraph-tidy: workspace clean");
+            ExitCode::SUCCESS
+        }
+        Ok(diags) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            println!("cachegraph-tidy: {} violation(s)", diags.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("cachegraph-tidy: I/O error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! `cast-soundness`: no bare truncating `as` casts in the cache
+//! simulator's address/set-index arithmetic.
+//!
+//! The simulator works in a 64-bit address space; an `as u32` on an
+//! address or set index silently truncates, skewing set selection and
+//! therefore every miss count the paper's tables rest on. Narrowing
+//! conversions must go through `try_into()`/`try_from()` (which surface
+//! the truncation) or carry an explicit waiver stating why the value
+//! fits. Only crates listed in
+//! [`crate::config::CAST_SOUNDNESS_CRATES`] are checked.
+
+use crate::config::CAST_SOUNDNESS_CRATES;
+use crate::{Diagnostic, SourceFile};
+
+pub const RULE: &str = "cast-soundness";
+
+/// Narrowing targets: anything 32-bit or smaller can truncate a 64-bit
+/// address or byte count. (`as usize` is 64-bit on every supported
+/// target and `as u64`/`as f64` widen, so they are not flagged.)
+const NARROWING: &[&str] = &["as u8", "as u16", "as u32", "as i8", "as i16", "as i32"];
+
+pub fn check(sf: &SourceFile) -> Vec<Diagnostic> {
+    if !CAST_SOUNDNESS_CRATES.contains(&sf.crate_name.as_str()) || sf.is_test_or_harness {
+        return Vec::new();
+    }
+    let in_test = super::cfg_test_lines(sf);
+    let mut diags = Vec::new();
+    for (idx, line) in sf.lexed.masked.lines().enumerate() {
+        let line_no = idx + 1;
+        if in_test.get(line_no).copied().unwrap_or(false) {
+            continue;
+        }
+        for pat in NARROWING {
+            // Word-boundary on both sides: `as u32` must not match
+            // `as u322` nor an identifier ending in `as`.
+            if super::contains_word(line, pat) {
+                if sf.waived(RULE, line_no) {
+                    continue;
+                }
+                diags.push(Diagnostic {
+                    path: sf.rel_path.clone(),
+                    line: line_no,
+                    rule: RULE,
+                    message: format!(
+                        "truncating `{pat}` in address/set-index arithmetic: use \
+                         `try_into()`/`try_from()` or waive with the reason the value fits"
+                    ),
+                });
+            }
+        }
+    }
+    diags
+}

@@ -1,0 +1,105 @@
+//! `dependency-policy`: workspace manifests must not declare duplicate
+//! direct dependencies, wildcard versions, or dependencies outside the
+//! allowlist.
+//!
+//! The build must succeed offline; any external crate name creeping into
+//! a manifest breaks tier-1 in the sandbox. The rule parses the small
+//! TOML subset Cargo manifests actually use (table headers + `key = ...`
+//! lines) — enough to see every direct dependency without a TOML crate.
+
+use std::collections::HashSet;
+use std::path::Path;
+
+use crate::config::DEPENDENCY_ALLOWLIST;
+use crate::{walk, Diagnostic};
+
+pub const RULE: &str = "dependency-policy";
+
+/// Is this `[section]` header one that declares direct dependencies?
+fn is_dep_section(header: &str) -> bool {
+    let h = header.trim();
+    h == "dependencies"
+        || h == "dev-dependencies"
+        || h == "build-dependencies"
+        || h == "workspace.dependencies"
+        || h.starts_with("target.") && h.ends_with(".dependencies")
+        || h.starts_with("dependencies.")
+        || h.starts_with("dev-dependencies.")
+}
+
+/// Dependency name for a `key = value` line in a dep section, plus
+/// whether the value contains a wildcard version.
+fn parse_dep_line(line: &str) -> Option<(String, bool)> {
+    let (key, value) = line.split_once('=')?;
+    let key = key.trim().trim_matches('"');
+    // `foo.workspace = true` / `foo.version = "1"` are dotted forms of a
+    // dependency table: the dependency name is the part before the dot.
+    let name = key.split('.').next().unwrap_or(key).to_string();
+    if name.is_empty() || name.contains('[') {
+        return None;
+    }
+    let wildcard = value.contains("\"*\"");
+    Some((name, wildcard))
+}
+
+pub fn check_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    let mut diags = Vec::new();
+    for rel in walk::collect_manifests(root)? {
+        let text = std::fs::read_to_string(root.join(&rel))?;
+        diags.extend(check_manifest(&rel, &text));
+    }
+    Ok(diags)
+}
+
+/// Check one manifest's text (separated out so fixture tests can drive
+/// the parser without a real workspace on disk).
+pub fn check_manifest(rel: &Path, text: &str) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut section = String::new();
+    // Duplicates are tracked per (manifest, section): the same name in
+    // [dependencies] and [dev-dependencies] is fine.
+    let mut seen: HashSet<(String, String)> = HashSet::new();
+    for (idx, raw_line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw_line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') && line.ends_with(']') {
+            section = line.trim_matches(['[', ']']).to_string();
+            continue;
+        }
+        if !is_dep_section(&section) {
+            continue;
+        }
+        let Some((name, wildcard)) = parse_dep_line(line) else { continue };
+        if wildcard {
+            diags.push(Diagnostic {
+                path: rel.to_path_buf(),
+                line: line_no,
+                rule: RULE,
+                message: format!("wildcard version for `{name}`: pin an exact requirement"),
+            });
+        }
+        if !seen.insert((section.clone(), name.clone())) {
+            diags.push(Diagnostic {
+                path: rel.to_path_buf(),
+                line: line_no,
+                rule: RULE,
+                message: format!("duplicate dependency `{name}` in [{section}]"),
+            });
+        }
+        if !DEPENDENCY_ALLOWLIST.contains(&name.as_str()) {
+            diags.push(Diagnostic {
+                path: rel.to_path_buf(),
+                line: line_no,
+                rule: RULE,
+                message: format!(
+                    "`{name}` is not on the dependency allowlist (offline build: only \
+                     workspace-local crates are permitted)"
+                ),
+            });
+        }
+    }
+    diags
+}

@@ -1,0 +1,67 @@
+//! `kernel-purity`: files opted in with a `// tidy: kernel` marker must
+//! not allocate or take locks outside `#[cfg(test)]` code.
+//!
+//! The paper's timing methodology assumes the inner FWI loop touches only
+//! the matrix storage; a stray `format!` or `Vec` growth inside a kernel
+//! perturbs both the timings and the simulated traces. Marked files are
+//! the hot kernels — everything in them must be arithmetic and slice
+//! indexing.
+
+use crate::config::KERNEL_MARKER;
+use crate::{Diagnostic, SourceFile};
+
+pub const RULE: &str = "kernel-purity";
+
+/// Allocation and locking constructs forbidden in kernel files. Matched
+/// on masked code, so occurrences in comments/strings don't count.
+const IMPURE: &[(&str, &str)] = &[
+    ("Vec::new", "allocates"),
+    ("Vec::with_capacity", "allocates"),
+    ("vec!", "allocates"),
+    (".push(", "may reallocate"),
+    (".to_vec(", "allocates"),
+    (".collect(", "allocates"),
+    ("format!", "allocates"),
+    ("String::new", "allocates"),
+    ("String::from", "allocates"),
+    (".to_string(", "allocates"),
+    ("Box::new", "allocates"),
+    ("Mutex", "takes a lock"),
+    ("RwLock", "takes a lock"),
+    (".lock(", "takes a lock"),
+];
+
+pub fn check(sf: &SourceFile) -> Vec<Diagnostic> {
+    // The marker must be a dedicated comment (`// tidy: kernel`), not a
+    // passing mention inside prose docs.
+    let marked = sf
+        .lexed
+        .comments
+        .iter()
+        .any(|c| c.text.trim_start_matches(['/', '!', '*', ' ']).starts_with(KERNEL_MARKER));
+    if !marked {
+        return Vec::new();
+    }
+    let in_test = super::cfg_test_lines(sf);
+    let mut diags = Vec::new();
+    for (idx, line) in sf.lexed.masked.lines().enumerate() {
+        let line_no = idx + 1;
+        if in_test.get(line_no).copied().unwrap_or(false) {
+            continue;
+        }
+        for (pat, why) in IMPURE {
+            if line.contains(pat) {
+                if sf.waived(RULE, line_no) {
+                    continue;
+                }
+                diags.push(Diagnostic {
+                    path: sf.rel_path.clone(),
+                    line: line_no,
+                    rule: RULE,
+                    message: format!("`{pat}` {why}; kernel files must stay allocation- and lock-free"),
+                });
+            }
+        }
+    }
+    diags
+}

@@ -1,0 +1,58 @@
+//! `panic-policy`: library crates must not `unwrap()` / `expect()` /
+//! `panic!` (nor `todo!` / `unimplemented!`) outside `#[cfg(test)]` code.
+//!
+//! A graph query service cannot afford an abort because an input edge was
+//! malformed; library code returns `Option`/`Result` or documents an
+//! `assert!`ed precondition instead. `assert!` (a documented precondition
+//! check) and `unreachable!` (an invariant whose impossibility is argued
+//! locally) are deliberately permitted. The CLI and bench harness are leaf
+//! binaries and are exempt via [`crate::config::PANIC_POLICY_EXEMPT_CRATES`];
+//! tests, benches and examples are always exempt.
+
+use crate::config::PANIC_POLICY_EXEMPT_CRATES;
+use crate::{Diagnostic, SourceFile};
+
+pub const RULE: &str = "panic-policy";
+
+/// Forbidden call patterns (searched in masked code, so literals and
+/// comments never match).
+const FORBIDDEN: &[(&str, &str)] = &[
+    (".unwrap()", "use a checked alternative or return an error"),
+    (".expect(", "use a checked alternative or return an error"),
+    ("panic!(", "library code must not abort; return an error"),
+    ("todo!(", "no unfinished code paths in library crates"),
+    ("unimplemented!(", "no unfinished code paths in library crates"),
+];
+
+pub fn check(sf: &SourceFile) -> Vec<Diagnostic> {
+    if sf.is_test_or_harness || PANIC_POLICY_EXEMPT_CRATES.contains(&sf.crate_name.as_str()) {
+        return Vec::new();
+    }
+    let in_test = super::cfg_test_lines(sf);
+    let mut diags = Vec::new();
+    for (idx, line) in sf.lexed.masked.lines().enumerate() {
+        let line_no = idx + 1;
+        if in_test.get(line_no).copied().unwrap_or(false) {
+            continue;
+        }
+        // `debug_assert!(x.unwrap() == y)`-style debug-only checks are
+        // compiled out of release builds and are allowed.
+        if line.contains("debug_assert") {
+            continue;
+        }
+        for (pat, hint) in FORBIDDEN {
+            if line.contains(pat) {
+                if sf.waived(RULE, line_no) {
+                    continue;
+                }
+                diags.push(Diagnostic {
+                    path: sf.rel_path.clone(),
+                    line: line_no,
+                    rule: RULE,
+                    message: format!("`{pat}` in library code: {hint}"),
+                });
+            }
+        }
+    }
+    diags
+}

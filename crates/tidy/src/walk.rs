@@ -1,0 +1,64 @@
+//! Workspace file discovery: every `.rs` file under the root, skipping
+//! `target/`, `.git/` and lint fixtures.
+
+use std::path::{Path, PathBuf};
+
+use crate::config::SKIP_DIRS;
+use crate::SourceFile;
+
+/// Collect all lintable Rust sources under `root` (sorted by path, so
+/// diagnostics are stable across platforms and runs).
+pub fn collect_sources(root: &Path) -> std::io::Result<Vec<SourceFile>> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+    files
+        .into_iter()
+        .map(|rel| {
+            let raw = std::fs::read_to_string(root.join(&rel))?;
+            Ok(SourceFile::new(rel, raw))
+        })
+        .collect()
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_path_buf());
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Collect all `Cargo.toml` manifests under `root` (workspace + crates).
+pub fn collect_manifests(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    if root.join("Cargo.toml").is_file() {
+        out.push(PathBuf::from("Cargo.toml"));
+    }
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        for entry in std::fs::read_dir(&crates)? {
+            let entry = entry?;
+            let m = entry.path().join("Cargo.toml");
+            if m.is_file() {
+                if let Ok(rel) = m.strip_prefix(root) {
+                    out.push(rel.to_path_buf());
+                }
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}

@@ -13,8 +13,7 @@ use cachegraph::fw::instrumented::{sim_iterative, sim_recursive_morton, sim_tile
 use cachegraph::graph::INF;
 use cachegraph::layout::select_block_size;
 use cachegraph::sim::profiles;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cachegraph_rng::StdRng;
 
 fn random_costs(n: usize, density: f64, seed: u64) -> Vec<u32> {
     let mut rng = StdRng::seed_from_u64(seed);

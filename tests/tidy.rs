@@ -1,0 +1,20 @@
+//! Tier-1 gate: the whole workspace must pass the `cachegraph-tidy`
+//! static-analysis rules (safety comments, panic policy, cast soundness,
+//! kernel purity, dependency policy). Run the binary for the same report
+//! on the command line: `cargo run -p cachegraph-tidy`.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_tidy_clean() {
+    let manifest_dir = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = cachegraph_tidy::find_workspace_root(manifest_dir)
+        .expect("workspace root above CARGO_MANIFEST_DIR");
+    let diags = cachegraph_tidy::run_workspace(&root).expect("lint pass must not hit I/O errors");
+    assert!(
+        diags.is_empty(),
+        "cachegraph-tidy found {} violation(s):\n{}",
+        diags.len(),
+        diags.iter().map(|d| format!("  {d}\n")).collect::<String>()
+    );
+}
