@@ -15,4 +15,11 @@ cargo run -q -p cachegraph-tidy
 echo "==> clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> repro --quick perf smoke (metrics -> target/ci-metrics)"
+mkdir -p target/ci-metrics
+cargo run -q --release -p cachegraph-cli --bin cachegraph -- \
+  repro --quick --metrics target/ci-metrics/repro_quick.json \
+  > target/ci-metrics/repro_quick.txt
+grep -q '"schema_version":1' target/ci-metrics/repro_quick.json
+
 echo "ci: all green"

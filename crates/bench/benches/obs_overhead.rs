@@ -1,0 +1,58 @@
+//! Instrumentation overhead check: tiled FW through the observed entry
+//! point with a *disabled* registry versus the plain entry point.
+//!
+//! The observed driver is the same monomorphized code plus a branch per
+//! tile-level event (never per cell), so the two runs should be within
+//! measurement noise (<2%, see EXPERIMENTS.md). Run with:
+//!
+//! ```text
+//! cargo bench -p cachegraph-bench --bench obs_overhead
+//! ```
+
+use cachegraph_bench::{bench_report, black_box};
+use cachegraph_fw::{fw_tiled, fw_tiled_observed, FwMatrix, INF};
+use cachegraph_layout::BlockLayout;
+use cachegraph_obs::Registry;
+use cachegraph_rng::StdRng;
+
+fn random_costs(n: usize, density: f64, seed: u64) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut costs = vec![INF; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                costs[i * n + j] = 0;
+            } else if rng.gen_bool(density) {
+                costs[i * n + j] = rng.gen_range(1..100);
+            }
+        }
+    }
+    costs
+}
+
+fn main() {
+    let n = 512;
+    let b = 32;
+    let costs = random_costs(n, 0.3, 42);
+    let samples = 5;
+
+    bench_report("obs_overhead", "fw_tiled_plain", samples, || {
+        let mut m = FwMatrix::from_costs(BlockLayout::new(n, b), &costs);
+        fw_tiled(&mut m, b);
+        black_box(m.dist(0, n - 1));
+    });
+
+    let disabled = Registry::disabled();
+    bench_report("obs_overhead", "fw_tiled_observed_disabled", samples, || {
+        let mut m = FwMatrix::from_costs(BlockLayout::new(n, b), &costs);
+        fw_tiled_observed(&mut m, b, &disabled);
+        black_box(m.dist(0, n - 1));
+    });
+
+    let enabled = Registry::new();
+    bench_report("obs_overhead", "fw_tiled_observed_enabled", samples, || {
+        let mut m = FwMatrix::from_costs(BlockLayout::new(n, b), &costs);
+        fw_tiled_observed(&mut m, b, &enabled);
+        black_box(m.dist(0, n - 1));
+    });
+}

@@ -8,19 +8,27 @@
 //!                             # machines worstcase
 //! repro [--full] all          # everything, in paper order
 //! repro --list                # print the available ids
+//! repro --metrics out.json    # also write one schema-versioned report
+//! repro --metrics-dir DIR     # also write DIR/BENCH_<id>.json per experiment
 //! ```
 //!
 //! Default sizes finish in minutes on a laptop; `--full` uses the paper's
 //! problem sizes (N up to 4096 for FW, 64 K vertices for Dijkstra/Prim)
 //! and can take hours and several GB of RAM.
 
-use cachegraph_bench::{experiments, Scale};
+use std::path::PathBuf;
+
+use cachegraph_bench::{experiment_to_json, experiments, time_once, Scale};
+use cachegraph_obs::Report;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut full = false;
     let mut ids: Vec<String> = Vec::new();
-    for a in &args {
+    let mut metrics: Option<PathBuf> = None;
+    let mut metrics_dir: Option<PathBuf> = None;
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
         match a.as_str() {
             "--full" => full = true,
             "--list" => {
@@ -29,15 +37,31 @@ fn main() {
                 }
                 return;
             }
+            "--metrics" => match iter.next() {
+                Some(path) => metrics = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--metrics needs a file path");
+                    std::process::exit(2);
+                }
+            },
+            "--metrics-dir" => match iter.next() {
+                Some(dir) => metrics_dir = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--metrics-dir needs a directory path");
+                    std::process::exit(2);
+                }
+            },
             "--help" | "-h" => {
-                println!("usage: repro [--full] <id>... | all | --list");
+                println!(
+                    "usage: repro [--full] [--metrics FILE] [--metrics-dir DIR] <id>... | all | --list"
+                );
                 return;
             }
             other => ids.push(other.to_string()),
         }
     }
     if ids.is_empty() {
-        eprintln!("usage: repro [--full] <id>... | all | --list");
+        eprintln!("usage: repro [--full] [--metrics FILE] [--metrics-dir DIR] <id>... | all | --list");
         std::process::exit(2);
     }
     if ids.iter().any(|i| i == "all") {
@@ -48,16 +72,42 @@ fn main() {
         "# cachegraph repro — scale: {} (results validated against baselines on every run)\n",
         if full { "FULL (paper sizes)" } else { "quick" }
     );
+    if let Some(dir) = &metrics_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create metrics dir {}: {e}", dir.display());
+            std::process::exit(2);
+        }
+    }
+    let mut combined = Report::new(if full { "repro-full" } else { "repro-quick" });
     let mut unknown = Vec::new();
     for id in &ids {
-        match experiments::run(id, scale) {
+        let (dur, result) = time_once(|| experiments::run(id, scale));
+        match result {
             Some(tables) => {
-                for t in tables {
+                for t in &tables {
                     println!("{t}");
                 }
+                let section = experiment_to_json(id, &tables, dur);
+                if let Some(dir) = &metrics_dir {
+                    let mut per = Report::new(&format!("repro-{id}"));
+                    per.push_experiment(section.clone());
+                    let path = dir.join(format!("BENCH_{id}.json"));
+                    if let Err(e) = per.save(&path) {
+                        eprintln!("cannot write {}: {e}", path.display());
+                        std::process::exit(2);
+                    }
+                }
+                combined.push_experiment(section);
             }
             None => unknown.push(id.clone()),
         }
+    }
+    if let Some(path) = &metrics {
+        if let Err(e) = combined.save(path) {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(2);
+        }
+        eprintln!("metrics report written to {}", path.display());
     }
     if !unknown.is_empty() {
         eprintln!("unknown experiment ids: {} (try --list)", unknown.join(", "));

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use cachegraph_obs::Json;
+
 /// A titled table of strings, printed with aligned columns — the output
 //  format of the `repro` binary.
 #[derive(Clone, Debug)]
@@ -42,6 +44,19 @@ impl Table {
     /// Cell at `(row, col)` (tests use this to assert on results).
     pub fn cell(&self, row: usize, col: usize) -> &str {
         &self.rows[row][col]
+    }
+
+    /// The table as a JSON object — the per-table payload inside a
+    /// report's `experiments` section.
+    pub fn to_json(&self) -> Json {
+        let strings = |items: &[String]| {
+            Json::Arr(items.iter().map(|s| Json::Str(s.clone())).collect())
+        };
+        Json::obj()
+            .field("title", self.title.as_str())
+            .field("headers", strings(&self.headers))
+            .field("rows", Json::Arr(self.rows.iter().map(|r| strings(r)).collect()))
+            .field("notes", strings(&self.notes))
     }
 }
 

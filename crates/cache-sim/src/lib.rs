@@ -38,6 +38,7 @@ pub mod classify;
 mod config;
 mod hierarchy;
 pub mod profiles;
+pub mod report;
 pub mod reuse;
 mod tlb;
 mod trace;

@@ -1,0 +1,168 @@
+//! JSON serialization of simulation statistics for run reports.
+//!
+//! Converts [`HierarchyStats`] (levels, TLB, three-Cs classification,
+//! memory traffic) to and from the `cache_sims` section of a
+//! `cachegraph-obs` report document. The JSON layout is part of the
+//! versioned report schema (see EXPERIMENTS.md); [`stats_from_json`]
+//! is the inverse of [`stats_to_json`], which the schema round-trip
+//! test in `tests/report_roundtrip.rs` guards field-for-field.
+
+use cachegraph_obs::Json;
+
+use crate::classify::MissClasses;
+use crate::hierarchy::{HierarchyStats, LevelStats};
+use crate::tlb::TlbStats;
+
+/// Serialize `stats` as one `cache_sims` section, tagged with a run
+/// `label` (e.g. `fw.tiled`) and the `machine` profile name.
+pub fn stats_to_json(label: &str, machine: &str, stats: &HierarchyStats) -> Json {
+    let levels = Json::Arr(stats.levels.iter().map(level_to_json).collect());
+    let tlb = stats.tlb.as_ref().map_or(Json::Null, |t| {
+        Json::obj().field("accesses", t.accesses).field("misses", t.misses)
+    });
+    let l1_classes = stats.l1_classes.as_ref().map_or(Json::Null, |c| {
+        Json::obj()
+            .field("compulsory", c.compulsory)
+            .field("capacity", c.capacity)
+            .field("conflict", c.conflict)
+    });
+    Json::obj()
+        .field("label", label)
+        .field("machine", machine)
+        .field("levels", levels)
+        .field("tlb", tlb)
+        .field("l1_classes", l1_classes)
+        .field("memory_lines_fetched", stats.memory_lines_fetched)
+}
+
+fn level_to_json(level: &LevelStats) -> Json {
+    Json::obj()
+        .field("level", level.level as u64 + 1)
+        .field("accesses", level.accesses)
+        .field("hits", level.hits)
+        .field("misses", level.misses)
+        .field("writebacks", level.writebacks)
+        .field("prefetches", level.prefetches)
+        .field("miss_rate", level.miss_rate)
+}
+
+/// Parse a `cache_sims` section back into `(label, machine, stats)`.
+/// Returns `None` when any required field is missing or ill-typed.
+pub fn stats_from_json(json: &Json) -> Option<(String, String, HierarchyStats)> {
+    let label = json.get("label")?.as_str()?.to_string();
+    let machine = json.get("machine")?.as_str()?.to_string();
+    let levels = json
+        .get("levels")?
+        .as_arr()?
+        .iter()
+        .map(level_from_json)
+        .collect::<Option<Vec<_>>>()?;
+    let tlb = match json.get("tlb") {
+        None | Some(Json::Null) => None,
+        Some(t) => Some(TlbStats {
+            accesses: t.get("accesses")?.as_u64()?,
+            misses: t.get("misses")?.as_u64()?,
+        }),
+    };
+    let l1_classes = match json.get("l1_classes") {
+        None | Some(Json::Null) => None,
+        Some(c) => Some(MissClasses {
+            compulsory: c.get("compulsory")?.as_u64()?,
+            capacity: c.get("capacity")?.as_u64()?,
+            conflict: c.get("conflict")?.as_u64()?,
+        }),
+    };
+    let memory_lines_fetched = json.get("memory_lines_fetched")?.as_u64()?;
+    Some((label, machine, HierarchyStats { levels, tlb, memory_lines_fetched, l1_classes }))
+}
+
+fn level_from_json(json: &Json) -> Option<LevelStats> {
+    let level_1based = json.get("level")?.as_u64()?;
+    Some(LevelStats {
+        level: usize::try_from(level_1based.checked_sub(1)?).ok()?,
+        accesses: json.get("accesses")?.as_u64()?,
+        hits: json.get("hits")?.as_u64()?,
+        misses: json.get("misses")?.as_u64()?,
+        writebacks: json.get("writebacks")?.as_u64()?,
+        prefetches: json.get("prefetches")?.as_u64()?,
+        miss_rate: json.get("miss_rate")?.as_f64()?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_stats() -> HierarchyStats {
+        HierarchyStats {
+            levels: vec![
+                LevelStats {
+                    level: 0,
+                    accesses: 10_000,
+                    hits: 9_000,
+                    misses: 1_000,
+                    writebacks: 120,
+                    prefetches: 0,
+                    miss_rate: 0.1,
+                },
+                LevelStats {
+                    level: 1,
+                    accesses: 1_000,
+                    hits: 900,
+                    misses: 100,
+                    writebacks: 10,
+                    prefetches: 0,
+                    miss_rate: 0.1,
+                },
+            ],
+            tlb: Some(TlbStats { accesses: 10_000, misses: 42 }),
+            memory_lines_fetched: 100,
+            l1_classes: Some(MissClasses { compulsory: 600, capacity: 300, conflict: 100 }),
+        }
+    }
+
+    #[test]
+    fn stats_round_trip_field_for_field() {
+        let stats = sample_stats();
+        let json = stats_to_json("fw.tiled", "simplescalar", &stats);
+        let text = json.render();
+        let reparsed = cachegraph_obs::parse_json(&text).expect("valid JSON");
+        let (label, machine, back) = stats_from_json(&reparsed).expect("parses back");
+        assert_eq!(label, "fw.tiled");
+        assert_eq!(machine, "simplescalar");
+        assert_eq!(back, stats);
+    }
+
+    #[test]
+    fn absent_tlb_and_classes_round_trip_as_null() {
+        let stats = HierarchyStats {
+            tlb: None,
+            l1_classes: None,
+            ..sample_stats()
+        };
+        let json = stats_to_json("dijkstra.list", "alpha", &stats);
+        assert_eq!(json.get("tlb"), Some(&Json::Null));
+        assert_eq!(json.get("l1_classes"), Some(&Json::Null));
+        let (_, _, back) = stats_from_json(&json).expect("parses back");
+        assert_eq!(back, stats);
+    }
+
+    #[test]
+    fn levels_are_one_based_in_json() {
+        let json = stats_to_json("x", "m", &sample_stats());
+        let levels = json.get("levels").and_then(Json::as_arr).expect("levels");
+        assert_eq!(levels[0].get("level").and_then(Json::as_u64), Some(1));
+        assert_eq!(levels[1].get("level").and_then(Json::as_u64), Some(2));
+    }
+
+    #[test]
+    fn malformed_sections_are_rejected() {
+        assert!(stats_from_json(&Json::obj().field("label", "x")).is_none());
+        let missing_misses = Json::obj()
+            .field("label", "x")
+            .field("machine", "m")
+            .field("levels", Json::Arr(vec![Json::obj().field("level", 1_u64)]))
+            .field("memory_lines_fetched", 0_u64);
+        assert!(stats_from_json(&missing_misses).is_none());
+    }
+}

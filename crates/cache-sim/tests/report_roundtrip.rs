@@ -1,0 +1,74 @@
+//! Schema round-trip guard: a real simulated `HierarchyStats` plus a
+//! live registry snapshot go out through the versioned report writer
+//! and come back through the in-tree JSON reader field-for-field equal.
+
+use cachegraph_obs::{Registry, Report};
+use cachegraph_sim::report::{stats_from_json, stats_to_json};
+use cachegraph_sim::{profiles, AccessKind, MemoryHierarchy};
+
+fn simulated_stats(mut hierarchy: MemoryHierarchy) -> cachegraph_sim::HierarchyStats {
+    // A strided sweep plus a re-walk: produces hits, misses, writebacks,
+    // and (with a TLB profile) translation misses.
+    for pass in 0..3_u64 {
+        for i in 0..4_096_u64 {
+            let addr = 0x10_0000 + i * 40;
+            if pass == 1 {
+                hierarchy.access(addr, 8, AccessKind::Write);
+            } else {
+                hierarchy.access(addr, 8, AccessKind::Read);
+            }
+        }
+    }
+    hierarchy.flush();
+    hierarchy.stats()
+}
+
+#[test]
+fn full_report_round_trips_field_for_field() {
+    // Classified SimpleScalar run: exercises the three-Cs section.
+    let classified = simulated_stats(MemoryHierarchy::new_classifying(profiles::simplescalar()));
+    assert!(classified.l1_classes.is_some());
+    // Pentium III run: exercises the TLB section.
+    let with_tlb = simulated_stats(MemoryHierarchy::new(profiles::pentium_iii()));
+    assert!(with_tlb.tlb.is_some());
+
+    let registry = Registry::new();
+    let relaxations = registry.counter("sssp.relaxations");
+    {
+        let root = registry.span("dijkstra.array");
+        let _relax = root.child("relax");
+        relaxations.add(12_345);
+    }
+    registry.gauge("heap.size").set(77);
+    registry.histogram("tile.bytes").record(4_096);
+
+    let mut report = Report::new("roundtrip-test");
+    report.set_metrics(&registry.snapshot());
+    report.push_cache_sim(stats_to_json("fw.tiled", "simplescalar", &classified));
+    report.push_cache_sim(stats_to_json("dijkstra.array", "pentium_iii", &with_tlb));
+
+    // Out through the writer, back through the reader.
+    let text = report.render();
+    let loaded = Report::load_str(&text).expect("report parses");
+    assert_eq!(loaded.to_json(), report.to_json());
+
+    // And the cache-sim sections decode to the exact original structs.
+    let (label0, machine0, back0) = stats_from_json(&loaded.cache_sims[0]).expect("sim 0");
+    assert_eq!((label0.as_str(), machine0.as_str()), ("fw.tiled", "simplescalar"));
+    assert_eq!(back0, classified);
+    let (label1, machine1, back1) = stats_from_json(&loaded.cache_sims[1]).expect("sim 1");
+    assert_eq!((label1.as_str(), machine1.as_str()), ("dijkstra.array", "pentium_iii"));
+    assert_eq!(back1, with_tlb);
+
+    // Registry metrics survive too.
+    let metrics = loaded.metrics.expect("metrics section");
+    assert_eq!(
+        metrics
+            .get("counters")
+            .and_then(|c| c.get("sssp.relaxations"))
+            .and_then(cachegraph_obs::Json::as_u64),
+        Some(12_345)
+    );
+    let spans = metrics.get("spans").and_then(cachegraph_obs::Json::as_arr).expect("spans");
+    assert_eq!(spans.len(), 2);
+}

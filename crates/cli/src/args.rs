@@ -31,29 +31,58 @@ impl fmt::Display for ArgsError {
 
 impl std::error::Error for ArgsError {}
 
+/// Flags that take no value; their presence simply sets them to `true`.
+const SWITCHES: &[&str] = &["quick", "full"];
+
 /// Parsed `--flag value` pairs (flags keyed without the dashes; `-i` and
-/// `-o` are aliases for `--input` / `--output`).
+/// `-o` are aliases for `--input` / `--output`) plus any positional
+/// arguments in order. Commands that take no positionals reject them at
+/// dispatch time.
 #[derive(Debug, Default)]
 pub struct Args {
     values: HashMap<String, String>,
+    positionals: Vec<String>,
 }
 
 impl Args {
     /// Parse everything after the subcommand.
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, ArgsError> {
         let mut values = HashMap::new();
+        let mut positionals = Vec::new();
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
             let key = match arg.as_str() {
                 "-i" => "input".to_string(),
                 "-o" => "output".to_string(),
                 s if s.starts_with("--") => s[2..].to_string(),
-                other => return Err(ArgsError::UnexpectedPositional(other.to_string())),
+                other => {
+                    positionals.push(other.to_string());
+                    continue;
+                }
             };
+            if SWITCHES.contains(&key.as_str()) {
+                values.insert(key, "true".to_string());
+                continue;
+            }
             let value = it.next().ok_or_else(|| ArgsError::MissingValue(format!("--{key}")))?;
             values.insert(key, value);
         }
-        Ok(Self { values })
+        Ok(Self { values, positionals })
+    }
+
+    /// Positional (non-flag) arguments, in order.
+    pub fn positionals(&self) -> &[String] {
+        &self.positionals
+    }
+
+    /// Optional string flag.
+    pub fn get(&self, flag: &str) -> Option<&str> {
+        self.values.get(flag).map(String::as_str)
+    }
+
+    /// True when the value-less switch `--flag` was given.
+    pub fn switch(&self, flag: &str) -> bool {
+        self.values.contains_key(flag)
     }
 
     /// Required string flag.
@@ -126,14 +155,20 @@ mod tests {
     }
 
     #[test]
+    fn positionals_and_switches() {
+        let a = args(&["a.json", "--quick", "b.json", "--threshold", "0.2"]).expect("parse");
+        assert_eq!(a.positionals(), &["a.json".to_string(), "b.json".to_string()]);
+        assert!(a.switch("quick"));
+        assert!(!a.switch("full"));
+        assert_eq!(a.get("threshold"), Some("0.2"));
+        assert_eq!(a.get("missing"), None);
+    }
+
+    #[test]
     fn errors() {
         assert_eq!(
             args(&["--n"]).unwrap_err(),
             ArgsError::MissingValue("--n".into())
-        );
-        assert_eq!(
-            args(&["loose"]).unwrap_err(),
-            ArgsError::UnexpectedPositional("loose".into())
         );
         let a = args(&["--n", "abc"]).expect("parse");
         assert!(matches!(

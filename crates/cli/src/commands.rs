@@ -4,16 +4,28 @@
 use std::fmt;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
+use std::path::Path;
 use std::time::Instant;
 
-use cachegraph_fw::{fw_iterative_slice, fw_recursive, fw_tiled, transitive_closure_of, FwMatrix, INF};
+use cachegraph_fw::instrumented::{sim_iterative, sim_recursive_morton, sim_tiled_bdl_classified};
+use cachegraph_fw::{
+    fw_iterative_observed, fw_recursive_observed, fw_tiled_observed, transitive_closure_of,
+    FwMatrix, INF,
+};
 use cachegraph_graph::io::{read_dimacs, write_dimacs, DimacsError};
 use cachegraph_graph::{generators, EdgeListBuilder, Graph};
-use cachegraph_layout::{select_block_size, BlockLayout, ZMorton};
+use cachegraph_layout::{select_block_size, BlockLayout, RowMajor, ZMorton};
+use cachegraph_matching::instrumented::{
+    sim_find_matching_observed, sim_find_matching_partitioned_observed,
+};
 use cachegraph_matching::{find_matching, find_matching_partitioned, Matching, PartitionScheme};
+use cachegraph_obs::{compare_reports, Json, Registry, Report, DEFAULT_THRESHOLD};
 use cachegraph_pq::DAryHeap;
 use cachegraph_sim::profiles;
-use cachegraph_sssp::instrumented::{sim_dijkstra_adj_array, sim_dijkstra_adj_list};
+use cachegraph_sim::report::stats_to_json;
+use cachegraph_sssp::instrumented::{
+    sim_dijkstra_adj_array_observed, sim_dijkstra_adj_list_observed,
+};
 use cachegraph_sssp::{
     dijkstra, dijkstra_binary_heap, dijkstra_dense, dijkstra_lazy, dijkstra_lazy_sequence,
     kruskal, prim_binary_heap,
@@ -68,8 +80,14 @@ impl From<std::io::Error> for CliError {
     }
 }
 
-/// Dispatch a subcommand; the report goes to `out`.
+/// Dispatch a subcommand; the report goes to `out`. Only `compare` takes
+/// positional arguments.
 pub fn run(command: &str, args: Args, out: &mut dyn Write) -> Result<(), CliError> {
+    if command != "compare" {
+        if let Some(p) = args.positionals().first() {
+            return Err(CliError::Args(ArgsError::UnexpectedPositional(p.clone())));
+        }
+    }
     match command {
         "gen" => cmd_gen(args, out),
         "sssp" => cmd_sssp(args, out),
@@ -78,6 +96,8 @@ pub fn run(command: &str, args: Args, out: &mut dyn Write) -> Result<(), CliErro
         "match" => cmd_match(args, out),
         "closure" => cmd_closure(args, out),
         "simulate" => cmd_simulate(args, out),
+        "repro" => cmd_repro(args, out),
+        "compare" => cmd_compare(args, out),
         other => Err(CliError::UnknownCommand(other.to_string())),
     }
 }
@@ -86,6 +106,37 @@ fn load(args: &Args) -> Result<EdgeListBuilder, CliError> {
     let path = args.require("input")?;
     let file = File::open(path)?;
     Ok(read_dimacs(BufReader::new(file))?)
+}
+
+/// An enabled registry when `--metrics FILE` was given, else the inert
+/// disabled registry (spans and counters become no-ops).
+fn metrics_registry(args: &Args) -> Registry {
+    if args.get("metrics").is_some() {
+        Registry::new()
+    } else {
+        Registry::disabled()
+    }
+}
+
+/// Write the end-of-run report to the `--metrics` path, if one was given.
+fn save_metrics(
+    args: &Args,
+    name: &str,
+    registry: &Registry,
+    cache_sims: Vec<Json>,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let Some(path) = args.get("metrics") else {
+        return Ok(());
+    };
+    let mut report = Report::new(name);
+    report.set_metrics(&registry.snapshot());
+    for sim in cache_sims {
+        report.push_cache_sim(sim);
+    }
+    report.save(Path::new(path))?;
+    writeln!(out, "metrics report written to {path}")?;
+    Ok(())
 }
 
 fn cmd_gen(args: Args, out: &mut dyn Write) -> Result<(), CliError> {
@@ -130,6 +181,8 @@ fn cmd_sssp(args: Args, out: &mut dyn Write) -> Result<(), CliError> {
     }
     let rep = args.get_or("rep", "array");
     let algo = args.get_or("algo", "binary");
+    let registry = metrics_registry(&args);
+    let root = registry.span(&format!("cli.sssp/{rep}.{algo}"));
     let t0 = Instant::now();
     let result = match rep {
         "array" => {
@@ -148,7 +201,9 @@ fn cmd_sssp(args: Args, out: &mut dyn Write) -> Result<(), CliError> {
         other => return Err(CliError::Invalid(format!("unknown representation '{other}'"))),
     };
     let elapsed = t0.elapsed();
+    drop(root);
     let reachable = result.dist.iter().filter(|&&d| d != INF).count();
+    registry.gauge("sssp.reachable").set(i64::try_from(reachable).unwrap_or(i64::MAX));
     let far = result
         .dist
         .iter()
@@ -160,6 +215,7 @@ fn cmd_sssp(args: Args, out: &mut dyn Write) -> Result<(), CliError> {
         writeln!(out, "farthest reachable vertex: {v} at distance {d}")?;
     }
     writeln!(out, "time: {:.3} ms", elapsed.as_secs_f64() * 1e3)?;
+    save_metrics(&args, "cli-sssp", &registry, Vec::new(), out)?;
     Ok(())
 }
 
@@ -170,21 +226,22 @@ fn cmd_apsp(args: Args, out: &mut dyn Write) -> Result<(), CliError> {
     let algo = args.get_or("algo", "recursive");
     let block: usize =
         args.parse_or("block", select_block_size(32 * 1024, 8, 4).estimate.min(n), "integer")?;
+    let registry = metrics_registry(&args);
     let t0 = Instant::now();
     let dist = match algo {
         "iterative" => {
-            let mut d = costs;
-            fw_iterative_slice(&mut d, n);
-            d
+            let mut m = FwMatrix::from_costs(RowMajor::new(n), &costs);
+            fw_iterative_observed(&mut m, &registry);
+            m.to_row_major()
         }
         "recursive" => {
             let mut m = FwMatrix::from_costs(ZMorton::new(n, block), &costs);
-            fw_recursive(&mut m, block);
+            fw_recursive_observed(&mut m, block, &registry);
             m.to_row_major()
         }
         "tiled" => {
             let mut m = FwMatrix::from_costs(BlockLayout::new(n, block), &costs);
-            fw_tiled(&mut m, block);
+            fw_tiled_observed(&mut m, block, &registry);
             m.to_row_major()
         }
         other => return Err(CliError::Invalid(format!("unknown algo '{other}'"))),
@@ -202,6 +259,7 @@ fn cmd_apsp(args: Args, out: &mut dyn Write) -> Result<(), CliError> {
     writeln!(out, "connected ordered pairs: {connected_pairs}")?;
     writeln!(out, "diameter: {diameter}, mean finite distance: {avg:.2}")?;
     writeln!(out, "time: {:.3} ms", elapsed.as_secs_f64() * 1e3)?;
+    save_metrics(&args, "cli-apsp", &registry, Vec::new(), out)?;
     Ok(())
 }
 
@@ -233,13 +291,21 @@ fn cmd_match(args: Args, out: &mut dyn Write) -> Result<(), CliError> {
     }
     let parts: usize = args.parse_or("parts", 8, "integer")?;
     let g = b.build_array();
+    let registry = metrics_registry(&args);
+    let root = registry.span("cli.match");
+    let span = root.child("baseline");
     let t0 = Instant::now();
     let base = find_matching(&g, n / 2, Matching::empty(n));
     let t_base = t0.elapsed();
+    drop(span);
+    let span = root.child("partitioned");
     let t0 = Instant::now();
     let (opt, stats) =
         find_matching_partitioned(&g, n / 2, b.edges(), PartitionScheme::Contiguous(parts));
     let t_opt = t0.elapsed();
+    drop(span);
+    drop(root);
+    registry.gauge("matching.size").set(i64::try_from(opt.size).unwrap_or(i64::MAX));
     if base.size != opt.size {
         return Err(CliError::Invalid("internal error: implementations disagree".into()));
     }
@@ -252,6 +318,7 @@ fn cmd_match(args: Args, out: &mut dyn Write) -> Result<(), CliError> {
         stats.local_matched,
         t_opt.as_secs_f64() * 1e3,
     )?;
+    save_metrics(&args, "cli-match", &registry, Vec::new(), out)?;
     Ok(())
 }
 
@@ -288,9 +355,10 @@ fn cmd_simulate(args: Args, out: &mut dyn Write) -> Result<(), CliError> {
         other => return Err(CliError::Invalid(format!("unknown machine '{other}'"))),
     };
     let rep = args.get_or("rep", "array");
+    let registry = metrics_registry(&args);
     let r = match rep {
-        "array" => sim_dijkstra_adj_array(&b.build_array(), source, cfg),
-        "list" => sim_dijkstra_adj_list(&b.build_list(), source, cfg),
+        "array" => sim_dijkstra_adj_array_observed(&b.build_array(), source, cfg, &registry),
+        "list" => sim_dijkstra_adj_list_observed(&b.build_list(), source, cfg, &registry),
         other => return Err(CliError::Invalid(format!("unknown representation '{other}'"))),
     };
     writeln!(out, "simulated Dijkstra ({rep}) on {machine}:")?;
@@ -308,6 +376,129 @@ fn cmd_simulate(args: Args, out: &mut dyn Write) -> Result<(), CliError> {
         writeln!(out, "  TLB: {} misses / {} translations", tlb.misses, tlb.accesses)?;
     }
     writeln!(out, "  memory lines fetched: {}", r.stats.memory_lines_fetched)?;
+    let sims = vec![stats_to_json(&format!("dijkstra.{rep}"), machine, &r.stats)];
+    save_metrics(&args, "cli-simulate", &registry, sims, out)?;
+    Ok(())
+}
+
+/// `repro`: one instrumented pass over the paper's core algorithms at a
+/// quick (default, also `--quick`) or `--full` scale. With `--metrics
+/// FILE` the run writes a schema-versioned report holding the simulated
+/// L1/L2/TLB statistics and three-Cs miss counts per workload next to the
+/// span durations and algorithm counters from observed real runs.
+fn cmd_repro(args: Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let full = args.switch("full");
+    let scale = if full { "full" } else { "quick" };
+    let registry = Registry::new();
+    let mut cache_sims = Vec::new();
+    let mut describe = |out: &mut dyn Write,
+                        label: &str,
+                        machine: &str,
+                        stats: &cachegraph_sim::HierarchyStats|
+     -> Result<(), CliError> {
+        let l1 = &stats.levels[0];
+        write!(out, "  {label} ({machine}): L1 {}/{} misses", l1.misses, l1.accesses)?;
+        if let Some(tlb) = &stats.tlb {
+            write!(out, ", TLB {}/{}", tlb.misses, tlb.accesses)?;
+        }
+        if let Some(c) = &stats.l1_classes {
+            write!(
+                out,
+                ", three-Cs {}/{}/{}",
+                c.compulsory, c.capacity, c.conflict
+            )?;
+        }
+        writeln!(out)?;
+        cache_sims.push(stats_to_json(label, machine, stats));
+        Ok(())
+    };
+
+    // Floyd-Warshall: simulated hierarchies give the miss counts (with
+    // three-Cs classification on the tiled/BDL variant); observed real
+    // runs of the same variants give span durations and kernel counters.
+    let (n, bsz) = if full { (256, 32) } else { (64, 16) };
+    let costs = generators::random_directed(n, 0.3, 100, 7).build_matrix().costs().to_vec();
+    writeln!(out, "repro ({scale}): Floyd-Warshall n={n}, b={bsz}")?;
+    let sim = sim_iterative(&costs, n, profiles::simplescalar());
+    describe(out, "fw.iterative", "simplescalar", &sim.stats)?;
+    let sim = sim_tiled_bdl_classified(&costs, n, bsz, profiles::simplescalar());
+    describe(out, "fw.tiled.bdl", "simplescalar", &sim.stats)?;
+    let sim = sim_recursive_morton(&costs, n, bsz, profiles::simplescalar());
+    describe(out, "fw.recursive.morton", "simplescalar", &sim.stats)?;
+
+    let mut m = FwMatrix::from_costs(RowMajor::new(n), &costs);
+    fw_iterative_observed(&mut m, &registry);
+    let expect = m.to_row_major();
+    let mut m = FwMatrix::from_costs(BlockLayout::new(n, bsz), &costs);
+    fw_tiled_observed(&mut m, bsz, &registry);
+    let tiled_ok = m.to_row_major() == expect;
+    let mut m = FwMatrix::from_costs(ZMorton::new(n, bsz), &costs);
+    fw_recursive_observed(&mut m, bsz, &registry);
+    if !tiled_ok || m.to_row_major() != expect {
+        return Err(CliError::Invalid("internal error: FW variants disagree".into()));
+    }
+
+    // Dijkstra over both representations on a TLB-modelled machine.
+    let dn = if full { 4096 } else { 512 };
+    let g = generators::random_directed(dn, 0.02, 100, 11);
+    writeln!(out, "repro ({scale}): Dijkstra n={dn}")?;
+    let sim = sim_dijkstra_adj_array_observed(&g.build_array(), 0, profiles::pentium_iii(), &registry);
+    describe(out, "dijkstra.array", "p3", &sim.stats)?;
+    let sim = sim_dijkstra_adj_list_observed(&g.build_list(), 0, profiles::pentium_iii(), &registry);
+    describe(out, "dijkstra.list", "p3", &sim.stats)?;
+
+    // Bipartite matching, baseline versus the partitioned variant.
+    let mn = if full { 1024 } else { 256 };
+    let g = generators::random_bipartite(mn, 0.1, 5);
+    writeln!(out, "repro ({scale}): matching n={mn}")?;
+    let base = sim_find_matching_observed(mn, mn / 2, g.edges(), profiles::simplescalar(), &registry);
+    describe(out, "matching.baseline", "simplescalar", &base.stats)?;
+    let part = sim_find_matching_partitioned_observed(
+        mn,
+        mn / 2,
+        g.edges(),
+        PartitionScheme::Contiguous(8),
+        profiles::simplescalar(),
+        &registry,
+    );
+    describe(out, "matching.partitioned", "simplescalar", &part.stats)?;
+    if base.size != part.size {
+        return Err(CliError::Invalid("internal error: matching variants disagree".into()));
+    }
+
+    writeln!(out, "counters:")?;
+    for (name, value) in &registry.snapshot().counters {
+        writeln!(out, "  {name}: {value}")?;
+    }
+    save_metrics(
+        &args,
+        if full { "repro-full" } else { "repro-quick" },
+        &registry,
+        cache_sims,
+        out,
+    )?;
+    Ok(())
+}
+
+/// `compare`: diff two metrics reports, flagging every metric whose
+/// relative change exceeds the threshold (default 10%).
+fn cmd_compare(args: Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let [a_path, b_path] = args.positionals() else {
+        return Err(CliError::Invalid("compare needs exactly two report paths".into()));
+    };
+    let threshold: f64 = args.parse_or("threshold", DEFAULT_THRESHOLD, "number")?;
+    let load = |path: &str| {
+        Report::load(Path::new(path)).map_err(|e| CliError::Invalid(format!("{path}: {e}")))
+    };
+    let a = load(a_path)?;
+    let b = load(b_path)?;
+    let deltas = compare_reports(&a, &b, threshold);
+    writeln!(out, "comparing '{}' -> '{}' (threshold {:.1}%)", a.name, b.name, threshold * 100.0)?;
+    for d in &deltas {
+        writeln!(out, "{}", d.render_line())?;
+    }
+    let flagged = deltas.iter().filter(|d| d.flagged).count();
+    writeln!(out, "{flagged} of {} compared metrics exceed the threshold", deltas.len())?;
     Ok(())
 }
 
@@ -397,9 +588,146 @@ mod tests {
     }
 
     #[test]
+    fn repro_quick_writes_schema_versioned_report() {
+        let path = tmp("repro_metrics.json");
+        let report = run_str("repro", &["--quick", "--metrics", &path]).expect("repro");
+        assert!(report.contains("Floyd-Warshall"), "{report}");
+        assert!(report.contains("fw.kernel_calls:"), "{report}");
+        assert!(report.contains("sssp.relaxations:"), "{report}");
+
+        let loaded = Report::load(Path::new(&path)).expect("parse report");
+        assert_eq!(loaded.name, "repro-quick");
+
+        // Cache sections: FW iterative/tiled/recursive plus Dijkstra
+        // array/list, with TLB stats on the p3 runs and three-Cs counts
+        // on the tiled/BDL run.
+        let labels: Vec<&str> = loaded
+            .cache_sims
+            .iter()
+            .filter_map(|s| s.get("label").and_then(Json::as_str))
+            .collect();
+        for want in [
+            "fw.iterative",
+            "fw.tiled.bdl",
+            "fw.recursive.morton",
+            "dijkstra.array",
+            "dijkstra.list",
+        ] {
+            assert!(labels.contains(&want), "missing cache sim {want}: {labels:?}");
+        }
+        for sim in &loaded.cache_sims {
+            let label = sim.get("label").and_then(Json::as_str).unwrap_or("");
+            let levels = sim.get("levels").and_then(Json::as_arr).expect("levels");
+            assert!(levels.len() >= 2, "{label} must report L1 and L2");
+            if label.starts_with("dijkstra.") {
+                assert!(sim.get("tlb").is_some_and(|t| *t != Json::Null), "{label} TLB");
+            }
+            if label == "fw.tiled.bdl" {
+                let classes = sim.get("l1_classes").expect("classes");
+                assert!(classes.get("compulsory").is_some(), "{label} three-Cs");
+            }
+        }
+
+        // Metrics: span durations and algorithm counters survive the trip.
+        let metrics = loaded.metrics.as_ref().expect("metrics");
+        let spans = metrics.get("spans").and_then(Json::as_arr).expect("spans");
+        let paths: Vec<&str> =
+            spans.iter().filter_map(|s| s.get("path").and_then(Json::as_str)).collect();
+        for want in ["fw.iterative", "fw.tiled", "fw.recursive", "dijkstra.array", "dijkstra.list"]
+        {
+            assert!(paths.contains(&want), "missing span {want}: {paths:?}");
+        }
+        let counters = metrics.get("counters").and_then(Json::as_obj).expect("counters");
+        for want in ["fw.kernel_calls", "sssp.relaxations", "matching.augmenting_paths"] {
+            assert!(counters.iter().any(|(k, _)| k == want), "missing counter {want}");
+        }
+    }
+
+    #[test]
+    fn compare_flags_large_miss_delta() {
+        // Two fabricated reports: +30% L1 misses must be flagged, a +2%
+        // counter drift must not.
+        let fabricate = |misses: u64, relaxations: u64| {
+            let mut r = Report::new("fab");
+            r.metrics = Some(
+                Json::obj()
+                    .field("counters", Json::obj().field("sssp.relaxations", relaxations))
+                    .field("gauges", Json::obj())
+                    .field("histograms", Json::obj())
+                    .field("spans", Json::Arr(Vec::new())),
+            );
+            r.push_cache_sim(
+                Json::obj()
+                    .field("label", "fw.tiled")
+                    .field("machine", "simplescalar")
+                    .field(
+                        "levels",
+                        Json::Arr(vec![Json::obj()
+                            .field("level", 1u64)
+                            .field("accesses", 10_000u64)
+                            .field("hits", 10_000 - misses)
+                            .field("misses", misses)
+                            .field("writebacks", 0u64)
+                            .field("prefetches", 0u64)
+                            .field("miss_rate", misses as f64 / 10_000.0)]),
+                    )
+                    .field("tlb", Json::Null)
+                    .field("l1_classes", Json::Null)
+                    .field("memory_lines_fetched", misses),
+            );
+            r
+        };
+        let a_path = tmp("compare_a.json");
+        let b_path = tmp("compare_b.json");
+        fabricate(1000, 5000).save(Path::new(&a_path)).expect("save a");
+        fabricate(1300, 5100).save(Path::new(&b_path)).expect("save b");
+
+        let report = run_str("compare", &[&a_path, &b_path]).expect("compare");
+        assert!(
+            report.contains("FLAG cache_sims[fw.tiled]/L1.misses"),
+            "miss delta must be flagged: {report}"
+        );
+        assert!(
+            !report.contains("FLAG counters/sssp.relaxations"),
+            "2% counter drift must not be flagged: {report}"
+        );
+        assert!(report.lines().any(|l| l.contains("1000 -> 1300")), "{report}");
+    }
+
+    #[test]
+    fn metrics_flag_on_algorithm_subcommands() {
+        let path = tmp("metrics_algos.gr");
+        run_str("gen", &["--kind", "random", "--n", "48", "--density", "0.2", "-o", &path])
+            .expect("gen");
+
+        let m1 = tmp("metrics_apsp.json");
+        run_str("apsp", &["-i", &path, "--algo", "tiled", "--block", "8", "--metrics", &m1])
+            .expect("apsp");
+        let r = Report::load(Path::new(&m1)).expect("apsp report");
+        let metrics = r.metrics.expect("metrics");
+        let counters = metrics.get("counters").and_then(Json::as_obj).expect("counters");
+        assert!(counters.iter().any(|(k, _)| k == "fw.kernel_calls"), "{counters:?}");
+
+        let m2 = tmp("metrics_simulate.json");
+        run_str("simulate", &["-i", &path, "--machine", "p3", "--metrics", &m2])
+            .expect("simulate");
+        let r = Report::load(Path::new(&m2)).expect("simulate report");
+        assert_eq!(r.cache_sims.len(), 1);
+        assert_eq!(
+            r.cache_sims[0].get("label").and_then(Json::as_str),
+            Some("dijkstra.array")
+        );
+    }
+
+    #[test]
     fn error_paths() {
         assert!(matches!(run_str("nope", &[]), Err(CliError::UnknownCommand(_))));
         assert!(matches!(run_str("sssp", &[]), Err(CliError::Args(_))));
+        assert!(matches!(
+            run_str("sssp", &["loose"]),
+            Err(CliError::Args(ArgsError::UnexpectedPositional(_)))
+        ));
+        assert!(matches!(run_str("compare", &["only-one.json"]), Err(CliError::Invalid(_))));
         assert!(matches!(
             run_str("gen", &["--kind", "weird", "--n", "4", "-o", "/tmp/x.gr"]),
             Err(CliError::Invalid(_))

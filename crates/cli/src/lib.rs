@@ -8,11 +8,17 @@
 //! cachegraph match  -i g.gr [--parts 8]
 //! cachegraph closure -i g.gr
 //! cachegraph simulate -i g.gr --machine simplescalar|p3|sparc|alpha|mips [--rep array|list]
+//! cachegraph repro [--quick|--full] [--metrics out.json]
+//! cachegraph compare a.json b.json [--threshold 0.1]
 //! ```
 //!
 //! Graphs are exchanged in the DIMACS `sp` format
 //! (`cachegraph_graph::io`). Every command prints a short plain-text
-//! report; exit status is non-zero on any error.
+//! report; exit status is non-zero on any error. The `sssp`, `apsp`,
+//! `match`, `simulate`, and `repro` commands additionally accept
+//! `--metrics FILE` to write a machine-readable run report
+//! (`cachegraph_obs::Report`, see EXPERIMENTS.md for the schema);
+//! `compare` diffs two such reports.
 
 mod args;
 mod commands;
@@ -37,4 +43,9 @@ commands:
   closure   transitive closure      -i FILE
   simulate  cache simulation        -i FILE [--machine simplescalar|p3|sparc|alpha|mips]
                                     [--rep array|list] [--source V]
+  repro     instrumented repro run  [--quick|--full] [--metrics FILE]
+  compare   diff two metrics files  A.json B.json [--threshold T]
+
+sssp, apsp, match, simulate, and repro accept --metrics FILE to write a
+machine-readable run report (spans, counters, cache statistics).
 ";

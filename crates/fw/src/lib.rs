@@ -46,6 +46,7 @@ pub mod instrumented;
 mod iterative;
 mod kernel;
 mod matrix;
+pub mod observed;
 pub mod parallel;
 mod paths;
 mod recursive;
@@ -53,14 +54,18 @@ mod tiled;
 
 pub use auto::{solve_apsp, solve_apsp_with_cache, DEFAULT_L1_ASSOC, DEFAULT_L1_BYTES};
 pub use closure::{transitive_closure, transitive_closure_of, transitive_closure_tiled, BitMatrix};
-pub use copy_tiled::fw_tiled_copy;
+pub use copy_tiled::{fw_tiled_copy, fw_tiled_copy_with};
 pub use cachegraph_graph::{Weight, INF};
 pub use iterative::{fw_iterative, fw_iterative_slice};
 pub use kernel::{fwi, fwi_access, CellAccess, SliceAccess, StridedView, View};
 pub use matrix::FwMatrix;
 pub use paths::{extract_path, fw_iterative_with_paths, PathMatrix, NO_PRED};
-pub use recursive::{fw_recursive, run_recursive};
-pub use tiled::{fw_tiled, run_tiled};
+pub use observed::{
+    fw_iterative_observed, fw_recursive_observed, fw_tiled_copy_observed, fw_tiled_observed,
+    FwEvent,
+};
+pub use recursive::{fw_recursive, run_recursive, run_recursive_with};
+pub use tiled::{fw_tiled, run_tiled, run_tiled_with};
 
 /// Saturating min-plus "add" for weights: `INF + x = INF`.
 #[inline(always)]

@@ -19,6 +19,7 @@
 //! be expressed as safe slices.
 
 use cachegraph_graph::{Weight, INF};
+use cachegraph_obs::{Counter, Registry};
 
 use crate::kernel::{StridedView, View};
 use crate::matrix::FwMatrix;
@@ -143,8 +144,10 @@ fn phase3_tasks(view: &dyn Fn(usize, usize) -> View, real_tiles: usize, t: usize
     }
 }
 
-/// Run `tasks` across `threads` scoped workers.
-fn run_parallel(data: SharedStorage, tasks: &[Task], b: usize, threads: usize) {
+/// Run `tasks` across `threads` scoped workers. Each finished task bumps
+/// `kernel_calls` — a `cachegraph-obs` counter shared across the scoped
+/// threads (a disabled handle reduces to a branch per task).
+fn run_parallel(data: SharedStorage, tasks: &[Task], b: usize, threads: usize, kernel_calls: &Counter) {
     if tasks.is_empty() {
         return;
     }
@@ -154,18 +157,21 @@ fn run_parallel(data: SharedStorage, tasks: &[Task], b: usize, threads: usize) {
             // SAFETY: single-threaded here; views disjoint per task by
             // construction of the tiled decomposition.
             unsafe { fwi_raw(data, t.a, t.b, t.c, b) };
+            kernel_calls.incr();
         }
         return;
     }
     let chunk = tasks.len().div_ceil(threads);
     std::thread::scope(|s| {
         for slice in tasks.chunks(chunk) {
+            let kernel_calls = kernel_calls.clone();
             s.spawn(move || {
                 for t in slice {
                     // SAFETY: each task's A tile is written by exactly one
                     // task in this phase; B/C tiles are only read and are
                     // not any task's A tile in this phase.
                     unsafe { fwi_raw(data, t.a, t.b, t.c, b) };
+                    kernel_calls.incr();
                 }
             });
         }
@@ -175,6 +181,22 @@ fn run_parallel(data: SharedStorage, tasks: &[Task], b: usize, threads: usize) {
 /// Parallel tiled Floyd-Warshall with tile size `b` on `threads` threads.
 /// Produces the same result as [`crate::fw_tiled`].
 pub fn fw_tiled_parallel<L: StridedView>(m: &mut FwMatrix<L>, b: usize, threads: usize) {
+    fw_tiled_parallel_observed(m, b, threads, &Registry::disabled());
+}
+
+/// [`fw_tiled_parallel`] reporting into `registry`: a `fw.parallel` root
+/// span with one `block[t]` child per block iteration, and a
+/// `fw.kernel_calls` counter shared across the scoped worker threads.
+/// With a disabled registry every instrumentation point is a branch, so
+/// this *is* the implementation behind [`fw_tiled_parallel`].
+pub fn fw_tiled_parallel_observed<L: StridedView>(
+    m: &mut FwMatrix<L>,
+    b: usize,
+    threads: usize,
+    registry: &Registry,
+) {
+    let root = registry.span("fw.parallel");
+    let kernel_calls = registry.counter("fw.kernel_calls");
     let p = m.padded_n();
     let n = m.n();
     assert!(b >= 1 && p.is_multiple_of(b), "padded size {p} must be a multiple of the tile size {b}");
@@ -198,16 +220,18 @@ pub fn fw_tiled_parallel<L: StridedView>(m: &mut FwMatrix<L>, b: usize, threads:
     let mut phase2 = Vec::new();
     let mut phase3 = Vec::new();
     for t in 0..real_tiles {
+        let _block = registry.is_enabled().then(|| root.child(&format!("block[{t}]")));
         let diag = view(t, t);
         // Phase 1: sequential diagonal tile.
         // SAFETY: no other thread is running.
         unsafe { fwi_raw(data, diag, diag, diag, b) };
+        kernel_calls.incr();
 
         phase2_tasks(&view, real_tiles, t, &mut phase2);
-        run_parallel(data, &phase2, b, threads);
+        run_parallel(data, &phase2, b, threads, &kernel_calls);
 
         phase3_tasks(&view, real_tiles, t, &mut phase3);
-        run_parallel(data, &phase3, b, threads);
+        run_parallel(data, &phase3, b, threads, &kernel_calls);
     }
 }
 

@@ -16,6 +16,7 @@
 
 use crate::kernel::{fwi_access, CellAccess, SliceAccess, StridedView, View};
 use crate::matrix::FwMatrix;
+use crate::observed::FwEvent;
 
 /// Quadrant coordinates: top-left corner of a square region, in units of
 /// base tiles.
@@ -48,6 +49,21 @@ pub fn fw_recursive<L: StridedView>(m: &mut FwMatrix<L>, base: usize) {
 /// (cache-simulated) variant runs the identical decomposition through a
 /// traced accessor.
 pub fn run_recursive<L: StridedView, A: CellAccess>(layout: &L, n: usize, acc: &mut A, base: usize) {
+    run_recursive_with(layout, n, acc, base, &mut |_| {});
+}
+
+/// [`run_recursive`] with an event hook for observability. The hook is
+/// monomorphized per call site, so the no-op hook of [`run_recursive`]
+/// compiles away entirely; the observed variant
+/// ([`crate::observed::fw_recursive_observed`]) counts base-case hits.
+/// Events fire around kernel calls, never inside them.
+pub fn run_recursive_with<L: StridedView, A: CellAccess>(
+    layout: &L,
+    n: usize,
+    acc: &mut A,
+    base: usize,
+    hook: &mut impl FnMut(FwEvent),
+) {
     let p = layout.padded_n();
     assert!(base >= 1 && p.is_multiple_of(base), "padded size {p} must be a multiple of base {base}");
     let tiles = p / base;
@@ -66,7 +82,7 @@ pub fn run_recursive<L: StridedView, A: CellAccess>(layout: &L, n: usize, acc: &
     let real_tiles = n.div_ceil(base);
     let mut ctx = Ctx { layout: layout.clone(), base, real_tiles };
     let origin = Quad { r: 0, c: 0 };
-    rec(&mut ctx, acc, origin, origin, origin, tiles);
+    rec(&mut ctx, acc, hook, origin, origin, origin, tiles);
 }
 
 struct Ctx<L: StridedView> {
@@ -75,9 +91,10 @@ struct Ctx<L: StridedView> {
     real_tiles: usize,
 }
 
-fn rec<L: StridedView, A: CellAccess>(
+fn rec<L: StridedView, A: CellAccess, F: FnMut(FwEvent)>(
     ctx: &mut Ctx<L>,
     acc: &mut A,
+    hook: &mut F,
     a: Quad,
     b: Quad,
     c: Quad,
@@ -97,6 +114,7 @@ fn rec<L: StridedView, A: CellAccess>(
             v.expect("layout must expose aligned base tiles")
         };
         let (va, vb, vc) = (view(a), view(b), view(c));
+        hook(FwEvent::BaseCase);
         fwi_access(acc, va, vb, vc, ctx.base);
         return;
     }
@@ -107,15 +125,15 @@ fn rec<L: StridedView, A: CellAccess>(
     let (b11, b12, b21, b22) = (q(b, 0, 0), q(b, 0, 1), q(b, 1, 0), q(b, 1, 1));
     let (c11, c12, c21, c22) = (q(c, 0, 0), q(c, 0, 1), q(c, 1, 0), q(c, 1, 1));
     // The eight calls of Fig. 3: forward sweep ...
-    rec(ctx, acc, a11, b11, c11, h);
-    rec(ctx, acc, a12, b11, c12, h);
-    rec(ctx, acc, a21, b21, c11, h);
-    rec(ctx, acc, a22, b21, c12, h);
+    rec(ctx, acc, hook, a11, b11, c11, h);
+    rec(ctx, acc, hook, a12, b11, c12, h);
+    rec(ctx, acc, hook, a21, b21, c11, h);
+    rec(ctx, acc, hook, a22, b21, c12, h);
     // ... then the reverse sweep.
-    rec(ctx, acc, a22, b22, c22, h);
-    rec(ctx, acc, a21, b22, c21, h);
-    rec(ctx, acc, a12, b12, c22, h);
-    rec(ctx, acc, a11, b12, c21, h);
+    rec(ctx, acc, hook, a22, b22, c22, h);
+    rec(ctx, acc, hook, a21, b22, c21, h);
+    rec(ctx, acc, hook, a12, b12, c22, h);
+    rec(ctx, acc, hook, a11, b12, c21, h);
 }
 
 #[cfg(test)]

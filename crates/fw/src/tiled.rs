@@ -8,6 +8,7 @@
 
 use crate::kernel::{fwi_access, CellAccess, SliceAccess, StridedView};
 use crate::matrix::FwMatrix;
+use crate::observed::FwEvent;
 
 /// Tiled Floyd-Warshall with tile size `b`. The padded dimension must be a
 /// multiple of `b`, and the layout must expose every aligned `b x b` tile
@@ -29,6 +30,22 @@ pub fn fw_tiled<L: StridedView>(m: &mut FwMatrix<L>, b: usize) {
 /// (cache-simulated) variant runs the identical decomposition through a
 /// traced accessor.
 pub fn run_tiled<L: StridedView, A: CellAccess>(layout: &L, n: usize, acc: &mut A, b: usize) {
+    run_tiled_with(layout, n, acc, b, &mut |_| {});
+}
+
+/// [`run_tiled`] with an event hook for observability. The hook is
+/// monomorphized per call site, so the no-op hook of [`run_tiled`]
+/// compiles away entirely; the observed variant
+/// ([`crate::observed::fw_tiled_observed`]) turns events into spans and
+/// counters. Events fire between kernel calls, never inside them — the
+/// FWI kernel itself stays instrumentation-free.
+pub fn run_tiled_with<L: StridedView, A: CellAccess>(
+    layout: &L,
+    n: usize,
+    acc: &mut A,
+    b: usize,
+    hook: &mut impl FnMut(FwEvent),
+) {
     let p = layout.padded_n();
     assert!(b >= 1 && p.is_multiple_of(b), "padded size {p} must be a multiple of the tile size {b}");
     // Every layout in this crate that can express tile (0, 0) as a strided
@@ -47,19 +64,23 @@ pub fn run_tiled<L: StridedView, A: CellAccess>(layout: &L, n: usize, acc: &mut 
     };
 
     for t in 0..real_tiles {
+        hook(FwEvent::BlockStart(t));
         let diag = view(t, t);
         // Phase 1: the diagonal tile, fully self-dependent.
+        hook(FwEvent::Kernel);
         fwi_access(acc, diag, diag, diag, b);
         // Phase 2: remainder of row t (C = diagonal) and column t (B = diagonal).
         for j in 0..real_tiles {
             if j != t {
                 let a = view(t, j);
+                hook(FwEvent::Kernel);
                 fwi_access(acc, a, diag, a, b);
             }
         }
         for i in 0..real_tiles {
             if i != t {
                 let a = view(i, t);
+                hook(FwEvent::Kernel);
                 fwi_access(acc, a, a, diag, b);
             }
         }
@@ -75,6 +96,7 @@ pub fn run_tiled<L: StridedView, A: CellAccess>(layout: &L, n: usize, acc: &mut 
                 }
                 let a = view(i, j);
                 let ct = view(t, j);
+                hook(FwEvent::Kernel);
                 fwi_access(acc, a, bt, ct, b);
             }
         }

@@ -8,6 +8,7 @@
 //! simulator sees.
 
 use cachegraph_graph::{Edge, VertexId};
+use cachegraph_obs::{Counter, Registry};
 use cachegraph_sim::{
     AddressSpace, HierarchyConfig, HierarchyStats, MemoryHierarchy, TracedBuffer,
 };
@@ -77,9 +78,20 @@ impl TracedMatcher {
         }
     }
 
-    fn run(&mut self, h: &mut MemoryHierarchy, g: &TracedCsr, n_left: usize) {
+    /// Run to a maximum matching. `searches` counts BFS phases (one per
+    /// loop iteration, including the final failed one); `aug_paths`
+    /// counts successful augmentations. Disabled counters cost a branch.
+    fn run(
+        &mut self,
+        h: &mut MemoryHierarchy,
+        g: &TracedCsr,
+        n_left: usize,
+        searches: &Counter,
+        aug_paths: &Counter,
+    ) {
         let n = self.mate.len();
         loop {
+            searches.incr();
             // Clear marks and seed the BFS with every free left vertex.
             for v in 0..n {
                 self.visited.write(h, v, 0);
@@ -132,6 +144,7 @@ impl TracedMatcher {
                 right = next_right;
             }
             self.size += 1;
+            aug_paths.incr();
         }
     }
 }
@@ -143,11 +156,27 @@ pub fn sim_find_matching(
     edges: &[Edge],
     config: HierarchyConfig,
 ) -> MatchSimResult {
+    sim_find_matching_observed(n, n_left, edges, config, &Registry::disabled())
+}
+
+/// [`sim_find_matching`] reporting into `registry`: a `matching.baseline`
+/// span plus the `matching.searches` / `matching.augmenting_paths`
+/// counters.
+pub fn sim_find_matching_observed(
+    n: usize,
+    n_left: usize,
+    edges: &[Edge],
+    config: HierarchyConfig,
+    registry: &Registry,
+) -> MatchSimResult {
+    let _root = registry.span("matching.baseline");
+    let searches = registry.counter("matching.searches");
+    let aug_paths = registry.counter("matching.augmenting_paths");
     let mut hier = MemoryHierarchy::new(config);
     let mut space = AddressSpace::new();
     let csr = TracedCsr::build(&mut space, n, n_left, edges);
     let mut matcher = TracedMatcher::new(&mut space, n, vec![FREE; n], 0);
-    matcher.run(&mut hier, &csr, n_left);
+    matcher.run(&mut hier, &csr, n_left, &searches, &aug_paths);
     MatchSimResult { stats: hier.stats(), size: matcher.size }
 }
 
@@ -159,6 +188,24 @@ pub fn sim_find_matching_partitioned(
     scheme: PartitionScheme,
     config: HierarchyConfig,
 ) -> MatchSimResult {
+    sim_find_matching_partitioned_observed(n, n_left, edges, scheme, config, &Registry::disabled())
+}
+
+/// [`sim_find_matching_partitioned`] reporting into `registry`: a
+/// `matching.partitioned` root span with one `local[k]` child per
+/// sub-problem and a `global` child for the clean-up pass, plus the
+/// `matching.searches` / `matching.augmenting_paths` counters.
+pub fn sim_find_matching_partitioned_observed(
+    n: usize,
+    n_left: usize,
+    edges: &[Edge],
+    scheme: PartitionScheme,
+    config: HierarchyConfig,
+    registry: &Registry,
+) -> MatchSimResult {
+    let root = registry.span("matching.partitioned");
+    let searches = registry.counter("matching.searches");
+    let aug_paths = registry.counter("matching.augmenting_paths");
     let (part, p) = super::partitioned::assign_parts(n, n_left, edges, scheme);
     let mut hier = MemoryHierarchy::new(config);
     let mut space = AddressSpace::new();
@@ -200,9 +247,10 @@ pub fn sim_find_matching_partitioned(
         if n_local == 0 || local_edges[k].is_empty() {
             continue;
         }
+        let _local = registry.is_enabled().then(|| root.child(&format!("local[{k}]")));
         let csr = TracedCsr::build(&mut space, n_local, left_count[k], &local_edges[k]);
         let mut matcher = TracedMatcher::new(&mut space, n_local, vec![FREE; n_local], 0);
-        matcher.run(&mut hier, &csr, left_count[k]);
+        matcher.run(&mut hier, &csr, left_count[k], &searches, &aug_paths);
         let mate = matcher.mate.into_inner();
         for (lv, &gv) in members[k].iter().enumerate() {
             if mate[lv] != FREE {
@@ -213,9 +261,10 @@ pub fn sim_find_matching_partitioned(
     }
 
     // Phase 2: traced global pass from the union.
+    let _global = registry.is_enabled().then(|| root.child("global"));
     let csr = TracedCsr::build(&mut space, n, n_left, edges);
     let mut matcher = TracedMatcher::new(&mut space, n, union, union_size);
-    matcher.run(&mut hier, &csr, n_left);
+    matcher.run(&mut hier, &csr, n_left, &searches, &aug_paths);
     MatchSimResult { stats: hier.stats(), size: matcher.size }
 }
 
@@ -241,6 +290,40 @@ mod tests {
         );
         assert_eq!(base.size, oracle);
         assert_eq!(opt.size, oracle);
+    }
+
+    #[test]
+    fn observed_run_counts_augmenting_paths() {
+        let b = generators::random_bipartite(64, 0.12, 3);
+        let reg = cachegraph_obs::Registry::new();
+        let r = sim_find_matching_observed(64, 32, b.edges(), profiles::simplescalar(), &reg);
+        let snap = reg.snapshot();
+        // One successful augmentation per matched edge, plus the final
+        // failed search ending the loop.
+        assert_eq!(snap.counters.get("matching.augmenting_paths"), Some(&(r.size as u64)));
+        assert_eq!(snap.counters.get("matching.searches"), Some(&(r.size as u64 + 1)));
+        assert_eq!(snap.spans.last().map(|s| s.path.as_str()), Some("matching.baseline"));
+
+        let reg2 = cachegraph_obs::Registry::new();
+        let r2 = sim_find_matching_partitioned_observed(
+            64,
+            32,
+            b.edges(),
+            PartitionScheme::Contiguous(4),
+            profiles::simplescalar(),
+            &reg2,
+        );
+        assert_eq!(r2.size, r.size);
+        let snap2 = reg2.snapshot();
+        assert_eq!(
+            snap2.counters.get("matching.augmenting_paths"),
+            Some(&(r2.size as u64)),
+            "local + global augmentations must sum to the matching size"
+        );
+        let paths: Vec<&str> = snap2.spans.iter().map(|s| s.path.as_str()).collect();
+        assert!(paths.iter().any(|p| p.starts_with("matching.partitioned/local[")));
+        assert!(paths.contains(&"matching.partitioned/global"));
+        assert_eq!(paths.last(), Some(&"matching.partitioned"));
     }
 
     #[test]

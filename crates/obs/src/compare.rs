@@ -1,0 +1,234 @@
+//! Comparing two run reports.
+//!
+//! [`compare_reports`] walks two schema-v1 report documents and pairs up
+//! every numeric measurement that appears in both: algorithm counters
+//! from the `metrics` section, and per-level cache statistics (accesses,
+//! misses, writebacks, TLB misses) from each `cache_sims` section
+//! matched by `label`. Each pair becomes a [`Delta`]; deltas whose
+//! relative change exceeds the threshold are *flagged*. This is the
+//! engine behind `cachegraph-cli compare a.json b.json`.
+
+use crate::json::Json;
+use crate::report::Report;
+
+/// Default flagging threshold: a 10% relative change.
+pub const DEFAULT_THRESHOLD: f64 = 0.10;
+
+/// One paired measurement across the two reports.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Delta {
+    /// Where the value lives, e.g. `counters/sssp.relaxations` or
+    /// `cache_sims[fw.tiled]/L1.misses`.
+    pub metric: String,
+    /// Value in report A.
+    pub a: f64,
+    /// Value in report B.
+    pub b: f64,
+    /// Relative change `(b - a) / a` (infinite when `a == 0, b != 0`).
+    pub ratio: f64,
+    /// True when `|ratio|` exceeds the threshold.
+    pub flagged: bool,
+}
+
+impl Delta {
+    fn new(metric: String, a: f64, b: f64, threshold: f64) -> Self {
+        let ratio = if a == 0.0 {
+            if b == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (b - a) / a
+        };
+        Self { metric, a, b, ratio, flagged: ratio.abs() > threshold }
+    }
+
+    /// One human-readable line, e.g.
+    /// `  FLAG cache_sims[fw.tiled]/L1.misses: 1000 -> 1300 (+30.0%)`.
+    pub fn render_line(&self) -> String {
+        let marker = if self.flagged { "FLAG" } else { "  ok" };
+        let pct = if self.ratio.is_finite() {
+            format!("{:+.1}%", self.ratio * 100.0)
+        } else {
+            "new".to_string()
+        };
+        format!("{marker} {}: {} -> {} ({pct})", self.metric, self.a, self.b)
+    }
+}
+
+/// Compare two report documents; returns every paired measurement, with
+/// flagged deltas first (then by metric path).
+pub fn compare_reports(a: &Report, b: &Report, threshold: f64) -> Vec<Delta> {
+    let mut deltas = Vec::new();
+    compare_counters(a, b, threshold, &mut deltas);
+    compare_cache_sims(a, b, threshold, &mut deltas);
+    deltas.sort_by(|x, y| y.flagged.cmp(&x.flagged).then_with(|| x.metric.cmp(&y.metric)));
+    deltas
+}
+
+fn counters_of(report: &Report) -> Vec<(String, f64)> {
+    let Some(Json::Obj(fields)) = report.metrics.as_ref().and_then(|m| m.get("counters")) else {
+        return Vec::new();
+    };
+    fields.iter().filter_map(|(k, v)| v.as_f64().map(|v| (k.clone(), v))).collect()
+}
+
+fn compare_counters(a: &Report, b: &Report, threshold: f64, out: &mut Vec<Delta>) {
+    let b_counters = counters_of(b);
+    for (name, av) in counters_of(a) {
+        if let Some((_, bv)) = b_counters.iter().find(|(n, _)| *n == name) {
+            out.push(Delta::new(format!("counters/{name}"), av, *bv, threshold));
+        }
+    }
+}
+
+fn sim_label(sim: &Json) -> Option<&str> {
+    sim.get("label").and_then(Json::as_str)
+}
+
+fn compare_cache_sims(a: &Report, b: &Report, threshold: f64, out: &mut Vec<Delta>) {
+    for sim_a in &a.cache_sims {
+        let Some(label) = sim_label(sim_a) else { continue };
+        let Some(sim_b) = b.cache_sims.iter().find(|s| sim_label(s) == Some(label)) else {
+            continue;
+        };
+        compare_one_sim(label, sim_a, sim_b, threshold, out);
+    }
+}
+
+fn level_name(level: &Json) -> String {
+    level
+        .get("level")
+        .and_then(Json::as_u64)
+        .map_or_else(|| "L?".to_string(), |l| format!("L{l}"))
+}
+
+fn compare_one_sim(label: &str, a: &Json, b: &Json, threshold: f64, out: &mut Vec<Delta>) {
+    let empty = Vec::new();
+    let levels_a = a.get("levels").and_then(Json::as_arr).unwrap_or(&empty);
+    let levels_b = b.get("levels").and_then(Json::as_arr).unwrap_or(&empty);
+    for level_a in levels_a {
+        let name = level_name(level_a);
+        let Some(level_b) = levels_b.iter().find(|l| level_name(l) == name) else { continue };
+        for field in ["accesses", "misses", "writebacks"] {
+            push_field_delta(
+                format!("cache_sims[{label}]/{name}.{field}"),
+                level_a.get(field),
+                level_b.get(field),
+                threshold,
+                out,
+            );
+        }
+    }
+    for (section, fields) in
+        [("tlb", &["accesses", "misses"][..]), ("l1_classes", &["compulsory", "capacity", "conflict"][..])]
+    {
+        let (sec_a, sec_b) = (a.get(section), b.get(section));
+        for field in fields {
+            push_field_delta(
+                format!("cache_sims[{label}]/{section}.{field}"),
+                sec_a.and_then(|s| s.get(field)),
+                sec_b.and_then(|s| s.get(field)),
+                threshold,
+                out,
+            );
+        }
+    }
+    push_field_delta(
+        format!("cache_sims[{label}]/memory_lines_fetched"),
+        a.get("memory_lines_fetched"),
+        b.get("memory_lines_fetched"),
+        threshold,
+        out,
+    );
+}
+
+fn push_field_delta(
+    metric: String,
+    a: Option<&Json>,
+    b: Option<&Json>,
+    threshold: f64,
+    out: &mut Vec<Delta>,
+) {
+    if let (Some(av), Some(bv)) = (a.and_then(Json::as_f64), b.and_then(Json::as_f64)) {
+        out.push(Delta::new(metric, av, bv, threshold));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fabricated(l1_misses: u64, relaxations: u64) -> Report {
+        let mut report = Report::new("fab");
+        report.metrics = Some(
+            Json::obj()
+                .field("counters", Json::obj().field("sssp.relaxations", relaxations)),
+        );
+        report.push_cache_sim(
+            Json::obj()
+                .field("label", "fw.tiled")
+                .field("machine", "simplescalar")
+                .field(
+                    "levels",
+                    Json::Arr(vec![Json::obj()
+                        .field("level", 1_u64)
+                        .field("accesses", 10_000_u64)
+                        .field("misses", l1_misses)
+                        .field("writebacks", 0_u64)]),
+                )
+                .field("memory_lines_fetched", l1_misses),
+        );
+        report
+    }
+
+    #[test]
+    fn flags_large_miss_delta_only() {
+        let a = fabricated(1_000, 500);
+        let b = fabricated(1_300, 510); // +30% misses, +2% relaxations
+        let deltas = compare_reports(&a, &b, DEFAULT_THRESHOLD);
+        let misses = deltas
+            .iter()
+            .find(|d| d.metric == "cache_sims[fw.tiled]/L1.misses")
+            .expect("miss delta present");
+        assert!(misses.flagged);
+        assert!((misses.ratio - 0.30).abs() < 1e-9);
+        let relax = deltas
+            .iter()
+            .find(|d| d.metric == "counters/sssp.relaxations")
+            .expect("counter delta present");
+        assert!(!relax.flagged);
+        // Flagged deltas sort first.
+        assert!(deltas[0].flagged);
+        assert!(deltas.iter().rev().take_while(|d| !d.flagged).count() > 0);
+    }
+
+    #[test]
+    fn identical_reports_flag_nothing() {
+        let a = fabricated(1_000, 500);
+        let deltas = compare_reports(&a, &a.clone(), DEFAULT_THRESHOLD);
+        assert!(!deltas.is_empty());
+        assert!(deltas.iter().all(|d| !d.flagged && d.ratio == 0.0));
+    }
+
+    #[test]
+    fn zero_to_nonzero_is_flagged_as_new() {
+        let a = fabricated(0, 500);
+        let b = fabricated(7, 500);
+        let deltas = compare_reports(&a, &b, DEFAULT_THRESHOLD);
+        let misses = deltas
+            .iter()
+            .find(|d| d.metric == "cache_sims[fw.tiled]/L1.misses")
+            .expect("miss delta present");
+        assert!(misses.flagged);
+        assert!(misses.ratio.is_infinite());
+        assert!(misses.render_line().contains("(new)"));
+    }
+
+    #[test]
+    fn render_line_formats_percentages() {
+        let d = Delta::new("counters/x".to_string(), 100.0, 130.0, 0.10);
+        assert_eq!(d.render_line(), "FLAG counters/x: 100 -> 130 (+30.0%)");
+    }
+}

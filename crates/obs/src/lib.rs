@@ -1,0 +1,41 @@
+//! # cachegraph-obs
+//!
+//! Dependency-free observability for the cachegraph workspace: a
+//! metrics [`Registry`] (counters / gauges / power-of-two histograms),
+//! RAII [`Span`] timers forming a `/`-separated hierarchy with per-span
+//! counter deltas, a hand-rolled [`json`] reader/writer (no serde), a
+//! JSONL event sink, and schema-versioned end-of-run [`Report`]
+//! documents plus a [`compare`] engine for diffing two runs.
+//!
+//! Everything here is plain `std`. Instrumentation points accept a
+//! [`Registry`] handle; passing [`Registry::disabled`] makes every
+//! operation a branch on `None`, so instrumented drivers cost nothing
+//! measurable when observability is off (see the `obs_overhead` bench
+//! in `cachegraph-bench`).
+//!
+//! ```
+//! use cachegraph_obs::{Registry, Report};
+//!
+//! let reg = Registry::new();
+//! let relaxations = reg.counter("sssp.relaxations");
+//! {
+//!     let root = reg.span("dijkstra.array");
+//!     let _relax = root.child("relax");
+//!     relaxations.add(3);
+//! }
+//! let mut report = Report::new("example");
+//! report.set_metrics(&reg.snapshot());
+//! assert!(report.render().contains("\"sssp.relaxations\":3"));
+//! ```
+
+pub mod compare;
+pub mod json;
+pub mod registry;
+pub mod report;
+pub mod span;
+
+pub use compare::{compare_reports, Delta, DEFAULT_THRESHOLD};
+pub use json::{parse as parse_json, Json, JsonError};
+pub use registry::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot};
+pub use report::{Report, ReportError, SCHEMA_VERSION, TOOL_NAME};
+pub use span::{Span, SpanRecord};

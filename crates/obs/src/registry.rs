@@ -1,0 +1,477 @@
+//! The metrics registry: named counters, gauges, and power-of-two
+//! histograms, cheap enough for hot paths.
+//!
+//! A [`Registry`] is a cheap `Arc` handle: clone it freely, send clones
+//! into `std::thread::scope` workers, and read one consolidated
+//! [`Snapshot`] at the end. Handles returned by
+//! [`counter`](Registry::counter) / [`gauge`](Registry::gauge) /
+//! [`histogram`](Registry::histogram) are resolved once (one map lookup)
+//! and then update a shared atomic with a single relaxed RMW — hot loops
+//! should hoist the handle out of the loop and pay only the atomic add
+//! per event.
+//!
+//! A *disabled* registry ([`Registry::disabled`]) hands out handles whose
+//! operations are a branch on a `None` — instrumented drivers run at
+//! baseline speed when observability is off (see the `obs_overhead`
+//! bench in `cachegraph-bench`).
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+use crate::json::Json;
+use crate::span::{Span, SpanRecord};
+
+/// Number of histogram buckets: bucket `i` counts values whose
+/// power-of-two magnitude class is `i` (0, 1, 2–3, 4–7, …, ≥2^63).
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Lock helper that survives poisoning (a panicking instrumented thread
+/// must not take the whole registry down with it).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+pub(crate) struct Inner {
+    pub(crate) epoch: Instant,
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicI64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<HistogramCells>>>,
+    pub(crate) spans: Mutex<Vec<SpanRecord>>,
+    sink: Mutex<Option<Box<dyn Write + Send>>>,
+}
+
+/// Shared histogram storage.
+pub(crate) struct HistogramCells {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl HistogramCells {
+    fn new() -> Self {
+        Self {
+            buckets: (0..HISTOGRAM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The metrics registry. See the module docs.
+#[derive(Clone)]
+pub struct Registry {
+    pub(crate) inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry").field("enabled", &self.is_enabled()).finish()
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// A live registry.
+    pub fn new() -> Self {
+        Self {
+            inner: Some(Arc::new(Inner {
+                epoch: Instant::now(),
+                counters: Mutex::new(BTreeMap::new()),
+                gauges: Mutex::new(BTreeMap::new()),
+                histograms: Mutex::new(BTreeMap::new()),
+                spans: Mutex::new(Vec::new()),
+                sink: Mutex::new(None),
+            })),
+        }
+    }
+
+    /// A no-op registry: every handle it returns is inert, every
+    /// operation a branch on `None`.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// Is this a live registry?
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Resolve (creating on first use) the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        Counter(self.inner.as_ref().map(|inner| {
+            Arc::clone(
+                lock(&inner.counters).entry(name.to_string()).or_insert_with(Default::default),
+            )
+        }))
+    }
+
+    /// Resolve (creating on first use) the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        Gauge(self.inner.as_ref().map(|inner| {
+            Arc::clone(lock(&inner.gauges).entry(name.to_string()).or_insert_with(Default::default))
+        }))
+    }
+
+    /// Resolve (creating on first use) the power-of-two histogram `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        Histogram(self.inner.as_ref().map(|inner| {
+            Arc::clone(
+                lock(&inner.histograms)
+                    .entry(name.to_string())
+                    .or_insert_with(|| Arc::new(HistogramCells::new())),
+            )
+        }))
+    }
+
+    /// Open a root span (see [`crate::span`] for the naming convention).
+    pub fn span(&self, name: &str) -> Span {
+        Span::new_root(self.clone(), name)
+    }
+
+    /// Current value of every counter (used for span deltas).
+    pub(crate) fn counter_values(&self) -> BTreeMap<String, u64> {
+        match &self.inner {
+            None => BTreeMap::new(),
+            Some(inner) => lock(&inner.counters)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+                .collect(),
+        }
+    }
+
+    /// Attach a JSONL event sink: every span end (and explicit
+    /// [`emit`](Self::emit)) appends one JSON object per line. Replaces
+    /// any previous sink.
+    pub fn attach_jsonl_sink(&self, sink: Box<dyn Write + Send>) {
+        if let Some(inner) = &self.inner {
+            *lock(&inner.sink) = Some(sink);
+        }
+    }
+
+    /// Write one event line to the sink, if one is attached. Errors are
+    /// deliberately swallowed: observability must never fail the run.
+    pub fn emit(&self, event: &Json) {
+        if let Some(inner) = &self.inner {
+            if let Some(sink) = lock(&inner.sink).as_mut() {
+                let _ = writeln!(sink, "{event}");
+            }
+        }
+    }
+
+    pub(crate) fn record_span(&self, record: SpanRecord) {
+        if let Some(inner) = &self.inner {
+            self.emit(&record.to_json().field("type", "span"));
+            lock(&inner.spans).push(record);
+        }
+    }
+
+    /// Consistent snapshot of all metrics and finished spans.
+    pub fn snapshot(&self) -> Snapshot {
+        let Some(inner) = &self.inner else {
+            return Snapshot::default();
+        };
+        Snapshot {
+            counters: self.counter_values(),
+            gauges: lock(&inner.gauges)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+                .collect(),
+            histograms: lock(&inner.histograms)
+                .iter()
+                .map(|(k, h)| {
+                    (
+                        k.clone(),
+                        HistogramSnapshot {
+                            buckets: h.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+                            count: h.count.load(Ordering::Relaxed),
+                            sum: h.sum.load(Ordering::Relaxed),
+                        },
+                    )
+                })
+                .collect(),
+            spans: lock(&inner.spans).clone(),
+        }
+    }
+}
+
+/// A counter handle: monotonically increasing `u64`.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Add 1.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value (0 for a disabled handle).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |cell| cell.load(Ordering::Relaxed))
+    }
+}
+
+/// A gauge handle: a settable `i64` level.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Option<Arc<AtomicI64>>);
+
+impl Gauge {
+    /// Set the level.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if let Some(cell) = &self.0 {
+            cell.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Adjust the level by `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Current level (0 for a disabled handle).
+    pub fn get(&self) -> i64 {
+        self.0.as_ref().map_or(0, |cell| cell.load(Ordering::Relaxed))
+    }
+}
+
+/// A power-of-two histogram handle.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram(Option<Arc<HistogramCells>>);
+
+impl std::fmt::Debug for HistogramCells {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HistogramCells")
+            .field("count", &self.count.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// Bucket index of `v`: 0 for 0, else `floor(log2(v)) + 1`.
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+impl Histogram {
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if let Some(cells) = &self.0 {
+            cells.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+            cells.count.fetch_add(1, Ordering::Relaxed);
+            cells.sum.fetch_add(v, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Snapshot of one histogram.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Bucket counts, index per [`bucket_of`].
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values (wrapping on overflow).
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Compact JSON: only buckets up to the last non-zero one.
+    pub fn to_json(&self) -> Json {
+        let last = self.buckets.iter().rposition(|&b| b != 0).map_or(0, |i| i + 1);
+        Json::obj()
+            .field("count", self.count)
+            .field("sum", self.sum)
+            .field(
+                "buckets",
+                Json::Arr(self.buckets[..last].iter().map(|&b| Json::UInt(b)).collect()),
+            )
+    }
+}
+
+/// Everything a registry knows, frozen at one moment.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge levels by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Finished spans, in completion order.
+    pub spans: Vec<SpanRecord>,
+}
+
+impl Snapshot {
+    /// The snapshot as a JSON object (the `metrics` section of a report).
+    pub fn to_json(&self) -> Json {
+        let counters = Json::Obj(
+            self.counters.iter().map(|(k, &v)| (k.clone(), Json::UInt(v))).collect(),
+        );
+        let gauges =
+            Json::Obj(self.gauges.iter().map(|(k, &v)| (k.clone(), Json::from(v))).collect());
+        let histograms = Json::Obj(
+            self.histograms.iter().map(|(k, h)| (k.clone(), h.to_json())).collect(),
+        );
+        let spans = Json::Arr(self.spans.iter().map(SpanRecord::to_json).collect());
+        Json::obj()
+            .field("counters", counters)
+            .field("gauges", gauges)
+            .field("histograms", histograms)
+            .field("spans", spans)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let reg = Registry::new();
+        let c = reg.counter("x.events");
+        c.add(3);
+        c.incr();
+        // A second resolve of the same name shares the cell.
+        reg.counter("x.events").add(6);
+        assert_eq!(c.get(), 10);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters.get("x.events"), Some(&10));
+    }
+
+    #[test]
+    fn disabled_registry_is_inert() {
+        let reg = Registry::disabled();
+        assert!(!reg.is_enabled());
+        let c = reg.counter("x");
+        c.add(100);
+        assert_eq!(c.get(), 0);
+        let g = reg.gauge("g");
+        g.set(5);
+        assert_eq!(g.get(), 0);
+        reg.histogram("h").record(9);
+        let snap = reg.snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.histograms.is_empty());
+        assert!(snap.spans.is_empty());
+    }
+
+    #[test]
+    fn gauges_set_and_add() {
+        let reg = Registry::new();
+        let g = reg.gauge("depth");
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+        assert_eq!(reg.snapshot().gauges.get("depth"), Some(&7));
+    }
+
+    #[test]
+    fn histogram_buckets_are_powers_of_two() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        let reg = Registry::new();
+        let h = reg.histogram("sizes");
+        for v in [0, 1, 2, 3, 4, 1024] {
+            h.record(v);
+        }
+        let snap = reg.snapshot();
+        let hs = snap.histograms.get("sizes").expect("histogram");
+        assert_eq!(hs.count, 6);
+        assert_eq!(hs.sum, 1034);
+        assert_eq!(hs.buckets[0], 1); // 0
+        assert_eq!(hs.buckets[1], 1); // 1
+        assert_eq!(hs.buckets[2], 2); // 2, 3
+        assert_eq!(hs.buckets[3], 1); // 4
+        assert_eq!(hs.buckets[11], 1); // 1024
+    }
+
+    #[test]
+    fn counters_shared_across_scoped_threads() {
+        let reg = Registry::new();
+        let c = reg.counter("parallel.work");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4000);
+    }
+
+    #[test]
+    fn snapshot_to_json_shape() {
+        let reg = Registry::new();
+        reg.counter("a").add(2);
+        reg.gauge("b").set(-1);
+        reg.histogram("c").record(5);
+        let json = reg.snapshot().to_json();
+        assert_eq!(json.get("counters").and_then(|c| c.get("a")).and_then(Json::as_u64), Some(2));
+        assert_eq!(
+            json.get("gauges").and_then(|g| g.get("b")).and_then(Json::as_f64),
+            Some(-1.0)
+        );
+        let h = json.get("histograms").and_then(|h| h.get("c")).expect("histogram");
+        assert_eq!(h.get("count").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn jsonl_sink_receives_events() {
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Clone, Default)]
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl std::io::Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().expect("sink lock").extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let reg = Registry::new();
+        let shared = Shared::default();
+        reg.attach_jsonl_sink(Box::new(shared.clone()));
+        reg.emit(&Json::obj().field("type", "event").field("name", "warmup"));
+        drop(reg.span("root"));
+        let text = String::from_utf8(shared.0.lock().expect("sink lock").clone()).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"warmup\""));
+        assert!(lines[1].contains("\"span\""));
+        // Every line parses as a standalone JSON document.
+        for line in lines {
+            crate::json::parse(line).expect("valid JSONL line");
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! End-of-run reports with a stable, versioned schema.
+//!
+//! A [`Report`] is the machine-readable artifact of one run: the tool
+//! name, a report name, a [`Snapshot`] of the metrics registry
+//! (counters, gauges, histograms, finished spans), any number of
+//! cache-simulation sections (built by `cachegraph-cache-sim`'s report
+//! module), and any number of experiment sections (built by
+//! `cachegraph-bench`). The full schema is documented in
+//! EXPERIMENTS.md; [`SCHEMA_VERSION`] is bumped on any breaking change
+//! so downstream diff tooling can refuse mixed versions.
+
+use std::io::Write;
+use std::path::Path;
+
+use crate::json::{self, Json, JsonError};
+use crate::registry::Snapshot;
+
+/// Version of the report document layout. Bump on breaking changes.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Name stamped into every report's `tool` field.
+pub const TOOL_NAME: &str = "cachegraph";
+
+/// A run report under construction (or re-loaded from disk).
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Report name, e.g. `repro-quick` or `fw_layouts`.
+    pub name: String,
+    /// Registry snapshot serialized into the `metrics` section.
+    pub metrics: Option<Json>,
+    /// Cache-simulation sections (one JSON object per simulated run).
+    pub cache_sims: Vec<Json>,
+    /// Experiment sections (one JSON object per bench table).
+    pub experiments: Vec<Json>,
+}
+
+impl Report {
+    /// Start an empty report named `name`.
+    pub fn new(name: &str) -> Self {
+        Self { name: name.to_string(), ..Self::default() }
+    }
+
+    /// Attach the registry snapshot as the `metrics` section.
+    pub fn set_metrics(&mut self, snapshot: &Snapshot) {
+        self.metrics = Some(snapshot.to_json());
+    }
+
+    /// Append one cache-simulation section.
+    pub fn push_cache_sim(&mut self, sim: Json) {
+        self.cache_sims.push(sim);
+    }
+
+    /// Append one experiment section.
+    pub fn push_experiment(&mut self, experiment: Json) {
+        self.experiments.push(experiment);
+    }
+
+    /// The complete, schema-versioned document.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("schema_version", SCHEMA_VERSION)
+            .field("tool", TOOL_NAME)
+            .field("report", self.name.as_str())
+            .field("metrics", self.metrics.clone().unwrap_or_else(|| Json::Obj(Vec::new())))
+            .field("cache_sims", Json::Arr(self.cache_sims.clone()))
+            .field("experiments", Json::Arr(self.experiments.clone()))
+    }
+
+    /// Render the document as pretty-stable single-line JSON text.
+    pub fn render(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// Write the document to `path` (with a trailing newline).
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let mut file = std::fs::File::create(path)?;
+        writeln!(file, "{}", self.render())
+    }
+
+    /// Parse a report document back from JSON text, checking the
+    /// schema version.
+    pub fn load_str(text: &str) -> Result<Self, ReportError> {
+        let json = json::parse(text).map_err(ReportError::Json)?;
+        Self::from_json(&json)
+    }
+
+    /// Read and parse a report document from `path`.
+    pub fn load(path: &Path) -> Result<Self, ReportError> {
+        let text = std::fs::read_to_string(path).map_err(ReportError::Io)?;
+        Self::load_str(&text)
+    }
+
+    /// Reconstruct a report from its [`to_json`](Self::to_json) form.
+    pub fn from_json(json: &Json) -> Result<Self, ReportError> {
+        let version = json.get("schema_version").and_then(Json::as_u64);
+        if version != Some(SCHEMA_VERSION) {
+            return Err(ReportError::SchemaVersion { found: version, want: SCHEMA_VERSION });
+        }
+        let name = json
+            .get("report")
+            .and_then(Json::as_str)
+            .ok_or(ReportError::MissingField("report"))?
+            .to_string();
+        let metrics = json.get("metrics").cloned();
+        let cache_sims = match json.get("cache_sims") {
+            Some(Json::Arr(items)) => items.clone(),
+            _ => Vec::new(),
+        };
+        let experiments = match json.get("experiments") {
+            Some(Json::Arr(items)) => items.clone(),
+            _ => Vec::new(),
+        };
+        Ok(Self { name, metrics, cache_sims, experiments })
+    }
+}
+
+/// Why a report document could not be loaded.
+#[derive(Debug)]
+pub enum ReportError {
+    /// Underlying file read failed.
+    Io(std::io::Error),
+    /// The text was not valid JSON.
+    Json(JsonError),
+    /// The document's `schema_version` is missing or unsupported.
+    SchemaVersion {
+        /// Version found in the document, if any.
+        found: Option<u64>,
+        /// Version this build understands.
+        want: u64,
+    },
+    /// A required field was absent.
+    MissingField(&'static str),
+}
+
+impl std::fmt::Display for ReportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "cannot read report: {e}"),
+            Self::Json(e) => write!(f, "invalid report JSON: {e}"),
+            Self::SchemaVersion { found: Some(v), want } => {
+                write!(f, "unsupported report schema_version {v} (this build reads {want})")
+            }
+            Self::SchemaVersion { found: None, want } => {
+                write!(f, "report is missing schema_version (this build reads {want})")
+            }
+            Self::MissingField(name) => write!(f, "report is missing field `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for ReportError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn report_round_trips_through_text() {
+        let reg = Registry::new();
+        reg.counter("fw.kernel_calls").add(64);
+        {
+            let _span = reg.span("fw.tiled");
+        }
+        let mut report = Report::new("unit-test");
+        report.set_metrics(&reg.snapshot());
+        report.push_cache_sim(Json::obj().field("label", "fw.tiled").field("machine", "ss"));
+        report.push_experiment(Json::obj().field("id", "fw_layouts"));
+
+        let text = report.render();
+        let loaded = Report::load_str(&text).expect("report loads");
+        assert_eq!(loaded.name, "unit-test");
+        assert_eq!(loaded.to_json(), report.to_json());
+    }
+
+    #[test]
+    fn wrong_schema_version_is_rejected() {
+        let text = r#"{"schema_version": 999, "tool": "cachegraph", "report": "x"}"#;
+        match Report::load_str(text) {
+            Err(ReportError::SchemaVersion { found: Some(999), want }) => {
+                assert_eq!(want, SCHEMA_VERSION);
+            }
+            other => unreachable!("expected schema version error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_version_is_rejected() {
+        assert!(matches!(
+            Report::load_str(r#"{"report": "x"}"#),
+            Err(ReportError::SchemaVersion { found: None, .. })
+        ));
+    }
+
+    #[test]
+    fn save_and_load_file() {
+        let dir = std::env::temp_dir().join("cachegraph-obs-report-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("report.json");
+        let mut report = Report::new("file-test");
+        report.set_metrics(&Registry::new().snapshot());
+        report.save(&path).expect("save");
+        let loaded = Report::load(&path).expect("load");
+        assert_eq!(loaded.name, "file-test");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,212 @@
+//! RAII span timers.
+//!
+//! A [`Span`] measures one region of work on the monotonic clock and, on
+//! drop, records a [`SpanRecord`] into its registry (and the JSONL sink,
+//! if one is attached). Spans nest by name: a child of `fw.tiled` named
+//! `tile[3]` has path `fw.tiled/tile[3]`, so a run's span list is a
+//! flattened tree keyed by `/`-separated paths.
+//!
+//! Naming convention (documented in EXPERIMENTS.md): root spans are
+//! `<algorithm>.<variant>` (`fw.tiled`, `dijkstra.array`), children are
+//! phase names with optional `[index]` suffixes (`tile[3]`, `relax`,
+//! `kernel`). Keep cardinality bounded — index a span only when the
+//! index count is small (tiles, rounds), never per-edge.
+//!
+//! Each span also snapshots every counter at open and records the
+//! **delta** accumulated while it was live, so a `tile[3]` span carries
+//! exactly the kernel calls / copies attributed to that tile. Deltas are
+//! attribution, not isolation: concurrent threads bumping the same
+//! counter all land in whichever spans are open.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use crate::json::Json;
+use crate::registry::Registry;
+
+/// A finished span, as stored in the registry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// `/`-separated path from the root span, e.g. `fw.tiled/tile[3]/kernel`.
+    pub path: String,
+    /// Nesting depth (root = 0).
+    pub depth: u32,
+    /// Open time in nanoseconds since the registry's epoch.
+    pub start_ns: u64,
+    /// Wall-clock duration in nanoseconds (monotonic clock).
+    pub dur_ns: u64,
+    /// Counter deltas accumulated while the span was open (zero deltas
+    /// are omitted).
+    pub counters: BTreeMap<String, u64>,
+}
+
+impl SpanRecord {
+    /// The record as a JSON object.
+    pub fn to_json(&self) -> Json {
+        let counters = Json::Obj(
+            self.counters.iter().map(|(k, &v)| (k.clone(), Json::UInt(v))).collect(),
+        );
+        Json::obj()
+            .field("path", self.path.as_str())
+            .field("depth", self.depth as u64)
+            .field("start_ns", self.start_ns)
+            .field("dur_ns", self.dur_ns)
+            .field("counters", counters)
+    }
+
+    /// Parse a record back from its [`to_json`](Self::to_json) form.
+    pub fn from_json(json: &Json) -> Option<Self> {
+        let counters = match json.get("counters") {
+            Some(Json::Obj(fields)) => fields
+                .iter()
+                .map(|(k, v)| v.as_u64().map(|v| (k.clone(), v)))
+                .collect::<Option<BTreeMap<_, _>>>()?,
+            _ => BTreeMap::new(),
+        };
+        Some(Self {
+            path: json.get("path")?.as_str()?.to_string(),
+            depth: u32::try_from(json.get("depth")?.as_u64()?).ok()?,
+            start_ns: json.get("start_ns")?.as_u64()?,
+            dur_ns: json.get("dur_ns")?.as_u64()?,
+            counters,
+        })
+    }
+}
+
+/// A live span; ends (and records itself) on drop.
+pub struct Span {
+    registry: Registry,
+    path: String,
+    depth: u32,
+    opened: Option<Instant>,
+    counters_at_open: BTreeMap<String, u64>,
+}
+
+impl Span {
+    pub(crate) fn new_root(registry: Registry, name: &str) -> Self {
+        if !registry.is_enabled() {
+            return Self::inert(registry);
+        }
+        Self::open(registry, name.to_string(), 0)
+    }
+
+    /// Inert span: no allocation, no clock read, no counter snapshot.
+    fn inert(registry: Registry) -> Self {
+        Self { registry, path: String::new(), depth: 0, opened: None, counters_at_open: BTreeMap::new() }
+    }
+
+    fn open(registry: Registry, path: String, depth: u32) -> Self {
+        let counters_at_open = registry.counter_values();
+        Self { registry, path, depth, opened: Some(Instant::now()), counters_at_open }
+    }
+
+    /// Open a child span named `name` under this one.
+    pub fn child(&self, name: &str) -> Span {
+        if !self.registry.is_enabled() {
+            return Self::inert(self.registry.clone());
+        }
+        Span::open(self.registry.clone(), format!("{}/{name}", self.path), self.depth + 1)
+    }
+
+    /// The span's full `/`-separated path.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(opened) = self.opened else { return };
+        let Some(inner) = &self.registry.inner else { return };
+        let dur_ns = saturating_ns(opened.elapsed().as_nanos());
+        let start_ns = saturating_ns(opened.duration_since(inner.epoch).as_nanos());
+        let mut counters = self.registry.counter_values();
+        counters.retain(|name, value| {
+            let before = self.counters_at_open.get(name).copied().unwrap_or(0);
+            *value -= before.min(*value);
+            *value != 0
+        });
+        self.registry.record_span(SpanRecord {
+            path: std::mem::take(&mut self.path),
+            depth: self.depth,
+            start_ns,
+            dur_ns,
+            counters,
+        });
+    }
+}
+
+fn saturating_ns(ns: u128) -> u64 {
+    u64::try_from(ns).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_record_counter_deltas() {
+        let reg = Registry::new();
+        let relaxations = reg.counter("sssp.relaxations");
+        {
+            let root = reg.span("dijkstra.array");
+            relaxations.add(5);
+            {
+                let child = root.child("relax");
+                assert_eq!(child.path(), "dijkstra.array/relax");
+                relaxations.add(7);
+            }
+            relaxations.add(1);
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.spans.len(), 2);
+        // Children finish first.
+        let child = &snap.spans[0];
+        assert_eq!(child.path, "dijkstra.array/relax");
+        assert_eq!(child.depth, 1);
+        assert_eq!(child.counters.get("sssp.relaxations"), Some(&7));
+        let root = &snap.spans[1];
+        assert_eq!(root.path, "dijkstra.array");
+        assert_eq!(root.depth, 0);
+        assert_eq!(root.counters.get("sssp.relaxations"), Some(&13));
+        assert!(root.start_ns <= child.start_ns);
+        assert!(root.dur_ns >= child.dur_ns);
+    }
+
+    #[test]
+    fn zero_delta_counters_are_omitted() {
+        let reg = Registry::new();
+        reg.counter("warm").add(3);
+        {
+            let _span = reg.span("idle");
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.spans.len(), 1);
+        assert!(snap.spans[0].counters.is_empty());
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let reg = Registry::disabled();
+        {
+            let root = reg.span("fw.tiled");
+            let _child = root.child("tile[0]");
+        }
+        assert!(reg.snapshot().spans.is_empty());
+    }
+
+    #[test]
+    fn record_round_trips_through_json() {
+        let record = SpanRecord {
+            path: "fw.tiled/tile[3]/kernel".to_string(),
+            depth: 2,
+            start_ns: 1_234,
+            dur_ns: 987_654_321,
+            counters: BTreeMap::from([("fw.kernel_calls".to_string(), 42_u64)]),
+        };
+        let json = record.to_json();
+        let text = json.render();
+        let reparsed = crate::json::parse(&text).expect("valid JSON");
+        assert_eq!(SpanRecord::from_json(&reparsed), Some(record));
+    }
+}

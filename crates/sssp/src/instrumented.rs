@@ -12,6 +12,7 @@
 //! space, mirroring register-allocated locals.
 
 use cachegraph_graph::{AdjacencyArray, AdjacencyList, VertexId, Weight, INF};
+use cachegraph_obs::Registry;
 use cachegraph_sim::{
     AddressSpace, HierarchyConfig, HierarchyStats, MemoryHierarchy, TracedBuffer,
 };
@@ -227,14 +228,24 @@ impl TracedGraph for TracedList {
     }
 }
 
-/// The shared Dijkstra/Prim driver over a traced graph.
+/// The shared Dijkstra/Prim driver over a traced graph. Reports into
+/// `registry` under a root span named `span_name` (e.g. `dijkstra.array`)
+/// with `init` / `main_loop` children and the `sssp.relaxations` /
+/// `sssp.decrease_keys` / `sssp.extract_mins` counters; a disabled
+/// registry reduces every instrumentation point to a branch.
 fn sim_run<G: TracedGraph>(
     space: &mut AddressSpace,
     g: &G,
     source: VertexId,
     algo: Algo,
     config: HierarchyConfig,
+    registry: &Registry,
+    span_name: &str,
 ) -> SsspSimResult {
+    let root = registry.span(span_name);
+    let relaxations = registry.counter("sssp.relaxations");
+    let decrease_keys = registry.counter("sssp.decrease_keys");
+    let extract_mins = registry.counter("sssp.extract_mins");
     let n = g.num_vertices();
     let mut hier = MemoryHierarchy::new(config);
     let h = &mut hier;
@@ -243,23 +254,30 @@ fn sim_run<G: TracedGraph>(
     let mut pred = space.alloc_traced::<u32>(n);
     pred.as_mut_slice().fill(NO_VERTEX);
     let mut q = TracedHeap::new(space, n);
-    for v in 0..n as VertexId {
-        q.insert(h, v, if v == source { 0 } else { INF });
+    {
+        let _init = root.child("init");
+        for v in 0..n as VertexId {
+            q.insert(h, v, if v == source { 0 } else { INF });
+        }
+        keys.write(h, source as usize, 0);
     }
-    keys.write(h, source as usize, 0);
+    let _main = root.child("main_loop");
     let mut total = 0u64;
     while let Some((u, ku)) = q.extract_min(h) {
+        extract_mins.incr();
         if ku == INF {
             break;
         }
         total += ku as u64;
         keys.write(h, u as usize, ku);
         g.for_neighbors(h, u, &mut |h, v, w| {
+            relaxations.incr();
             let nk = match algo {
                 Algo::Dijkstra => ku.saturating_add(w),
                 Algo::Prim => w,
             };
             if q.decrease_key(h, v, nk) {
+                decrease_keys.incr();
                 pred.write(h, v as usize, u);
                 keys.write(h, v as usize, nk);
             }
@@ -274,9 +292,19 @@ pub fn sim_dijkstra_adj_array(
     source: VertexId,
     config: HierarchyConfig,
 ) -> SsspSimResult {
+    sim_dijkstra_adj_array_observed(g, source, config, &Registry::disabled())
+}
+
+/// [`sim_dijkstra_adj_array`] reporting spans and counters into `registry`.
+pub fn sim_dijkstra_adj_array_observed(
+    g: &AdjacencyArray,
+    source: VertexId,
+    config: HierarchyConfig,
+    registry: &Registry,
+) -> SsspSimResult {
     let mut space = AddressSpace::new();
     let tg = TracedArray::build(&mut space, g);
-    sim_run(&mut space, &tg, source, Algo::Dijkstra, config)
+    sim_run(&mut space, &tg, source, Algo::Dijkstra, config, registry, "dijkstra.array")
 }
 
 /// Simulated Dijkstra over the arena adjacency list.
@@ -285,9 +313,19 @@ pub fn sim_dijkstra_adj_list(
     source: VertexId,
     config: HierarchyConfig,
 ) -> SsspSimResult {
+    sim_dijkstra_adj_list_observed(g, source, config, &Registry::disabled())
+}
+
+/// [`sim_dijkstra_adj_list`] reporting spans and counters into `registry`.
+pub fn sim_dijkstra_adj_list_observed(
+    g: &AdjacencyList,
+    source: VertexId,
+    config: HierarchyConfig,
+    registry: &Registry,
+) -> SsspSimResult {
     let mut space = AddressSpace::new();
     let tg = TracedList::build(&mut space, g);
-    sim_run(&mut space, &tg, source, Algo::Dijkstra, config)
+    sim_run(&mut space, &tg, source, Algo::Dijkstra, config, registry, "dijkstra.list")
 }
 
 /// Simulated Prim over the adjacency array (CSR).
@@ -296,9 +334,19 @@ pub fn sim_prim_adj_array(
     root: VertexId,
     config: HierarchyConfig,
 ) -> SsspSimResult {
+    sim_prim_adj_array_observed(g, root, config, &Registry::disabled())
+}
+
+/// [`sim_prim_adj_array`] reporting spans and counters into `registry`.
+pub fn sim_prim_adj_array_observed(
+    g: &AdjacencyArray,
+    root: VertexId,
+    config: HierarchyConfig,
+    registry: &Registry,
+) -> SsspSimResult {
     let mut space = AddressSpace::new();
     let tg = TracedArray::build(&mut space, g);
-    sim_run(&mut space, &tg, root, Algo::Prim, config)
+    sim_run(&mut space, &tg, root, Algo::Prim, config, registry, "prim.array")
 }
 
 /// Simulated Prim over the arena adjacency list.
@@ -307,9 +355,19 @@ pub fn sim_prim_adj_list(
     root: VertexId,
     config: HierarchyConfig,
 ) -> SsspSimResult {
+    sim_prim_adj_list_observed(g, root, config, &Registry::disabled())
+}
+
+/// [`sim_prim_adj_list`] reporting spans and counters into `registry`.
+pub fn sim_prim_adj_list_observed(
+    g: &AdjacencyList,
+    root: VertexId,
+    config: HierarchyConfig,
+    registry: &Registry,
+) -> SsspSimResult {
     let mut space = AddressSpace::new();
     let tg = TracedList::build(&mut space, g);
-    sim_run(&mut space, &tg, root, Algo::Prim, config)
+    sim_run(&mut space, &tg, root, Algo::Prim, config, registry, "prim.list")
 }
 
 #[cfg(test)]
@@ -340,6 +398,29 @@ mod tests {
         let sim_l = sim_prim_adj_list(&b.build_list(), 0, profiles::simplescalar());
         assert_eq!(sim_a.total, expect);
         assert_eq!(sim_l.total, expect);
+    }
+
+    #[test]
+    fn observed_run_counts_relaxations_and_spans() {
+        let b = generators::random_directed(120, 0.1, 50, 7);
+        let arr = b.build_array();
+        let reg = cachegraph_obs::Registry::new();
+        let observed = sim_dijkstra_adj_array_observed(&arr, 0, profiles::simplescalar(), &reg);
+        let plain = sim_dijkstra_adj_array(&arr, 0, profiles::simplescalar());
+        assert_eq!(observed.keys, plain.keys, "instrumentation must not change results");
+
+        let snap = reg.snapshot();
+        let relaxations = *snap.counters.get("sssp.relaxations").expect("relaxations");
+        let decreases = *snap.counters.get("sssp.decrease_keys").expect("decrease_keys");
+        let extracts = *snap.counters.get("sssp.extract_mins").expect("extract_mins");
+        assert!(relaxations > 0);
+        assert!(decreases <= relaxations, "{decreases} decrease-keys of {relaxations} relaxations");
+        assert!(extracts as usize <= b.num_vertices());
+        // Spans: init and main_loop children finish before the root.
+        let paths: Vec<&str> = snap.spans.iter().map(|s| s.path.as_str()).collect();
+        assert_eq!(paths, ["dijkstra.array/init", "dijkstra.array/main_loop", "dijkstra.array"]);
+        // The main loop owns all the relaxation work.
+        assert_eq!(snap.spans[1].counters.get("sssp.relaxations"), Some(&relaxations));
     }
 
     #[test]

@@ -1,0 +1,9 @@
+// tidy: kernel
+
+/// Mentions of cachegraph_obs in comments or docs are fine; only code
+/// references count.
+pub fn saxpy(a: u32, x: &[u32], y: &mut [u32]) {
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi = yi.wrapping_add(a.wrapping_mul(xi));
+    }
+}

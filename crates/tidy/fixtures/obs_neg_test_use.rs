@@ -1,0 +1,19 @@
+// tidy: kernel
+
+pub fn saxpy(a: u32, x: &[u32], y: &mut [u32]) {
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi = yi.wrapping_add(a.wrapping_mul(xi));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use cachegraph_obs::Registry;
+
+    #[test]
+    fn observed_in_tests_is_fine() {
+        let registry = Registry::new();
+        registry.counter("test.calls").incr();
+        assert_eq!(registry.snapshot().counters.get("test.calls"), Some(&1));
+    }
+}

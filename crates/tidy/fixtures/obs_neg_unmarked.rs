@@ -1,0 +1,8 @@
+use cachegraph_obs::Registry;
+
+pub fn driver(x: &mut [u32], registry: &Registry) {
+    let _span = registry.span("driver");
+    for xi in x.iter_mut() {
+        *xi = xi.wrapping_add(1);
+    }
+}

@@ -1,0 +1,9 @@
+// tidy: kernel
+
+pub fn kernel_step(x: &mut [u32]) {
+    // tidy: allow(obs-purity) -- fixture: waiver must suppress the report
+    let _span = cachegraph_obs::Registry::disabled().span("kernel");
+    for xi in x.iter_mut() {
+        *xi = xi.wrapping_add(1);
+    }
+}

@@ -1,0 +1,8 @@
+// tidy: kernel
+
+pub fn kernel_step(x: &mut [u32]) {
+    let _span = cachegraph_obs::Registry::disabled().span("kernel");
+    for xi in x.iter_mut() {
+        *xi = xi.wrapping_add(1);
+    }
+}

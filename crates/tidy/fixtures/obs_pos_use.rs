@@ -1,0 +1,10 @@
+// tidy: kernel
+
+use cachegraph_obs::Registry;
+
+pub fn kernel_step(x: &mut [u32], registry: &Registry) {
+    registry.counter("kernel.steps").incr();
+    for xi in x.iter_mut() {
+        *xi = xi.wrapping_add(1);
+    }
+}

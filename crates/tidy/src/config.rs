@@ -27,6 +27,7 @@ pub const DEPENDENCY_ALLOWLIST: &[&str] = &[
     "cachegraph-bench",
     "cachegraph-cli",
     "cachegraph-tidy",
+    "cachegraph-obs",
 ];
 
 /// Marker comment opting a file into the kernel-purity rule.

@@ -15,6 +15,9 @@
 //!   cache simulator's address/set-index arithmetic;
 //! * [`rules::kernel_purity`] — files opted in via a `// tidy: kernel`
 //!   marker must not allocate or take locks;
+//! * [`rules::obs_purity`] — kernel-marked files must not reference the
+//!   observability layer (`cachegraph_obs`); instrumentation lives in
+//!   the drivers;
 //! * [`rules::dependency_policy`] — workspace manifests carry no
 //!   duplicate direct deps, wildcard versions, or off-allowlist deps.
 //!
@@ -119,6 +122,7 @@ pub fn run_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
         diags.extend(rules::panic_policy::check(sf));
         diags.extend(rules::cast_soundness::check(sf));
         diags.extend(rules::kernel_purity::check(sf));
+        diags.extend(rules::obs_purity::check(sf));
     }
     diags.extend(rules::dependency_policy::check_workspace(root)?);
     diags.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));

@@ -1,0 +1,47 @@
+//! `obs-purity`: files opted in with a `// tidy: kernel` marker must not
+//! reference the observability layer (`cachegraph_obs`).
+//!
+//! The obs crate's disabled path is cheap, but it is not free at the
+//! source level: a span or counter in a kernel file invites per-cell
+//! instrumentation, and the timing methodology (and `kernel-purity`
+//! rule) assume the inner loops are arithmetic and slice indexing only.
+//! Instrumentation belongs in the drivers, which observe kernels from
+//! the outside through tile-granular event hooks (`FwEvent`).
+
+use crate::config::KERNEL_MARKER;
+use crate::{Diagnostic, SourceFile};
+
+use super::contains_word;
+
+pub const RULE: &str = "obs-purity";
+
+pub fn check(sf: &SourceFile) -> Vec<Diagnostic> {
+    // Same opt-in as kernel-purity: a dedicated `// tidy: kernel` comment.
+    let marked = sf
+        .lexed
+        .comments
+        .iter()
+        .any(|c| c.text.trim_start_matches(['/', '!', '*', ' ']).starts_with(KERNEL_MARKER));
+    if !marked {
+        return Vec::new();
+    }
+    let in_test = super::cfg_test_lines(sf);
+    let mut diags = Vec::new();
+    for (idx, line) in sf.lexed.masked.lines().enumerate() {
+        let line_no = idx + 1;
+        if in_test.get(line_no).copied().unwrap_or(false) {
+            continue;
+        }
+        if contains_word(line, "cachegraph_obs") && !sf.waived(RULE, line_no) {
+            diags.push(Diagnostic {
+                path: sf.rel_path.clone(),
+                line: line_no,
+                rule: RULE,
+                message: "kernel files must not reference `cachegraph_obs`; \
+                          instrument the surrounding driver instead"
+                    .to_string(),
+            });
+        }
+    }
+    diags
+}

@@ -169,6 +169,47 @@ fn kernel_ignores_cfg_test_allocations() {
     assert!(rules::kernel_purity::check(&sf).is_empty());
 }
 
+// ---- obs-purity ------------------------------------------------------
+
+#[test]
+fn obs_flags_use_in_marked_file() {
+    let sf = lib_file(include_str!("../fixtures/obs_pos_use.rs"));
+    let diags = rules::obs_purity::check(&sf);
+    // The `use cachegraph_obs::...` import is the single code reference.
+    assert_eq!(rules_of(&diags), ["obs-purity"]);
+    assert_eq!(diags[0].line, 3);
+}
+
+#[test]
+fn obs_flags_qualified_path_in_marked_file() {
+    let sf = lib_file(include_str!("../fixtures/obs_pos_path.rs"));
+    assert_eq!(rules::obs_purity::check(&sf).len(), 1);
+}
+
+#[test]
+fn obs_accepts_doc_mentions_in_marked_file() {
+    let sf = lib_file(include_str!("../fixtures/obs_neg_clean.rs"));
+    assert!(rules::obs_purity::check(&sf).is_empty());
+}
+
+#[test]
+fn obs_ignores_unmarked_files() {
+    let sf = lib_file(include_str!("../fixtures/obs_neg_unmarked.rs"));
+    assert!(rules::obs_purity::check(&sf).is_empty());
+}
+
+#[test]
+fn obs_ignores_cfg_test_references() {
+    let sf = lib_file(include_str!("../fixtures/obs_neg_test_use.rs"));
+    assert!(rules::obs_purity::check(&sf).is_empty());
+}
+
+#[test]
+fn obs_waiver_suppresses_report() {
+    let sf = lib_file(include_str!("../fixtures/obs_neg_waiver.rs"));
+    assert!(rules::obs_purity::check(&sf).is_empty());
+}
+
 // ---- dependency-policy -----------------------------------------------
 
 #[test]
