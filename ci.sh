@@ -20,6 +20,27 @@ mkdir -p target/ci-metrics
 cargo run -q --release -p cachegraph-cli --bin cachegraph -- \
   repro --quick --metrics target/ci-metrics/repro_quick.json \
   > target/ci-metrics/repro_quick.txt
-grep -q '"schema_version":1' target/ci-metrics/repro_quick.json
+grep -q '"schema_version":2' target/ci-metrics/repro_quick.json
+
+echo "==> resume smoke (kill mid-run, resume from journal)"
+rm -f target/ci-metrics/resume.jsonl
+# Fault plan kills the process mid-journal-write at the last experiment:
+# exit 124 expected, journal left with a torn final line.
+cargo run -q --release -p cachegraph-cli --bin cachegraph -- \
+  repro --quick --journal target/ci-metrics/resume.jsonl \
+  --fault-plan kill:matching > target/ci-metrics/resume_killed.txt \
+  && { echo "ci: kill fault did not kill the run"; exit 1; } \
+  || test $? -eq 124
+# Resume must finish the run, restore the two completed experiments,
+# and write a parseable merged report.
+cargo run -q --release -p cachegraph-cli --bin cachegraph -- \
+  repro --quick --resume target/ci-metrics/resume.jsonl \
+  --metrics target/ci-metrics/resume_merged.json \
+  > target/ci-metrics/resume_resumed.txt
+grep -q '"schema_version":2' target/ci-metrics/resume_merged.json
+grep -q 'restored from journal' target/ci-metrics/resume_resumed.txt
+cargo run -q --release -p cachegraph-cli --bin cachegraph -- \
+  compare target/ci-metrics/resume_merged.json target/ci-metrics/repro_quick.json \
+  > /dev/null
 
 echo "ci: all green"

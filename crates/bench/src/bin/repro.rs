@@ -1,4 +1,4 @@
-//! Regenerate the paper's tables and figures.
+//! Regenerate the paper's tables and figures, supervised.
 //!
 //! ```text
 //! repro [--full] <id>...      # table1 fig10 table2 table3 table4 fig11
@@ -10,16 +10,48 @@
 //! repro --list                # print the available ids
 //! repro --metrics out.json    # also write one schema-versioned report
 //! repro --metrics-dir DIR     # also write DIR/BENCH_<id>.json per experiment
+//! repro --journal RUN.jsonl   # stream one checkpoint record per experiment
+//! repro --resume RUN.jsonl    # skip experiments already completed in RUN.jsonl
+//! repro --timeout-secs N      # per-experiment watchdog deadline
+//! repro --strict              # fail-fast; exit nonzero on any non-completion
+//! repro --fault-plan SPEC     # inject faults: panic:ID,hang:ID,kill:ID
 //! ```
+//!
+//! Every experiment runs isolated under the supervisor
+//! ([`cachegraph_bench::supervisor`]): a panic or deadline overrun
+//! becomes a structured outcome in the report instead of killing the
+//! run, and each finished experiment is checkpointed to the journal so
+//! an interrupted `--full` sweep resumes where it died.
+//!
+//! Exit codes: 0 — at least one experiment completed (all of them under
+//! `--strict`); 1 — every experiment failed, or strict mode saw a
+//! non-completion; 2 — usage errors (unknown flag or id, missing
+//! argument).
 //!
 //! Default sizes finish in minutes on a laptop; `--full` uses the paper's
 //! problem sizes (N up to 4096 for FW, 64 K vertices for Dijkstra/Prim)
 //! and can take hours and several GB of RAM.
 
 use std::path::PathBuf;
+use std::time::Duration;
 
-use cachegraph_bench::{experiment_to_json, experiments, time_once, Scale};
-use cachegraph_obs::Report;
+use cachegraph_bench::supervisor::{
+    run_supervised, FaultPlan, SupervisorConfig, Unit, UnitOutput,
+};
+use cachegraph_bench::{experiments, Scale};
+use cachegraph_obs::{Json, Report};
+
+const USAGE: &str = "usage: repro [--full] [--metrics FILE] [--metrics-dir DIR] \
+[--journal FILE] [--resume FILE] [--timeout-secs N] [--strict] [--fault-plan SPEC] \
+<id>... | all | --list
+exit codes: 0 success, 1 run failure, 2 usage error";
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("repro: {msg}");
+    eprintln!("{USAGE}");
+    // tidy: allow(error-policy) -- bin entry point, usage-error exit
+    std::process::exit(2);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -27,10 +59,12 @@ fn main() {
     let mut ids: Vec<String> = Vec::new();
     let mut metrics: Option<PathBuf> = None;
     let mut metrics_dir: Option<PathBuf> = None;
+    let mut config = SupervisorConfig::default();
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
         match a.as_str() {
             "--full" => full = true,
+            "--strict" => config.strict = true,
             "--list" => {
                 for id in experiments::ALL_IDS {
                     println!("{id}");
@@ -39,78 +73,130 @@ fn main() {
             }
             "--metrics" => match iter.next() {
                 Some(path) => metrics = Some(PathBuf::from(path)),
-                None => {
-                    eprintln!("--metrics needs a file path");
-                    std::process::exit(2);
-                }
+                None => usage_error("--metrics needs a file path"),
             },
             "--metrics-dir" => match iter.next() {
                 Some(dir) => metrics_dir = Some(PathBuf::from(dir)),
-                None => {
-                    eprintln!("--metrics-dir needs a directory path");
-                    std::process::exit(2);
-                }
+                None => usage_error("--metrics-dir needs a directory path"),
+            },
+            "--journal" => match iter.next() {
+                Some(path) => config.journal = Some(PathBuf::from(path)),
+                None => usage_error("--journal needs a file path"),
+            },
+            "--resume" => match iter.next() {
+                Some(path) => config.resume = Some(PathBuf::from(path)),
+                None => usage_error("--resume needs a journal path"),
+            },
+            "--timeout-secs" => match iter.next().and_then(|s| s.parse::<u64>().ok()) {
+                Some(secs) if secs > 0 => config.timeout = Some(Duration::from_secs(secs)),
+                _ => usage_error("--timeout-secs needs a positive integer"),
+            },
+            "--fault-plan" => match iter.next() {
+                Some(spec) => match FaultPlan::parse(spec) {
+                    Ok(plan) => config.fault_plan = plan,
+                    Err(e) => usage_error(&format!("bad --fault-plan: {e}")),
+                },
+                None => usage_error("--fault-plan needs a spec (panic:ID,hang:ID,kill:ID)"),
             },
             "--help" | "-h" => {
-                println!(
-                    "usage: repro [--full] [--metrics FILE] [--metrics-dir DIR] <id>... | all | --list"
-                );
+                println!("{USAGE}");
                 return;
+            }
+            other if other.starts_with('-') => {
+                usage_error(&format!("unknown flag '{other}'"));
             }
             other => ids.push(other.to_string()),
         }
     }
     if ids.is_empty() {
-        eprintln!("usage: repro [--full] [--metrics FILE] [--metrics-dir DIR] <id>... | all | --list");
-        std::process::exit(2);
+        usage_error("no experiment ids given");
     }
     if ids.iter().any(|i| i == "all") {
         ids = experiments::ALL_IDS.iter().map(|s| s.to_string()).collect();
     }
+    let unknown: Vec<&String> =
+        ids.iter().filter(|id| !experiments::ALL_IDS.contains(&id.as_str())).collect();
+    if !unknown.is_empty() {
+        let list = unknown.iter().map(|s| s.as_str()).collect::<Vec<_>>().join(", ");
+        usage_error(&format!("unknown experiment ids: {list} (try --list)"));
+    }
+
     let scale = if full { Scale::full() } else { Scale::quick() };
+    config.context = format!("repro-{}", if full { "full" } else { "quick" });
     println!(
         "# cachegraph repro — scale: {} (results validated against baselines on every run)\n",
         if full { "FULL (paper sizes)" } else { "quick" }
     );
     if let Some(dir) = &metrics_dir {
         if let Err(e) = std::fs::create_dir_all(dir) {
-            eprintln!("cannot create metrics dir {}: {e}", dir.display());
-            std::process::exit(2);
+            eprintln!("repro: cannot create metrics dir {}: {e}", dir.display());
+            // tidy: allow(error-policy) -- bin entry point, runtime-error exit
+            std::process::exit(1);
         }
     }
-    let mut combined = Report::new(if full { "repro-full" } else { "repro-quick" });
-    let mut unknown = Vec::new();
-    for id in &ids {
-        let (dur, result) = time_once(|| experiments::run(id, scale));
-        match result {
-            Some(tables) => {
-                for t in &tables {
-                    println!("{t}");
+
+    let units: Vec<Unit> = ids
+        .iter()
+        .map(|id| {
+            let id_owned = id.clone();
+            Unit::new(id, move || match experiments::run(&id_owned, scale) {
+                Some(tables) => {
+                    let text =
+                        tables.iter().map(|t| format!("{t}\n")).collect::<Vec<_>>().concat();
+                    let data = Json::obj().field(
+                        "tables",
+                        Json::Arr(tables.iter().map(|t| t.to_json()).collect()),
+                    );
+                    Ok(UnitOutput { data, text })
                 }
-                let section = experiment_to_json(id, &tables, dur);
-                if let Some(dir) = &metrics_dir {
-                    let mut per = Report::new(&format!("repro-{id}"));
-                    per.push_experiment(section.clone());
-                    let path = dir.join(format!("BENCH_{id}.json"));
-                    if let Err(e) = per.save(&path) {
-                        eprintln!("cannot write {}: {e}", path.display());
-                        std::process::exit(2);
-                    }
-                }
-                combined.push_experiment(section);
-            }
-            None => unknown.push(id.clone()),
+                None => Err(format!("experiment '{id_owned}' vanished from the registry")),
+            })
+        })
+        .collect();
+
+    let mut stdout = std::io::stdout();
+    let summary = match run_supervised(units, &config, &mut stdout) {
+        Ok(summary) => summary,
+        Err(e) => {
+            eprintln!("repro: cannot write run output: {e}");
+            // tidy: allow(error-policy) -- bin entry point, runtime-error exit
+            std::process::exit(1);
         }
+    };
+
+    let mut combined = Report::new(&config.context);
+    for (id, outcome) in &summary.outcomes {
+        let section = outcome.to_section(id);
+        if let Some(dir) = &metrics_dir {
+            let mut per = Report::new(&format!("repro-{id}"));
+            per.push_experiment(section.clone());
+            let path = dir.join(format!("BENCH_{id}.json"));
+            if let Err(e) = per.save(&path) {
+                eprintln!("repro: cannot write {}: {e}", path.display());
+                // tidy: allow(error-policy) -- bin entry point, runtime-error exit
+                std::process::exit(1);
+            }
+        }
+        combined.push_experiment(section);
     }
     if let Some(path) = &metrics {
         if let Err(e) = combined.save(path) {
-            eprintln!("cannot write {}: {e}", path.display());
-            std::process::exit(2);
+            eprintln!("repro: cannot write {}: {e}", path.display());
+            // tidy: allow(error-policy) -- bin entry point, runtime-error exit
+            std::process::exit(1);
         }
         eprintln!("metrics report written to {}", path.display());
     }
-    if !unknown.is_empty() {
-        eprintln!("unknown experiment ids: {} (try --list)", unknown.join(", "));
-        std::process::exit(2);
+
+    println!("\n{}", summary.render_table());
+    if !summary.succeeded(config.strict) {
+        eprintln!(
+            "repro: run did not succeed ({}/{} experiments completed{})",
+            summary.completed(),
+            summary.outcomes.len(),
+            if config.strict { ", strict mode" } else { "" }
+        );
+        // tidy: allow(error-policy) -- bin entry point, runtime-error exit
+        std::process::exit(1);
     }
 }

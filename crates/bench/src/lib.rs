@@ -11,6 +11,7 @@
 //! reproduces, and the `paper` column records the corresponding claim.
 
 pub mod experiments;
+pub mod supervisor;
 mod table;
 #[cfg(test)]
 mod tests;
@@ -19,8 +20,6 @@ pub mod workloads;
 pub use table::Table;
 
 use std::time::{Duration, Instant};
-
-use cachegraph_obs::Json;
 
 /// Experiment scale.
 #[derive(Clone, Copy, Debug)]
@@ -84,14 +83,4 @@ pub fn bench_report(group: &str, name: &str, samples: usize, mut f: impl FnMut()
 /// Defeat the optimizer without `criterion::black_box`.
 pub fn black_box<T>(x: T) -> T {
     std::hint::black_box(x)
-}
-
-/// One experiment as a JSON object for a report's `experiments` section:
-/// the experiment id, its tables, and its wall-clock duration.
-pub fn experiment_to_json(id: &str, tables: &[Table], dur: Duration) -> Json {
-    let dur_ns = u64::try_from(dur.as_nanos()).unwrap_or(u64::MAX);
-    Json::obj()
-        .field("id", id)
-        .field("tables", Json::Arr(tables.iter().map(Table::to_json).collect()))
-        .field("dur_ns", dur_ns)
 }

@@ -52,4 +52,4 @@ pub use hierarchy::{HierarchyStats, LevelStats, MemoryHierarchy};
 pub use reuse::ReuseProfiler;
 pub use tlb::{Tlb, TlbStats};
 pub use trace::TracedBuffer;
-pub use tracefile::{replay, TraceRecorder};
+pub use tracefile::{read_trace_file, replay, write_trace_file, TraceError, TraceFileError, TraceRecorder};

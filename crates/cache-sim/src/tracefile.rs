@@ -14,7 +14,12 @@
 //! common case is 3 bytes per access versus 13 raw.
 //!
 //! Traces are plain `Vec<u8>` buffers, so they can be written to and read
-//! from disk with no further framing.
+//! from disk with no further framing; [`write_trace_file`] /
+//! [`read_trace_file`] do exactly that, and the reader fully validates
+//! the recording up front so a truncated or bit-flipped file surfaces a
+//! [`TraceError`] at load time instead of half-way through a replay.
+
+use std::path::Path;
 
 use crate::cache::AccessKind;
 use crate::hierarchy::MemoryHierarchy;
@@ -188,6 +193,58 @@ pub fn replay(trace: &[u8], hier: &mut MemoryHierarchy) -> Result<u64, TraceErro
 /// Replay a trace into a reuse-distance profiler (line-granular).
 pub fn replay_reuse(trace: &[u8], profiler: &mut ReuseProfiler) -> Result<u64, TraceError> {
     for_each_access(trace, |addr, _, _| profiler.access(addr))
+}
+
+/// Fully decode `trace` without driving anything, returning the access
+/// count. The cheapest way to surface corruption up front.
+pub fn validate(trace: &[u8]) -> Result<u64, TraceError> {
+    for_each_access(trace, |_, _, _| {})
+}
+
+/// Why a trace file could not be loaded.
+#[derive(Debug)]
+pub enum TraceFileError {
+    /// Reading the file failed.
+    Io(std::io::Error),
+    /// The bytes are not a well-formed recording.
+    Trace(TraceError),
+}
+
+impl std::fmt::Display for TraceFileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceFileError::Io(e) => write!(f, "cannot read trace file: {e}"),
+            TraceFileError::Trace(e) => write!(f, "corrupt trace file: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceFileError {}
+
+impl From<TraceError> for TraceFileError {
+    fn from(e: TraceError) -> Self {
+        TraceFileError::Trace(e)
+    }
+}
+
+impl From<std::io::Error> for TraceFileError {
+    fn from(e: std::io::Error) -> Self {
+        TraceFileError::Io(e)
+    }
+}
+
+/// Write a finished recording to `path`.
+pub fn write_trace_file(path: &Path, trace: &[u8]) -> std::io::Result<()> {
+    std::fs::write(path, trace)
+}
+
+/// Read a recording from `path`, validating it end to end. Truncated or
+/// bit-flipped files fail here with the decoder's [`TraceError`] rather
+/// than inside a later replay.
+pub fn read_trace_file(path: &Path) -> Result<Vec<u8>, TraceFileError> {
+    let bytes = std::fs::read(path)?;
+    validate(&bytes)?;
+    Ok(bytes)
 }
 
 #[cfg(test)]

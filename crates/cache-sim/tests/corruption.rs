@@ -1,0 +1,145 @@
+//! Fault injection over the trace codec: every truncation point and
+//! every bit flip of a recorded trace must decode to `Ok` (when the
+//! damage happens to stay inside the format) or a structured
+//! [`TraceError`] — never a panic, out-of-bounds read, or hang. The
+//! same contract is checked through `replay`, `replay_reuse`, and the
+//! file loaders.
+
+use cachegraph_rng::corrupt::{bit_flip, Corruptor};
+use cachegraph_rng::StdRng;
+use cachegraph_sim::tracefile::{
+    for_each_access, read_trace_file, replay, replay_reuse, validate, write_trace_file,
+    TraceError, TraceFileError, TraceRecorder,
+};
+use cachegraph_sim::{AccessKind, CacheConfig, HierarchyConfig, MemoryHierarchy, ReuseProfiler};
+
+const HEADER_BYTES: usize = 8;
+
+/// A recording mixing all three delta widths and both access kinds.
+fn sample_trace() -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(17);
+    let mut rec = TraceRecorder::new();
+    let mut addr = 0x1000u64;
+    for i in 0..200u64 {
+        addr = match i % 5 {
+            0 => addr.wrapping_add(rng.gen_range(0u64..100)), // i8 / i32 deltas
+            1 => addr.wrapping_add(1 << 20),                  // i32 delta
+            2 => addr.wrapping_add(1 << 40),                  // i64 delta
+            3 => addr.wrapping_sub(1 << 21),                  // negative wide delta
+            _ => addr.wrapping_add(8),                        // short stride
+        };
+        let kind = if rng.gen_bool(0.3) { AccessKind::Write } else { AccessKind::Read };
+        rec.record(addr, rng.gen_range(1usize..=8), kind);
+    }
+    rec.finish()
+}
+
+fn hier() -> MemoryHierarchy {
+    MemoryHierarchy::new(HierarchyConfig {
+        name: "corruption-test".into(),
+        levels: vec![CacheConfig::new("L1", 4096, 32, 2)],
+        tlb: None,
+    })
+}
+
+#[test]
+fn every_truncation_point_decodes_or_errors() {
+    let trace = sample_trace();
+    let full = validate(&trace).expect("pristine trace decodes");
+    let mut saw_truncated_error = false;
+    for cut in 0..trace.len() {
+        let prefix = &trace[..cut];
+        match validate(prefix) {
+            Ok(n) => {
+                // Cut landed on a record boundary: a shorter valid trace.
+                assert!(n < full, "cut {cut}: prefix cannot hold more records");
+                assert!(cut >= HEADER_BYTES, "cut {cut}: decoded without a full header");
+            }
+            Err(TraceError::Truncated) => saw_truncated_error = true,
+            Err(TraceError::BadHeader) => {
+                assert!(cut < HEADER_BYTES, "cut {cut}: BadHeader past the header");
+            }
+            Err(e) => unreachable!("cut {cut}: unexpected error {e}"),
+        }
+        // The replay entry points surface the same result, not a panic.
+        assert_eq!(replay(prefix, &mut hier()).is_ok(), validate(prefix).is_ok());
+    }
+    assert!(saw_truncated_error, "sweep never produced a mid-record cut");
+}
+
+#[test]
+fn every_bit_flip_decodes_or_errors() {
+    let trace = sample_trace();
+    validate(&trace).expect("pristine trace decodes");
+    for at in 0..trace.len() {
+        for bit in 0..8u8 {
+            let mut mutant = trace.clone();
+            bit_flip(&mut mutant, at, bit);
+            match validate(&mutant) {
+                Ok(n) => {
+                    // Payload damage can silently change addresses, sizes,
+                    // even the record count (a flipped width bit reframes
+                    // everything after it — delta coding has no checksum);
+                    // what it must never do is decode past a damaged magic.
+                    assert!(at >= 6, "byte {at} bit {bit}: magic flip must not decode");
+                    assert!(n > 0, "byte {at} bit {bit}: empty decode of a non-empty trace");
+                }
+                Err(TraceError::BadHeader) => {
+                    assert!(at < 6, "byte {at} bit {bit}: BadHeader outside the magic");
+                }
+                Err(TraceError::Truncated | TraceError::BadTag(_)) => {
+                    // A flipped tag widens/narrows a delta or invents an
+                    // unknown width: structured errors, both fine.
+                    assert!(at >= HEADER_BYTES, "byte {at} bit {bit}: header flip misclassified");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn replay_paths_report_errors_not_panics() {
+    let trace = sample_trace();
+    let mut c = Corruptor::new(99);
+    for _ in 0..300 {
+        let mut mutant = trace.clone();
+        c.mutate_n(&mut mutant, 3);
+        let v = validate(&mutant);
+        let mut profiler = ReuseProfiler::new(32, 256);
+        assert_eq!(replay_reuse(&mutant, &mut profiler).is_ok(), v.is_ok());
+        let mut count = 0u64;
+        let f = for_each_access(&mutant, |_, _, _| count += 1);
+        assert_eq!(f.is_ok(), v.is_ok());
+    }
+}
+
+#[test]
+fn file_loader_surfaces_trace_errors() {
+    let dir = std::env::temp_dir().join("cachegraph-sim-corruption-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let trace = sample_trace();
+
+    let good = dir.join("good.trc");
+    write_trace_file(&good, &trace).expect("write");
+    let loaded = read_trace_file(&good).expect("pristine file loads");
+    assert_eq!(loaded, trace);
+
+    let torn = dir.join("torn.trc");
+    write_trace_file(&torn, &trace[..trace.len() - 1]).expect("write torn");
+    match read_trace_file(&torn) {
+        Err(TraceFileError::Trace(TraceError::Truncated)) => {}
+        other => unreachable!("expected truncation error, got {other:?}"),
+    }
+
+    let garbage = dir.join("garbage.trc");
+    write_trace_file(&garbage, b"not a trace").expect("write garbage");
+    assert!(matches!(
+        read_trace_file(&garbage),
+        Err(TraceFileError::Trace(TraceError::BadHeader))
+    ));
+
+    assert!(matches!(
+        read_trace_file(&dir.join("missing.trc")),
+        Err(TraceFileError::Io(_))
+    ));
+}

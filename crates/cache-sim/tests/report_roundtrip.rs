@@ -2,7 +2,7 @@
 //! live registry snapshot go out through the versioned report writer
 //! and come back through the in-tree JSON reader field-for-field equal.
 
-use cachegraph_obs::{Registry, Report};
+use cachegraph_obs::{Json, Registry, Report};
 use cachegraph_sim::report::{stats_from_json, stats_to_json};
 use cachegraph_sim::{profiles, AccessKind, MemoryHierarchy};
 
@@ -46,6 +46,23 @@ fn full_report_round_trips_field_for_field() {
     report.set_metrics(&registry.snapshot());
     report.push_cache_sim(stats_to_json("fw.tiled", "simplescalar", &classified));
     report.push_cache_sim(stats_to_json("dijkstra.array", "pentium_iii", &with_tlb));
+    // Schema v2 experiment sections: one per outcome kind, exactly as the
+    // supervised runner writes them.
+    report.push_experiment(
+        Json::obj()
+            .field("id", "fw")
+            .field("outcome", "completed")
+            .field("dur_ns", 123_456u64)
+            .field("restored", false)
+            .field("text", "fw ran\n")
+            .field("data", Json::obj().field("tables", Json::Arr(Vec::new()))),
+    );
+    report.push_experiment(
+        Json::obj().field("id", "dijkstra").field("outcome", "failed").field("reason", "panicked"),
+    );
+    report.push_experiment(
+        Json::obj().field("id", "matching").field("outcome", "timed_out").field("limit_secs", 5u64),
+    );
 
     // Out through the writer, back through the reader.
     let text = report.render();
@@ -71,4 +88,13 @@ fn full_report_round_trips_field_for_field() {
     );
     let spans = metrics.get("spans").and_then(cachegraph_obs::Json::as_arr).expect("spans");
     assert_eq!(spans.len(), 2);
+
+    // The v2 experiment outcomes survive with their framing intact.
+    assert_eq!(loaded.experiments.len(), 3);
+    let outcomes: Vec<&str> = loaded
+        .experiments
+        .iter()
+        .filter_map(|e| e.get("outcome").and_then(Json::as_str))
+        .collect();
+    assert_eq!(outcomes, ["completed", "failed", "timed_out"]);
 }

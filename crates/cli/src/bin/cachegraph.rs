@@ -1,6 +1,6 @@
 //! The `cachegraph` command-line tool. See [`cachegraph_cli::USAGE`].
 
-use cachegraph_cli::{run, Args, USAGE};
+use cachegraph_cli::{run, Args, CliError, USAGE};
 
 fn main() {
     let mut argv = std::env::args().skip(1);
@@ -22,7 +22,13 @@ fn main() {
     };
     let mut stdout = std::io::stdout();
     if let Err(e) = run(&command, args, &mut stdout) {
+        // One-line diagnostic; exit 2 for usage errors, 1 for runtime
+        // failures (the contract documented in USAGE).
         eprintln!("error: {e}");
-        std::process::exit(1);
+        let code = match e {
+            CliError::Args(_) | CliError::UnknownCommand(_) => 2,
+            _ => 1,
+        };
+        std::process::exit(code);
     }
 }

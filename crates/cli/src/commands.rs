@@ -4,9 +4,12 @@
 use std::fmt;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
-use std::path::Path;
-use std::time::Instant;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 
+use cachegraph_bench::supervisor::{
+    run_supervised, ExperimentOutcome, FaultPlan, SupervisorConfig, Unit, UnitOutput,
+};
 use cachegraph_fw::instrumented::{sim_iterative, sim_recursive_morton, sim_tiled_bdl_classified};
 use cachegraph_fw::{
     fw_iterative_observed, fw_recursive_observed, fw_tiled_observed, transitive_closure_of,
@@ -46,6 +49,8 @@ pub enum CliError {
     Dimacs(DimacsError),
     /// I/O problems.
     Io(std::io::Error),
+    /// A supervised run ended without enough completed experiments.
+    RunFailed(String),
 }
 
 impl fmt::Display for CliError {
@@ -56,6 +61,7 @@ impl fmt::Display for CliError {
             CliError::Invalid(m) => write!(f, "{m}"),
             CliError::Dimacs(e) => write!(f, "{e}"),
             CliError::Io(e) => write!(f, "{e}"),
+            CliError::RunFailed(m) => write!(f, "{m}"),
         }
     }
 }
@@ -381,50 +387,71 @@ fn cmd_simulate(args: Args, out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `repro`: one instrumented pass over the paper's core algorithms at a
-/// quick (default, also `--quick`) or `--full` scale. With `--metrics
-/// FILE` the run writes a schema-versioned report holding the simulated
-/// L1/L2/TLB statistics and three-Cs miss counts per workload next to the
-/// span durations and algorithm counters from observed real runs.
-fn cmd_repro(args: Args, out: &mut dyn Write) -> Result<(), CliError> {
-    let full = args.switch("full");
-    let scale = if full { "full" } else { "quick" };
-    let registry = Registry::new();
-    let mut cache_sims = Vec::new();
-    let mut describe = |out: &mut dyn Write,
-                        label: &str,
-                        machine: &str,
-                        stats: &cachegraph_sim::HierarchyStats|
-     -> Result<(), CliError> {
+/// Accumulates one supervised repro unit's human-readable lines and
+/// cache-simulation sections, then freezes them (with the unit's own
+/// registry snapshot) into the checkpoint fragment the supervisor
+/// journals and the final report merges.
+struct UnitReport {
+    text: String,
+    cache_sims: Vec<Json>,
+}
+
+impl UnitReport {
+    fn new() -> Self {
+        Self { text: String::new(), cache_sims: Vec::new() }
+    }
+
+    fn line(&mut self, line: &str) {
+        self.text.push_str(line);
+        self.text.push('\n');
+    }
+
+    fn describe(&mut self, label: &str, machine: &str, stats: &cachegraph_sim::HierarchyStats) {
         let l1 = &stats.levels[0];
-        write!(out, "  {label} ({machine}): L1 {}/{} misses", l1.misses, l1.accesses)?;
+        let mut line = format!("  {label} ({machine}): L1 {}/{} misses", l1.misses, l1.accesses);
         if let Some(tlb) = &stats.tlb {
-            write!(out, ", TLB {}/{}", tlb.misses, tlb.accesses)?;
+            line.push_str(&format!(", TLB {}/{}", tlb.misses, tlb.accesses));
         }
         if let Some(c) = &stats.l1_classes {
-            write!(
-                out,
-                ", three-Cs {}/{}/{}",
-                c.compulsory, c.capacity, c.conflict
-            )?;
+            line.push_str(&format!(", three-Cs {}/{}/{}", c.compulsory, c.capacity, c.conflict));
         }
-        writeln!(out)?;
-        cache_sims.push(stats_to_json(label, machine, stats));
-        Ok(())
-    };
+        self.line(&line);
+        self.cache_sims.push(stats_to_json(label, machine, stats));
+    }
 
-    // Floyd-Warshall: simulated hierarchies give the miss counts (with
-    // three-Cs classification on the tiled/BDL variant); observed real
-    // runs of the same variants give span durations and kernel counters.
+    fn finish(mut self, registry: &Registry) -> UnitOutput {
+        let snapshot = registry.snapshot();
+        if !snapshot.counters.is_empty() {
+            self.line("counters:");
+            for (name, value) in &snapshot.counters {
+                self.line(&format!("  {name}: {value}"));
+            }
+        }
+        UnitOutput {
+            data: Json::obj()
+                .field("cache_sims", Json::Arr(self.cache_sims))
+                .field("metrics", snapshot.to_json()),
+            text: self.text,
+        }
+    }
+}
+
+/// Floyd-Warshall unit: simulated hierarchies give the miss counts (with
+/// three-Cs classification on the tiled/BDL variant); observed real runs
+/// of the same variants give span durations and kernel counters.
+fn repro_unit_fw(full: bool) -> Result<UnitOutput, String> {
+    let scale = if full { "full" } else { "quick" };
+    let registry = Registry::new();
+    let mut rep = UnitReport::new();
     let (n, bsz) = if full { (256, 32) } else { (64, 16) };
     let costs = generators::random_directed(n, 0.3, 100, 7).build_matrix().costs().to_vec();
-    writeln!(out, "repro ({scale}): Floyd-Warshall n={n}, b={bsz}")?;
+    rep.line(&format!("repro ({scale}): Floyd-Warshall n={n}, b={bsz}"));
     let sim = sim_iterative(&costs, n, profiles::simplescalar());
-    describe(out, "fw.iterative", "simplescalar", &sim.stats)?;
+    rep.describe("fw.iterative", "simplescalar", &sim.stats);
     let sim = sim_tiled_bdl_classified(&costs, n, bsz, profiles::simplescalar());
-    describe(out, "fw.tiled.bdl", "simplescalar", &sim.stats)?;
+    rep.describe("fw.tiled.bdl", "simplescalar", &sim.stats);
     let sim = sim_recursive_morton(&costs, n, bsz, profiles::simplescalar());
-    describe(out, "fw.recursive.morton", "simplescalar", &sim.stats)?;
+    rep.describe("fw.recursive.morton", "simplescalar", &sim.stats);
 
     let mut m = FwMatrix::from_costs(RowMajor::new(n), &costs);
     fw_iterative_observed(&mut m, &registry);
@@ -435,24 +462,39 @@ fn cmd_repro(args: Args, out: &mut dyn Write) -> Result<(), CliError> {
     let mut m = FwMatrix::from_costs(ZMorton::new(n, bsz), &costs);
     fw_recursive_observed(&mut m, bsz, &registry);
     if !tiled_ok || m.to_row_major() != expect {
-        return Err(CliError::Invalid("internal error: FW variants disagree".into()));
+        return Err("internal error: FW variants disagree".into());
     }
+    Ok(rep.finish(&registry))
+}
 
-    // Dijkstra over both representations on a TLB-modelled machine.
+/// Dijkstra unit: both graph representations on a TLB-modelled machine.
+fn repro_unit_dijkstra(full: bool) -> Result<UnitOutput, String> {
+    let scale = if full { "full" } else { "quick" };
+    let registry = Registry::new();
+    let mut rep = UnitReport::new();
     let dn = if full { 4096 } else { 512 };
     let g = generators::random_directed(dn, 0.02, 100, 11);
-    writeln!(out, "repro ({scale}): Dijkstra n={dn}")?;
-    let sim = sim_dijkstra_adj_array_observed(&g.build_array(), 0, profiles::pentium_iii(), &registry);
-    describe(out, "dijkstra.array", "p3", &sim.stats)?;
-    let sim = sim_dijkstra_adj_list_observed(&g.build_list(), 0, profiles::pentium_iii(), &registry);
-    describe(out, "dijkstra.list", "p3", &sim.stats)?;
+    rep.line(&format!("repro ({scale}): Dijkstra n={dn}"));
+    let sim =
+        sim_dijkstra_adj_array_observed(&g.build_array(), 0, profiles::pentium_iii(), &registry);
+    rep.describe("dijkstra.array", "p3", &sim.stats);
+    let sim =
+        sim_dijkstra_adj_list_observed(&g.build_list(), 0, profiles::pentium_iii(), &registry);
+    rep.describe("dijkstra.list", "p3", &sim.stats);
+    Ok(rep.finish(&registry))
+}
 
-    // Bipartite matching, baseline versus the partitioned variant.
+/// Matching unit: baseline versus the partitioned variant.
+fn repro_unit_matching(full: bool) -> Result<UnitOutput, String> {
+    let scale = if full { "full" } else { "quick" };
+    let registry = Registry::new();
+    let mut rep = UnitReport::new();
     let mn = if full { 1024 } else { 256 };
     let g = generators::random_bipartite(mn, 0.1, 5);
-    writeln!(out, "repro ({scale}): matching n={mn}")?;
-    let base = sim_find_matching_observed(mn, mn / 2, g.edges(), profiles::simplescalar(), &registry);
-    describe(out, "matching.baseline", "simplescalar", &base.stats)?;
+    rep.line(&format!("repro ({scale}): matching n={mn}"));
+    let base =
+        sim_find_matching_observed(mn, mn / 2, g.edges(), profiles::simplescalar(), &registry);
+    rep.describe("matching.baseline", "simplescalar", &base.stats);
     let part = sim_find_matching_partitioned_observed(
         mn,
         mn / 2,
@@ -461,22 +503,114 @@ fn cmd_repro(args: Args, out: &mut dyn Write) -> Result<(), CliError> {
         profiles::simplescalar(),
         &registry,
     );
-    describe(out, "matching.partitioned", "simplescalar", &part.stats)?;
+    rep.describe("matching.partitioned", "simplescalar", &part.stats);
     if base.size != part.size {
-        return Err(CliError::Invalid("internal error: matching variants disagree".into()));
+        return Err("internal error: matching variants disagree".into());
+    }
+    Ok(rep.finish(&registry))
+}
+
+/// Merge the `metrics` fragments of completed units into one report
+/// `metrics` section (counters/gauges/histograms union, spans
+/// concatenated). Unit metric names are prefixed per subsystem, so the
+/// union is collision-free.
+fn merge_unit_metrics(fragments: &[&Json]) -> Json {
+    let mut counters = Vec::new();
+    let mut gauges = Vec::new();
+    let mut histograms = Vec::new();
+    let mut spans = Vec::new();
+    for m in fragments {
+        for (section, into) in [
+            ("counters", &mut counters),
+            ("gauges", &mut gauges),
+            ("histograms", &mut histograms),
+        ] {
+            if let Some(fields) = m.get(section).and_then(Json::as_obj) {
+                into.extend(fields.iter().cloned());
+            }
+        }
+        if let Some(s) = m.get("spans").and_then(Json::as_arr) {
+            spans.extend(s.iter().cloned());
+        }
+    }
+    Json::obj()
+        .field("counters", Json::Obj(counters))
+        .field("gauges", Json::Obj(gauges))
+        .field("histograms", Json::Obj(histograms))
+        .field("spans", Json::Arr(spans))
+}
+
+/// `repro`: an instrumented pass over the paper's core algorithms at a
+/// quick (default, also `--quick`) or `--full` scale, run under the
+/// supervisor ([`cachegraph_bench::supervisor`]): each of the three
+/// experiments (`fw`, `dijkstra`, `matching`) executes isolated, a panic
+/// or `--timeout-secs` overrun degrades to a structured outcome in the
+/// report, `--journal FILE` streams one checkpoint record per
+/// experiment, and `--resume FILE` skips experiments already completed
+/// there. With `--metrics FILE` the run writes a schema-versioned report
+/// holding the simulated L1/L2/TLB statistics and three-Cs miss counts
+/// per workload next to the span durations and algorithm counters from
+/// observed real runs, plus one `experiments` entry per outcome. The
+/// command fails (exit 1) only when *no* experiment completes, or under
+/// `--strict` when any does not.
+fn cmd_repro(args: Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let full = args.switch("full");
+    let name = if full { "repro-full" } else { "repro-quick" };
+    let mut config = SupervisorConfig { context: name.to_string(), ..Default::default() };
+    config.strict = args.switch("strict");
+    config.journal = args.get("journal").map(PathBuf::from);
+    config.resume = args.get("resume").map(PathBuf::from);
+    if let Some(s) = args.get("timeout-secs") {
+        match s.parse::<u64>() {
+            Ok(secs) if secs > 0 => config.timeout = Some(Duration::from_secs(secs)),
+            _ => {
+                return Err(CliError::Invalid(format!(
+                    "--timeout-secs: '{s}' is not a positive integer"
+                )))
+            }
+        }
+    }
+    if let Some(spec) = args.get("fault-plan") {
+        config.fault_plan = FaultPlan::parse(spec).map_err(CliError::Invalid)?;
     }
 
-    writeln!(out, "counters:")?;
-    for (name, value) in &registry.snapshot().counters {
-        writeln!(out, "  {name}: {value}")?;
+    let units = vec![
+        Unit::new("fw", move || repro_unit_fw(full)),
+        Unit::new("dijkstra", move || repro_unit_dijkstra(full)),
+        Unit::new("matching", move || repro_unit_matching(full)),
+    ];
+    let summary = run_supervised(units, &config, out)?;
+
+    let mut report = Report::new(name);
+    let mut metric_fragments = Vec::new();
+    for (id, outcome) in &summary.outcomes {
+        if let ExperimentOutcome::Completed { data, .. } = outcome {
+            if let Some(sims) = data.get("cache_sims").and_then(Json::as_arr) {
+                for sim in sims {
+                    report.push_cache_sim(sim.clone());
+                }
+            }
+            if let Some(metrics) = data.get("metrics") {
+                metric_fragments.push(metrics);
+            }
+        }
+        report.push_experiment(outcome.to_section(id));
     }
-    save_metrics(
-        &args,
-        if full { "repro-full" } else { "repro-quick" },
-        &registry,
-        cache_sims,
-        out,
-    )?;
+    report.metrics = Some(merge_unit_metrics(&metric_fragments));
+    if let Some(path) = args.get("metrics") {
+        report.save(Path::new(path))?;
+        writeln!(out, "metrics report written to {path}")?;
+    }
+
+    writeln!(out, "\n{}", summary.render_table())?;
+    if !summary.succeeded(config.strict) {
+        return Err(CliError::RunFailed(format!(
+            "repro run did not succeed: {}/{} experiments completed{}",
+            summary.completed(),
+            summary.outcomes.len(),
+            if config.strict { " (strict mode)" } else { "" }
+        )));
+    }
     Ok(())
 }
 

@@ -43,9 +43,21 @@ commands:
   closure   transitive closure      -i FILE
   simulate  cache simulation        -i FILE [--machine simplescalar|p3|sparc|alpha|mips]
                                     [--rep array|list] [--source V]
-  repro     instrumented repro run  [--quick|--full] [--metrics FILE]
+  repro     supervised repro run    [--quick|--full] [--metrics FILE]
+                                    [--journal FILE] [--resume FILE]
+                                    [--timeout-secs N] [--strict]
+                                    [--fault-plan panic:ID,hang:ID,kill:ID]
   compare   diff two metrics files  A.json B.json [--threshold T]
 
 sssp, apsp, match, simulate, and repro accept --metrics FILE to write a
 machine-readable run report (spans, counters, cache statistics).
+
+repro runs each experiment (fw, dijkstra, matching) supervised: panics
+and --timeout-secs overruns become structured outcomes in the report,
+--journal streams one checkpoint record per experiment, and --resume
+skips experiments a previous journal already completed.
+
+exit codes: 0 success; 1 runtime failure (bad input file, corrupt
+report, repro run with no completed experiment, any non-completion
+under --strict); 2 usage error (unknown command, flag, or argument).
 ";

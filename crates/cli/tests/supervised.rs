@@ -1,0 +1,202 @@
+//! End-to-end fault injection through the real `cachegraph` binary:
+//! kill a supervised repro mid-journal-write, resume it, and check the
+//! documented exit-code contract (0 success, 1 runtime failure, 2 usage
+//! error) on every degradation path.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+use cachegraph_obs::journal::read_journal;
+use cachegraph_obs::{Json, Report};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_cachegraph")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("cachegraph-cli-supervised-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name)
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(bin()).args(args).output().expect("spawn cachegraph")
+}
+
+fn stdout(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+fn stderr(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).into_owned()
+}
+
+/// Outcome string of experiment `id` in a saved report, plus its
+/// `restored` flag.
+fn outcome_of(report: &Report, id: &str) -> (String, bool) {
+    let section = report
+        .experiments
+        .iter()
+        .find(|e| e.get("id").and_then(Json::as_str) == Some(id))
+        .unwrap_or_else(|| panic!("experiment '{id}' missing from report"));
+    (
+        section.get("outcome").and_then(Json::as_str).expect("outcome").to_string(),
+        matches!(section.get("restored"), Some(Json::Bool(true))),
+    )
+}
+
+#[test]
+fn kill_then_resume_completes_the_run() {
+    let journal = tmp("kill-resume.jsonl");
+    let metrics = tmp("kill-resume.json");
+    std::fs::remove_file(&journal).ok();
+    std::fs::remove_file(&metrics).ok();
+
+    // Phase 1: the fault plan tears the journal mid-write at 'matching'
+    // and kills the process.
+    let killed = run(&[
+        "repro",
+        "--quick",
+        "--journal",
+        journal.to_str().expect("path"),
+        "--fault-plan",
+        "kill:matching",
+    ]);
+    assert_eq!(killed.status.code(), Some(124), "kill fault must die with 124");
+    let contents = read_journal(&journal).expect("journal readable after kill");
+    assert!(contents.torn_tail.is_some(), "kill must leave a torn final line");
+    let completed: Vec<&str> = contents
+        .records
+        .iter()
+        .filter(|r| r.get("outcome").and_then(Json::as_str) == Some("completed"))
+        .filter_map(|r| r.get("id").and_then(Json::as_str))
+        .collect();
+    assert_eq!(completed, ["fw", "dijkstra"], "two checkpoints before the kill");
+
+    // Phase 2: resume replays the journal, re-runs only 'matching', and
+    // the merged report holds every experiment exactly once.
+    let resumed = run(&[
+        "repro",
+        "--quick",
+        "--resume",
+        journal.to_str().expect("path"),
+        "--metrics",
+        metrics.to_str().expect("path"),
+    ]);
+    assert_eq!(resumed.status.code(), Some(0), "stderr: {}", stderr(&resumed));
+    let text = stdout(&resumed);
+    assert!(text.contains("torn"), "resume must report the torn record: {text}");
+    let progress_restored = text
+        .lines()
+        .filter(|l| l.starts_with("## [") && l.contains("restored from journal"))
+        .count();
+    assert_eq!(progress_restored, 2, "fw and dijkstra restore, matching re-runs: {text}");
+
+    let report = Report::load(&metrics).expect("merged report parses");
+    assert_eq!(report.experiments.len(), 3);
+    for (id, want_restored) in [("fw", true), ("dijkstra", true), ("matching", false)] {
+        let (outcome, restored) = outcome_of(&report, id);
+        assert_eq!(outcome, "completed", "experiment {id}");
+        assert_eq!(restored, want_restored, "experiment {id}");
+    }
+    // Restored fragments still carry their cache sims into the report.
+    let labels: Vec<&str> = report
+        .cache_sims
+        .iter()
+        .filter_map(|s| s.get("label").and_then(Json::as_str))
+        .collect();
+    for want in ["fw.iterative", "dijkstra.array", "matching.baseline"] {
+        assert!(labels.contains(&want), "missing {want}: {labels:?}");
+    }
+}
+
+#[test]
+fn panic_and_timeout_degrade_to_recorded_outcomes() {
+    let metrics = tmp("degrade.json");
+    std::fs::remove_file(&metrics).ok();
+    let output = run(&[
+        "repro",
+        "--quick",
+        "--timeout-secs",
+        "1",
+        "--fault-plan",
+        "panic:fw,hang:dijkstra",
+        "--metrics",
+        metrics.to_str().expect("path"),
+    ]);
+    // One experiment (matching) completes, so the run still succeeds.
+    assert_eq!(output.status.code(), Some(0), "stderr: {}", stderr(&output));
+    let report = Report::load(&metrics).expect("report parses");
+    assert_eq!(outcome_of(&report, "fw").0, "failed");
+    assert_eq!(outcome_of(&report, "dijkstra").0, "timed_out");
+    assert_eq!(outcome_of(&report, "matching").0, "completed");
+    let text = stdout(&output);
+    assert!(text.contains("failed: panicked"), "{text}");
+    assert!(text.contains("timed out after 1 s"), "{text}");
+}
+
+#[test]
+fn strict_mode_turns_any_failure_into_exit_1() {
+    let output = run(&["repro", "--quick", "--strict", "--fault-plan", "panic:matching"]);
+    assert_eq!(output.status.code(), Some(1));
+    let err = stderr(&output);
+    assert!(err.contains("error:") && err.contains("strict"), "{err}");
+}
+
+#[test]
+fn corrupt_report_yields_one_line_error_and_exit_1() {
+    let bad = tmp("corrupt-report.json");
+    std::fs::write(&bad, b"{\"schema_version\": 2, \"name\": \"x\", truncated...").expect("write");
+    let path = bad.to_str().expect("path");
+    let output = run(&["compare", path, path]);
+    assert_eq!(output.status.code(), Some(1));
+    let err = stderr(&output);
+    assert_eq!(err.lines().count(), 1, "one-line diagnostic, got: {err}");
+    assert!(err.starts_with("error:"), "{err}");
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    // Unknown subcommand.
+    let output = run(&["frobnicate"]);
+    assert_eq!(output.status.code(), Some(2));
+    assert!(stderr(&output).contains("error:"));
+    // Missing required flag.
+    let output = run(&["sssp"]);
+    assert_eq!(output.status.code(), Some(2));
+    // Flag without its value.
+    let output = run(&["repro", "--journal"]);
+    assert_eq!(output.status.code(), Some(2));
+    // Help documents the contract.
+    let output = run(&["--help"]);
+    assert_eq!(output.status.code(), Some(0));
+    assert!(stdout(&output).contains("exit codes:"), "--help must document exit codes");
+}
+
+#[test]
+fn resume_survives_a_corrupted_journal() {
+    // A journal corrupted beyond the torn-tail case must degrade to a
+    // full re-run, not a crash.
+    let journal = tmp("corrupt-journal.jsonl");
+    std::fs::write(&journal, b"{\"type\":\"run\"}\ngarbage line\n{\"also\": \"fine\"}\n")
+        .expect("write");
+    let metrics = tmp("corrupt-journal.json");
+    std::fs::remove_file(&metrics).ok();
+    let output = run(&[
+        "repro",
+        "--quick",
+        "--resume",
+        journal.to_str().expect("path"),
+        "--metrics",
+        metrics.to_str().expect("path"),
+    ]);
+    assert_eq!(output.status.code(), Some(0), "stderr: {}", stderr(&output));
+    assert!(stdout(&output).contains("re-running everything"), "{}", stdout(&output));
+    let report = Report::load(Path::new(&metrics)).expect("report parses");
+    assert_eq!(report.experiments.len(), 3);
+    for id in ["fw", "dijkstra", "matching"] {
+        let (outcome, restored) = outcome_of(&report, id);
+        assert_eq!(outcome, "completed", "experiment {id}");
+        assert!(!restored, "experiment {id} must have re-run");
+    }
+}

@@ -1,0 +1,222 @@
+//! Append-only JSONL run journals with torn-tail recovery.
+//!
+//! The supervised experiment runner streams one JSON object per line as
+//! each experiment finishes, so a killed run leaves a prefix of complete
+//! records plus, at worst, one torn final line from a write the process
+//! died inside. [`JournalWriter`] appends and flushes line-atomically
+//! (one `write_all` of `record + '\n'` per record); [`read_journal`]
+//! parses everything back, treating an unparseable *final* line as a
+//! recoverable artifact of a mid-write kill — it is reported, not fatal
+//! — while an unparseable line in the middle of the file means external
+//! corruption and is an error the caller must decide about.
+
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+
+use crate::json::{self, Json, JsonError};
+
+/// Appends records to a journal file, one JSON document per line.
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: File,
+}
+
+impl JournalWriter {
+    /// Start a fresh journal at `path` (truncates any existing file).
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        Ok(Self { file: File::create(path)? })
+    }
+
+    /// Open `path` for appending, creating it if absent (the resume
+    /// path: completed records already in the file are kept).
+    pub fn append(path: &Path) -> std::io::Result<Self> {
+        Ok(Self { file: OpenOptions::new().create(true).append(true).open(path)? })
+    }
+
+    /// Append one record and flush so a later kill cannot lose it. The
+    /// line is written with a single `write_all`, so a record is either
+    /// fully buffered by the OS or identifiable as the torn tail.
+    pub fn write(&mut self, record: &Json) -> std::io::Result<()> {
+        let mut line = record.render();
+        line.push('\n');
+        self.file.write_all(line.as_bytes())?;
+        self.file.flush()
+    }
+
+    /// Write a deliberately torn record prefix *without* the newline and
+    /// stop — test/fault-injection hook simulating a process killed
+    /// mid-write. The prefix is clipped to half the record so it can
+    /// never parse as a complete document.
+    pub fn write_torn(&mut self, record: &Json) -> std::io::Result<()> {
+        let line = record.render();
+        let cut = line.len() / 2;
+        self.file.write_all(&line.as_bytes()[..cut])?;
+        self.file.flush()
+    }
+}
+
+/// A journal read back from disk.
+#[derive(Clone, Debug, Default)]
+pub struct JournalContents {
+    /// Every complete record, in file order.
+    pub records: Vec<Json>,
+    /// The unparseable final line, if the file ends mid-record (the
+    /// signature of a killed writer). Recovered, not fatal.
+    pub torn_tail: Option<String>,
+}
+
+/// Why a journal could not be read.
+#[derive(Debug)]
+pub enum JournalError {
+    /// Underlying file read failed.
+    Io(std::io::Error),
+    /// A line *before* the last failed to parse — external corruption,
+    /// not a mid-write kill.
+    CorruptLine {
+        /// 1-based line number.
+        line: usize,
+        /// What the parser objected to (or `None` for invalid UTF-8).
+        error: Option<JsonError>,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "cannot read journal: {e}"),
+            Self::CorruptLine { line, error: Some(e) } => {
+                write!(f, "journal line {line} is corrupt: {e}")
+            }
+            Self::CorruptLine { line, error: None } => {
+                write!(f, "journal line {line} is corrupt: invalid UTF-8")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+/// Read a journal back, recovering from a torn final line. Returns every
+/// complete record plus the torn tail, if any; empty files (and files of
+/// only blank lines) yield an empty record list.
+pub fn read_journal(path: &Path) -> Result<JournalContents, JournalError> {
+    let bytes = std::fs::read(path).map_err(JournalError::Io)?;
+    read_journal_bytes(&bytes)
+}
+
+/// [`read_journal`] over in-memory bytes (tests and fault injection).
+pub fn read_journal_bytes(bytes: &[u8]) -> Result<JournalContents, JournalError> {
+    let mut contents = JournalContents::default();
+    let lines: Vec<&[u8]> = bytes.split(|&b| b == b'\n').collect();
+    let last_nonempty = lines.iter().rposition(|l| !l.is_empty());
+    for (idx, raw) in lines.iter().enumerate() {
+        if raw.is_empty() {
+            continue;
+        }
+        let parsed = std::str::from_utf8(raw).ok().map(json::parse);
+        match parsed {
+            Some(Ok(record)) => contents.records.push(record),
+            Some(Err(_)) if Some(idx) == last_nonempty => {
+                contents.torn_tail = Some(String::from_utf8_lossy(raw).into_owned());
+            }
+            None if Some(idx) == last_nonempty => {
+                contents.torn_tail = Some(String::from_utf8_lossy(raw).into_owned());
+            }
+            Some(Err(e)) => {
+                return Err(JournalError::CorruptLine { line: idx + 1, error: Some(e) })
+            }
+            None => return Err(JournalError::CorruptLine { line: idx + 1, error: None }),
+        }
+    }
+    Ok(contents)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("cachegraph-obs-journal-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(name)
+    }
+
+    fn record(id: &str, n: u64) -> Json {
+        Json::obj().field("id", id).field("n", n)
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let path = tmp("roundtrip.jsonl");
+        let mut w = JournalWriter::create(&path).expect("create");
+        w.write(&record("a", 1)).expect("write");
+        w.write(&record("b", 2)).expect("write");
+        let back = read_journal(&path).expect("read");
+        assert_eq!(back.records.len(), 2);
+        assert!(back.torn_tail.is_none());
+        assert_eq!(back.records[1].get("id").and_then(Json::as_str), Some("b"));
+    }
+
+    #[test]
+    fn append_preserves_existing_records() {
+        let path = tmp("append.jsonl");
+        JournalWriter::create(&path).expect("create").write(&record("a", 1)).expect("write");
+        JournalWriter::append(&path).expect("append").write(&record("b", 2)).expect("write");
+        assert_eq!(read_journal(&path).expect("read").records.len(), 2);
+    }
+
+    #[test]
+    fn torn_final_line_is_recovered_not_fatal() {
+        let path = tmp("torn.jsonl");
+        let mut w = JournalWriter::create(&path).expect("create");
+        w.write(&record("a", 1)).expect("write");
+        w.write_torn(&record("b", 2)).expect("torn write");
+        let back = read_journal(&path).expect("read survives torn tail");
+        assert_eq!(back.records.len(), 1, "only the complete record survives");
+        let tail = back.torn_tail.expect("torn tail reported");
+        assert!(tail.starts_with('{') && json::parse(&tail).is_err());
+    }
+
+    #[test]
+    fn corrupt_middle_line_is_an_error() {
+        let bytes = b"{\"id\":\"a\"}\nnot json at all\n{\"id\":\"b\"}\n";
+        match read_journal_bytes(bytes) {
+            Err(JournalError::CorruptLine { line: 2, .. }) => {}
+            other => unreachable!("expected corrupt-line error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_utf8_tail_is_recovered_midfile_is_error() {
+        let mut tail = b"{\"id\":\"a\"}\n".to_vec();
+        tail.extend_from_slice(&[0xFF, 0xFE, 0x80]);
+        let back = read_journal_bytes(&tail).expect("invalid UTF-8 tail recovers");
+        assert_eq!(back.records.len(), 1);
+        assert!(back.torn_tail.is_some());
+
+        let mut mid = b"{\"id\":\"a\"}\n".to_vec();
+        mid.extend_from_slice(&[0xFF, 0xFE, 0x80]);
+        mid.extend_from_slice(b"\n{\"id\":\"b\"}\n");
+        assert!(matches!(
+            read_journal_bytes(&mid),
+            Err(JournalError::CorruptLine { line: 2, error: None })
+        ));
+    }
+
+    #[test]
+    fn empty_and_blank_files_read_as_empty() {
+        assert!(read_journal_bytes(b"").expect("empty").records.is_empty());
+        let blank = read_journal_bytes(b"\n\n").expect("blank");
+        assert!(blank.records.is_empty() && blank.torn_tail.is_none());
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(matches!(
+            read_journal(&tmp("does-not-exist.jsonl")),
+            Err(JournalError::Io(_))
+        ));
+    }
+}

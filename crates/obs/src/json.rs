@@ -262,9 +262,15 @@ impl fmt::Display for JsonError {
 
 impl std::error::Error for JsonError {}
 
+/// Maximum container nesting the parser accepts. Reports nest a handful
+/// of levels; anything deeper is hostile or corrupt input, and a hard cap
+/// keeps recursion bounded (a malicious `[[[[…` must return an error, not
+/// exhaust the stack).
+pub const MAX_DEPTH: usize = 128;
+
 /// Parse a complete JSON document (trailing whitespace allowed).
 pub fn parse(input: &str) -> Result<Json, JsonError> {
-    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0, depth: 0 };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
@@ -277,11 +283,21 @@ pub fn parse(input: &str) -> Result<Json, JsonError> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
     fn err(&self, message: &str) -> JsonError {
         JsonError { message: message.to_string(), at: self.pos }
+    }
+
+    /// Enter one container level; errors beyond [`MAX_DEPTH`].
+    fn descend(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err("nesting deeper than MAX_DEPTH"));
+        }
+        Ok(())
     }
 
     fn peek(&self) -> Option<u8> {
@@ -327,11 +343,13 @@ impl Parser<'_> {
     }
 
     fn array(&mut self) -> Result<Json, JsonError> {
+        self.descend()?;
         self.eat(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -342,6 +360,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(self.err("expected ',' or ']'")),
@@ -350,11 +369,13 @@ impl Parser<'_> {
     }
 
     fn object(&mut self) -> Result<Json, JsonError> {
+        self.descend()?;
         self.eat(b'{')?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(fields));
         }
         loop {
@@ -370,6 +391,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(fields));
                 }
                 _ => return Err(self.err("expected ',' or '}'")),
@@ -538,6 +560,26 @@ mod tests {
         assert_eq!(Json::Int(-2), Json::Float(-2.0));
         assert_ne!(Json::UInt(5), Json::Float(5.5));
         assert_ne!(Json::UInt(5), Json::Str("5".into()));
+    }
+
+    #[test]
+    fn nesting_is_bounded() {
+        // One level under the cap parses; past the cap errors instead of
+        // recursing without bound.
+        let ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse(&ok).is_ok());
+        for deep in [
+            "[".repeat(MAX_DEPTH + 1),
+            "[".repeat(1_000_000),
+            "{\"a\":".repeat(200_000),
+            format!("{}1{}", "[".repeat(MAX_DEPTH + 1), "]".repeat(MAX_DEPTH + 1)),
+        ] {
+            let err = parse(&deep).expect_err("over-deep input must fail");
+            assert!(
+                err.message.contains("MAX_DEPTH") || err.message.contains("unexpected"),
+                "{err}"
+            );
+        }
     }
 
     #[test]

@@ -29,12 +29,14 @@
 //! ```
 
 pub mod compare;
+pub mod journal;
 pub mod json;
 pub mod registry;
 pub mod report;
 pub mod span;
 
 pub use compare::{compare_reports, Delta, DEFAULT_THRESHOLD};
+pub use journal::{read_journal, JournalContents, JournalError, JournalWriter};
 pub use json::{parse as parse_json, Json, JsonError};
 pub use registry::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot};
 pub use report::{Report, ReportError, SCHEMA_VERSION, TOOL_NAME};

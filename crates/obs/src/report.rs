@@ -16,7 +16,15 @@ use crate::json::{self, Json, JsonError};
 use crate::registry::Snapshot;
 
 /// Version of the report document layout. Bump on breaking changes.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// * v1 — initial schema: `metrics` / `cache_sims` / `experiments`
+///   (experiment sections were bare `{id, tables, dur_ns}` objects).
+/// * v2 — supervised runs: every experiment section carries an
+///   `outcome` field (`completed` / `failed` / `timed_out` / `skipped`)
+///   with outcome-specific fields (`reason`, `limit_secs`, `restored`)
+///   and its payload under `data`; the same objects double as journal
+///   checkpoint records (see `cachegraph-bench`'s supervisor).
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Name stamped into every report's `tool` field.
 pub const TOOL_NAME: &str = "cachegraph";

@@ -1,0 +1,162 @@
+//! Seeded byte-level corruption for fault-injection tests.
+//!
+//! The robustness suites (obs JSON hardening, cache-sim trace
+//! corruption, supervisor journal recovery) all need the same three
+//! primitives — truncate a buffer, flip a bit, splice garbage — driven
+//! from a deterministic stream so a failing mutation reproduces from its
+//! seed alone. Centralizing them here keeps every suite on the one
+//! workspace PRNG instead of five hand-rolled LCGs.
+//!
+//! Nothing here knows about trace or JSON framing; callers decide what a
+//! byte means. The operations never panic: empty inputs pass through
+//! unchanged.
+
+use crate::Xoshiro256;
+
+/// One mutation applied to a byte buffer (reported back to the caller so
+/// a failing case can name what was done to the input).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Mutation {
+    /// Buffer cut to `len` bytes.
+    Truncate {
+        /// Resulting length.
+        len: usize,
+    },
+    /// Bit `bit` of byte `at` inverted.
+    BitFlip {
+        /// Byte offset.
+        at: usize,
+        /// Bit index, 0 = LSB.
+        bit: u8,
+    },
+    /// Byte at `at` overwritten with `value`.
+    Overwrite {
+        /// Byte offset.
+        at: usize,
+        /// New value.
+        value: u8,
+    },
+    /// `value` inserted before offset `at`.
+    Insert {
+        /// Byte offset.
+        at: usize,
+        /// Inserted value.
+        value: u8,
+    },
+}
+
+/// Truncate `bytes` to `len` (no-op when already shorter).
+pub fn truncate_at(bytes: &mut Vec<u8>, len: usize) {
+    bytes.truncate(len);
+}
+
+/// Flip bit `bit` (0–7) of the byte at `at`; no-op out of range.
+pub fn bit_flip(bytes: &mut [u8], at: usize, bit: u8) {
+    if let Some(b) = bytes.get_mut(at) {
+        *b ^= 1 << (bit & 7);
+    }
+}
+
+/// A seeded source of random mutations.
+#[derive(Clone, Debug)]
+pub struct Corruptor {
+    rng: Xoshiro256,
+}
+
+impl Corruptor {
+    /// Deterministic corruptor for `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { rng: Xoshiro256::seed_from_u64(seed) }
+    }
+
+    /// Apply one random mutation to `bytes` and report it. Empty buffers
+    /// only ever grow by insertion.
+    pub fn mutate(&mut self, bytes: &mut Vec<u8>) -> Mutation {
+        let choice = if bytes.is_empty() { 3 } else { self.rng.gen_range(0u32..4) };
+        match choice {
+            0 => {
+                let len = self.rng.gen_range(0..bytes.len());
+                truncate_at(bytes, len);
+                Mutation::Truncate { len }
+            }
+            1 => {
+                let at = self.rng.gen_range(0..bytes.len());
+                let bit = self.rng.gen_range(0u8..8);
+                bit_flip(bytes, at, bit);
+                Mutation::BitFlip { at, bit }
+            }
+            2 => {
+                let at = self.rng.gen_range(0..bytes.len());
+                let value = self.rng.gen_range(0u8..=255);
+                bytes[at] = value;
+                Mutation::Overwrite { at, value }
+            }
+            _ => {
+                let at = self.rng.gen_range(0..=bytes.len());
+                let value = self.rng.gen_range(0u8..=255);
+                bytes.insert(at, value);
+                Mutation::Insert { at, value }
+            }
+        }
+    }
+
+    /// Apply `count` random mutations, returning what was done.
+    pub fn mutate_n(&mut self, bytes: &mut Vec<u8>, count: usize) -> Vec<Mutation> {
+        (0..count).map(|_| self.mutate(bytes)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let base = b"the quick brown fox".to_vec();
+        let (mut a, mut b) = (base.clone(), base.clone());
+        let ma = Corruptor::new(9).mutate_n(&mut a, 8);
+        let mb = Corruptor::new(9).mutate_n(&mut b, 8);
+        assert_eq!(ma, mb);
+        assert_eq!(a, b);
+        let mut c = base.clone();
+        Corruptor::new(10).mutate_n(&mut c, 8);
+        assert_ne!(a, c, "different seeds should diverge");
+    }
+
+    #[test]
+    fn primitives_are_bounds_safe() {
+        let mut v = vec![0xFFu8; 4];
+        bit_flip(&mut v, 99, 3); // out of range: no-op
+        assert_eq!(v, vec![0xFF; 4]);
+        bit_flip(&mut v, 1, 0);
+        assert_eq!(v[1], 0xFE);
+        truncate_at(&mut v, 100); // longer than buffer: no-op
+        assert_eq!(v.len(), 4);
+        truncate_at(&mut v, 1);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn empty_buffer_only_grows() {
+        let mut v = Vec::new();
+        let m = Corruptor::new(1).mutate(&mut v);
+        assert!(matches!(m, Mutation::Insert { .. }));
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn mutations_eventually_cover_every_kind() {
+        let mut seen = [false; 4];
+        let mut c = Corruptor::new(42);
+        for _ in 0..200 {
+            let mut v = vec![1u8, 2, 3, 4, 5, 6, 7, 8];
+            match c.mutate(&mut v) {
+                Mutation::Truncate { .. } => seen[0] = true,
+                Mutation::BitFlip { .. } => seen[1] = true,
+                Mutation::Overwrite { .. } => seen[2] = true,
+                Mutation::Insert { .. } => seen[3] = true,
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "all mutation kinds should appear: {seen:?}");
+    }
+}

@@ -11,6 +11,12 @@
 //!
 //! Not cryptographically secure; do not use for anything but workload
 //! generation and tests.
+//!
+//! The [`corrupt`] module builds on the generator: seeded byte-buffer
+//! mutation (truncate / bit-flip / overwrite / insert) shared by the
+//! fault-injection test suites across the workspace.
+
+pub mod corrupt;
 
 use std::ops::{Range, RangeInclusive};
 

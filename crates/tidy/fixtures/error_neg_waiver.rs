@@ -1,0 +1,4 @@
+pub fn fault_injection_kill() {
+    // tidy: allow(error-policy) -- simulates a mid-run kill for the resume tests
+    std::process::exit(124);
+}

@@ -1,0 +1,5 @@
+use std::process;
+
+pub fn die() {
+    process::abort();
+}

@@ -1,0 +1,3 @@
+pub fn bail(code: i32) {
+    std::process::exit(code);
+}

@@ -11,6 +11,9 @@
 //!   `// SAFETY:` (or `/// # Safety`) justification;
 //! * [`rules::panic_policy`] — no `unwrap()` / `expect()` / `panic!` in
 //!   library crates outside `#[cfg(test)]` code;
+//! * [`rules::error_policy`] — no `std::process::exit` / `abort` outside
+//!   binary entry points; library failures surface as errors so the
+//!   supervised runner can record them;
 //! * [`rules::cast_soundness`] — no bare truncating `as` casts in the
 //!   cache simulator's address/set-index arithmetic;
 //! * [`rules::kernel_purity`] — files opted in via a `// tidy: kernel`
@@ -120,6 +123,7 @@ pub fn run_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
     for sf in &sources {
         diags.extend(rules::safety_comments::check(sf));
         diags.extend(rules::panic_policy::check(sf));
+        diags.extend(rules::error_policy::check(sf));
         diags.extend(rules::cast_soundness::check(sf));
         diags.extend(rules::kernel_purity::check(sf));
         diags.extend(rules::obs_purity::check(sf));

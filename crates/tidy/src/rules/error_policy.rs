@@ -1,0 +1,57 @@
+//! `error-policy`: library code must not call `std::process::exit` or
+//! `std::process::abort`.
+//!
+//! A process-wide exit inside a library tears through every caller on
+//! the stack: buffered journal lines are lost, `Drop` impls never run,
+//! and the supervised experiment runner cannot turn the failure into a
+//! structured outcome. Library code returns an error and lets the
+//! binary's single exit path decide the process's fate. Binary entry
+//! points (`src/bin/`, `main.rs`) are exempt, as are tests, benches and
+//! examples; deliberate sites (e.g. the fault-injection kill hook that
+//! *simulates* a mid-run death) carry a `// tidy: allow(error-policy)`
+//! waiver.
+
+use crate::{Diagnostic, SourceFile};
+
+pub const RULE: &str = "error-policy";
+
+/// Forbidden call patterns (searched in masked code, so literals and
+/// comments never match).
+const FORBIDDEN: &[(&str, &str)] = &[
+    ("process::exit(", "library code must not exit the process; return an error"),
+    ("process::abort(", "library code must not abort the process; return an error"),
+];
+
+/// Is this file a binary entry point (`src/bin/...` is already covered
+/// by the harness flag; `main.rs` anywhere is the other spelling)?
+fn is_bin_entry(sf: &SourceFile) -> bool {
+    sf.rel_path.file_name().and_then(|n| n.to_str()) == Some("main.rs")
+}
+
+pub fn check(sf: &SourceFile) -> Vec<Diagnostic> {
+    if sf.is_test_or_harness || is_bin_entry(sf) {
+        return Vec::new();
+    }
+    let in_test = super::cfg_test_lines(sf);
+    let mut diags = Vec::new();
+    for (idx, line) in sf.lexed.masked.lines().enumerate() {
+        let line_no = idx + 1;
+        if in_test.get(line_no).copied().unwrap_or(false) {
+            continue;
+        }
+        for (pat, hint) in FORBIDDEN {
+            if line.contains(pat) {
+                if sf.waived(RULE, line_no) {
+                    continue;
+                }
+                diags.push(Diagnostic {
+                    path: sf.rel_path.clone(),
+                    line: line_no,
+                    rule: RULE,
+                    message: format!("`{pat}` in library code: {hint}"),
+                });
+            }
+        }
+    }
+    diags
+}

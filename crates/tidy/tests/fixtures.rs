@@ -99,6 +99,54 @@ fn panic_exempts_bench_crate_and_test_harness_paths() {
     assert!(rules::panic_policy::check(&test).is_empty());
 }
 
+// ---- error-policy ----------------------------------------------------
+
+#[test]
+fn error_policy_flags_process_exit() {
+    let sf = lib_file(include_str!("../fixtures/error_pos_exit.rs"));
+    let diags = rules::error_policy::check(&sf);
+    assert_eq!(rules_of(&diags), ["error-policy"]);
+    assert_eq!(diags[0].line, 2);
+}
+
+#[test]
+fn error_policy_flags_process_abort() {
+    let sf = lib_file(include_str!("../fixtures/error_pos_abort.rs"));
+    assert_eq!(rules::error_policy::check(&sf).len(), 1);
+}
+
+#[test]
+fn error_policy_applies_to_bench_and_cli_library_code() {
+    // Unlike panic-policy, the bench/cli *library* halves are not
+    // exempt — only their binary entry points are.
+    let src = include_str!("../fixtures/error_pos_exit.rs");
+    let bench = SourceFile::new(PathBuf::from("crates/bench/src/fixture.rs"), src.to_string());
+    assert_eq!(rules::error_policy::check(&bench).len(), 1);
+    let cli = SourceFile::new(PathBuf::from("crates/cli/src/fixture.rs"), src.to_string());
+    assert_eq!(rules::error_policy::check(&cli).len(), 1);
+}
+
+#[test]
+fn error_policy_exempts_bin_entry_points() {
+    let src = include_str!("../fixtures/error_pos_exit.rs");
+    let bin = SourceFile::new(PathBuf::from("crates/cli/src/bin/fixture.rs"), src.to_string());
+    assert!(rules::error_policy::check(&bin).is_empty());
+    let main = SourceFile::new(PathBuf::from("crates/tidy/src/main.rs"), src.to_string());
+    assert!(rules::error_policy::check(&main).is_empty());
+}
+
+#[test]
+fn error_policy_honors_waiver() {
+    let sf = lib_file(include_str!("../fixtures/error_neg_waiver.rs"));
+    assert!(rules::error_policy::check(&sf).is_empty());
+}
+
+#[test]
+fn error_policy_ignores_comments_and_error_returns() {
+    let sf = lib_file(include_str!("../fixtures/error_neg_clean.rs"));
+    assert!(rules::error_policy::check(&sf).is_empty());
+}
+
 // ---- cast-soundness --------------------------------------------------
 
 #[test]
