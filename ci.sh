@@ -20,7 +20,7 @@ mkdir -p target/ci-metrics
 cargo run -q --release -p cachegraph-cli --bin cachegraph -- \
   repro --quick --metrics target/ci-metrics/repro_quick.json \
   > target/ci-metrics/repro_quick.txt
-grep -q '"schema_version":2' target/ci-metrics/repro_quick.json
+grep -q '"schema_version":3' target/ci-metrics/repro_quick.json
 
 echo "==> resume smoke (kill mid-run, resume from journal)"
 rm -f target/ci-metrics/resume.jsonl
@@ -37,7 +37,7 @@ cargo run -q --release -p cachegraph-cli --bin cachegraph -- \
   repro --quick --resume target/ci-metrics/resume.jsonl \
   --metrics target/ci-metrics/resume_merged.json \
   > target/ci-metrics/resume_resumed.txt
-grep -q '"schema_version":2' target/ci-metrics/resume_merged.json
+grep -q '"schema_version":3' target/ci-metrics/resume_merged.json
 grep -q 'restored from journal' target/ci-metrics/resume_resumed.txt
 cargo run -q --release -p cachegraph-cli --bin cachegraph -- \
   compare target/ci-metrics/resume_merged.json target/ci-metrics/repro_quick.json \

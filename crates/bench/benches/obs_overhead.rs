@@ -1,19 +1,27 @@
 //! Instrumentation overhead check: tiled FW through the observed entry
-//! point with a *disabled* registry versus the plain entry point.
+//! point with a *disabled* registry versus the plain entry point, and
+//! the cache simulation with versus without the attribution profiler.
 //!
 //! The observed driver is the same monomorphized code plus a branch per
 //! tile-level event (never per cell), so the two runs should be within
-//! measurement noise (<2%, see EXPERIMENTS.md). Run with:
+//! measurement noise (<2%, see EXPERIMENTS.md). The same contract holds
+//! for the simulator: with no profiler attached every attribution hook
+//! is one `Option` branch, so `sim_no_profiler` must stay within noise
+//! of the pre-profiler simulation path; `sim_profiler_attached` prices
+//! the enabled path (one relaxed atomic load per access plus per-level
+//! stat deltas). Run with:
 //!
 //! ```text
 //! cargo bench -p cachegraph-bench --bench obs_overhead
 //! ```
 
 use cachegraph_bench::{bench_report, black_box};
+use cachegraph_fw::instrumented::{sim_tiled_bdl, sim_tiled_bdl_profiled};
 use cachegraph_fw::{fw_tiled, fw_tiled_observed, FwMatrix, INF};
 use cachegraph_layout::BlockLayout;
 use cachegraph_obs::Registry;
 use cachegraph_rng::StdRng;
+use cachegraph_sim::profiles;
 
 fn random_costs(n: usize, density: f64, seed: u64) -> Vec<u32> {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -54,5 +62,23 @@ fn main() {
         let mut m = FwMatrix::from_costs(BlockLayout::new(n, b), &costs);
         fw_tiled_observed(&mut m, b, &enabled);
         black_box(m.dist(0, n - 1));
+    });
+
+    // Simulation path: the no-profiler run exercises exactly the code the
+    // simulator ran before attribution existed (profiler == None, one
+    // branch per hook); the attached run prices full attribution with a
+    // tile scope per block iteration and a sampled timeline.
+    let sn = 96;
+    let sb = 16;
+    let scosts = random_costs(sn, 0.3, 43);
+    bench_report("obs_overhead", "sim_no_profiler", samples, || {
+        let r = sim_tiled_bdl(&scosts, sn, sb, profiles::simplescalar());
+        black_box(r.stats.levels[0].misses);
+    });
+
+    let disabled = Registry::disabled();
+    bench_report("obs_overhead", "sim_profiler_attached", samples, || {
+        let r = sim_tiled_bdl_profiled(&scosts, sn, sb, profiles::simplescalar(), 4096, &disabled);
+        black_box(r.profile.sum_self().levels[0].misses);
     });
 }

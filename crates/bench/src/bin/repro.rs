@@ -21,7 +21,12 @@
 //! ([`cachegraph_bench::supervisor`]): a panic or deadline overrun
 //! becomes a structured outcome in the report instead of killing the
 //! run, and each finished experiment is checkpointed to the journal so
-//! an interrupted `--full` sweep resumes where it died.
+//! an interrupted `--full` sweep resumes where it died. The long FW
+//! miss sweeps (`table1`, `table3`) additionally checkpoint per table
+//! cell — one unit per problem size, with ids like `table1[n=1024]` —
+//! so a resumed `--full` run restarts mid-table instead of repeating
+//! hours of completed simulation; the per-cell rows are re-assembled
+//! into the full paper table at the end of the run.
 //!
 //! Exit codes: 0 — at least one experiment completed (all of them under
 //! `--strict`); 1 — every experiment failed, or strict mode saw a
@@ -36,7 +41,7 @@ use std::path::PathBuf;
 use std::time::Duration;
 
 use cachegraph_bench::supervisor::{
-    run_supervised, FaultPlan, SupervisorConfig, Unit, UnitOutput,
+    run_supervised, ExperimentOutcome, FaultPlan, SupervisorConfig, Unit, UnitOutput,
 };
 use cachegraph_bench::{experiments, Scale};
 use cachegraph_obs::{Json, Report};
@@ -51,6 +56,55 @@ fn usage_error(msg: &str) -> ! {
     eprintln!("{USAGE}");
     // tidy: allow(error-policy) -- bin entry point, usage-error exit
     std::process::exit(2);
+}
+
+/// The supervised units for one experiment id. The Table 1 / Table 3
+/// miss sweeps expand into one unit per problem size so each cell
+/// checkpoints separately; every other experiment is a single unit.
+fn units_for(id: &str, scale: Scale) -> Vec<Unit> {
+    match id {
+        "table1" => experiments::fw_sweep_sizes(scale)
+            .into_iter()
+            .map(|n| fw_cell_unit("table1", n))
+            .collect(),
+        "table3" => experiments::fw_sweep_sizes(scale)
+            .into_iter()
+            .map(|n| fw_cell_unit("table3", n))
+            .collect(),
+        other => vec![whole_unit(other, scale)],
+    }
+}
+
+fn whole_unit(id: &str, scale: Scale) -> Unit {
+    let id_owned = id.to_string();
+    Unit::new(id, move || match experiments::run(&id_owned, scale) {
+        Some(tables) => {
+            let text = tables.iter().map(|t| format!("{t}\n")).collect::<Vec<_>>().concat();
+            let data = Json::obj()
+                .field("tables", Json::Arr(tables.iter().map(|t| t.to_json()).collect()));
+            Ok(UnitOutput { data, text })
+        }
+        None => Err(format!("experiment '{id_owned}' vanished from the registry")),
+    })
+}
+
+/// One (table, N) cell of an FW miss sweep as its own supervised unit.
+/// The checkpoint payload is the finished table row, keyed by N so the
+/// assembled table stays in size order across restored and fresh cells.
+fn fw_cell_unit(table: &'static str, n: usize) -> Unit {
+    let unit_id = format!("{table}[n={n}]");
+    let text_id = unit_id.clone();
+    Unit::new(&unit_id, move || {
+        let row = match table {
+            "table1" => experiments::table1_cell(n),
+            _ => experiments::table3_cell(n),
+        };
+        let data = Json::obj()
+            .field("table", table)
+            .field("n", n as u64)
+            .field("row", Json::Arr(row.iter().map(|c| Json::from(c.as_str())).collect()));
+        Ok(UnitOutput { data, text: format!("{text_id}: {}\n", row.join(" | ")) })
+    })
 }
 
 fn main() {
@@ -135,24 +189,7 @@ fn main() {
         }
     }
 
-    let units: Vec<Unit> = ids
-        .iter()
-        .map(|id| {
-            let id_owned = id.clone();
-            Unit::new(id, move || match experiments::run(&id_owned, scale) {
-                Some(tables) => {
-                    let text =
-                        tables.iter().map(|t| format!("{t}\n")).collect::<Vec<_>>().concat();
-                    let data = Json::obj().field(
-                        "tables",
-                        Json::Arr(tables.iter().map(|t| t.to_json()).collect()),
-                    );
-                    Ok(UnitOutput { data, text })
-                }
-                None => Err(format!("experiment '{id_owned}' vanished from the registry")),
-            })
-        })
-        .collect();
+    let units: Vec<Unit> = ids.iter().flat_map(|id| units_for(id, scale)).collect();
 
     let mut stdout = std::io::stdout();
     let summary = match run_supervised(units, &config, &mut stdout) {
@@ -179,6 +216,49 @@ fn main() {
         }
         combined.push_experiment(section);
     }
+
+    // Re-assemble the split FW sweeps into their paper tables, from
+    // restored and fresh cells alike. A partially-completed sweep
+    // yields a partial table; the missing rows re-run on resume.
+    for table in ["table1", "table3"] {
+        let prefix = format!("{table}[");
+        let mut rows: Vec<(u64, Vec<String>)> = summary
+            .outcomes
+            .iter()
+            .filter(|(id, _)| id.starts_with(&prefix))
+            .filter_map(|(_, outcome)| match outcome {
+                ExperimentOutcome::Completed { data, .. } => {
+                    let n = data.get("n").and_then(Json::as_u64)?;
+                    let row = data
+                        .get("row")?
+                        .as_arr()?
+                        .iter()
+                        .map(|c| c.as_str().map(str::to_string))
+                        .collect::<Option<Vec<_>>>()?;
+                    Some((n, row))
+                }
+                _ => None,
+            })
+            .collect();
+        if rows.is_empty() {
+            continue;
+        }
+        rows.sort_by_key(|(n, _)| *n);
+        let t = match table {
+            "table1" => {
+                experiments::table1_assemble(rows.into_iter().map(|(_, r)| r).collect())
+            }
+            _ => experiments::table3_assemble(rows.into_iter().map(|(_, r)| r).collect()),
+        };
+        println!("\n{t}");
+        combined.push_experiment(
+            Json::obj()
+                .field("id", table)
+                .field("outcome", "assembled")
+                .field("data", Json::obj().field("tables", Json::Arr(vec![t.to_json()]))),
+        );
+    }
+
     if let Some(path) = &metrics {
         if let Err(e) = combined.save(path) {
             eprintln!("repro: cannot write {}: {e}", path.display());

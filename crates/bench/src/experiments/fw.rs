@@ -27,60 +27,88 @@ fn fmt_m(x: u64) -> String {
     format!("{:.3}", x as f64 / 1e6)
 }
 
-/// Table 1: simulated L1/L2 misses, recursive implementation vs baseline.
-pub fn table1(scale: Scale) -> Table {
-    let sizes = scale.pick(vec![256, 512], vec![1024, 2048]);
+/// The problem sizes (table cells) of the Table 1 / Table 3 miss
+/// sweeps at this scale. Exposed so the `repro` binary can supervise
+/// one unit per cell — at full scale each N=2048 simulation runs for
+/// hours, and a resumed run must restart mid-table, not at the top.
+pub fn fw_sweep_sizes(scale: Scale) -> Vec<usize> {
+    scale.pick(vec![256, 512], vec![1024, 2048])
+}
+
+/// One Table 1 row: baseline vs recursive (Z-Morton) simulated misses
+/// at a single problem size.
+pub fn table1_cell(n: usize) -> Vec<String> {
+    let costs = random_cost_matrix(n, 0.3, 100, n as u64);
+    let base = sim_iterative(&costs, n, profiles::simplescalar());
+    let rec = sim_recursive_morton(&costs, n, 32.min(n), profiles::simplescalar());
+    assert_eq!(base.dist, rec.dist, "instrumented runs must agree");
+    let (b1, r1) = (base.stats.levels[0].misses, rec.stats.levels[0].misses);
+    let (b2, r2) = (base.stats.levels[1].misses, rec.stats.levels[1].misses);
+    vec![
+        n.to_string(),
+        fmt_m(b1),
+        fmt_m(r1),
+        format!("{:.2}x", b1 as f64 / r1.max(1) as f64),
+        fmt_m(b2),
+        fmt_m(r2),
+        format!("{:.2}x", b2 as f64 / r2.max(1) as f64),
+    ]
+}
+
+/// Assemble Table 1 from per-size rows (see [`table1_cell`]).
+pub fn table1_assemble(rows: Vec<Vec<String>>) -> Table {
     let mut t = Table::new(
         "Table 1: FWR vs baseline — simulated cache misses (millions)",
         &["N", "L1 base", "L1 FWR", "L1 ratio", "L2 base", "L2 FWR", "L2 ratio"],
     );
-    for n in sizes {
-        let costs = random_cost_matrix(n, 0.3, 100, n as u64);
-        let base = sim_iterative(&costs, n, profiles::simplescalar());
-        let rec = sim_recursive_morton(&costs, n, 32.min(n), profiles::simplescalar());
-        assert_eq!(base.dist, rec.dist, "instrumented runs must agree");
-        let (b1, r1) = (base.stats.levels[0].misses, rec.stats.levels[0].misses);
-        let (b2, r2) = (base.stats.levels[1].misses, rec.stats.levels[1].misses);
-        t.row(vec![
-            n.to_string(),
-            fmt_m(b1),
-            fmt_m(r1),
-            format!("{:.2}x", b1 as f64 / r1.max(1) as f64),
-            fmt_m(b2),
-            fmt_m(r2),
-            format!("{:.2}x", b2 as f64 / r2.max(1) as f64),
-        ]);
+    for row in rows {
+        t.row(row);
     }
     t.note("paper (SimpleScalar, N=1024/2048): ~1.3-1.5x fewer L1 misses, ~2x fewer L2 misses");
     t
 }
 
-/// Table 3: simulated misses, tiled implementation vs baseline.
-pub fn table3(scale: Scale) -> Table {
-    let sizes = scale.pick(vec![256, 512], vec![1024, 2048]);
+/// Table 1: simulated L1/L2 misses, recursive implementation vs baseline.
+pub fn table1(scale: Scale) -> Table {
+    table1_assemble(fw_sweep_sizes(scale).into_iter().map(table1_cell).collect())
+}
+
+/// One Table 3 row: baseline vs tiled (BDL) simulated misses at a
+/// single problem size.
+pub fn table3_cell(n: usize) -> Vec<String> {
+    let costs = random_cost_matrix(n, 0.3, 100, n as u64);
+    let base = sim_iterative(&costs, n, profiles::simplescalar());
+    let tiled = sim_tiled_bdl(&costs, n, 32.min(n), profiles::simplescalar());
+    assert_eq!(base.dist, tiled.dist, "instrumented runs must agree");
+    let (b1, t1) = (base.stats.levels[0].misses, tiled.stats.levels[0].misses);
+    let (b2, t2) = (base.stats.levels[1].misses, tiled.stats.levels[1].misses);
+    vec![
+        n.to_string(),
+        fmt_m(b1),
+        fmt_m(t1),
+        format!("{:.2}x", b1 as f64 / t1.max(1) as f64),
+        fmt_m(b2),
+        fmt_m(t2),
+        format!("{:.2}x", b2 as f64 / t2.max(1) as f64),
+    ]
+}
+
+/// Assemble Table 3 from per-size rows (see [`table3_cell`]).
+pub fn table3_assemble(rows: Vec<Vec<String>>) -> Table {
     let mut t = Table::new(
         "Table 3: tiled (BDL) vs baseline — simulated cache misses (millions)",
         &["N", "L1 base", "L1 tiled", "L1 ratio", "L2 base", "L2 tiled", "L2 ratio"],
     );
-    for n in sizes {
-        let costs = random_cost_matrix(n, 0.3, 100, n as u64);
-        let base = sim_iterative(&costs, n, profiles::simplescalar());
-        let tiled = sim_tiled_bdl(&costs, n, 32.min(n), profiles::simplescalar());
-        assert_eq!(base.dist, tiled.dist, "instrumented runs must agree");
-        let (b1, t1) = (base.stats.levels[0].misses, tiled.stats.levels[0].misses);
-        let (b2, t2) = (base.stats.levels[1].misses, tiled.stats.levels[1].misses);
-        t.row(vec![
-            n.to_string(),
-            fmt_m(b1),
-            fmt_m(t1),
-            format!("{:.2}x", b1 as f64 / t1.max(1) as f64),
-            fmt_m(b2),
-            fmt_m(t2),
-            format!("{:.2}x", b2 as f64 / t2.max(1) as f64),
-        ]);
+    for row in rows {
+        t.row(row);
     }
     t.note("paper: 30% fewer L1 misses, 2x fewer L2 misses (N=1024/2048)");
     t
+}
+
+/// Table 3: simulated misses, tiled implementation vs baseline.
+pub fn table3(scale: Scale) -> Table {
+    table3_assemble(fw_sweep_sizes(scale).into_iter().map(table3_cell).collect())
 }
 
 /// Table 2: tiled row-wise (L1-sized tile, per [43]) vs tiled BDL

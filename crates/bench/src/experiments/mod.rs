@@ -5,7 +5,10 @@ mod fw;
 mod matching;
 mod sssp;
 
-pub use fw::{basecase, fig10, fig11, fig14, layouts, machines, table1, table2, table3, table4_5, threecs, tilesweep};
+pub use fw::{
+    basecase, fig10, fig11, fig14, fw_sweep_sizes, layouts, machines, table1, table1_assemble,
+    table1_cell, table2, table3, table3_assemble, table3_cell, table4_5, threecs, tilesweep,
+};
 pub use matching::{fig17, fig18, fig19, parts, table8, worstcase};
 pub use sssp::{fig12, fig13, fig15, fig16, heaps, prefetch, table6, table7};
 

@@ -21,6 +21,29 @@ use std::collections::HashSet;
 use crate::cache::{AccessKind, SetAssocCache};
 use crate::config::CacheConfig;
 
+/// The class of a single miss (see the module docs for the scheme).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MissClass {
+    /// First-ever touch of the line.
+    Compulsory,
+    /// Missed in the fully-associative shadow too.
+    Capacity,
+    /// Hit in the shadow, missed in the real cache: placement's fault.
+    Conflict,
+}
+
+impl MissClass {
+    /// Short lowercase label (`compulsory` / `capacity` / `conflict`),
+    /// matching the report field names.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Compulsory => "compulsory",
+            Self::Capacity => "capacity",
+            Self::Conflict => "conflict",
+        }
+    }
+}
+
 /// Miss counts by class.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct MissClasses {
@@ -36,6 +59,32 @@ impl MissClasses {
     /// Total misses across the classes.
     pub fn total(&self) -> u64 {
         self.compulsory + self.capacity + self.conflict
+    }
+
+    /// Count one miss of `class`.
+    pub fn add(&mut self, class: MissClass) {
+        match class {
+            MissClass::Compulsory => self.compulsory += 1,
+            MissClass::Capacity => self.capacity += 1,
+            MissClass::Conflict => self.conflict += 1,
+        }
+    }
+
+    /// The class with the most misses (ties break toward compulsory,
+    /// then capacity); `None` when there were no misses at all.
+    pub fn dominant(&self) -> Option<MissClass> {
+        if self.total() == 0 {
+            return None;
+        }
+        let mut best = (MissClass::Compulsory, self.compulsory);
+        for (class, count) in
+            [(MissClass::Capacity, self.capacity), (MissClass::Conflict, self.conflict)]
+        {
+            if count > best.1 {
+                best = (class, count);
+            }
+        }
+        Some(best.0)
     }
 }
 
@@ -86,13 +135,14 @@ impl ClassifyingCache {
         if real_hit {
             return;
         }
-        if self.seen.insert(line_addr) {
-            self.classes.compulsory += 1;
+        let class = if self.seen.insert(line_addr) {
+            MissClass::Compulsory
         } else if !shadow_hit {
-            self.classes.capacity += 1;
+            MissClass::Capacity
         } else {
-            self.classes.conflict += 1;
-        }
+            MissClass::Conflict
+        };
+        self.classes.add(class);
     }
 
     /// The classification so far.
@@ -171,6 +221,20 @@ mod tests {
             c.access(a % 1024, 4, AccessKind::Read);
         }
         assert_eq!(c.classes().total(), c.real().stats().misses);
+    }
+
+    #[test]
+    fn dominant_class_picks_the_largest_bucket() {
+        let mut m = MissClasses::default();
+        assert_eq!(m.dominant(), None);
+        m.add(MissClass::Compulsory);
+        m.add(MissClass::Conflict);
+        m.add(MissClass::Conflict);
+        assert_eq!(m.dominant(), Some(MissClass::Conflict));
+        assert_eq!(m.dominant().map(|c| c.label()), Some("conflict"));
+        // Ties break toward the earlier class in the scheme's order.
+        m.add(MissClass::Compulsory);
+        assert_eq!(m.dominant(), Some(MissClass::Compulsory));
     }
 
     #[test]

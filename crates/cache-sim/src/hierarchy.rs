@@ -3,9 +3,12 @@
 
 use std::collections::HashSet;
 
+use cachegraph_obs::Registry;
+
 use crate::cache::{AccessKind, SetAssocCache};
-use crate::classify::MissClasses;
+use crate::classify::{MissClass, MissClasses};
 use crate::config::{CacheConfig, HierarchyConfig};
+use crate::profile::{CacheProfile, CacheProfiler, IntervalSampler, ScopeHandle};
 use crate::tlb::{Tlb, TlbStats};
 use crate::tracefile::TraceRecorder;
 
@@ -57,6 +60,7 @@ pub struct MemoryHierarchy {
     memory_lines_fetched: u64,
     classifier: Option<L1Classifier>,
     recorder: Option<TraceRecorder>,
+    profiler: Option<CacheProfiler>,
 }
 
 /// Shadow state for classifying L1 misses into the three Cs.
@@ -81,6 +85,7 @@ impl MemoryHierarchy {
             memory_lines_fetched: 0,
             classifier: None,
             recorder: None,
+            profiler: None,
         }
     }
 
@@ -93,6 +98,56 @@ impl MemoryHierarchy {
     /// Stop recording and return the captured trace, if any.
     pub fn take_trace(&mut self) -> Option<Vec<u8>> {
         self.recorder.take().map(TraceRecorder::finish)
+    }
+
+    /// Attach a span-scoped attribution profiler (see [`crate::profile`]).
+    ///
+    /// Every counter updated from here on is charged to the scope the
+    /// returned [`ScopeHandle`] has entered (or `"(unattributed)"`).
+    /// Replaces any profiler already attached. `label` names the run in
+    /// the resulting [`CacheProfile`] (and should match the run's
+    /// `cache_sims` report label).
+    pub fn attach_profiler(&mut self, label: &str) -> ScopeHandle {
+        self.attach_profiler_inner(label, None)
+    }
+
+    /// Like [`attach_profiler`](Self::attach_profiler), additionally
+    /// sampling a miss-rate timeline: every `interval` L1 accesses one
+    /// delta-encoded `TimelineRecord` is emitted through `registry`'s
+    /// JSONL sink (if attached) and retained in the profile.
+    pub fn attach_profiler_sampled(
+        &mut self,
+        label: &str,
+        interval: u64,
+        registry: &Registry,
+    ) -> ScopeHandle {
+        self.attach_profiler_inner(
+            label,
+            Some(IntervalSampler::new(label, interval, registry.clone())),
+        )
+    }
+
+    fn attach_profiler_inner(
+        &mut self,
+        label: &str,
+        sampler: Option<IntervalSampler>,
+    ) -> ScopeHandle {
+        let profiler = CacheProfiler::new(
+            label,
+            self.levels.len(),
+            self.tlb.is_some(),
+            self.classifier.is_some(),
+            sampler,
+        );
+        let handle = profiler.handle();
+        self.profiler = Some(profiler);
+        handle
+    }
+
+    /// Detach the profiler and freeze its profile, if one was attached.
+    pub fn take_profile(&mut self) -> Option<CacheProfile> {
+        let machine = self.name.clone();
+        self.profiler.take().map(|p| p.finish(&machine))
     }
 
     /// Like [`new`](Self::new), additionally classifying every L1 demand
@@ -133,12 +188,23 @@ impl MemoryHierarchy {
         if let Some(rec) = &mut self.recorder {
             rec.record(addr, size, kind);
         }
+        if let Some(p) = &mut self.profiler {
+            // The scope cannot change mid-access; one relaxed load here
+            // covers every hook below.
+            p.sync_scope();
+        }
         if let Some(tlb) = &mut self.tlb {
-            tlb.access(addr);
+            let hit = tlb.access(addr);
+            if let Some(p) = &mut self.profiler {
+                p.on_tlb(hit);
+            }
             let page = tlb.page_bytes() as u64;
             let last = addr + size as u64 - 1;
             if last / page != addr / page {
-                tlb.access(last);
+                let hit = tlb.access(last);
+                if let Some(p) = &mut self.profiler {
+                    p.on_tlb(hit);
+                }
             }
         }
         let line = self.levels[0].config().line_bytes as u64;
@@ -164,21 +230,39 @@ impl MemoryHierarchy {
     fn access_line(&mut self, level: usize, addr: u64, kind: AccessKind) {
         if level >= self.levels.len() {
             self.memory_lines_fetched += 1;
+            if let Some(p) = &mut self.profiler {
+                p.on_memory_line();
+            }
             return;
         }
         let write_through =
             self.levels[level].config().write_policy == crate::config::WritePolicy::WriteThrough;
+        // Attribution mirrors the level's own counters by diffing its
+        // stats around the probe — exact by construction, even for
+        // write-backs triggered by prefetch fills, which the probe
+        // result does not report.
+        let before = if self.profiler.is_some() { Some(*self.levels[level].stats()) } else { None };
         let result = self.levels[level].access(addr, kind);
+        if let Some(before) = before {
+            let after = *self.levels[level].stats();
+            if let Some(p) = &mut self.profiler {
+                p.on_level(level, before, after);
+            }
+        }
         if level == 0 {
             if let Some(cl) = &mut self.classifier {
                 let shadow_hit = cl.shadow.access(addr, kind).hit;
                 if !result.hit {
-                    if cl.seen.insert(addr) {
-                        cl.classes.compulsory += 1;
+                    let class = if cl.seen.insert(addr) {
+                        MissClass::Compulsory
                     } else if !shadow_hit {
-                        cl.classes.capacity += 1;
+                        MissClass::Capacity
                     } else {
-                        cl.classes.conflict += 1;
+                        MissClass::Conflict
+                    };
+                    cl.classes.add(class);
+                    if let Some(p) = &mut self.profiler {
+                        p.on_class(class);
                     }
                 }
             }

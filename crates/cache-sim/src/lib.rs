@@ -37,6 +37,7 @@ mod cache;
 pub mod classify;
 mod config;
 mod hierarchy;
+pub mod profile;
 pub mod profiles;
 pub mod report;
 pub mod reuse;
@@ -46,9 +47,10 @@ pub mod tracefile;
 
 pub use address::AddressSpace;
 pub use cache::{AccessKind, CacheStats, SetAssocCache};
-pub use classify::{ClassifyingCache, MissClasses};
+pub use classify::{ClassifyingCache, MissClass, MissClasses};
 pub use config::{CacheConfig, HierarchyConfig, TlbConfig, WritePolicy};
 pub use hierarchy::{HierarchyStats, LevelStats, MemoryHierarchy};
+pub use profile::{CacheProfile, ScopeGuard, ScopeHandle, SpanCacheStats, TimelineSample};
 pub use reuse::ReuseProfiler;
 pub use tlb::{Tlb, TlbStats};
 pub use trace::TracedBuffer;

@@ -1,0 +1,752 @@
+//! Span-scoped cache attribution: the simulator's flight recorder.
+//!
+//! A [`CacheProfiler`] attaches to a [`MemoryHierarchy`] (see
+//! [`MemoryHierarchy::attach_profiler`]) and charges every counter the
+//! hierarchy updates — per-level accesses/hits/misses/write-backs/
+//! prefetches, TLB translations, memory lines, three-Cs classes — to
+//! the *scope* that was current when the access was issued. Scopes are
+//! `/`-separated paths mirroring the `cachegraph-obs` span naming
+//! convention (`fw.tiled.bdl/tile[3]`), so a profiled run yields a
+//! hierarchical cache profile: which tile, phase, or recursion level
+//! the misses came from, not just the end-of-run aggregate.
+//!
+//! Drivers set scopes through a cloneable [`ScopeHandle`] — an `Arc`
+//! around an atomic scope id plus a path interner — so the handle can
+//! be used while a `TracedBuffer` mutably borrows the hierarchy.
+//! [`ScopeHandle::enter`] returns an RAII [`ScopeGuard`] restoring the
+//! previous scope on drop; scopes nest like spans do. Traffic issued
+//! while no scope is entered lands in the reserved
+//! `"(unattributed)"` scope, so the per-scope *self* stats always sum
+//! to the hierarchy's aggregate [`HierarchyStats`] exactly — that
+//! invariant is what makes the profile trustworthy, and it is asserted
+//! by tests here and an integration test in `cachegraph-cli`.
+//!
+//! An optional [interval sampler](MemoryHierarchy::attach_profiler_sampled)
+//! additionally emits a delta-encoded miss-rate timeline: one
+//! [`TimelineRecord`](cachegraph_obs::TimelineRecord) every `interval`
+//! L1 accesses through the registry's JSONL sink (for watching long
+//! runs live), retained as [`TimelineSample`]s in the final
+//! [`CacheProfile`].
+//!
+//! Attribution is zero-cost when no profiler is attached: every hook in
+//! the hierarchy is a branch on an `Option` that is `None` by default
+//! (the same pattern as the trace recorder; proven by the
+//! `obs_overhead` bench in `cachegraph-bench`).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+use cachegraph_obs::{Registry, TimelineRecord};
+
+use crate::cache::CacheStats;
+use crate::classify::{MissClass, MissClasses};
+use crate::hierarchy::{HierarchyStats, LevelStats};
+#[cfg(doc)]
+use crate::hierarchy::MemoryHierarchy;
+use crate::tlb::TlbStats;
+
+/// Scope id 0: traffic issued while no [`ScopeGuard`] was live.
+pub const UNATTRIBUTED: &str = "(unattributed)";
+
+/// Lock helper that survives poisoning (attribution must never take a
+/// panicking run down with it).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Interns scope paths to dense ids; id 0 is [`UNATTRIBUTED`].
+#[derive(Debug, Default)]
+struct PathTable {
+    paths: Vec<String>,
+    ids: HashMap<String, usize>,
+}
+
+impl PathTable {
+    fn intern(&mut self, path: &str) -> usize {
+        if let Some(&id) = self.ids.get(path) {
+            return id;
+        }
+        let id = self.paths.len();
+        self.paths.push(path.to_string());
+        self.ids.insert(path.to_string(), id);
+        id
+    }
+}
+
+/// State shared between the profiler (inside the hierarchy) and the
+/// driver's [`ScopeHandle`]s.
+#[derive(Debug)]
+struct ScopeShared {
+    /// Id of the scope new traffic is charged to. Relaxed ordering is
+    /// enough: scope changes and accesses are issued by the same
+    /// driver thread, in program order.
+    current: AtomicUsize,
+    table: Mutex<PathTable>,
+}
+
+/// A cloneable handle for setting the current attribution scope.
+///
+/// Obtained from [`MemoryHierarchy::attach_profiler`]. The handle is
+/// independent of the hierarchy borrow, so a driver can hold it while a
+/// `TracedBuffer` mutably borrows the hierarchy. Entering a scope costs
+/// one interner lookup (amortized: paths repeat) plus one atomic swap;
+/// per-access cost inside the hierarchy is a single relaxed load.
+#[derive(Clone, Debug)]
+pub struct ScopeHandle {
+    shared: Arc<ScopeShared>,
+}
+
+impl ScopeHandle {
+    /// Make `path` the current scope until the returned guard drops.
+    ///
+    /// Scopes nest: the guard restores the scope that was current when
+    /// it was created. When replacing a guard stored in an `Option`,
+    /// drop the old one first (`drop(guard.take());` then reassign) so
+    /// the new guard's restore target is the parent scope, not the
+    /// sibling being replaced.
+    pub fn enter(&self, path: &str) -> ScopeGuard {
+        let id = lock(&self.shared.table).intern(path);
+        let prev = self.shared.current.swap(id, Ordering::Relaxed);
+        ScopeGuard { shared: Arc::clone(&self.shared), prev }
+    }
+}
+
+/// RAII guard from [`ScopeHandle::enter`]; restores the previous scope
+/// on drop.
+#[derive(Debug)]
+pub struct ScopeGuard {
+    shared: Arc<ScopeShared>,
+    prev: usize,
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        self.shared.current.store(self.prev, Ordering::Relaxed);
+    }
+}
+
+/// Per-scope raw tallies, mirroring what the hierarchy itself counts.
+#[derive(Clone, Debug, Default)]
+struct ScopeTally {
+    /// Per-level counter deltas (grown on first touch of each level).
+    levels: Vec<CacheStats>,
+    tlb: TlbStats,
+    memory_lines: u64,
+    classes: MissClasses,
+}
+
+impl ScopeTally {
+    fn is_zero(&self) -> bool {
+        self.levels.iter().all(|l| l.accesses == 0 && l.prefetches == 0 && l.writebacks == 0)
+            && self.tlb.accesses == 0
+            && self.memory_lines == 0
+            && self.classes.total() == 0
+    }
+}
+
+/// The attribution engine owned by a profiling [`MemoryHierarchy`].
+///
+/// Hooks are called from the hierarchy at exactly the sites where its
+/// own counters change, passing before/after [`CacheStats`] snapshots —
+/// delta attribution by construction matches the aggregate counters
+/// field for field (including write-backs triggered by prefetch fills,
+/// which are invisible in the probe result).
+#[derive(Clone, Debug)]
+pub(crate) struct CacheProfiler {
+    shared: Arc<ScopeShared>,
+    label: String,
+    num_levels: usize,
+    has_tlb: bool,
+    has_classes: bool,
+    /// Scope id cached at the start of the current access.
+    current: usize,
+    scopes: Vec<ScopeTally>,
+    sampler: Option<IntervalSampler>,
+}
+
+impl CacheProfiler {
+    pub(crate) fn new(
+        label: &str,
+        num_levels: usize,
+        has_tlb: bool,
+        has_classes: bool,
+        sampler: Option<IntervalSampler>,
+    ) -> Self {
+        let mut table = PathTable::default();
+        table.intern(UNATTRIBUTED);
+        Self {
+            shared: Arc::new(ScopeShared {
+                current: AtomicUsize::new(0),
+                table: Mutex::new(table),
+            }),
+            label: label.to_string(),
+            num_levels,
+            has_tlb,
+            has_classes,
+            current: 0,
+            scopes: Vec::new(),
+            sampler,
+        }
+    }
+
+    pub(crate) fn handle(&self) -> ScopeHandle {
+        ScopeHandle { shared: Arc::clone(&self.shared) }
+    }
+
+    /// Refresh the cached scope id; called once per hierarchy access
+    /// (the scope cannot change mid-access).
+    #[inline]
+    pub(crate) fn sync_scope(&mut self) {
+        self.current = self.shared.current.load(Ordering::Relaxed);
+    }
+
+    fn tally(&mut self) -> &mut ScopeTally {
+        let id = self.current;
+        if self.scopes.len() <= id {
+            self.scopes.resize_with(id + 1, ScopeTally::default);
+        }
+        &mut self.scopes[id]
+    }
+
+    pub(crate) fn on_tlb(&mut self, hit: bool) {
+        let t = self.tally();
+        t.tlb.accesses += 1;
+        if !hit {
+            t.tlb.misses += 1;
+        }
+    }
+
+    pub(crate) fn on_level(&mut self, level: usize, before: CacheStats, after: CacheStats) {
+        {
+            let t = self.tally();
+            if t.levels.len() <= level {
+                t.levels.resize_with(level + 1, CacheStats::default);
+            }
+            let l = &mut t.levels[level];
+            l.accesses += after.accesses - before.accesses;
+            l.hits += after.hits - before.hits;
+            l.misses += after.misses - before.misses;
+            l.victim_hits += after.victim_hits - before.victim_hits;
+            l.writebacks += after.writebacks - before.writebacks;
+            l.prefetches += after.prefetches - before.prefetches;
+        }
+        if level == 0 {
+            if let Some(s) = &mut self.sampler {
+                s.on_l1(after.accesses - before.accesses, after.misses - before.misses);
+            }
+        }
+    }
+
+    pub(crate) fn on_memory_line(&mut self) {
+        self.tally().memory_lines += 1;
+    }
+
+    pub(crate) fn on_class(&mut self, class: MissClass) {
+        self.tally().classes.add(class);
+    }
+
+    fn self_stats(&self, tally: &ScopeTally) -> HierarchyStats {
+        let levels = (0..self.num_levels)
+            .map(|i| {
+                let s = tally.levels.get(i).copied().unwrap_or_default();
+                LevelStats {
+                    level: i,
+                    accesses: s.accesses,
+                    hits: s.hits,
+                    misses: s.misses,
+                    writebacks: s.writebacks,
+                    prefetches: s.prefetches,
+                    miss_rate: s.miss_rate(),
+                }
+            })
+            .collect();
+        HierarchyStats {
+            levels,
+            tlb: self.has_tlb.then_some(tally.tlb),
+            memory_lines_fetched: tally.memory_lines,
+            l1_classes: self.has_classes.then_some(tally.classes),
+        }
+    }
+
+    /// Freeze the profile: per-scope self stats, subtree totals (path
+    /// prefix aggregation), and the timeline (final partial interval
+    /// flushed). `machine` is the hierarchy's configuration label.
+    pub(crate) fn finish(mut self, machine: &str) -> CacheProfile {
+        let (interval, timeline) = match self.sampler.take() {
+            Some(mut s) => {
+                s.flush();
+                (s.interval, s.samples)
+            }
+            None => (0, Vec::new()),
+        };
+        let paths: Vec<String> = lock(&self.shared.table).paths.clone();
+        // Scope-id order is first-entry order; drivers enter parents
+        // before children, so this doubles as pre-order for rendering.
+        let mut selves: Vec<(String, HierarchyStats)> = Vec::new();
+        for (id, tally) in self.scopes.iter().enumerate() {
+            let path = paths.get(id).cloned().unwrap_or_else(|| format!("scope[{id}]"));
+            selves.push((path, self.self_stats(tally)));
+        }
+        // Pure-container scopes (zero self traffic) survive as long as
+        // some descendant was charged — a tiled run's root scope has
+        // zero self stats but its subtree total is the whole run.
+        let spans = selves
+            .iter()
+            .zip(&self.scopes)
+            .filter_map(|((path, self_stats), tally)| {
+                let prefix = format!("{path}/");
+                let mut total = empty_like(self_stats);
+                for (q, s) in &selves {
+                    if q == path || q.starts_with(&prefix) {
+                        merge_stats(&mut total, s);
+                    }
+                }
+                if tally.is_zero() && is_zero_stats(&total) {
+                    return None;
+                }
+                Some(SpanCacheStats {
+                    path: path.clone(),
+                    self_stats: self_stats.clone(),
+                    total_stats: total,
+                })
+            })
+            .collect();
+        CacheProfile {
+            label: self.label,
+            machine: machine.to_string(),
+            interval,
+            spans,
+            timeline,
+        }
+    }
+}
+
+/// The delta-encoded miss-rate timeline sampler (see the module docs).
+#[derive(Clone, Debug)]
+pub(crate) struct IntervalSampler {
+    interval: u64,
+    label: String,
+    registry: Registry,
+    accesses: u64,
+    misses: u64,
+    emitted_accesses: u64,
+    emitted_misses: u64,
+    seq: u64,
+    samples: Vec<TimelineSample>,
+}
+
+impl IntervalSampler {
+    /// `interval` is in L1 demand accesses and must be at least 1.
+    pub(crate) fn new(label: &str, interval: u64, registry: Registry) -> Self {
+        assert!(interval > 0, "sampling interval must be at least 1 access");
+        Self {
+            interval,
+            label: label.to_string(),
+            registry,
+            accesses: 0,
+            misses: 0,
+            emitted_accesses: 0,
+            emitted_misses: 0,
+            seq: 0,
+            samples: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn on_l1(&mut self, d_accesses: u64, d_misses: u64) {
+        self.accesses += d_accesses;
+        self.misses += d_misses;
+        if self.accesses - self.emitted_accesses >= self.interval {
+            self.emit_sample();
+        }
+    }
+
+    fn emit_sample(&mut self) {
+        let record = TimelineRecord {
+            label: self.label.clone(),
+            seq: self.seq,
+            accesses: self.accesses - self.emitted_accesses,
+            l1_misses: self.misses - self.emitted_misses,
+        };
+        self.registry.emit(&record.to_json());
+        self.samples.push(TimelineSample {
+            seq: record.seq,
+            accesses: record.accesses,
+            l1_misses: record.l1_misses,
+        });
+        self.emitted_accesses = self.accesses;
+        self.emitted_misses = self.misses;
+        self.seq += 1;
+    }
+
+    /// Emit the final partial interval, if any accesses are pending —
+    /// a trace shorter than one interval still yields one sample.
+    fn flush(&mut self) {
+        if self.accesses > self.emitted_accesses {
+            self.emit_sample();
+        }
+    }
+}
+
+/// One retained timeline sample; `accesses` / `l1_misses` are deltas
+/// over the interval (matching the JSONL `TimelineRecord` encoding).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TimelineSample {
+    /// Sample index, starting at 0.
+    pub seq: u64,
+    /// L1 demand accesses in this interval.
+    pub accesses: u64,
+    /// L1 demand misses in this interval.
+    pub l1_misses: u64,
+}
+
+impl TimelineSample {
+    /// Miss rate over this interval in `[0, 1]`; 0 when empty.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.l1_misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// One scope's slice of the hierarchy counters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanCacheStats {
+    /// `/`-separated scope path, e.g. `fw.tiled.bdl/tile[3]`.
+    pub path: String,
+    /// Traffic charged to exactly this scope (children excluded).
+    pub self_stats: HierarchyStats,
+    /// Traffic of this scope plus every descendant scope (path-prefix
+    /// subtree sum; `self` for leaves).
+    pub total_stats: HierarchyStats,
+}
+
+/// A frozen span-scoped cache profile for one simulated run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CacheProfile {
+    /// Run label, matching the `cache_sims` section label (e.g.
+    /// `fw.tiled.bdl`).
+    pub label: String,
+    /// Hierarchy configuration name the run was simulated on.
+    pub machine: String,
+    /// Timeline sampling interval in L1 accesses; 0 when no sampler
+    /// was attached.
+    pub interval: u64,
+    /// Per-scope stats in first-entry (pre-)order; scopes with no
+    /// traffic are omitted.
+    pub spans: Vec<SpanCacheStats>,
+    /// The miss-rate timeline (empty when `interval` is 0).
+    pub timeline: Vec<TimelineSample>,
+}
+
+impl CacheProfile {
+    /// Sum of all per-scope *self* stats. By construction this equals
+    /// the run's aggregate [`HierarchyStats`] field for field (miss
+    /// rates recomputed over the sums).
+    pub fn sum_self(&self) -> HierarchyStats {
+        let mut acc = match self.spans.first() {
+            Some(s) => empty_like(&s.self_stats),
+            None => HierarchyStats::default(),
+        };
+        for span in &self.spans {
+            merge_stats(&mut acc, &span.self_stats);
+        }
+        acc
+    }
+
+    /// Look up a span by exact path.
+    pub fn find(&self, path: &str) -> Option<&SpanCacheStats> {
+        self.spans.iter().find(|s| s.path == path)
+    }
+}
+
+/// True when no counter in `stats` ever ticked.
+fn is_zero_stats(stats: &HierarchyStats) -> bool {
+    stats.levels.iter().all(|l| l.accesses == 0 && l.writebacks == 0 && l.prefetches == 0)
+        && stats.tlb.is_none_or(|t| t.accesses == 0)
+        && stats.memory_lines_fetched == 0
+}
+
+/// A zero-valued stats skeleton with the same shape (level count,
+/// TLB/classes presence) as `like`.
+fn empty_like(like: &HierarchyStats) -> HierarchyStats {
+    HierarchyStats {
+        levels: like
+            .levels
+            .iter()
+            .map(|l| LevelStats { level: l.level, ..LevelStats::default() })
+            .collect(),
+        tlb: like.tlb.map(|_| TlbStats::default()),
+        memory_lines_fetched: 0,
+        l1_classes: like.l1_classes.map(|_| MissClasses::default()),
+    }
+}
+
+/// Field-wise accumulate `from` into `acc`, recomputing miss rates.
+fn merge_stats(acc: &mut HierarchyStats, from: &HierarchyStats) {
+    if acc.levels.len() < from.levels.len() {
+        acc.levels.extend(from.levels[acc.levels.len()..].iter().map(|l| LevelStats {
+            level: l.level,
+            ..LevelStats::default()
+        }));
+    }
+    for (a, f) in acc.levels.iter_mut().zip(&from.levels) {
+        a.accesses += f.accesses;
+        a.hits += f.hits;
+        a.misses += f.misses;
+        a.writebacks += f.writebacks;
+        a.prefetches += f.prefetches;
+        a.miss_rate = if a.accesses == 0 { 0.0 } else { a.misses as f64 / a.accesses as f64 };
+    }
+    if let Some(f) = &from.tlb {
+        let t = acc.tlb.get_or_insert_with(TlbStats::default);
+        t.accesses += f.accesses;
+        t.misses += f.misses;
+    }
+    acc.memory_lines_fetched += from.memory_lines_fetched;
+    if let Some(f) = &from.l1_classes {
+        let c = acc.l1_classes.get_or_insert_with(MissClasses::default);
+        c.compulsory += f.compulsory;
+        c.capacity += f.capacity;
+        c.conflict += f.conflict;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CacheConfig, HierarchyConfig, TlbConfig};
+    use crate::hierarchy::MemoryHierarchy;
+
+    fn two_level_tlb(classify: bool) -> MemoryHierarchy {
+        let config = HierarchyConfig {
+            name: "profile-test".into(),
+            levels: vec![
+                CacheConfig::new("L1", 256, 16, 2),
+                CacheConfig::new("L2", 1024, 16, 4),
+            ],
+            tlb: Some(TlbConfig::fully_associative(8, 4096)),
+        };
+        if classify {
+            MemoryHierarchy::new_classifying(config)
+        } else {
+            MemoryHierarchy::new(config)
+        }
+    }
+
+    fn assert_stats_eq(a: &HierarchyStats, b: &HierarchyStats) {
+        assert_eq!(a.levels.len(), b.levels.len());
+        for (x, y) in a.levels.iter().zip(&b.levels) {
+            assert_eq!(x.level, y.level);
+            assert_eq!(x.accesses, y.accesses, "L{} accesses", x.level + 1);
+            assert_eq!(x.hits, y.hits, "L{} hits", x.level + 1);
+            assert_eq!(x.misses, y.misses, "L{} misses", x.level + 1);
+            assert_eq!(x.writebacks, y.writebacks, "L{} writebacks", x.level + 1);
+            assert_eq!(x.prefetches, y.prefetches, "L{} prefetches", x.level + 1);
+            assert!((x.miss_rate - y.miss_rate).abs() < 1e-12);
+        }
+        assert_eq!(a.tlb, b.tlb);
+        assert_eq!(a.memory_lines_fetched, b.memory_lines_fetched);
+        assert_eq!(a.l1_classes, b.l1_classes);
+    }
+
+    #[test]
+    fn per_scope_self_stats_sum_to_aggregate_exactly() {
+        let mut h = two_level_tlb(true);
+        let handle = h.attach_profiler("test.run");
+        {
+            let _root = handle.enter("test.run");
+            for addr in 0..256u64 {
+                h.read(addr, 1);
+            }
+            {
+                let _phase = handle.enter("test.run/phase[0]");
+                for addr in (0..4096u64).step_by(16) {
+                    h.write(addr, 4);
+                }
+            }
+            {
+                let _phase = handle.enter("test.run/phase[1]");
+                for addr in (0..512u64).rev() {
+                    h.read(addr, 2);
+                }
+            }
+        }
+        let aggregate = h.stats();
+        let profile = h.take_profile().expect("profiler attached");
+        assert_stats_eq(&profile.sum_self(), &aggregate);
+        let paths: Vec<&str> = profile.spans.iter().map(|s| s.path.as_str()).collect();
+        assert_eq!(paths, ["test.run", "test.run/phase[0]", "test.run/phase[1]"]);
+        // Subtree totals: the root's total is the whole run.
+        let root = profile.find("test.run").expect("root span");
+        assert_stats_eq(&root.total_stats, &aggregate);
+        // Leaf totals equal their self stats.
+        let leaf = profile.find("test.run/phase[1]").expect("leaf span");
+        assert_stats_eq(&leaf.total_stats, &leaf.self_stats);
+        // The run had real traffic in every section.
+        assert!(aggregate.levels[0].misses > 0);
+        assert!(aggregate.tlb.expect("tlb").misses > 0);
+        assert!(aggregate.l1_classes.expect("classes").total() > 0);
+    }
+
+    #[test]
+    fn unattributed_traffic_lands_in_reserved_scope() {
+        let mut h = two_level_tlb(false);
+        h.attach_profiler("test.run");
+        h.read(0, 4); // no scope entered
+        let profile = h.take_profile().expect("profiler attached");
+        assert_eq!(profile.spans.len(), 1);
+        assert_eq!(profile.spans[0].path, UNATTRIBUTED);
+        assert_stats_eq(&profile.sum_self(), &profile.spans[0].self_stats);
+    }
+
+    #[test]
+    fn guards_restore_previous_scope() {
+        let mut h = two_level_tlb(false);
+        let handle = h.attach_profiler("t");
+        let outer = handle.enter("t");
+        {
+            let _inner = handle.enter("t/inner");
+            h.read(0, 4);
+        }
+        h.read(4096, 4); // back in the outer scope
+        drop(outer);
+        h.read(8192, 4); // unattributed again
+        let profile = h.take_profile().expect("profiler attached");
+        let paths: Vec<&str> = profile.spans.iter().map(|s| s.path.as_str()).collect();
+        assert_eq!(paths, [UNATTRIBUTED, "t", "t/inner"]);
+        assert_eq!(profile.find("t/inner").expect("inner").self_stats.levels[0].accesses, 1);
+        assert_eq!(profile.find("t").expect("outer").self_stats.levels[0].accesses, 1);
+        // The outer span's subtree total covers the inner one.
+        assert_eq!(profile.find("t").expect("outer").total_stats.levels[0].accesses, 2);
+    }
+
+    #[test]
+    fn option_guard_replacement_pattern_keeps_chain_consistent() {
+        // The pattern instrumented drivers use: one Option<ScopeGuard>
+        // replaced per tile, cleared before reassignment.
+        let mut h = two_level_tlb(false);
+        let handle = h.attach_profiler("t");
+        let _root = handle.enter("t");
+        let mut tile: Option<ScopeGuard> = None;
+        for i in 0..3 {
+            drop(tile.take()); // restore the root scope before re-entering
+            tile = Some(handle.enter(&format!("t/tile[{i}]")));
+            h.read(i * 4096, 4);
+        }
+        drop(tile);
+        h.read(1 << 20, 4); // must land back on the root scope
+        drop(_root);
+        let profile = h.take_profile().expect("profiler attached");
+        assert_eq!(profile.find("t").expect("root").self_stats.levels[0].accesses, 1);
+        for i in 0..3 {
+            let path = format!("t/tile[{i}]");
+            assert_eq!(
+                profile.find(&path).expect("tile").self_stats.levels[0].accesses,
+                1,
+                "{path}"
+            );
+        }
+        assert_eq!(profile.find("t").expect("root").total_stats.levels[0].accesses, 4);
+    }
+
+    #[test]
+    fn sampler_emits_full_intervals_and_flushes_partial_tail() {
+        let mut h = two_level_tlb(false);
+        let reg = Registry::disabled();
+        h.attach_profiler_sampled("t", 4, &reg);
+        for addr in 0..10u64 {
+            h.read(addr * 16, 1); // 10 L1 accesses, one line each
+        }
+        let profile = h.take_profile().expect("profiler attached");
+        assert_eq!(profile.interval, 4);
+        let seqs: Vec<u64> = profile.timeline.iter().map(|s| s.seq).collect();
+        assert_eq!(seqs, [0, 1, 2]);
+        let accesses: Vec<u64> = profile.timeline.iter().map(|s| s.accesses).collect();
+        assert_eq!(accesses, [4, 4, 2], "two full intervals plus the flushed tail");
+        let total_misses: u64 = profile.timeline.iter().map(|s| s.l1_misses).sum();
+        assert_eq!(total_misses, h.stats().levels[0].misses);
+    }
+
+    #[test]
+    fn sampler_interval_of_one_samples_every_access() {
+        let mut h = two_level_tlb(false);
+        h.attach_profiler_sampled("t", 1, &Registry::disabled());
+        for addr in 0..5u64 {
+            h.read(addr, 1);
+        }
+        let profile = h.take_profile().expect("profiler attached");
+        assert_eq!(profile.timeline.len(), 5);
+        assert!(profile.timeline.iter().all(|s| s.accesses == 1));
+        assert!(profile.timeline.iter().all(|s| s.l1_misses <= 1));
+    }
+
+    #[test]
+    fn sampler_trace_shorter_than_interval_yields_one_sample() {
+        let mut h = two_level_tlb(false);
+        h.attach_profiler_sampled("t", 1_000, &Registry::disabled());
+        h.read(0, 4);
+        h.read(16, 4);
+        h.read(32, 4);
+        let profile = h.take_profile().expect("profiler attached");
+        assert_eq!(profile.timeline.len(), 1);
+        assert_eq!(profile.timeline[0].accesses, 3);
+        assert_eq!(profile.timeline[0].l1_misses, 3); // all cold
+    }
+
+    #[test]
+    fn sampler_with_no_traffic_emits_nothing() {
+        let mut h = two_level_tlb(false);
+        h.attach_profiler_sampled("t", 8, &Registry::disabled());
+        let profile = h.take_profile().expect("profiler attached");
+        assert!(profile.timeline.is_empty());
+        assert!(profile.spans.is_empty());
+    }
+
+    #[test]
+    fn sampler_streams_timeline_records_through_jsonl_sink() {
+        use std::sync::{Arc as StdArc, Mutex as StdMutex};
+
+        #[derive(Clone, Default)]
+        struct Shared(StdArc<StdMutex<Vec<u8>>>);
+        impl std::io::Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().expect("sink lock").extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let reg = Registry::new();
+        let sink = Shared::default();
+        reg.attach_jsonl_sink(Box::new(sink.clone()));
+        let mut h = two_level_tlb(false);
+        h.attach_profiler_sampled("live.run", 2, &reg);
+        for addr in 0..6u64 {
+            h.read(addr * 16, 1);
+        }
+        let profile = h.take_profile().expect("profiler attached");
+        let text = String::from_utf8(sink.0.lock().expect("sink lock").clone()).expect("utf8");
+        let records: Vec<TimelineRecord> = text
+            .lines()
+            .filter_map(|l| cachegraph_obs::parse_json(l).ok())
+            .filter_map(|j| TimelineRecord::from_json(&j))
+            .collect();
+        assert_eq!(records.len(), profile.timeline.len());
+        for (r, s) in records.iter().zip(&profile.timeline) {
+            assert_eq!(r.label, "live.run");
+            assert_eq!((r.seq, r.accesses, r.l1_misses), (s.seq, s.accesses, s.l1_misses));
+        }
+    }
+
+    #[test]
+    fn take_profile_without_attach_is_none() {
+        let mut h = two_level_tlb(false);
+        assert!(h.take_profile().is_none());
+    }
+}

@@ -50,9 +50,11 @@ impl Tlb {
         Self { inner: SetAssocCache::new(cache_cfg), page_bytes: config.page_bytes }
     }
 
-    /// Translate the page containing `addr`; records a hit or miss.
-    pub fn access(&mut self, addr: u64) {
-        self.inner.access(addr, AccessKind::Read);
+    /// Translate the page containing `addr`; records and returns
+    /// whether the translation hit (so callers — the hierarchy's
+    /// attribution profiler — can charge the miss to a scope).
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.inner.access(addr, AccessKind::Read).hit
     }
 
     /// Counters accumulated so far.
@@ -101,8 +103,8 @@ mod tests {
     #[test]
     fn within_page_hits() {
         let mut tlb = Tlb::new(&TlbConfig::fully_associative(64, 4096));
-        tlb.access(0);
-        tlb.access(4095);
+        assert!(!tlb.access(0), "cold translation misses");
+        assert!(tlb.access(4095), "same page hits");
         assert_eq!(tlb.stats().misses, 1);
         assert_eq!(tlb.stats().accesses, 2);
     }

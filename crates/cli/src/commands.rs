@@ -10,7 +10,9 @@ use std::time::{Duration, Instant};
 use cachegraph_bench::supervisor::{
     run_supervised, ExperimentOutcome, FaultPlan, SupervisorConfig, Unit, UnitOutput,
 };
-use cachegraph_fw::instrumented::{sim_iterative, sim_recursive_morton, sim_tiled_bdl_classified};
+use cachegraph_fw::instrumented::{
+    sim_iterative_profiled, sim_recursive_morton_profiled, sim_tiled_bdl_profiled,
+};
 use cachegraph_fw::{
     fw_iterative_observed, fw_recursive_observed, fw_tiled_observed, transitive_closure_of,
     FwMatrix, INF,
@@ -19,15 +21,16 @@ use cachegraph_graph::io::{read_dimacs, write_dimacs, DimacsError};
 use cachegraph_graph::{generators, EdgeListBuilder, Graph};
 use cachegraph_layout::{select_block_size, BlockLayout, RowMajor, ZMorton};
 use cachegraph_matching::instrumented::{
-    sim_find_matching_observed, sim_find_matching_partitioned_observed,
+    sim_find_matching_partitioned_profiled, sim_find_matching_profiled,
 };
 use cachegraph_matching::{find_matching, find_matching_partitioned, Matching, PartitionScheme};
 use cachegraph_obs::{compare_reports, Json, Registry, Report, DEFAULT_THRESHOLD};
 use cachegraph_pq::DAryHeap;
-use cachegraph_sim::profiles;
-use cachegraph_sim::report::stats_to_json;
+use cachegraph_sim::report::{profile_from_json, profile_to_json, stats_to_json};
+use cachegraph_sim::{profiles, CacheProfile, SpanCacheStats, TimelineSample};
 use cachegraph_sssp::instrumented::{
-    sim_dijkstra_adj_array_observed, sim_dijkstra_adj_list_observed,
+    sim_dijkstra_adj_array_observed, sim_dijkstra_adj_array_profiled,
+    sim_dijkstra_adj_list_observed, sim_dijkstra_adj_list_profiled,
 };
 use cachegraph_sssp::{
     dijkstra, dijkstra_binary_heap, dijkstra_dense, dijkstra_lazy, dijkstra_lazy_sequence,
@@ -86,10 +89,10 @@ impl From<std::io::Error> for CliError {
     }
 }
 
-/// Dispatch a subcommand; the report goes to `out`. Only `compare` takes
-/// positional arguments.
+/// Dispatch a subcommand; the report goes to `out`. Only `compare` and
+/// `profile` take positional arguments.
 pub fn run(command: &str, args: Args, out: &mut dyn Write) -> Result<(), CliError> {
-    if command != "compare" {
+    if !matches!(command, "compare" | "profile") {
         if let Some(p) = args.positionals().first() {
             return Err(CliError::Args(ArgsError::UnexpectedPositional(p.clone())));
         }
@@ -104,6 +107,7 @@ pub fn run(command: &str, args: Args, out: &mut dyn Write) -> Result<(), CliErro
         "simulate" => cmd_simulate(args, out),
         "repro" => cmd_repro(args, out),
         "compare" => cmd_compare(args, out),
+        "profile" => cmd_profile(args, out),
         other => Err(CliError::UnknownCommand(other.to_string())),
     }
 }
@@ -394,11 +398,12 @@ fn cmd_simulate(args: Args, out: &mut dyn Write) -> Result<(), CliError> {
 struct UnitReport {
     text: String,
     cache_sims: Vec<Json>,
+    profiles: Vec<Json>,
 }
 
 impl UnitReport {
     fn new() -> Self {
-        Self { text: String::new(), cache_sims: Vec::new() }
+        Self { text: String::new(), cache_sims: Vec::new(), profiles: Vec::new() }
     }
 
     fn line(&mut self, line: &str) {
@@ -419,6 +424,19 @@ impl UnitReport {
         self.cache_sims.push(stats_to_json(label, machine, stats));
     }
 
+    /// [`describe`](Self::describe) plus the run's span-scoped cache
+    /// attribution, which lands in the report's `profiles` section.
+    fn describe_profiled(
+        &mut self,
+        label: &str,
+        machine: &str,
+        stats: &cachegraph_sim::HierarchyStats,
+        profile: &CacheProfile,
+    ) {
+        self.describe(label, machine, stats);
+        self.profiles.push(profile_to_json(profile));
+    }
+
     fn finish(mut self, registry: &Registry) -> UnitOutput {
         let snapshot = registry.snapshot();
         if !snapshot.counters.is_empty() {
@@ -430,9 +448,21 @@ impl UnitReport {
         UnitOutput {
             data: Json::obj()
                 .field("cache_sims", Json::Arr(self.cache_sims))
+                .field("profiles", Json::Arr(self.profiles))
                 .field("metrics", snapshot.to_json()),
             text: self.text,
         }
+    }
+}
+
+/// Timeline-sampling interval for the repro simulations, in L1 accesses:
+/// coarse enough that a full FW run keeps its timeline in the hundreds
+/// of samples, fine enough that a quick run still shows phases.
+fn repro_interval(full: bool) -> u64 {
+    if full {
+        65_536
+    } else {
+        4_096
     }
 }
 
@@ -444,14 +474,15 @@ fn repro_unit_fw(full: bool) -> Result<UnitOutput, String> {
     let registry = Registry::new();
     let mut rep = UnitReport::new();
     let (n, bsz) = if full { (256, 32) } else { (64, 16) };
+    let iv = repro_interval(full);
     let costs = generators::random_directed(n, 0.3, 100, 7).build_matrix().costs().to_vec();
     rep.line(&format!("repro ({scale}): Floyd-Warshall n={n}, b={bsz}"));
-    let sim = sim_iterative(&costs, n, profiles::simplescalar());
-    rep.describe("fw.iterative", "simplescalar", &sim.stats);
-    let sim = sim_tiled_bdl_classified(&costs, n, bsz, profiles::simplescalar());
-    rep.describe("fw.tiled.bdl", "simplescalar", &sim.stats);
-    let sim = sim_recursive_morton(&costs, n, bsz, profiles::simplescalar());
-    rep.describe("fw.recursive.morton", "simplescalar", &sim.stats);
+    let sim = sim_iterative_profiled(&costs, n, profiles::simplescalar(), iv, &registry);
+    rep.describe_profiled("fw.iterative", "simplescalar", &sim.stats, &sim.profile);
+    let sim = sim_tiled_bdl_profiled(&costs, n, bsz, profiles::simplescalar(), iv, &registry);
+    rep.describe_profiled("fw.tiled.bdl", "simplescalar", &sim.stats, &sim.profile);
+    let sim = sim_recursive_morton_profiled(&costs, n, bsz, profiles::simplescalar(), iv, &registry);
+    rep.describe_profiled("fw.recursive.morton", "simplescalar", &sim.stats, &sim.profile);
 
     let mut m = FwMatrix::from_costs(RowMajor::new(n), &costs);
     fw_iterative_observed(&mut m, &registry);
@@ -473,14 +504,19 @@ fn repro_unit_dijkstra(full: bool) -> Result<UnitOutput, String> {
     let registry = Registry::new();
     let mut rep = UnitReport::new();
     let dn = if full { 4096 } else { 512 };
+    let iv = repro_interval(full);
     let g = generators::random_directed(dn, 0.02, 100, 11);
     rep.line(&format!("repro ({scale}): Dijkstra n={dn}"));
     let sim =
-        sim_dijkstra_adj_array_observed(&g.build_array(), 0, profiles::pentium_iii(), &registry);
-    rep.describe("dijkstra.array", "p3", &sim.stats);
+        sim_dijkstra_adj_array_profiled(&g.build_array(), 0, profiles::pentium_iii(), iv, &registry);
+    if let Some(p) = &sim.profile {
+        rep.describe_profiled("dijkstra.array", "p3", &sim.stats, p);
+    }
     let sim =
-        sim_dijkstra_adj_list_observed(&g.build_list(), 0, profiles::pentium_iii(), &registry);
-    rep.describe("dijkstra.list", "p3", &sim.stats);
+        sim_dijkstra_adj_list_profiled(&g.build_list(), 0, profiles::pentium_iii(), iv, &registry);
+    if let Some(p) = &sim.profile {
+        rep.describe_profiled("dijkstra.list", "p3", &sim.stats, p);
+    }
     Ok(rep.finish(&registry))
 }
 
@@ -490,20 +526,26 @@ fn repro_unit_matching(full: bool) -> Result<UnitOutput, String> {
     let registry = Registry::new();
     let mut rep = UnitReport::new();
     let mn = if full { 1024 } else { 256 };
+    let iv = repro_interval(full);
     let g = generators::random_bipartite(mn, 0.1, 5);
     rep.line(&format!("repro ({scale}): matching n={mn}"));
     let base =
-        sim_find_matching_observed(mn, mn / 2, g.edges(), profiles::simplescalar(), &registry);
-    rep.describe("matching.baseline", "simplescalar", &base.stats);
-    let part = sim_find_matching_partitioned_observed(
+        sim_find_matching_profiled(mn, mn / 2, g.edges(), profiles::simplescalar(), iv, &registry);
+    if let Some(p) = &base.profile {
+        rep.describe_profiled("matching.baseline", "simplescalar", &base.stats, p);
+    }
+    let part = sim_find_matching_partitioned_profiled(
         mn,
         mn / 2,
         g.edges(),
         PartitionScheme::Contiguous(8),
         profiles::simplescalar(),
+        iv,
         &registry,
     );
-    rep.describe("matching.partitioned", "simplescalar", &part.stats);
+    if let Some(p) = &part.profile {
+        rep.describe_profiled("matching.partitioned", "simplescalar", &part.stats, p);
+    }
     if base.size != part.size {
         return Err("internal error: matching variants disagree".into());
     }
@@ -590,6 +632,11 @@ fn cmd_repro(args: Args, out: &mut dyn Write) -> Result<(), CliError> {
                     report.push_cache_sim(sim.clone());
                 }
             }
+            if let Some(profiles) = data.get("profiles").and_then(Json::as_arr) {
+                for profile in profiles {
+                    report.push_profile(profile.clone());
+                }
+            }
             if let Some(metrics) = data.get("metrics") {
                 metric_fragments.push(metrics);
             }
@@ -634,6 +681,121 @@ fn cmd_compare(args: Args, out: &mut dyn Write) -> Result<(), CliError> {
     let flagged = deltas.iter().filter(|d| d.flagged).count();
     writeln!(out, "{flagged} of {} compared metrics exceed the threshold", deltas.len())?;
     Ok(())
+}
+
+/// `profile`: render the `profiles` sections of a metrics report
+/// (schema v3) as indented span trees — self/total L1 misses, self miss
+/// rate, and the dominant three-Cs miss class per scope — plus a
+/// terminal sparkline of each run's sampled miss-rate timeline.
+/// `--label L` restricts the output to one profile.
+fn cmd_profile(args: Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let [path] = args.positionals() else {
+        return Err(CliError::Invalid("profile needs exactly one report path".into()));
+    };
+    let report =
+        Report::load(Path::new(path)).map_err(|e| CliError::Invalid(format!("{path}: {e}")))?;
+    let want = args.get("label");
+    let mut shown = 0usize;
+    for section in &report.profiles {
+        let Some(profile) = profile_from_json(section) else {
+            return Err(CliError::Invalid(format!("{path}: malformed profile section")));
+        };
+        if want.is_some_and(|w| w != profile.label) {
+            continue;
+        }
+        if shown > 0 {
+            writeln!(out)?;
+        }
+        render_profile(&profile, out)?;
+        shown += 1;
+    }
+    if shown == 0 {
+        if let Some(w) = want {
+            return Err(CliError::Invalid(format!("no profile labelled '{w}' in '{path}'")));
+        }
+        writeln!(out, "report '{}' contains no cache profiles", report.name)?;
+    }
+    Ok(())
+}
+
+fn render_profile(p: &CacheProfile, out: &mut dyn Write) -> Result<(), CliError> {
+    writeln!(out, "profile {} (machine {})", p.label, p.machine)?;
+    writeln!(
+        out,
+        "  {:<34} {:>12} {:>12} {:>7}  dominant",
+        "span", "self-miss", "total-miss", "miss%"
+    )?;
+    for span in &p.spans {
+        writeln!(out, "{}", render_span_line(span))?;
+    }
+    if p.interval > 0 && !p.timeline.is_empty() {
+        writeln!(
+            out,
+            "  timeline ({} samples of {} L1 accesses): {}",
+            p.timeline.len(),
+            p.interval,
+            sparkline(&p.timeline)
+        )?;
+    }
+    Ok(())
+}
+
+/// One row of the span tree: indentation mirrors the `/`-separated scope
+/// path, so the flat pre-ordered span list reads as a flamegraph.
+fn render_span_line(span: &SpanCacheStats) -> String {
+    let depth = span.path.matches('/').count();
+    let name = if depth == 0 {
+        span.path.as_str()
+    } else {
+        span.path.rsplit('/').next().unwrap_or(&span.path)
+    };
+    let indent = "  ".repeat(depth);
+    let self_l1 = span.self_stats.levels.first();
+    let self_miss = self_l1.map_or(0, |l| l.misses);
+    let total_miss = span.total_stats.levels.first().map_or(0, |l| l.misses);
+    let rate = self_l1.map_or(0.0, |l| l.miss_rate * 100.0);
+    let dominant = span
+        .self_stats
+        .l1_classes
+        .and_then(|c| c.dominant())
+        .map_or("-", |class| class.label());
+    let width = 34usize.saturating_sub(indent.len());
+    format!(
+        "  {indent}{name:<width$} {self_miss:>12} {total_miss:>12} {rate:>6.2}%  {dominant}"
+    )
+}
+
+/// Render the delta-encoded timeline as one line of block characters,
+/// each cell's height proportional to that interval's miss rate (scaled
+/// to the run's peak). Long timelines are re-bucketed to at most 64
+/// cells.
+fn sparkline(timeline: &[TimelineSample]) -> String {
+    const BLOCKS: [char; 8] = ['\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}'];
+    let chunk = timeline.len().div_ceil(64).max(1);
+    let rates: Vec<f64> = timeline
+        .chunks(chunk)
+        .map(|c| {
+            let acc: u64 = c.iter().map(|s| s.accesses).sum();
+            let miss: u64 = c.iter().map(|s| s.l1_misses).sum();
+            if acc == 0 {
+                0.0
+            } else {
+                miss as f64 / acc as f64
+            }
+        })
+        .collect();
+    let peak = rates.iter().fold(0.0f64, |a, &b| a.max(b));
+    rates
+        .iter()
+        .map(|&r| {
+            if peak == 0.0 {
+                BLOCKS[0]
+            } else {
+                let idx = ((r / peak) * 7.0).round() as usize;
+                BLOCKS[idx.min(7)]
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -775,6 +937,49 @@ mod tests {
         for want in ["fw.kernel_calls", "sssp.relaxations", "matching.augmenting_paths"] {
             assert!(counters.iter().any(|(k, _)| k == want), "missing counter {want}");
         }
+    }
+
+    #[test]
+    fn profile_renders_span_tree_consistent_with_aggregates() {
+        let path = tmp("repro_profile.json");
+        run_str("repro", &["--quick", "--metrics", &path]).expect("repro");
+
+        let rendered = run_str("profile", &[&path]).expect("profile");
+        assert!(rendered.contains("profile fw.tiled.bdl (machine "), "{rendered}");
+        assert!(rendered.contains("tile["), "tile scopes must appear: {rendered}");
+        assert!(rendered.contains("init"), "dijkstra init scope must appear: {rendered}");
+        assert!(rendered.contains("timeline ("), "sparkline line must appear: {rendered}");
+        assert!(rendered.chars().any(|c| ('\u{2581}'..='\u{2588}').contains(&c)), "{rendered}");
+
+        // Acceptance: for every profiled run, the per-span self stats
+        // sum to that run's aggregate HierarchyStats exactly.
+        let report = Report::load(Path::new(&path)).expect("report");
+        assert!(!report.profiles.is_empty(), "repro must emit profiles");
+        for section in &report.profiles {
+            let profile = profile_from_json(section).expect("profile parses");
+            let sim = report
+                .cache_sims
+                .iter()
+                .find(|s| s.get("label").and_then(Json::as_str) == Some(profile.label.as_str()))
+                .unwrap_or_else(|| panic!("no cache_sims section for {}", profile.label));
+            let (_, _, aggregate) =
+                cachegraph_sim::report::stats_from_json(sim).expect("stats parse");
+            assert_eq!(
+                profile.sum_self(),
+                aggregate,
+                "{} attribution must sum to the aggregate exactly",
+                profile.label
+            );
+        }
+
+        // --label narrows the output to one profile.
+        let only = run_str("profile", &[&path, "--label", "dijkstra.array"]).expect("filtered");
+        assert!(only.contains("dijkstra.array"), "{only}");
+        assert!(!only.contains("fw.tiled.bdl"), "{only}");
+        assert!(matches!(
+            run_str("profile", &[&path, "--label", "nope"]),
+            Err(CliError::Invalid(_))
+        ));
     }
 
     #[test]

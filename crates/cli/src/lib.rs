@@ -10,6 +10,7 @@
 //! cachegraph simulate -i g.gr --machine simplescalar|p3|sparc|alpha|mips [--rep array|list]
 //! cachegraph repro [--quick|--full] [--metrics out.json]
 //! cachegraph compare a.json b.json [--threshold 0.1]
+//! cachegraph profile a.json [--label fw.tiled.bdl]
 //! ```
 //!
 //! Graphs are exchanged in the DIMACS `sp` format
@@ -18,7 +19,8 @@
 //! `match`, `simulate`, and `repro` commands additionally accept
 //! `--metrics FILE` to write a machine-readable run report
 //! (`cachegraph_obs::Report`, see EXPERIMENTS.md for the schema);
-//! `compare` diffs two such reports.
+//! `compare` diffs two such reports, and `profile` renders the
+//! span-scoped cache attribution sections of one.
 
 mod args;
 mod commands;
@@ -48,9 +50,15 @@ commands:
                                     [--timeout-secs N] [--strict]
                                     [--fault-plan panic:ID,hang:ID,kill:ID]
   compare   diff two metrics files  A.json B.json [--threshold T]
+  profile   render cache profiles   A.json [--label L]
 
 sssp, apsp, match, simulate, and repro accept --metrics FILE to write a
 machine-readable run report (spans, counters, cache statistics).
+
+repro's simulations run with the span-scoped cache attribution profiler
+attached; profile renders the resulting span trees (self/total misses,
+miss rate, dominant three-Cs class per scope) and each run's sampled
+miss-rate timeline as a sparkline.
 
 repro runs each experiment (fw, dijkstra, matching) supervised: panics
 and --timeout-secs overruns become structured outcomes in the report,

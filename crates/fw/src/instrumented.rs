@@ -9,13 +9,16 @@
 
 use cachegraph_graph::{Weight, INF};
 use cachegraph_layout::{BlockLayout, Layout, RowMajor, ZMorton};
+use cachegraph_obs::Registry;
 use cachegraph_sim::{
-    AddressSpace, HierarchyConfig, HierarchyStats, MemoryHierarchy, TracedBuffer,
+    AddressSpace, CacheProfile, HierarchyConfig, HierarchyStats, MemoryHierarchy, ScopeGuard,
+    ScopeHandle, TracedBuffer,
 };
 
-use crate::kernel::{CellAccess, View};
+use crate::kernel::{CellAccess, StridedView, View};
+use crate::observed::FwEvent;
 use crate::recursive::run_recursive;
-use crate::tiled::run_tiled;
+use crate::tiled::{run_tiled, run_tiled_with};
 
 /// Result of a simulated FW run.
 #[derive(Clone, Debug)]
@@ -24,6 +27,18 @@ pub struct FwSimResult {
     pub stats: HierarchyStats,
     /// The computed all-pairs distances, row-major over the logical `n`.
     pub dist: Vec<Weight>,
+}
+
+/// Result of a simulated FW run with span-scoped cache attribution.
+#[derive(Clone, Debug)]
+pub struct FwProfiledResult {
+    /// Aggregate cache/TLB counters from the run.
+    pub stats: HierarchyStats,
+    /// The computed all-pairs distances, row-major over the logical `n`.
+    pub dist: Vec<Weight>,
+    /// Per-scope attribution of the same counters; its
+    /// [`sum_self`](CacheProfile::sum_self) equals `stats` exactly.
+    pub profile: CacheProfile,
 }
 
 /// Accessor that routes every cell access through the cache simulator.
@@ -101,6 +116,122 @@ fn run_traced<L: Layout>(
     f: impl FnOnce(&mut TracedAccess<'_>),
 ) -> FwSimResult {
     run_traced_with(layout, costs, config, false, f)
+}
+
+/// Like [`run_traced_with`], but with a cache-attribution profiler
+/// attached before the driver runs. `label` names the profile and the
+/// root scope; `interval` (in L1 accesses) enables the miss-rate
+/// timeline, streamed through `registry`'s JSONL sink as it is sampled.
+/// The driver closure receives the [`ScopeHandle`] so it can scope
+/// sub-phases (e.g. one scope per tile iteration). Profiled runs always
+/// classify L1 misses — the span tree's `dominant` column needs it.
+fn run_traced_profiled<L: Layout>(
+    layout: &L,
+    costs: &[Weight],
+    config: HierarchyConfig,
+    label: &str,
+    interval: u64,
+    registry: &Registry,
+    f: impl FnOnce(&mut TracedAccess<'_>, &ScopeHandle),
+) -> FwProfiledResult {
+    let data = padded_storage(layout, costs);
+    let mut hier = MemoryHierarchy::new_classifying(config);
+    let scope = hier.attach_profiler_sampled(label, interval, registry);
+    let mut space = AddressSpace::new();
+    let buf = space.adopt(data);
+    let mut acc = TracedAccess { buf, hier: &mut hier };
+    {
+        let _root = scope.enter(label);
+        f(&mut acc, &scope);
+    }
+    let dist = extract_dist(layout, acc.buf.as_slice());
+    let stats = hier.stats();
+    let profile = match hier.take_profile() {
+        Some(p) => p,
+        None => unreachable!("profiler attached above"),
+    };
+    FwProfiledResult { stats, dist, profile }
+}
+
+/// [`sim_iterative`] with attribution: all traffic lands in one
+/// `fw.iterative` scope, and the timeline shows the miss-rate phases of
+/// the `k` sweep.
+pub fn sim_iterative_profiled(
+    costs: &[Weight],
+    n: usize,
+    config: HierarchyConfig,
+    interval: u64,
+    registry: &Registry,
+) -> FwProfiledResult {
+    let layout = RowMajor::new(n);
+    run_traced_profiled(&layout, costs, config, "fw.iterative", interval, registry, |acc, _| {
+        let v = View { offset: 0, stride: n };
+        crate::kernel::fwi_access(acc, v, v, v, n);
+    })
+}
+
+/// [`sim_recursive_morton`] with attribution under a single
+/// `fw.recursive.morton` scope.
+pub fn sim_recursive_morton_profiled(
+    costs: &[Weight],
+    n: usize,
+    base: usize,
+    config: HierarchyConfig,
+    interval: u64,
+    registry: &Registry,
+) -> FwProfiledResult {
+    let layout = ZMorton::new(n, base);
+    run_traced_profiled(
+        &layout,
+        costs,
+        config,
+        "fw.recursive.morton",
+        interval,
+        registry,
+        |acc, _| run_recursive(&layout, n, acc, base),
+    )
+}
+
+/// [`sim_tiled_bdl_classified`] with tile-granular attribution: the
+/// `FwEvent::BlockStart` hook moves the active scope to
+/// `fw.tiled.bdl/tile[t]` for each block iteration `t`, so the profile
+/// splits misses across the `b`-sweep without touching the kernel
+/// (`obs-purity` stays intact — attribution rides the existing hook).
+pub fn sim_tiled_bdl_profiled(
+    costs: &[Weight],
+    n: usize,
+    b: usize,
+    config: HierarchyConfig,
+    interval: u64,
+    registry: &Registry,
+) -> FwProfiledResult {
+    let layout = BlockLayout::new(n, b);
+    run_traced_profiled(&layout, costs, config, "fw.tiled.bdl", interval, registry, |acc, scope| {
+        run_tiled_scoped(&layout, n, acc, b, scope, "fw.tiled.bdl");
+    })
+}
+
+/// Run the tiled driver with one attribution scope per block iteration.
+/// Scope paths use the literal `root` label (a disabled registry's spans
+/// have empty paths, so attribution never derives paths from spans).
+fn run_tiled_scoped<L: StridedView>(
+    layout: &L,
+    n: usize,
+    acc: &mut TracedAccess<'_>,
+    b: usize,
+    scope: &ScopeHandle,
+    root: &str,
+) {
+    let mut tile_scope: Option<ScopeGuard> = None;
+    run_tiled_with(layout, n, acc, b, &mut |ev| {
+        if let FwEvent::BlockStart(t) = ev {
+            // Drop the sibling guard *before* entering the next scope,
+            // so the new guard's saved "previous" is the root, not the
+            // sibling (see `ScopeHandle::enter`).
+            drop(tile_scope.take());
+            tile_scope = Some(scope.enter(&format!("{root}/tile[{t}]")));
+        }
+    });
 }
 
 /// [`sim_tiled_bdl`] with three-Cs classification of the L1 misses
@@ -258,6 +389,65 @@ mod tests {
             bd_conflict < rw_conflict,
             "BDL should reduce conflict misses: {bd_conflict} vs {rw_conflict}"
         );
+    }
+
+    #[test]
+    fn profiled_variants_compute_correct_distances() {
+        let n = 16;
+        let costs = random_costs(n, 0.3, 7);
+        let mut expect = costs.clone();
+        fw_iterative_slice(&mut expect, n);
+        let cfg = profiles::simplescalar;
+        let reg = Registry::disabled();
+        assert_eq!(sim_iterative_profiled(&costs, n, cfg(), 1024, &reg).dist, expect);
+        assert_eq!(sim_recursive_morton_profiled(&costs, n, 4, cfg(), 1024, &reg).dist, expect);
+        assert_eq!(sim_tiled_bdl_profiled(&costs, n, 4, cfg(), 1024, &reg).dist, expect);
+    }
+
+    #[test]
+    fn tiled_profile_self_stats_sum_to_aggregate_exactly() {
+        let n = 32;
+        let b = 8;
+        let costs = random_costs(n, 0.3, 11);
+        let reg = Registry::disabled();
+        let r = sim_tiled_bdl_profiled(&costs, n, b, profiles::simplescalar(), 512, &reg);
+
+        // The attribution must account for every counter: summing the
+        // per-scope self stats reproduces the aggregate field-for-field.
+        assert_eq!(r.profile.sum_self(), r.stats);
+
+        // The root scope's subtree total likewise covers the whole run.
+        let root = r.profile.find("fw.tiled.bdl").expect("root scope present");
+        assert_eq!(root.total_stats, r.stats);
+
+        // One scope per block iteration rode the BlockStart hook.
+        let tiles = n / b;
+        let tile_spans = r
+            .profile
+            .spans
+            .iter()
+            .filter(|s| s.path.starts_with("fw.tiled.bdl/tile["))
+            .count();
+        assert_eq!(tile_spans, tiles);
+
+        // Timeline deltas are complete: they sum to the aggregate L1 row.
+        let l1 = &r.stats.levels[0];
+        let t_acc: u64 = r.profile.timeline.iter().map(|s| s.accesses).sum();
+        let t_miss: u64 = r.profile.timeline.iter().map(|s| s.l1_misses).sum();
+        assert_eq!(t_acc, l1.accesses);
+        assert_eq!(t_miss, l1.misses);
+    }
+
+    #[test]
+    fn profiled_run_matches_unprofiled_counters() {
+        // Attribution observes the simulation; it must not perturb it.
+        let n = 24;
+        let costs = random_costs(n, 0.35, 13);
+        let plain = sim_tiled_bdl_classified(&costs, n, 8, profiles::simplescalar());
+        let prof =
+            sim_tiled_bdl_profiled(&costs, n, 8, profiles::simplescalar(), 4096, &Registry::disabled());
+        assert_eq!(plain.stats, prof.stats);
+        assert_eq!(plain.dist, prof.dist);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use cachegraph_graph::{Edge, VertexId};
 use cachegraph_obs::{Counter, Registry};
 use cachegraph_sim::{
-    AddressSpace, HierarchyConfig, HierarchyStats, MemoryHierarchy, TracedBuffer,
+    AddressSpace, CacheProfile, HierarchyConfig, HierarchyStats, MemoryHierarchy, TracedBuffer,
 };
 
 use crate::partitioned::PartitionScheme;
@@ -23,6 +23,9 @@ pub struct MatchSimResult {
     pub stats: HierarchyStats,
     /// Size of the matching found (always maximum — validated in tests).
     pub size: usize,
+    /// Span-scoped cache attribution (`local[k]` sub-problems vs the
+    /// `global` clean-up pass), present only on `*_profiled` runs.
+    pub profile: Option<CacheProfile>,
 }
 
 /// CSR arrays for one (sub-)problem, in simulated memory.
@@ -169,15 +172,44 @@ pub fn sim_find_matching_observed(
     config: HierarchyConfig,
     registry: &Registry,
 ) -> MatchSimResult {
+    sim_find_matching_inner(n, n_left, edges, config, registry, None)
+}
+
+/// [`sim_find_matching_observed`] with span-scoped cache attribution and
+/// a miss-rate timeline sampled every `interval` L1 accesses.
+pub fn sim_find_matching_profiled(
+    n: usize,
+    n_left: usize,
+    edges: &[Edge],
+    config: HierarchyConfig,
+    interval: u64,
+    registry: &Registry,
+) -> MatchSimResult {
+    sim_find_matching_inner(n, n_left, edges, config, registry, Some(interval))
+}
+
+fn sim_find_matching_inner(
+    n: usize,
+    n_left: usize,
+    edges: &[Edge],
+    config: HierarchyConfig,
+    registry: &Registry,
+    sample_interval: Option<u64>,
+) -> MatchSimResult {
     let _root = registry.span("matching.baseline");
     let searches = registry.counter("matching.searches");
     let aug_paths = registry.counter("matching.augmenting_paths");
     let mut hier = MemoryHierarchy::new(config);
+    let scope =
+        sample_interval.map(|iv| hier.attach_profiler_sampled("matching.baseline", iv, registry));
+    let _root_scope = scope.as_ref().map(|s| s.enter("matching.baseline"));
     let mut space = AddressSpace::new();
     let csr = TracedCsr::build(&mut space, n, n_left, edges);
     let mut matcher = TracedMatcher::new(&mut space, n, vec![FREE; n], 0);
     matcher.run(&mut hier, &csr, n_left, &searches, &aug_paths);
-    MatchSimResult { stats: hier.stats(), size: matcher.size }
+    let stats = hier.stats();
+    let profile = hier.take_profile();
+    MatchSimResult { stats, size: matcher.size, profile }
 }
 
 /// Simulate `CacheFriendlyFindMatching` (Fig. 9) under the given scheme.
@@ -203,11 +235,42 @@ pub fn sim_find_matching_partitioned_observed(
     config: HierarchyConfig,
     registry: &Registry,
 ) -> MatchSimResult {
+    sim_find_matching_partitioned_inner(n, n_left, edges, scheme, config, registry, None)
+}
+
+/// [`sim_find_matching_partitioned_observed`] with span-scoped cache
+/// attribution: the profile splits the counters across one
+/// `matching.partitioned/local[k]` scope per sub-problem and a
+/// `matching.partitioned/global` scope for the clean-up pass.
+pub fn sim_find_matching_partitioned_profiled(
+    n: usize,
+    n_left: usize,
+    edges: &[Edge],
+    scheme: PartitionScheme,
+    config: HierarchyConfig,
+    interval: u64,
+    registry: &Registry,
+) -> MatchSimResult {
+    sim_find_matching_partitioned_inner(n, n_left, edges, scheme, config, registry, Some(interval))
+}
+
+fn sim_find_matching_partitioned_inner(
+    n: usize,
+    n_left: usize,
+    edges: &[Edge],
+    scheme: PartitionScheme,
+    config: HierarchyConfig,
+    registry: &Registry,
+    sample_interval: Option<u64>,
+) -> MatchSimResult {
     let root = registry.span("matching.partitioned");
     let searches = registry.counter("matching.searches");
     let aug_paths = registry.counter("matching.augmenting_paths");
     let (part, p) = super::partitioned::assign_parts(n, n_left, edges, scheme);
     let mut hier = MemoryHierarchy::new(config);
+    let scope = sample_interval
+        .map(|iv| hier.attach_profiler_sampled("matching.partitioned", iv, registry));
+    let _root_scope = scope.as_ref().map(|s| s.enter("matching.partitioned"));
     let mut space = AddressSpace::new();
 
     // Local vertex numbering, left-first per part.
@@ -248,6 +311,8 @@ pub fn sim_find_matching_partitioned_observed(
             continue;
         }
         let _local = registry.is_enabled().then(|| root.child(&format!("local[{k}]")));
+        let _local_scope =
+            scope.as_ref().map(|s| s.enter(&format!("matching.partitioned/local[{k}]")));
         let csr = TracedCsr::build(&mut space, n_local, left_count[k], &local_edges[k]);
         let mut matcher = TracedMatcher::new(&mut space, n_local, vec![FREE; n_local], 0);
         matcher.run(&mut hier, &csr, left_count[k], &searches, &aug_paths);
@@ -262,10 +327,14 @@ pub fn sim_find_matching_partitioned_observed(
 
     // Phase 2: traced global pass from the union.
     let _global = registry.is_enabled().then(|| root.child("global"));
+    let _global_scope = scope.as_ref().map(|s| s.enter("matching.partitioned/global"));
     let csr = TracedCsr::build(&mut space, n, n_left, edges);
     let mut matcher = TracedMatcher::new(&mut space, n, union, union_size);
     matcher.run(&mut hier, &csr, n_left, &searches, &aug_paths);
-    MatchSimResult { stats: hier.stats(), size: matcher.size }
+    drop(_global_scope);
+    let stats = hier.stats();
+    let profile = hier.take_profile();
+    MatchSimResult { stats, size: matcher.size, profile }
 }
 
 #[cfg(test)]
@@ -324,6 +393,39 @@ mod tests {
         assert!(paths.iter().any(|p| p.starts_with("matching.partitioned/local[")));
         assert!(paths.contains(&"matching.partitioned/global"));
         assert_eq!(paths.last(), Some(&"matching.partitioned"));
+    }
+
+    #[test]
+    fn profiled_partitioned_attributes_local_and_global_phases() {
+        let b = generators::random_bipartite(64, 0.12, 3);
+        let reg = cachegraph_obs::Registry::disabled();
+        let prof = sim_find_matching_partitioned_profiled(
+            64,
+            32,
+            b.edges(),
+            PartitionScheme::Contiguous(4),
+            profiles::simplescalar(),
+            1024,
+            &reg,
+        );
+        let plain = sim_find_matching_partitioned(
+            64,
+            32,
+            b.edges(),
+            PartitionScheme::Contiguous(4),
+            profiles::simplescalar(),
+        );
+        assert_eq!(prof.size, plain.size, "attribution must not change results");
+        assert_eq!(prof.stats, plain.stats, "attribution must not perturb the simulation");
+        assert!(plain.profile.is_none());
+
+        let profile = prof.profile.expect("profiled run has a profile");
+        assert_eq!(profile.sum_self(), prof.stats);
+        let paths: Vec<&str> = profile.spans.iter().map(|s| s.path.as_str()).collect();
+        assert!(paths.iter().any(|p| p.starts_with("matching.partitioned/local[")));
+        assert!(paths.contains(&"matching.partitioned/global"));
+        let root = profile.find("matching.partitioned").expect("root scope");
+        assert_eq!(root.total_stats, prof.stats);
     }
 
     #[test]

@@ -1,12 +1,16 @@
 //! Comparing two run reports.
 //!
-//! [`compare_reports`] walks two schema-v1 report documents and pairs up
-//! every numeric measurement that appears in both: algorithm counters
-//! from the `metrics` section, and per-level cache statistics (accesses,
-//! misses, writebacks, TLB misses) from each `cache_sims` section
-//! matched by `label`. Each pair becomes a [`Delta`]; deltas whose
-//! relative change exceeds the threshold are *flagged*. This is the
-//! engine behind `cachegraph-cli compare a.json b.json`.
+//! [`compare_reports`] walks two report documents and pairs up every
+//! numeric measurement that appears in both: algorithm counters from
+//! the `metrics` section, per-level cache statistics (accesses, misses,
+//! writebacks, TLB misses) from each `cache_sims` section matched by
+//! `label`, and — since schema v3 — per-span self stats from each
+//! `profiles` section (matched by `label`, then by span path), so a
+//! cache regression localized to one tile or phase is flagged even when
+//! the aggregate moves less than the threshold. Each pair becomes a
+//! [`Delta`]; deltas whose relative change exceeds the threshold are
+//! *flagged*. This is the engine behind `cachegraph-cli compare a.json
+//! b.json`.
 
 use crate::json::Json;
 use crate::report::Report;
@@ -63,6 +67,7 @@ pub fn compare_reports(a: &Report, b: &Report, threshold: f64) -> Vec<Delta> {
     let mut deltas = Vec::new();
     compare_counters(a, b, threshold, &mut deltas);
     compare_cache_sims(a, b, threshold, &mut deltas);
+    compare_profiles(a, b, threshold, &mut deltas);
     deltas.sort_by(|x, y| y.flagged.cmp(&x.flagged).then_with(|| x.metric.cmp(&y.metric)));
     deltas
 }
@@ -144,6 +149,52 @@ fn compare_one_sim(label: &str, a: &Json, b: &Json, threshold: f64, out: &mut Ve
     );
 }
 
+fn span_path(span: &Json) -> Option<&str> {
+    span.get("path").and_then(Json::as_str)
+}
+
+/// Pair up span-scoped profile stats (schema v3). Spans match by
+/// `/`-separated path within profiles matched by label; each span's
+/// *self* stats are compared per level, so a regression confined to one
+/// tile or phase surfaces even when the run aggregate stays flat.
+fn compare_profiles(a: &Report, b: &Report, threshold: f64, out: &mut Vec<Delta>) {
+    let empty = Vec::new();
+    for prof_a in &a.profiles {
+        let Some(label) = sim_label(prof_a) else { continue };
+        let Some(prof_b) = b.profiles.iter().find(|p| sim_label(p) == Some(label)) else {
+            continue;
+        };
+        let spans_a = prof_a.get("spans").and_then(Json::as_arr).unwrap_or(&empty);
+        let spans_b = prof_b.get("spans").and_then(Json::as_arr).unwrap_or(&empty);
+        for span_a in spans_a {
+            let Some(path) = span_path(span_a) else { continue };
+            let Some(span_b) = spans_b.iter().find(|s| span_path(s) == Some(path)) else {
+                continue;
+            };
+            let (self_a, self_b) = (span_a.get("self"), span_b.get("self"));
+            let levels_a =
+                self_a.and_then(|s| s.get("levels")).and_then(Json::as_arr).unwrap_or(&empty);
+            let levels_b =
+                self_b.and_then(|s| s.get("levels")).and_then(Json::as_arr).unwrap_or(&empty);
+            for level_a in levels_a {
+                let name = level_name(level_a);
+                let Some(level_b) = levels_b.iter().find(|l| level_name(l) == name) else {
+                    continue;
+                };
+                for field in ["accesses", "misses"] {
+                    push_field_delta(
+                        format!("profiles[{label}]/{path}/{name}.{field}"),
+                        level_a.get(field),
+                        level_b.get(field),
+                        threshold,
+                        out,
+                    );
+                }
+            }
+        }
+    }
+}
+
 fn push_field_delta(
     metric: String,
     a: Option<&Json>,
@@ -202,6 +253,41 @@ mod tests {
         // Flagged deltas sort first.
         assert!(deltas[0].flagged);
         assert!(deltas.iter().rev().take_while(|d| !d.flagged).count() > 0);
+    }
+
+    fn push_tile_profile(report: &mut Report, tile_misses: u64) {
+        let level = Json::obj()
+            .field("level", 1_u64)
+            .field("accesses", 1_000_u64)
+            .field("misses", tile_misses);
+        let span = Json::obj()
+            .field("path", "fw.tiled/tile[3]")
+            .field("self", Json::obj().field("levels", Json::Arr(vec![level])));
+        report.push_profile(
+            Json::obj().field("label", "fw.tiled").field("spans", Json::Arr(vec![span])),
+        );
+    }
+
+    #[test]
+    fn flags_span_level_regression_inside_profile() {
+        // The aggregate stats are identical; only one tile's self misses
+        // doubled. The profile walk must still flag it.
+        let mut a = fabricated(1_000, 500);
+        push_tile_profile(&mut a, 100);
+        let mut b = fabricated(1_000, 500);
+        push_tile_profile(&mut b, 200);
+        let deltas = compare_reports(&a, &b, DEFAULT_THRESHOLD);
+        let tile = deltas
+            .iter()
+            .find(|d| d.metric == "profiles[fw.tiled]/fw.tiled/tile[3]/L1.misses")
+            .expect("span-level delta present");
+        assert!(tile.flagged);
+        assert!((tile.ratio - 1.0).abs() < 1e-9);
+        let aggregate = deltas
+            .iter()
+            .find(|d| d.metric == "cache_sims[fw.tiled]/L1.misses")
+            .expect("aggregate delta present");
+        assert!(!aggregate.flagged);
     }
 
     #[test]

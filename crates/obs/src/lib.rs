@@ -34,6 +34,7 @@ pub mod json;
 pub mod registry;
 pub mod report;
 pub mod span;
+pub mod timeline;
 
 pub use compare::{compare_reports, Delta, DEFAULT_THRESHOLD};
 pub use journal::{read_journal, JournalContents, JournalError, JournalWriter};
@@ -41,3 +42,4 @@ pub use json::{parse as parse_json, Json, JsonError};
 pub use registry::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot};
 pub use report::{Report, ReportError, SCHEMA_VERSION, TOOL_NAME};
 pub use span::{Span, SpanRecord};
+pub use timeline::TimelineRecord;

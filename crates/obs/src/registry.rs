@@ -411,6 +411,41 @@ mod tests {
     }
 
     #[test]
+    fn bucket_of_boundaries_cover_every_power_of_two() {
+        // Bucket 0 is reserved for the value 0.
+        assert_eq!(bucket_of(0), 0);
+        // Every exact power of two opens its own bucket: 2^k -> k+1,
+        // and 2^k - 1 stays one bucket below.
+        for k in 0..64u32 {
+            let v = 1u64 << k;
+            assert_eq!(bucket_of(v), k as usize + 1, "2^{k}");
+            if v > 1 {
+                assert_eq!(bucket_of(v - 1), k as usize, "2^{k} - 1");
+            }
+        }
+        // The extremes land in the last bucket, which must exist.
+        assert_eq!(bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(bucket_of(1 << 63), HISTOGRAM_BUCKETS - 1);
+
+        let reg = Registry::new();
+        let h = reg.histogram("edge");
+        for v in [0, 1, u64::MAX, 1 << 63] {
+            h.record(v);
+        }
+        let snap = reg.snapshot();
+        let hs = snap.histograms.get("edge").expect("histogram");
+        assert_eq!(hs.buckets[0], 1);
+        assert_eq!(hs.buckets[1], 1);
+        assert_eq!(hs.buckets[64], 2);
+        assert_eq!(hs.count, 4);
+        // The sum wraps by design (documented on HistogramSnapshot).
+        assert_eq!(hs.sum, 1u64.wrapping_add(u64::MAX).wrapping_add(1 << 63));
+        // Truncated JSON keeps all 65 buckets when the top one is hot.
+        let buckets = hs.to_json().get("buckets").and_then(Json::as_arr).expect("arr").len();
+        assert_eq!(buckets, HISTOGRAM_BUCKETS);
+    }
+
+    #[test]
     fn counters_shared_across_scoped_threads() {
         let reg = Registry::new();
         let c = reg.counter("parallel.work");

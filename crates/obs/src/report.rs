@@ -24,7 +24,12 @@ use crate::registry::Snapshot;
 ///   with outcome-specific fields (`reason`, `limit_secs`, `restored`)
 ///   and its payload under `data`; the same objects double as journal
 ///   checkpoint records (see `cachegraph-bench`'s supervisor).
-pub const SCHEMA_VERSION: u64 = 2;
+/// * v3 — cache attribution: a top-level `profiles` array of
+///   span-scoped cache profiles (one object per profiled simulation,
+///   built by `cachegraph-cache-sim`'s report module: per-span self and
+///   subtree-total hierarchy stats plus a delta-encoded miss-rate
+///   timeline).
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Name stamped into every report's `tool` field.
 pub const TOOL_NAME: &str = "cachegraph";
@@ -40,6 +45,9 @@ pub struct Report {
     pub cache_sims: Vec<Json>,
     /// Experiment sections (one JSON object per bench table).
     pub experiments: Vec<Json>,
+    /// Span-scoped cache profile sections (one JSON object per profiled
+    /// simulation; schema v3).
+    pub profiles: Vec<Json>,
 }
 
 impl Report {
@@ -63,6 +71,11 @@ impl Report {
         self.experiments.push(experiment);
     }
 
+    /// Append one span-scoped cache profile section.
+    pub fn push_profile(&mut self, profile: Json) {
+        self.profiles.push(profile);
+    }
+
     /// The complete, schema-versioned document.
     pub fn to_json(&self) -> Json {
         Json::obj()
@@ -72,6 +85,7 @@ impl Report {
             .field("metrics", self.metrics.clone().unwrap_or_else(|| Json::Obj(Vec::new())))
             .field("cache_sims", Json::Arr(self.cache_sims.clone()))
             .field("experiments", Json::Arr(self.experiments.clone()))
+            .field("profiles", Json::Arr(self.profiles.clone()))
     }
 
     /// Render the document as pretty-stable single-line JSON text.
@@ -118,7 +132,11 @@ impl Report {
             Some(Json::Arr(items)) => items.clone(),
             _ => Vec::new(),
         };
-        Ok(Self { name, metrics, cache_sims, experiments })
+        let profiles = match json.get("profiles") {
+            Some(Json::Arr(items)) => items.clone(),
+            _ => Vec::new(),
+        };
+        Ok(Self { name, metrics, cache_sims, experiments, profiles })
     }
 }
 
@@ -174,11 +192,25 @@ mod tests {
         report.set_metrics(&reg.snapshot());
         report.push_cache_sim(Json::obj().field("label", "fw.tiled").field("machine", "ss"));
         report.push_experiment(Json::obj().field("id", "fw_layouts"));
+        report.push_profile(
+            Json::obj().field("label", "fw.tiled").field("spans", Json::Arr(Vec::new())),
+        );
 
         let text = report.render();
         let loaded = Report::load_str(&text).expect("report loads");
         assert_eq!(loaded.name, "unit-test");
         assert_eq!(loaded.to_json(), report.to_json());
+    }
+
+    #[test]
+    fn missing_profiles_section_parses_as_empty() {
+        let text = format!(
+            r#"{{"schema_version": {SCHEMA_VERSION}, "tool": "cachegraph", "report": "x"}}"#
+        );
+        let loaded = Report::load_str(&text).expect("report loads");
+        assert!(loaded.profiles.is_empty());
+        // Re-rendering always emits the section.
+        assert!(loaded.render().contains("\"profiles\":[]"));
     }
 
     #[test]

@@ -1,0 +1,97 @@
+//! Delta-encoded miss-rate timeline records.
+//!
+//! The cache simulator's interval sampler (see `cachegraph-cache-sim`'s
+//! `profile` module) emits one [`TimelineRecord`] every N L1 accesses
+//! through the registry's JSONL sink, so a long simulation can be
+//! watched live: phase transitions show up as knees in the miss-rate
+//! curve. Records are **delta-encoded** — `accesses` and `l1_misses`
+//! count events since the previous record, not cumulative totals — so
+//! each line is self-contained for plotting a rate and a torn tail
+//! loses only its own interval.
+
+use crate::json::Json;
+
+/// One interval sample of the L1 miss-rate timeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TimelineRecord {
+    /// Label of the profiled run the sample belongs to, e.g. `fw.tiled.bdl`.
+    pub label: String,
+    /// Sample index within the run, starting at 0.
+    pub seq: u64,
+    /// L1 demand accesses in this interval (delta, not cumulative).
+    pub accesses: u64,
+    /// L1 demand misses in this interval (delta, not cumulative).
+    pub l1_misses: u64,
+}
+
+impl TimelineRecord {
+    /// Miss rate over this interval in `[0, 1]`; 0 when the interval is
+    /// empty.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.l1_misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// The record as a JSONL event object (tagged `"type":"timeline"`).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("type", "timeline")
+            .field("label", self.label.as_str())
+            .field("seq", self.seq)
+            .field("accesses", self.accesses)
+            .field("l1_misses", self.l1_misses)
+    }
+
+    /// Parse a record back from its [`to_json`](Self::to_json) form.
+    /// Returns `None` for non-timeline events (other JSONL lines share
+    /// the same stream).
+    pub fn from_json(json: &Json) -> Option<Self> {
+        if json.get("type").and_then(Json::as_str) != Some("timeline") {
+            return None;
+        }
+        Some(Self {
+            label: json.get("label")?.as_str()?.to_string(),
+            seq: json.get("seq")?.as_u64()?,
+            accesses: json.get("accesses")?.as_u64()?,
+            l1_misses: json.get("l1_misses")?.as_u64()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_round_trips_through_json() {
+        let record = TimelineRecord {
+            label: "fw.tiled.bdl".to_string(),
+            seq: 7,
+            accesses: 4096,
+            l1_misses: 513,
+        };
+        let text = record.to_json().render();
+        let reparsed = crate::json::parse(&text).expect("valid JSON");
+        assert_eq!(TimelineRecord::from_json(&reparsed), Some(record));
+    }
+
+    #[test]
+    fn non_timeline_events_are_skipped() {
+        let span_event = Json::obj().field("type", "span").field("path", "fw.tiled");
+        assert_eq!(TimelineRecord::from_json(&span_event), None);
+        let untagged = Json::obj().field("label", "x").field("seq", 0_u64);
+        assert_eq!(TimelineRecord::from_json(&untagged), None);
+    }
+
+    #[test]
+    fn miss_rate_handles_empty_interval() {
+        let mut r = TimelineRecord { label: "x".into(), seq: 0, accesses: 0, l1_misses: 0 };
+        assert_eq!(r.miss_rate(), 0.0);
+        r.accesses = 8;
+        r.l1_misses = 2;
+        assert!((r.miss_rate() - 0.25).abs() < 1e-12);
+    }
+}

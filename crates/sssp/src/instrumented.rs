@@ -14,7 +14,7 @@
 use cachegraph_graph::{AdjacencyArray, AdjacencyList, VertexId, Weight, INF};
 use cachegraph_obs::Registry;
 use cachegraph_sim::{
-    AddressSpace, HierarchyConfig, HierarchyStats, MemoryHierarchy, TracedBuffer,
+    AddressSpace, CacheProfile, HierarchyConfig, HierarchyStats, MemoryHierarchy, TracedBuffer,
 };
 
 use crate::NO_VERTEX;
@@ -29,6 +29,9 @@ pub struct SsspSimResult {
     pub keys: Vec<Weight>,
     /// Sum of extracted finite keys (for Prim this is the MST weight).
     pub total: u64,
+    /// Span-scoped cache attribution (`init` vs `main_loop`), present
+    /// only on the `*_profiled` entry points.
+    pub profile: Option<CacheProfile>,
 }
 
 /// Which algorithm the shared driver runs; they differ only in the key
@@ -228,6 +231,16 @@ impl TracedGraph for TracedList {
     }
 }
 
+/// Observability wiring for one simulated run: the registry spans and
+/// counters report into, the root span/scope name, and — when the
+/// attribution profiler should attach — the timeline sampling interval
+/// in L1 accesses.
+struct RunObs<'a> {
+    registry: &'a Registry,
+    span_name: &'a str,
+    sample_interval: Option<u64>,
+}
+
 /// The shared Dijkstra/Prim driver over a traced graph. Reports into
 /// `registry` under a root span named `span_name` (e.g. `dijkstra.array`)
 /// with `init` / `main_loop` children and the `sssp.relaxations` /
@@ -239,15 +252,19 @@ fn sim_run<G: TracedGraph>(
     source: VertexId,
     algo: Algo,
     config: HierarchyConfig,
-    registry: &Registry,
-    span_name: &str,
+    obs: RunObs<'_>,
 ) -> SsspSimResult {
+    let RunObs { registry, span_name, sample_interval } = obs;
     let root = registry.span(span_name);
     let relaxations = registry.counter("sssp.relaxations");
     let decrease_keys = registry.counter("sssp.decrease_keys");
     let extract_mins = registry.counter("sssp.extract_mins");
     let n = g.num_vertices();
     let mut hier = MemoryHierarchy::new(config);
+    // Attribution scopes mirror the span tree exactly (literal paths:
+    // a disabled registry's spans carry empty paths).
+    let scope = sample_interval.map(|iv| hier.attach_profiler_sampled(span_name, iv, registry));
+    let _root_scope = scope.as_ref().map(|s| s.enter(span_name));
     let h = &mut hier;
     let mut keys = space.alloc_traced::<Weight>(n);
     keys.as_mut_slice().fill(INF);
@@ -256,12 +273,14 @@ fn sim_run<G: TracedGraph>(
     let mut q = TracedHeap::new(space, n);
     {
         let _init = root.child("init");
+        let _init_scope = scope.as_ref().map(|s| s.enter(&format!("{span_name}/init")));
         for v in 0..n as VertexId {
             q.insert(h, v, if v == source { 0 } else { INF });
         }
         keys.write(h, source as usize, 0);
     }
     let _main = root.child("main_loop");
+    let _main_scope = scope.as_ref().map(|s| s.enter(&format!("{span_name}/main_loop")));
     let mut total = 0u64;
     while let Some((u, ku)) = q.extract_min(h) {
         extract_mins.incr();
@@ -283,7 +302,10 @@ fn sim_run<G: TracedGraph>(
             }
         });
     }
-    SsspSimResult { stats: hier.stats(), keys: keys.into_inner(), total }
+    drop(_main_scope);
+    let stats = hier.stats();
+    let profile = hier.take_profile();
+    SsspSimResult { stats, keys: keys.into_inner(), total, profile }
 }
 
 /// Simulated Dijkstra over the adjacency array (CSR).
@@ -304,7 +326,23 @@ pub fn sim_dijkstra_adj_array_observed(
 ) -> SsspSimResult {
     let mut space = AddressSpace::new();
     let tg = TracedArray::build(&mut space, g);
-    sim_run(&mut space, &tg, source, Algo::Dijkstra, config, registry, "dijkstra.array")
+    sim_run(&mut space, &tg, source, Algo::Dijkstra, config, RunObs { registry, span_name: "dijkstra.array", sample_interval: None })
+}
+
+/// [`sim_dijkstra_adj_array_observed`] with span-scoped cache
+/// attribution and a miss-rate timeline sampled every `interval` L1
+/// accesses; the result's `profile` splits the counters between the
+/// heap-building `init` scope and the `main_loop` relaxation scope.
+pub fn sim_dijkstra_adj_array_profiled(
+    g: &AdjacencyArray,
+    source: VertexId,
+    config: HierarchyConfig,
+    interval: u64,
+    registry: &Registry,
+) -> SsspSimResult {
+    let mut space = AddressSpace::new();
+    let tg = TracedArray::build(&mut space, g);
+    sim_run(&mut space, &tg, source, Algo::Dijkstra, config, RunObs { registry, span_name: "dijkstra.array", sample_interval: Some(interval) })
 }
 
 /// Simulated Dijkstra over the arena adjacency list.
@@ -325,7 +363,21 @@ pub fn sim_dijkstra_adj_list_observed(
 ) -> SsspSimResult {
     let mut space = AddressSpace::new();
     let tg = TracedList::build(&mut space, g);
-    sim_run(&mut space, &tg, source, Algo::Dijkstra, config, registry, "dijkstra.list")
+    sim_run(&mut space, &tg, source, Algo::Dijkstra, config, RunObs { registry, span_name: "dijkstra.list", sample_interval: None })
+}
+
+/// [`sim_dijkstra_adj_list_observed`] with span-scoped cache attribution
+/// and a miss-rate timeline (see [`sim_dijkstra_adj_array_profiled`]).
+pub fn sim_dijkstra_adj_list_profiled(
+    g: &AdjacencyList,
+    source: VertexId,
+    config: HierarchyConfig,
+    interval: u64,
+    registry: &Registry,
+) -> SsspSimResult {
+    let mut space = AddressSpace::new();
+    let tg = TracedList::build(&mut space, g);
+    sim_run(&mut space, &tg, source, Algo::Dijkstra, config, RunObs { registry, span_name: "dijkstra.list", sample_interval: Some(interval) })
 }
 
 /// Simulated Prim over the adjacency array (CSR).
@@ -346,7 +398,7 @@ pub fn sim_prim_adj_array_observed(
 ) -> SsspSimResult {
     let mut space = AddressSpace::new();
     let tg = TracedArray::build(&mut space, g);
-    sim_run(&mut space, &tg, root, Algo::Prim, config, registry, "prim.array")
+    sim_run(&mut space, &tg, root, Algo::Prim, config, RunObs { registry, span_name: "prim.array", sample_interval: None })
 }
 
 /// Simulated Prim over the arena adjacency list.
@@ -367,7 +419,7 @@ pub fn sim_prim_adj_list_observed(
 ) -> SsspSimResult {
     let mut space = AddressSpace::new();
     let tg = TracedList::build(&mut space, g);
-    sim_run(&mut space, &tg, root, Algo::Prim, config, registry, "prim.list")
+    sim_run(&mut space, &tg, root, Algo::Prim, config, RunObs { registry, span_name: "prim.list", sample_interval: None })
 }
 
 #[cfg(test)]
@@ -421,6 +473,33 @@ mod tests {
         assert_eq!(paths, ["dijkstra.array/init", "dijkstra.array/main_loop", "dijkstra.array"]);
         // The main loop owns all the relaxation work.
         assert_eq!(snap.spans[1].counters.get("sssp.relaxations"), Some(&relaxations));
+    }
+
+    #[test]
+    fn profiled_run_attributes_init_and_main_loop_exactly() {
+        let b = generators::random_directed(200, 0.08, 50, 21);
+        let arr = b.build_array();
+        let reg = cachegraph_obs::Registry::disabled();
+        let prof = sim_dijkstra_adj_array_profiled(&arr, 0, profiles::simplescalar(), 1024, &reg);
+        let plain = sim_dijkstra_adj_array(&arr, 0, profiles::simplescalar());
+        assert_eq!(prof.keys, plain.keys, "attribution must not change results");
+        assert_eq!(prof.stats, plain.stats, "attribution must not perturb the simulation");
+        assert!(plain.profile.is_none(), "unprofiled runs carry no profile");
+
+        let profile = prof.profile.expect("profiled run has a profile");
+        assert_eq!(profile.sum_self(), prof.stats);
+        let paths: Vec<&str> = profile.spans.iter().map(|s| s.path.as_str()).collect();
+        assert_eq!(
+            paths,
+            ["dijkstra.array", "dijkstra.array/init", "dijkstra.array/main_loop"]
+        );
+        // Heap setup is a tiny fraction of the relaxation work.
+        let init = profile.find("dijkstra.array/init").expect("init scope");
+        let main = profile.find("dijkstra.array/main_loop").expect("main scope");
+        assert!(init.self_stats.levels[0].accesses < main.self_stats.levels[0].accesses);
+        // The root's subtree total covers the whole run.
+        let root = profile.find("dijkstra.array").expect("root scope");
+        assert_eq!(root.total_stats, prof.stats);
     }
 
     #[test]

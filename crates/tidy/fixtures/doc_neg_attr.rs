@@ -1,0 +1,3 @@
+/// Re-export for the facade fixture.
+#[allow(unused_imports)]
+pub use core::mem as facade_mem;

@@ -1,0 +1,2 @@
+/// Re-export for the facade fixture.
+pub use core::mem as facade_mem;

@@ -1,0 +1,4 @@
+/// A documented item.
+pub fn facade_fn() {
+    pub use core::mem as inner;
+}

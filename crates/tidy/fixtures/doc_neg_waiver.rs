@@ -1,0 +1,2 @@
+// tidy: allow(doc-coverage) -- fixture waiver
+pub use core::mem as facade_mem;

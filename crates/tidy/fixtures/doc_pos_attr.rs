@@ -1,0 +1,2 @@
+#[allow(unused_imports)]
+pub use core::mem as facade_mem;

@@ -1,0 +1,1 @@
+pub use core::mem as facade_mem;

@@ -21,6 +21,8 @@
 //! * [`rules::obs_purity`] — kernel-marked files must not reference the
 //!   observability layer (`cachegraph_obs`); instrumentation lives in
 //!   the drivers;
+//! * [`rules::doc_coverage`] — every top-level `pub` item in the facade
+//!   crate (`src/`) carries a `///` doc comment;
 //! * [`rules::dependency_policy`] — workspace manifests carry no
 //!   duplicate direct deps, wildcard versions, or off-allowlist deps.
 //!
@@ -127,6 +129,7 @@ pub fn run_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
         diags.extend(rules::cast_soundness::check(sf));
         diags.extend(rules::kernel_purity::check(sf));
         diags.extend(rules::obs_purity::check(sf));
+        diags.extend(rules::doc_coverage::check(sf));
     }
     diags.extend(rules::dependency_policy::check_workspace(root)?);
     diags.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));

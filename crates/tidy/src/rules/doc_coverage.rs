@@ -1,0 +1,51 @@
+//! `doc-coverage`: every top-level `pub` item in the facade crate
+//! (`src/`, crate `cachegraph`) must carry a `///` doc comment.
+//!
+//! The facade is the workspace's public API surface — the one crate a
+//! downstream user reads on docs.rs — so a bare re-export or function
+//! there is an undocumented entry point. Attribute lines (`#[...]`)
+//! between the doc comment and the item are skipped, matching rustdoc's
+//! own attachment rules. Only the facade is checked: internal crates
+//! document their public items too, but their surface is churned by
+//! refactors and enforcing it workspace-wide would drown signal.
+
+use crate::{Diagnostic, SourceFile};
+
+pub const RULE: &str = "doc-coverage";
+
+/// Is this masked line a top-level public item (column 0, so nested
+/// items inside fn/impl bodies never match)?
+fn is_top_level_pub(line: &str) -> bool {
+    line.starts_with("pub ") || line.starts_with("pub(")
+}
+
+pub fn check(sf: &SourceFile) -> Vec<Diagnostic> {
+    if sf.crate_name != "cachegraph" || sf.is_test_or_harness {
+        return Vec::new();
+    }
+    let raw_lines: Vec<&str> = sf.raw.lines().collect();
+    let mut diags = Vec::new();
+    for (idx, line) in sf.lexed.masked.lines().enumerate() {
+        let line_no = idx + 1;
+        if !is_top_level_pub(line) {
+            continue;
+        }
+        // Walk upward past attributes to the line that must hold docs.
+        let mut above = idx;
+        while above > 0 && raw_lines[above - 1].trim_start().starts_with("#[") {
+            above -= 1;
+        }
+        let documented =
+            above > 0 && raw_lines[above - 1].trim_start().starts_with("///");
+        if documented || sf.waived(RULE, line_no) {
+            continue;
+        }
+        diags.push(Diagnostic {
+            path: sf.rel_path.clone(),
+            line: line_no,
+            rule: RULE,
+            message: "public facade item lacks a `///` doc comment".to_string(),
+        });
+    }
+    diags
+}

@@ -258,6 +258,56 @@ fn obs_waiver_suppresses_report() {
     assert!(rules::obs_purity::check(&sf).is_empty());
 }
 
+// ---- doc-coverage ----------------------------------------------------
+
+/// A fixture presented as facade-crate code (`src/`, crate `cachegraph`
+/// — the only scope the doc-coverage rule watches).
+fn facade_file(src: &str) -> SourceFile {
+    SourceFile::new(PathBuf::from("src/fixture.rs"), src.to_string())
+}
+
+#[test]
+fn doc_flags_undocumented_pub_item_in_facade() {
+    let sf = facade_file(include_str!("../fixtures/doc_pos_bare.rs"));
+    let diags = rules::doc_coverage::check(&sf);
+    assert_eq!(rules_of(&diags), ["doc-coverage"]);
+    assert_eq!(diags[0].line, 1);
+}
+
+#[test]
+fn doc_attribute_lines_do_not_count_as_docs() {
+    let sf = facade_file(include_str!("../fixtures/doc_pos_attr.rs"));
+    let diags = rules::doc_coverage::check(&sf);
+    assert_eq!(rules_of(&diags), ["doc-coverage"]);
+    assert_eq!(diags[0].line, 2, "the pub line is flagged, not the attribute");
+}
+
+#[test]
+fn doc_accepts_doc_comment_directly_above() {
+    let sf = facade_file(include_str!("../fixtures/doc_neg_doc.rs"));
+    assert!(rules::doc_coverage::check(&sf).is_empty());
+}
+
+#[test]
+fn doc_accepts_doc_comment_above_attributes() {
+    let sf = facade_file(include_str!("../fixtures/doc_neg_attr.rs"));
+    assert!(rules::doc_coverage::check(&sf).is_empty());
+}
+
+#[test]
+fn doc_honors_waiver() {
+    let sf = facade_file(include_str!("../fixtures/doc_neg_waiver.rs"));
+    assert!(rules::doc_coverage::check(&sf).is_empty());
+}
+
+#[test]
+fn doc_ignores_nested_items_and_other_crates() {
+    let sf = facade_file(include_str!("../fixtures/doc_neg_nested.rs"));
+    assert!(rules::doc_coverage::check(&sf).is_empty(), "indented items are not top-level");
+    let other = lib_file(include_str!("../fixtures/doc_pos_bare.rs"));
+    assert!(rules::doc_coverage::check(&other).is_empty(), "rule is facade-only");
+}
+
 // ---- dependency-policy -----------------------------------------------
 
 #[test]

@@ -37,10 +37,26 @@
 //! assert_eq!(m.dist(0, 5), sp.dist[5]);
 //! ```
 
+/// Floyd-Warshall all-pairs shortest paths: iterative, tiled,
+/// recursive (cache-oblivious), and parallel kernels, plus the
+/// simulator-instrumented and span-profiled drivers.
 pub use cachegraph_fw as fw;
+/// Graph representations (adjacency matrix / list / array) and the
+/// random-workload generators the experiments draw from.
 pub use cachegraph_graph as graph;
+/// Data layouts: row-major, Block Data Layout, Z-Morton, and the
+/// paper's Eq. 13 block-size heuristic.
 pub use cachegraph_layout as layout;
+/// Bipartite matching (augmenting paths, partitioned variant) and
+/// max-flow, with instrumented and span-profiled drivers.
 pub use cachegraph_matching as matching;
+/// Priority queues with decrease-key: binary, d-ary, Fibonacci, and
+/// pairing heaps.
 pub use cachegraph_pq as pq;
+/// The cache-hierarchy simulator: multi-level caches, TLB, three-Cs
+/// miss classification, span-scoped attribution profiles, and the
+/// paper's machine profiles.
 pub use cachegraph_sim as sim;
+/// Single-source shortest paths and friends: Dijkstra, Prim,
+/// Bellman-Ford, BFS/DFS/CC/SCC, with instrumented drivers.
 pub use cachegraph_sssp as sssp;
