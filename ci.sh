@@ -12,6 +12,11 @@ cargo test -q --workspace
 echo "==> cachegraph-tidy"
 cargo run -q -p cachegraph-tidy
 
+echo "==> cachegraph-check (model-check fw::parallel)"
+# Footprint oracle sweep + bounded schedule exploration + barrier-omission
+# mutation sensitivity; failures print the schedule and replay seed.
+cargo run -q --release -p cachegraph-check
+
 echo "==> clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 

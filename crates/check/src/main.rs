@@ -1,0 +1,134 @@
+//! Model-checking driver: `cargo run -p cachegraph-check`.
+//!
+//! Runs the full tier-1 pass:
+//!
+//! 1. footprint oracle sweep over every `(n, b)` up to a ceiling;
+//! 2. bounded schedule exploration of a matrix of `(n, b, threads)`
+//!    configurations (exhaustive where the interleaving count allows,
+//!    seeded-random otherwise);
+//! 3. one barrier-omission mutation, asserting the checker *detects*
+//!    the seeded race (sensitivity check).
+//!
+//! Any violation prints the offending schedule and the seed to replay it
+//! (`cargo run -p cachegraph-check -- --seed <seed>`). Exit codes:
+//! 0 clean, 1 violation (or an insensitive checker), 2 usage error.
+
+use std::process::ExitCode;
+
+use cachegraph_check::{explore_config, sweep_footprints, Config, ExploreOptions};
+
+/// Sweep ceiling for the footprint oracle.
+const SWEEP_N: usize = 20;
+const SWEEP_B: usize = 6;
+
+/// Exploration matrix: `(n, b, threads)`.
+const EXPLORE: &[(usize, usize, usize)] =
+    &[(8, 4, 2), (8, 4, 4), (12, 4, 2), (9, 3, 3), (16, 4, 3), (20, 5, 4)];
+
+struct Args {
+    seed: u64,
+    samples: usize,
+    bound: u64,
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { seed: 0x5eed, samples: 48, bound: 20_000 };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut take = |name: &str| -> Result<u64, String> {
+            it.next()
+                .as_deref()
+                .and_then(parse_u64)
+                .ok_or_else(|| format!("{name} needs an integer argument"))
+        };
+        match flag.as_str() {
+            "--seed" => args.seed = take("--seed")?,
+            "--samples" => args.samples = take("--samples")? as usize,
+            "--bound" => args.bound = take("--bound")?,
+            "--help" | "-h" => {
+                return Err(String::new());
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("cachegraph-check: {msg}");
+            }
+            eprintln!("usage: cachegraph-check [--seed N] [--samples N] [--bound N]");
+            return ExitCode::from(2);
+        }
+    };
+    let opts = ExploreOptions {
+        exhaustive_bound: args.bound,
+        samples: args.samples,
+        merge_phases: false,
+    };
+    let mut failed = false;
+
+    // 1. Footprint oracle sweep.
+    let (configs, violations) = sweep_footprints(SWEEP_N, SWEEP_B);
+    if violations.is_empty() {
+        println!("oracle: {configs} (n, b) configs swept, all phase footprints disjoint");
+    } else {
+        failed = true;
+        for v in &violations {
+            println!("oracle: VIOLATION {v}");
+        }
+    }
+
+    // 2. Schedule exploration.
+    for &(n, b, threads) in EXPLORE {
+        let cfg = Config { n, b, threads, seed: args.seed };
+        let report = explore_config(&cfg, &opts);
+        let mode = if report.exhaustive { "exhaustive" } else { "sampled" };
+        if report.is_clean() {
+            println!("explore: {cfg}: {} schedules ({mode}), clean", report.schedules);
+        } else {
+            failed = true;
+            println!("explore: {cfg}: {} schedules ({mode}), VIOLATIONS", report.schedules);
+            for v in &report.violations {
+                println!("  race: {v}");
+            }
+            for m in &report.mismatches {
+                println!("  mismatch: {m}");
+            }
+            if !report.final_matches_sequential {
+                println!("  final state diverges from sequential fw_tiled");
+            }
+        }
+    }
+
+    // 3. Barrier-omission mutation: the checker must flag the race.
+    let cfg = Config { n: 8, b: 4, threads: 2, seed: args.seed };
+    let mutated = ExploreOptions { merge_phases: true, ..opts };
+    let report = explore_config(&cfg, &mutated);
+    if let Some(v) = report.violations.first() {
+        println!("mutation: barrier between phases 2+3 removed on {cfg}: detected ({})", v.race.kind);
+    } else {
+        failed = true;
+        println!("mutation: {cfg}: race NOT detected — the checker is insensitive");
+    }
+
+    if failed {
+        println!("cachegraph-check: FAILED (replay with --seed {:#x})", args.seed);
+        ExitCode::FAILURE
+    } else {
+        println!("cachegraph-check: all checks passed");
+        ExitCode::SUCCESS
+    }
+}

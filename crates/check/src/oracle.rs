@@ -1,0 +1,197 @@
+//! The footprint oracle: per-phase disjointness, proven from the plan.
+//!
+//! For a given `(n, b)` tiling this builds the exact task plan the
+//! parallel driver executes (`cachegraph_fw::plan::Planner`) and checks,
+//! for every block iteration and each of its two parallel phases, the
+//! precondition each `SAFETY:` comment in `fw::parallel` claims:
+//!
+//! 1. write footprints are pairwise disjoint (each tile is written by
+//!    exactly one task per phase), and
+//! 2. no task's read footprint intersects any other task's write
+//!    footprint (everything a task reads is stable for the whole phase).
+//!
+//! The check is pure set arithmetic over the declared cell ranges; the
+//! companion test in `cachegraph-fw` (`phase_tasks_access_disjoint_cells`)
+//! proves the declared ranges cover every access the real kernel makes,
+//! so together they discharge the driver's soundness argument.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use cachegraph_fw::plan::{Planner, TileTask};
+use cachegraph_layout::BlockLayout;
+
+/// How two task footprints illegally overlap.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OverlapKind {
+    /// Two tasks of one phase may write a common cell.
+    WriteWrite,
+    /// One task may read a cell another task of the same phase writes.
+    ReadWrite,
+}
+
+impl fmt::Display for OverlapKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OverlapKind::WriteWrite => write!(f, "write/write"),
+            OverlapKind::ReadWrite => write!(f, "read/write"),
+        }
+    }
+}
+
+/// One footprint-disjointness violation found by the oracle.
+#[derive(Clone, Debug)]
+pub struct FootprintViolation {
+    /// Logical matrix dimension of the offending configuration.
+    pub n: usize,
+    /// Tile size of the offending configuration.
+    pub b: usize,
+    /// Block iteration.
+    pub t: usize,
+    /// Phase name (`"phase2"` / `"phase3"`).
+    pub phase: &'static str,
+    /// Index of the writing task within the phase's task list.
+    pub writer: usize,
+    /// Index of the other (writing or reading) task.
+    pub other: usize,
+    /// One witness cell in the overlap (flat storage index).
+    pub cell: usize,
+    /// Which disjointness claim is broken.
+    pub kind: OverlapKind,
+}
+
+impl fmt::Display for FootprintViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} b={} t={} {}: {} overlap between tasks {} and {} at cell {}",
+            self.n, self.b, self.t, self.phase, self.kind, self.writer, self.other, self.cell
+        )
+    }
+}
+
+/// The declared write footprint of a task as a cell set.
+fn write_cells(task: &TileTask, b: usize) -> BTreeSet<usize> {
+    task.write_rows(b).flatten().collect()
+}
+
+/// The declared read footprint of a task as a cell set.
+fn read_cells(task: &TileTask, b: usize) -> BTreeSet<usize> {
+    task.read_rows(b).flatten().collect()
+}
+
+/// Check one phase's task list; push any overlap into `out`.
+fn check_phase(
+    n: usize,
+    b: usize,
+    t: usize,
+    phase: &'static str,
+    tasks: &[TileTask],
+    out: &mut Vec<FootprintViolation>,
+) {
+    let writes: Vec<BTreeSet<usize>> = tasks.iter().map(|task| write_cells(task, b)).collect();
+    let reads: Vec<BTreeSet<usize>> = tasks.iter().map(|task| read_cells(task, b)).collect();
+    for x in 0..tasks.len() {
+        for y in 0..tasks.len() {
+            if x == y {
+                continue;
+            }
+            if x < y {
+                if let Some(&cell) = writes[x].intersection(&writes[y]).next() {
+                    out.push(FootprintViolation {
+                        n,
+                        b,
+                        t,
+                        phase,
+                        writer: x,
+                        other: y,
+                        cell,
+                        kind: OverlapKind::WriteWrite,
+                    });
+                }
+            }
+            if let Some(&cell) = writes[x].intersection(&reads[y]).next() {
+                out.push(FootprintViolation {
+                    n,
+                    b,
+                    t,
+                    phase,
+                    writer: x,
+                    other: y,
+                    cell,
+                    kind: OverlapKind::ReadWrite,
+                });
+            }
+        }
+    }
+}
+
+/// Prove (or refute) the per-phase disjointness claims for one `(n, b)`
+/// configuration over the Block Data Layout — the layout the parallel
+/// driver is benchmarked on. Returns every overlap found (empty =
+/// proven for this configuration).
+pub fn check_footprints(n: usize, b: usize) -> Vec<FootprintViolation> {
+    let layout = BlockLayout::new(n, b);
+    let planner = Planner::new(&layout, n, b);
+    let mut out = Vec::new();
+    let mut tasks = Vec::new();
+    for t in 0..planner.real_tiles() {
+        planner.phase2(t, &mut tasks);
+        check_phase(n, b, t, "phase2", &tasks, &mut out);
+        planner.phase3(t, &mut tasks);
+        check_phase(n, b, t, "phase3", &tasks, &mut out);
+    }
+    out
+}
+
+/// Sweep every `(n, b)` with `1 <= n <= max_n`, `1 <= b <= max_b`.
+/// Returns the number of configurations checked and all violations.
+pub fn sweep_footprints(max_n: usize, max_b: usize) -> (usize, Vec<FootprintViolation>) {
+    let mut configs = 0;
+    let mut violations = Vec::new();
+    for n in 1..=max_n {
+        for b in 1..=max_b {
+            configs += 1;
+            violations.extend(check_footprints(n, b));
+        }
+    }
+    (configs, violations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachegraph_fw::View;
+
+    #[test]
+    fn overlapping_hand_built_tasks_are_caught() {
+        // Two tasks writing the same tile: the oracle must refuse.
+        let tile = View { offset: 0, stride: 4 };
+        let other = View { offset: 16, stride: 4 };
+        let tasks = [
+            TileTask { a: tile, b: other, c: other },
+            TileTask { a: tile, b: other, c: other },
+        ];
+        let mut out = Vec::new();
+        check_phase(8, 4, 0, "phase2", &tasks, &mut out);
+        assert!(out.iter().any(|v| v.kind == OverlapKind::WriteWrite));
+
+        // One task reading what the other writes: also refused.
+        let tasks = [
+            TileTask { a: tile, b: other, c: other },
+            TileTask { a: other, b: tile, c: other },
+        ];
+        out.clear();
+        check_phase(8, 4, 0, "phase2", &tasks, &mut out);
+        assert!(out.iter().any(|v| v.kind == OverlapKind::ReadWrite));
+        assert!(!out.iter().any(|v| v.kind == OverlapKind::WriteWrite));
+    }
+
+    #[test]
+    fn real_plans_are_disjoint() {
+        for (n, b) in [(1, 1), (4, 4), (8, 4), (9, 3), (12, 4), (17, 5)] {
+            let v = check_footprints(n, b);
+            assert!(v.is_empty(), "n={n} b={b}: {:?}", v.first());
+        }
+    }
+}

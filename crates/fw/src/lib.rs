@@ -49,6 +49,7 @@ mod matrix;
 pub mod observed;
 pub mod parallel;
 mod paths;
+pub mod plan;
 mod recursive;
 mod tiled;
 

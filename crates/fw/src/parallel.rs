@@ -17,12 +17,19 @@
 //! distributed over `std::thread` scoped threads; the kernel runs over raw
 //! pointers because disjoint mutable tile views of one allocation cannot
 //! be expressed as safe slices.
+//!
+//! The task plan (which tile each task writes and reads, per phase) is
+//! built by [`crate::plan::Planner`] — pure data shared with the dynamic
+//! disjointness test below and with the `cachegraph-check` footprint
+//! oracle and schedule explorer, which machine-check the phase
+//! disjointness argument every `SAFETY:` comment here relies on.
 
 use cachegraph_graph::{Weight, INF};
 use cachegraph_obs::{Counter, Registry};
 
 use crate::kernel::{StridedView, View};
 use crate::matrix::FwMatrix;
+use crate::plan::{Planner, TileTask};
 
 /// Shared storage handle for the scoped worker threads. Soundness
 /// argument: within each parallel phase, every task writes only its own A
@@ -99,55 +106,10 @@ unsafe fn fwi_raw(data: SharedStorage, a: View, b: View, c: View, size: usize) {
     }
 }
 
-/// One unit of phase-2/3 work: update tile A using tiles B and C.
-#[derive(Clone, Copy)]
-struct Task {
-    a: View,
-    b: View,
-    c: View,
-}
-
-/// Phase-2 tasks of block iteration `t`: the rest of row `t` (reading the
-/// diagonal as B) and the rest of column `t` (reading the diagonal as C).
-fn phase2_tasks(view: &dyn Fn(usize, usize) -> View, real_tiles: usize, t: usize, out: &mut Vec<Task>) {
-    out.clear();
-    let diag = view(t, t);
-    for j in 0..real_tiles {
-        if j != t {
-            let a = view(t, j);
-            out.push(Task { a, b: diag, c: a });
-        }
-    }
-    for i in 0..real_tiles {
-        if i != t {
-            let a = view(i, t);
-            out.push(Task { a, b: a, c: diag });
-        }
-    }
-}
-
-/// Phase-3 tasks of block iteration `t`: every remaining tile, reading
-/// its (stable) column-`t` tile as B and row-`t` tile as C.
-fn phase3_tasks(view: &dyn Fn(usize, usize) -> View, real_tiles: usize, t: usize, out: &mut Vec<Task>) {
-    out.clear();
-    for i in 0..real_tiles {
-        if i == t {
-            continue;
-        }
-        let bt = view(i, t);
-        for j in 0..real_tiles {
-            if j == t {
-                continue;
-            }
-            out.push(Task { a: view(i, j), b: bt, c: view(t, j) });
-        }
-    }
-}
-
 /// Run `tasks` across `threads` scoped workers. Each finished task bumps
 /// `kernel_calls` — a `cachegraph-obs` counter shared across the scoped
 /// threads (a disabled handle reduces to a branch per task).
-fn run_parallel(data: SharedStorage, tasks: &[Task], b: usize, threads: usize, kernel_calls: &Counter) {
+fn run_parallel(data: SharedStorage, tasks: &[TileTask], b: usize, threads: usize, kernel_calls: &Counter) {
     if tasks.is_empty() {
         return;
     }
@@ -197,40 +159,29 @@ pub fn fw_tiled_parallel_observed<L: StridedView>(
 ) {
     let root = registry.span("fw.parallel");
     let kernel_calls = registry.counter("fw.kernel_calls");
-    let p = m.padded_n();
     let n = m.n();
-    assert!(b >= 1 && p.is_multiple_of(b), "padded size {p} must be a multiple of the tile size {b}");
     assert!(threads >= 1, "need at least one thread");
-    let real_tiles = n.div_ceil(b);
     let layout = m.layout().clone();
-    // Every layout in this crate that can express tile (0, 0) as a strided
-    // view can express all aligned in-range tiles, so one check up front
-    // validates the whole decomposition.
-    assert!(
-        layout.view(0, 0, b).is_some(),
-        "layout must expose aligned {b}x{b} tiles (tile size must match the layout's block size)"
-    );
-    let view = |ti: usize, tj: usize| {
-        // tidy: allow(panic-policy) -- tiling validated by the assert above
-        layout.view(ti * b, tj * b, b).expect("layout must expose aligned bxb tiles")
-    };
+    // The planner re-checks the tiling preconditions (padded dimension a
+    // multiple of b, layout exposes aligned bxb tiles).
+    let planner = Planner::new(&layout, n, b);
     let storage = m.storage_mut();
     let data = SharedStorage { ptr: storage.as_mut_ptr(), len: storage.len() };
 
     let mut phase2 = Vec::new();
     let mut phase3 = Vec::new();
-    for t in 0..real_tiles {
+    for t in 0..planner.real_tiles() {
         let _block = registry.is_enabled().then(|| root.child(&format!("block[{t}]")));
-        let diag = view(t, t);
+        let diag = planner.phase1(t);
         // Phase 1: sequential diagonal tile.
         // SAFETY: no other thread is running.
-        unsafe { fwi_raw(data, diag, diag, diag, b) };
+        unsafe { fwi_raw(data, diag.a, diag.b, diag.c, b) };
         kernel_calls.incr();
 
-        phase2_tasks(&view, real_tiles, t, &mut phase2);
+        planner.phase2(t, &mut phase2);
         run_parallel(data, &phase2, b, threads, &kernel_calls);
 
-        phase3_tasks(&view, real_tiles, t, &mut phase3);
+        planner.phase3(t, &mut phase3);
         run_parallel(data, &phase3, b, threads, &kernel_calls);
     }
 }
@@ -303,10 +254,12 @@ mod tests {
     }
 
     /// The data-race-freedom claim the parallel phases rest on, checked
-    /// dynamically: within one phase, no two tasks write a common cell,
-    /// and no task reads a cell that another task of the same phase
-    /// writes. (Recorded by running each task's kernel — cell-by-cell,
-    /// same operation order as `fwi_raw` — over live data.)
+    /// dynamically against the *same* task plan the driver executes
+    /// (`plan::Planner` — no inline re-derivation that could drift):
+    /// within one phase, no two tasks write a common cell, no task reads
+    /// a cell that another task of the same phase writes, and every
+    /// recorded access stays inside the footprint the plan declares for
+    /// it (what the `cachegraph-check` footprint oracle reasons about).
     #[test]
     fn phase_tasks_access_disjoint_cells() {
         use crate::kernel::fwi_access;
@@ -316,18 +269,32 @@ mod tests {
         let layout = BlockLayout::new(n, b);
         let costs = random_costs(n, 0.4, 7);
         let mut m = FwMatrix::from_costs(layout, &costs);
-        let real_tiles = n.div_ceil(b);
-        let view = |ti: usize, tj: usize| layout.view(ti * b, tj * b, b).unwrap();
+        let planner = Planner::new(&layout, n, b);
 
-        let check_phase = |phase: &str, t: usize, tasks: &[Task], data: &mut [u32]| {
+        let check_phase = |phase: &str, t: usize, tasks: &[TileTask], data: &mut [u32]| {
             let mut records = Vec::new();
-            for task in tasks {
+            for (i, task) in tasks.iter().enumerate() {
                 let mut acc = RecordingAccess {
                     data,
                     reads: Default::default(),
                     writes: Default::default(),
                 };
                 fwi_access(&mut acc, task.a, task.b, task.c, b);
+                // The declared footprints must cover every access the real
+                // kernel performs — this is what makes the static oracle's
+                // disjointness proof evidence about the executed code.
+                let declared_w: std::collections::BTreeSet<usize> =
+                    task.write_rows(b).flatten().collect();
+                let declared_r: std::collections::BTreeSet<usize> =
+                    task.read_rows(b).flatten().collect();
+                assert!(
+                    acc.writes.is_subset(&declared_w),
+                    "{phase} t={t}: task {i} writes outside its declared footprint"
+                );
+                assert!(
+                    acc.reads.is_subset(&declared_r),
+                    "{phase} t={t}: task {i} reads outside its declared footprint"
+                );
                 records.push((acc.reads, acc.writes));
             }
             for (x, (_, wx)) in records.iter().enumerate() {
@@ -349,15 +316,15 @@ mod tests {
 
         let mut phase2 = Vec::new();
         let mut phase3 = Vec::new();
-        for t in 0..real_tiles {
-            let diag = view(t, t);
+        for t in 0..planner.real_tiles() {
+            let diag = planner.phase1(t);
             let data = m.storage_mut();
-            crate::kernel::fwi(data, diag, diag, diag, b);
+            crate::kernel::fwi(data, diag.a, diag.b, diag.c, b);
 
-            phase2_tasks(&view, real_tiles, t, &mut phase2);
+            planner.phase2(t, &mut phase2);
             check_phase("phase2", t, &phase2, data);
 
-            phase3_tasks(&view, real_tiles, t, &mut phase3);
+            planner.phase3(t, &mut phase3);
             check_phase("phase3", t, &phase3, data);
         }
 

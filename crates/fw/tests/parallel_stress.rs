@@ -1,0 +1,53 @@
+//! Stress sweep for `fw_tiled_parallel`: random `(n, b, threads)`
+//! triples diffed against the sequential tiled driver on the same input.
+//! The always-on smoke subset keeps tier-1 fast; the full sweep runs
+//! with `cargo test -p cachegraph-fw -- --ignored`.
+
+use cachegraph_fw::{fw_tiled, parallel::fw_tiled_parallel, FwMatrix, INF};
+use cachegraph_layout::BlockLayout;
+use cachegraph_rng::StdRng;
+
+fn random_costs(rng: &mut StdRng, n: usize) -> Vec<u32> {
+    let mut c: Vec<u32> = (0..n * n)
+        .map(|_| if rng.gen_bool(0.4) { rng.gen_range(1u32..100) } else { INF })
+        .collect();
+    for v in 0..n {
+        c[v * n + v] = 0;
+    }
+    c
+}
+
+/// One triple: the parallel driver must reproduce `fw_tiled` exactly.
+fn check_triple(rng: &mut StdRng, n: usize, b: usize, threads: usize, seed: u64, case: usize) {
+    let costs = random_costs(rng, n);
+    let mut expect = FwMatrix::from_costs(BlockLayout::new(n, b), &costs);
+    fw_tiled(&mut expect, b);
+    let mut got = FwMatrix::from_costs(BlockLayout::new(n, b), &costs);
+    fw_tiled_parallel(&mut got, b, threads);
+    assert_eq!(
+        got.storage(),
+        expect.storage(),
+        "n={n} b={b} threads={threads} (seed={seed:#x} case={case})"
+    );
+}
+
+fn sweep(seed: u64, cases: usize, max_n: usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for case in 0..cases {
+        let n = rng.gen_range(1usize..=max_n);
+        let b = rng.gen_range(1usize..=8);
+        let threads = rng.gen_range(1usize..=8);
+        check_triple(&mut rng, n, b, threads, seed, case);
+    }
+}
+
+#[test]
+fn parallel_smoke_sweep() {
+    sweep(0x50a4, 24, 20);
+}
+
+#[test]
+#[ignore = "long stress sweep; run with -- --ignored"]
+fn parallel_full_sweep() {
+    sweep(0xf011, 400, 48);
+}

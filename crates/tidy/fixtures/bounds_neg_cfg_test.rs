@@ -1,0 +1,15 @@
+// tidy: kernel
+pub fn noop() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exhaustive_check() {
+        let xs = [1u32, 2, 3];
+        let mut sum = 0;
+        for j in 0..xs.len() {
+            sum += xs[j];
+        }
+        assert_eq!(sum, 6);
+    }
+}

@@ -1,0 +1,21 @@
+// tidy: kernel
+pub struct View {
+    pub offset: usize,
+    pub stride: usize,
+}
+
+impl View {
+    pub fn at(&self, i: usize, j: usize) -> usize {
+        self.offset + i * self.stride + j
+    }
+}
+
+pub fn kernel(data: &mut [u32], b: View, size: usize) {
+    for k in 0..size {
+        // Method-call indices address views; not this rule's business.
+        let bik = data[b.at(0, k)];
+        // Range subscripts select sub-slices, also fine.
+        let row = &data[b.offset..b.offset + size];
+        let _ = (bik, row);
+    }
+}

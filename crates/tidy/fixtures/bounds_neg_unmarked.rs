@@ -1,0 +1,8 @@
+pub fn relax(a: &mut [u32], c: &[u32], bik: u32, n: usize) {
+    for j in 0..n {
+        let via = bik.saturating_add(c[j]);
+        if via < a[j] {
+            a[j] = via;
+        }
+    }
+}

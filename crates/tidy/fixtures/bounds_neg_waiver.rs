@@ -1,0 +1,7 @@
+// tidy: kernel
+pub fn gather(out: &mut [u32], src: &[u32], map: &[usize], n: usize) {
+    for j in 0..n {
+        // tidy: allow(kernel-bounds) -- scatter/gather cannot zip
+        out[j] = src[map[j]];
+    }
+}

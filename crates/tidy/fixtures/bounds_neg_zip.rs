@@ -1,0 +1,9 @@
+// tidy: kernel
+pub fn relax(a: &mut [u32], c: &[u32], bik: u32) {
+    for (av, &cv) in a.iter_mut().zip(c) {
+        let via = bik.saturating_add(cv);
+        if via < *av {
+            *av = via;
+        }
+    }
+}

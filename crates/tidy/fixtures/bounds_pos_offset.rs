@@ -1,0 +1,9 @@
+// tidy: kernel
+pub fn relax(data: &mut [u32], a_row: usize, c_row: usize, bik: u32, n: usize) {
+    for j in 0..n {
+        let via = bik.saturating_add(data[c_row + j]);
+        if via < data[a_row + j] {
+            data[a_row + j] = via;
+        }
+    }
+}

@@ -28,9 +28,11 @@ pub const DEPENDENCY_ALLOWLIST: &[&str] = &[
     "cachegraph-cli",
     "cachegraph-tidy",
     "cachegraph-obs",
+    "cachegraph-check",
 ];
 
-/// Marker comment opting a file into the kernel-purity rule.
+/// Marker comment opting a file into the kernel-purity, obs-purity and
+/// kernel-bounds rules.
 pub const KERNEL_MARKER: &str = "tidy: kernel";
 
 /// Directories never scanned (relative path components).

@@ -18,6 +18,9 @@
 //!   cache simulator's address/set-index arithmetic;
 //! * [`rules::kernel_purity`] — files opted in via a `// tidy: kernel`
 //!   marker must not allocate or take locks;
+//! * [`rules::kernel_bounds`] — kernel-marked files must not index slices
+//!   with a raw range counter where an `iter().zip()` chain would elide
+//!   the bounds check;
 //! * [`rules::obs_purity`] — kernel-marked files must not reference the
 //!   observability layer (`cachegraph_obs`); instrumentation lives in
 //!   the drivers;
@@ -128,6 +131,7 @@ pub fn run_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
         diags.extend(rules::error_policy::check(sf));
         diags.extend(rules::cast_soundness::check(sf));
         diags.extend(rules::kernel_purity::check(sf));
+        diags.extend(rules::kernel_bounds::check(sf));
         diags.extend(rules::obs_purity::check(sf));
         diags.extend(rules::doc_coverage::check(sf));
     }

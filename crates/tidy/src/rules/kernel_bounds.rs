@@ -1,0 +1,164 @@
+//! `kernel-bounds`: files opted in with a `// tidy: kernel` marker must
+//! not index slices with a raw loop counter inside a `for ... in <range>`
+//! loop when the access could be an `iter().zip()` chain.
+//!
+//! The paper's timings assume the inner FWI loop compiles to straight-
+//! line vectorised code. A subscript like `xs[i]` (or `xs[base + i]`)
+//! driven by a range counter carries a bounds check LLVM can only elide
+//! when it can prove the range against the slice length — fragile under
+//! refactoring and invisible when it regresses. Iterating the slices
+//! directly (`a.iter_mut().zip(c)`) makes the elision structural.
+//!
+//! Only *simple additive* index expressions are flagged: a subscript
+//! whose index is built from identifiers, literals and `+ - *` and that
+//! mentions the loop variable. Indices computed through method calls
+//! (`data[b.at(i, k)]`) or range subscripts (`data[r0..r0 + n]`) address
+//! views and sub-slices, which this rule cannot judge, so they pass.
+
+use crate::config::KERNEL_MARKER;
+use crate::{Diagnostic, SourceFile};
+
+use super::{contains_word, line_of};
+
+pub const RULE: &str = "kernel-bounds";
+
+/// Is `c` part of an identifier?
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// A subscript's index expression qualifies when it is simple arithmetic
+/// over identifiers — no calls, fields, ranges, or nested indexing.
+fn simple_index(expr: &str) -> bool {
+    !expr.is_empty() && expr.chars().all(|c| is_ident(c) || c.is_whitespace() || "+-*".contains(c))
+}
+
+/// First flaggable subscript on `line`: a `<expr>[<simple index>]` whose
+/// index mentions `var`. Returns the index expression.
+fn flagged_subscript(line: &str, var: &str) -> Option<String> {
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'[' {
+            i += 1;
+            continue;
+        }
+        // Must subscript an expression: the previous non-space character
+        // ends one. Rules out attributes (`#[...]`) and array types.
+        let indexable = line[..i]
+            .trim_end()
+            .chars()
+            .next_back()
+            .is_some_and(|c| is_ident(c) || c == ')' || c == ']');
+        // Matching close bracket on this line (multi-line indices are
+        // never "simple").
+        let mut depth = 0usize;
+        let mut close = None;
+        for (off, &b) in bytes[i..].iter().enumerate() {
+            match b {
+                b'[' => depth += 1,
+                b']' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = Some(i + off);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let close = close?;
+        let inner = &line[i + 1..close];
+        if indexable && simple_index(inner) && contains_word(inner, var) {
+            return Some(inner.trim().to_string());
+        }
+        i = close + 1;
+    }
+    None
+}
+
+pub fn check(sf: &SourceFile) -> Vec<Diagnostic> {
+    let marked = sf
+        .lexed
+        .comments
+        .iter()
+        .any(|c| c.text.trim_start_matches(['/', '!', '*', ' ']).starts_with(KERNEL_MARKER));
+    if !marked {
+        return Vec::new();
+    }
+    let in_test = super::cfg_test_lines(sf);
+    let masked = &sf.lexed.masked;
+    let bytes = masked.as_bytes();
+    let lines: Vec<&str> = masked.lines().collect();
+    let mut diags = Vec::new();
+    let mut flagged_lines = std::collections::BTreeSet::new();
+
+    let mut search = 0usize;
+    while let Some(off) = masked.get(search..).and_then(|t| t.find("for ")) {
+        let pos = search + off;
+        search = pos + 4;
+        // `for` must start a word (not `wait_for `).
+        if pos > 0 && masked[..pos].chars().next_back().is_some_and(is_ident) {
+            continue;
+        }
+        // A single-identifier binding; tuple patterns (`for (a, b) in`)
+        // are already zip-style.
+        let var: String =
+            masked[pos + 4..].chars().take_while(|&c| is_ident(c)).collect();
+        if var.is_empty() {
+            continue;
+        }
+        let after_var = pos + 4 + var.len();
+        let tail = masked[after_var..].trim_start();
+        if !(tail.starts_with("in") && tail[2..].starts_with(char::is_whitespace)) {
+            continue;
+        }
+        // Header up to the body's opening brace must be a range loop.
+        let Some(brace_off) = masked[after_var..].find('{') else { continue };
+        let open = after_var + brace_off;
+        if !masked[after_var..open].contains("..") {
+            continue;
+        }
+        // Brace-match the loop body.
+        let mut depth = 0i32;
+        let mut close = bytes.len().saturating_sub(1);
+        for (boff, &b) in bytes[open..].iter().enumerate() {
+            match b {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = open + boff;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let start_line = line_of(masked, open);
+        let end_line = line_of(masked, close);
+        for line_no in start_line..=end_line.min(lines.len()) {
+            if in_test.get(line_no).copied().unwrap_or(false)
+                || flagged_lines.contains(&line_no)
+                || sf.waived(RULE, line_no)
+            {
+                continue;
+            }
+            if let Some(index) = flagged_subscript(lines[line_no - 1], &var) {
+                flagged_lines.insert(line_no);
+                diags.push(Diagnostic {
+                    path: sf.rel_path.clone(),
+                    line: line_no,
+                    rule: RULE,
+                    message: format!(
+                        "indexed access `[{index}]` driven by the range counter `{var}`; \
+                         iterate the slices (`iter().zip()`) so the bounds check is \
+                         structurally elided"
+                    ),
+                });
+            }
+        }
+    }
+    diags.sort_by_key(|d| d.line);
+    diags
+}

@@ -217,6 +217,56 @@ fn kernel_ignores_cfg_test_allocations() {
     assert!(rules::kernel_purity::check(&sf).is_empty());
 }
 
+// ---- kernel-bounds ---------------------------------------------------
+
+#[test]
+fn bounds_flags_direct_counter_index() {
+    let sf = lib_file(include_str!("../fixtures/bounds_pos_index.rs"));
+    let diags = rules::kernel_bounds::check(&sf);
+    // `c[j]`, `a[j]` in the compare, `a[j]` in the store: one per line.
+    assert_eq!(diags.len(), 3, "{diags:?}");
+    assert!(diags.iter().all(|d| d.rule == "kernel-bounds"));
+    assert_eq!(diags[0].line, 4);
+}
+
+#[test]
+fn bounds_flags_offset_counter_index() {
+    let sf = lib_file(include_str!("../fixtures/bounds_pos_offset.rs"));
+    let diags = rules::kernel_bounds::check(&sf);
+    assert_eq!(diags.len(), 3, "{diags:?}");
+    assert!(diags[0].message.contains("c_row + j"), "{}", diags[0].message);
+}
+
+#[test]
+fn bounds_accepts_zip_style_loop() {
+    let sf = lib_file(include_str!("../fixtures/bounds_neg_zip.rs"));
+    assert!(rules::kernel_bounds::check(&sf).is_empty());
+}
+
+#[test]
+fn bounds_ignores_unmarked_files() {
+    let sf = lib_file(include_str!("../fixtures/bounds_neg_unmarked.rs"));
+    assert!(rules::kernel_bounds::check(&sf).is_empty());
+}
+
+#[test]
+fn bounds_honors_waiver() {
+    let sf = lib_file(include_str!("../fixtures/bounds_neg_waiver.rs"));
+    assert!(rules::kernel_bounds::check(&sf).is_empty());
+}
+
+#[test]
+fn bounds_skips_method_and_range_indices() {
+    let sf = lib_file(include_str!("../fixtures/bounds_neg_method.rs"));
+    assert!(rules::kernel_bounds::check(&sf).is_empty());
+}
+
+#[test]
+fn bounds_ignores_cfg_test_loops() {
+    let sf = lib_file(include_str!("../fixtures/bounds_neg_cfg_test.rs"));
+    assert!(rules::kernel_bounds::check(&sf).is_empty());
+}
+
 // ---- obs-purity ------------------------------------------------------
 
 #[test]
