@@ -12,6 +12,14 @@ cargo test -q --workspace
 echo "==> cachegraph-tidy"
 cargo run -q -p cachegraph-tidy
 
+echo "==> cachegraph-analyze (static footprint proof, full sweep)"
+# Golden-parse the kernel files, AST lint rules, inferred-footprint /
+# plan-conformance sweep over the full (n <= 20, b <= 6) grid, plus
+# off-by-one mutation sensitivity. Report kept with the CI metrics.
+mkdir -p target/ci-metrics
+cargo run -q --release -p cachegraph-analyze -- --sweep \
+  | tee target/ci-metrics/analyze.txt
+
 echo "==> cachegraph-check (model-check fw::parallel)"
 # Footprint oracle sweep + bounded schedule exploration + barrier-omission
 # mutation sensitivity; failures print the schedule and replay seed.

@@ -1,0 +1,29 @@
+// Fixture: a faithful copy of the FWI kernel's loop shape (see
+// `crates/fw/src/kernel.rs`). Never compiled — parsed and checked by
+// `cachegraph-analyze`'s sensitivity self-test, where it must CONFORM.
+
+trait Cells {
+    fn read(&mut self, idx: usize) -> u32;
+
+    fn write(&mut self, idx: usize, v: u32);
+
+    fn fwi_block(&mut self, a: View, b: View, c: View, size: usize) {
+        for k in 0..size {
+            for i in 0..size {
+                let bik = self.read(b.at(i, k));
+                if bik == INF {
+                    continue;
+                }
+                let c_row = c.at(k, 0);
+                let a_row = a.at(i, 0);
+                for j in 0..size {
+                    let via = bik.saturating_add(self.read(c_row + j));
+                    let cell = self.read(a_row + j);
+                    if via < cell {
+                        self.write(a_row + j, via);
+                    }
+                }
+            }
+        }
+    }
+}

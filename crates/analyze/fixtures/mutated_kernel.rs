@@ -1,0 +1,31 @@
+// Fixture: the FWI kernel with a SEEDED DEFECT — the written subscript
+// is off by one (`a_row + j + 1`), so the last column of every row
+// escapes the task's declared write footprint. Never compiled — parsed
+// and checked by `cachegraph-analyze`'s sensitivity self-test, where
+// the defect must be DETECTED.
+
+trait Cells {
+    fn read(&mut self, idx: usize) -> u32;
+
+    fn write(&mut self, idx: usize, v: u32);
+
+    fn fwi_block(&mut self, a: View, b: View, c: View, size: usize) {
+        for k in 0..size {
+            for i in 0..size {
+                let bik = self.read(b.at(i, k));
+                if bik == INF {
+                    continue;
+                }
+                let c_row = c.at(k, 0);
+                let a_row = a.at(i, 0);
+                for j in 0..size {
+                    let via = bik.saturating_add(self.read(c_row + j));
+                    let cell = self.read(a_row + j);
+                    if via < cell {
+                        self.write(a_row + j + 1, via);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! The symbolic domain for subscript inference: multivariate
+//! polynomials over loop induction variables and named symbols.
+//!
+//! A subscript like `a.offset + i * a.stride + j` evaluates to a
+//! [`Poly`] with monomials `{a.offset: 1, i·a.stride: 1, j: 1}`. Two
+//! atom kinds are distinguished: [`Atom::IVar`] for loop induction
+//! variables (instantiated over their inferred intervals when a
+//! footprint is enumerated) and [`Atom::Sym`] for opaque-but-fixed
+//! quantities (the `size` parameter, a view's `offset`/`stride`)
+//! substituted from a concrete task when conformance is checked.
+//!
+//! All arithmetic is checked: coefficient overflow degrades to `None`,
+//! which the interpreter treats as "not affine" — over-approximation
+//! stays sound because unevaluable subscripts are reported, never
+//! silently dropped.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// One multiplicative atom of a monomial.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Atom {
+    /// A loop induction variable, by name.
+    IVar(String),
+    /// A named opaque symbol (`size`, `a.offset`, `a.stride`, …).
+    Sym(String),
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Atom::IVar(n) | Atom::Sym(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// A polynomial: map from monomial (sorted multiset of atoms; the empty
+/// monomial is the constant term) to coefficient. Always normalized —
+/// zero coefficients are removed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Poly {
+    terms: BTreeMap<Vec<Atom>, i64>,
+}
+
+impl Poly {
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Self { terms: BTreeMap::new() }
+    }
+
+    /// A constant.
+    pub fn constant(c: i64) -> Self {
+        let mut terms = BTreeMap::new();
+        if c != 0 {
+            terms.insert(Vec::new(), c);
+        }
+        Self { terms }
+    }
+
+    /// A single atom with coefficient 1.
+    pub fn atom(a: Atom) -> Self {
+        let mut terms = BTreeMap::new();
+        terms.insert(vec![a], 1);
+        Self { terms }
+    }
+
+    /// Shorthand: an induction variable.
+    pub fn ivar(name: &str) -> Self {
+        Self::atom(Atom::IVar(name.to_string()))
+    }
+
+    /// Shorthand: a named symbol.
+    pub fn sym(name: &str) -> Self {
+        Self::atom(Atom::Sym(name.to_string()))
+    }
+
+    /// The constant value, if this polynomial is a constant.
+    pub fn as_const(&self) -> Option<i64> {
+        match self.terms.len() {
+            0 => Some(0),
+            1 => self.terms.get(&Vec::new()).copied(),
+            _ => None,
+        }
+    }
+
+    fn insert_term(terms: &mut BTreeMap<Vec<Atom>, i64>, mono: Vec<Atom>, c: i64) -> Option<()> {
+        let entry = terms.entry(mono).or_insert(0);
+        *entry = entry.checked_add(c)?;
+        Some(())
+    }
+
+    fn normalized(mut self) -> Self {
+        self.terms.retain(|_, c| *c != 0);
+        self
+    }
+
+    /// `self + other`; `None` on coefficient overflow.
+    pub fn add(&self, other: &Poly) -> Option<Poly> {
+        let mut terms = self.terms.clone();
+        for (mono, &c) in &other.terms {
+            Self::insert_term(&mut terms, mono.clone(), c)?;
+        }
+        Some(Poly { terms }.normalized())
+    }
+
+    /// `self - other`; `None` on coefficient overflow.
+    pub fn sub(&self, other: &Poly) -> Option<Poly> {
+        let mut terms = self.terms.clone();
+        for (mono, &c) in &other.terms {
+            Self::insert_term(&mut terms, mono.clone(), c.checked_neg()?)?;
+        }
+        Some(Poly { terms }.normalized())
+    }
+
+    /// `self * other`; `None` on coefficient overflow.
+    pub fn mul(&self, other: &Poly) -> Option<Poly> {
+        let mut terms = BTreeMap::new();
+        for (ma, &ca) in &self.terms {
+            for (mb, &cb) in &other.terms {
+                let mut mono: Vec<Atom> = ma.iter().chain(mb.iter()).cloned().collect();
+                mono.sort();
+                Self::insert_term(&mut terms, mono, ca.checked_mul(cb)?)?;
+            }
+        }
+        Some(Poly { terms }.normalized())
+    }
+
+    /// Every induction variable appearing in this polynomial.
+    pub fn ivars(&self) -> BTreeSet<&str> {
+        let mut out = BTreeSet::new();
+        for mono in self.terms.keys() {
+            for a in mono {
+                if let Atom::IVar(n) = a {
+                    out.insert(n.as_str());
+                }
+            }
+        }
+        out
+    }
+
+    /// Evaluate with `lookup` supplying a value for every atom.
+    /// `None` if any atom is unbound or arithmetic overflows.
+    pub fn eval(&self, lookup: &impl Fn(&Atom) -> Option<i64>) -> Option<i64> {
+        let mut total: i64 = 0;
+        for (mono, &c) in &self.terms {
+            let mut v: i64 = c;
+            for a in mono {
+                v = v.checked_mul(lookup(a)?)?;
+            }
+            total = total.checked_add(v)?;
+        }
+        Some(total)
+    }
+}
+
+impl fmt::Display for Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "0");
+        }
+        let mut first = true;
+        for (mono, c) in &self.terms {
+            if !first {
+                write!(f, " + ")?;
+            }
+            first = false;
+            if mono.is_empty() {
+                write!(f, "{c}")?;
+                continue;
+            }
+            if *c != 1 {
+                write!(f, "{c}*")?;
+            }
+            let names: Vec<String> = mono.iter().map(|a| a.to_string()).collect();
+            write!(f, "{}", names.join("*"))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Poly {
+        Poly::sym(s)
+    }
+
+    #[test]
+    fn affine_subscript_builds_and_evaluates() {
+        // offset + i * stride + j
+        let sub = p("a.offset")
+            .add(&Poly::ivar("i").mul(&p("a.stride")).unwrap())
+            .unwrap()
+            .add(&Poly::ivar("j"))
+            .unwrap();
+        assert_eq!(sub.ivars().into_iter().collect::<Vec<_>>(), vec!["i", "j"]);
+        let v = sub.eval(&|a| match a {
+            Atom::Sym(n) if n == "a.offset" => Some(100),
+            Atom::Sym(n) if n == "a.stride" => Some(8),
+            Atom::IVar(n) if n == "i" => Some(2),
+            Atom::IVar(n) if n == "j" => Some(3),
+            _ => None,
+        });
+        assert_eq!(v, Some(100 + 2 * 8 + 3));
+    }
+
+    #[test]
+    fn normalization_cancels_terms() {
+        let x = Poly::ivar("x");
+        let z = x.sub(&x).unwrap();
+        assert_eq!(z, Poly::zero());
+        assert_eq!(z.as_const(), Some(0));
+    }
+
+    #[test]
+    fn products_sort_monomials() {
+        let ab = Poly::ivar("a").mul(&Poly::ivar("b")).unwrap();
+        let ba = Poly::ivar("b").mul(&Poly::ivar("a")).unwrap();
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn overflow_degrades_to_none() {
+        let big = Poly::constant(i64::MAX);
+        assert!(big.add(&Poly::constant(1)).is_none());
+        assert!(big.mul(&Poly::constant(2)).is_none());
+    }
+
+    #[test]
+    fn unbound_atom_fails_eval() {
+        let s = p("size");
+        assert_eq!(s.eval(&|_| None), None);
+        assert_eq!(Poly::constant(7).eval(&|_| None), Some(7));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let sub = p("off").add(&Poly::ivar("i").mul(&p("st")).unwrap()).unwrap();
+        let txt = sub.to_string();
+        assert!(txt.contains("off") && txt.contains("i*st"), "{txt}");
+    }
+}

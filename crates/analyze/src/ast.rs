@@ -1,0 +1,471 @@
+//! The abstract syntax tree for the Rust subset the kernels are written
+//! in.
+//!
+//! Only what the footprint interpreter and the AST-backed lint rules
+//! need survives into the tree: function items with named/typed
+//! parameters, the statement forms kernel bodies use (`let`, `for`
+//! range loops, expression statements), and a full expression grammar
+//! (calls, method calls, field access, indexing, ranges, struct
+//! literals, `if`/`match`/closures as walked nodes). Types, generics,
+//! attributes and macro bodies are consumed token-wise at parse time
+//! and appear here only as captured text where a consumer cares
+//! (parameter types, attribute text, `use` paths).
+//!
+//! Every node carries the 1-based source line it starts on, so both the
+//! conformance checker and the lint rules report real locations.
+
+/// A parsed source file: the flat list of items, with items inside
+/// `mod`/`impl`/`trait` blocks recursively included.
+#[derive(Clone, Debug)]
+pub struct File {
+    /// Top-level items in source order.
+    pub items: Vec<Item>,
+}
+
+/// One item. Non-function items keep just enough structure for the lint
+/// rules (their kind and, for `use`, the path segments).
+#[derive(Clone, Debug)]
+pub enum Item {
+    /// A function with a body.
+    Fn(Fn),
+    /// `use a::b::c;` — segments are the identifier components.
+    Use {
+        /// Identifier segments of the path (globs and braces skipped).
+        segments: Vec<String>,
+        /// 1-based start line.
+        line: usize,
+        /// Inside a `#[cfg(test)]` subtree?
+        cfg_test: bool,
+    },
+    /// `mod name { … }` / `impl … { … }` / `trait … { … }`: the items of
+    /// the block, parsed recursively.
+    Container {
+        /// `mod` / `impl` / `trait`.
+        kind: &'static str,
+        /// Contained items.
+        items: Vec<Item>,
+        /// 1-based start line.
+        line: usize,
+    },
+    /// Any other item (struct, enum, const, static, type, …), consumed
+    /// without structure.
+    Other {
+        /// Leading keyword, e.g. `struct`.
+        kind: String,
+        /// 1-based start line.
+        line: usize,
+    },
+}
+
+/// A function item.
+#[derive(Clone, Debug)]
+pub struct Fn {
+    /// Function name.
+    pub name: String,
+    /// Parameters in order (`self` receivers included, with an empty
+    /// type for bare `self`/`&self`/`&mut self`).
+    pub params: Vec<Param>,
+    /// Body block.
+    pub body: Block,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Inside a `#[cfg(test)]` subtree (own attribute or an enclosing
+    /// container's)?
+    pub cfg_test: bool,
+}
+
+/// One function parameter.
+#[derive(Clone, Debug)]
+pub struct Param {
+    /// Binding name (`self` for receivers; destructuring patterns are
+    /// flattened to `_`).
+    pub name: String,
+    /// The declared type, as the joined token text (e.g. `View`,
+    /// `&mut [Weight]`). Empty for receivers without an explicit type.
+    pub ty: String,
+}
+
+/// A `{ … }` block.
+#[derive(Clone, Debug)]
+pub struct Block {
+    /// Statements in order. A trailing expression without `;` appears
+    /// as [`Stmt::Expr`].
+    pub stmts: Vec<Stmt>,
+    /// 1-based line of the opening brace.
+    pub line: usize,
+}
+
+/// One statement.
+#[derive(Clone, Debug)]
+pub enum Stmt {
+    /// `let <pat>(: ty)? (= expr)?;`
+    Let {
+        /// Bound pattern.
+        pat: Pat,
+        /// Initializer, if present.
+        init: Option<Expr>,
+        /// 1-based line.
+        line: usize,
+    },
+    /// `for <pat> in <expr> { … }`
+    For {
+        /// Loop pattern.
+        pat: Pat,
+        /// Iterated expression.
+        iter: Expr,
+        /// Loop body.
+        body: Block,
+        /// 1-based line.
+        line: usize,
+    },
+    /// `while <expr> { … }`
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Loop body.
+        body: Block,
+        /// 1-based line.
+        line: usize,
+    },
+    /// `loop { … }`
+    Loop {
+        /// Loop body.
+        body: Block,
+        /// 1-based line.
+        line: usize,
+    },
+    /// Expression statement terminated by `;`.
+    Semi(Expr),
+    /// Block-tail expression (no `;`) — also used for `if`/`match`/block
+    /// statements in statement position.
+    Expr(Expr),
+    /// `return (expr)?;`
+    Return(Option<Expr>, usize),
+    /// `break;` / `continue;` (labels and break values not supported).
+    BreakContinue(usize),
+    /// An item nested in a block (e.g. a local `fn`), consumed without
+    /// structure.
+    Item(usize),
+}
+
+/// A binding pattern. Only the shapes kernel code uses are structured;
+/// `ref`/`mut`/`&` prefixes are stripped.
+#[derive(Clone, Debug)]
+pub enum Pat {
+    /// Single identifier.
+    Ident(String),
+    /// Tuple of sub-patterns, e.g. `(bi, ii)`.
+    Tuple(Vec<Pat>),
+    /// `_` or any unsupported pattern shape.
+    Wild,
+}
+
+impl Pat {
+    /// Every identifier bound by this pattern.
+    pub fn idents(&self) -> Vec<&str> {
+        match self {
+            Pat::Ident(s) => vec![s.as_str()],
+            Pat::Tuple(ps) => ps.iter().flat_map(|p| p.idents()).collect(),
+            Pat::Wild => Vec::new(),
+        }
+    }
+}
+
+/// An expression: a kind plus its 1-based start line.
+#[derive(Clone, Debug)]
+pub struct Expr {
+    /// What kind of expression.
+    pub kind: ExprKind,
+    /// 1-based line of the first token.
+    pub line: usize,
+}
+
+/// Binary operator classes. Everything the affine domain cannot model
+/// still round-trips through here so walkers see both operands.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `&`, `|`, `^`, `<<`, `>>`
+    Bit,
+    /// `==`, `!=`, `<`, `<=`, `>`, `>=`
+    Cmp,
+    /// `&&`, `||`
+    Logic,
+}
+
+/// Expression kinds.
+#[derive(Clone, Debug)]
+pub enum ExprKind {
+    /// Integer literal (value `None` when it overflows `i64`).
+    Int(Option<i64>),
+    /// Any other literal (string, char, float, `true`/`false`).
+    Lit,
+    /// A plain identifier.
+    Ident(String),
+    /// A `::`-separated path with at least two segments.
+    Path(Vec<String>),
+    /// Unary `-`, `!` or `*` applied to an operand.
+    Unary(Box<Expr>),
+    /// `&expr` / `&mut expr`.
+    Ref(Box<Expr>),
+    /// Binary operation.
+    Binary {
+        /// Operator class.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// `lhs = rhs`.
+    Assign {
+        /// Assignment target.
+        lhs: Box<Expr>,
+        /// Assigned value.
+        rhs: Box<Expr>,
+    },
+    /// `lhs op= rhs`.
+    CompoundAssign {
+        /// Underlying operator class.
+        op: BinOp,
+        /// Assignment target.
+        lhs: Box<Expr>,
+        /// Assigned value.
+        rhs: Box<Expr>,
+    },
+    /// `callee(args…)`.
+    Call {
+        /// Called expression (an [`ExprKind::Ident`] or
+        /// [`ExprKind::Path`] in kernel code).
+        callee: Box<Expr>,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// `recv.method(args…)` (turbofish consumed at parse time).
+    MethodCall {
+        /// Receiver.
+        recv: Box<Expr>,
+        /// Method name.
+        method: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// `recv.field` (including numeric tuple fields).
+    Field {
+        /// Receiver.
+        recv: Box<Expr>,
+        /// Field name (or tuple index text).
+        name: String,
+    },
+    /// `recv[index]`.
+    Index {
+        /// Indexed expression.
+        recv: Box<Expr>,
+        /// Index expression (possibly a range).
+        index: Box<Expr>,
+    },
+    /// `lo..hi`, `lo..=hi`, with either side optional.
+    Range {
+        /// Lower bound.
+        lo: Option<Box<Expr>>,
+        /// Upper bound.
+        hi: Option<Box<Expr>>,
+        /// `..=` rather than `..`.
+        inclusive: bool,
+    },
+    /// `if cond { … } (else …)?` — an `else if` chain appears as an
+    /// else block whose single statement is the next `if`.
+    If {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Then branch.
+        then: Block,
+        /// Else branch.
+        els: Option<Block>,
+    },
+    /// `match scrutinee { pat => expr, … }` — patterns are consumed at
+    /// parse time; only the arm expressions survive.
+    Match {
+        /// Matched expression.
+        scrutinee: Box<Expr>,
+        /// Arm bodies in order.
+        arms: Vec<Expr>,
+    },
+    /// A block in expression position.
+    Block(Block),
+    /// `(e)` or `(a, b, …)`; one element without a trailing comma is a
+    /// parenthesised expression.
+    Tuple(Vec<Expr>),
+    /// `[a, b, …]` or `[elem; len]` array literal.
+    Array(Vec<Expr>),
+    /// `Path { field: expr, … }` struct literal.
+    StructLit {
+        /// Struct path segments.
+        path: Vec<String>,
+        /// `(name, value)` pairs; shorthand fields get an
+        /// [`ExprKind::Ident`] value of the same name.
+        fields: Vec<(String, Expr)>,
+    },
+    /// `expr as Type` — the type is consumed at parse time.
+    Cast(Box<Expr>),
+    /// `name!(…)` / `name![…]` / `name!{…}` — the body is consumed.
+    Macro {
+        /// Macro name.
+        name: String,
+    },
+    /// `|params| body` / `move |params| body` — parameters are consumed;
+    /// the body survives.
+    Closure(Box<Expr>),
+    /// `expr?`.
+    Try(Box<Expr>),
+}
+
+impl Expr {
+    /// Walk this expression and every sub-expression (pre-order),
+    /// including the statements of nested blocks.
+    pub fn walk<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        f(self);
+        match &self.kind {
+            ExprKind::Int(_) | ExprKind::Lit | ExprKind::Ident(_) | ExprKind::Path(_) => {}
+            ExprKind::Macro { .. } => {}
+            ExprKind::Unary(e)
+            | ExprKind::Ref(e)
+            | ExprKind::Cast(e)
+            | ExprKind::Closure(e)
+            | ExprKind::Try(e) => e.walk(f),
+            ExprKind::Binary { lhs, rhs, .. }
+            | ExprKind::Assign { lhs, rhs }
+            | ExprKind::CompoundAssign { lhs, rhs, .. } => {
+                lhs.walk(f);
+                rhs.walk(f);
+            }
+            ExprKind::Call { callee, args } => {
+                callee.walk(f);
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            ExprKind::MethodCall { recv, args, .. } => {
+                recv.walk(f);
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            ExprKind::Field { recv, .. } => recv.walk(f),
+            ExprKind::Index { recv, index } => {
+                recv.walk(f);
+                index.walk(f);
+            }
+            ExprKind::Range { lo, hi, .. } => {
+                if let Some(e) = lo {
+                    e.walk(f);
+                }
+                if let Some(e) = hi {
+                    e.walk(f);
+                }
+            }
+            ExprKind::If { cond, then, els } => {
+                cond.walk(f);
+                then.walk_exprs(f);
+                if let Some(b) = els {
+                    b.walk_exprs(f);
+                }
+            }
+            ExprKind::Match { scrutinee, arms } => {
+                scrutinee.walk(f);
+                for a in arms {
+                    a.walk(f);
+                }
+            }
+            ExprKind::Block(b) => b.walk_exprs(f),
+            ExprKind::Tuple(es) | ExprKind::Array(es) => {
+                for e in es {
+                    e.walk(f);
+                }
+            }
+            ExprKind::StructLit { fields, .. } => {
+                for (_, e) in fields {
+                    e.walk(f);
+                }
+            }
+        }
+    }
+}
+
+impl Block {
+    /// Walk every expression in this block (pre-order), recursing into
+    /// nested blocks and loop bodies.
+    pub fn walk_exprs<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        for s in &self.stmts {
+            match s {
+                Stmt::Let { init, .. } => {
+                    if let Some(e) = init {
+                        e.walk(f);
+                    }
+                }
+                Stmt::For { iter, body, .. } => {
+                    iter.walk(f);
+                    body.walk_exprs(f);
+                }
+                Stmt::While { cond, body, .. } => {
+                    cond.walk(f);
+                    body.walk_exprs(f);
+                }
+                Stmt::Loop { body, .. } => body.walk_exprs(f),
+                Stmt::Semi(e) | Stmt::Expr(e) => e.walk(f),
+                Stmt::Return(e, _) => {
+                    if let Some(e) = e {
+                        e.walk(f);
+                    }
+                }
+                Stmt::BreakContinue(_) | Stmt::Item(_) => {}
+            }
+        }
+    }
+}
+
+impl File {
+    /// Every function in the file, recursing into `mod`/`impl`/`trait`
+    /// containers, in source order.
+    pub fn functions(&self) -> Vec<&Fn> {
+        fn go<'a>(items: &'a [Item], out: &mut Vec<&'a Fn>) {
+            for item in items {
+                match item {
+                    Item::Fn(f) => out.push(f),
+                    Item::Container { items, .. } => go(items, out),
+                    _ => {}
+                }
+            }
+        }
+        let mut out = Vec::new();
+        go(&self.items, &mut out);
+        out
+    }
+
+    /// Every `use` item, recursing into containers.
+    pub fn uses(&self) -> Vec<(&[String], usize, bool)> {
+        fn go<'a>(items: &'a [Item], out: &mut Vec<(&'a [String], usize, bool)>) {
+            for item in items {
+                match item {
+                    Item::Use { segments, line, cfg_test } => {
+                        out.push((segments.as_slice(), *line, *cfg_test))
+                    }
+                    Item::Container { items, .. } => go(items, out),
+                    _ => {}
+                }
+            }
+        }
+        let mut out = Vec::new();
+        go(&self.items, &mut out);
+        out
+    }
+}

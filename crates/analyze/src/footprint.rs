@@ -1,0 +1,783 @@
+//! Affine footprint inference: abstract interpretation of a kernel
+//! function's loop nest.
+//!
+//! Walks a parsed [`Fn`]'s body with a symbolic environment:
+//!
+//! * `View` parameters become view values whose `offset`/`stride`
+//!   fields read as named symbols (`a.offset`, `a.stride`);
+//! * `usize` parameters become named symbols (`size`);
+//! * `for v in lo..hi` loops whose bounds evaluate to polynomials bind
+//!   `v` as an induction variable over the interval `[lo, hi)`;
+//! * `view.at(i, j)` evaluates to `view.offset + i·view.stride + j`
+//!   (the semantics of [`cachegraph_fw::View::at`] — re-derived from
+//!   source by a unit test below, not just trusted);
+//! * every `self.read(e)` / `self.write(e, _)` is an access site: its
+//!   subscript polynomial is captured together with the enclosing loop
+//!   ranges.
+//!
+//! Everything else degrades *conservatively*: values the domain cannot
+//! model become opaque, both branches of every `if` are interpreted
+//! (`continue`/`break` guards ignored), and an access whose subscript
+//! is not a polynomial is recorded as **unresolved** rather than
+//! dropped. The inferred footprint therefore over-approximates the real
+//! one, which is exactly the sound direction for proving
+//! `inferred ⊆ declared`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::affine::{Atom, Poly};
+use crate::ast::{Block, Expr, ExprKind, Fn, Pat, Stmt};
+
+/// Read or write access site.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessKind {
+    /// `self.read(e)`.
+    Read,
+    /// `self.write(e, v)`.
+    Write,
+}
+
+/// One loop level enclosing an access: induction variable (uniquified
+/// under shadowing) and its half-open `[lo, hi)` interval.
+#[derive(Clone, Debug)]
+pub struct LoopRange {
+    /// Uniquified induction-variable name.
+    pub var: String,
+    /// Inclusive lower bound.
+    pub lo: Poly,
+    /// Exclusive upper bound.
+    pub hi: Poly,
+}
+
+/// One inferred access site.
+#[derive(Clone, Debug)]
+pub struct Access {
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Subscript polynomial over induction variables and symbols.
+    pub index: Poly,
+    /// Enclosing loop ranges, outermost first.
+    pub ranges: Vec<LoopRange>,
+    /// 1-based source line of the access.
+    pub line: usize,
+}
+
+/// The inferred footprint summary of one function.
+#[derive(Clone, Debug)]
+pub struct FnSummary {
+    /// Function name.
+    pub name: String,
+    /// Names of `View`-typed parameters, in declaration order.
+    pub view_params: Vec<String>,
+    /// Names of integer-typed (`usize`) parameters.
+    pub int_params: Vec<String>,
+    /// Every resolved access site.
+    pub accesses: Vec<Access>,
+    /// Access sites whose subscript could not be modeled:
+    /// `(line, description)`. Non-empty means the footprint is not
+    /// provable and conformance must fail.
+    pub unresolved: Vec<(usize, String)>,
+    /// Conservative-interpretation notes (opaque loops, skipped macro
+    /// bodies) for the report.
+    pub notes: Vec<String>,
+}
+
+/// Error instantiating a summary over concrete symbol values.
+#[derive(Clone, Debug)]
+pub struct InstantiateError {
+    /// 1-based source line of the offending access.
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl FnSummary {
+    /// Enumerate the concrete cells of every access given values for
+    /// the named symbols (`size`, `a.offset`, …). Returns
+    /// `(reads, writes)` as flat cell sets.
+    ///
+    /// Only the induction variables a subscript actually mentions (plus
+    /// any their bounds depend on) are enumerated, so the cost per site
+    /// is the product of the *relevant* interval widths, not the whole
+    /// loop nest volume.
+    pub fn instantiate(
+        &self,
+        syms: &BTreeMap<String, i64>,
+    ) -> Result<(BTreeSet<usize>, BTreeSet<usize>), InstantiateError> {
+        if let Some((line, msg)) = self.unresolved.first() {
+            return Err(InstantiateError {
+                line: *line,
+                msg: format!("unresolved access site: {msg}"),
+            });
+        }
+        let mut reads = BTreeSet::new();
+        let mut writes = BTreeSet::new();
+        for acc in &self.accesses {
+            let needed = needed_ivars(acc)?;
+            let mut bound: BTreeMap<String, i64> = BTreeMap::new();
+            enumerate(acc, &acc.ranges, &needed, syms, &mut bound, &mut |cell| {
+                match acc.kind {
+                    AccessKind::Read => reads.insert(cell),
+                    AccessKind::Write => writes.insert(cell),
+                };
+            })?;
+        }
+        Ok((reads, writes))
+    }
+}
+
+/// Induction variables a subscript depends on, closed over range-bound
+/// dependencies (a triangular loop's bound may mention an outer ivar).
+fn needed_ivars(acc: &Access) -> Result<BTreeSet<String>, InstantiateError> {
+    let mut needed: BTreeSet<String> =
+        acc.index.ivars().into_iter().map(str::to_string).collect();
+    loop {
+        let mut grew = false;
+        for r in &acc.ranges {
+            if needed.contains(&r.var) {
+                for dep in r.lo.ivars().into_iter().chain(r.hi.ivars()) {
+                    grew |= needed.insert(dep.to_string());
+                }
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    for n in &needed {
+        if !acc.ranges.iter().any(|r| &r.var == n) {
+            return Err(InstantiateError {
+                line: acc.line,
+                msg: format!("induction variable `{n}` has no inferred range"),
+            });
+        }
+    }
+    Ok(needed)
+}
+
+/// Recursively enumerate the needed loop levels (outermost first) and
+/// emit each concrete cell.
+fn enumerate(
+    acc: &Access,
+    ranges: &[LoopRange],
+    needed: &BTreeSet<String>,
+    syms: &BTreeMap<String, i64>,
+    bound: &mut BTreeMap<String, i64>,
+    emit: &mut impl FnMut(usize),
+) -> Result<(), InstantiateError> {
+    let lookup = |bound: &BTreeMap<String, i64>, a: &Atom| match a {
+        Atom::IVar(n) => bound.get(n).copied(),
+        Atom::Sym(n) => syms.get(n).copied(),
+    };
+    match ranges.split_first() {
+        None => {
+            let cell = acc.index.eval(&|a| lookup(bound, a)).ok_or_else(|| InstantiateError {
+                line: acc.line,
+                msg: format!("subscript `{}` has unbound symbols", acc.index),
+            })?;
+            let cell = usize::try_from(cell).map_err(|_| InstantiateError {
+                line: acc.line,
+                msg: format!("subscript `{}` evaluates to negative cell {cell}", acc.index),
+            })?;
+            emit(cell);
+            Ok(())
+        }
+        Some((r, rest)) => {
+            if !needed.contains(&r.var) {
+                return enumerate(acc, rest, needed, syms, bound, emit);
+            }
+            let lo = r.lo.eval(&|a| lookup(bound, a)).ok_or_else(|| InstantiateError {
+                line: acc.line,
+                msg: format!("loop bound `{}` has unbound symbols", r.lo),
+            })?;
+            let hi = r.hi.eval(&|a| lookup(bound, a)).ok_or_else(|| InstantiateError {
+                line: acc.line,
+                msg: format!("loop bound `{}` has unbound symbols", r.hi),
+            })?;
+            for v in lo..hi {
+                bound.insert(r.var.clone(), v);
+                enumerate(acc, rest, needed, syms, bound, emit)?;
+            }
+            bound.remove(&r.var);
+            Ok(())
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The interpreter.
+// ---------------------------------------------------------------------
+
+/// Abstract value.
+#[derive(Clone, Debug)]
+enum Val {
+    /// A polynomial over ivars and symbols.
+    Poly(Poly),
+    /// A `View` parameter, by name.
+    View(String),
+    /// Anything the domain cannot model.
+    Opaque,
+}
+
+struct Interp {
+    scopes: Vec<BTreeMap<String, Val>>,
+    loops: Vec<LoopRange>,
+    accesses: Vec<Access>,
+    unresolved: Vec<(usize, String)>,
+    notes: Vec<String>,
+    /// Identifiers assigned anywhere in the body (`x = …` / `x += …`):
+    /// loop-variant, so their bindings are forced opaque.
+    mutated: BTreeSet<String>,
+    fresh: usize,
+}
+
+/// Infer the footprint summary of one parsed function.
+pub fn summarize_fn(f: &Fn) -> FnSummary {
+    let mut interp = Interp {
+        scopes: vec![BTreeMap::new()],
+        loops: Vec::new(),
+        accesses: Vec::new(),
+        unresolved: Vec::new(),
+        notes: Vec::new(),
+        mutated: mutated_idents(&f.body),
+        fresh: 0,
+    };
+    let mut view_params = Vec::new();
+    let mut int_params = Vec::new();
+    for p in &f.params {
+        if p.name == "self" || p.name == "_" {
+            continue;
+        }
+        if p.ty == "View" {
+            interp.bind(&p.name, Val::View(p.name.clone()));
+            view_params.push(p.name.clone());
+        } else if p.ty == "usize" {
+            interp.bind(&p.name, Val::Poly(Poly::sym(&p.name)));
+            int_params.push(p.name.clone());
+        } else {
+            interp.bind(&p.name, Val::Opaque);
+        }
+    }
+    interp.exec_block(&f.body);
+    FnSummary {
+        name: f.name.clone(),
+        view_params,
+        int_params,
+        accesses: interp.accesses,
+        unresolved: interp.unresolved,
+        notes: interp.notes,
+    }
+}
+
+/// Every identifier that is the target of an assignment somewhere in
+/// the block.
+fn mutated_idents(body: &Block) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    body.walk_exprs(&mut |e| {
+        if let ExprKind::Assign { lhs, .. } | ExprKind::CompoundAssign { lhs, .. } = &e.kind {
+            if let ExprKind::Ident(n) = &lhs.kind {
+                out.insert(n.clone());
+            }
+        }
+    });
+    out
+}
+
+impl Interp {
+    fn bind(&mut self, name: &str, v: Val) {
+        if let Some(scope) = self.scopes.last_mut() {
+            scope.insert(name.to_string(), v);
+        }
+    }
+
+    fn lookup(&self, name: &str) -> Val {
+        for scope in self.scopes.iter().rev() {
+            if let Some(v) = scope.get(name) {
+                return v.clone();
+            }
+        }
+        Val::Opaque
+    }
+
+    fn scoped(&mut self, f: impl FnOnce(&mut Self)) {
+        self.scopes.push(BTreeMap::new());
+        f(self);
+        self.scopes.pop();
+    }
+
+    fn exec_block(&mut self, b: &Block) -> Val {
+        let mut last = Val::Opaque;
+        self.scopes.push(BTreeMap::new());
+        for (i, s) in b.stmts.iter().enumerate() {
+            let v = self.exec_stmt(s);
+            last = if i + 1 == b.stmts.len() && matches!(s, Stmt::Expr(_)) {
+                v
+            } else {
+                Val::Opaque
+            };
+        }
+        self.scopes.pop();
+        last
+    }
+
+    fn exec_stmt(&mut self, s: &Stmt) -> Val {
+        match s {
+            Stmt::Let { pat, init, .. } => {
+                let v = match init {
+                    Some(e) => self.eval(e),
+                    None => Val::Opaque,
+                };
+                self.bind_pat(pat, init.as_ref(), v);
+                Val::Opaque
+            }
+            Stmt::For { pat, iter, body, .. } => {
+                self.exec_for(pat, iter, body);
+                Val::Opaque
+            }
+            Stmt::While { cond, body, .. } => {
+                self.eval(cond);
+                self.scoped(|i| {
+                    i.exec_block(body);
+                });
+                Val::Opaque
+            }
+            Stmt::Loop { body, .. } => {
+                self.scoped(|i| {
+                    i.exec_block(body);
+                });
+                Val::Opaque
+            }
+            Stmt::Semi(e) => {
+                self.eval(e);
+                Val::Opaque
+            }
+            Stmt::Expr(e) => self.eval(e),
+            Stmt::Return(Some(e), _) => {
+                self.eval(e);
+                Val::Opaque
+            }
+            Stmt::Return(None, _) | Stmt::BreakContinue(_) | Stmt::Item(_) => Val::Opaque,
+        }
+    }
+
+    /// Bind a `let` pattern. A loop-variant name (reassigned later) is
+    /// forced opaque regardless of its initializer — per-iteration
+    /// symbolic values would be unsound for it.
+    fn bind_pat(&mut self, pat: &Pat, init: Option<&Expr>, v: Val) {
+        match pat {
+            Pat::Ident(n) => {
+                let v = if self.mutated.contains(n) { Val::Opaque } else { v };
+                self.bind(n, v);
+            }
+            Pat::Tuple(ps) => {
+                // Pairwise only for a literal tuple initializer; every
+                // other shape binds opaque.
+                if let Some(Expr { kind: ExprKind::Tuple(es), .. }) = init {
+                    if es.len() == ps.len() {
+                        let vals: Vec<Val> = es.iter().map(|e| self.eval(e)).collect();
+                        for (p, ev) in ps.iter().zip(vals) {
+                            self.bind_pat(p, None, ev);
+                        }
+                        return;
+                    }
+                }
+                for n in pat.idents() {
+                    self.bind(n, Val::Opaque);
+                }
+            }
+            Pat::Wild => {}
+        }
+    }
+
+    fn exec_for(&mut self, pat: &Pat, iter: &Expr, body: &Block) {
+        // The modelable shape: `for <ident> in lo..hi`.
+        if let (Pat::Ident(name), ExprKind::Range { lo: Some(lo), hi: Some(hi), inclusive }) =
+            (pat, &iter.kind)
+        {
+            let lv = self.eval(lo);
+            let hv = self.eval(hi);
+            if let (Val::Poly(lp), Val::Poly(hp)) = (lv, hv) {
+                let hp = if *inclusive { hp.add(&Poly::constant(1)) } else { Some(hp) };
+                if let Some(hp) = hp {
+                    self.fresh += 1;
+                    let unique = if self.loops.iter().any(|r| r.var == *name) {
+                        format!("{name}#{}", self.fresh)
+                    } else {
+                        name.clone()
+                    };
+                    self.loops.push(LoopRange { var: unique.clone(), lo: lp, hi: hp });
+                    self.scopes.push(BTreeMap::new());
+                    self.bind(name, Val::Poly(Poly::ivar(&unique)));
+                    self.exec_block(body);
+                    self.scopes.pop();
+                    self.loops.pop();
+                    return;
+                }
+            }
+            self.notes.push(format!(
+                "line {}: loop over `{name}` has non-affine bounds; treated as opaque",
+                iter.line
+            ));
+        } else {
+            self.eval(iter);
+            self.notes.push(format!(
+                "line {}: non-range `for` loop; induction treated as opaque",
+                iter.line
+            ));
+        }
+        // Opaque loop: bind the pattern's names opaque and interpret the
+        // body once (accesses independent of the loop still resolve).
+        self.scopes.push(BTreeMap::new());
+        for n in pat.idents() {
+            self.bind(n, Val::Opaque);
+        }
+        self.exec_block(body);
+        self.scopes.pop();
+    }
+
+    fn record(&mut self, kind: AccessKind, arg: &Expr) {
+        match self.eval(arg) {
+            Val::Poly(index) => self.accesses.push(Access {
+                kind,
+                index,
+                ranges: self.loops.clone(),
+                line: arg.line,
+            }),
+            _ => self.unresolved.push((
+                arg.line,
+                format!(
+                    "{} subscript is not affine",
+                    match kind {
+                        AccessKind::Read => "read",
+                        AccessKind::Write => "write",
+                    }
+                ),
+            )),
+        }
+    }
+
+    fn eval(&mut self, e: &Expr) -> Val {
+        match &e.kind {
+            ExprKind::Int(Some(v)) => Val::Poly(Poly::constant(*v)),
+            ExprKind::Int(None) | ExprKind::Lit | ExprKind::Path(_) => Val::Opaque,
+            ExprKind::Ident(n) => self.lookup(n),
+            ExprKind::Unary(inner) => {
+                self.eval(inner);
+                Val::Opaque
+            }
+            ExprKind::Ref(inner) | ExprKind::Try(inner) => self.eval(inner),
+            ExprKind::Cast(inner) => self.eval(inner),
+            ExprKind::Binary { op, lhs, rhs } => {
+                let lv = self.eval(lhs);
+                let rv = self.eval(rhs);
+                if let (Val::Poly(a), Val::Poly(b)) = (lv, rv) {
+                    let r = match op {
+                        crate::ast::BinOp::Add => a.add(&b),
+                        crate::ast::BinOp::Sub => a.sub(&b),
+                        crate::ast::BinOp::Mul => a.mul(&b),
+                        _ => None,
+                    };
+                    if let Some(p) = r {
+                        return Val::Poly(p);
+                    }
+                }
+                Val::Opaque
+            }
+            ExprKind::Assign { lhs, rhs } | ExprKind::CompoundAssign { lhs, rhs, .. } => {
+                self.eval(rhs);
+                match &lhs.kind {
+                    // The pre-scan already forced the binding opaque;
+                    // nothing to update.
+                    ExprKind::Ident(_) => {}
+                    _ => {
+                        self.eval(lhs);
+                    }
+                }
+                Val::Opaque
+            }
+            ExprKind::Call { callee, args } => {
+                self.eval(callee);
+                for a in args {
+                    self.eval(a);
+                }
+                Val::Opaque
+            }
+            ExprKind::MethodCall { recv, method, args } => {
+                let is_self = matches!(&recv.kind, ExprKind::Ident(n) if n == "self");
+                if is_self && method == "read" && args.len() == 1 {
+                    if let Some(a0) = args.first() {
+                        self.record(AccessKind::Read, a0);
+                    }
+                    return Val::Opaque;
+                }
+                if is_self && method == "write" && args.len() == 2 {
+                    if let Some(a0) = args.first() {
+                        self.record(AccessKind::Write, a0);
+                    }
+                    if let Some(a1) = args.get(1) {
+                        self.eval(a1);
+                    }
+                    return Val::Opaque;
+                }
+                let rv = self.eval(recv);
+                if method == "at" && args.len() == 2 {
+                    if let Val::View(view) = &rv {
+                        let view = view.clone();
+                        let a0 = self.eval_or_opaque(args.first());
+                        let a1 = self.eval_or_opaque(args.get(1));
+                        if let (Val::Poly(i), Val::Poly(j)) = (a0, a1) {
+                            let p = Poly::sym(&format!("{view}.offset"))
+                                .add(&i.mul(&Poly::sym(&format!("{view}.stride"))).unwrap_or_else(Poly::zero))
+                                .and_then(|s| s.add(&j));
+                            if let Some(p) = p {
+                                return Val::Poly(p);
+                            }
+                        }
+                        return Val::Opaque;
+                    }
+                }
+                for a in args {
+                    self.eval(a);
+                }
+                Val::Opaque
+            }
+            ExprKind::Field { recv, name } => {
+                let rv = self.eval(recv);
+                if let Val::View(view) = rv {
+                    if name == "offset" || name == "stride" {
+                        return Val::Poly(Poly::sym(&format!("{view}.{name}")));
+                    }
+                }
+                Val::Opaque
+            }
+            ExprKind::Index { recv, index } => {
+                self.eval(recv);
+                self.eval(index);
+                Val::Opaque
+            }
+            ExprKind::Range { lo, hi, .. } => {
+                if let Some(e) = lo {
+                    self.eval(e);
+                }
+                if let Some(e) = hi {
+                    self.eval(e);
+                }
+                Val::Opaque
+            }
+            ExprKind::If { cond, then, els } => {
+                self.eval(cond);
+                // Both branches interpreted: a sound over-approximation
+                // of whichever executes.
+                self.exec_block(then);
+                if let Some(b) = els {
+                    self.exec_block(b);
+                }
+                Val::Opaque
+            }
+            ExprKind::Match { scrutinee, arms } => {
+                self.eval(scrutinee);
+                for a in arms {
+                    self.eval(a);
+                }
+                Val::Opaque
+            }
+            ExprKind::Block(b) => self.exec_block(b),
+            ExprKind::Tuple(es) | ExprKind::Array(es) => {
+                for e in es {
+                    self.eval(e);
+                }
+                Val::Opaque
+            }
+            ExprKind::StructLit { fields, .. } => {
+                for (_, e) in fields {
+                    self.eval(e);
+                }
+                Val::Opaque
+            }
+            ExprKind::Macro { name } => {
+                self.notes.push(format!("line {}: `{name}!` body not interpreted", e.line));
+                Val::Opaque
+            }
+            ExprKind::Closure(body) => {
+                self.scoped(|i| {
+                    i.eval(body);
+                });
+                Val::Opaque
+            }
+        }
+    }
+
+    fn eval_or_opaque(&mut self, e: Option<&Expr>) -> Val {
+        match e {
+            Some(e) => self.eval(e),
+            None => Val::Opaque,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_file;
+
+    fn summarize(src: &str, name: &str) -> FnSummary {
+        let file = parse_file(src).expect("fixture parses");
+        let f = file
+            .functions()
+            .into_iter()
+            .find(|f| f.name == name)
+            .unwrap_or_else(|| panic!("fn {name} not found"));
+        summarize_fn(f)
+    }
+
+    const MINI_KERNEL: &str = "\
+        fn k(&mut self, a: View, b: View, size: usize) {\n\
+            for i in 0..size {\n\
+                for j in 0..size {\n\
+                    let x = self.read(b.at(i, j));\n\
+                    self.write(a.at(i, j), x);\n\
+                }\n\
+            }\n\
+        }\n";
+
+    #[test]
+    fn mini_kernel_footprint_is_exact_tiles() {
+        let s = summarize(MINI_KERNEL, "k");
+        assert_eq!(s.view_params, ["a", "b"]);
+        assert_eq!(s.int_params, ["size"]);
+        assert!(s.unresolved.is_empty(), "{:?}", s.unresolved);
+        assert_eq!(s.accesses.len(), 2);
+        let syms: BTreeMap<String, i64> = [
+            ("size".to_string(), 2),
+            ("a.offset".to_string(), 0),
+            ("a.stride".to_string(), 2),
+            ("b.offset".to_string(), 4),
+            ("b.stride".to_string(), 2),
+        ]
+        .into();
+        let (reads, writes) = s.instantiate(&syms).expect("instantiates");
+        assert_eq!(reads, (4..8).collect());
+        assert_eq!(writes, (0..4).collect());
+    }
+
+    #[test]
+    fn guards_are_over_approximated() {
+        // The INF guard and the improvement test must not shrink the
+        // inferred footprint: both branches count.
+        let src = "\
+            fn g(&mut self, a: View, size: usize) {\n\
+                for i in 0..size {\n\
+                    let v = self.read(a.at(i, 0));\n\
+                    if v < 10 {\n\
+                        self.write(a.at(i, 0), v);\n\
+                    }\n\
+                }\n\
+            }\n";
+        let s = summarize(src, "g");
+        let syms: BTreeMap<String, i64> =
+            [("size".to_string(), 3), ("a.offset".to_string(), 0), ("a.stride".to_string(), 4)]
+                .into();
+        let (_, writes) = s.instantiate(&syms).expect("instantiates");
+        assert_eq!(writes, [0usize, 4, 8].into_iter().collect());
+    }
+
+    #[test]
+    fn shadowed_loop_variable_stays_sound() {
+        // The inner `i` shadows the outer one; the read must range over
+        // the *inner* interval only.
+        let src = "\
+            fn s(&mut self, a: View, size: usize) {\n\
+                for i in 0..size {\n\
+                    for i in 0..2 {\n\
+                        self.write(a.at(0, i), 0);\n\
+                    }\n\
+                }\n\
+            }\n";
+        let s = summarize(src, "s");
+        assert!(s.unresolved.is_empty(), "{:?}", s.unresolved);
+        let syms: BTreeMap<String, i64> =
+            [("size".to_string(), 9), ("a.offset".to_string(), 0), ("a.stride".to_string(), 16)]
+                .into();
+        let (_, writes) = s.instantiate(&syms).expect("instantiates");
+        assert_eq!(writes, [0usize, 1].into_iter().collect(), "inner 0..2 wins, not 0..9");
+    }
+
+    #[test]
+    fn loop_variant_local_is_opaque() {
+        // `acc` is reassigned in the loop; using it as a subscript must
+        // be unresolved, not silently wrong.
+        let src = "\
+            fn m(&mut self, a: View, size: usize) {\n\
+                let mut acc = 0;\n\
+                for i in 0..size {\n\
+                    acc = acc + i;\n\
+                    self.write(a.at(0, 0), self.read(acc));\n\
+                }\n\
+            }\n";
+        let s = summarize(src, "m");
+        assert!(
+            s.unresolved.iter().any(|(_, m)| m.contains("read")),
+            "loop-carried subscript must be unresolved: {:?}",
+            s.unresolved
+        );
+    }
+
+    #[test]
+    fn multiline_subscript_resolves() {
+        let src = "\
+            fn w(&mut self, a: View, size: usize) {\n\
+                for j in 0..size {\n\
+                    self.write(\n\
+                        a.at(0, 0)\n\
+                            + j,\n\
+                        0,\n\
+                    );\n\
+                }\n\
+            }\n";
+        let s = summarize(src, "w");
+        assert!(s.unresolved.is_empty(), "{:?}", s.unresolved);
+        let syms: BTreeMap<String, i64> =
+            [("size".to_string(), 3), ("a.offset".to_string(), 5), ("a.stride".to_string(), 8)]
+                .into();
+        let (_, writes) = s.instantiate(&syms).expect("instantiates");
+        assert_eq!(writes, [5usize, 6, 7].into_iter().collect());
+    }
+
+    /// The `view.at(i, j)` evaluation rule is not folklore: re-derive it
+    /// from `View::at`'s own source. If the kernel's address math ever
+    /// changes shape, this test pins the interpreter to it.
+    #[test]
+    fn at_semantics_match_view_source() {
+        let kernel_src = include_str!("../../fw/src/kernel.rs");
+        let file = parse_file(kernel_src).expect("kernel.rs parses");
+        let at = file
+            .functions()
+            .into_iter()
+            .find(|f| f.name == "at")
+            .expect("View::at found in kernel.rs");
+        // Interpret `self.offset + i * self.stride + j` with `self` as a
+        // view named `v` and i, j as ivars; compare against the rule.
+        let mut interp = Interp {
+            scopes: vec![BTreeMap::new()],
+            loops: Vec::new(),
+            accesses: Vec::new(),
+            unresolved: Vec::new(),
+            notes: Vec::new(),
+            mutated: BTreeSet::new(),
+            fresh: 0,
+        };
+        interp.bind("self", Val::View("v".to_string()));
+        interp.bind("i", Val::Poly(Poly::ivar("i")));
+        interp.bind("j", Val::Poly(Poly::ivar("j")));
+        let body = interp.exec_block(&at.body);
+        let Val::Poly(from_source) = body else {
+            panic!("View::at body must evaluate to a polynomial, got {body:?}")
+        };
+        let rule = Poly::sym("v.offset")
+            .add(&Poly::ivar("i").mul(&Poly::sym("v.stride")).expect("mul"))
+            .expect("add")
+            .add(&Poly::ivar("j"))
+            .expect("add");
+        assert_eq!(from_source, rule, "interpreter's at-rule diverges from View::at's source");
+    }
+}

@@ -1,0 +1,1273 @@
+//! Recursive-descent parser for the Rust subset the kernels use.
+//!
+//! Built directly on the shared span-carrying tokenizer
+//! ([`cachegraph_lex::token`]). The grammar covers what kernel-marked
+//! files actually contain — `fn` items (free, in `impl`/`trait` blocks,
+//! with default bodies), `for i in a..b` loops, `if`/`else` chains,
+//! `let` bindings with tuple patterns, compound assignment, index
+//! expressions, method calls, struct literals, `match`, closures — and
+//! *consumes without structure* what the downstream analyses never look
+//! inside: generics, type ascriptions, attributes, macro bodies, match
+//! patterns and closure parameter lists.
+//!
+//! Anything outside the subset is a hard [`ParseError`] naming the
+//! unsupported construct and its line, so grammar drift in a kernel
+//! file fails the golden-parse test loudly instead of silently
+//! degrading the footprint inference.
+
+use std::fmt;
+
+use cachegraph_lex::token::{tokenize, Token, TokenKind};
+
+use crate::ast::{BinOp, Block, Expr, ExprKind, File, Fn, Item, Param, Pat, Stmt};
+
+/// A parse failure: what the parser could not handle, and where.
+#[derive(Clone, Debug)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What was found / which construct is unsupported.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+type PResult<T> = Result<T, ParseError>;
+
+/// Parse a whole source file.
+pub fn parse_file(src: &str) -> PResult<File> {
+    let mut p = Parser::new(src);
+    let mut items = Vec::new();
+    while !p.at_eof() {
+        items.push(p.parse_item(false)?);
+    }
+    Ok(File { items })
+}
+
+/// Parser state: the comment-free token stream plus a cursor.
+struct Parser<'s> {
+    src: &'s str,
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+/// Compound-assignment operator texts and their underlying op class.
+const COMPOUND_OPS: &[(&str, BinOp)] = &[
+    ("+=", BinOp::Add),
+    ("-=", BinOp::Sub),
+    ("*=", BinOp::Mul),
+    ("/=", BinOp::Div),
+    ("%=", BinOp::Rem),
+    ("&=", BinOp::Bit),
+    ("|=", BinOp::Bit),
+    ("^=", BinOp::Bit),
+    ("<<=", BinOp::Bit),
+    (">>=", BinOp::Bit),
+];
+
+impl<'s> Parser<'s> {
+    fn new(src: &'s str) -> Self {
+        let toks = tokenize(src)
+            .into_iter()
+            .filter(|t| !matches!(t.kind, TokenKind::Comment { .. }))
+            .collect();
+        Self { src, toks, pos: 0 }
+    }
+
+    // ----- cursor helpers ------------------------------------------------
+
+    fn at_eof(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn tok_at(&self, off: usize) -> Option<&Token> {
+        self.toks.get(self.pos + off)
+    }
+
+    /// Token text at `off` tokens ahead ("" at end of input).
+    fn peek_at(&self, off: usize) -> &'s str {
+        self.tok_at(off).map(|t| t.text(self.src)).unwrap_or("")
+    }
+
+    fn peek(&self) -> &'s str {
+        self.peek_at(0)
+    }
+
+    fn peek_kind(&self) -> Option<TokenKind> {
+        self.tok_at(0).map(|t| t.kind)
+    }
+
+    /// Line of the current token (or of the last token at EOF).
+    fn line(&self) -> usize {
+        self.tok_at(0).or_else(|| self.toks.last()).map(|t| t.line).unwrap_or(1)
+    }
+
+    fn bump(&mut self) -> &'s str {
+        let t = self.peek();
+        self.pos += 1;
+        t
+    }
+
+    fn eat(&mut self, text: &str) -> bool {
+        if self.peek() == text {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn require(&mut self, text: &str) -> PResult<()> {
+        if self.eat(text) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{text}`, found `{}`", self.found())))
+        }
+    }
+
+    fn found(&self) -> &'s str {
+        if self.at_eof() {
+            "<end of file>"
+        } else {
+            self.peek()
+        }
+    }
+
+    fn err(&self, msg: &str) -> ParseError {
+        ParseError { line: self.line(), msg: msg.to_string() }
+    }
+
+    fn ident(&mut self) -> PResult<String> {
+        if self.peek_kind() == Some(TokenKind::Ident) {
+            Ok(self.bump().to_string())
+        } else {
+            Err(self.err(&format!("expected identifier, found `{}`", self.found())))
+        }
+    }
+
+    // ----- token-level skipping ------------------------------------------
+
+    /// Consume a balanced run starting at the given open delimiter
+    /// (`(`, `[` or `{`), nesting only on the same family.
+    fn skip_balanced(&mut self, open: &str, close: &str) -> PResult<()> {
+        self.require(open)?;
+        let mut depth = 1usize;
+        while depth > 0 {
+            if self.at_eof() {
+                return Err(self.err(&format!("unclosed `{open}`")));
+            }
+            let t = self.bump();
+            if t == open {
+                depth += 1;
+            } else if t == close {
+                depth -= 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Consume a generics/turbofish run starting at `<`, treating `<<`
+    /// and `>>` as double delimiters.
+    fn skip_angles(&mut self) -> PResult<()> {
+        self.require("<")?;
+        let mut depth = 1i32;
+        while depth > 0 {
+            if self.at_eof() {
+                return Err(self.err("unclosed `<`"));
+            }
+            match self.bump() {
+                "<" => depth += 1,
+                "<<" => depth += 2,
+                ">" => depth -= 1,
+                ">>" => depth -= 2,
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Skip type-position tokens until one of `stops` appears at
+    /// delimiter depth 0 (the stop token is not consumed). Tracks
+    /// parens, brackets, braces and angle brackets, so `Vec<Vec<T>>`,
+    /// `(&mut [W], &[W])` and `Iterator<Item = R>` skip correctly.
+    /// Returns the skipped tokens joined with spaces.
+    fn skip_type(&mut self, stops: &[&str]) -> PResult<String> {
+        let mut depth = 0i32;
+        let mut angle = 0i32;
+        let mut out = String::new();
+        loop {
+            if self.at_eof() {
+                return Err(self.err("unterminated type"));
+            }
+            let t = self.peek();
+            if depth == 0 && angle <= 0 && stops.contains(&t) {
+                return Ok(out);
+            }
+            match t {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    depth -= 1;
+                    if depth < 0 {
+                        return Err(self.err(&format!("unexpected `{t}` in type")));
+                    }
+                }
+                "<" => angle += 1,
+                "<<" => angle += 2,
+                ">" => angle -= 1,
+                ">>" => angle -= 2,
+                _ => {}
+            }
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            out.push_str(self.bump());
+        }
+    }
+
+    // ----- attributes & items --------------------------------------------
+
+    /// Consume any run of `#[…]` / `#![…]` attributes; returns their
+    /// token text joined with spaces.
+    fn parse_attrs(&mut self) -> PResult<String> {
+        let mut text = String::new();
+        while self.peek() == "#" {
+            self.bump();
+            self.eat("!");
+            self.require("[")?;
+            let mut depth = 1usize;
+            while depth > 0 {
+                if self.at_eof() {
+                    return Err(self.err("unclosed attribute"));
+                }
+                let t = self.bump();
+                match t {
+                    "[" => depth += 1,
+                    "]" => depth -= 1,
+                    _ => {}
+                }
+                if depth > 0 {
+                    if !text.is_empty() {
+                        text.push(' ');
+                    }
+                    text.push_str(t);
+                }
+            }
+        }
+        Ok(text)
+    }
+
+    fn parse_item(&mut self, in_cfg_test: bool) -> PResult<Item> {
+        let attrs = self.parse_attrs()?;
+        let cfg_test = in_cfg_test || (attrs.contains("cfg") && attrs.contains("test"));
+        let line = self.line();
+        if self.eat("pub") && self.peek() == "(" {
+            self.skip_balanced("(", ")")?;
+        }
+        // `const fn` / `unsafe fn` / `extern "C" fn` modifiers.
+        loop {
+            if (self.peek() == "const" || self.peek() == "unsafe") && self.peek_at(1) == "fn" {
+                self.bump();
+            } else if self.peek() == "extern"
+                && matches!(self.tok_at(1).map(|t| t.kind), Some(TokenKind::Str { .. }))
+                && self.peek_at(2) == "fn"
+            {
+                self.bump();
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        match self.peek() {
+            "use" => {
+                self.bump();
+                let mut segments = Vec::new();
+                while self.peek() != ";" {
+                    if self.at_eof() {
+                        return Err(self.err("unterminated `use`"));
+                    }
+                    if self.peek_kind() == Some(TokenKind::Ident) {
+                        segments.push(self.bump().to_string());
+                    } else {
+                        self.bump();
+                    }
+                }
+                self.require(";")?;
+                Ok(Item::Use { segments, line, cfg_test })
+            }
+            "mod" => {
+                self.bump();
+                self.ident()?;
+                if self.eat(";") {
+                    return Ok(Item::Other { kind: "mod-decl".to_string(), line });
+                }
+                self.require("{")?;
+                let mut items = Vec::new();
+                while !self.eat("}") {
+                    if self.at_eof() {
+                        return Err(self.err("unclosed `mod`"));
+                    }
+                    items.push(self.parse_item(cfg_test)?);
+                }
+                Ok(Item::Container { kind: "mod", items, line })
+            }
+            k @ ("impl" | "trait") => {
+                let kind = if k == "impl" { "impl" } else { "trait" };
+                self.bump();
+                self.skip_type(&["{"])?;
+                self.require("{")?;
+                let mut items = Vec::new();
+                while !self.eat("}") {
+                    if self.at_eof() {
+                        return Err(self.err(&format!("unclosed `{kind}`")));
+                    }
+                    items.push(self.parse_item(cfg_test)?);
+                }
+                Ok(Item::Container { kind, items, line })
+            }
+            "fn" => match self.parse_fn(cfg_test)? {
+                Some(f) => Ok(Item::Fn(f)),
+                None => Ok(Item::Other { kind: "fn-decl".to_string(), line }),
+            },
+            "struct" | "enum" | "union" => {
+                let kind = self.bump().to_string();
+                loop {
+                    match self.peek() {
+                        "{" => {
+                            self.skip_balanced("{", "}")?;
+                            // Tuple structs end `);` — a brace body ends
+                            // the item.
+                            break;
+                        }
+                        ";" => {
+                            self.bump();
+                            break;
+                        }
+                        "(" => self.skip_balanced("(", ")")?,
+                        "" => return Err(self.err(&format!("unterminated `{kind}`"))),
+                        _ => {
+                            self.bump();
+                        }
+                    }
+                }
+                Ok(Item::Other { kind, line })
+            }
+            k @ ("const" | "static" | "type") => {
+                let kind = k.to_string();
+                self.bump();
+                // Skip to the terminating `;` at depth 0 (array types and
+                // initializers contain their own `;` inside brackets).
+                let mut depth = 0i32;
+                loop {
+                    if self.at_eof() {
+                        return Err(self.err(&format!("unterminated `{kind}`")));
+                    }
+                    let t = self.bump();
+                    match t {
+                        "(" | "[" | "{" => depth += 1,
+                        ")" | "]" | "}" => depth -= 1,
+                        ";" if depth == 0 => break,
+                        _ => {}
+                    }
+                }
+                Ok(Item::Other { kind, line })
+            }
+            "macro_rules" => {
+                self.bump();
+                self.require("!")?;
+                self.ident()?;
+                self.skip_balanced("{", "}")?;
+                Ok(Item::Other { kind: "macro_rules".to_string(), line })
+            }
+            "" => Err(self.err("expected item, found end of file")),
+            other => Err(self.err(&format!("unsupported item starting with `{other}`"))),
+        }
+    }
+
+    /// Parse a `fn` item. Returns `None` for a body-less declaration
+    /// (trait method signature).
+    fn parse_fn(&mut self, cfg_test: bool) -> PResult<Option<Fn>> {
+        let line = self.line();
+        self.require("fn")?;
+        let name = self.ident()?;
+        if self.peek() == "<" {
+            self.skip_angles()?;
+        }
+        self.require("(")?;
+        let mut params = Vec::new();
+        while self.peek() != ")" {
+            if self.at_eof() {
+                return Err(self.err("unclosed parameter list"));
+            }
+            params.push(self.parse_param()?);
+            if !self.eat(",") {
+                break;
+            }
+        }
+        self.require(")")?;
+        if self.eat("->") {
+            self.skip_type(&["{", "where", ";"])?;
+        }
+        if self.peek() == "where" {
+            self.bump();
+            self.skip_type(&["{", ";"])?;
+        }
+        if self.eat(";") {
+            return Ok(None);
+        }
+        let body = self.parse_block()?;
+        Ok(Some(Fn { name, params, body, line, cfg_test }))
+    }
+
+    fn parse_param(&mut self) -> PResult<Param> {
+        // Receiver forms: `self`, `&self`, `&'a self`, `&mut self`,
+        // `mut self`, optionally with an explicit type.
+        let save = self.pos;
+        self.eat("&");
+        if self.peek_kind() == Some(TokenKind::Lifetime) {
+            self.bump();
+        }
+        self.eat("mut");
+        if self.peek() == "self" {
+            self.bump();
+            let ty = if self.eat(":") { self.skip_type(&[",", ")"])? } else { String::new() };
+            return Ok(Param { name: "self".to_string(), ty });
+        }
+        self.pos = save;
+
+        self.eat("mut");
+        let name = if self.eat("_") {
+            "_".to_string()
+        } else if self.peek_kind() == Some(TokenKind::Ident) {
+            self.bump().to_string()
+        } else if self.peek() == "(" {
+            self.skip_balanced("(", ")")?;
+            "_".to_string()
+        } else {
+            return Err(self.err(&format!("unsupported parameter pattern `{}`", self.found())));
+        };
+        self.require(":")?;
+        let ty = self.skip_type(&[",", ")"])?;
+        Ok(Param { name, ty })
+    }
+
+    // ----- statements -----------------------------------------------------
+
+    fn parse_block(&mut self) -> PResult<Block> {
+        let line = self.line();
+        self.require("{")?;
+        let mut stmts = Vec::new();
+        while !self.eat("}") {
+            if self.at_eof() {
+                return Err(self.err("unclosed block"));
+            }
+            stmts.push(self.parse_stmt()?);
+        }
+        Ok(Block { stmts, line })
+    }
+
+    fn parse_stmt(&mut self) -> PResult<Stmt> {
+        let line = self.line();
+        match self.peek() {
+            "let" => {
+                self.bump();
+                let pat = self.parse_pat()?;
+                if self.eat(":") {
+                    self.skip_type(&["=", ";"])?;
+                }
+                let init =
+                    if self.eat("=") { Some(self.parse_expr(true)?) } else { None };
+                if self.peek() == "else" {
+                    return Err(self.err("unsupported construct `let … else`"));
+                }
+                self.require(";")?;
+                Ok(Stmt::Let { pat, init, line })
+            }
+            "for" => {
+                self.bump();
+                let pat = self.parse_pat()?;
+                self.require("in")?;
+                let iter = self.parse_expr_no_struct()?;
+                let body = self.parse_block()?;
+                Ok(Stmt::For { pat, iter, body, line })
+            }
+            "while" => {
+                if self.peek_at(1) == "let" {
+                    return Err(self.err("unsupported construct `while let`"));
+                }
+                self.bump();
+                let cond = self.parse_expr_no_struct()?;
+                let body = self.parse_block()?;
+                Ok(Stmt::While { cond, body, line })
+            }
+            "loop" => {
+                self.bump();
+                let body = self.parse_block()?;
+                Ok(Stmt::Loop { body, line })
+            }
+            "return" => {
+                self.bump();
+                let e = if self.peek() == ";" || self.peek() == "}" {
+                    None
+                } else {
+                    Some(self.parse_expr(true)?)
+                };
+                self.eat(";");
+                Ok(Stmt::Return(e, line))
+            }
+            "break" | "continue" => {
+                self.bump();
+                self.eat(";");
+                Ok(Stmt::BreakContinue(line))
+            }
+            // Items in statement position (local fns, consts, nested
+            // modules) and attribute-prefixed statements.
+            "fn" | "use" | "struct" | "enum" | "const" | "static" | "type" | "mod" | "impl"
+            | "trait" => {
+                self.parse_item(false)?;
+                Ok(Stmt::Item(line))
+            }
+            "unsafe" if self.peek_at(1) == "fn" => {
+                self.parse_item(false)?;
+                Ok(Stmt::Item(line))
+            }
+            "#" => {
+                self.parse_attrs()?;
+                self.parse_stmt()
+            }
+            "if" | "match" | "unsafe" | "{" => {
+                let e = self.parse_block_like()?;
+                if self.eat(";") {
+                    Ok(Stmt::Semi(e))
+                } else {
+                    Ok(Stmt::Expr(e))
+                }
+            }
+            _ => {
+                let e = self.parse_expr(true)?;
+                if self.eat(";") {
+                    Ok(Stmt::Semi(e))
+                } else if self.peek() == "}" {
+                    Ok(Stmt::Expr(e))
+                } else {
+                    Err(self.err(&format!("expected `;`, found `{}`", self.found())))
+                }
+            }
+        }
+    }
+
+    fn parse_pat(&mut self) -> PResult<Pat> {
+        match self.peek() {
+            "&" => {
+                self.bump();
+                self.eat("mut");
+                self.parse_pat()
+            }
+            "&&" => {
+                self.bump();
+                self.eat("mut");
+                self.parse_pat()
+            }
+            "mut" | "ref" => {
+                self.bump();
+                self.parse_pat()
+            }
+            "_" => {
+                self.bump();
+                Ok(Pat::Wild)
+            }
+            "(" => {
+                self.bump();
+                let mut ps = Vec::new();
+                while self.peek() != ")" {
+                    if self.at_eof() {
+                        return Err(self.err("unclosed tuple pattern"));
+                    }
+                    ps.push(self.parse_pat()?);
+                    if !self.eat(",") {
+                        break;
+                    }
+                }
+                self.require(")")?;
+                Ok(Pat::Tuple(ps))
+            }
+            _ => {
+                if self.peek_kind() == Some(TokenKind::Ident) {
+                    let name = self.bump().to_string();
+                    // Enum/struct patterns (`Some(x)`, `View { .. }`,
+                    // `a::B`) are consumed without structure.
+                    match self.peek() {
+                        "(" => {
+                            self.skip_balanced("(", ")")?;
+                            Ok(Pat::Wild)
+                        }
+                        "{" => {
+                            self.skip_balanced("{", "}")?;
+                            Ok(Pat::Wild)
+                        }
+                        "::" => {
+                            while self.eat("::") {
+                                self.ident()?;
+                            }
+                            if self.peek() == "(" {
+                                self.skip_balanced("(", ")")?;
+                            } else if self.peek() == "{" {
+                                self.skip_balanced("{", "}")?;
+                            }
+                            Ok(Pat::Wild)
+                        }
+                        _ => Ok(Pat::Ident(name)),
+                    }
+                } else {
+                    Err(self.err(&format!("unsupported pattern `{}`", self.found())))
+                }
+            }
+        }
+    }
+
+    // ----- expressions ----------------------------------------------------
+
+    fn parse_expr(&mut self, allow_struct: bool) -> PResult<Expr> {
+        self.parse_assign(allow_struct)
+    }
+
+    fn parse_expr_no_struct(&mut self) -> PResult<Expr> {
+        self.parse_expr(false)
+    }
+
+    fn parse_assign(&mut self, allow_struct: bool) -> PResult<Expr> {
+        let line = self.line();
+        let lhs = self.parse_range(allow_struct)?;
+        if self.eat("=") {
+            let rhs = self.parse_assign(allow_struct)?;
+            return Ok(Expr {
+                kind: ExprKind::Assign { lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                line,
+            });
+        }
+        for &(text, op) in COMPOUND_OPS {
+            if self.eat(text) {
+                let rhs = self.parse_assign(allow_struct)?;
+                return Ok(Expr {
+                    kind: ExprKind::CompoundAssign { op, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                    line,
+                });
+            }
+        }
+        Ok(lhs)
+    }
+
+    /// Can the current token begin an expression (for the optional high
+    /// end of a range)?
+    fn can_start_expr(&self) -> bool {
+        !self.at_eof() && !matches!(self.peek(), ")" | "]" | "}" | "," | ";" | "{" | "=>")
+    }
+
+    fn parse_range(&mut self, allow_struct: bool) -> PResult<Expr> {
+        let line = self.line();
+        let lo = if self.peek() == ".." || self.peek() == "..=" {
+            None
+        } else {
+            Some(Box::new(self.parse_binary(allow_struct, 0)?))
+        };
+        let inclusive = if self.eat("..=") {
+            true
+        } else if self.eat("..") {
+            false
+        } else {
+            // `lo` is present here: the `None` arm above is only taken
+            // when the next token *is* a range operator.
+            return match lo {
+                Some(e) => Ok(*e),
+                None => Err(self.err("expected range")),
+            };
+        };
+        let hi = if self.can_start_expr() {
+            Some(Box::new(self.parse_binary(allow_struct, 0)?))
+        } else {
+            None
+        };
+        Ok(Expr { kind: ExprKind::Range { lo, hi, inclusive }, line })
+    }
+
+    /// Binary operator table: text → (class, precedence). Higher binds
+    /// tighter; all levels left-associative.
+    fn binop(text: &str) -> Option<(BinOp, u8)> {
+        Some(match text {
+            "||" => (BinOp::Logic, 1),
+            "&&" => (BinOp::Logic, 2),
+            "==" | "!=" | "<" | "<=" | ">" | ">=" => (BinOp::Cmp, 3),
+            "|" => (BinOp::Bit, 4),
+            "^" => (BinOp::Bit, 5),
+            "&" => (BinOp::Bit, 6),
+            "<<" | ">>" => (BinOp::Bit, 7),
+            "+" => (BinOp::Add, 8),
+            "-" => (BinOp::Sub, 8),
+            "*" => (BinOp::Mul, 9),
+            "/" => (BinOp::Div, 9),
+            "%" => (BinOp::Rem, 9),
+            _ => return None,
+        })
+    }
+
+    /// Precedence-climbing loop over [`Self::binop`].
+    fn parse_binary(&mut self, allow_struct: bool, min_prec: u8) -> PResult<Expr> {
+        let mut lhs = self.parse_cast(allow_struct)?;
+        while let Some((op, prec)) = Self::binop(self.peek()) {
+            if prec < min_prec {
+                break;
+            }
+            let line = self.line();
+            self.bump();
+            let rhs = self.parse_binary(allow_struct, prec + 1)?;
+            lhs = Expr {
+                kind: ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                line,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_cast(&mut self, allow_struct: bool) -> PResult<Expr> {
+        let mut e = self.parse_unary(allow_struct)?;
+        while self.peek() == "as" {
+            let line = self.line();
+            self.bump();
+            // Cast target: a (possibly path-qualified) type name.
+            self.ident()?;
+            while self.eat("::") {
+                self.ident()?;
+            }
+            e = Expr { kind: ExprKind::Cast(Box::new(e)), line };
+        }
+        Ok(e)
+    }
+
+    fn parse_unary(&mut self, allow_struct: bool) -> PResult<Expr> {
+        let line = self.line();
+        match self.peek() {
+            "-" | "!" | "*" => {
+                self.bump();
+                let e = self.parse_unary(allow_struct)?;
+                Ok(Expr { kind: ExprKind::Unary(Box::new(e)), line })
+            }
+            "&" => {
+                self.bump();
+                self.eat("mut");
+                let e = self.parse_unary(allow_struct)?;
+                Ok(Expr { kind: ExprKind::Ref(Box::new(e)), line })
+            }
+            "&&" => {
+                self.bump();
+                self.eat("mut");
+                let e = self.parse_unary(allow_struct)?;
+                let inner = Expr { kind: ExprKind::Ref(Box::new(e)), line };
+                Ok(Expr { kind: ExprKind::Ref(Box::new(inner)), line })
+            }
+            _ => self.parse_postfix(allow_struct),
+        }
+    }
+
+    fn parse_postfix(&mut self, allow_struct: bool) -> PResult<Expr> {
+        let mut e = self.parse_primary(allow_struct)?;
+        loop {
+            let line = self.line();
+            if self.eat(".") {
+                if matches!(self.peek_kind(), Some(TokenKind::Int)) {
+                    let name = self.bump().to_string();
+                    e = Expr { kind: ExprKind::Field { recv: Box::new(e), name }, line };
+                    continue;
+                }
+                let name = self.ident()?;
+                // Turbofish: `.collect::<Vec<_>>()`.
+                if self.peek() == "::" && self.peek_at(1) == "<" {
+                    self.bump();
+                    self.skip_angles()?;
+                }
+                if self.peek() == "(" {
+                    let args = self.parse_call_args()?;
+                    e = Expr {
+                        kind: ExprKind::MethodCall { recv: Box::new(e), method: name, args },
+                        line,
+                    };
+                } else {
+                    e = Expr { kind: ExprKind::Field { recv: Box::new(e), name }, line };
+                }
+            } else if self.peek() == "(" {
+                let args = self.parse_call_args()?;
+                e = Expr { kind: ExprKind::Call { callee: Box::new(e), args }, line };
+            } else if self.eat("[") {
+                let index = self.parse_expr(true)?;
+                self.require("]")?;
+                e = Expr {
+                    kind: ExprKind::Index { recv: Box::new(e), index: Box::new(index) },
+                    line,
+                };
+            } else if self.eat("?") {
+                e = Expr { kind: ExprKind::Try(Box::new(e)), line };
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn parse_call_args(&mut self) -> PResult<Vec<Expr>> {
+        self.require("(")?;
+        let mut args = Vec::new();
+        while self.peek() != ")" {
+            if self.at_eof() {
+                return Err(self.err("unclosed argument list"));
+            }
+            args.push(self.parse_expr(true)?);
+            if !self.eat(",") {
+                break;
+            }
+        }
+        self.require(")")?;
+        Ok(args)
+    }
+
+    /// Block-like expressions valid in statement position without a
+    /// trailing `;`.
+    fn parse_block_like(&mut self) -> PResult<Expr> {
+        let line = self.line();
+        match self.peek() {
+            "if" => self.parse_if(),
+            "match" => self.parse_match(),
+            "unsafe" => {
+                self.bump();
+                let b = self.parse_block()?;
+                Ok(Expr { kind: ExprKind::Block(b), line })
+            }
+            "{" => {
+                let b = self.parse_block()?;
+                Ok(Expr { kind: ExprKind::Block(b), line })
+            }
+            other => Err(self.err(&format!("expected block-like expression, found `{other}`"))),
+        }
+    }
+
+    fn parse_if(&mut self) -> PResult<Expr> {
+        let line = self.line();
+        self.require("if")?;
+        if self.peek() == "let" {
+            return Err(self.err("unsupported construct `if let`"));
+        }
+        let cond = self.parse_expr_no_struct()?;
+        let then = self.parse_block()?;
+        let els = if self.eat("else") {
+            if self.peek() == "if" {
+                let nested_line = self.line();
+                let nested = self.parse_if()?;
+                Some(Block { stmts: vec![Stmt::Expr(nested)], line: nested_line })
+            } else {
+                Some(self.parse_block()?)
+            }
+        } else {
+            None
+        };
+        Ok(Expr { kind: ExprKind::If { cond: Box::new(cond), then, els }, line })
+    }
+
+    fn parse_match(&mut self) -> PResult<Expr> {
+        let line = self.line();
+        self.require("match")?;
+        let scrutinee = self.parse_expr_no_struct()?;
+        self.require("{")?;
+        let mut arms = Vec::new();
+        while self.peek() != "}" {
+            if self.at_eof() {
+                return Err(self.err("unclosed `match`"));
+            }
+            // Consume the pattern (and any guard) up to `=>`.
+            let mut depth = 0i32;
+            loop {
+                if self.at_eof() {
+                    return Err(self.err("unterminated match arm pattern"));
+                }
+                if depth == 0 && self.peek() == "=>" {
+                    break;
+                }
+                match self.bump() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth -= 1,
+                    _ => {}
+                }
+            }
+            self.require("=>")?;
+            arms.push(self.parse_expr(true)?);
+            self.eat(",");
+        }
+        self.require("}")?;
+        Ok(Expr { kind: ExprKind::Match { scrutinee: Box::new(scrutinee), arms }, line })
+    }
+
+    /// Does the cursor sit at `{` opening a struct literal (rather than
+    /// a block)?
+    fn struct_lit_ahead(&self) -> bool {
+        if self.peek() != "{" {
+            return false;
+        }
+        match self.peek_at(1) {
+            "}" | ".." => true,
+            _ => {
+                self.tok_at(1).map(|t| t.kind) == Some(TokenKind::Ident)
+                    && matches!(self.peek_at(2), ":" | "," | "}")
+                    // `{ ident : : …` would be a path expression in a
+                    // block; `::` lexes as one token so `:` here is a
+                    // real field separator.
+                    && self.peek_at(2) != "::"
+            }
+        }
+    }
+
+    fn parse_struct_lit(&mut self, path: Vec<String>, line: usize) -> PResult<Expr> {
+        self.require("{")?;
+        let mut fields = Vec::new();
+        while self.peek() != "}" {
+            if self.at_eof() {
+                return Err(self.err("unclosed struct literal"));
+            }
+            if self.eat("..") {
+                let e = self.parse_expr(true)?;
+                fields.push(("..".to_string(), e));
+            } else {
+                let fline = self.line();
+                let name = self.ident()?;
+                if self.eat(":") {
+                    let e = self.parse_expr(true)?;
+                    fields.push((name, e));
+                } else {
+                    let e = Expr { kind: ExprKind::Ident(name.clone()), line: fline };
+                    fields.push((name, e));
+                }
+            }
+            if !self.eat(",") {
+                break;
+            }
+        }
+        self.require("}")?;
+        Ok(Expr { kind: ExprKind::StructLit { path, fields }, line })
+    }
+
+    fn parse_primary(&mut self, allow_struct: bool) -> PResult<Expr> {
+        let line = self.line();
+        match self.peek_kind() {
+            Some(TokenKind::Int) => {
+                let v = int_value(self.bump());
+                return Ok(Expr { kind: ExprKind::Int(v), line });
+            }
+            Some(TokenKind::Float) | Some(TokenKind::Str { .. }) | Some(TokenKind::Char { .. }) => {
+                self.bump();
+                return Ok(Expr { kind: ExprKind::Lit, line });
+            }
+            Some(TokenKind::Lifetime) => {
+                return Err(self.err("unsupported construct: labeled expression"));
+            }
+            _ => {}
+        }
+        match self.peek() {
+            "(" => {
+                self.bump();
+                if self.eat(")") {
+                    return Ok(Expr { kind: ExprKind::Tuple(Vec::new()), line });
+                }
+                let mut elems = vec![self.parse_expr(true)?];
+                while self.eat(",") {
+                    if self.peek() == ")" {
+                        break;
+                    }
+                    elems.push(self.parse_expr(true)?);
+                }
+                self.require(")")?;
+                Ok(Expr { kind: ExprKind::Tuple(elems), line })
+            }
+            "[" => {
+                self.bump();
+                if self.eat("]") {
+                    return Ok(Expr { kind: ExprKind::Array(Vec::new()), line });
+                }
+                let first = self.parse_expr(true)?;
+                if self.eat(";") {
+                    let len = self.parse_expr(true)?;
+                    self.require("]")?;
+                    return Ok(Expr { kind: ExprKind::Array(vec![first, len]), line });
+                }
+                let mut elems = vec![first];
+                while self.eat(",") {
+                    if self.peek() == "]" {
+                        break;
+                    }
+                    elems.push(self.parse_expr(true)?);
+                }
+                self.require("]")?;
+                Ok(Expr { kind: ExprKind::Array(elems), line })
+            }
+            "{" | "if" | "match" | "unsafe" => self.parse_block_like(),
+            "move" | "|" | "||" => {
+                self.eat("move");
+                if !self.eat("||") {
+                    self.require("|")?;
+                    // Closure parameters: consumed without structure up
+                    // to the closing `|` at delimiter depth 0.
+                    let mut depth = 0i32;
+                    loop {
+                        if self.at_eof() {
+                            return Err(self.err("unclosed closure parameter list"));
+                        }
+                        if depth == 0 && self.peek() == "|" {
+                            break;
+                        }
+                        match self.bump() {
+                            "(" | "[" | "<" => depth += 1,
+                            ")" | "]" | ">" => depth -= 1,
+                            _ => {}
+                        }
+                    }
+                    self.require("|")?;
+                }
+                if self.eat("->") {
+                    self.skip_type(&["{"])?;
+                }
+                let body = self.parse_expr(true)?;
+                Ok(Expr { kind: ExprKind::Closure(Box::new(body)), line })
+            }
+            "for" | "while" | "loop" => {
+                Err(self.err(&format!("unsupported construct: `{}` in expression position", self.peek())))
+            }
+            "true" | "false" => {
+                self.bump();
+                Ok(Expr { kind: ExprKind::Lit, line })
+            }
+            _ if self.peek_kind() == Some(TokenKind::Ident) => {
+                let mut segs = vec![self.bump().to_string()];
+                loop {
+                    if self.peek() == "::" && self.peek_at(1) == "<" {
+                        self.bump();
+                        self.skip_angles()?;
+                        continue;
+                    }
+                    if self.peek() == "::"
+                        && self.tok_at(1).map(|t| t.kind) == Some(TokenKind::Ident)
+                    {
+                        self.bump();
+                        segs.push(self.bump().to_string());
+                        continue;
+                    }
+                    break;
+                }
+                if self.eat("!") {
+                    let name = segs.join("::");
+                    match self.peek() {
+                        "(" => self.skip_balanced("(", ")")?,
+                        "[" => self.skip_balanced("[", "]")?,
+                        "{" => self.skip_balanced("{", "}")?,
+                        other => {
+                            return Err(
+                                self.err(&format!("expected macro delimiter, found `{other}`"))
+                            )
+                        }
+                    }
+                    return Ok(Expr { kind: ExprKind::Macro { name }, line });
+                }
+                if allow_struct && self.struct_lit_ahead() {
+                    return self.parse_struct_lit(segs, line);
+                }
+                if segs.len() == 1 {
+                    let name = segs.into_iter().next().unwrap_or_default();
+                    Ok(Expr { kind: ExprKind::Ident(name), line })
+                } else {
+                    Ok(Expr { kind: ExprKind::Path(segs), line })
+                }
+            }
+            other => Err(self.err(&format!("unsupported construct at `{other}`"))),
+        }
+    }
+}
+
+/// Value of an integer literal token (underscores, base prefixes and
+/// type suffixes handled). `None` when the value overflows `i64`.
+fn int_value(text: &str) -> Option<i64> {
+    let mut t: String = text.chars().filter(|&c| c != '_').collect();
+    for suf in
+        ["usize", "isize", "u128", "i128", "u64", "i64", "u32", "i32", "u16", "i16", "u8", "i8"]
+    {
+        if t.len() > suf.len() && t.ends_with(suf) {
+            t.truncate(t.len() - suf.len());
+            break;
+        }
+    }
+    if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).ok()
+    } else if let Some(oct) = t.strip_prefix("0o") {
+        i64::from_str_radix(oct, 8).ok()
+    } else if let Some(bin) = t.strip_prefix("0b") {
+        i64::from_str_radix(bin, 2).ok()
+    } else {
+        t.parse().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(src: &str) -> File {
+        match parse_file(src) {
+            Ok(f) => f,
+            Err(e) => panic!("parse failed: {e}\nsource:\n{src}"),
+        }
+    }
+
+    #[test]
+    fn int_literals() {
+        assert_eq!(int_value("42"), Some(42));
+        assert_eq!(int_value("0xffff_u64"), Some(0xffff));
+        assert_eq!(int_value("0b1010"), Some(10));
+        assert_eq!(int_value("1_000_000"), Some(1_000_000));
+        assert_eq!(int_value("42usize"), Some(42));
+        assert_eq!(int_value("0xffff_ffff_ffff_ffff"), None, "overflows i64");
+    }
+
+    #[test]
+    fn fn_with_loops_and_subscripts() {
+        let f = parse_ok(
+            "fn fwi(a: View, size: usize) {\n\
+             for k in 0..size {\n\
+                 for i in 0..size {\n\
+                     let x = a.at(i, k);\n\
+                     data[x] = data[x] + 1;\n\
+                 }\n\
+             }\n\
+             }\n",
+        );
+        let fns = f.functions();
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].name, "fwi");
+        assert_eq!(fns[0].params.len(), 2);
+        assert_eq!(fns[0].params[1].ty, "usize");
+        let Stmt::For { body, .. } = &fns[0].body.stmts[0] else {
+            panic!("expected for loop")
+        };
+        assert!(matches!(body.stmts[0], Stmt::For { .. }));
+    }
+
+    #[test]
+    fn precedence_of_affine_subscripts() {
+        // offset + i * stride + j must parse as (offset + (i * stride)) + j.
+        let f = parse_ok("fn f(i: usize) { let x = offset + i * stride + j; }");
+        let fns = f.functions();
+        let Stmt::Let { init: Some(e), .. } = &fns[0].body.stmts[0] else {
+            panic!("expected let")
+        };
+        let ExprKind::Binary { op: BinOp::Add, lhs, rhs } = &e.kind else {
+            panic!("top must be +, got {:?}", e.kind)
+        };
+        assert!(matches!(rhs.kind, ExprKind::Ident(ref n) if n == "j"));
+        let ExprKind::Binary { op: BinOp::Add, rhs: mul, .. } = &lhs.kind else {
+            panic!("left must be +")
+        };
+        assert!(matches!(mul.kind, ExprKind::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn struct_literals_and_blocks_disambiguated() {
+        let f = parse_ok(
+            "fn f() -> Option<View> {\n\
+             if size == b {\n\
+                 Some(View { offset: base, stride: b })\n\
+             } else {\n\
+                 None\n\
+             }\n\
+             }\n",
+        );
+        assert_eq!(f.functions().len(), 1);
+        // In a no-struct context `b { … }` must be a block, not a literal.
+        let g = parse_ok("fn g() { for x in lo..hi { y += x; } }");
+        assert_eq!(g.functions().len(), 1);
+    }
+
+    #[test]
+    fn compound_assign_and_shifts() {
+        let f = parse_ok(
+            "fn s(x: u64) -> u64 {\n\
+             let mut x = x & 0xffff_ffff;\n\
+             x = (x | (x << 16)) & 0x0000_ffff_0000_ffff;\n\
+             x |= 1;\n\
+             x <<= 2;\n\
+             x\n\
+             }\n",
+        );
+        let fns = f.functions();
+        assert!(fns[0].body.stmts.len() == 5);
+    }
+
+    #[test]
+    fn methods_fields_indexing_ranges() {
+        let f = parse_ok(
+            "fn f(&mut self, v: View) {\n\
+             let r = self.data[v.offset..v.offset + size].len();\n\
+             let t = x.0;\n\
+             let c: Vec<usize> = xs.iter().map(|&(i, j)| l.index(i, j)).collect::<Vec<usize>>();\n\
+             }\n",
+        );
+        assert_eq!(f.functions()[0].params[0].name, "self");
+    }
+
+    #[test]
+    fn items_traits_impls_and_tests_mod() {
+        let f = parse_ok(
+            "use std::collections::HashSet;\n\
+             pub struct V { pub o: usize }\n\
+             pub trait T { fn n(&self) -> usize; fn d(&self) -> usize { self.n() * 2 } }\n\
+             impl T for V { fn n(&self) -> usize { self.o } }\n\
+             #[cfg(test)]\n\
+             mod tests { fn helper() {} }\n",
+        );
+        let fns = f.functions();
+        // d, n (impl), helper — the body-less trait signature is not a Fn.
+        assert_eq!(fns.len(), 3);
+        let helper = fns.iter().find(|f| f.name == "helper").expect("helper parsed");
+        assert!(helper.cfg_test, "cfg(test) must propagate into the module");
+        assert!(!fns[0].cfg_test);
+        let uses = f.uses();
+        assert_eq!(uses.len(), 1);
+        assert_eq!(uses[0].0, ["std", "collections", "HashSet"]);
+    }
+
+    #[test]
+    fn matches_macros_casts_closures() {
+        let f = parse_ok(
+            "fn f(b: usize) -> usize {\n\
+             debug_assert!(b >= 1, \"must be positive\");\n\
+             let v = vec![0u32; b];\n\
+             let k = match b { 0 => 1, _ => b as u64 as usize };\n\
+             let g = move |x: usize| x + 1;\n\
+             k\n\
+             }\n",
+        );
+        assert_eq!(f.functions().len(), 1);
+    }
+
+    #[test]
+    fn unsupported_constructs_are_named() {
+        let e = parse_file("fn f(x: Option<usize>) { if let Some(y) = x { } }")
+            .expect_err("if let must be rejected");
+        assert!(e.msg.contains("if let"), "{e}");
+        let e = parse_file("fn f() { while let Some(x) = it.next() { } }")
+            .expect_err("while let must be rejected");
+        assert!(e.msg.contains("while let"), "{e}");
+        let e = parse_file("yield x;").expect_err("unknown item");
+        assert!(e.msg.contains("unsupported item"), "{e}");
+    }
+
+    #[test]
+    fn error_lines_are_real() {
+        let e = parse_file("fn f() {\n    let x = 1;\n    if let Some(y) = x {}\n}\n")
+            .expect_err("must fail");
+        assert_eq!(e.line, 3);
+    }
+}

@@ -1,0 +1,64 @@
+//! Tier-1 conformance gate: the real kernel's inferred footprint stays
+//! inside the plan's declared footprint, and the checker itself stays
+//! sensitive — a fixture with a seeded off-by-one subscript must be
+//! DETECTED. The bin (`cargo run -p cachegraph-analyze`) runs the same
+//! checks; this test makes them part of `cargo test` so a regression
+//! cannot slip past a contributor who never runs the bin.
+
+use cachegraph_analyze::{check_kernel_conformance, summarize_kernel_source, sweep_kernel_conformance};
+
+const REAL_KERNEL: &str = include_str!("../../fw/src/kernel.rs");
+const CLEAN_FIXTURE: &str = include_str!("../fixtures/clean_kernel.rs");
+const MUTATED_FIXTURE: &str = include_str!("../fixtures/mutated_kernel.rs");
+
+#[test]
+fn real_kernel_conforms_over_the_spot_sweep() {
+    let summary = summarize_kernel_source(REAL_KERNEL).expect("real kernel summarizes");
+    let sweep = sweep_kernel_conformance(&summary, 10, 4);
+    assert!(sweep.errors.is_empty(), "violations: {:?}", sweep.errors);
+    assert!(sweep.configs >= 40, "sweep covered only {} configs", sweep.configs);
+    assert!(sweep.tasks > 0);
+}
+
+#[test]
+fn clean_fixture_kernel_conforms() {
+    let summary = summarize_kernel_source(CLEAN_FIXTURE).expect("clean fixture summarizes");
+    let report = check_kernel_conformance(&summary, 8, 4);
+    assert!(report.errors.is_empty(), "clean fixture flagged: {:?}", report.errors);
+    assert!(report.tasks > 0);
+}
+
+#[test]
+fn seeded_off_by_one_mutation_is_detected() {
+    let summary = summarize_kernel_source(MUTATED_FIXTURE).expect("mutated fixture summarizes");
+    let report = check_kernel_conformance(&summary, 8, 4);
+    assert!(
+        report
+            .errors
+            .iter()
+            .any(|e| e.detail.contains("outside the declared write footprint")),
+        "off-by-one write subscript was NOT detected — the checker is \
+         insensitive; errors: {:?}",
+        report.errors
+    );
+}
+
+#[test]
+fn mutated_fixture_differs_from_clean_only_in_the_subscript() {
+    // Guard the fixture pair itself: if someone edits one and not the
+    // other, the mutation test could pass for the wrong reason.
+    let clean: Vec<&str> =
+        CLEAN_FIXTURE.lines().filter(|l| !l.trim_start().starts_with("//")).collect();
+    let mutated: Vec<&str> =
+        MUTATED_FIXTURE.lines().filter(|l| !l.trim_start().starts_with("//")).collect();
+    assert_eq!(clean.len(), mutated.len(), "fixtures drifted apart structurally");
+    let diffs: Vec<(&str, &str)> = clean
+        .iter()
+        .zip(mutated.iter())
+        .filter(|(c, m)| c != m)
+        .map(|(c, m)| (*c, *m))
+        .collect();
+    assert_eq!(diffs.len(), 1, "expected exactly one differing line, got {diffs:?}");
+    assert!(diffs[0].0.contains("self.write(a_row + j, via)"));
+    assert!(diffs[0].1.contains("self.write(a_row + j + 1, via)"));
+}

@@ -1,0 +1,75 @@
+//! Three-way differential: for one concrete plan task, the cell sets
+//! the analyzer statically *infers* from the kernel's AST, the cells the
+//! plan *declares*, and the cells the running kernel actually *records*
+//! must all line up. This closes the evidence triangle: inference and
+//! plan agree on paper, and the recorder proves the paper matches the
+//! machine.
+//!
+//! The data is chosen dense (a-tile large, b/c zero, no `INF`) so the
+//! kernel's data-dependent guards never suppress an access: every write
+//! the over-approximating inference predicts really happens, making the
+//! comparison exact equality, not just `recorded ⊆ inferred`.
+
+use cachegraph_analyze::summarize_kernel_source;
+use cachegraph_fw::plan::Planner;
+use cachegraph_fw::{fwi_access, RecordingAccess};
+use cachegraph_layout::{BlockLayout, Layout};
+use std::collections::{BTreeMap, BTreeSet};
+
+const REAL_KERNEL: &str = include_str!("../../fw/src/kernel.rs");
+
+#[test]
+fn inferred_declared_and_recorded_footprints_coincide() {
+    let (n, b) = (8usize, 4usize);
+    let layout = BlockLayout::new(n, b);
+    let planner = Planner::new(&layout, n, b);
+
+    // A phase-3 task has three pairwise-distinct tiles (a != b != c), so
+    // reads and writes are both exercised against non-aliasing views —
+    // phase-2 tasks alias c = a, which would let an a/c mix-up hide.
+    let mut tasks = Vec::new();
+    planner.phase3(0, &mut tasks);
+    let task = *tasks
+        .iter()
+        .find(|t| t.a != t.b && t.a != t.c && t.b != t.c)
+        .expect("phase 3 at (n=8, b=4) yields a task with distinct tiles");
+
+    // Static leg: instantiate the inferred footprint on this task.
+    let summary = summarize_kernel_source(REAL_KERNEL).expect("real kernel summarizes");
+    let mut syms = BTreeMap::new();
+    for p in &summary.int_params {
+        syms.insert(p.clone(), b as i64);
+    }
+    assert_eq!(summary.view_params.len(), 3, "kernel takes views (a, b, c)");
+    for (name, view) in summary.view_params.iter().zip([task.a, task.b, task.c]) {
+        syms.insert(format!("{name}.offset"), view.offset as i64);
+        syms.insert(format!("{name}.stride"), view.stride as i64);
+    }
+    let (inferred_reads, inferred_writes) =
+        summary.instantiate(&syms).expect("kernel summary instantiates");
+
+    // Plan leg: the task's declared row ranges, flattened to cells.
+    let declared_writes: BTreeSet<usize> = task.write_rows(b).flatten().collect();
+    let declared_reads: BTreeSet<usize> = task.read_rows(b).flatten().collect();
+
+    // Dynamic leg: run the real kernel over a recorder. The a-tile holds
+    // large finite values and b/c hold zeros, so `bik` is never INF (no
+    // skipped rows) and `via = 0 < cell` relaxes every a-cell on the
+    // first k-iteration (no suppressed writes).
+    let mut data = vec![0; layout.storage_len()];
+    for i in 0..b {
+        for j in 0..b {
+            data[task.a.at(i, j)] = 100;
+        }
+    }
+    let mut rec = RecordingAccess::new(&mut data);
+    fwi_access(&mut rec, task.a, task.b, task.c, b);
+    let (recorded_reads, recorded_writes) = (rec.reads, rec.writes);
+
+    assert_eq!(inferred_writes, declared_writes, "inferred vs declared writes");
+    assert_eq!(inferred_reads, declared_reads, "inferred vs declared reads");
+    assert_eq!(recorded_writes, declared_writes, "recorded vs declared writes");
+    assert_eq!(recorded_reads, declared_reads, "recorded vs declared reads");
+    // And the run did real work: every a-cell was relaxed to 0.
+    assert_eq!(recorded_writes.len(), b * b);
+}

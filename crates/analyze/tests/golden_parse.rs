@@ -1,0 +1,70 @@
+//! Golden-parse gate: every kernel-marked file in the workspace must
+//! parse under the analyzer's subset grammar. If a kernel file grows a
+//! construct the parser does not model, this test fails loudly naming
+//! the construct and line — the signal to extend the grammar *before*
+//! the static footprint proof silently stops covering that file.
+
+use cachegraph_analyze::{parse_file, rules};
+use cachegraph_tidy::{find_workspace_root, walk};
+use std::path::Path;
+
+fn workspace_root() -> std::path::PathBuf {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    find_workspace_root(manifest).expect("analyze crate lives inside the workspace")
+}
+
+#[test]
+fn every_kernel_marked_file_parses_under_the_subset_grammar() {
+    let root = workspace_root();
+    let sources = walk::collect_sources(&root).expect("workspace walks");
+    let mut parsed = Vec::new();
+    for sf in &sources {
+        if !rules::is_kernel_marked(sf) {
+            continue;
+        }
+        match parse_file(&sf.raw) {
+            Ok(file) => {
+                assert!(
+                    !file.functions().is_empty(),
+                    "{}: kernel-marked file parsed to zero functions",
+                    sf.rel_path.display()
+                );
+                parsed.push(sf.rel_path.clone());
+            }
+            Err(e) => panic!(
+                "{}: kernel-marked file no longer parses under the analyzer's \
+                 subset grammar: {e}\nExtend crates/analyze/src/parse.rs (and the \
+                 footprint walker if the construct can carry accesses) before \
+                 shipping this kernel change.",
+                sf.rel_path.display()
+            ),
+        }
+    }
+    // The two files the footprint proof depends on must both be present;
+    // losing a marker would silently drop them from every static check.
+    for expected in ["crates/fw/src/kernel.rs", "crates/layout/src/layouts.rs"] {
+        assert!(
+            parsed.iter().any(|p| p == Path::new(expected)),
+            "{expected} is no longer kernel-marked (parsed set: {parsed:?})"
+        );
+    }
+}
+
+#[test]
+fn kernel_marked_files_pass_the_ast_lint_rules() {
+    let root = workspace_root();
+    let sources = walk::collect_sources(&root).expect("workspace walks");
+    for sf in &sources {
+        if !rules::is_kernel_marked(sf) {
+            continue;
+        }
+        let file = parse_file(&sf.raw).expect("covered by the golden-parse test");
+        let mut diags = rules::kernel_bounds(sf, &file);
+        diags.extend(rules::obs_purity(sf, &file));
+        assert!(
+            diags.is_empty(),
+            "{}: AST lint diagnostics on a committed kernel file: {diags:?}",
+            sf.rel_path.display()
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! Differential test: the AST-backed lint rules must agree with tidy's
+//! token-level rules on every tidy fixture for the two rules both
+//! implement (`kernel-bounds`, `obs-purity`). The token rules stay in
+//! tidy as the fallback for files outside the subset grammar; this test
+//! keeps the two implementations from drifting on the shared corpus.
+
+use cachegraph_analyze::{parse_file, rules};
+use cachegraph_tidy::rules::{kernel_bounds, obs_purity};
+use cachegraph_tidy::SourceFile;
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+fn fixture_files(prefix: &str) -> Vec<PathBuf> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../tidy/fixtures");
+    let mut out: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("tidy fixtures directory exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with(prefix) && n.ends_with(".rs"))
+        })
+        .collect();
+    out.sort();
+    assert!(!out.is_empty(), "no fixtures matched {prefix}* under {}", dir.display());
+    out
+}
+
+fn diag_lines(diags: &[cachegraph_tidy::Diagnostic], rule: &str) -> BTreeSet<usize> {
+    diags
+        .iter()
+        .map(|d| {
+            assert_eq!(d.rule, rule, "unexpected rule id in {d:?}");
+            d.line
+        })
+        .collect()
+}
+
+fn check_agreement(
+    prefix: &str,
+    rule: &str,
+    token_rule: fn(&SourceFile) -> Vec<cachegraph_tidy::Diagnostic>,
+    ast_rule: fn(&SourceFile, &cachegraph_analyze::ast::File) -> Vec<cachegraph_tidy::Diagnostic>,
+) {
+    for path in fixture_files(prefix) {
+        let raw = std::fs::read_to_string(&path).expect("fixture reads");
+        let name = path.file_name().map(PathBuf::from).unwrap_or_default();
+        let sf = SourceFile::new(name.clone(), raw);
+        let file = parse_file(&sf.raw)
+            .unwrap_or_else(|e| panic!("{}: fixture must stay in the subset grammar: {e}", name.display()));
+        let token_lines = diag_lines(&token_rule(&sf), rule);
+        let ast_lines = diag_lines(&ast_rule(&sf, &file), rule);
+        assert_eq!(
+            token_lines,
+            ast_lines,
+            "{}: token rule and AST rule disagree on `{rule}` \
+             (token flags lines {token_lines:?}, AST flags lines {ast_lines:?})",
+            name.display()
+        );
+    }
+}
+
+#[test]
+fn kernel_bounds_ast_rule_agrees_with_token_rule_on_all_fixtures() {
+    check_agreement("bounds_", kernel_bounds::RULE, kernel_bounds::check, rules::kernel_bounds);
+}
+
+#[test]
+fn obs_purity_ast_rule_agrees_with_token_rule_on_all_fixtures() {
+    check_agreement("obs_", obs_purity::RULE, obs_purity::check, rules::obs_purity);
+}
+
+#[test]
+fn positive_fixtures_actually_flag_something() {
+    // Agreement on empty sets is vacuous; make sure the corpus still has
+    // teeth on both sides.
+    for (prefix, rule, token_rule) in [
+        ("bounds_pos", kernel_bounds::RULE, kernel_bounds::check as fn(&SourceFile) -> _),
+        ("obs_pos", obs_purity::RULE, obs_purity::check),
+    ] {
+        for path in fixture_files(prefix) {
+            let raw = std::fs::read_to_string(&path).expect("fixture reads");
+            let sf = SourceFile::new(path.file_name().map(PathBuf::from).unwrap_or_default(), raw);
+            assert!(
+                !token_rule(&sf).is_empty(),
+                "{}: positive fixture no longer triggers `{rule}`",
+                path.display()
+            );
+        }
+    }
+}

@@ -54,5 +54,7 @@ pub mod oracle;
 pub mod shadow;
 
 pub use explore::{explore_config, Config, ExploreOptions, ExploreReport, RaceViolation};
-pub use oracle::{check_footprints, sweep_footprints, FootprintViolation, OverlapKind};
+pub use oracle::{
+    check_footprints, check_phase_footprints, sweep_footprints, FootprintViolation, OverlapKind,
+};
 pub use shadow::{Race, RaceKind, ShadowStorage};

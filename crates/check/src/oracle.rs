@@ -80,24 +80,31 @@ fn read_cells(task: &TileTask, b: usize) -> BTreeSet<usize> {
     task.read_rows(b).flatten().collect()
 }
 
-/// Check one phase's task list; push any overlap into `out`.
-fn check_phase(
+/// Check one phase given each task's footprint as bare `(reads, writes)`
+/// cell sets; push any overlap into `out`.
+///
+/// This is the oracle's set arithmetic with the footprint *source*
+/// abstracted away: [`check_footprints`] feeds it the plan-declared
+/// ranges, while `cachegraph-analyze` feeds it footprints statically
+/// inferred from the kernel source, re-proving the same disjointness
+/// claims without running anything.
+pub fn check_phase_footprints(
     n: usize,
     b: usize,
     t: usize,
     phase: &'static str,
-    tasks: &[TileTask],
+    footprints: &[(BTreeSet<usize>, BTreeSet<usize>)],
     out: &mut Vec<FootprintViolation>,
 ) {
-    let writes: Vec<BTreeSet<usize>> = tasks.iter().map(|task| write_cells(task, b)).collect();
-    let reads: Vec<BTreeSet<usize>> = tasks.iter().map(|task| read_cells(task, b)).collect();
-    for x in 0..tasks.len() {
-        for y in 0..tasks.len() {
+    let reads: Vec<&BTreeSet<usize>> = footprints.iter().map(|(r, _)| r).collect();
+    let writes: Vec<&BTreeSet<usize>> = footprints.iter().map(|(_, w)| w).collect();
+    for x in 0..footprints.len() {
+        for y in 0..footprints.len() {
             if x == y {
                 continue;
             }
             if x < y {
-                if let Some(&cell) = writes[x].intersection(&writes[y]).next() {
+                if let Some(&cell) = writes[x].intersection(writes[y]).next() {
                     out.push(FootprintViolation {
                         n,
                         b,
@@ -110,7 +117,7 @@ fn check_phase(
                     });
                 }
             }
-            if let Some(&cell) = writes[x].intersection(&reads[y]).next() {
+            if let Some(&cell) = writes[x].intersection(reads[y]).next() {
                 out.push(FootprintViolation {
                     n,
                     b,
@@ -124,6 +131,21 @@ fn check_phase(
             }
         }
     }
+}
+
+/// Check one phase's task list against its *declared* footprints; push
+/// any overlap into `out`.
+fn check_phase(
+    n: usize,
+    b: usize,
+    t: usize,
+    phase: &'static str,
+    tasks: &[TileTask],
+    out: &mut Vec<FootprintViolation>,
+) {
+    let footprints: Vec<(BTreeSet<usize>, BTreeSet<usize>)> =
+        tasks.iter().map(|task| (read_cells(task, b), write_cells(task, b))).collect();
+    check_phase_footprints(n, b, t, phase, &footprints, out);
 }
 
 /// Prove (or refute) the per-phase disjointness claims for one `(n, b)`

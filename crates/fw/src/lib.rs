@@ -50,6 +50,7 @@ pub mod observed;
 pub mod parallel;
 mod paths;
 pub mod plan;
+pub mod record;
 mod recursive;
 mod tiled;
 
@@ -61,6 +62,7 @@ pub use iterative::{fw_iterative, fw_iterative_slice};
 pub use kernel::{fwi, fwi_access, CellAccess, SliceAccess, StridedView, View};
 pub use matrix::FwMatrix;
 pub use paths::{extract_path, fw_iterative_with_paths, PathMatrix, NO_PRED};
+pub use record::RecordingAccess;
 pub use observed::{
     fw_iterative_observed, fw_recursive_observed, fw_tiled_copy_observed, fw_tiled_observed,
     FwEvent,

@@ -232,27 +232,6 @@ mod tests {
         assert_eq!(m.to_row_major(), expect);
     }
 
-    /// Runs one task's kernel while recording every flat index it reads
-    /// and writes — the dynamic evidence behind `SharedStorage`'s
-    /// soundness argument.
-    struct RecordingAccess<'a> {
-        data: &'a mut [u32],
-        reads: std::collections::BTreeSet<usize>,
-        writes: std::collections::BTreeSet<usize>,
-    }
-
-    impl crate::kernel::CellAccess for RecordingAccess<'_> {
-        fn read(&mut self, idx: usize) -> u32 {
-            self.reads.insert(idx);
-            self.data[idx]
-        }
-
-        fn write(&mut self, idx: usize, v: u32) {
-            self.writes.insert(idx);
-            self.data[idx] = v;
-        }
-    }
-
     /// The data-race-freedom claim the parallel phases rest on, checked
     /// dynamically against the *same* task plan the driver executes
     /// (`plan::Planner` — no inline re-derivation that could drift):
@@ -260,9 +239,13 @@ mod tests {
     /// a cell that another task of the same phase writes, and every
     /// recorded access stays inside the footprint the plan declares for
     /// it (what the `cachegraph-check` footprint oracle reasons about).
+    /// The third leg — footprints *statically inferred* from the kernel
+    /// source — is closed by the three-way differential test in
+    /// `cachegraph-analyze`, which reuses the same [`RecordingAccess`].
     #[test]
     fn phase_tasks_access_disjoint_cells() {
         use crate::kernel::fwi_access;
+        use crate::record::RecordingAccess;
 
         let n = 12;
         let b = 4;
@@ -274,11 +257,7 @@ mod tests {
         let check_phase = |phase: &str, t: usize, tasks: &[TileTask], data: &mut [u32]| {
             let mut records = Vec::new();
             for (i, task) in tasks.iter().enumerate() {
-                let mut acc = RecordingAccess {
-                    data,
-                    reads: Default::default(),
-                    writes: Default::default(),
-                };
+                let mut acc = RecordingAccess::new(data);
                 fwi_access(&mut acc, task.a, task.b, task.c, b);
                 // The declared footprints must cover every access the real
                 // kernel performs — this is what makes the static oracle's

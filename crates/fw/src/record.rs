@@ -1,0 +1,46 @@
+//! A [`CellAccess`] implementation that records every flat index it
+//! touches — the dynamic leg of the footprint evidence chain.
+//!
+//! Three artifacts claim to describe the same memory behaviour of the FWI
+//! kernel: the footprints [`crate::plan::Planner`] *declares* per task,
+//! the footprints `cachegraph-analyze` statically *infers* from the
+//! kernel's AST, and the accesses the kernel actually *performs*. This
+//! recorder produces the third: wrap the storage, run
+//! [`crate::fwi_access`], and read back exact read/write cell sets. The
+//! in-crate disjointness test (`parallel::tests`) proves recorded ⊆
+//! declared; the three-way differential test in `cachegraph-analyze`
+//! closes the triangle against the inferred footprints.
+
+use cachegraph_graph::Weight;
+use std::collections::BTreeSet;
+
+use crate::kernel::CellAccess;
+
+/// Records the flat indices of every read and write passing through it.
+pub struct RecordingAccess<'a> {
+    /// The wrapped storage.
+    pub data: &'a mut [Weight],
+    /// Every flat index read so far.
+    pub reads: BTreeSet<usize>,
+    /// Every flat index written so far.
+    pub writes: BTreeSet<usize>,
+}
+
+impl<'a> RecordingAccess<'a> {
+    /// Wrap `data` with empty recordings.
+    pub fn new(data: &'a mut [Weight]) -> Self {
+        Self { data, reads: BTreeSet::new(), writes: BTreeSet::new() }
+    }
+}
+
+impl CellAccess for RecordingAccess<'_> {
+    fn read(&mut self, idx: usize) -> Weight {
+        self.reads.insert(idx);
+        self.data[idx]
+    }
+
+    fn write(&mut self, idx: usize, v: Weight) {
+        self.writes.insert(idx);
+        self.data[idx] = v;
+    }
+}

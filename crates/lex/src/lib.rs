@@ -1,0 +1,23 @@
+//! Shared Rust-source lexing for the workspace's static-analysis tools.
+//!
+//! Two views of the same lexical structure live here:
+//!
+//! * [`mask`] — the literal-aware *masking* lexer originally grown inside
+//!   `cachegraph-tidy`: it blanks comment and literal bodies so line-based
+//!   lint rules never fire on text inside a string or a comment, and
+//!   collects the comments (for `// SAFETY:` and `tidy:` markers).
+//! * [`token`] — a span-carrying *tokenizer* producing a flat token
+//!   stream (identifiers, literals, comments, joined operator punctuation)
+//!   that `cachegraph-analyze`'s recursive-descent parser consumes.
+//!
+//! Both paths must agree on where comments and literals begin and end;
+//! [`token::masked_via_tokens`] rebuilds the masking lexer's exact output
+//! from the token stream, and a differential test tokenizes every `.rs`
+//! file in the workspace through both paths and asserts they match, so
+//! the tokenizer cannot silently drift from the battle-tested lexer.
+
+pub mod mask;
+pub mod token;
+
+pub use mask::{lex, Comment, Lexed};
+pub use token::{tokenize, Token, TokenKind};

@@ -1,0 +1,379 @@
+//! A small Rust source lexer: separates code from comments, string
+//! literals and char literals, so lint rules never fire on text inside a
+//! literal or a comment.
+//!
+//! The output is a *masked* copy of the source in which the bodies of
+//! comments and string/char literals are replaced by spaces (newlines are
+//! preserved, so byte offsets and line numbers still line up with the
+//! original), plus the list of comments with their line numbers (rules
+//! that look for `// SAFETY:` justifications or `tidy:` waiver/marker
+//! comments read those).
+//!
+//! Handled: line comments, (nested) block comments, doc comments, string
+//! literals with escapes, raw strings `r#"…"#` with any number of hashes,
+//! byte and byte-raw strings, char literals, and the char-vs-lifetime
+//! ambiguity (`'a'` vs `'a`).
+
+/// One comment in the source.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line of the comment's first character.
+    pub line: usize,
+    /// Full comment text including the `//` / `/*` markers.
+    pub text: String,
+}
+
+/// Lexer output for one file.
+#[derive(Clone, Debug)]
+pub struct Lexed {
+    /// Source with comment and literal *bodies* blanked to spaces.
+    /// Newlines are kept, so `masked` has the same line structure as the
+    /// input and the same length in bytes.
+    pub masked: String,
+    /// All comments, in order of appearance.
+    pub comments: Vec<Comment>,
+}
+
+impl Lexed {
+    /// Lines of the masked source (0-indexed; line `i` is source line `i + 1`).
+    pub fn masked_lines(&self) -> Vec<&str> {
+        self.masked.lines().collect()
+    }
+
+    /// All comments on a given 1-based line (a comment spanning lines is
+    /// reported on its first line only).
+    pub fn comments_on_line(&self, line: usize) -> impl Iterator<Item = &Comment> {
+        self.comments.iter().filter(move |c| c.line == line)
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum State {
+    Code,
+    LineComment,
+    /// Block comment with nesting depth.
+    BlockComment(u32),
+    /// String literal; `raw_hashes` is `None` for a normal string.
+    Str { raw_hashes: Option<u32> },
+    CharLit,
+}
+
+/// Convert accumulated comment bytes to text. The source is valid UTF-8,
+/// so for well-formed input this is a lossless copy (the byte-wise
+/// accumulation exists because the scanner walks bytes, not chars).
+fn comment_text(buf: &[u8]) -> String {
+    String::from_utf8_lossy(buf).into_owned()
+}
+
+/// Lex `src`, blanking comment and literal bodies.
+pub fn lex(src: &str) -> Lexed {
+    let bytes = src.as_bytes();
+    let mut masked = Vec::with_capacity(bytes.len());
+    let mut comments = Vec::new();
+    let mut state = State::Code;
+    let mut line = 1usize;
+    let mut comment_start_line = 0usize;
+    let mut comment_buf: Vec<u8> = Vec::new();
+    let mut i = 0usize;
+
+    // Push `b` to the mask, blanking it unless it is a newline.
+    fn blank(masked: &mut Vec<u8>, b: u8) {
+        masked.push(if b == b'\n' { b'\n' } else { b' ' });
+    }
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\n' {
+            line += 1;
+        }
+        match state {
+            State::Code => {
+                if b == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                    state = State::LineComment;
+                    comment_start_line = line;
+                    comment_buf.clear();
+                    comment_buf.extend_from_slice(b"//");
+                    blank(&mut masked, b'/');
+                    blank(&mut masked, b'/');
+                    i += 2;
+                    continue;
+                }
+                if b == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                    state = State::BlockComment(1);
+                    comment_start_line = line;
+                    comment_buf.clear();
+                    comment_buf.extend_from_slice(b"/*");
+                    blank(&mut masked, b'/');
+                    blank(&mut masked, b'*');
+                    i += 2;
+                    continue;
+                }
+                // Raw / byte string starts: r", r#", br", b", br#"…
+                if let Some((hashes, len)) = raw_string_start(&bytes[i..]) {
+                    state = State::Str { raw_hashes: Some(hashes) };
+                    // Keep the opening delimiter visible in the mask so the
+                    // code structure (an expression here) remains apparent.
+                    for _ in 0..len {
+                        blank(&mut masked, bytes[i]);
+                        i += 1;
+                    }
+                    continue;
+                }
+                if b == b'"' || (b == b'b' && i + 1 < bytes.len() && bytes[i + 1] == b'"') {
+                    if b == b'b' {
+                        blank(&mut masked, b'b');
+                        i += 1;
+                    }
+                    masked.push(b'"');
+                    i += 1;
+                    state = State::Str { raw_hashes: None };
+                    continue;
+                }
+                if b == b'\'' && is_char_literal(&bytes[i..]) {
+                    masked.push(b'\'');
+                    i += 1;
+                    state = State::CharLit;
+                    continue;
+                }
+                masked.push(b);
+                i += 1;
+            }
+            State::LineComment => {
+                if b == b'\n' {
+                    masked.push(b'\n');
+                    comments
+                        .push(Comment { line: comment_start_line, text: comment_text(&comment_buf) });
+                    state = State::Code;
+                } else {
+                    comment_buf.push(b);
+                    blank(&mut masked, b);
+                }
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if b == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                    comment_buf.extend_from_slice(b"*/");
+                    blank(&mut masked, b'*');
+                    blank(&mut masked, b'/');
+                    i += 2;
+                    if depth == 1 {
+                        comments.push(Comment {
+                            line: comment_start_line,
+                            text: comment_text(&comment_buf),
+                        });
+                        state = State::Code;
+                    } else {
+                        state = State::BlockComment(depth - 1);
+                    }
+                    continue;
+                }
+                if b == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                    comment_buf.extend_from_slice(b"/*");
+                    blank(&mut masked, b'/');
+                    blank(&mut masked, b'*');
+                    i += 2;
+                    state = State::BlockComment(depth + 1);
+                    continue;
+                }
+                comment_buf.push(b);
+                blank(&mut masked, b);
+                i += 1;
+            }
+            State::Str { raw_hashes: None } => {
+                if b == b'\\' && i + 1 < bytes.len() {
+                    if bytes[i + 1] == b'\n' {
+                        line += 1;
+                    }
+                    blank(&mut masked, b);
+                    blank(&mut masked, bytes[i + 1]);
+                    i += 2;
+                    continue;
+                }
+                if b == b'"' {
+                    masked.push(b'"');
+                    state = State::Code;
+                } else {
+                    blank(&mut masked, b);
+                }
+                i += 1;
+            }
+            State::Str { raw_hashes: Some(hashes) } => {
+                if b == b'"' && closes_raw_string(&bytes[i + 1..], hashes) {
+                    masked.push(b'"');
+                    i += 1;
+                    for _ in 0..hashes {
+                        blank(&mut masked, b'#');
+                        i += 1;
+                    }
+                    state = State::Code;
+                    continue;
+                }
+                blank(&mut masked, b);
+                i += 1;
+            }
+            State::CharLit => {
+                if b == b'\\' && i + 1 < bytes.len() {
+                    blank(&mut masked, b);
+                    blank(&mut masked, bytes[i + 1]);
+                    i += 2;
+                    continue;
+                }
+                if b == b'\'' {
+                    masked.push(b'\'');
+                    state = State::Code;
+                } else {
+                    blank(&mut masked, b);
+                }
+                i += 1;
+            }
+        }
+    }
+    // Close a trailing line comment at EOF.
+    if matches!(state, State::LineComment | State::BlockComment(_)) {
+        comments.push(Comment { line: comment_start_line, text: comment_text(&comment_buf) });
+    }
+    Lexed {
+        // The mask only ever replaces bytes with ASCII spaces, so it stays
+        // valid UTF-8 (multi-byte chars are blanked byte-by-byte).
+        masked: String::from_utf8_lossy(&masked).into_owned(),
+        comments,
+    }
+}
+
+/// Does `s` start a raw (byte) string? Returns (hash count, delimiter length).
+pub(crate) fn raw_string_start(s: &[u8]) -> Option<(u32, usize)> {
+    let mut j = 0;
+    if s.first() == Some(&b'b') {
+        j += 1;
+    }
+    if s.get(j) != Some(&b'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0u32;
+    while s.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if s.get(j) == Some(&b'"') {
+        Some((hashes, j + 1))
+    } else {
+        None
+    }
+}
+
+/// After a closing `"` inside a raw string, are the required hashes present?
+pub(crate) fn closes_raw_string(rest: &[u8], hashes: u32) -> bool {
+    (0..hashes as usize).all(|k| rest.get(k) == Some(&b'#'))
+}
+
+/// Distinguish `'a'` / `'\n'` char literals from `'a` lifetimes: a char
+/// literal closes with a `'` within a couple of characters (or starts with
+/// a backslash escape).
+pub(crate) fn is_char_literal(s: &[u8]) -> bool {
+    debug_assert_eq!(s.first(), Some(&b'\''));
+    match s.get(1) {
+        Some(b'\\') => true,
+        // `''` is not valid Rust; treat defensively as a literal.
+        Some(b'\'') => true,
+        Some(&first) => {
+            // Multi-byte UTF-8 chars: find the end of the first char.
+            let tail = &s[1..];
+            tail.get(utf8_len(first)) == Some(&b'\'')
+        }
+        None => false,
+    }
+}
+
+pub(crate) fn utf8_len(b: u8) -> usize {
+    if b < 0x80 {
+        1
+    } else if b >> 5 == 0b110 {
+        2
+    } else if b >> 4 == 0b1110 {
+        3
+    } else {
+        4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blanks_string_contents() {
+        let l = lex(r#"let s = "unsafe { panic!() }"; x();"#);
+        assert!(!l.masked.contains("unsafe"));
+        assert!(!l.masked.contains("panic"));
+        assert!(l.masked.contains("let s ="));
+        assert!(l.masked.contains("x();"));
+        assert_eq!(l.masked.len(), r#"let s = "unsafe { panic!() }"; x();"#.len());
+    }
+
+    #[test]
+    fn collects_comments_with_lines() {
+        let src = "fn f() {}\n// SAFETY: fine\nunsafe {}\n";
+        let l = lex(src);
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(l.comments[0].line, 2);
+        assert!(l.comments[0].text.contains("SAFETY"));
+        assert!(l.masked.contains("unsafe {}"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("a /* outer /* inner */ still */ b");
+        assert!(l.masked.starts_with('a'));
+        assert!(l.masked.trim_end().ends_with('b'));
+        assert!(!l.masked.contains("inner"));
+        assert_eq!(l.comments.len(), 1);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let l = lex(r##"let s = r#"has "quotes" and unwrap()"#; done();"##);
+        assert!(!l.masked.contains("unwrap"));
+        assert!(l.masked.contains("done();"));
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = '\\''; let q = 'u'; g(x) }");
+        // The lifetime must not start a literal that swallows code.
+        assert!(l.masked.contains("str"));
+        assert!(l.masked.contains("g(x)"));
+        assert!(!l.masked.contains("'u'") || l.masked.contains("' '"));
+    }
+
+    #[test]
+    fn doc_comments_are_comments() {
+        let l = lex("/// # Safety\n/// caller checks\npub unsafe fn f() {}\n");
+        assert_eq!(l.comments.len(), 2);
+        assert!(l.comments[0].text.contains("# Safety"));
+        assert!(l.masked.contains("pub unsafe fn f()"));
+    }
+
+    #[test]
+    fn byte_strings_and_escapes() {
+        let l = lex(r#"const M: &[u8; 2] = b"\"x"; next();"#);
+        assert!(l.masked.contains("next();"));
+    }
+
+    #[test]
+    fn mask_preserves_line_count() {
+        let src = "a\n\"two\nlines\"\n/* c\nc */\nb\n";
+        let l = lex(src);
+        assert_eq!(l.masked.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn non_ascii_comment_text_survives() {
+        // Doc comments in this workspace use `≤` and `−`; the collected
+        // comment text must be real UTF-8, not byte-wise mojibake.
+        let src = "// bound: k−1 ≤ k′\nfn f() {}\n";
+        let l = lex(src);
+        assert_eq!(l.comments.len(), 1);
+        assert!(l.comments[0].text.contains("k−1 ≤ k′"));
+    }
+}

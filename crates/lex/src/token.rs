@@ -1,0 +1,432 @@
+//! A span-carrying tokenizer over the same lexical grammar as [`crate::mask`].
+//!
+//! Produces a flat stream of [`Token`]s — identifiers, lifetimes, numeric
+//! and string/char literals, comments, and *joined* operator punctuation
+//! (`::`, `->`, `..=`, `<<=`, …) — each with its byte span and 1-based
+//! start line. Whitespace is not represented; the gaps between spans are
+//! whitespace by construction.
+//!
+//! The literal boundary decisions (raw-string delimiters, char-vs-lifetime
+//! disambiguation, escape handling) are shared with the masking lexer, and
+//! [`masked_via_tokens`] reconstructs the masking lexer's exact output from
+//! the token stream so a differential test can prove the two paths agree
+//! on every file in the workspace.
+
+use crate::mask::{self, Comment, Lexed};
+
+/// Lexical class of one token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (the parser distinguishes keywords).
+    Ident,
+    /// A lifetime such as `'a` or `'_` (not a char literal).
+    Lifetime,
+    /// Integer literal, including base prefixes, underscores and suffixes.
+    Int,
+    /// Float literal such as `1.0`, `0.3` or `2e9` is *not* produced as a
+    /// unit unless the fraction is present; `1.max(2)` lexes as
+    /// `1` `.` `max` … exactly like rustc.
+    Float,
+    /// String literal (cooked or raw, optionally byte-prefixed).
+    Str {
+        /// Raw literal (`r"…"`, `br#"…"#`)?
+        raw: bool,
+        /// Did the literal close before end of input?
+        terminated: bool,
+    },
+    /// Char literal `'x'` / `'\n'`.
+    Char {
+        /// Did the literal close before end of input?
+        terminated: bool,
+    },
+    /// Line or block comment (doc comments included).
+    Comment {
+        /// `/* … */` (possibly nested) rather than `// …`.
+        block: bool,
+    },
+    /// Operator or punctuation, maximal-munch joined (`<<=` is one token).
+    Punct,
+    /// A byte the tokenizer has no class for (kept verbatim in the mask).
+    Unknown,
+}
+
+/// One token: classification plus byte span and start line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: usize,
+}
+
+impl Token {
+    /// The token's text within its source.
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        src.get(self.start..self.end).unwrap_or("")
+    }
+}
+
+/// Multi-character operators, longest first (maximal munch).
+const PUNCT3: &[&str] = &["<<=", ">>=", "..="];
+const PUNCT2: &[&str] = &[
+    "::", "->", "=>", "..", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "+=", "-=", "*=",
+    "/=", "%=", "^=", "&=", "|=",
+];
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Tokenize `src`. Never fails: unclassifiable bytes come out as
+/// [`TokenKind::Unknown`] single-byte tokens, and literals cut off by end
+/// of input are flagged `terminated: false`.
+pub fn tokenize(src: &str) -> Vec<Token> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if b.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let start_line = line;
+        // Comments.
+        if b == b'/' && bytes.get(i + 1) == Some(&b'/') {
+            i += 2;
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            toks.push(Token { kind: TokenKind::Comment { block: false }, start, end: i, line: start_line });
+            continue;
+        }
+        if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+            i += 2;
+            let mut depth = 1u32;
+            while i < bytes.len() && depth > 0 {
+                if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    depth -= 1;
+                    i += 2;
+                } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    depth += 1;
+                    i += 2;
+                } else {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            toks.push(Token { kind: TokenKind::Comment { block: true }, start, end: i, line: start_line });
+            continue;
+        }
+        // Raw (byte) strings — must be checked before identifiers, since
+        // they start with `r` / `b`.
+        if let Some((hashes, delim)) = mask::raw_string_start(&bytes[i..]) {
+            i += delim;
+            let mut terminated = false;
+            while i < bytes.len() {
+                if bytes[i] == b'\n' {
+                    line += 1;
+                }
+                if bytes[i] == b'"' && mask::closes_raw_string(&bytes[i + 1..], hashes) {
+                    i += 1 + hashes as usize;
+                    terminated = true;
+                    break;
+                }
+                i += 1;
+            }
+            toks.push(Token {
+                kind: TokenKind::Str { raw: true, terminated },
+                start,
+                end: i,
+                line: start_line,
+            });
+            continue;
+        }
+        // Cooked strings, optionally byte-prefixed.
+        if b == b'"' || (b == b'b' && bytes.get(i + 1) == Some(&b'"')) {
+            i += if b == b'b' { 2 } else { 1 };
+            let mut terminated = false;
+            while i < bytes.len() {
+                match bytes[i] {
+                    b'\\' => {
+                        if bytes.get(i + 1) == Some(&b'\n') {
+                            line += 1;
+                        }
+                        i = (i + 2).min(bytes.len());
+                    }
+                    b'"' => {
+                        i += 1;
+                        terminated = true;
+                        break;
+                    }
+                    c => {
+                        if c == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            toks.push(Token {
+                kind: TokenKind::Str { raw: false, terminated },
+                start,
+                end: i,
+                line: start_line,
+            });
+            continue;
+        }
+        // Char literal vs lifetime.
+        if b == b'\'' {
+            if mask::is_char_literal(&bytes[i..]) {
+                i += 1;
+                let mut terminated = false;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' => i = (i + 2).min(bytes.len()),
+                        b'\'' => {
+                            i += 1;
+                            terminated = true;
+                            break;
+                        }
+                        c => {
+                            if c == b'\n' {
+                                line += 1;
+                            }
+                            i += 1;
+                        }
+                    }
+                }
+                toks.push(Token { kind: TokenKind::Char { terminated }, start, end: i, line: start_line });
+            } else {
+                i += 1;
+                while i < bytes.len() && is_ident_continue(bytes[i]) {
+                    i += 1;
+                }
+                toks.push(Token { kind: TokenKind::Lifetime, start, end: i, line: start_line });
+            }
+            continue;
+        }
+        // Identifiers and keywords.
+        if is_ident_start(b) {
+            while i < bytes.len() && is_ident_continue(bytes[i]) {
+                i += 1;
+            }
+            toks.push(Token { kind: TokenKind::Ident, start, end: i, line: start_line });
+            continue;
+        }
+        // Numbers. The integer part munches alphanumerics (covers `0xff`,
+        // `1_000`, `42u64`); a fraction is taken only when `.` is followed
+        // by a digit, so `0..n` and `1.max(2)` stay separate tokens.
+        if b.is_ascii_digit() {
+            while i < bytes.len() && (is_ident_continue(bytes[i])) {
+                i += 1;
+            }
+            let mut kind = TokenKind::Int;
+            if bytes.get(i) == Some(&b'.')
+                && bytes.get(i + 1).is_some_and(|c| c.is_ascii_digit())
+            {
+                kind = TokenKind::Float;
+                i += 1;
+                while i < bytes.len() && is_ident_continue(bytes[i]) {
+                    i += 1;
+                }
+                // Exponent with an explicit sign: `1.5e-3`.
+                if i > 0
+                    && matches!(bytes.get(i.wrapping_sub(1)), Some(b'e') | Some(b'E'))
+                    && matches!(bytes.get(i), Some(b'+') | Some(b'-'))
+                    && bytes.get(i + 1).is_some_and(|c| c.is_ascii_digit())
+                {
+                    i += 1;
+                    while i < bytes.len() && is_ident_continue(bytes[i]) {
+                        i += 1;
+                    }
+                }
+            }
+            toks.push(Token { kind, start, end: i, line: start_line });
+            continue;
+        }
+        // Punctuation, maximal munch.
+        let rest = &src[i..];
+        if let Some(p) = PUNCT3.iter().find(|p| rest.starts_with(**p)) {
+            i += p.len();
+            toks.push(Token { kind: TokenKind::Punct, start, end: i, line: start_line });
+            continue;
+        }
+        if let Some(p) = PUNCT2.iter().find(|p| rest.starts_with(**p)) {
+            i += p.len();
+            toks.push(Token { kind: TokenKind::Punct, start, end: i, line: start_line });
+            continue;
+        }
+        if b.is_ascii_punctuation() {
+            i += 1;
+            toks.push(Token { kind: TokenKind::Punct, start, end: i, line: start_line });
+            continue;
+        }
+        i += 1;
+        toks.push(Token { kind: TokenKind::Unknown, start, end: i, line: start_line });
+    }
+    toks
+}
+
+/// Rebuild the masking lexer's output ([`mask::lex`]) from the token
+/// stream: literal and comment bodies blanked with the same
+/// quirk-for-quirk visibility rules (opening quote of a cooked string
+/// visible, only the closing quote of a raw string visible, char quotes
+/// visible), comments collected with their start lines.
+///
+/// Exists for the differential test that pins the tokenizer to the
+/// masking lexer on every `.rs` file in the workspace.
+pub fn masked_via_tokens(src: &str) -> Lexed {
+    let toks = tokenize(src);
+    let mut m: Vec<u8> = src.as_bytes().to_vec();
+    let mut comments = Vec::new();
+    fn blank(m: &mut [u8], start: usize, end: usize) {
+        for b in m.get_mut(start..end).unwrap_or(&mut []) {
+            if *b != b'\n' {
+                *b = b' ';
+            }
+        }
+    }
+    for t in &toks {
+        match t.kind {
+            TokenKind::Comment { .. } => {
+                comments.push(Comment { line: t.line, text: t.text(src).to_string() });
+                blank(&mut m, t.start, t.end);
+            }
+            TokenKind::Str { raw: false, terminated } => {
+                // The opening `"` (after an optional `b` prefix, which is
+                // blanked) and the closing `"` stay visible.
+                let open = if src.as_bytes().get(t.start) == Some(&b'b') { t.start + 1 } else { t.start };
+                blank(&mut m, t.start, t.end);
+                if let Some(q) = m.get_mut(open) {
+                    *q = b'"';
+                }
+                if terminated {
+                    if let Some(q) = m.get_mut(t.end - 1) {
+                        *q = b'"';
+                    }
+                }
+            }
+            TokenKind::Str { raw: true, terminated } => {
+                // The whole opening delimiter is blanked; of the closing
+                // delimiter only the `"` stays visible.
+                blank(&mut m, t.start, t.end);
+                if terminated {
+                    let hashes = mask::raw_string_start(&src.as_bytes()[t.start..])
+                        .map(|(h, _)| h as usize)
+                        .unwrap_or(0);
+                    if let Some(q) = m.get_mut(t.end - 1 - hashes) {
+                        *q = b'"';
+                    }
+                }
+            }
+            TokenKind::Char { terminated } => {
+                blank(&mut m, t.start + 1, if terminated { t.end - 1 } else { t.end });
+            }
+            _ => {}
+        }
+    }
+    Lexed { masked: String::from_utf8_lossy(&m).into_owned(), comments }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).iter().map(|t| t.kind).collect()
+    }
+
+    fn texts(src: &str) -> Vec<String> {
+        tokenize(src).iter().map(|t| t.text(src).to_string()).collect()
+    }
+
+    #[test]
+    fn joins_multichar_operators() {
+        assert_eq!(texts("a <<= b >>= c ..= d"), vec!["a", "<<=", "b", ">>=", "c", "..=", "d"]);
+        assert_eq!(texts("x::y->z=>w"), vec!["x", "::", "y", "->", "z", "=>", "w"]);
+    }
+
+    #[test]
+    fn ranges_do_not_become_floats() {
+        assert_eq!(texts("0..size"), vec!["0", "..", "size"]);
+        assert_eq!(texts("1..=n"), vec!["1", "..=", "n"]);
+        assert_eq!(texts("0.5"), vec!["0.5"]);
+        assert_eq!(kinds("0.5")[0], TokenKind::Float);
+    }
+
+    #[test]
+    fn suffixed_and_based_ints_are_single_tokens() {
+        assert_eq!(texts("0xffff_u64 42usize 0b1010"), vec!["0xffff_u64", "42usize", "0b1010"]);
+        assert!(kinds("0xffff_u64").iter().all(|k| *k == TokenKind::Int));
+    }
+
+    #[test]
+    fn tuple_field_access_is_dot_int() {
+        assert_eq!(texts("self.0"), vec!["self", ".", "0"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let t = texts("fn f<'a>(x: &'a str) { let c = 'u'; }");
+        assert!(t.contains(&"'a".to_string()));
+        assert!(t.contains(&"'u'".to_string()));
+        let k = kinds("'a 'u'");
+        assert_eq!(k[0], TokenKind::Lifetime);
+        assert_eq!(k[1], TokenKind::Char { terminated: true });
+    }
+
+    #[test]
+    fn raw_strings_span_to_closing_hashes() {
+        let src = r##"let s = r#"body "quoted" here"#; x"##;
+        let toks = tokenize(src);
+        let s = toks.iter().find(|t| matches!(t.kind, TokenKind::Str { raw: true, .. })).unwrap();
+        assert!(s.text(src).ends_with("\"#"));
+        assert_eq!(toks.last().unwrap().text(src), "x");
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_inside_literals() {
+        let src = "let a = \"two\nlines\";\nlet b = 1; // note\n";
+        let toks = tokenize(src);
+        let b = toks.iter().find(|t| t.text(src) == "b").unwrap();
+        assert_eq!(b.line, 3);
+        let c = toks.iter().find(|t| matches!(t.kind, TokenKind::Comment { .. })).unwrap();
+        assert_eq!(c.line, 3);
+    }
+
+    #[test]
+    fn masked_via_tokens_matches_mask_lexer_on_tricky_input() {
+        let src = concat!(
+            "//! doc\n",
+            "fn f<'a>(s: &'a str) -> usize {\n",
+            "    let c = '\\'';\n",
+            "    let r = r#\"raw \"x\" body\"#;\n",
+            "    let b = b\"bytes\\\"esc\";\n",
+            "    /* block /* nested */ end */\n",
+            "    s.len() // trailing\n",
+            "}\n",
+        );
+        let a = mask::lex(src);
+        let b = masked_via_tokens(src);
+        assert_eq!(a.masked, b.masked);
+        assert_eq!(a.comments, b.comments);
+    }
+}

@@ -1,0 +1,117 @@
+//! Differential test: every `.rs` file in the workspace is lexed through
+//! the old path (the masking lexer, [`cachegraph_lex::mask::lex`]) and the
+//! new path (the tokenizer, [`cachegraph_lex::token::masked_via_tokens`]),
+//! and both the masked source and the collected comments must agree
+//! byte-for-byte. Raw strings, nested block comments and char-literal
+//! edge cases are exactly where the two scanners could drift apart; this
+//! pins them together on the full corpus, lint fixtures included.
+
+use std::path::{Path, PathBuf};
+
+use cachegraph_lex::{mask, token};
+
+/// Walk up from the test binary's cwd to the workspace root (the
+/// directory whose `Cargo.toml` declares `[workspace]`).
+fn workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().expect("cwd");
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        assert!(dir.pop(), "no workspace root above the test cwd");
+    }
+}
+
+/// All `.rs` files under `dir`, skipping build output and VCS internals.
+/// Lint fixtures are deliberately *included*: they exercise deliberately
+/// odd corners of the grammar.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return,
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn tokenizer_agrees_with_masking_lexer_on_every_workspace_file() {
+    let root = workspace_root();
+    let mut files = Vec::new();
+    collect_rs(&root, &mut files);
+    files.sort();
+    assert!(
+        files.len() > 100,
+        "expected the whole workspace, found only {} files under {}",
+        files.len(),
+        root.display()
+    );
+    for path in &files {
+        let src = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+        let old = mask::lex(&src);
+        let new = token::masked_via_tokens(&src);
+        if old.masked != new.masked {
+            // Locate the first diverging line for a readable failure.
+            let (mut line_no, mut detail) = (0, String::new());
+            for (i, (a, b)) in old.masked.lines().zip(new.masked.lines()).enumerate() {
+                if a != b {
+                    line_no = i + 1;
+                    detail = format!("lexer: {a:?}\ntokens: {b:?}");
+                    break;
+                }
+            }
+            panic!("masked divergence in {} at line {line_no}:\n{detail}", path.display());
+        }
+        assert_eq!(
+            old.comments,
+            new.comments,
+            "comment divergence in {}",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn token_spans_tile_the_source() {
+    // Spans must be in order, non-overlapping, and separated only by
+    // whitespace — the property masked reconstruction relies on.
+    let root = workspace_root();
+    let mut files = Vec::new();
+    collect_rs(&root, &mut files);
+    for path in files {
+        let src = std::fs::read_to_string(&path).expect("readable source");
+        let toks = token::tokenize(&src);
+        let mut prev_end = 0usize;
+        for t in &toks {
+            assert!(t.start >= prev_end, "overlapping spans in {}", path.display());
+            assert!(t.end > t.start, "empty span in {}", path.display());
+            assert!(
+                src[prev_end..t.start].chars().all(char::is_whitespace),
+                "non-whitespace gap before offset {} in {}",
+                t.start,
+                path.display()
+            );
+            prev_end = t.end;
+        }
+        assert!(
+            src[prev_end..].chars().all(char::is_whitespace),
+            "non-whitespace tail in {}",
+            path.display()
+        );
+    }
+}

@@ -29,6 +29,8 @@ pub const DEPENDENCY_ALLOWLIST: &[&str] = &[
     "cachegraph-tidy",
     "cachegraph-obs",
     "cachegraph-check",
+    "cachegraph-lex",
+    "cachegraph-analyze",
 ];
 
 /// Marker comment opting a file into the kernel-purity, obs-purity and
