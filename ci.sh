@@ -28,12 +28,18 @@ cargo run -q --release -p cachegraph-check
 echo "==> clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> obs overhead gate (enabled-path budgets, release, 3-trial median)"
+# Profiled simulation vs the classifying no-profiler baseline on the FW
+# tiled unit: exact-event mode must stay within 1.15x, sampled 1/64
+# mode within 1.05x. The bench exits nonzero on a breach.
+cargo bench -q -p cachegraph-bench --bench obs_overhead -- --gate
+
 echo "==> repro --quick perf smoke (metrics -> target/ci-metrics)"
 mkdir -p target/ci-metrics
 cargo run -q --release -p cachegraph-cli --bin cachegraph -- \
   repro --quick --metrics target/ci-metrics/repro_quick.json \
   > target/ci-metrics/repro_quick.txt
-grep -q '"schema_version":3' target/ci-metrics/repro_quick.json
+grep -q '"schema_version":4' target/ci-metrics/repro_quick.json
 
 echo "==> resume smoke (kill mid-run, resume from journal)"
 rm -f target/ci-metrics/resume.jsonl
@@ -50,7 +56,7 @@ cargo run -q --release -p cachegraph-cli --bin cachegraph -- \
   repro --quick --resume target/ci-metrics/resume.jsonl \
   --metrics target/ci-metrics/resume_merged.json \
   > target/ci-metrics/resume_resumed.txt
-grep -q '"schema_version":3' target/ci-metrics/resume_merged.json
+grep -q '"schema_version":4' target/ci-metrics/resume_merged.json
 grep -q 'restored from journal' target/ci-metrics/resume_resumed.txt
 cargo run -q --release -p cachegraph-cli --bin cachegraph -- \
   compare target/ci-metrics/resume_merged.json target/ci-metrics/repro_quick.json \

@@ -7,21 +7,40 @@
 //! measurement noise (<2%, see EXPERIMENTS.md). The same contract holds
 //! for the simulator: with no profiler attached every attribution hook
 //! is one `Option` branch, so `sim_no_profiler` must stay within noise
-//! of the pre-profiler simulation path; `sim_profiler_attached` prices
-//! the enabled path (one relaxed atomic load per access plus per-level
-//! stat deltas). Run with:
+//! of the pre-profiler simulation path.
+//!
+//! The enabled-path suite prices attribution when it is actually on,
+//! against the fair baseline `sim_classified_baseline` (the profiler
+//! always classifies L1 misses, so the comparison is
+//! classifying-vs-classifying): `sim_profiler_exact` records one event
+//! callback per probe (budget ≤ 1.15x the baseline),
+//! `sim_profiler_sampled` records one access in 64 into the ring buffer
+//! (budget ≤ 1.05x). `--gate` re-runs just those three as 3-trial
+//! medians and exits nonzero on a budget breach — CI runs it in release
+//! (see ci.sh). Run with:
 //!
 //! ```text
-//! cargo bench -p cachegraph-bench --bench obs_overhead
+//! cargo bench -p cachegraph-bench --bench obs_overhead [-- --gate]
 //! ```
 
-use cachegraph_bench::{bench_report, black_box};
-use cachegraph_fw::instrumented::{sim_tiled_bdl, sim_tiled_bdl_profiled};
+use cachegraph_bench::{bench_median, bench_report, black_box};
+use cachegraph_fw::instrumented::{
+    sim_tiled_bdl, sim_tiled_bdl_classified, sim_tiled_bdl_profiled,
+};
 use cachegraph_fw::{fw_tiled, fw_tiled_observed, FwMatrix, INF};
 use cachegraph_layout::BlockLayout;
 use cachegraph_obs::Registry;
 use cachegraph_rng::StdRng;
-use cachegraph_sim::profiles;
+use cachegraph_sim::{profiles, ProfilerOptions};
+
+/// Overhead budgets asserted by `--gate`: enabled-path profiled runs
+/// versus the classifying no-profiler baseline, median-of-3.
+const EXACT_BUDGET: f64 = 1.15;
+const SAMPLED_BUDGET: f64 = 1.05;
+
+/// FW tiled unit the enabled-path suite simulates (quick repro scale).
+const SIM_N: usize = 96;
+const SIM_B: usize = 16;
 
 fn random_costs(n: usize, density: f64, seed: u64) -> Vec<u32> {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -38,7 +57,76 @@ fn random_costs(n: usize, density: f64, seed: u64) -> Vec<u32> {
     costs
 }
 
+fn exact_options() -> ProfilerOptions {
+    ProfilerOptions { sample_period_log2: 0, timeline_interval: 4096 }
+}
+
+fn sampled_options() -> ProfilerOptions {
+    ProfilerOptions { sample_period_log2: 6, timeline_interval: 4096 }
+}
+
+/// The CI gate: 3-trial medians of the enabled-path suite; exits
+/// nonzero when a profiled mode breaches its budget.
+fn run_gate() {
+    let costs = random_costs(SIM_N, 0.3, 43);
+    let trials = 3;
+    let disabled = Registry::disabled();
+
+    let baseline = bench_median(trials, || {
+        let r = sim_tiled_bdl_classified(&costs, SIM_N, SIM_B, profiles::simplescalar());
+        black_box(r.stats.levels[0].misses);
+    });
+    let exact = bench_median(trials, || {
+        let r = sim_tiled_bdl_profiled(
+            &costs,
+            SIM_N,
+            SIM_B,
+            profiles::simplescalar(),
+            exact_options(),
+            &disabled,
+        );
+        black_box(r.profile.sum_self().levels[0].misses);
+    });
+    let sampled = bench_median(trials, || {
+        let r = sim_tiled_bdl_profiled(
+            &costs,
+            SIM_N,
+            SIM_B,
+            profiles::simplescalar(),
+            sampled_options(),
+            &disabled,
+        );
+        black_box(r.profile.sum_self().levels[0].misses);
+    });
+
+    let base = baseline.as_secs_f64().max(1e-12);
+    let exact_ratio = exact.as_secs_f64() / base;
+    let sampled_ratio = sampled.as_secs_f64() / base;
+    println!("obs_overhead gate (median of {trials}, FW tiled n={SIM_N} b={SIM_B}):");
+    println!("  baseline (classified, no profiler): {baseline:?}");
+    println!("  exact-event profiled:   {exact:?}  ({exact_ratio:.3}x, budget {EXACT_BUDGET}x)");
+    println!("  sampled 1/64 profiled:  {sampled:?}  ({sampled_ratio:.3}x, budget {SAMPLED_BUDGET}x)");
+    let mut breached = false;
+    if exact_ratio > EXACT_BUDGET {
+        eprintln!("BUDGET BREACH: exact-event mode {exact_ratio:.3}x > {EXACT_BUDGET}x");
+        breached = true;
+    }
+    if sampled_ratio > SAMPLED_BUDGET {
+        eprintln!("BUDGET BREACH: sampled mode {sampled_ratio:.3}x > {SAMPLED_BUDGET}x");
+        breached = true;
+    }
+    if breached {
+        std::process::exit(1);
+    }
+    println!("obs_overhead gate: within budget");
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--gate") {
+        run_gate();
+        return;
+    }
+
     let n = 512;
     let b = 32;
     let costs = random_costs(n, 0.3, 42);
@@ -64,21 +152,44 @@ fn main() {
         black_box(m.dist(0, n - 1));
     });
 
-    // Simulation path: the no-profiler run exercises exactly the code the
+    // Simulation path. `sim_no_profiler` exercises exactly the code the
     // simulator ran before attribution existed (profiler == None, one
-    // branch per hook); the attached run prices full attribution with a
-    // tile scope per block iteration and a sampled timeline.
-    let sn = 96;
-    let sb = 16;
-    let scosts = random_costs(sn, 0.3, 43);
+    // branch per hook); the enabled-path suite below prices attribution
+    // that is actually recording, against the classifying baseline the
+    // gate uses.
+    let scosts = random_costs(SIM_N, 0.3, 43);
     bench_report("obs_overhead", "sim_no_profiler", samples, || {
-        let r = sim_tiled_bdl(&scosts, sn, sb, profiles::simplescalar());
+        let r = sim_tiled_bdl(&scosts, SIM_N, SIM_B, profiles::simplescalar());
+        black_box(r.stats.levels[0].misses);
+    });
+
+    bench_report("obs_overhead", "sim_classified_baseline", samples, || {
+        let r = sim_tiled_bdl_classified(&scosts, SIM_N, SIM_B, profiles::simplescalar());
         black_box(r.stats.levels[0].misses);
     });
 
     let disabled = Registry::disabled();
-    bench_report("obs_overhead", "sim_profiler_attached", samples, || {
-        let r = sim_tiled_bdl_profiled(&scosts, sn, sb, profiles::simplescalar(), 4096, &disabled);
+    bench_report("obs_overhead", "sim_profiler_exact", samples, || {
+        let r = sim_tiled_bdl_profiled(
+            &scosts,
+            SIM_N,
+            SIM_B,
+            profiles::simplescalar(),
+            exact_options(),
+            &disabled,
+        );
+        black_box(r.profile.sum_self().levels[0].misses);
+    });
+
+    bench_report("obs_overhead", "sim_profiler_sampled", samples, || {
+        let r = sim_tiled_bdl_profiled(
+            &scosts,
+            SIM_N,
+            SIM_B,
+            profiles::simplescalar(),
+            sampled_options(),
+            &disabled,
+        );
         black_box(r.profile.sum_self().levels[0].misses);
     });
 }

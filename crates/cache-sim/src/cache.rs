@@ -54,16 +54,36 @@ struct Way {
 const INVALID: Way = Way { tag: 0, valid: false, dirty: false, stamp: 0 };
 
 /// The outcome of a single cache probe, reported to the caller so the
-/// hierarchy can propagate misses and write-backs outward.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// hierarchy can propagate misses and write-backs outward — and, since
+/// the event-driven attribution rework, rich enough that every counter
+/// this probe moved can be reconstructed from it alone (no before/after
+/// stats snapshots needed).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub(crate) struct ProbeResult {
     /// True if the line was present (including in the victim cache).
     pub hit: bool,
+    /// True if the hit was served by swapping the line back from the
+    /// victim cache (implies `hit`).
+    pub victim_hit: bool,
     /// Address of a dirty line evicted by this fill, if any. The hierarchy
     /// forwards it to the next level as a write access.
     pub writeback: Option<u64>,
     /// Line address the prefetcher wants from the next level, if any.
     pub prefetch: Option<u64>,
+    /// The prefetch fill evicted a dirty line. That write-back is counted
+    /// in [`CacheStats::writebacks`] but absorbed here (never propagated
+    /// to the next level) — prefetches are opportunistic and must not
+    /// generate demand traffic beyond the prefetch read itself.
+    pub silent_writeback: bool,
+}
+
+impl ProbeResult {
+    /// How many times this probe incremented [`CacheStats::writebacks`]
+    /// (the propagated write-back plus the absorbed prefetch-fill one).
+    #[inline]
+    pub fn writeback_count(&self) -> u8 {
+        u8::from(self.writeback.is_some()) + u8::from(self.silent_writeback)
+    }
 }
 
 /// A set-associative, true-LRU cache with optional victim cache and
@@ -158,7 +178,7 @@ impl SetAssocCache {
                     w.dirty = true;
                 }
                 self.stats.hits += 1;
-                return ProbeResult { hit: true, writeback: None, prefetch: None };
+                return ProbeResult { hit: true, ..ProbeResult::default() };
             }
         }
 
@@ -169,7 +189,12 @@ impl SetAssocCache {
                 self.stats.hits += 1;
                 self.stats.victim_hits += 1;
                 let wb = self.fill(addr, kind == AccessKind::Write || was_dirty);
-                return ProbeResult { hit: true, writeback: wb, prefetch: None };
+                return ProbeResult {
+                    hit: true,
+                    victim_hit: true,
+                    writeback: wb,
+                    ..ProbeResult::default()
+                };
             }
         }
 
@@ -182,10 +207,11 @@ impl SetAssocCache {
         } else {
             None
         };
+        let mut silent_writeback = false;
         if let Some(p) = prefetch {
-            self.insert_prefetch(p);
+            silent_writeback = self.insert_prefetch(p);
         }
-        ProbeResult { hit: false, writeback: wb, prefetch }
+        ProbeResult { hit: false, victim_hit: false, writeback: wb, prefetch, silent_writeback }
     }
 
     /// Public single-cache probe: simulate one access, returning whether
@@ -261,9 +287,12 @@ impl SetAssocCache {
     }
 
     /// Insert a prefetched line (clean, not counted as a demand access).
-    fn insert_prefetch(&mut self, addr: u64) {
+    /// Returns true when the fill evicted a dirty line — that write-back
+    /// is already counted in `stats.writebacks` but is absorbed, never
+    /// propagated (see [`ProbeResult::silent_writeback`]).
+    fn insert_prefetch(&mut self, addr: u64) -> bool {
         self.stats.prefetches += 1;
-        self.fill(addr, false);
+        self.fill(addr, false).is_some()
     }
 }
 

@@ -8,7 +8,9 @@ use cachegraph_obs::Registry;
 use crate::cache::{AccessKind, SetAssocCache};
 use crate::classify::{MissClass, MissClasses};
 use crate::config::{CacheConfig, HierarchyConfig};
-use crate::profile::{CacheProfile, CacheProfiler, IntervalSampler, ScopeHandle};
+use crate::profile::{
+    CacheEvent, CacheProfile, CacheProfiler, IntervalSampler, ProfilerOptions, ScopeHandle,
+};
 use crate::tlb::{Tlb, TlbStats};
 use crate::tracefile::TraceRecorder;
 
@@ -44,6 +46,63 @@ pub struct HierarchyStats {
     /// Three-Cs classification of L1 demand misses, when the hierarchy
     /// was built with [`MemoryHierarchy::new_classifying`].
     pub l1_classes: Option<MissClasses>,
+}
+
+impl HierarchyStats {
+    /// Add `other`'s counters into `self` field by field, recomputing
+    /// miss rates over the sums. Levels/TLB/classes present in either
+    /// operand are present in the result — the reduction used to merge
+    /// per-thread stats at join.
+    pub fn merge_from(&mut self, other: &HierarchyStats) {
+        if self.levels.len() < other.levels.len() {
+            self.levels.extend(other.levels[self.levels.len()..].iter().map(|l| LevelStats {
+                level: l.level,
+                ..LevelStats::default()
+            }));
+        }
+        for (a, b) in self.levels.iter_mut().zip(&other.levels) {
+            a.accesses += b.accesses;
+            a.hits += b.hits;
+            a.misses += b.misses;
+            a.writebacks += b.writebacks;
+            a.prefetches += b.prefetches;
+            a.miss_rate =
+                if a.accesses == 0 { 0.0 } else { a.misses as f64 / a.accesses as f64 };
+        }
+        match (&mut self.tlb, &other.tlb) {
+            (Some(a), Some(b)) => {
+                a.accesses += b.accesses;
+                a.misses += b.misses;
+            }
+            (None, Some(b)) => self.tlb = Some(*b),
+            _ => {}
+        }
+        self.memory_lines_fetched += other.memory_lines_fetched;
+        match (&mut self.l1_classes, &other.l1_classes) {
+            (Some(a), Some(b)) => {
+                a.compulsory += b.compulsory;
+                a.capacity += b.capacity;
+                a.conflict += b.conflict;
+            }
+            (None, Some(b)) => self.l1_classes = Some(*b),
+            _ => {}
+        }
+    }
+
+    /// A zeroed copy with the same shape (level count, TLB/classes
+    /// presence) — the identity element for [`merge_from`](Self::merge_from).
+    pub fn zeroed_like(&self) -> HierarchyStats {
+        HierarchyStats {
+            levels: self
+                .levels
+                .iter()
+                .map(|l| LevelStats { level: l.level, ..LevelStats::default() })
+                .collect(),
+            tlb: self.tlb.map(|_| TlbStats::default()),
+            memory_lines_fetched: 0,
+            l1_classes: self.l1_classes.map(|_| MissClasses::default()),
+        }
+    }
 }
 
 /// A chain of set-associative caches plus an optional TLB.
@@ -108,7 +167,17 @@ impl MemoryHierarchy {
     /// the resulting [`CacheProfile`] (and should match the run's
     /// `cache_sims` report label).
     pub fn attach_profiler(&mut self, label: &str) -> ScopeHandle {
-        self.attach_profiler_inner(label, None)
+        let profiler = CacheProfiler::new(
+            label,
+            self.levels.len(),
+            self.tlb.is_some(),
+            self.classifier.is_some(),
+            None,
+            0,
+        );
+        let handle = profiler.handle();
+        self.profiler = Some(profiler);
+        handle
     }
 
     /// Like [`attach_profiler`](Self::attach_profiler), additionally
@@ -121,23 +190,33 @@ impl MemoryHierarchy {
         interval: u64,
         registry: &Registry,
     ) -> ScopeHandle {
-        self.attach_profiler_inner(
+        self.attach_profiler_with(
             label,
-            Some(IntervalSampler::new(label, interval, registry.clone())),
+            ProfilerOptions { sample_period_log2: 0, timeline_interval: interval },
+            registry,
         )
     }
 
-    fn attach_profiler_inner(
+    /// Attach a profiler with explicit [`ProfilerOptions`]: a nonzero
+    /// `sample_period_log2` selects sampled (ring-buffered) attribution
+    /// with counters scaled up by `2^k`, and a nonzero
+    /// `timeline_interval` enables the miss-rate timeline through
+    /// `registry`'s JSONL sink.
+    pub fn attach_profiler_with(
         &mut self,
         label: &str,
-        sampler: Option<IntervalSampler>,
+        options: ProfilerOptions,
+        registry: &Registry,
     ) -> ScopeHandle {
+        let sampler = (options.timeline_interval > 0)
+            .then(|| IntervalSampler::new(label, options.timeline_interval, registry.clone()));
         let profiler = CacheProfiler::new(
             label,
             self.levels.len(),
             self.tlb.is_some(),
             self.classifier.is_some(),
             sampler,
+            options.sample_period_log2,
         );
         let handle = profiler.handle();
         self.profiler = Some(profiler);
@@ -196,14 +275,14 @@ impl MemoryHierarchy {
         if let Some(tlb) = &mut self.tlb {
             let hit = tlb.access(addr);
             if let Some(p) = &mut self.profiler {
-                p.on_tlb(hit);
+                p.on_event(CacheEvent::Tlb { hit });
             }
             let page = tlb.page_bytes() as u64;
             let last = addr + size as u64 - 1;
             if last / page != addr / page {
                 let hit = tlb.access(last);
                 if let Some(p) = &mut self.profiler {
-                    p.on_tlb(hit);
+                    p.on_event(CacheEvent::Tlb { hit });
                 }
             }
         }
@@ -231,23 +310,25 @@ impl MemoryHierarchy {
         if level >= self.levels.len() {
             self.memory_lines_fetched += 1;
             if let Some(p) = &mut self.profiler {
-                p.on_memory_line();
+                p.on_event(CacheEvent::MemoryLine);
             }
             return;
         }
         let write_through =
             self.levels[level].config().write_policy == crate::config::WritePolicy::WriteThrough;
-        // Attribution mirrors the level's own counters by diffing its
-        // stats around the probe — exact by construction, even for
-        // write-backs triggered by prefetch fills, which the probe
-        // result does not report.
-        let before = if self.profiler.is_some() { Some(*self.levels[level].stats()) } else { None };
         let result = self.levels[level].access(addr, kind);
-        if let Some(before) = before {
-            let after = *self.levels[level].stats();
-            if let Some(p) = &mut self.profiler {
-                p.on_level(level, before, after);
-            }
+        if let Some(p) = &mut self.profiler {
+            // One event per probe, carrying everything the probe moved —
+            // `writeback_count` includes the absorbed write-back a
+            // prefetch fill can trigger, which `result.writeback` alone
+            // does not report.
+            p.on_event(CacheEvent::Probe {
+                level,
+                hit: result.hit,
+                victim_hit: result.victim_hit,
+                writebacks: result.writeback_count(),
+                prefetched: result.prefetch.is_some(),
+            });
         }
         if level == 0 {
             if let Some(cl) = &mut self.classifier {
@@ -262,7 +343,7 @@ impl MemoryHierarchy {
                     };
                     cl.classes.add(class);
                     if let Some(p) = &mut self.profiler {
-                        p.on_class(class);
+                        p.on_event(CacheEvent::Class(class));
                     }
                 }
             }

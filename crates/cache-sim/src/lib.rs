@@ -50,7 +50,9 @@ pub use cache::{AccessKind, CacheStats, SetAssocCache};
 pub use classify::{ClassifyingCache, MissClass, MissClasses};
 pub use config::{CacheConfig, HierarchyConfig, TlbConfig, WritePolicy};
 pub use hierarchy::{HierarchyStats, LevelStats, MemoryHierarchy};
-pub use profile::{CacheProfile, ScopeGuard, ScopeHandle, SpanCacheStats, TimelineSample};
+pub use profile::{
+    CacheProfile, ProfilerOptions, ScopeGuard, ScopeHandle, SpanCacheStats, TimelineSample,
+};
 pub use reuse::ReuseProfiler;
 pub use tlb::{Tlb, TlbStats};
 pub use trace::TracedBuffer;

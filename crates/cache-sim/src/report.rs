@@ -114,8 +114,9 @@ fn level_from_json(json: &Json) -> Option<LevelStats> {
     })
 }
 
-/// Serialize a [`CacheProfile`] as one `profiles` section (schema v3):
-/// `label` / `machine` / `interval`, a `spans` array of
+/// Serialize a [`CacheProfile`] as one `profiles` section (schema v4):
+/// `label` / `machine` / `interval`, the sampling mode
+/// (`sample_period` / `exact`, new in v4), a `spans` array of
 /// `{path, self, total}` objects (each stats body shaped like a
 /// `cache_sims` section, minus the label), and a `timeline` array of
 /// delta-encoded `{seq, accesses, l1_misses}` samples.
@@ -148,16 +149,29 @@ pub fn profile_to_json(profile: &CacheProfile) -> Json {
         .field("label", profile.label.as_str())
         .field("machine", profile.machine.as_str())
         .field("interval", profile.interval)
+        .field("sample_period", profile.sample_period)
+        .field("exact", profile.exact)
         .field("spans", spans)
         .field("timeline", timeline)
 }
 
 /// Parse a `profiles` section back into a [`CacheProfile`]. Returns
-/// `None` when any required field is missing or ill-typed.
+/// `None` when any required field is missing or ill-typed. The v4
+/// sampling fields default to `sample_period = 1` / `exact = true`
+/// when absent, so v3 profiles (always exact) still load.
 pub fn profile_from_json(json: &Json) -> Option<CacheProfile> {
     let label = json.get("label")?.as_str()?.to_string();
     let machine = json.get("machine")?.as_str()?.to_string();
     let interval = json.get("interval")?.as_u64()?;
+    let sample_period = match json.get("sample_period") {
+        None => 1,
+        Some(v) => v.as_u64()?,
+    };
+    let exact = match json.get("exact") {
+        None => true,
+        Some(Json::Bool(b)) => *b,
+        Some(_) => return None,
+    };
     let spans = json
         .get("spans")?
         .as_arr()?
@@ -182,7 +196,7 @@ pub fn profile_from_json(json: &Json) -> Option<CacheProfile> {
             })
         })
         .collect::<Option<Vec<_>>>()?;
-    Some(CacheProfile { label, machine, interval, spans, timeline })
+    Some(CacheProfile { label, machine, interval, sample_period, exact, spans, timeline })
 }
 
 #[cfg(test)]
@@ -236,6 +250,8 @@ mod tests {
             label: "fw.tiled.bdl".to_string(),
             machine: "simplescalar".to_string(),
             interval: 4_096,
+            sample_period: 64,
+            exact: false,
             spans: vec![
                 SpanCacheStats {
                     path: "fw.tiled.bdl".to_string(),
@@ -320,6 +336,27 @@ mod tests {
         assert_eq!(levels[0].get("level").and_then(Json::as_u64), Some(1));
         assert!(body.get("memory_lines_fetched").is_some());
         assert!(body.get("tlb").is_some());
+    }
+
+    #[test]
+    fn v3_profiles_without_sampling_fields_load_as_exact() {
+        // A v3 profile (written before the sampling fields existed)
+        // must parse with the exact-mode defaults: period 1, exact.
+        let mut profile = sample_profile();
+        profile.sample_period = 1;
+        profile.exact = true;
+        let v4 = profile_to_json(&profile);
+        let v3 = match v4 {
+            Json::Obj(fields) => Json::Obj(
+                fields
+                    .into_iter()
+                    .filter(|(k, _)| k != "sample_period" && k != "exact")
+                    .collect(),
+            ),
+            other => other,
+        };
+        assert!(v3.get("sample_period").is_none());
+        assert_eq!(profile_from_json(&v3), Some(profile));
     }
 
     #[test]

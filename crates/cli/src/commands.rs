@@ -12,6 +12,7 @@ use cachegraph_bench::supervisor::{
 };
 use cachegraph_fw::instrumented::{
     sim_iterative_profiled, sim_recursive_morton_profiled, sim_tiled_bdl_profiled,
+    sim_tiled_parallel_profiled,
 };
 use cachegraph_fw::{
     fw_iterative_observed, fw_recursive_observed, fw_tiled_observed, transitive_closure_of,
@@ -27,7 +28,7 @@ use cachegraph_matching::{find_matching, find_matching_partitioned, Matching, Pa
 use cachegraph_obs::{compare_reports, Json, Registry, Report, DEFAULT_THRESHOLD};
 use cachegraph_pq::DAryHeap;
 use cachegraph_sim::report::{profile_from_json, profile_to_json, stats_to_json};
-use cachegraph_sim::{profiles, CacheProfile, SpanCacheStats, TimelineSample};
+use cachegraph_sim::{profiles, CacheProfile, ProfilerOptions, SpanCacheStats, TimelineSample};
 use cachegraph_sssp::instrumented::{
     sim_dijkstra_adj_array_observed, sim_dijkstra_adj_array_profiled,
     sim_dijkstra_adj_list_observed, sim_dijkstra_adj_list_profiled,
@@ -455,14 +456,19 @@ impl UnitReport {
     }
 }
 
-/// Timeline-sampling interval for the repro simulations, in L1 accesses:
-/// coarse enough that a full FW run keeps its timeline in the hundreds
-/// of samples, fine enough that a quick run still shows phases.
-fn repro_interval(full: bool) -> u64 {
+/// Profiler configuration for the repro simulations. Quick runs record
+/// exactly (small problems; the report asserts self-sums match the
+/// aggregates). Full runs sample one access in 64 — the counters become
+/// scaled estimates, flagged `exact: false` in the report — because at
+/// full problem sizes exact per-access attribution is pure overhead.
+/// The timeline interval is coarse enough that a full FW run keeps its
+/// timeline in the hundreds of samples, fine enough that a quick run
+/// still shows phases.
+fn repro_options(full: bool) -> ProfilerOptions {
     if full {
-        65_536
+        ProfilerOptions { sample_period_log2: 6, timeline_interval: 65_536 }
     } else {
-        4_096
+        ProfilerOptions { sample_period_log2: 0, timeline_interval: 4_096 }
     }
 }
 
@@ -474,15 +480,21 @@ fn repro_unit_fw(full: bool) -> Result<UnitOutput, String> {
     let registry = Registry::new();
     let mut rep = UnitReport::new();
     let (n, bsz) = if full { (256, 32) } else { (64, 16) };
-    let iv = repro_interval(full);
+    let opts = repro_options(full);
     let costs = generators::random_directed(n, 0.3, 100, 7).build_matrix().costs().to_vec();
     rep.line(&format!("repro ({scale}): Floyd-Warshall n={n}, b={bsz}"));
-    let sim = sim_iterative_profiled(&costs, n, profiles::simplescalar(), iv, &registry);
+    let sim = sim_iterative_profiled(&costs, n, profiles::simplescalar(), opts, &registry);
     rep.describe_profiled("fw.iterative", "simplescalar", &sim.stats, &sim.profile);
-    let sim = sim_tiled_bdl_profiled(&costs, n, bsz, profiles::simplescalar(), iv, &registry);
+    let sim = sim_tiled_bdl_profiled(&costs, n, bsz, profiles::simplescalar(), opts, &registry);
     rep.describe_profiled("fw.tiled.bdl", "simplescalar", &sim.stats, &sim.profile);
-    let sim = sim_recursive_morton_profiled(&costs, n, bsz, profiles::simplescalar(), iv, &registry);
+    let sim =
+        sim_recursive_morton_profiled(&costs, n, bsz, profiles::simplescalar(), opts, &registry);
     rep.describe_profiled("fw.recursive.morton", "simplescalar", &sim.stats, &sim.profile);
+    // Parallel FW: per-worker private hierarchies merged at join, so the
+    // merged profile's self-sums still match its (merged) aggregate.
+    let sim =
+        sim_tiled_parallel_profiled(&costs, n, bsz, 2, profiles::simplescalar(), opts, &registry);
+    rep.describe_profiled("fw.tiled.parallel", "simplescalar", &sim.stats, &sim.profile);
 
     let mut m = FwMatrix::from_costs(RowMajor::new(n), &costs);
     fw_iterative_observed(&mut m, &registry);
@@ -504,16 +516,21 @@ fn repro_unit_dijkstra(full: bool) -> Result<UnitOutput, String> {
     let registry = Registry::new();
     let mut rep = UnitReport::new();
     let dn = if full { 4096 } else { 512 };
-    let iv = repro_interval(full);
+    let opts = repro_options(full);
     let g = generators::random_directed(dn, 0.02, 100, 11);
     rep.line(&format!("repro ({scale}): Dijkstra n={dn}"));
-    let sim =
-        sim_dijkstra_adj_array_profiled(&g.build_array(), 0, profiles::pentium_iii(), iv, &registry);
+    let sim = sim_dijkstra_adj_array_profiled(
+        &g.build_array(),
+        0,
+        profiles::pentium_iii(),
+        opts,
+        &registry,
+    );
     if let Some(p) = &sim.profile {
         rep.describe_profiled("dijkstra.array", "p3", &sim.stats, p);
     }
     let sim =
-        sim_dijkstra_adj_list_profiled(&g.build_list(), 0, profiles::pentium_iii(), iv, &registry);
+        sim_dijkstra_adj_list_profiled(&g.build_list(), 0, profiles::pentium_iii(), opts, &registry);
     if let Some(p) = &sim.profile {
         rep.describe_profiled("dijkstra.list", "p3", &sim.stats, p);
     }
@@ -526,11 +543,11 @@ fn repro_unit_matching(full: bool) -> Result<UnitOutput, String> {
     let registry = Registry::new();
     let mut rep = UnitReport::new();
     let mn = if full { 1024 } else { 256 };
-    let iv = repro_interval(full);
+    let opts = repro_options(full);
     let g = generators::random_bipartite(mn, 0.1, 5);
     rep.line(&format!("repro ({scale}): matching n={mn}"));
     let base =
-        sim_find_matching_profiled(mn, mn / 2, g.edges(), profiles::simplescalar(), iv, &registry);
+        sim_find_matching_profiled(mn, mn / 2, g.edges(), profiles::simplescalar(), opts, &registry);
     if let Some(p) = &base.profile {
         rep.describe_profiled("matching.baseline", "simplescalar", &base.stats, p);
     }
@@ -540,7 +557,7 @@ fn repro_unit_matching(full: bool) -> Result<UnitOutput, String> {
         g.edges(),
         PartitionScheme::Contiguous(8),
         profiles::simplescalar(),
-        iv,
+        opts,
         &registry,
     );
     if let Some(p) = &part.profile {
@@ -684,9 +701,12 @@ fn cmd_compare(args: Args, out: &mut dyn Write) -> Result<(), CliError> {
 }
 
 /// `profile`: render the `profiles` sections of a metrics report
-/// (schema v3) as indented span trees — self/total L1 misses, self miss
-/// rate, and the dominant three-Cs miss class per scope — plus a
-/// terminal sparkline of each run's sampled miss-rate timeline.
+/// (schema v3+) as indented span trees — self/total L1 misses, self
+/// miss rate, and the dominant three-Cs miss class per scope — plus a
+/// terminal sparkline of each run's sampled miss-rate timeline. Sampled
+/// (v4, `exact: false`) profiles render through the identical code
+/// path, with one header annotation marking the counters as scaled
+/// estimates.
 /// `--label L` restricts the output to one profile.
 fn cmd_profile(args: Args, out: &mut dyn Write) -> Result<(), CliError> {
     let [path] = args.positionals() else {
@@ -719,7 +739,15 @@ fn cmd_profile(args: Args, out: &mut dyn Write) -> Result<(), CliError> {
 }
 
 fn render_profile(p: &CacheProfile, out: &mut dyn Write) -> Result<(), CliError> {
-    writeln!(out, "profile {} (machine {})", p.label, p.machine)?;
+    if p.exact {
+        writeln!(out, "profile {} (machine {})", p.label, p.machine)?;
+    } else {
+        writeln!(
+            out,
+            "profile {} (machine {}, sampled 1/{} — counters are scaled estimates)",
+            p.label, p.machine, p.sample_period
+        )?;
+    }
     writeln!(
         out,
         "  {:<34} {:>12} {:>12} {:>7}  dominant",
@@ -980,6 +1008,68 @@ mod tests {
             run_str("profile", &[&path, "--label", "nope"]),
             Err(CliError::Invalid(_))
         ));
+    }
+
+    #[test]
+    fn sampled_profile_renders_with_scaling_annotation() {
+        // A sampled (v4, exact: false) profile renders through the same
+        // span-tree path as an exact one, with one header annotation.
+        let registry = Registry::new();
+        let costs = generators::random_directed(32, 0.3, 100, 7).build_matrix().costs().to_vec();
+        let opts = ProfilerOptions { sample_period_log2: 4, timeline_interval: 1024 };
+        let sim = sim_tiled_bdl_profiled(&costs, 32, 8, profiles::simplescalar(), opts, &registry);
+        let mut report = Report::new("sampled-test");
+        report.push_profile(profile_to_json(&sim.profile));
+        let path = tmp("sampled_profile.json");
+        report.save(Path::new(&path)).expect("save");
+
+        let rendered = run_str("profile", &[&path]).expect("profile");
+        assert!(
+            rendered.contains("sampled 1/16 — counters are scaled estimates"),
+            "sampling annotation must appear: {rendered}"
+        );
+        assert!(rendered.contains("tile["), "span tree still renders: {rendered}");
+    }
+
+    #[test]
+    fn compare_handles_v3_report_against_v4() {
+        // A v3 document (no sampling fields in its profile) compares
+        // cleanly against a current report; the profile spans pair up.
+        let span = Json::obj().field("path", "fw.tiled").field(
+            "self",
+            Json::obj().field(
+                "levels",
+                Json::Arr(vec![Json::obj()
+                    .field("level", 1u64)
+                    .field("accesses", 1_000u64)
+                    .field("misses", 100u64)]),
+            ),
+        );
+        let profile = Json::obj()
+            .field("label", "fw.tiled")
+            .field("machine", "simplescalar")
+            .field("interval", 0u64)
+            .field("spans", Json::Arr(vec![span]))
+            .field("timeline", Json::Arr(Vec::new()));
+        let v3_doc = Json::obj()
+            .field("schema_version", 3u64)
+            .field("tool", "cachegraph")
+            .field("report", "old")
+            .field("profiles", Json::Arr(vec![profile.clone()]));
+        let a_path = tmp("compare_v3.json");
+        std::fs::write(&a_path, v3_doc.render()).expect("write v3");
+
+        let mut v4 = Report::new("new");
+        v4.push_profile(profile);
+        let b_path = tmp("compare_v4.json");
+        v4.save(Path::new(&b_path)).expect("save v4");
+
+        let report = run_str("compare", &[&a_path, &b_path]).expect("compare v3 vs v4");
+        assert!(
+            report.contains("profiles[fw.tiled]/fw.tiled/L1.misses"),
+            "v3 profile spans must pair with v4: {report}"
+        );
+        assert!(report.contains("0 of"), "identical spans flag nothing: {report}");
     }
 
     #[test]

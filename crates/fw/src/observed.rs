@@ -36,6 +36,15 @@ pub enum FwEvent {
     /// One tile copied between the matrix and a scratch buffer
     /// (copy-optimized tiled variant only).
     TileCopy,
+    /// The recursive decomposition entered a node at this depth (root
+    /// call = 0, base cases deepest). Balanced with
+    /// [`RecurseLeave`](Self::RecurseLeave) per non-skipped node, so a
+    /// hook can maintain a depth-labeled scope stack (`depth[K]` spans
+    /// in profiled FWR runs).
+    RecurseEnter(usize),
+    /// The matching exit for [`RecurseEnter`](Self::RecurseEnter) at
+    /// the same depth.
+    RecurseLeave(usize),
 }
 
 /// [`fw_iterative`](crate::fw_iterative) under a `fw.iterative` span.
@@ -57,7 +66,10 @@ pub fn fw_tiled_observed<L: StridedView>(m: &mut FwMatrix<L>, b: usize, registry
     run_tiled_with(&layout, n, &mut SliceAccess(m.storage_mut()), b, &mut |ev| match ev {
         FwEvent::BlockStart(t) => tile_span = Some(root.child(&format!("tile[{t}]"))),
         FwEvent::Kernel => kernel_calls.incr(),
-        FwEvent::BaseCase | FwEvent::TileCopy => {}
+        FwEvent::BaseCase
+        | FwEvent::TileCopy
+        | FwEvent::RecurseEnter(_)
+        | FwEvent::RecurseLeave(_) => {}
     });
 }
 
@@ -90,7 +102,7 @@ pub fn fw_tiled_copy_observed(m: &mut FwMatrix<RowMajor>, b: usize, registry: &R
         FwEvent::BlockStart(t) => tile_span = Some(root.child(&format!("tile[{t}]"))),
         FwEvent::Kernel => kernel_calls.incr(),
         FwEvent::TileCopy => tile_copies.incr(),
-        FwEvent::BaseCase => {}
+        FwEvent::BaseCase | FwEvent::RecurseEnter(_) | FwEvent::RecurseLeave(_) => {}
     });
 }
 

@@ -82,7 +82,7 @@ pub fn run_recursive_with<L: StridedView, A: CellAccess>(
     let real_tiles = n.div_ceil(base);
     let mut ctx = Ctx { layout: layout.clone(), base, real_tiles };
     let origin = Quad { r: 0, c: 0 };
-    rec(&mut ctx, acc, hook, origin, origin, origin, tiles);
+    rec(&mut ctx, acc, hook, origin, origin, origin, tiles, 0);
 }
 
 struct Ctx<L: StridedView> {
@@ -91,6 +91,7 @@ struct Ctx<L: StridedView> {
     real_tiles: usize,
 }
 
+#[allow(clippy::too_many_arguments)] // recursion state: three quadrants + size + depth
 fn rec<L: StridedView, A: CellAccess, F: FnMut(FwEvent)>(
     ctx: &mut Ctx<L>,
     acc: &mut A,
@@ -99,14 +100,17 @@ fn rec<L: StridedView, A: CellAccess, F: FnMut(FwEvent)>(
     b: Quad,
     c: Quad,
     size: usize,
+    depth: usize,
 ) {
     // Skip sub-problems that only update padding (A fully past the real
     // region). B/C fully in padding implies their values are all INF /
     // zero-diagonal and can never change A, but the cheap test on A
-    // already removes the bulk of the padding work.
+    // already removes the bulk of the padding work. Skipped nodes emit
+    // no events, so Enter/Leave pairs stay balanced.
     if a.r >= ctx.real_tiles || a.c >= ctx.real_tiles {
         return;
     }
+    hook(FwEvent::RecurseEnter(depth));
     if size == 1 {
         let view = |q: Quad| -> View {
             let v = ctx.layout.view(q.r * ctx.base, q.c * ctx.base, ctx.base);
@@ -116,6 +120,7 @@ fn rec<L: StridedView, A: CellAccess, F: FnMut(FwEvent)>(
         let (va, vb, vc) = (view(a), view(b), view(c));
         hook(FwEvent::BaseCase);
         fwi_access(acc, va, vb, vc, ctx.base);
+        hook(FwEvent::RecurseLeave(depth));
         return;
     }
     let h = size / 2;
@@ -125,15 +130,16 @@ fn rec<L: StridedView, A: CellAccess, F: FnMut(FwEvent)>(
     let (b11, b12, b21, b22) = (q(b, 0, 0), q(b, 0, 1), q(b, 1, 0), q(b, 1, 1));
     let (c11, c12, c21, c22) = (q(c, 0, 0), q(c, 0, 1), q(c, 1, 0), q(c, 1, 1));
     // The eight calls of Fig. 3: forward sweep ...
-    rec(ctx, acc, hook, a11, b11, c11, h);
-    rec(ctx, acc, hook, a12, b11, c12, h);
-    rec(ctx, acc, hook, a21, b21, c11, h);
-    rec(ctx, acc, hook, a22, b21, c12, h);
+    rec(ctx, acc, hook, a11, b11, c11, h, depth + 1);
+    rec(ctx, acc, hook, a12, b11, c12, h, depth + 1);
+    rec(ctx, acc, hook, a21, b21, c11, h, depth + 1);
+    rec(ctx, acc, hook, a22, b21, c12, h, depth + 1);
     // ... then the reverse sweep.
-    rec(ctx, acc, hook, a22, b22, c22, h);
-    rec(ctx, acc, hook, a21, b22, c21, h);
-    rec(ctx, acc, hook, a12, b12, c22, h);
-    rec(ctx, acc, hook, a11, b12, c21, h);
+    rec(ctx, acc, hook, a22, b22, c22, h, depth + 1);
+    rec(ctx, acc, hook, a21, b22, c21, h, depth + 1);
+    rec(ctx, acc, hook, a12, b12, c22, h, depth + 1);
+    rec(ctx, acc, hook, a11, b12, c21, h, depth + 1);
+    hook(FwEvent::RecurseLeave(depth));
 }
 
 #[cfg(test)]

@@ -10,7 +10,8 @@
 use cachegraph_graph::{Edge, VertexId};
 use cachegraph_obs::{Counter, Registry};
 use cachegraph_sim::{
-    AddressSpace, CacheProfile, HierarchyConfig, HierarchyStats, MemoryHierarchy, TracedBuffer,
+    AddressSpace, CacheProfile, HierarchyConfig, HierarchyStats, MemoryHierarchy, ProfilerOptions,
+    TracedBuffer,
 };
 
 use crate::partitioned::PartitionScheme;
@@ -175,17 +176,18 @@ pub fn sim_find_matching_observed(
     sim_find_matching_inner(n, n_left, edges, config, registry, None)
 }
 
-/// [`sim_find_matching_observed`] with span-scoped cache attribution and
-/// a miss-rate timeline sampled every `interval` L1 accesses.
+/// [`sim_find_matching_observed`] with span-scoped cache attribution
+/// under the given [`ProfilerOptions`] (recording mode and miss-rate
+/// timeline interval).
 pub fn sim_find_matching_profiled(
     n: usize,
     n_left: usize,
     edges: &[Edge],
     config: HierarchyConfig,
-    interval: u64,
+    options: ProfilerOptions,
     registry: &Registry,
 ) -> MatchSimResult {
-    sim_find_matching_inner(n, n_left, edges, config, registry, Some(interval))
+    sim_find_matching_inner(n, n_left, edges, config, registry, Some(options))
 }
 
 fn sim_find_matching_inner(
@@ -194,14 +196,14 @@ fn sim_find_matching_inner(
     edges: &[Edge],
     config: HierarchyConfig,
     registry: &Registry,
-    sample_interval: Option<u64>,
+    profiler: Option<ProfilerOptions>,
 ) -> MatchSimResult {
     let _root = registry.span("matching.baseline");
     let searches = registry.counter("matching.searches");
     let aug_paths = registry.counter("matching.augmenting_paths");
     let mut hier = MemoryHierarchy::new(config);
     let scope =
-        sample_interval.map(|iv| hier.attach_profiler_sampled("matching.baseline", iv, registry));
+        profiler.map(|opts| hier.attach_profiler_with("matching.baseline", opts, registry));
     let _root_scope = scope.as_ref().map(|s| s.enter("matching.baseline"));
     let mut space = AddressSpace::new();
     let csr = TracedCsr::build(&mut space, n, n_left, edges);
@@ -248,10 +250,10 @@ pub fn sim_find_matching_partitioned_profiled(
     edges: &[Edge],
     scheme: PartitionScheme,
     config: HierarchyConfig,
-    interval: u64,
+    options: ProfilerOptions,
     registry: &Registry,
 ) -> MatchSimResult {
-    sim_find_matching_partitioned_inner(n, n_left, edges, scheme, config, registry, Some(interval))
+    sim_find_matching_partitioned_inner(n, n_left, edges, scheme, config, registry, Some(options))
 }
 
 fn sim_find_matching_partitioned_inner(
@@ -261,15 +263,15 @@ fn sim_find_matching_partitioned_inner(
     scheme: PartitionScheme,
     config: HierarchyConfig,
     registry: &Registry,
-    sample_interval: Option<u64>,
+    profiler: Option<ProfilerOptions>,
 ) -> MatchSimResult {
     let root = registry.span("matching.partitioned");
     let searches = registry.counter("matching.searches");
     let aug_paths = registry.counter("matching.augmenting_paths");
     let (part, p) = super::partitioned::assign_parts(n, n_left, edges, scheme);
     let mut hier = MemoryHierarchy::new(config);
-    let scope = sample_interval
-        .map(|iv| hier.attach_profiler_sampled("matching.partitioned", iv, registry));
+    let scope =
+        profiler.map(|opts| hier.attach_profiler_with("matching.partitioned", opts, registry));
     let _root_scope = scope.as_ref().map(|s| s.enter("matching.partitioned"));
     let mut space = AddressSpace::new();
 
@@ -405,7 +407,7 @@ mod tests {
             b.edges(),
             PartitionScheme::Contiguous(4),
             profiles::simplescalar(),
-            1024,
+            ProfilerOptions { sample_period_log2: 0, timeline_interval: 1024 },
             &reg,
         );
         let plain = sim_find_matching_partitioned(

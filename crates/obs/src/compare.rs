@@ -32,6 +32,10 @@ pub struct Delta {
     pub ratio: f64,
     /// True when `|ratio|` exceeds the threshold.
     pub flagged: bool,
+    /// `Some('A')` / `Some('B')` when the measurement exists in only
+    /// one report — the named side lacks it. Always flagged; `a`, `b`
+    /// and `ratio` carry no information in that case.
+    pub missing_in: Option<char>,
 }
 
 impl Delta {
@@ -45,12 +49,24 @@ impl Delta {
         } else {
             (b - a) / a
         };
-        Self { metric, a, b, ratio, flagged: ratio.abs() > threshold }
+        Self { metric, a, b, ratio, flagged: ratio.abs() > threshold, missing_in: None }
+    }
+
+    /// A profile or span present in only one report; `side` names the
+    /// report that lacks it. Always flagged, so `compare` surfaces
+    /// spans that appear or disappear instead of silently skipping
+    /// them.
+    fn missing(metric: String, side: char) -> Self {
+        let (a, b) = if side == 'B' { (1.0, 0.0) } else { (0.0, 1.0) };
+        Self { metric, a, b, ratio: 0.0, flagged: true, missing_in: Some(side) }
     }
 
     /// One human-readable line, e.g.
     /// `  FLAG cache_sims[fw.tiled]/L1.misses: 1000 -> 1300 (+30.0%)`.
     pub fn render_line(&self) -> String {
+        if let Some(side) = self.missing_in {
+            return format!("FLAG {} MISSING in {side}", self.metric);
+        }
         let marker = if self.flagged { "FLAG" } else { "  ok" };
         let pct = if self.ratio.is_finite() {
             format!("{:+.1}%", self.ratio * 100.0)
@@ -153,22 +169,39 @@ fn span_path(span: &Json) -> Option<&str> {
     span.get("path").and_then(Json::as_str)
 }
 
-/// Pair up span-scoped profile stats (schema v3). Spans match by
+/// Pair up span-scoped profile stats (schema v3+). Spans match by
 /// `/`-separated path within profiles matched by label; each span's
 /// *self* stats are compared per level, so a regression confined to one
 /// tile or phase surfaces even when the run aggregate stays flat.
+/// Profiles or spans present in only one report are never silently
+/// skipped — each produces an always-flagged `MISSING` delta naming the
+/// side that lacks it.
 fn compare_profiles(a: &Report, b: &Report, threshold: f64, out: &mut Vec<Delta>) {
     let empty = Vec::new();
+    for prof_b in &b.profiles {
+        let Some(label) = sim_label(prof_b) else { continue };
+        if !a.profiles.iter().any(|p| sim_label(p) == Some(label)) {
+            out.push(Delta::missing(format!("profiles[{label}]"), 'A'));
+        }
+    }
     for prof_a in &a.profiles {
         let Some(label) = sim_label(prof_a) else { continue };
         let Some(prof_b) = b.profiles.iter().find(|p| sim_label(p) == Some(label)) else {
+            out.push(Delta::missing(format!("profiles[{label}]"), 'B'));
             continue;
         };
         let spans_a = prof_a.get("spans").and_then(Json::as_arr).unwrap_or(&empty);
         let spans_b = prof_b.get("spans").and_then(Json::as_arr).unwrap_or(&empty);
+        for span_b in spans_b {
+            let Some(path) = span_path(span_b) else { continue };
+            if !spans_a.iter().any(|s| span_path(s) == Some(path)) {
+                out.push(Delta::missing(format!("profiles[{label}]/{path}"), 'A'));
+            }
+        }
         for span_a in spans_a {
             let Some(path) = span_path(span_a) else { continue };
             let Some(span_b) = spans_b.iter().find(|s| span_path(s) == Some(path)) else {
+                out.push(Delta::missing(format!("profiles[{label}]/{path}"), 'B'));
                 continue;
             };
             let (self_a, self_b) = (span_a.get("self"), span_b.get("self"));
@@ -288,6 +321,66 @@ mod tests {
             .find(|d| d.metric == "cache_sims[fw.tiled]/L1.misses")
             .expect("aggregate delta present");
         assert!(!aggregate.flagged);
+    }
+
+    #[test]
+    fn span_present_in_only_one_report_is_flagged_missing() {
+        let mut a = fabricated(1_000, 500);
+        push_tile_profile(&mut a, 100);
+        let b = fabricated(1_000, 500); // no profile section at all
+        let deltas = compare_reports(&a, &b, DEFAULT_THRESHOLD);
+        let missing = deltas
+            .iter()
+            .find(|d| d.metric == "profiles[fw.tiled]")
+            .expect("missing-profile delta present");
+        assert!(missing.flagged);
+        assert_eq!(missing.missing_in, Some('B'));
+        assert_eq!(missing.render_line(), "FLAG profiles[fw.tiled] MISSING in B");
+
+        // And the other direction: the whole profile only in B.
+        let deltas = compare_reports(&b, &a, DEFAULT_THRESHOLD);
+        let missing = deltas
+            .iter()
+            .find(|d| d.metric == "profiles[fw.tiled]")
+            .expect("missing-profile delta present");
+        assert_eq!(missing.missing_in, Some('A'));
+    }
+
+    #[test]
+    fn extra_span_inside_matched_profile_is_flagged_missing() {
+        let mut a = fabricated(1_000, 500);
+        push_tile_profile(&mut a, 100);
+        // B's profile has the shared tile[3] span plus one A lacks.
+        let mut b = fabricated(1_000, 500);
+        let span = |path: &str, misses: u64| {
+            Json::obj().field("path", path).field(
+                "self",
+                Json::obj().field(
+                    "levels",
+                    Json::Arr(vec![Json::obj()
+                        .field("level", 1_u64)
+                        .field("accesses", 1_000_u64)
+                        .field("misses", misses)]),
+                ),
+            )
+        };
+        b.push_profile(Json::obj().field("label", "fw.tiled").field(
+            "spans",
+            Json::Arr(vec![span("fw.tiled/tile[3]", 110), span("fw.tiled/tile[7]", 1)]),
+        ));
+
+        let deltas = compare_reports(&a, &b, DEFAULT_THRESHOLD);
+        let missing = deltas
+            .iter()
+            .find(|d| d.metric == "profiles[fw.tiled]/fw.tiled/tile[7]")
+            .expect("missing-span delta present");
+        assert!(missing.flagged);
+        assert_eq!(missing.missing_in, Some('A'));
+        assert!(missing.render_line().contains("MISSING in A"));
+        // The shared span still pairs up normally.
+        assert!(deltas
+            .iter()
+            .any(|d| d.metric == "profiles[fw.tiled]/fw.tiled/tile[3]/L1.misses"));
     }
 
     #[test]

@@ -40,6 +40,6 @@ pub use compare::{compare_reports, Delta, DEFAULT_THRESHOLD};
 pub use journal::{read_journal, JournalContents, JournalError, JournalWriter};
 pub use json::{parse as parse_json, Json, JsonError};
 pub use registry::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot};
-pub use report::{Report, ReportError, SCHEMA_VERSION, TOOL_NAME};
+pub use report::{Report, ReportError, MIN_SCHEMA_VERSION, SCHEMA_VERSION, TOOL_NAME};
 pub use span::{Span, SpanRecord};
 pub use timeline::TimelineRecord;

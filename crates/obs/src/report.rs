@@ -29,7 +29,17 @@ use crate::registry::Snapshot;
 ///   built by `cachegraph-cache-sim`'s report module: per-span self and
 ///   subtree-total hierarchy stats plus a delta-encoded miss-rate
 ///   timeline).
-pub const SCHEMA_VERSION: u64 = 3;
+/// * v4 — sampled attribution: every profile object carries a
+///   `sample_period` (accesses per recorded attribution event, 1 =
+///   every access) and an `exact` flag; counters in sampled profiles
+///   are scaled-up estimates. v3 documents load fine (the fields
+///   default to exact), so [`MIN_SCHEMA_VERSION`] stays at 3.
+pub const SCHEMA_VERSION: u64 = 4;
+
+/// Oldest schema version this build still reads. v3 profiles lack the
+/// sampling fields, which default to `sample_period = 1` / `exact` on
+/// load; everything else is layout-identical.
+pub const MIN_SCHEMA_VERSION: u64 = 3;
 
 /// Name stamped into every report's `tool` field.
 pub const TOOL_NAME: &str = "cachegraph";
@@ -115,8 +125,9 @@ impl Report {
     /// Reconstruct a report from its [`to_json`](Self::to_json) form.
     pub fn from_json(json: &Json) -> Result<Self, ReportError> {
         let version = json.get("schema_version").and_then(Json::as_u64);
-        if version != Some(SCHEMA_VERSION) {
-            return Err(ReportError::SchemaVersion { found: version, want: SCHEMA_VERSION });
+        match version {
+            Some(v) if (MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&v) => {}
+            _ => return Err(ReportError::SchemaVersion { found: version, want: SCHEMA_VERSION }),
         }
         let name = json
             .get("report")
@@ -211,6 +222,17 @@ mod tests {
         assert!(loaded.profiles.is_empty());
         // Re-rendering always emits the section.
         assert!(loaded.render().contains("\"profiles\":[]"));
+    }
+
+    #[test]
+    fn previous_schema_version_still_loads() {
+        let text = format!(
+            r#"{{"schema_version": {MIN_SCHEMA_VERSION}, "tool": "cachegraph", "report": "old"}}"#
+        );
+        let loaded = Report::load_str(&text).expect("v3 report loads");
+        assert_eq!(loaded.name, "old");
+        // Re-rendering upgrades the document to the current version.
+        assert!(loaded.render().contains(&format!("\"schema_version\":{SCHEMA_VERSION}")));
     }
 
     #[test]

@@ -14,7 +14,8 @@
 use cachegraph_graph::{AdjacencyArray, AdjacencyList, VertexId, Weight, INF};
 use cachegraph_obs::Registry;
 use cachegraph_sim::{
-    AddressSpace, CacheProfile, HierarchyConfig, HierarchyStats, MemoryHierarchy, TracedBuffer,
+    AddressSpace, CacheProfile, HierarchyConfig, HierarchyStats, MemoryHierarchy, ProfilerOptions,
+    TracedBuffer,
 };
 
 use crate::NO_VERTEX;
@@ -233,12 +234,12 @@ impl TracedGraph for TracedList {
 
 /// Observability wiring for one simulated run: the registry spans and
 /// counters report into, the root span/scope name, and — when the
-/// attribution profiler should attach — the timeline sampling interval
-/// in L1 accesses.
+/// attribution profiler should attach — its [`ProfilerOptions`]
+/// (recording mode and timeline interval).
 struct RunObs<'a> {
     registry: &'a Registry,
     span_name: &'a str,
-    sample_interval: Option<u64>,
+    profiler: Option<ProfilerOptions>,
 }
 
 /// The shared Dijkstra/Prim driver over a traced graph. Reports into
@@ -254,7 +255,7 @@ fn sim_run<G: TracedGraph>(
     config: HierarchyConfig,
     obs: RunObs<'_>,
 ) -> SsspSimResult {
-    let RunObs { registry, span_name, sample_interval } = obs;
+    let RunObs { registry, span_name, profiler } = obs;
     let root = registry.span(span_name);
     let relaxations = registry.counter("sssp.relaxations");
     let decrease_keys = registry.counter("sssp.decrease_keys");
@@ -263,7 +264,7 @@ fn sim_run<G: TracedGraph>(
     let mut hier = MemoryHierarchy::new(config);
     // Attribution scopes mirror the span tree exactly (literal paths:
     // a disabled registry's spans carry empty paths).
-    let scope = sample_interval.map(|iv| hier.attach_profiler_sampled(span_name, iv, registry));
+    let scope = profiler.map(|opts| hier.attach_profiler_with(span_name, opts, registry));
     let _root_scope = scope.as_ref().map(|s| s.enter(span_name));
     let h = &mut hier;
     let mut keys = space.alloc_traced::<Weight>(n);
@@ -326,23 +327,24 @@ pub fn sim_dijkstra_adj_array_observed(
 ) -> SsspSimResult {
     let mut space = AddressSpace::new();
     let tg = TracedArray::build(&mut space, g);
-    sim_run(&mut space, &tg, source, Algo::Dijkstra, config, RunObs { registry, span_name: "dijkstra.array", sample_interval: None })
+    sim_run(&mut space, &tg, source, Algo::Dijkstra, config, RunObs { registry, span_name: "dijkstra.array", profiler: None })
 }
 
 /// [`sim_dijkstra_adj_array_observed`] with span-scoped cache
-/// attribution and a miss-rate timeline sampled every `interval` L1
-/// accesses; the result's `profile` splits the counters between the
-/// heap-building `init` scope and the `main_loop` relaxation scope.
+/// attribution under the given [`ProfilerOptions`] (recording mode and
+/// miss-rate timeline interval); the result's `profile` splits the
+/// counters between the heap-building `init` scope and the `main_loop`
+/// relaxation scope.
 pub fn sim_dijkstra_adj_array_profiled(
     g: &AdjacencyArray,
     source: VertexId,
     config: HierarchyConfig,
-    interval: u64,
+    options: ProfilerOptions,
     registry: &Registry,
 ) -> SsspSimResult {
     let mut space = AddressSpace::new();
     let tg = TracedArray::build(&mut space, g);
-    sim_run(&mut space, &tg, source, Algo::Dijkstra, config, RunObs { registry, span_name: "dijkstra.array", sample_interval: Some(interval) })
+    sim_run(&mut space, &tg, source, Algo::Dijkstra, config, RunObs { registry, span_name: "dijkstra.array", profiler: Some(options) })
 }
 
 /// Simulated Dijkstra over the arena adjacency list.
@@ -363,7 +365,7 @@ pub fn sim_dijkstra_adj_list_observed(
 ) -> SsspSimResult {
     let mut space = AddressSpace::new();
     let tg = TracedList::build(&mut space, g);
-    sim_run(&mut space, &tg, source, Algo::Dijkstra, config, RunObs { registry, span_name: "dijkstra.list", sample_interval: None })
+    sim_run(&mut space, &tg, source, Algo::Dijkstra, config, RunObs { registry, span_name: "dijkstra.list", profiler: None })
 }
 
 /// [`sim_dijkstra_adj_list_observed`] with span-scoped cache attribution
@@ -372,12 +374,12 @@ pub fn sim_dijkstra_adj_list_profiled(
     g: &AdjacencyList,
     source: VertexId,
     config: HierarchyConfig,
-    interval: u64,
+    options: ProfilerOptions,
     registry: &Registry,
 ) -> SsspSimResult {
     let mut space = AddressSpace::new();
     let tg = TracedList::build(&mut space, g);
-    sim_run(&mut space, &tg, source, Algo::Dijkstra, config, RunObs { registry, span_name: "dijkstra.list", sample_interval: Some(interval) })
+    sim_run(&mut space, &tg, source, Algo::Dijkstra, config, RunObs { registry, span_name: "dijkstra.list", profiler: Some(options) })
 }
 
 /// Simulated Prim over the adjacency array (CSR).
@@ -398,7 +400,7 @@ pub fn sim_prim_adj_array_observed(
 ) -> SsspSimResult {
     let mut space = AddressSpace::new();
     let tg = TracedArray::build(&mut space, g);
-    sim_run(&mut space, &tg, root, Algo::Prim, config, RunObs { registry, span_name: "prim.array", sample_interval: None })
+    sim_run(&mut space, &tg, root, Algo::Prim, config, RunObs { registry, span_name: "prim.array", profiler: None })
 }
 
 /// Simulated Prim over the arena adjacency list.
@@ -419,7 +421,7 @@ pub fn sim_prim_adj_list_observed(
 ) -> SsspSimResult {
     let mut space = AddressSpace::new();
     let tg = TracedList::build(&mut space, g);
-    sim_run(&mut space, &tg, root, Algo::Prim, config, RunObs { registry, span_name: "prim.list", sample_interval: None })
+    sim_run(&mut space, &tg, root, Algo::Prim, config, RunObs { registry, span_name: "prim.list", profiler: None })
 }
 
 #[cfg(test)]
@@ -480,7 +482,13 @@ mod tests {
         let b = generators::random_directed(200, 0.08, 50, 21);
         let arr = b.build_array();
         let reg = cachegraph_obs::Registry::disabled();
-        let prof = sim_dijkstra_adj_array_profiled(&arr, 0, profiles::simplescalar(), 1024, &reg);
+        let prof = sim_dijkstra_adj_array_profiled(
+            &arr,
+            0,
+            profiles::simplescalar(),
+            ProfilerOptions { sample_period_log2: 0, timeline_interval: 1024 },
+            &reg,
+        );
         let plain = sim_dijkstra_adj_array(&arr, 0, profiles::simplescalar());
         assert_eq!(prof.keys, plain.keys, "attribution must not change results");
         assert_eq!(prof.stats, plain.stats, "attribution must not perturb the simulation");

@@ -1,0 +1,21 @@
+// tidy: kernel
+
+/// The event-callback pattern the hierarchy uses: kernel code emits
+/// plain enum events through a generic hook and never names
+/// cachegraph_obs — the caller (outside any `tidy: kernel` file)
+/// translates events into registry counters and profiler scopes.
+pub enum ProbeEvent {
+    Hit { level: usize },
+    Miss { level: usize },
+}
+
+/// Probe each line, reporting one event per probe to the hook.
+pub fn probe_all(lines: &[u64], hook: &mut impl FnMut(ProbeEvent)) {
+    for &line in lines {
+        if line % 2 == 0 {
+            hook(ProbeEvent::Hit { level: 0 });
+        } else {
+            hook(ProbeEvent::Miss { level: 0 });
+        }
+    }
+}

@@ -1,0 +1,17 @@
+// tidy: kernel
+
+/// An event callback that reports straight into the metrics registry
+/// from kernel code: the `cachegraph_obs` reference must be flagged
+/// even though it hides inside a closure body.
+pub fn probe_all(lines: &[u64]) {
+    let registry = cachegraph_obs::Registry::new();
+    let hits = registry.counter("cache.hits");
+    let mut on_event = |hit: bool| {
+        if hit {
+            hits.incr();
+        }
+    };
+    for &line in lines {
+        on_event(line % 2 == 0);
+    }
+}

@@ -308,6 +308,24 @@ fn obs_waiver_suppresses_report() {
     assert!(rules::obs_purity::check(&sf).is_empty());
 }
 
+#[test]
+fn obs_flags_registry_reference_inside_event_callback() {
+    // A hook closure is still kernel code: reporting into
+    // cachegraph_obs from inside it must be flagged.
+    let sf = lib_file(include_str!("../fixtures/obs_pos_event_hook.rs"));
+    let diags = rules::obs_purity::check(&sf);
+    assert_eq!(rules_of(&diags), ["obs-purity"]);
+}
+
+#[test]
+fn obs_accepts_generic_event_hook_pattern() {
+    // The event-callback style the hierarchy's profiler hooks use:
+    // kernel code emits plain enum events through a generic FnMut and
+    // never references cachegraph_obs, so the marked file stays clean.
+    let sf = lib_file(include_str!("../fixtures/obs_neg_event_hook.rs"));
+    assert!(rules::obs_purity::check(&sf).is_empty());
+}
+
 // ---- doc-coverage ----------------------------------------------------
 
 /// A fixture presented as facade-crate code (`src/`, crate `cachegraph`
