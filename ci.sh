@@ -62,4 +62,40 @@ cargo run -q --release -p cachegraph-cli --bin cachegraph -- \
   compare target/ci-metrics/resume_merged.json target/ci-metrics/repro_quick.json \
   > /dev/null
 
+echo "==> serve chaos smoke (faults + 4x overload burst, graceful drain)"
+# A real serve daemon with one-shot panic/hang/kill faults armed and a
+# small queue, hammered by a 4x closed-loop burst: loadgen must converge
+# (exit 0) with nonzero shed and retry counters in its report, and the
+# shutdown op must drain the server to exit 0 with a parseable v4 report.
+rm -f target/ci-metrics/serve.port
+cargo run -q --release -p cachegraph-cli --bin cachegraph -- \
+  serve --gen-n 48 --density 0.1 --seed 5 \
+  --workers 2 --queue-high 3 --queue-low 1 --hang-ms 200 \
+  --fault-plan panic:path,hang:reach,kill:match \
+  --port-file target/ci-metrics/serve.port \
+  --metrics target/ci-metrics/serve_final.json \
+  > target/ci-metrics/serve.txt &
+serve_pid=$!
+for _ in $(seq 1 100); do
+  test -s target/ci-metrics/serve.port && break
+  sleep 0.1
+done
+test -s target/ci-metrics/serve.port
+cargo run -q --release -p cachegraph-cli --bin cachegraph -- \
+  loadgen --port-file target/ci-metrics/serve.port \
+  --clients 8 --requests 25 --seed 42 --max-retries 40 --backoff-ms 1 \
+  --metrics target/ci-metrics/loadgen.json \
+  > target/ci-metrics/loadgen.txt
+grep -q '"schema_version":4' target/ci-metrics/loadgen.json
+grep -q '"ok":200' target/ci-metrics/loadgen.json
+grep -q '"shed":0' target/ci-metrics/loadgen.json \
+  && { echo "ci: 4x overload burst did not shed"; exit 1; } || true
+grep -q '"retries":0' target/ci-metrics/loadgen.json \
+  && { echo "ci: sheds did not force retries"; exit 1; } || true
+cargo run -q --release -p cachegraph-cli --bin cachegraph -- \
+  query --port-file target/ci-metrics/serve.port --op shutdown > /dev/null
+wait "$serve_pid"
+grep -q '"schema_version":4' target/ci-metrics/serve_final.json
+grep -q 'drained: ok' target/ci-metrics/serve.txt
+
 echo "ci: all green"

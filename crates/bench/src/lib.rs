@@ -11,6 +11,7 @@
 //! reproduces, and the `paper` column records the corresponding claim.
 
 pub mod experiments;
+pub mod loadgen;
 pub mod supervisor;
 mod table;
 #[cfg(test)]

@@ -1,0 +1,371 @@
+//! Load generator for the serve daemon: seeded clients, retry with
+//! exponential backoff and jitter, and pow2-histogram latency
+//! percentiles feeding the schema-v4 report.
+//!
+//! Two arrival models share one request loop:
+//!
+//! * **closed loop** — each client fires its next request the moment
+//!   the previous one resolves. `clients x 1` closed loops are the
+//!   overload weapon: with more clients than workers the admission
+//!   queue fills and the server must shed.
+//! * **open loop** (`think_mean_ms > 0`) — each client sleeps a
+//!   seeded exponential think time between requests (Poisson-ish
+//!   arrivals), modelling independent users rather than a pressure
+//!   cooker.
+//!
+//! Retry policy: `BUSY`, `DEADLINE_EXCEEDED`, `INTERNAL`, and
+//! retryable wire errors (torn frames, resets, timeouts) back off
+//! exponentially from `base_backoff_ms`, doubling per attempt with
+//! uniform jitter on the whole interval, floored at the server's
+//! `retry_after_ms` hint when one was given. `BAD_REQUEST` and
+//! `SHUTTING_DOWN` never retry. Every counter the chaos suite asserts
+//! on (ok / shed / retries / deadline / internal / torn / exhausted)
+//! is tallied in a shared [`Registry`], and client-observed latency
+//! lands in a pow2 histogram whose `percentile` upper bounds carry the
+//! documented <2x quantization error.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use cachegraph_obs::{HistogramSnapshot, Json, Registry};
+use cachegraph_rng::StdRng;
+use cachegraph_serve::{request_once, Op, Request, Response, WireError};
+
+/// Load shape and retry policy.
+#[derive(Clone, Debug)]
+pub struct LoadgenConfig {
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Requests each client must resolve (to success or give-up).
+    pub requests_per_client: usize,
+    /// Master seed; client `i` derives its own stream from it.
+    pub seed: u64,
+    /// Deadline attached to every query.
+    pub deadline_ms: u64,
+    /// Retries per request after the first attempt.
+    pub max_retries: usize,
+    /// First backoff interval; doubles per retry.
+    pub base_backoff_ms: u64,
+    /// Mean exponential think time between a client's requests;
+    /// 0 = closed loop.
+    pub think_mean_ms: u64,
+    /// Socket read/write timeout per attempt.
+    pub timeout_ms: u64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        Self {
+            clients: 4,
+            requests_per_client: 25,
+            seed: 1,
+            deadline_ms: 1_000,
+            max_retries: 8,
+            base_backoff_ms: 2,
+            think_mean_ms: 0,
+            timeout_ms: 2_000,
+        }
+    }
+}
+
+/// What a run observed, with the latency distribution and its
+/// (quantized, see [`HistogramSnapshot::percentile`]) percentiles.
+#[derive(Clone, Debug)]
+pub struct LoadgenResult {
+    /// Requests resolved successfully.
+    pub ok: u64,
+    /// `BUSY` responses observed (shed at admission).
+    pub shed: u64,
+    /// Retry attempts performed (any retryable outcome).
+    pub retries: u64,
+    /// `DEADLINE_EXCEEDED` responses observed.
+    pub deadline_exceeded: u64,
+    /// `INTERNAL` responses observed (handler panics).
+    pub internal: u64,
+    /// Torn response frames observed (server killed mid-write).
+    pub torn: u64,
+    /// Requests abandoned after exhausting retries.
+    pub exhausted: u64,
+    /// Requests answered `BAD_REQUEST` (never retried).
+    pub bad_request: u64,
+    /// Requests answered `SHUTTING_DOWN` (never retried).
+    pub shutting_down: u64,
+    /// Client-observed enqueue-to-answer latency of successes (ns).
+    pub latency: HistogramSnapshot,
+}
+
+impl LoadgenResult {
+    /// p50 latency in nanoseconds (bucket upper bound; 0 if no data).
+    pub fn p50_ns(&self) -> u64 {
+        self.latency.percentile(0.50).unwrap_or(0)
+    }
+
+    /// p90 latency in nanoseconds.
+    pub fn p90_ns(&self) -> u64 {
+        self.latency.percentile(0.90).unwrap_or(0)
+    }
+
+    /// p99 latency in nanoseconds.
+    pub fn p99_ns(&self) -> u64 {
+        self.latency.percentile(0.99).unwrap_or(0)
+    }
+
+    /// The `experiments` entry for the schema-v4 report.
+    pub fn to_experiment_json(&self, cfg: &LoadgenConfig) -> Json {
+        Json::obj()
+            .field("name", "serve.loadgen")
+            .field("mode", if cfg.think_mean_ms == 0 { "closed" } else { "open" })
+            .field("clients", cfg.clients)
+            .field("requests_per_client", cfg.requests_per_client)
+            .field("seed", cfg.seed)
+            .field("ok", self.ok)
+            .field("shed", self.shed)
+            .field("retries", self.retries)
+            .field("deadline_exceeded", self.deadline_exceeded)
+            .field("internal", self.internal)
+            .field("torn", self.torn)
+            .field("exhausted", self.exhausted)
+            .field("bad_request", self.bad_request)
+            .field("shutting_down", self.shutting_down)
+            .field("p50_ns", self.p50_ns())
+            .field("p90_ns", self.p90_ns())
+            .field("p99_ns", self.p99_ns())
+            .field("latency", self.latency.to_json())
+    }
+}
+
+/// One attempt's classification, driving the retry loop.
+enum Attempt {
+    Done,
+    Retry,
+    GiveUp,
+}
+
+/// Run the load against a server on `127.0.0.1:port`. Counters from
+/// all clients merge through one shared registry (atomic adds — the
+/// same registry handles the serve daemon uses server-side).
+pub fn run_loadgen(port: u16, cfg: &LoadgenConfig) -> Result<LoadgenResult, WireError> {
+    // Learn the graph size from the health probe so queries stay in
+    // range (out-of-range would be BAD_REQUEST noise, not load).
+    let health = request_once(port, &Request::plain(Op::Health), cfg.timeout_ms)?;
+    let n = match &health {
+        Response::Ok(data) => data.get("n").and_then(Json::as_u64).unwrap_or(2).max(2) as u32,
+        other => {
+            return Err(WireError::BadShape(format!(
+                "health probe answered {} instead of OK",
+                other.status()
+            )))
+        }
+    };
+    let reg = Registry::new();
+    let server_gone = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        for client in 0..cfg.clients {
+            let reg = reg.clone();
+            let server_gone = &server_gone;
+            scope.spawn(move || {
+                client_loop(port, cfg, n, client as u64, &reg, server_gone);
+            });
+        }
+    });
+    let snap = reg.snapshot();
+    let c = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    Ok(LoadgenResult {
+        ok: c("loadgen.ok"),
+        shed: c("loadgen.shed"),
+        retries: c("loadgen.retries"),
+        deadline_exceeded: c("loadgen.deadline_exceeded"),
+        internal: c("loadgen.internal"),
+        torn: c("loadgen.torn"),
+        exhausted: c("loadgen.exhausted"),
+        bad_request: c("loadgen.bad_request"),
+        shutting_down: c("loadgen.shutting_down"),
+        latency: snap.histograms.get("loadgen.latency_ns").cloned().unwrap_or_default(),
+    })
+}
+
+fn client_loop(
+    port: u16,
+    cfg: &LoadgenConfig,
+    n: u32,
+    client: u64,
+    reg: &Registry,
+    server_gone: &AtomicBool,
+) {
+    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_mul(0x9E37_79B9).wrapping_add(client));
+    let ok = reg.counter("loadgen.ok");
+    let shed = reg.counter("loadgen.shed");
+    let retries = reg.counter("loadgen.retries");
+    let deadline = reg.counter("loadgen.deadline_exceeded");
+    let internal = reg.counter("loadgen.internal");
+    let torn = reg.counter("loadgen.torn");
+    let exhausted = reg.counter("loadgen.exhausted");
+    let bad_request = reg.counter("loadgen.bad_request");
+    let shutting_down = reg.counter("loadgen.shutting_down");
+    let latency = reg.histogram("loadgen.latency_ns");
+
+    for _ in 0..cfg.requests_per_client {
+        if server_gone.load(Ordering::Relaxed) {
+            return;
+        }
+        if cfg.think_mean_ms > 0 {
+            std::thread::sleep(Duration::from_millis(exp_ms(&mut rng, cfg.think_mean_ms)));
+        }
+        let req = random_request(&mut rng, n).with_deadline_ms(cfg.deadline_ms);
+        let mut backoff_ms = cfg.base_backoff_ms.max(1);
+        let mut resolved = false;
+        for attempt in 0..=cfg.max_retries {
+            let started = std::time::Instant::now();
+            let outcome = match request_once(port, &req, cfg.timeout_ms) {
+                Ok(Response::Ok(_)) => {
+                    ok.incr();
+                    latency.record(started.elapsed().as_nanos() as u64);
+                    Attempt::Done
+                }
+                Ok(Response::Busy { retry_after_ms }) => {
+                    shed.incr();
+                    backoff_ms = backoff_ms.max(retry_after_ms);
+                    Attempt::Retry
+                }
+                Ok(Response::DeadlineExceeded) => {
+                    deadline.incr();
+                    Attempt::Retry
+                }
+                Ok(Response::Internal(_)) => {
+                    internal.incr();
+                    Attempt::Retry
+                }
+                Ok(Response::BadRequest(_)) => {
+                    bad_request.incr();
+                    Attempt::GiveUp
+                }
+                Ok(Response::ShuttingDown) => {
+                    shutting_down.incr();
+                    server_gone.store(true, Ordering::Relaxed);
+                    Attempt::GiveUp
+                }
+                Err(e) => {
+                    if matches!(e, WireError::Torn { .. } | WireError::ShortPrefix { .. }) {
+                        torn.incr();
+                    }
+                    if e.is_retryable() {
+                        Attempt::Retry
+                    } else {
+                        Attempt::GiveUp
+                    }
+                }
+            };
+            match outcome {
+                Attempt::Done => {
+                    resolved = true;
+                    break;
+                }
+                Attempt::GiveUp => break,
+                Attempt::Retry => {
+                    if attempt == cfg.max_retries {
+                        break; // exhausted below
+                    }
+                    retries.incr();
+                    // Full jitter over the doubled interval: decorrelates
+                    // the retry storms a synchronized burst would cause.
+                    let jittered = rng.gen_range(1..=backoff_ms.max(1));
+                    std::thread::sleep(Duration::from_millis(jittered));
+                    backoff_ms = backoff_ms.saturating_mul(2).min(500);
+                }
+            }
+        }
+        if !resolved && !server_gone.load(Ordering::Relaxed) {
+            exhausted.incr();
+        }
+    }
+}
+
+/// 70% path, 20% reach, 10% match — seeded, so reruns hit the same
+/// result-cache pattern.
+fn random_request(rng: &mut StdRng, n: u32) -> Request {
+    let src = rng.gen_range(0..n);
+    let dst = rng.gen_range(0..n);
+    match rng.gen_range(0u32..10) {
+        0..=6 => Request::path(src, dst),
+        7..=8 => Request::reach(src, dst),
+        _ => Request::plain(Op::Match),
+    }
+}
+
+/// Exponentially distributed milliseconds with the given mean,
+/// clamped to keep a single sleep bounded.
+fn exp_ms(rng: &mut StdRng, mean_ms: u64) -> u64 {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    ((-(u.ln())) * mean_ms as f64).min(mean_ms as f64 * 10.0) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiment_json_carries_every_counter_and_percentile() {
+        let mut buckets = vec![0u64; cachegraph_obs::registry::HISTOGRAM_BUCKETS];
+        buckets[5] += 9; // values 16..=31
+        buckets[11] += 1; // values 1024..=2047
+        let r = LoadgenResult {
+            ok: 10,
+            shed: 3,
+            retries: 4,
+            deadline_exceeded: 1,
+            internal: 1,
+            torn: 2,
+            exhausted: 0,
+            bad_request: 0,
+            shutting_down: 0,
+            latency: HistogramSnapshot { buckets, count: 10, sum: 2000 },
+        };
+        let json = r.to_experiment_json(&LoadgenConfig::default());
+        assert_eq!(json.get("ok").and_then(Json::as_u64), Some(10));
+        assert_eq!(json.get("shed").and_then(Json::as_u64), Some(3));
+        assert_eq!(json.get("torn").and_then(Json::as_u64), Some(2));
+        assert_eq!(json.get("p50_ns").and_then(Json::as_u64), Some(31));
+        assert_eq!(json.get("p99_ns").and_then(Json::as_u64), Some(2047));
+        assert_eq!(json.get("mode").and_then(Json::as_str), Some("closed"));
+    }
+
+    #[test]
+    fn percentiles_default_to_zero_without_data() {
+        let r = LoadgenResult {
+            ok: 0,
+            shed: 0,
+            retries: 0,
+            deadline_exceeded: 0,
+            internal: 0,
+            torn: 0,
+            exhausted: 0,
+            bad_request: 0,
+            shutting_down: 0,
+            latency: HistogramSnapshot::default(),
+        };
+        assert_eq!(r.p50_ns(), 0);
+        assert_eq!(r.p99_ns(), 0);
+    }
+
+    #[test]
+    fn request_mix_is_seed_stable_and_in_range() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for _ in 0..200 {
+            let ra = random_request(&mut a, 64);
+            let rb = random_request(&mut b, 64);
+            assert_eq!(ra, rb);
+            assert!(ra.src < 64 && ra.dst < 64);
+        }
+    }
+
+    #[test]
+    fn exponential_think_time_is_bounded_and_has_roughly_the_mean() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mean = 20u64;
+        let samples: Vec<u64> = (0..2000).map(|_| exp_ms(&mut rng, mean)).collect();
+        assert!(samples.iter().all(|&s| s <= mean * 10));
+        let avg = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
+        assert!((avg - mean as f64).abs() < mean as f64 * 0.25, "avg {avg}");
+    }
+}

@@ -1,0 +1,106 @@
+//! Load-generator integration: drive an in-process serve daemon, with
+//! and without overload and faults, and check the counters and report
+//! sections the chaos smoke gates on.
+
+use cachegraph_bench::loadgen::{run_loadgen, LoadgenConfig};
+use cachegraph_obs::{Json, Registry, Report};
+use cachegraph_serve::{start, EngineConfig, FaultPlan, Op, Request, ServerConfig};
+
+fn server_config(workers: usize, queue_high: usize, queue_low: usize) -> ServerConfig {
+    ServerConfig {
+        engine: EngineConfig { n: 48, density: 0.1, seed: 5, ..EngineConfig::default() },
+        workers,
+        queue_high,
+        queue_low,
+        hang_ms: 120,
+        ..ServerConfig::default()
+    }
+}
+
+#[test]
+fn calm_load_resolves_everything_without_retries_to_spare() {
+    let handle = start(server_config(4, 64, 32), FaultPlan::none(), Registry::new())
+        .expect("binds");
+    let cfg = LoadgenConfig {
+        clients: 3,
+        requests_per_client: 20,
+        seed: 11,
+        ..LoadgenConfig::default()
+    };
+    let result = run_loadgen(handle.port(), &cfg).expect("loadgen runs");
+    assert_eq!(result.ok, 60, "every request must resolve: {result:?}");
+    assert_eq!(result.exhausted, 0);
+    assert_eq!(result.bad_request, 0);
+    assert!(result.latency.count == 60);
+    assert!(result.p50_ns() > 0);
+    assert!(result.p99_ns() >= result.p50_ns(), "percentiles must be monotone");
+    let _ = cachegraph_serve::request_once(handle.port(), &Request::plain(Op::Shutdown), 2_000);
+    handle.join();
+}
+
+#[test]
+fn overload_burst_sheds_then_converges_via_backoff() {
+    // 8 closed-loop clients against 2 workers and a queue of 3: a 4x
+    // overload. Shedding must happen; retries with backoff must still
+    // resolve every request eventually.
+    let reg = Registry::new();
+    let handle = start(server_config(2, 3, 1), FaultPlan::none(), reg).expect("binds");
+    let cfg = LoadgenConfig {
+        clients: 8,
+        requests_per_client: 25,
+        seed: 42,
+        max_retries: 40,
+        base_backoff_ms: 1,
+        ..LoadgenConfig::default()
+    };
+    let result = run_loadgen(handle.port(), &cfg).expect("loadgen runs");
+    assert_eq!(
+        result.ok, 200,
+        "retry-with-backoff must converge under a 4x burst: {result:?}"
+    );
+    assert_eq!(result.exhausted, 0, "{result:?}");
+    let snap = {
+        let _ = cachegraph_serve::request_once(handle.port(), &Request::plain(Op::Shutdown), 2_000);
+        handle.join()
+    };
+    let shed = snap.counters.get("serve.shed").copied().unwrap_or(0);
+    assert!(shed > 0, "a 4x overload over queue_high=3 must shed (shed = {shed})");
+    assert_eq!(result.shed, shed, "client-observed BUSY must equal server-side sheds");
+    assert!(result.retries >= result.shed, "every BUSY forces a retry");
+}
+
+#[test]
+fn chaos_faults_surface_as_counted_retries_and_still_converge() {
+    let plan = FaultPlan::parse("panic:path,hang:reach,kill:match").expect("parses");
+    let handle = start(server_config(2, 16, 8), plan, Registry::new()).expect("binds");
+    let cfg = LoadgenConfig {
+        clients: 4,
+        requests_per_client: 30,
+        seed: 7,
+        max_retries: 20,
+        ..LoadgenConfig::default()
+    };
+    let result = run_loadgen(handle.port(), &cfg).expect("loadgen runs");
+    assert_eq!(result.ok, 120, "all requests resolve once the one-shot faults clear: {result:?}");
+    // The injected panic surfaced as INTERNAL and was retried.
+    assert!(result.internal >= 1, "panic fault must be observed: {result:?}");
+    let _ = cachegraph_serve::request_once(handle.port(), &Request::plain(Op::Shutdown), 2_000);
+    handle.join();
+}
+
+#[test]
+fn loadgen_experiment_lands_in_a_valid_v4_report() {
+    let handle = start(server_config(2, 8, 4), FaultPlan::none(), Registry::new()).expect("binds");
+    let cfg = LoadgenConfig { clients: 2, requests_per_client: 10, seed: 3, ..LoadgenConfig::default() };
+    let result = run_loadgen(handle.port(), &cfg).expect("loadgen runs");
+    let mut report = Report::new("loadgen-test");
+    report.push_experiment(result.to_experiment_json(&cfg));
+    let text = report.render();
+    let back = Report::load_str(&text).expect("round-trips as schema v4");
+    let exp = &back.experiments[0];
+    assert_eq!(exp.get("name").and_then(Json::as_str), Some("serve.loadgen"));
+    assert_eq!(exp.get("ok").and_then(Json::as_u64), Some(result.ok));
+    assert!(exp.get("p99_ns").and_then(Json::as_u64).is_some());
+    let _ = cachegraph_serve::request_once(handle.port(), &Request::plain(Op::Shutdown), 2_000);
+    handle.join();
+}

@@ -7,8 +7,14 @@ use std::io::{BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
+use cachegraph_bench::loadgen::{run_loadgen, LoadgenConfig};
 use cachegraph_bench::supervisor::{
     run_supervised, ExperimentOutcome, FaultPlan, SupervisorConfig, Unit, UnitOutput,
+};
+use cachegraph_serve::{
+    request_once, start_on as serve_start_on, EngineConfig as ServeEngineConfig,
+    FaultPlan as ServeFaultPlan, Op as ServeOp, Request as ServeRequest,
+    Response as ServeResponse, ServerConfig,
 };
 use cachegraph_fw::instrumented::{
     sim_iterative_profiled, sim_recursive_morton_profiled, sim_tiled_bdl_profiled,
@@ -109,6 +115,9 @@ pub fn run(command: &str, args: Args, out: &mut dyn Write) -> Result<(), CliErro
         "repro" => cmd_repro(args, out),
         "compare" => cmd_compare(args, out),
         "profile" => cmd_profile(args, out),
+        "serve" => cmd_serve(args, out),
+        "query" => cmd_query(args, out),
+        "loadgen" => cmd_loadgen(args, out),
         other => Err(CliError::UnknownCommand(other.to_string())),
     }
 }
@@ -824,6 +833,158 @@ fn sparkline(timeline: &[TimelineSample]) -> String {
             }
         })
         .collect()
+}
+
+/// Resolve `--port` directly or via `--port-file` (written by `serve`).
+fn resolve_port(args: &Args) -> Result<u16, CliError> {
+    if let Some(p) = args.get("port") {
+        return p
+            .parse::<u16>()
+            .map_err(|_| CliError::Invalid(format!("--port: '{p}' is not a port number")));
+    }
+    if let Some(path) = args.get("port-file") {
+        let text = std::fs::read_to_string(path)?;
+        return text
+            .trim()
+            .parse::<u16>()
+            .map_err(|_| CliError::Invalid(format!("{path}: not a port number")));
+    }
+    Err(CliError::Invalid("--port or --port-file is required".into()))
+}
+
+/// `serve`: run the crash-only query daemon until a `shutdown` request
+/// drains it; optionally publish the bound port and the final report.
+fn cmd_serve(args: Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let cfg = ServerConfig {
+        engine: ServeEngineConfig {
+            n: args.parse_or("gen-n", 256, "integer")?,
+            density: args.parse_or("density", 0.05, "number")?,
+            max_weight: args.parse_or("max-weight", 100, "integer")?,
+            seed: args.parse_or("seed", 42, "integer")?,
+            apsp_threshold: args.parse_or("apsp-threshold", 128, "integer")?,
+            tile: args.parse_or("tile", 8, "integer")?,
+            landmarks: args.parse_or("landmarks", 8, "integer")?,
+        },
+        workers: args.parse_or("workers", 4, "integer")?,
+        queue_high: args.parse_or("queue-high", 64, "integer")?,
+        queue_low: args.parse_or("queue-low", 32, "integer")?,
+        default_deadline_ms: args.parse_or("deadline-ms", 1_000, "integer")?,
+        retry_after_ms: args.parse_or("retry-after-ms", 5, "integer")?,
+        read_timeout_ms: args.parse_or("read-timeout-ms", 2_000, "integer")?,
+        drain_deadline_ms: args.parse_or("drain-ms", 5_000, "integer")?,
+        hang_ms: args.parse_or("hang-ms", 400, "integer")?,
+        cache_shards: args.parse_or("cache-shards", 8, "integer")?,
+        cache_per_shard: args.parse_or("cache-per-shard", 128, "integer")?,
+    };
+    let plan = match args.get("fault-plan") {
+        Some(spec) => ServeFaultPlan::parse(spec).map_err(CliError::Invalid)?,
+        None => ServeFaultPlan::none(),
+    };
+    let port = args.parse_or("port", 0u16, "port number")?;
+    let handle = serve_start_on(cfg, plan, Registry::new(), port).map_err(CliError::Io)?;
+    writeln!(out, "serving on 127.0.0.1:{} (send op `shutdown` to drain)", handle.port())?;
+    out.flush()?;
+    if let Some(path) = args.get("port-file") {
+        std::fs::write(path, format!("{}\n", handle.port()))?;
+    }
+    let snapshot = handle.join();
+    let mut report = Report::new("serve");
+    report.set_metrics(&snapshot);
+    if let Some(path) = args.get("metrics") {
+        report.save(Path::new(path))?;
+        writeln!(out, "final metrics report written to {path}")?;
+    }
+    let count = |name: &str| snapshot.counters.get(name).copied().unwrap_or(0);
+    writeln!(
+        out,
+        "drained: ok {} shed {} deadline_exceeded {} panics {} torn_writes {}",
+        count("serve.ok"),
+        count("serve.shed"),
+        count("serve.deadline_exceeded"),
+        count("serve.panics"),
+        count("serve.torn_writes"),
+    )?;
+    Ok(())
+}
+
+/// `query`: one request against a running daemon; exit 0 only on `OK`.
+fn cmd_query(args: Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let port = resolve_port(&args)?;
+    let op_name = args.get_or("op", "health");
+    let Some(op) = ServeOp::parse(op_name) else {
+        return Err(CliError::Invalid(format!(
+            "--op: '{op_name}' is not path|reach|match|metrics|health|shutdown"
+        )));
+    };
+    let mut req = ServeRequest::plain(op);
+    if matches!(op, ServeOp::Path | ServeOp::Reach) {
+        req.src = args.parse_required("src", "vertex id")?;
+        req.dst = args.parse_required("dst", "vertex id")?;
+    }
+    if let Some(ms) = args.get("deadline-ms") {
+        let ms: u64 = ms
+            .parse()
+            .map_err(|_| CliError::Invalid(format!("--deadline-ms: '{ms}' is not an integer")))?;
+        req = req.with_deadline_ms(ms);
+    }
+    let timeout: u64 = args.parse_or("timeout-ms", 5_000, "integer")?;
+    let resp = request_once(port, &req, timeout)
+        .map_err(|e| CliError::RunFailed(format!("query failed: {e}")))?;
+    writeln!(out, "{}", resp.to_json().render())?;
+    match resp {
+        ServeResponse::Ok(_) => Ok(()),
+        other => Err(CliError::RunFailed(format!("server answered {}", other.status()))),
+    }
+}
+
+/// `loadgen`: drive a running daemon with seeded clients; exit 0 when
+/// every request converged (possibly through retries).
+fn cmd_loadgen(args: Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let port = resolve_port(&args)?;
+    let cfg = LoadgenConfig {
+        clients: args.parse_or("clients", 4, "integer")?,
+        requests_per_client: args.parse_or("requests", 25, "integer")?,
+        seed: args.parse_or("seed", 1, "integer")?,
+        deadline_ms: args.parse_or("deadline-ms", 1_000, "integer")?,
+        max_retries: args.parse_or("max-retries", 8, "integer")?,
+        base_backoff_ms: args.parse_or("backoff-ms", 2, "integer")?,
+        think_mean_ms: args.parse_or("think-ms", 0, "integer")?,
+        timeout_ms: args.parse_or("timeout-ms", 2_000, "integer")?,
+    };
+    let result = run_loadgen(port, &cfg)
+        .map_err(|e| CliError::RunFailed(format!("load generator failed: {e}")))?;
+    writeln!(
+        out,
+        "loadgen: ok {} shed {} retries {} deadline_exceeded {} internal {} torn {} exhausted {}",
+        result.ok,
+        result.shed,
+        result.retries,
+        result.deadline_exceeded,
+        result.internal,
+        result.torn,
+        result.exhausted,
+    )?;
+    writeln!(
+        out,
+        "latency p50 {} us  p90 {} us  p99 {} us (pow2-bucket upper bounds, <2x quantization)",
+        result.p50_ns() / 1_000,
+        result.p90_ns() / 1_000,
+        result.p99_ns() / 1_000,
+    )?;
+    if let Some(path) = args.get("metrics") {
+        let mut report = Report::new("loadgen");
+        report.push_experiment(result.to_experiment_json(&cfg));
+        report.save(Path::new(path))?;
+        writeln!(out, "loadgen report written to {path}")?;
+    }
+    let total = (cfg.clients * cfg.requests_per_client) as u64;
+    if result.ok < total {
+        return Err(CliError::RunFailed(format!(
+            "only {}/{} requests resolved ({} exhausted, {} bad, {} during shutdown)",
+            result.ok, total, result.exhausted, result.bad_request, result.shutting_down
+        )));
+    }
+    Ok(())
 }
 
 #[cfg(test)]

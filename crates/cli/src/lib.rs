@@ -51,6 +51,19 @@ commands:
                                     [--fault-plan panic:ID,hang:ID,kill:ID]
   compare   diff two metrics files  A.json B.json [--threshold T]
   profile   render cache profiles   A.json [--label L]
+  serve     crash-only query daemon [--port P] [--port-file FILE]
+                                    [--gen-n N --density D --seed S]
+                                    [--workers W --queue-high H --queue-low L]
+                                    [--deadline-ms MS] [--drain-ms MS] [--hang-ms MS]
+                                    [--fault-plan panic:OP,hang:OP,kill:OP]
+                                    [--metrics FILE]
+  query     one request             --port P | --port-file FILE
+                                    [--op path|reach|match|metrics|health|shutdown]
+                                    [--src V --dst V] [--deadline-ms MS]
+  loadgen   drive a running daemon  --port P | --port-file FILE
+                                    [--clients C --requests R --seed S]
+                                    [--max-retries N --backoff-ms MS --think-ms MS]
+                                    [--deadline-ms MS] [--metrics FILE]
 
 sssp, apsp, match, simulate, and repro accept --metrics FILE to write a
 machine-readable run report (spans, counters, cache statistics).
@@ -65,7 +78,17 @@ and --timeout-secs overruns become structured outcomes in the report,
 --journal streams one checkpoint record per experiment, and --resume
 skips experiments a previous journal already completed.
 
+serve answers length-prefixed JSON frames on loopback with per-request
+deadlines, BUSY load shedding past --queue-high, per-request panic
+isolation, and graceful drain on the shutdown op; --fault-plan arms
+one-shot chaos faults keyed by op name. query exits 0 only on an OK
+response; loadgen exits 0 only when every request resolved (retrying
+BUSY, DEADLINE_EXCEEDED, INTERNAL, and torn frames with exponential
+backoff plus jitter) and reports p50/p90/p99 from pow2 histograms.
+
 exit codes: 0 success; 1 runtime failure (bad input file, corrupt
 report, repro run with no completed experiment, any non-completion
-under --strict); 2 usage error (unknown command, flag, or argument).
+under --strict, a query answered with a non-OK status, a loadgen run
+with unresolved requests); 2 usage error (unknown command, flag, or
+argument).
 ";

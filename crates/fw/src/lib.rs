@@ -40,6 +40,7 @@
 //! ```
 
 mod auto;
+mod cancel;
 pub mod closure;
 mod copy_tiled;
 pub mod instrumented;
@@ -55,6 +56,7 @@ mod recursive;
 mod tiled;
 
 pub use auto::{solve_apsp, solve_apsp_with_cache, DEFAULT_L1_ASSOC, DEFAULT_L1_BYTES};
+pub use cancel::{fw_tiled_cancellable, run_tiled_cancellable, FwCancelled};
 pub use closure::{transitive_closure, transitive_closure_of, transitive_closure_tiled, BitMatrix};
 pub use copy_tiled::{fw_tiled_copy, fw_tiled_copy_with};
 pub use cachegraph_graph::{Weight, INF};

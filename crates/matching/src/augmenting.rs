@@ -57,6 +57,79 @@ impl Matching {
     }
 }
 
+/// Reusable scratch for the whole-graph augmentation step, so the
+/// plain and cancellable drivers share one iteration body.
+pub(crate) struct AugmentScratch {
+    parent: Vec<VertexId>,
+    visited: Vec<bool>,
+    queue: Vec<VertexId>,
+}
+
+impl AugmentScratch {
+    pub(crate) fn new(n: usize, n_left: usize) -> Self {
+        Self { parent: vec![FREE; n], visited: vec![false; n], queue: Vec::with_capacity(n_left) }
+    }
+}
+
+/// One iteration of Fig. 8's loop: BFS from ALL free left vertices over
+/// alternating paths (unmatched edges left -> right, matched edges
+/// right -> left); if an augmenting path exists, flip it and grow `m`
+/// by one. Returns `false` when no augmenting path exists (`m` is
+/// maximum).
+pub(crate) fn augment_once<G: Graph>(
+    g: &G,
+    n_left: usize,
+    m: &mut Matching,
+    s: &mut AugmentScratch,
+) -> bool {
+    s.visited.fill(false);
+    s.queue.clear();
+    for (u, &mate) in m.mate.iter().enumerate().take(n_left) {
+        if mate == FREE {
+            s.visited[u] = true;
+            s.queue.push(u as VertexId);
+        }
+    }
+    let mut head = 0;
+    let mut endpoint = None;
+    'search: while head < s.queue.len() {
+        let u = s.queue[head];
+        head += 1;
+        for (r, _) in g.neighbors(u) {
+            if s.visited[r as usize] {
+                continue;
+            }
+            s.visited[r as usize] = true;
+            s.parent[r as usize] = u;
+            let rm = m.mate[r as usize];
+            if rm == FREE {
+                endpoint = Some(r);
+                break 'search;
+            }
+            if !s.visited[rm as usize] {
+                s.visited[rm as usize] = true;
+                s.queue.push(rm);
+            }
+        }
+    }
+    let Some(mut right) = endpoint else {
+        return false; // no augmenting path: m is maximum
+    };
+    // Flip the alternating path back to its free left origin.
+    loop {
+        let left = s.parent[right as usize];
+        let next_right = m.mate[left as usize];
+        m.mate[right as usize] = left;
+        m.mate[left as usize] = right;
+        if next_right == FREE {
+            break; // reached the free left endpoint
+        }
+        right = next_right;
+    }
+    m.size += 1;
+    true
+}
+
 /// `FindMatching(G, M)` of Fig. 8: repeat a whole-graph BFS for one
 /// augmenting path and flip it, until no augmenting path exists. Left
 /// vertices are `0..n_left`. Returns the (maximum) matching.
@@ -65,59 +138,8 @@ pub fn find_matching<G: Graph>(g: &G, n_left: usize, initial: Matching) -> Match
     assert!(n_left <= n, "left side larger than the graph");
     assert_eq!(initial.mate.len(), n, "initial matching has wrong size");
     let mut m = initial;
-    // parent[r] = left vertex from which right vertex r was reached.
-    let mut parent = vec![FREE; n];
-    let mut visited = vec![false; n];
-    let mut queue: Vec<VertexId> = Vec::with_capacity(n_left);
-    loop {
-        // One BFS from ALL free left vertices over alternating paths
-        // (unmatched edges left -> right, matched edges right -> left).
-        visited.fill(false);
-        queue.clear();
-        for (u, &mate) in m.mate.iter().enumerate().take(n_left) {
-            if mate == FREE {
-                visited[u] = true;
-                queue.push(u as VertexId);
-            }
-        }
-        let mut head = 0;
-        let mut endpoint = None;
-        'search: while head < queue.len() {
-            let u = queue[head];
-            head += 1;
-            for (r, _) in g.neighbors(u) {
-                if visited[r as usize] {
-                    continue;
-                }
-                visited[r as usize] = true;
-                parent[r as usize] = u;
-                let rm = m.mate[r as usize];
-                if rm == FREE {
-                    endpoint = Some(r);
-                    break 'search;
-                }
-                if !visited[rm as usize] {
-                    visited[rm as usize] = true;
-                    queue.push(rm);
-                }
-            }
-        }
-        let Some(mut right) = endpoint else {
-            break; // no augmenting path: m is maximum
-        };
-        // Flip the alternating path back to its free left origin.
-        loop {
-            let left = parent[right as usize];
-            let next_right = m.mate[left as usize];
-            m.mate[right as usize] = left;
-            m.mate[left as usize] = right;
-            if next_right == FREE {
-                break; // reached the free left endpoint
-            }
-            right = next_right;
-        }
-        m.size += 1;
-    }
+    let mut scratch = AugmentScratch::new(n, n_left);
+    while augment_once(g, n_left, &mut m, &mut scratch) {}
     m
 }
 

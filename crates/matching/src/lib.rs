@@ -37,6 +37,7 @@
 //! ```
 
 mod augmenting;
+mod cancel;
 mod hopcroft_karp;
 pub mod instrumented;
 pub mod maxflow;
@@ -45,6 +46,7 @@ mod partitioned;
 pub mod verify;
 
 pub use augmenting::{find_matching, find_matching_fast, Matching};
+pub use cancel::{find_matching_cancellable, MatchCancelled};
 pub use hopcroft_karp::hopcroft_karp;
 pub use partitioned::{find_matching_partitioned, PartitionScheme};
 

@@ -272,6 +272,20 @@ pub fn bucket_of(v: u64) -> usize {
     (u64::BITS - v.leading_zeros()) as usize
 }
 
+/// Largest value bucket `i` can hold: 0, 1, 3, 7, …, `u64::MAX`.
+/// Inverse companion of [`bucket_of`]: for every `v`,
+/// `v <= bucket_upper_bound(bucket_of(v))`.
+#[inline]
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= HISTOGRAM_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
 impl Histogram {
     /// Record one observation.
     #[inline]
@@ -296,6 +310,38 @@ pub struct HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
+    /// The value at quantile `q` (clamped to `[0, 1]`), as the *upper
+    /// bound* of the bucket holding the rank-`ceil(q·count)`
+    /// observation. `None` when the histogram is empty.
+    ///
+    /// Power-of-two buckets quantize: bucket `i ≥ 1` covers
+    /// `[2^(i-1), 2^i - 1]`, and this returns `2^i - 1`. The true
+    /// quantile `v` satisfies `v ≤ percentile(q) ≤ 2·v - 1`, i.e. the
+    /// reported value overshoots by strictly less than 2x and never
+    /// undershoots. Buckets 0 and 1 (the values 0 and 1) are exact,
+    /// and the top bucket reports `u64::MAX`. Reports quoting these
+    /// percentiles (e.g. the serve load generator's p50/p99) inherit
+    /// the same ≤2x bucket-quantization error.
+    pub fn percentile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the requested observation, 1-based, at least 1 so
+        // q = 0 means "the smallest recorded value's bucket".
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= rank {
+                return Some(bucket_upper_bound(i));
+            }
+        }
+        // count says there are observations, but the buckets do not sum
+        // to it (a torn snapshot under relaxed loads): report the top.
+        Some(u64::MAX)
+    }
+
     /// Compact JSON: only buckets up to the last non-zero one.
     pub fn to_json(&self) -> Json {
         let last = self.buckets.iter().rposition(|&b| b != 0).map_or(0, |i| i + 1);
@@ -345,6 +391,104 @@ impl Snapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Build a snapshot holding exactly the given observed values.
+    fn hist_of(values: &[u64]) -> HistogramSnapshot {
+        let mut buckets = vec![0u64; HISTOGRAM_BUCKETS];
+        for &v in values {
+            buckets[bucket_of(v)] += 1;
+        }
+        HistogramSnapshot {
+            buckets,
+            count: values.len() as u64,
+            sum: values.iter().fold(0u64, |a, &v| a.wrapping_add(v)),
+        }
+    }
+
+    #[test]
+    fn percentile_of_empty_is_none() {
+        assert_eq!(hist_of(&[]).percentile(0.5), None);
+        assert_eq!(hist_of(&[]).percentile(0.99), None);
+    }
+
+    #[test]
+    fn percentile_is_exact_for_zero_and_one() {
+        // Buckets 0 and 1 hold a single value each: no quantization.
+        let h = hist_of(&[0, 0, 1, 1]);
+        assert_eq!(h.percentile(0.0), Some(0));
+        assert_eq!(h.percentile(0.5), Some(0));
+        assert_eq!(h.percentile(0.75), Some(1));
+        assert_eq!(h.percentile(1.0), Some(1));
+    }
+
+    #[test]
+    fn percentile_at_power_of_two_bucket_boundaries() {
+        // 2^k lands in bucket k+1, whose upper bound is 2^(k+1) - 1:
+        // the reported quantile overshoots by < 2x, never undershoots.
+        for k in [1u32, 2, 5, 16, 31, 62] {
+            let v = 1u64 << k;
+            let h = hist_of(&[v]);
+            let p = h.percentile(0.5).expect("non-empty");
+            assert!(p >= v, "2^{k}: reported {p} below true {v}");
+            assert!(p < v.saturating_mul(2), "2^{k}: reported {p} not within 2x of {v}");
+            // The boundary value 2^k - 1 sits one bucket lower and is
+            // reported exactly (it IS its bucket's upper bound).
+            assert_eq!(hist_of(&[v - 1]).percentile(0.5), Some(v - 1));
+        }
+    }
+
+    #[test]
+    fn percentile_top_bucket_reports_u64_max() {
+        let h = hist_of(&[u64::MAX]);
+        assert_eq!(h.percentile(0.5), Some(u64::MAX));
+        assert_eq!(h.percentile(1.0), Some(u64::MAX));
+        // 2^63 shares the top bucket: same (saturated) upper bound.
+        assert_eq!(hist_of(&[1u64 << 63]).percentile(0.5), Some(u64::MAX));
+    }
+
+    #[test]
+    fn percentile_ranks_split_a_mixed_distribution() {
+        // 90 fast (bucket of 3 = values 2..=3) + 10 slow (bucket of
+        // 1000 = values 512..=1023): p50 is fast, p99 slow.
+        let mut values = vec![3u64; 90];
+        values.extend(std::iter::repeat_n(1000u64, 10));
+        let h = hist_of(&values);
+        assert_eq!(h.percentile(0.5), Some(3));
+        assert_eq!(h.percentile(0.90), Some(3));
+        assert_eq!(h.percentile(0.91), Some(1023));
+        assert_eq!(h.percentile(0.99), Some(1023));
+    }
+
+    #[test]
+    fn percentile_agrees_with_recorded_histogram() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat");
+        for v in [0u64, 1, 2, 4, 8, 1 << 20, u64::MAX] {
+            h.record(v);
+        }
+        let snap = reg.snapshot();
+        let lat = &snap.histograms["lat"];
+        assert_eq!(lat.percentile(0.0), Some(0));
+        assert_eq!(lat.percentile(1.0), Some(u64::MAX));
+        let p50 = lat.percentile(0.5).expect("non-empty");
+        // The median observation (rank 4 of 7) is the value 4: its
+        // bucket's upper bound is 7.
+        assert!((4..8).contains(&p50), "median observation 4 quantized to {p50}");
+    }
+
+    #[test]
+    fn bucket_upper_bound_inverts_bucket_of() {
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1023, 1024, u64::MAX / 2, u64::MAX] {
+            let b = bucket_of(v);
+            let bound = bucket_upper_bound(b);
+            assert!(v <= bound, "value {v} above its bucket bound");
+            // < 2x tightness; the saturated top bucket is exempt.
+            if b < HISTOGRAM_BUCKETS - 1 {
+                assert!(bound < v.saturating_mul(2).max(1), "bound {bound} not tight for {v}");
+            }
+        }
+        assert_eq!(bucket_upper_bound(HISTOGRAM_BUCKETS - 1), u64::MAX);
+    }
 
     #[test]
     fn counters_accumulate_and_snapshot() {

@@ -1,0 +1,369 @@
+//! The query engine: a loaded graph plus precomputed cache-friendly
+//! artifacts, answering point-to-point queries with deadline
+//! propagation.
+//!
+//! At startup the engine builds (paper §2–§3 machinery end-to-end):
+//!
+//! * the graph as a CSR adjacency array (the cache-friendly
+//!   representation of §3.2);
+//! * for small instances (`n ≤ apsp_threshold`) an exact APSP table via
+//!   the BDL-tiled Floyd-Warshall of §3.1 — point-to-point distance
+//!   becomes one array read;
+//! * otherwise *landmark sketches*: forward and reverse Dijkstra trees
+//!   from a few evenly spaced landmarks, giving a triangle-inequality
+//!   upper bound per query. Sketches are advisory — queries are still
+//!   answered exactly by a target-pruned cancellable Dijkstra — but the
+//!   bound ships in the answer so clients can see how tight it was;
+//! * a companion bipartite graph for the `match` op, solved once (and
+//!   cached) by the cancellable Fig. 8 matcher.
+//!
+//! Every potentially long computation takes the caller's cancellation
+//! closure; the engine itself never looks at clocks or the
+//! observability layer — deadlines are the server's business,
+//! propagated down as a plain `FnMut() -> bool`.
+
+use cachegraph_fw::{fw_tiled_cancellable, FwMatrix};
+use cachegraph_graph::{generators, AdjacencyArray, EdgeListBuilder, Graph, VertexId, Weight, INF};
+use cachegraph_layout::BlockLayout;
+use cachegraph_matching::{find_matching_cancellable, Matching};
+use cachegraph_obs::Json;
+use cachegraph_sssp::dijkstra_to;
+use std::sync::Mutex;
+use std::sync::{MutexGuard, PoisonError};
+
+/// Survive a poisoned matching cache (a panicked worker must not take
+/// the engine down with it).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// How the engine's graph and artifacts are built.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Number of vertices in the generated graph.
+    pub n: usize,
+    /// Edge density of the generated graph.
+    pub density: f64,
+    /// Maximum edge weight.
+    pub max_weight: Weight,
+    /// Generator seed (the bipartite companion uses `seed + 1`).
+    pub seed: u64,
+    /// At or below this size, precompute the full APSP table with the
+    /// tiled Floyd-Warshall; above it, build landmark sketches instead.
+    pub apsp_threshold: usize,
+    /// Tile size for the APSP precompute.
+    pub tile: usize,
+    /// Number of landmarks when sketching.
+    pub landmarks: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            n: 256,
+            density: 0.05,
+            max_weight: 100,
+            seed: 42,
+            apsp_threshold: 128,
+            tile: 8,
+            landmarks: 8,
+        }
+    }
+}
+
+/// A vertex argument outside `0..n`, or the query's deadline expired.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueryError {
+    /// The deadline expired; the partial computation was discarded.
+    Cancelled,
+    /// A vertex id is out of range.
+    BadVertex {
+        /// The offending id.
+        v: VertexId,
+        /// The graph size it must be below.
+        n: usize,
+    },
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Cancelled => write!(f, "query cancelled"),
+            Self::BadVertex { v, n } => write!(f, "vertex {v} out of range (n = {n})"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// One landmark's precomputed distance sketches.
+struct Landmark {
+    /// `from[v]` = d(landmark -> v) in the original graph.
+    from: Vec<Weight>,
+    /// `to[v]` = d(v -> landmark), computed on the reversed graph.
+    to: Vec<Weight>,
+}
+
+/// The loaded graph and its precomputed artifacts. Shared across the
+/// worker pool behind an `Arc`; all query methods take `&self`.
+pub struct QueryEngine {
+    graph: AdjacencyArray,
+    n: usize,
+    /// Row-major exact APSP distances (small instances only).
+    apsp: Option<Vec<Weight>>,
+    landmarks: Vec<Landmark>,
+    bipartite: AdjacencyArray,
+    n_left: usize,
+    /// Memoised maximum-matching size for the companion graph.
+    matching_size: Mutex<Option<usize>>,
+}
+
+impl QueryEngine {
+    /// Build the engine: generate the graph, then precompute either the
+    /// APSP table (tiled FW, cancellable with a never-firing closure —
+    /// startup has no deadline) or landmark sketches.
+    pub fn build(cfg: &EngineConfig) -> Self {
+        let builder = generators::random_directed(cfg.n, cfg.density, cfg.max_weight, cfg.seed);
+        let graph = builder.build_array();
+        let (apsp, landmarks) = if cfg.n <= cfg.apsp_threshold {
+            (Some(Self::apsp_table(&builder, cfg)), Vec::new())
+        } else {
+            (None, Self::sketch(&builder, &graph, cfg))
+        };
+        let bip = generators::random_bipartite(cfg.n, cfg.density.max(0.02), cfg.seed + 1);
+        Self {
+            graph,
+            n: cfg.n,
+            apsp,
+            landmarks,
+            bipartite: bip.build_array(),
+            n_left: cfg.n / 2,
+            matching_size: Mutex::new(None),
+        }
+    }
+
+    /// Exact APSP via the tiled Floyd-Warshall on a block layout.
+    fn apsp_table(builder: &EdgeListBuilder, cfg: &EngineConfig) -> Vec<Weight> {
+        let n = cfg.n;
+        let mut costs = vec![INF; n * n];
+        for i in 0..n {
+            costs[i * n + i] = 0;
+        }
+        for e in builder.edges() {
+            let cell = &mut costs[e.from as usize * n + e.to as usize];
+            *cell = (*cell).min(e.weight);
+        }
+        let mut m = FwMatrix::from_costs(BlockLayout::new(n, cfg.tile), &costs);
+        fw_tiled_cancellable(&mut m, cfg.tile, &mut || false)
+            // tidy: allow(panic-policy) -- a never-firing closure cannot cancel
+            .expect("uncancellable precompute cannot be cancelled");
+        m.to_row_major()
+    }
+
+    /// Landmark sketches: forward trees on the graph, reverse trees on
+    /// the transposed graph, from `landmarks` evenly spaced vertices.
+    fn sketch(builder: &EdgeListBuilder, graph: &AdjacencyArray, cfg: &EngineConfig) -> Vec<Landmark> {
+        let n = cfg.n;
+        let k = cfg.landmarks.clamp(1, n);
+        let mut reversed = EdgeListBuilder::new(n);
+        for e in builder.edges() {
+            reversed.add(e.to, e.from, e.weight);
+        }
+        let rgraph = reversed.build_array();
+        let mut never = || false;
+        (0..k)
+            .map(|i| {
+                let l = (i * n / k) as VertexId;
+                // tidy: allow(panic-policy) -- never-firing closures cannot cancel
+                let from = dijkstra_to(graph, l, None, &mut never).expect("uncancellable").dist;
+                // tidy: allow(panic-policy) -- never-firing closures cannot cancel
+                let to = dijkstra_to(&rgraph, l, None, &mut never).expect("uncancellable").dist;
+                Landmark { from, to }
+            })
+            .collect()
+    }
+
+    /// Number of vertices served.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// True when the exact APSP table was precomputed.
+    pub fn has_apsp(&self) -> bool {
+        self.apsp.is_some()
+    }
+
+    fn check_vertex(&self, v: VertexId) -> Result<(), QueryError> {
+        if (v as usize) < self.n {
+            Ok(())
+        } else {
+            Err(QueryError::BadVertex { v, n: self.n })
+        }
+    }
+
+    /// Triangle-inequality upper bound from the sketches (`INF` when no
+    /// landmark connects the pair, or when no sketches were built).
+    fn estimate(&self, src: VertexId, dst: VertexId) -> Weight {
+        self.landmarks
+            .iter()
+            .map(|l| l.to[src as usize].saturating_add(l.from[dst as usize]))
+            .min()
+            .unwrap_or(INF)
+    }
+
+    /// Exact `src -> dst` distance: one table read when the APSP table
+    /// exists, otherwise a target-pruned cancellable Dijkstra.
+    pub fn distance(
+        &self,
+        src: VertexId,
+        dst: VertexId,
+        cancel: &mut impl FnMut() -> bool,
+    ) -> Result<Weight, QueryError> {
+        self.check_vertex(src)?;
+        self.check_vertex(dst)?;
+        if let Some(apsp) = &self.apsp {
+            return Ok(apsp[src as usize * self.n + dst as usize]);
+        }
+        let r = dijkstra_to(&self.graph, src, Some(dst), cancel)
+            .map_err(|_| QueryError::Cancelled)?;
+        Ok(r.dist[dst as usize])
+    }
+
+    /// The `path` answer payload: exact distance, reachability, and the
+    /// sketch estimate (so clients can see the bound's slack).
+    pub fn path(
+        &self,
+        src: VertexId,
+        dst: VertexId,
+        cancel: &mut impl FnMut() -> bool,
+    ) -> Result<Json, QueryError> {
+        let d = self.distance(src, dst, cancel)?;
+        let mut json = Json::obj().field("reachable", d != INF);
+        json = if d == INF { json.field("dist", Json::Null) } else { json.field("dist", u64::from(d)) };
+        if !self.landmarks.is_empty() {
+            let est = self.estimate(src, dst);
+            json = if est == INF {
+                json.field("estimate", Json::Null)
+            } else {
+                json.field("estimate", u64::from(est))
+            };
+        }
+        Ok(json)
+    }
+
+    /// The `reach` answer payload.
+    pub fn reach(
+        &self,
+        src: VertexId,
+        dst: VertexId,
+        cancel: &mut impl FnMut() -> bool,
+    ) -> Result<Json, QueryError> {
+        let d = self.distance(src, dst, cancel)?;
+        Ok(Json::obj().field("reachable", d != INF))
+    }
+
+    /// The `match` answer payload: maximum-matching size on the
+    /// companion bipartite graph. Computed once under the caller's
+    /// cancellation, then memoised.
+    pub fn matching(&self, cancel: &mut impl FnMut() -> bool) -> Result<Json, QueryError> {
+        if let Some(size) = *lock(&self.matching_size) {
+            return Ok(Self::match_json(size, self.n_left));
+        }
+        let n = self.bipartite.num_vertices();
+        let m = find_matching_cancellable(&self.bipartite, self.n_left, Matching::empty(n), cancel)
+            .map_err(|_| QueryError::Cancelled)?;
+        *lock(&self.matching_size) = Some(m.size);
+        Ok(Self::match_json(m.size, self.n_left))
+    }
+
+    fn match_json(size: usize, n_left: usize) -> Json {
+        Json::obj().field("matching_size", size as u64).field("n_left", n_left as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachegraph_matching::find_matching;
+    use cachegraph_sssp::dijkstra_binary_heap;
+
+    fn small_cfg() -> EngineConfig {
+        EngineConfig { n: 48, density: 0.08, seed: 7, ..EngineConfig::default() }
+    }
+
+    fn large_cfg() -> EngineConfig {
+        EngineConfig { n: 200, density: 0.04, seed: 7, apsp_threshold: 128, ..EngineConfig::default() }
+    }
+
+    #[test]
+    fn small_engine_uses_apsp_and_matches_dijkstra() {
+        let cfg = small_cfg();
+        let e = QueryEngine::build(&cfg);
+        assert!(e.has_apsp());
+        let g = generators::random_directed(cfg.n, cfg.density, cfg.max_weight, cfg.seed)
+            .build_array();
+        for src in [0u32, 5, 17] {
+            let plain = dijkstra_binary_heap(&g, src);
+            for dst in 0..cfg.n as u32 {
+                let d = e.distance(src, dst, &mut || false).expect("not cancelled");
+                assert_eq!(d, plain.dist[dst as usize], "{src} -> {dst}");
+            }
+        }
+    }
+
+    #[test]
+    fn large_engine_answers_exactly_with_sketch_upper_bound() {
+        let cfg = large_cfg();
+        let e = QueryEngine::build(&cfg);
+        assert!(!e.has_apsp());
+        let g = generators::random_directed(cfg.n, cfg.density, cfg.max_weight, cfg.seed)
+            .build_array();
+        let plain = dijkstra_binary_heap(&g, 3);
+        for dst in [0u32, 50, 120, 199] {
+            let d = e.distance(3, dst, &mut || false).expect("not cancelled");
+            assert_eq!(d, plain.dist[dst as usize], "3 -> {dst}");
+            // The sketch estimate is an upper bound on the true distance.
+            let est = e.estimate(3, dst);
+            assert!(est >= d, "estimate {est} below true distance {d}");
+        }
+    }
+
+    #[test]
+    fn cancellation_propagates_from_distance_queries() {
+        let cfg = large_cfg();
+        let e = QueryEngine::build(&cfg);
+        let r = e.distance(0, 199, &mut || true);
+        assert_eq!(r, Err(QueryError::Cancelled));
+    }
+
+    #[test]
+    fn bad_vertices_are_rejected_not_panicked() {
+        let e = QueryEngine::build(&small_cfg());
+        let r = e.distance(0, 9999, &mut || false);
+        assert_eq!(r, Err(QueryError::BadVertex { v: 9999, n: 48 }));
+        assert!(r.unwrap_err().to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn matching_is_memoised_and_agrees_with_direct_solver() {
+        let cfg = small_cfg();
+        let e = QueryEngine::build(&cfg);
+        let b = generators::random_bipartite(cfg.n, cfg.density.max(0.02), cfg.seed + 1);
+        let g = b.build_array();
+        let direct = find_matching(&g, cfg.n / 2, Matching::empty(cfg.n));
+        let first = e.matching(&mut || false).expect("not cancelled");
+        assert_eq!(first.get("matching_size").and_then(Json::as_u64), Some(direct.size as u64));
+        // Second call hits the memo: a cancel-everything closure cannot
+        // touch it any more.
+        let second = e.matching(&mut || true).expect("memoised");
+        assert_eq!(second.get("matching_size"), first.get("matching_size"));
+    }
+
+    #[test]
+    fn path_payload_shape() {
+        let e = QueryEngine::build(&small_cfg());
+        let p = e.path(0, 1, &mut || false).expect("ok");
+        assert!(p.get("reachable").is_some());
+        assert!(p.get("dist").is_some());
+    }
+}

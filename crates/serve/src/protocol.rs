@@ -1,0 +1,442 @@
+//! The wire protocol: length-prefixed JSON frames and the request /
+//! response vocabulary.
+//!
+//! A frame is a 4-byte big-endian payload length followed by that many
+//! bytes of UTF-8 JSON (the same hand-rolled [`Json`] the report schema
+//! uses). The length prefix is capped at [`MAX_FRAME`]: a peer claiming
+//! more is rejected *before* any allocation, so a hostile or corrupted
+//! prefix can neither balloon memory nor stall a worker. Every
+//! malformed input — truncation, bit flips, bad UTF-8, junk JSON,
+//! unknown ops — decodes to a structured [`WireError`] / `BAD_REQUEST`,
+//! never a panic or a hang (see `tests/harden.rs` for the seeded
+//! corruption sweep).
+
+use std::io::{Read, Write};
+
+use cachegraph_obs::{parse_json, Json};
+
+/// Hard cap on a frame's payload length (1 MiB). Chosen far above any
+/// legitimate request or response this protocol produces.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Why a frame could not be read, written, or decoded. Every variant is
+/// a protocol-level fact the client can act on (retry, re-frame, give
+/// up) — corruption is data, not a crash.
+#[derive(Debug)]
+pub enum WireError {
+    /// The 4-byte length prefix itself was cut short.
+    ShortPrefix {
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// The prefix claims more than [`MAX_FRAME`] bytes.
+    FrameTooLarge {
+        /// Claimed payload length.
+        claimed: usize,
+    },
+    /// The payload ended before the prefix said it would (a torn frame:
+    /// the peer died or the connection was cut mid-response).
+    Torn {
+        /// Bytes actually present after the prefix.
+        got: usize,
+        /// Bytes the prefix promised.
+        want: usize,
+    },
+    /// Payload bytes are not valid UTF-8.
+    BadUtf8,
+    /// Payload text is not valid JSON.
+    BadJson(String),
+    /// The JSON document is not a valid request/response shape.
+    BadShape(String),
+    /// The socket read or write failed (includes read timeouts).
+    Io(std::io::ErrorKind),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::ShortPrefix { got } => write!(f, "length prefix truncated ({got}/4 bytes)"),
+            Self::FrameTooLarge { claimed } => {
+                write!(f, "frame claims {claimed} bytes (cap {MAX_FRAME})")
+            }
+            Self::Torn { got, want } => write!(f, "torn frame: {got}/{want} payload bytes"),
+            Self::BadUtf8 => write!(f, "frame payload is not UTF-8"),
+            Self::BadJson(e) => write!(f, "frame payload is not JSON: {e}"),
+            Self::BadShape(e) => write!(f, "malformed message: {e}"),
+            Self::Io(kind) => write!(f, "socket error: {kind:?}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl WireError {
+    /// True when a client should retry the request on a fresh
+    /// connection: the response was cut mid-frame (server killed the
+    /// stream) or the socket failed outright.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, Self::Torn { .. } | Self::ShortPrefix { .. } | Self::Io(_))
+    }
+}
+
+/// Encode `payload` as one frame (prefix + JSON bytes).
+pub fn encode_frame(payload: &Json) -> Vec<u8> {
+    let body = payload.render().into_bytes();
+    let mut out = Vec::with_capacity(4 + body.len());
+    out.extend_from_slice(&(body.len() as u32).to_be_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Decode one frame from the front of `bytes`, returning the payload
+/// and the number of bytes consumed. Pure — this is the function the
+/// corruption suite sweeps.
+pub fn decode_frame(bytes: &[u8]) -> Result<(Json, usize), WireError> {
+    if bytes.len() < 4 {
+        return Err(WireError::ShortPrefix { got: bytes.len() });
+    }
+    let claimed = u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
+    if claimed > MAX_FRAME {
+        return Err(WireError::FrameTooLarge { claimed });
+    }
+    let body = &bytes[4..];
+    if body.len() < claimed {
+        return Err(WireError::Torn { got: body.len(), want: claimed });
+    }
+    let text = std::str::from_utf8(&body[..claimed]).map_err(|_| WireError::BadUtf8)?;
+    let json = parse_json(text).map_err(|e| WireError::BadJson(e.to_string()))?;
+    Ok((json, 4 + claimed))
+}
+
+/// Read one frame from `r`. The length prefix is validated against
+/// [`MAX_FRAME`] before the payload buffer is allocated; a read timeout
+/// set on the socket surfaces as `WireError::Io(TimedOut/WouldBlock)`,
+/// so a stalled peer can never hang a worker forever.
+pub fn read_frame(r: &mut impl Read) -> Result<Json, WireError> {
+    let mut prefix = [0u8; 4];
+    read_exact_counted(r, &mut prefix).map_err(|got| match got {
+        Ok(n) => WireError::ShortPrefix { got: n },
+        Err(kind) => WireError::Io(kind),
+    })?;
+    let claimed = u32::from_be_bytes(prefix) as usize;
+    if claimed > MAX_FRAME {
+        return Err(WireError::FrameTooLarge { claimed });
+    }
+    let mut body = vec![0u8; claimed];
+    read_exact_counted(r, &mut body).map_err(|got| match got {
+        Ok(n) => WireError::Torn { got: n, want: claimed },
+        Err(kind) => WireError::Io(kind),
+    })?;
+    let text = std::str::from_utf8(&body).map_err(|_| WireError::BadUtf8)?;
+    parse_json(text).map_err(|e| WireError::BadJson(e.to_string()))
+}
+
+/// `read_exact` that reports how many bytes arrived before EOF, so a
+/// torn frame can say `got/want` instead of a generic error. Timeouts
+/// and other socket errors pass through as their `ErrorKind`.
+fn read_exact_counted(
+    r: &mut impl Read,
+    buf: &mut [u8],
+) -> Result<(), Result<usize, std::io::ErrorKind>> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => return Err(Ok(filled)),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(Err(e.kind())),
+        }
+    }
+    Ok(())
+}
+
+/// Write one frame to `w`.
+pub fn write_frame(w: &mut impl Write, payload: &Json) -> Result<(), WireError> {
+    let bytes = encode_frame(payload);
+    w.write_all(&bytes).map_err(|e| WireError::Io(e.kind()))?;
+    w.flush().map_err(|e| WireError::Io(e.kind()))
+}
+
+/// The query vocabulary. Fault plans key on [`Op::name`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Point-to-point shortest path: `src`, `dst`.
+    Path,
+    /// Point-to-point reachability: `src`, `dst`.
+    Reach,
+    /// Maximum bipartite matching size on the companion bipartite graph.
+    Match,
+    /// Metrics snapshot as a schema-v4 report document.
+    Metrics,
+    /// Liveness / readiness probe.
+    Health,
+    /// Graceful shutdown: stop accepting, drain, flush final report.
+    Shutdown,
+}
+
+impl Op {
+    /// Wire / fault-plan name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Path => "path",
+            Self::Reach => "reach",
+            Self::Match => "match",
+            Self::Metrics => "metrics",
+            Self::Health => "health",
+            Self::Shutdown => "shutdown",
+        }
+    }
+
+    /// Parse a wire name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "path" => Some(Self::Path),
+            "reach" => Some(Self::Reach),
+            "match" => Some(Self::Match),
+            "metrics" => Some(Self::Metrics),
+            "health" => Some(Self::Health),
+            "shutdown" => Some(Self::Shutdown),
+            _ => None,
+        }
+    }
+}
+
+/// One request frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// What to do.
+    pub op: Op,
+    /// Source vertex (path / reach).
+    pub src: u32,
+    /// Destination vertex (path / reach).
+    pub dst: u32,
+    /// Per-request deadline in milliseconds, measured from admission;
+    /// `None` uses the server default.
+    pub deadline_ms: Option<u64>,
+}
+
+impl Request {
+    /// A path query.
+    pub fn path(src: u32, dst: u32) -> Self {
+        Self { op: Op::Path, src, dst, deadline_ms: None }
+    }
+
+    /// A reachability query.
+    pub fn reach(src: u32, dst: u32) -> Self {
+        Self { op: Op::Reach, src, dst, deadline_ms: None }
+    }
+
+    /// An operation without vertex arguments.
+    pub fn plain(op: Op) -> Self {
+        Self { op, src: 0, dst: 0, deadline_ms: None }
+    }
+
+    /// Attach an explicit deadline.
+    pub fn with_deadline_ms(mut self, ms: u64) -> Self {
+        self.deadline_ms = Some(ms);
+        self
+    }
+
+    /// The request as a frame payload.
+    pub fn to_json(&self) -> Json {
+        let mut json = Json::obj().field("op", self.op.name());
+        if matches!(self.op, Op::Path | Op::Reach) {
+            json = json.field("src", u64::from(self.src)).field("dst", u64::from(self.dst));
+        }
+        if let Some(ms) = self.deadline_ms {
+            json = json.field("deadline_ms", ms);
+        }
+        json
+    }
+
+    /// Parse a frame payload back into a request. Any missing or
+    /// out-of-range field is a [`WireError::BadShape`] — the server
+    /// answers `BAD_REQUEST` and stays up.
+    pub fn from_json(json: &Json) -> Result<Self, WireError> {
+        let op_name = json
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or_else(|| WireError::BadShape("missing `op`".to_string()))?;
+        let op = Op::parse(op_name)
+            .ok_or_else(|| WireError::BadShape(format!("unknown op '{op_name}'")))?;
+        let vertex = |key: &str| -> Result<u32, WireError> {
+            let v = json
+                .get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| WireError::BadShape(format!("missing `{key}`")))?;
+            u32::try_from(v).map_err(|_| WireError::BadShape(format!("`{key}` out of range")))
+        };
+        let (src, dst) = if matches!(op, Op::Path | Op::Reach) {
+            (vertex("src")?, vertex("dst")?)
+        } else {
+            (0, 0)
+        };
+        let deadline_ms = match json.get("deadline_ms") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(
+                v.as_u64().ok_or_else(|| WireError::BadShape("bad `deadline_ms`".to_string()))?,
+            ),
+        };
+        Ok(Self { op, src, dst, deadline_ms })
+    }
+}
+
+/// One response frame. The `status` field is the taxonomy the chaos
+/// suite asserts on; `OK` carries an op-specific `data` object.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Success, with the answer payload.
+    Ok(Json),
+    /// Shed at admission: the queue is past its high watermark. Retry
+    /// after the hinted backoff.
+    Busy {
+        /// Server's backoff hint in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The deadline expired before (or while) the query ran.
+    DeadlineExceeded,
+    /// The handler panicked; the request is poisoned, the server lives.
+    Internal(String),
+    /// The request frame did not parse into a valid request.
+    BadRequest(String),
+    /// The server is draining and accepts no new work.
+    ShuttingDown,
+}
+
+impl Response {
+    /// Wire status string.
+    pub fn status(&self) -> &'static str {
+        match self {
+            Self::Ok(_) => "OK",
+            Self::Busy { .. } => "BUSY",
+            Self::DeadlineExceeded => "DEADLINE_EXCEEDED",
+            Self::Internal(_) => "INTERNAL",
+            Self::BadRequest(_) => "BAD_REQUEST",
+            Self::ShuttingDown => "SHUTTING_DOWN",
+        }
+    }
+
+    /// The response as a frame payload.
+    pub fn to_json(&self) -> Json {
+        let json = Json::obj().field("status", self.status());
+        match self {
+            Self::Ok(data) => json.field("data", data.clone()),
+            Self::Busy { retry_after_ms } => json.field("retry_after_ms", *retry_after_ms),
+            Self::Internal(reason) | Self::BadRequest(reason) => {
+                json.field("reason", reason.as_str())
+            }
+            Self::DeadlineExceeded | Self::ShuttingDown => json,
+        }
+    }
+
+    /// Parse a frame payload back into a response.
+    pub fn from_json(json: &Json) -> Result<Self, WireError> {
+        let status = json
+            .get("status")
+            .and_then(Json::as_str)
+            .ok_or_else(|| WireError::BadShape("missing `status`".to_string()))?;
+        let reason = || {
+            json.get("reason").and_then(Json::as_str).unwrap_or("(no reason given)").to_string()
+        };
+        match status {
+            "OK" => Ok(Self::Ok(json.get("data").cloned().unwrap_or_else(Json::obj))),
+            "BUSY" => Ok(Self::Busy {
+                retry_after_ms: json.get("retry_after_ms").and_then(Json::as_u64).unwrap_or(1),
+            }),
+            "DEADLINE_EXCEEDED" => Ok(Self::DeadlineExceeded),
+            "INTERNAL" => Ok(Self::Internal(reason())),
+            "BAD_REQUEST" => Ok(Self::BadRequest(reason())),
+            "SHUTTING_DOWN" => Ok(Self::ShuttingDown),
+            other => Err(WireError::BadShape(format!("unknown status '{other}'"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trips() {
+        let payload = Request::path(3, 9).with_deadline_ms(250).to_json();
+        let bytes = encode_frame(&payload);
+        let (back, used) = decode_frame(&bytes).expect("decodes");
+        assert_eq!(used, bytes.len());
+        assert_eq!(Request::from_json(&back).expect("request"), Request::path(3, 9).with_deadline_ms(250));
+    }
+
+    #[test]
+    fn oversized_prefix_is_rejected_before_allocation() {
+        let mut bytes = encode_frame(&Json::obj());
+        bytes[0] = 0xFF; // claim ~4 GiB
+        assert!(matches!(decode_frame(&bytes), Err(WireError::FrameTooLarge { .. })));
+        // The streaming reader agrees.
+        let mut cursor = std::io::Cursor::new(bytes);
+        assert!(matches!(read_frame(&mut cursor), Err(WireError::FrameTooLarge { .. })));
+    }
+
+    #[test]
+    fn torn_frame_reports_got_and_want() {
+        let bytes = encode_frame(&Request::plain(Op::Health).to_json());
+        let cut = &bytes[..bytes.len() - 3];
+        match decode_frame(cut) {
+            Err(WireError::Torn { got, want }) => assert_eq!(got + 3, want),
+            other => unreachable!("expected torn, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_op_round_trips() {
+        for op in [Op::Path, Op::Reach, Op::Match, Op::Metrics, Op::Health, Op::Shutdown] {
+            assert_eq!(Op::parse(op.name()), Some(op));
+            let req = if matches!(op, Op::Path | Op::Reach) {
+                Request { op, src: 1, dst: 2, deadline_ms: Some(9) }
+            } else {
+                Request::plain(op)
+            };
+            let back = Request::from_json(&req.to_json()).expect("round trip");
+            assert_eq!(back, req);
+        }
+        assert_eq!(Op::parse("frobnicate"), None);
+    }
+
+    #[test]
+    fn every_response_round_trips() {
+        let responses = [
+            Response::Ok(Json::obj().field("dist", 7u64)),
+            Response::Busy { retry_after_ms: 12 },
+            Response::DeadlineExceeded,
+            Response::Internal("handler panicked".to_string()),
+            Response::BadRequest("missing `op`".to_string()),
+            Response::ShuttingDown,
+        ];
+        for resp in responses {
+            let back = Response::from_json(&resp.to_json()).expect("round trip");
+            assert_eq!(back, resp);
+        }
+    }
+
+    #[test]
+    fn bad_shapes_are_structured_errors() {
+        for text in [
+            "{}",
+            r#"{"op": "warp"}"#,
+            r#"{"op": "path"}"#,
+            r#"{"op": "path", "src": 1, "dst": 99999999999}"#,
+            r#"{"op": "path", "src": 1, "dst": 2, "deadline_ms": "soon"}"#,
+        ] {
+            let json = cachegraph_obs::parse_json(text).expect("valid JSON");
+            assert!(matches!(Request::from_json(&json), Err(WireError::BadShape(_))), "{text}");
+        }
+        let no_status = cachegraph_obs::parse_json("{}").expect("json");
+        assert!(matches!(Response::from_json(&no_status), Err(WireError::BadShape(_))));
+    }
+
+    #[test]
+    fn retryable_classification() {
+        assert!(WireError::Torn { got: 0, want: 4 }.is_retryable());
+        assert!(WireError::Io(std::io::ErrorKind::ConnectionReset).is_retryable());
+        assert!(!WireError::BadJson("x".to_string()).is_retryable());
+        assert!(!WireError::FrameTooLarge { claimed: usize::MAX }.is_retryable());
+    }
+}

@@ -26,6 +26,7 @@
 //! ```
 
 mod bellman_ford;
+mod cancel;
 mod dense_dijkstra;
 mod dijkstra;
 pub mod instrumented;
@@ -35,6 +36,9 @@ mod prim;
 mod traversal;
 
 pub use bellman_ford::bellman_ford;
+pub use cancel::{
+    dijkstra_cancellable, dijkstra_to, distance_to, Cancelled, CANCEL_CHECK_INTERVAL,
+};
 pub use dense_dijkstra::dijkstra_dense;
 pub use dijkstra::{apsp_dijkstra, dijkstra, dijkstra_binary_heap, SsspResult};
 pub use lazy_dijkstra::{dijkstra_lazy, dijkstra_lazy_sequence};

@@ -1,0 +1,15 @@
+// tidy: kernel
+
+/// The cancellation pattern the solvers use: kernel code polls a
+/// generic `FnMut() -> bool` hook at check intervals and never names
+/// cachegraph_obs — the caller (a server deadline, a test harness)
+/// decides what the poll means.
+pub fn relax_all(dist: &mut [u64], cancel: &mut impl FnMut() -> bool) -> bool {
+    for d in dist.iter_mut() {
+        if cancel() {
+            return false;
+        }
+        *d = d.wrapping_add(1);
+    }
+    true
+}

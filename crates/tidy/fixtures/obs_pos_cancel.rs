@@ -1,0 +1,20 @@
+// tidy: kernel
+
+/// A cancellation closure that polls the metrics registry from inside
+/// kernel code: the `cachegraph_obs` references must be flagged even
+/// though they only appear in the closure the loop captures.
+pub fn relax_all(dist: &mut [u64]) -> bool {
+    let registry = cachegraph_obs::Registry::new();
+    let polls = registry.counter("cancel.polls");
+    let mut cancel = || {
+        polls.incr();
+        false
+    };
+    for d in dist.iter_mut() {
+        if cancel() {
+            return false;
+        }
+        *d = d.wrapping_add(1);
+    }
+    true
+}

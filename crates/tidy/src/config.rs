@@ -31,6 +31,7 @@ pub const DEPENDENCY_ALLOWLIST: &[&str] = &[
     "cachegraph-check",
     "cachegraph-lex",
     "cachegraph-analyze",
+    "cachegraph-serve",
 ];
 
 /// Marker comment opting a file into the kernel-purity, obs-purity and

@@ -318,6 +318,25 @@ fn obs_flags_registry_reference_inside_event_callback() {
 }
 
 #[test]
+fn obs_flags_registry_reference_inside_cancel_closure() {
+    // A cancellation closure is still kernel code: polling a registry
+    // counter from inside it must be flagged.
+    let sf = lib_file(include_str!("../fixtures/obs_pos_cancel.rs"));
+    let diags = rules::obs_purity::check(&sf);
+    assert_eq!(rules_of(&diags), ["obs-purity"]);
+    assert_eq!(diags[0].line, 7, "the qualified path inside the function body");
+}
+
+#[test]
+fn obs_accepts_generic_cancel_hook_pattern() {
+    // The cancellation style the solvers' `_cancellable` variants use:
+    // kernel code polls a plain `FnMut() -> bool` and never names
+    // cachegraph_obs; the deadline lives with the caller.
+    let sf = lib_file(include_str!("../fixtures/obs_neg_cancel.rs"));
+    assert!(rules::obs_purity::check(&sf).is_empty());
+}
+
+#[test]
 fn obs_accepts_generic_event_hook_pattern() {
     // The event-callback style the hierarchy's profiler hooks use:
     // kernel code emits plain enum events through a generic FnMut and
