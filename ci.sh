@@ -31,7 +31,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> obs overhead gate (enabled-path budgets, release, 3-trial median)"
 # Profiled simulation vs the classifying no-profiler baseline on the FW
 # tiled unit: exact-event mode must stay within 1.15x, sampled 1/64
-# mode within 1.05x. The bench exits nonzero on a breach.
+# mode within 1.05x. The traced serve path (request tracing on vs off,
+# order-balanced ABBA blocks over the request loop) must stay within
+# 1.10x. The bench exits nonzero on a breach.
 cargo bench -q -p cachegraph-bench --bench obs_overhead -- --gate
 
 echo "==> repro --quick perf smoke (metrics -> target/ci-metrics)"
@@ -39,7 +41,7 @@ mkdir -p target/ci-metrics
 cargo run -q --release -p cachegraph-cli --bin cachegraph -- \
   repro --quick --metrics target/ci-metrics/repro_quick.json \
   > target/ci-metrics/repro_quick.txt
-grep -q '"schema_version":4' target/ci-metrics/repro_quick.json
+grep -q '"schema_version":5' target/ci-metrics/repro_quick.json
 
 echo "==> resume smoke (kill mid-run, resume from journal)"
 rm -f target/ci-metrics/resume.jsonl
@@ -56,7 +58,7 @@ cargo run -q --release -p cachegraph-cli --bin cachegraph -- \
   repro --quick --resume target/ci-metrics/resume.jsonl \
   --metrics target/ci-metrics/resume_merged.json \
   > target/ci-metrics/resume_resumed.txt
-grep -q '"schema_version":4' target/ci-metrics/resume_merged.json
+grep -q '"schema_version":5' target/ci-metrics/resume_merged.json
 grep -q 'restored from journal' target/ci-metrics/resume_resumed.txt
 cargo run -q --release -p cachegraph-cli --bin cachegraph -- \
   compare target/ci-metrics/resume_merged.json target/ci-metrics/repro_quick.json \
@@ -66,7 +68,8 @@ echo "==> serve chaos smoke (faults + 4x overload burst, graceful drain)"
 # A real serve daemon with one-shot panic/hang/kill faults armed and a
 # small queue, hammered by a 4x closed-loop burst: loadgen must converge
 # (exit 0) with nonzero shed and retry counters in its report, and the
-# shutdown op must drain the server to exit 0 with a parseable v4 report.
+# shutdown op must drain the server to exit 0 with a parseable v5 report
+# whose flight recorder survived the injected panic.
 rm -f target/ci-metrics/serve.port
 cargo run -q --release -p cachegraph-cli --bin cachegraph -- \
   serve --gen-n 48 --density 0.1 --seed 5 \
@@ -86,7 +89,7 @@ cargo run -q --release -p cachegraph-cli --bin cachegraph -- \
   --clients 8 --requests 25 --seed 42 --max-retries 40 --backoff-ms 1 \
   --metrics target/ci-metrics/loadgen.json \
   > target/ci-metrics/loadgen.txt
-grep -q '"schema_version":4' target/ci-metrics/loadgen.json
+grep -q '"schema_version":5' target/ci-metrics/loadgen.json
 grep -q '"ok":200' target/ci-metrics/loadgen.json
 grep -q '"shed":0' target/ci-metrics/loadgen.json \
   && { echo "ci: 4x overload burst did not shed"; exit 1; } || true
@@ -95,7 +98,14 @@ grep -q '"retries":0' target/ci-metrics/loadgen.json \
 cargo run -q --release -p cachegraph-cli --bin cachegraph -- \
   query --port-file target/ci-metrics/serve.port --op shutdown > /dev/null
 wait "$serve_pid"
-grep -q '"schema_version":4' target/ci-metrics/serve_final.json
+grep -q '"schema_version":5' target/ci-metrics/serve_final.json
 grep -q 'drained: ok' target/ci-metrics/serve.txt
+# The panicked request's partial trace is in the final report's flight
+# recorder, and the trace subcommand renders it to a waterfall.
+grep -q '"outcome":"INTERNAL"' target/ci-metrics/serve_final.json
+cargo run -q --release -p cachegraph-cli --bin cachegraph -- \
+  trace target/ci-metrics/serve_final.json > target/ci-metrics/trace.txt
+grep -q 'segment percentiles over' target/ci-metrics/trace.txt
+grep -q 'waterfall' target/ci-metrics/trace.txt
 
 echo "ci: all green"

@@ -21,8 +21,17 @@
 //! `SHUTTING_DOWN` never retry. Every counter the chaos suite asserts
 //! on (ok / shed / retries / deadline / internal / torn / exhausted)
 //! is tallied in a shared [`Registry`], and client-observed latency
-//! lands in a pow2 histogram whose `percentile` upper bounds carry the
+//! lands in pow2 histograms whose `percentile` upper bounds carry the
 //! documented <2x quantization error.
+//!
+//! Latency is recorded **per outcome class** (ok / shed / deadline) as
+//! well as overall: a `BUSY` answer returns in microseconds while a
+//! completed query takes milliseconds, so mixing them makes the OK
+//! percentiles look better than any user's experience. The headline
+//! `p50/p90/p99` are the OK-class numbers. After the run, one `stats`
+//! probe captures the server's own latency percentiles and queue
+//! watermark in the same experiment section, so a report reader can
+//! correlate client-observed latency with the server's segment sums.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
@@ -90,29 +99,55 @@ pub struct LoadgenResult {
     pub bad_request: u64,
     /// Requests answered `SHUTTING_DOWN` (never retried).
     pub shutting_down: u64,
-    /// Client-observed enqueue-to-answer latency of successes (ns).
+    /// Client-observed latency of every classified attempt (ns),
+    /// all outcome classes mixed.
     pub latency: HistogramSnapshot,
+    /// Latency of successful (`OK`) attempts only — the class the
+    /// headline percentiles report.
+    pub latency_ok: HistogramSnapshot,
+    /// Latency of shed (`BUSY`) attempts only.
+    pub latency_shed: HistogramSnapshot,
+    /// Latency of `DEADLINE_EXCEEDED` attempts only.
+    pub latency_deadline: HistogramSnapshot,
+    /// The server's `stats` answer probed once after the run (absent
+    /// when the server was already gone or predates the `stats` op).
+    pub server_stats: Option<Json>,
 }
 
 impl LoadgenResult {
-    /// p50 latency in nanoseconds (bucket upper bound; 0 if no data).
+    /// p50 OK-attempt latency in nanoseconds (bucket upper bound; 0 if
+    /// no data).
     pub fn p50_ns(&self) -> u64 {
-        self.latency.percentile(0.50).unwrap_or(0)
+        self.latency_ok.percentile(0.50).unwrap_or(0)
     }
 
-    /// p90 latency in nanoseconds.
+    /// p90 OK-attempt latency in nanoseconds.
     pub fn p90_ns(&self) -> u64 {
-        self.latency.percentile(0.90).unwrap_or(0)
+        self.latency_ok.percentile(0.90).unwrap_or(0)
     }
 
-    /// p99 latency in nanoseconds.
+    /// p99 OK-attempt latency in nanoseconds.
     pub fn p99_ns(&self) -> u64 {
-        self.latency.percentile(0.99).unwrap_or(0)
+        self.latency_ok.percentile(0.99).unwrap_or(0)
     }
 
-    /// The `experiments` entry for the schema-v4 report.
-    pub fn to_experiment_json(&self, cfg: &LoadgenConfig) -> Json {
+    /// One outcome class as `{count, p50_ns, p90_ns, p99_ns, latency}`.
+    fn class_json(h: &HistogramSnapshot) -> Json {
         Json::obj()
+            .field("count", h.count)
+            .field("p50_ns", h.percentile(0.50).unwrap_or(0))
+            .field("p90_ns", h.percentile(0.90).unwrap_or(0))
+            .field("p99_ns", h.percentile(0.99).unwrap_or(0))
+            .field("latency", h.to_json())
+    }
+
+    /// The `experiments` entry for the schema-versioned report.
+    pub fn to_experiment_json(&self, cfg: &LoadgenConfig) -> Json {
+        let by_class = Json::obj()
+            .field("ok", Self::class_json(&self.latency_ok))
+            .field("shed", Self::class_json(&self.latency_shed))
+            .field("deadline", Self::class_json(&self.latency_deadline));
+        let mut json = Json::obj()
             .field("name", "serve.loadgen")
             .field("mode", if cfg.think_mean_ms == 0 { "closed" } else { "open" })
             .field("clients", cfg.clients)
@@ -131,6 +166,11 @@ impl LoadgenResult {
             .field("p90_ns", self.p90_ns())
             .field("p99_ns", self.p99_ns())
             .field("latency", self.latency.to_json())
+            .field("latency_by_class", by_class);
+        if let Some(server) = &self.server_stats {
+            json = json.field("server", server.clone());
+        }
+        json
     }
 }
 
@@ -168,8 +208,20 @@ pub fn run_loadgen(port: u16, cfg: &LoadgenConfig) -> Result<LoadgenResult, Wire
             });
         }
     });
+    // One correlation probe after the run: the server's own view of
+    // the same interval (its latency percentiles come from segment
+    // sums, so client-vs-server skew is queue + network, not mystery).
+    let server_stats = if server_gone.load(Ordering::Relaxed) {
+        None
+    } else {
+        match request_once(port, &Request::plain(Op::Stats), cfg.timeout_ms) {
+            Ok(Response::Ok(stats)) => Some(stats),
+            _ => None,
+        }
+    };
     let snap = reg.snapshot();
     let c = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    let h = |name: &str| snap.histograms.get(name).cloned().unwrap_or_default();
     Ok(LoadgenResult {
         ok: c("loadgen.ok"),
         shed: c("loadgen.shed"),
@@ -180,7 +232,11 @@ pub fn run_loadgen(port: u16, cfg: &LoadgenConfig) -> Result<LoadgenResult, Wire
         exhausted: c("loadgen.exhausted"),
         bad_request: c("loadgen.bad_request"),
         shutting_down: c("loadgen.shutting_down"),
-        latency: snap.histograms.get("loadgen.latency_ns").cloned().unwrap_or_default(),
+        latency: h("loadgen.latency_ns"),
+        latency_ok: h("loadgen.latency_ok_ns"),
+        latency_shed: h("loadgen.latency_shed_ns"),
+        latency_deadline: h("loadgen.latency_deadline_ns"),
+        server_stats,
     })
 }
 
@@ -203,6 +259,9 @@ fn client_loop(
     let bad_request = reg.counter("loadgen.bad_request");
     let shutting_down = reg.counter("loadgen.shutting_down");
     let latency = reg.histogram("loadgen.latency_ns");
+    let latency_ok = reg.histogram("loadgen.latency_ok_ns");
+    let latency_shed = reg.histogram("loadgen.latency_shed_ns");
+    let latency_deadline = reg.histogram("loadgen.latency_deadline_ns");
 
     for _ in 0..cfg.requests_per_client {
         if server_gone.load(Ordering::Relaxed) {
@@ -216,23 +275,34 @@ fn client_loop(
         let mut resolved = false;
         for attempt in 0..=cfg.max_retries {
             let started = std::time::Instant::now();
-            let outcome = match request_once(port, &req, cfg.timeout_ms) {
+            let attempt_result = request_once(port, &req, cfg.timeout_ms);
+            // Attempt latency, not request latency: each retry is its
+            // own sample in its own outcome class, so a BUSY that
+            // returned in microseconds never pollutes the OK numbers.
+            let attempt_ns = started.elapsed().as_nanos() as u64;
+            let outcome = match attempt_result {
                 Ok(Response::Ok(_)) => {
                     ok.incr();
-                    latency.record(started.elapsed().as_nanos() as u64);
+                    latency.record(attempt_ns);
+                    latency_ok.record(attempt_ns);
                     Attempt::Done
                 }
                 Ok(Response::Busy { retry_after_ms }) => {
                     shed.incr();
+                    latency.record(attempt_ns);
+                    latency_shed.record(attempt_ns);
                     backoff_ms = backoff_ms.max(retry_after_ms);
                     Attempt::Retry
                 }
                 Ok(Response::DeadlineExceeded) => {
                     deadline.incr();
+                    latency.record(attempt_ns);
+                    latency_deadline.record(attempt_ns);
                     Attempt::Retry
                 }
                 Ok(Response::Internal(_)) => {
                     internal.incr();
+                    latency.record(attempt_ns);
                     Attempt::Retry
                 }
                 Ok(Response::BadRequest(_)) => {
@@ -303,35 +373,8 @@ fn exp_ms(rng: &mut StdRng, mean_ms: u64) -> u64 {
 mod tests {
     use super::*;
 
-    #[test]
-    fn experiment_json_carries_every_counter_and_percentile() {
-        let mut buckets = vec![0u64; cachegraph_obs::registry::HISTOGRAM_BUCKETS];
-        buckets[5] += 9; // values 16..=31
-        buckets[11] += 1; // values 1024..=2047
-        let r = LoadgenResult {
-            ok: 10,
-            shed: 3,
-            retries: 4,
-            deadline_exceeded: 1,
-            internal: 1,
-            torn: 2,
-            exhausted: 0,
-            bad_request: 0,
-            shutting_down: 0,
-            latency: HistogramSnapshot { buckets, count: 10, sum: 2000 },
-        };
-        let json = r.to_experiment_json(&LoadgenConfig::default());
-        assert_eq!(json.get("ok").and_then(Json::as_u64), Some(10));
-        assert_eq!(json.get("shed").and_then(Json::as_u64), Some(3));
-        assert_eq!(json.get("torn").and_then(Json::as_u64), Some(2));
-        assert_eq!(json.get("p50_ns").and_then(Json::as_u64), Some(31));
-        assert_eq!(json.get("p99_ns").and_then(Json::as_u64), Some(2047));
-        assert_eq!(json.get("mode").and_then(Json::as_str), Some("closed"));
-    }
-
-    #[test]
-    fn percentiles_default_to_zero_without_data() {
-        let r = LoadgenResult {
+    fn zero_result() -> LoadgenResult {
+        LoadgenResult {
             ok: 0,
             shed: 0,
             retries: 0,
@@ -342,7 +385,88 @@ mod tests {
             bad_request: 0,
             shutting_down: 0,
             latency: HistogramSnapshot::default(),
+            latency_ok: HistogramSnapshot::default(),
+            latency_shed: HistogramSnapshot::default(),
+            latency_deadline: HistogramSnapshot::default(),
+            server_stats: None,
+        }
+    }
+
+    fn hist(entries: &[(usize, u64)]) -> HistogramSnapshot {
+        let mut buckets = vec![0u64; cachegraph_obs::registry::HISTOGRAM_BUCKETS];
+        let mut count = 0;
+        for &(bucket, n) in entries {
+            buckets[bucket] += n;
+            count += n;
+        }
+        HistogramSnapshot { buckets, count, sum: 0 }
+    }
+
+    #[test]
+    fn experiment_json_carries_every_counter_and_percentile() {
+        let r = LoadgenResult {
+            ok: 10,
+            shed: 3,
+            retries: 4,
+            deadline_exceeded: 1,
+            internal: 1,
+            torn: 2,
+            // bucket 5 = values 16..=31, bucket 11 = 1024..=2047
+            latency: hist(&[(5, 12), (11, 2)]),
+            latency_ok: hist(&[(5, 9), (11, 1)]),
+            latency_shed: hist(&[(2, 3)]),
+            latency_deadline: hist(&[(11, 1)]),
+            ..zero_result()
         };
+        let json = r.to_experiment_json(&LoadgenConfig::default());
+        assert_eq!(json.get("ok").and_then(Json::as_u64), Some(10));
+        assert_eq!(json.get("shed").and_then(Json::as_u64), Some(3));
+        assert_eq!(json.get("torn").and_then(Json::as_u64), Some(2));
+        assert_eq!(json.get("p50_ns").and_then(Json::as_u64), Some(31));
+        assert_eq!(json.get("p99_ns").and_then(Json::as_u64), Some(2047));
+        assert_eq!(json.get("mode").and_then(Json::as_str), Some("closed"));
+        // No stats probe -> no `server` section.
+        assert!(json.get("server").is_none());
+    }
+
+    #[test]
+    fn ok_percentiles_ignore_shed_and_deadline_attempts() {
+        // 9 fast OK attempts and a flood of instant BUSY answers: the
+        // headline p50 must come from the OK class alone.
+        let r = LoadgenResult {
+            ok: 9,
+            shed: 90,
+            latency: hist(&[(2, 90), (11, 9)]),
+            latency_ok: hist(&[(11, 9)]),
+            latency_shed: hist(&[(2, 90)]),
+            ..zero_result()
+        };
+        assert_eq!(r.p50_ns(), 2047, "OK p50 is an OK-class number");
+        let json = r.to_experiment_json(&LoadgenConfig::default());
+        let by_class = json.get("latency_by_class").expect("class section");
+        let shed_p50 =
+            by_class.get("shed").and_then(|c| c.get("p50_ns")).and_then(Json::as_u64);
+        assert_eq!(shed_p50, Some(3), "shed class keeps its own (tiny) percentiles");
+        let ok_count =
+            by_class.get("ok").and_then(|c| c.get("count")).and_then(Json::as_u64);
+        assert_eq!(ok_count, Some(9));
+    }
+
+    #[test]
+    fn server_stats_probe_is_embedded_when_present() {
+        let r = LoadgenResult {
+            server_stats: Some(Json::obj().field("queue_high_watermark", 7u64)),
+            ..zero_result()
+        };
+        let json = r.to_experiment_json(&LoadgenConfig::default());
+        let watermark =
+            json.get("server").and_then(|s| s.get("queue_high_watermark")).and_then(Json::as_u64);
+        assert_eq!(watermark, Some(7));
+    }
+
+    #[test]
+    fn percentiles_default_to_zero_without_data() {
+        let r = zero_result();
         assert_eq!(r.p50_ns(), 0);
         assert_eq!(r.p99_ns(), 0);
     }

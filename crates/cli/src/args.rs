@@ -32,7 +32,7 @@ impl fmt::Display for ArgsError {
 impl std::error::Error for ArgsError {}
 
 /// Flags that take no value; their presence simply sets them to `true`.
-const SWITCHES: &[&str] = &["quick", "full", "strict"];
+const SWITCHES: &[&str] = &["quick", "full", "strict", "no-trace"];
 
 /// Parsed `--flag value` pairs (flags keyed without the dashes; `-i` and
 /// `-o` are aliases for `--input` / `--output`) plus any positional

@@ -31,7 +31,9 @@ use cachegraph_matching::instrumented::{
     sim_find_matching_partitioned_profiled, sim_find_matching_profiled,
 };
 use cachegraph_matching::{find_matching, find_matching_partitioned, Matching, PartitionScheme};
-use cachegraph_obs::{compare_reports, Json, Registry, Report, DEFAULT_THRESHOLD};
+use cachegraph_obs::{
+    compare_reports, Json, Registry, Report, TraceConfig, TraceRecord, DEFAULT_THRESHOLD,
+};
 use cachegraph_pq::DAryHeap;
 use cachegraph_sim::report::{profile_from_json, profile_to_json, stats_to_json};
 use cachegraph_sim::{profiles, CacheProfile, ProfilerOptions, SpanCacheStats, TimelineSample};
@@ -96,10 +98,10 @@ impl From<std::io::Error> for CliError {
     }
 }
 
-/// Dispatch a subcommand; the report goes to `out`. Only `compare` and
-/// `profile` take positional arguments.
+/// Dispatch a subcommand; the report goes to `out`. Only `compare`,
+/// `profile`, and `trace` take positional arguments.
 pub fn run(command: &str, args: Args, out: &mut dyn Write) -> Result<(), CliError> {
-    if !matches!(command, "compare" | "profile") {
+    if !matches!(command, "compare" | "profile" | "trace") {
         if let Some(p) = args.positionals().first() {
             return Err(CliError::Args(ArgsError::UnexpectedPositional(p.clone())));
         }
@@ -115,6 +117,7 @@ pub fn run(command: &str, args: Args, out: &mut dyn Write) -> Result<(), CliErro
         "repro" => cmd_repro(args, out),
         "compare" => cmd_compare(args, out),
         "profile" => cmd_profile(args, out),
+        "trace" => cmd_trace(args, out),
         "serve" => cmd_serve(args, out),
         "query" => cmd_query(args, out),
         "loadgen" => cmd_loadgen(args, out),
@@ -835,6 +838,140 @@ fn sparkline(timeline: &[TimelineSample]) -> String {
         .collect()
 }
 
+/// `trace`: render the `traces` section of a metrics report (schema
+/// v5+, written by `serve --metrics` or drained over the wire) as one
+/// waterfall line per request — the bar is the request's wall time,
+/// split left-to-right in segment order, each segment drawn with its
+/// own block height — followed by an exact-rank p50/p90/p99 table per
+/// segment. `--op OP` restricts to one operation; `--limit N` caps the
+/// waterfall rows (the percentile table always covers every selected
+/// trace).
+fn cmd_trace(args: Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let [path] = args.positionals() else {
+        return Err(CliError::Invalid("trace needs exactly one report path".into()));
+    };
+    let report =
+        Report::load(Path::new(path)).map_err(|e| CliError::Invalid(format!("{path}: {e}")))?;
+    let want_op = args.get("op");
+    let limit: usize = args.parse_or("limit", 32, "integer")?;
+    let mut traces = Vec::new();
+    for section in &report.traces {
+        let t = TraceRecord::from_json(section)
+            .map_err(|e| CliError::Invalid(format!("{path}: {e}")))?;
+        if want_op.is_some_and(|w| w != t.op) {
+            continue;
+        }
+        traces.push(t);
+    }
+    if traces.is_empty() {
+        if let Some(w) = want_op {
+            return Err(CliError::Invalid(format!("no traces for op '{w}' in '{path}'")));
+        }
+        writeln!(out, "report '{}' contains no traces", report.name)?;
+        return Ok(());
+    }
+    traces.sort_by_key(|t| t.seq);
+
+    writeln!(out, "traces from '{}' ({} records)", report.name, traces.len())?;
+    let legend: Vec<String> = cachegraph_obs::SEGMENTS
+        .iter()
+        .enumerate()
+        .map(|(i, name)| format!("{name} {}", segment_block(i)))
+        .collect();
+    writeln!(out, "  segments: {}", legend.join("  "))?;
+    writeln!(out, "  {:<16} {:<6} {:<18} {:>10}  waterfall", "trace", "op", "outcome", "wall")?;
+    for t in traces.iter().take(limit) {
+        writeln!(
+            out,
+            "  {:<16} {:<6} {:<18} {:>10}  {}",
+            t.id_hex(),
+            t.op,
+            t.outcome,
+            fmt_us(t.wall_ns),
+            trace_waterfall(t, 40),
+        )?;
+    }
+    if traces.len() > limit {
+        writeln!(out, "  ... {} more (raise --limit)", traces.len() - limit)?;
+    }
+
+    writeln!(out, "\nsegment percentiles over {} traces (exact rank):", traces.len())?;
+    writeln!(out, "  {:<10} {:>10} {:>10} {:>10}", "segment", "p50", "p90", "p99")?;
+    for name in cachegraph_obs::SEGMENTS {
+        let mut durations: Vec<u64> = traces.iter().map(|t| t.segment_ns(name)).collect();
+        durations.sort_unstable();
+        writeln!(
+            out,
+            "  {:<10} {:>10} {:>10} {:>10}",
+            name,
+            fmt_us(exact_rank(&durations, 50)),
+            fmt_us(exact_rank(&durations, 90)),
+            fmt_us(exact_rank(&durations, 99)),
+        )?;
+    }
+    let mut walls: Vec<u64> = traces.iter().map(|t| t.wall_ns).collect();
+    walls.sort_unstable();
+    writeln!(
+        out,
+        "  {:<10} {:>10} {:>10} {:>10}",
+        "wall",
+        fmt_us(exact_rank(&walls, 50)),
+        fmt_us(exact_rank(&walls, 90)),
+        fmt_us(exact_rank(&walls, 99)),
+    )?;
+    Ok(())
+}
+
+/// The block character drawn for the i-th canonical segment: heights
+/// ascend in pipeline order, so a waterfall reads left-to-right as a
+/// rising staircase wherever time is actually spent.
+fn segment_block(index: usize) -> char {
+    const BLOCKS: [char; 6] =
+        ['\u{2581}', '\u{2582}', '\u{2583}', '\u{2585}', '\u{2586}', '\u{2588}'];
+    BLOCKS[index.min(BLOCKS.len() - 1)]
+}
+
+/// One trace as a `width`-cell bar: segments in first-mark order, each
+/// spanning cells proportional to its share of the wall time (cumulative
+/// rounding, so the cells always partition the bar exactly like the
+/// segments partition the wall).
+fn trace_waterfall(t: &TraceRecord, width: usize) -> String {
+    if t.wall_ns == 0 {
+        return String::new();
+    }
+    let mut bar = String::with_capacity(width * 3);
+    let mut cum = 0u64;
+    let mut filled = 0usize;
+    for (name, dur) in &t.segments {
+        cum += dur;
+        let end = ((cum as f64 / t.wall_ns as f64) * width as f64).round() as usize;
+        let block = cachegraph_obs::SEGMENTS
+            .iter()
+            .position(|s| s == name)
+            .map_or('\u{2581}', segment_block);
+        for _ in filled..end.min(width) {
+            bar.push(block);
+        }
+        filled = filled.max(end.min(width));
+    }
+    bar
+}
+
+/// Nearest-rank percentile over an already-sorted slice.
+fn exact_rank(sorted: &[u64], pct: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (pct * sorted.len()).div_ceil(100).max(1);
+    sorted[rank - 1]
+}
+
+/// Nanoseconds as a human `us` figure (the request path is socket-bound;
+/// microseconds is the natural unit).
+fn fmt_us(ns: u64) -> String {
+    format!("{:.1} us", ns as f64 / 1e3)
+}
+
 /// Resolve `--port` directly or via `--port-file` (written by `serve`).
 fn resolve_port(args: &Args) -> Result<u16, CliError> {
     if let Some(p) = args.get("port") {
@@ -875,6 +1012,19 @@ fn cmd_serve(args: Args, out: &mut dyn Write) -> Result<(), CliError> {
         hang_ms: args.parse_or("hang-ms", 400, "integer")?,
         cache_shards: args.parse_or("cache-shards", 8, "integer")?,
         cache_per_shard: args.parse_or("cache-per-shard", 128, "integer")?,
+        trace: {
+            let defaults = TraceConfig::default();
+            TraceConfig {
+                enabled: !args.switch("no-trace"),
+                flight_len: args.parse_or("flight-len", defaults.flight_len, "integer")?,
+                sample_period_log2: args.parse_or(
+                    "trace-sample-log2",
+                    defaults.sample_period_log2,
+                    "integer",
+                )?,
+                seed: args.parse_or("trace-seed", defaults.seed, "integer")?,
+            }
+        },
     };
     let plan = match args.get("fault-plan") {
         Some(spec) => ServeFaultPlan::parse(spec).map_err(CliError::Invalid)?,
@@ -882,17 +1032,23 @@ fn cmd_serve(args: Args, out: &mut dyn Write) -> Result<(), CliError> {
     };
     let port = args.parse_or("port", 0u16, "port number")?;
     let handle = serve_start_on(cfg, plan, Registry::new(), port).map_err(CliError::Io)?;
+    if let Some(path) = args.get("trace-log") {
+        let sink = BufWriter::new(File::create(path)?);
+        handle.attach_trace_sink(Box::new(sink));
+        writeln!(out, "sampled trace log streaming to {path}")?;
+    }
     writeln!(out, "serving on 127.0.0.1:{} (send op `shutdown` to drain)", handle.port())?;
     out.flush()?;
     if let Some(path) = args.get("port-file") {
         std::fs::write(path, format!("{}\n", handle.port()))?;
     }
-    let snapshot = handle.join();
-    let mut report = Report::new("serve");
-    report.set_metrics(&snapshot);
+    // The final report comes from the server itself (not rebuilt here):
+    // metrics plus the serve.state experiment plus the flushed flight
+    // recorder, as one schema-current document.
+    let (snapshot, report) = handle.join_report();
     if let Some(path) = args.get("metrics") {
         report.save(Path::new(path))?;
-        writeln!(out, "final metrics report written to {path}")?;
+        writeln!(out, "final metrics report written to {path} ({} traces)", report.traces.len())?;
     }
     let count = |name: &str| snapshot.counters.get(name).copied().unwrap_or(0);
     writeln!(
@@ -913,7 +1069,7 @@ fn cmd_query(args: Args, out: &mut dyn Write) -> Result<(), CliError> {
     let op_name = args.get_or("op", "health");
     let Some(op) = ServeOp::parse(op_name) else {
         return Err(CliError::Invalid(format!(
-            "--op: '{op_name}' is not path|reach|match|metrics|health|shutdown"
+            "--op: '{op_name}' is not path|reach|match|metrics|health|stats|trace|shutdown"
         )));
     };
     let mut req = ServeRequest::plain(op);
@@ -1307,6 +1463,80 @@ mod tests {
             r.cache_sims[0].get("label").and_then(Json::as_str),
             Some("dijkstra.array")
         );
+    }
+
+    #[test]
+    fn trace_renders_waterfall_and_percentile_table() {
+        // Real records from a real tracer (not hand-built JSON), so this
+        // test breaks if the schema and the renderer drift apart.
+        let tracer = cachegraph_obs::Tracer::new(TraceConfig::default());
+        let mut report = Report::new("trace-test");
+        for (op, spin) in [("path", 50u64), ("path", 400), ("reach", 120)] {
+            let mut tb = tracer.begin(op);
+            tb.mark("admission");
+            tb.mark("queue");
+            std::thread::sleep(std::time::Duration::from_micros(spin));
+            tb.mark("compute");
+            tb.mark("serialize");
+            tb.mark("write");
+            report.push_trace(tb.finish("OK").expect("live builder").to_json());
+        }
+        let path = tmp("trace_render.json");
+        report.save(Path::new(&path)).expect("save");
+
+        let rendered = run_str("trace", &[&path]).expect("trace");
+        assert!(rendered.contains("traces from 'trace-test' (3 records)"), "{rendered}");
+        assert!(rendered.contains("waterfall"), "{rendered}");
+        assert!(
+            rendered.chars().any(|c| ('\u{2581}'..='\u{2588}').contains(&c)),
+            "block-character waterfall must appear: {rendered}"
+        );
+        assert!(rendered.contains("segment percentiles over 3 traces"), "{rendered}");
+        for segment in cachegraph_obs::SEGMENTS {
+            assert!(rendered.contains(segment), "table must list {segment}: {rendered}");
+        }
+        assert!(rendered.contains("wall"), "{rendered}");
+
+        // --op narrows; an op with no traces is an error.
+        let only = run_str("trace", &[&path, "--op", "reach"]).expect("filtered");
+        assert!(only.contains("(1 records)"), "{only}");
+        assert!(matches!(
+            run_str("trace", &[&path, "--op", "match"]),
+            Err(CliError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn exact_rank_percentiles() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(exact_rank(&sorted, 50), 50);
+        assert_eq!(exact_rank(&sorted, 90), 90);
+        assert_eq!(exact_rank(&sorted, 99), 99);
+        assert_eq!(exact_rank(&[7], 99), 7);
+        assert_eq!(exact_rank(&[], 50), 0);
+    }
+
+    #[test]
+    fn waterfall_cells_partition_the_bar() {
+        let t = TraceRecord {
+            trace_id: 1,
+            seq: 0,
+            op: "path".into(),
+            outcome: "OK".into(),
+            start_ns: 0,
+            wall_ns: 100,
+            segments: vec![
+                ("admission".into(), 25),
+                ("queue".into(), 25),
+                ("compute".into(), 40),
+                ("write".into(), 10),
+            ],
+            tags: Vec::new(),
+        };
+        let bar = trace_waterfall(&t, 20);
+        assert_eq!(bar.chars().count(), 20, "cells cover the full width: {bar}");
+        assert_eq!(bar.chars().filter(|&c| c == segment_block(0)).count(), 5, "{bar}");
+        assert_eq!(bar.chars().filter(|&c| c == segment_block(3)).count(), 8, "{bar}");
     }
 
     #[test]

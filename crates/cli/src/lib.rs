@@ -11,6 +11,7 @@
 //! cachegraph repro [--quick|--full] [--metrics out.json]
 //! cachegraph compare a.json b.json [--threshold 0.1]
 //! cachegraph profile a.json [--label fw.tiled.bdl]
+//! cachegraph trace a.json [--op path] [--limit 32]
 //! ```
 //!
 //! Graphs are exchanged in the DIMACS `sp` format
@@ -19,8 +20,9 @@
 //! `match`, `simulate`, and `repro` commands additionally accept
 //! `--metrics FILE` to write a machine-readable run report
 //! (`cachegraph_obs::Report`, see EXPERIMENTS.md for the schema);
-//! `compare` diffs two such reports, and `profile` renders the
-//! span-scoped cache attribution sections of one.
+//! `compare` diffs two such reports, `profile` renders the span-scoped
+//! cache attribution sections of one, and `trace` renders the
+//! request-trace section a `serve` run leaves behind.
 
 mod args;
 mod commands;
@@ -51,14 +53,17 @@ commands:
                                     [--fault-plan panic:ID,hang:ID,kill:ID]
   compare   diff two metrics files  A.json B.json [--threshold T]
   profile   render cache profiles   A.json [--label L]
+  trace     render request traces   A.json [--op OP] [--limit N]
   serve     crash-only query daemon [--port P] [--port-file FILE]
                                     [--gen-n N --density D --seed S]
                                     [--workers W --queue-high H --queue-low L]
                                     [--deadline-ms MS] [--drain-ms MS] [--hang-ms MS]
                                     [--fault-plan panic:OP,hang:OP,kill:OP]
-                                    [--metrics FILE]
+                                    [--metrics FILE] [--trace-log FILE] [--no-trace]
+                                    [--flight-len N] [--trace-sample-log2 K]
+                                    [--trace-seed S]
   query     one request             --port P | --port-file FILE
-                                    [--op path|reach|match|metrics|health|shutdown]
+                                    [--op path|reach|match|metrics|health|stats|trace|shutdown]
                                     [--src V --dst V] [--deadline-ms MS]
   loadgen   drive a running daemon  --port P | --port-file FILE
                                     [--clients C --requests R --seed S]
@@ -81,10 +86,18 @@ skips experiments a previous journal already completed.
 serve answers length-prefixed JSON frames on loopback with per-request
 deadlines, BUSY load shedding past --queue-high, per-request panic
 isolation, and graceful drain on the shutdown op; --fault-plan arms
-one-shot chaos faults keyed by op name. query exits 0 only on an OK
+one-shot chaos faults keyed by op name. Every admitted request is
+traced across threads (admission/queue/cache/compute/serialize/write
+segments summing to wall latency): the in-band stats op answers a live
+load snapshot, the trace op drains the recent flight-recorder ring,
+--trace-log streams sampled trace records as JSONL, and the final
+--metrics report carries the flight recorder (schema v5) for the trace
+subcommand to render as per-request waterfalls with per-segment
+p50/p90/p99. query exits 0 only on an OK
 response; loadgen exits 0 only when every request resolved (retrying
 BUSY, DEADLINE_EXCEEDED, INTERNAL, and torn frames with exponential
-backoff plus jitter) and reports p50/p90/p99 from pow2 histograms.
+backoff plus jitter) and reports p50/p90/p99 from pow2 histograms, per
+outcome class (ok / shed / deadline) and overall.
 
 exit codes: 0 success; 1 runtime failure (bad input file, corrupt
 report, repro run with no completed experiment, any non-completion

@@ -3,15 +3,17 @@
 //! overload burst must never crash, must shed `BUSY` past the high
 //! watermark, must answer correctly (cross-checked against direct
 //! solver calls) once faults clear, and must drain within the drain
-//! deadline on shutdown — leaving valid schema-v4 reports on both
-//! sides of the wire.
+//! deadline on shutdown — leaving valid schema-v5 reports on both
+//! sides of the wire, with the flight recorder's post-mortem traces
+//! (including the panicked request's partial trace) in the server's
+//! final report.
 
 use std::path::PathBuf;
 use std::process::{Child, Command, Output, Stdio};
 use std::time::{Duration, Instant};
 
 use cachegraph_graph::generators;
-use cachegraph_obs::{Json, Report};
+use cachegraph_obs::{Json, Report, TraceRecord};
 use cachegraph_serve::{request_once, Op, Request, Response};
 use cachegraph_sssp::dijkstra_binary_heap;
 
@@ -136,9 +138,9 @@ fn chaos_burst_sheds_recovers_and_drains() {
         String::from_utf8_lossy(&lg.stderr)
     );
 
-    // The loadgen report is a valid v4 document with nonzero shed and
+    // The loadgen report is a valid current-schema document with nonzero shed and
     // retry counters (the burst was real) and latency percentiles.
-    let report = Report::load(&loadgen_report).expect("loadgen report parses as v4");
+    let report = Report::load(&loadgen_report).expect("loadgen report parses");
     let exp = report
         .experiments
         .iter()
@@ -169,7 +171,7 @@ fn chaos_burst_sheds_recovers_and_drains() {
 
     // The server-side report confirms each fault actually fired.
     shutdown_and_reap(child, port);
-    let final_report = Report::load(&metrics).expect("final serve report parses as v4");
+    let final_report = Report::load(&metrics).expect("final serve report parses as v5");
     let counters = final_report
         .metrics
         .as_ref()
@@ -181,6 +183,42 @@ fn chaos_burst_sheds_recovers_and_drains() {
     assert!(counter("serve.shed") > 0, "server-side shed counter must tick");
     assert_eq!(counter("serve.panics"), 1, "panic fault fires exactly once");
     assert_eq!(counter("serve.torn_writes"), 1, "kill fault fires exactly once");
+
+    // The flight recorder survived the panic: the poisoned request's
+    // partial trace is in the final report with outcome INTERNAL, a
+    // measured queue wait, and the segment-sum invariant intact.
+    let traces: Vec<TraceRecord> = final_report
+        .traces
+        .iter()
+        .map(|j| TraceRecord::from_json(j).expect("post-mortem trace parses"))
+        .collect();
+    assert!(!traces.is_empty(), "the final report carries the flight recorder");
+    let panicked = traces
+        .iter()
+        .find(|t| t.outcome == "INTERNAL" && t.tag("panic") == Some(&Json::Bool(true)))
+        .expect("the panicked request leaves a partial trace in the error ring");
+    assert_eq!(panicked.op, "path", "panic:path poisons the first path query");
+    assert!(panicked.segment_ns("queue") > 0, "queue wait is measured: {panicked:?}");
+    let sum: u64 = panicked.segments.iter().map(|&(_, d)| d).sum();
+    assert_eq!(sum, panicked.wall_ns, "partial traces still partition their wall time");
+
+    // `cachegraph trace` renders that same report: a block-character
+    // waterfall per trace plus the per-segment percentile table.
+    let tr = run(&["trace", metrics.to_str().expect("path")]);
+    assert_eq!(
+        tr.status.code(),
+        Some(0),
+        "trace subcommand renders the chaos report\nstderr: {}",
+        String::from_utf8_lossy(&tr.stderr)
+    );
+    let rendered = String::from_utf8_lossy(&tr.stdout).into_owned();
+    assert!(rendered.contains("waterfall"), "{rendered}");
+    assert!(rendered.contains("INTERNAL"), "the panicked trace is listed: {rendered}");
+    assert!(
+        rendered.chars().any(|c| ('\u{2581}'..='\u{2588}').contains(&c)),
+        "waterfall uses block characters: {rendered}"
+    );
+    assert!(rendered.contains("segment percentiles over"), "{rendered}");
 }
 
 #[test]

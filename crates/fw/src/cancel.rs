@@ -11,7 +11,10 @@
 //! Cancellation is a plain `FnMut() -> bool`, mirroring the event-hook
 //! pattern of [`crate::observed`]: this crate stays free of any
 //! observability reference (obs-purity), and callers build the closure
-//! from whatever deadline source they have.
+//! from whatever deadline source they have. The per-tile poll is also
+//! the unit of the serve layer's `cancel_polls` trace tag — one count
+//! per kernel call, so a request trace shows the deadline granularity
+//! an APSP query actually ran under.
 
 use crate::kernel::{fwi_access, CellAccess, SliceAccess, StridedView};
 use crate::matrix::FwMatrix;

@@ -11,7 +11,9 @@
 //!
 //! The closure is a plain `FnMut() -> bool`; this crate never
 //! references the observability layer (obs-purity — see the
-//! `obs_*_cancel.rs` fixture pair in `cachegraph-tidy`).
+//! `obs_*_cancel.rs` fixture pair in `cachegraph-tidy`). The
+//! per-round poll is also the unit of the serve layer's `cancel_polls`
+//! trace tag: one count per augmentation round.
 
 use cachegraph_graph::Graph;
 

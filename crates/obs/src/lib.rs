@@ -35,6 +35,7 @@ pub mod registry;
 pub mod report;
 pub mod span;
 pub mod timeline;
+pub mod trace;
 
 pub use compare::{compare_reports, Delta, DEFAULT_THRESHOLD};
 pub use journal::{read_journal, JournalContents, JournalError, JournalWriter};
@@ -43,3 +44,4 @@ pub use registry::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snaps
 pub use report::{Report, ReportError, MIN_SCHEMA_VERSION, SCHEMA_VERSION, TOOL_NAME};
 pub use span::{Span, SpanRecord};
 pub use timeline::TimelineRecord;
+pub use trace::{TraceBuilder, TraceConfig, TraceParseError, TraceRecord, Tracer, SEGMENTS};

@@ -34,7 +34,13 @@ use crate::registry::Snapshot;
 ///   every access) and an `exact` flag; counters in sampled profiles
 ///   are scaled-up estimates. v3 documents load fine (the fields
 ///   default to exact), so [`MIN_SCHEMA_VERSION`] stays at 3.
-pub const SCHEMA_VERSION: u64 = 4;
+/// * v5 — request traces: a top-level `traces` array of wide-event
+///   request traces (one object per flight-recorder entry, built by
+///   [`crate::trace`]: trace id, op, outcome, per-segment durations
+///   whose sum is the wall latency, and free-form tags). v3/v4
+///   documents load fine (the section defaults to empty), so
+///   [`MIN_SCHEMA_VERSION`] stays at 3.
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// Oldest schema version this build still reads. v3 profiles lack the
 /// sampling fields, which default to `sample_period = 1` / `exact` on
@@ -58,6 +64,9 @@ pub struct Report {
     /// Span-scoped cache profile sections (one JSON object per profiled
     /// simulation; schema v3).
     pub profiles: Vec<Json>,
+    /// Request-trace sections (one JSON object per flight-recorder
+    /// trace; schema v5).
+    pub traces: Vec<Json>,
 }
 
 impl Report {
@@ -86,6 +95,11 @@ impl Report {
         self.profiles.push(profile);
     }
 
+    /// Append one request-trace section.
+    pub fn push_trace(&mut self, trace: Json) {
+        self.traces.push(trace);
+    }
+
     /// The complete, schema-versioned document.
     pub fn to_json(&self) -> Json {
         Json::obj()
@@ -96,6 +110,7 @@ impl Report {
             .field("cache_sims", Json::Arr(self.cache_sims.clone()))
             .field("experiments", Json::Arr(self.experiments.clone()))
             .field("profiles", Json::Arr(self.profiles.clone()))
+            .field("traces", Json::Arr(self.traces.clone()))
     }
 
     /// Render the document as pretty-stable single-line JSON text.
@@ -147,7 +162,11 @@ impl Report {
             Some(Json::Arr(items)) => items.clone(),
             _ => Vec::new(),
         };
-        Ok(Self { name, metrics, cache_sims, experiments, profiles })
+        let traces = match json.get("traces") {
+            Some(Json::Arr(items)) => items.clone(),
+            _ => Vec::new(),
+        };
+        Ok(Self { name, metrics, cache_sims, experiments, profiles, traces })
     }
 }
 
@@ -222,6 +241,24 @@ mod tests {
         assert!(loaded.profiles.is_empty());
         // Re-rendering always emits the section.
         assert!(loaded.render().contains("\"profiles\":[]"));
+    }
+
+    #[test]
+    fn missing_traces_section_parses_as_empty() {
+        // A v4 document (no `traces` section) loads with empty traces.
+        let text = r#"{"schema_version": 4, "tool": "cachegraph", "report": "pr8"}"#;
+        let loaded = Report::load_str(text).expect("v4 report loads");
+        assert!(loaded.traces.is_empty());
+        assert!(loaded.render().contains("\"traces\":[]"));
+    }
+
+    #[test]
+    fn traces_section_round_trips() {
+        let mut report = Report::new("traced");
+        report.push_trace(Json::obj().field("trace_id", "00000000000000ff").field("wall_ns", 9u64));
+        let loaded = Report::load_str(&report.render()).expect("loads");
+        assert_eq!(loaded.traces.len(), 1);
+        assert_eq!(loaded.to_json(), report.to_json());
     }
 
     #[test]

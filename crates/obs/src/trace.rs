@@ -1,0 +1,635 @@
+//! Request-scoped wide-event tracing: one [`TraceRecord`] per request,
+//! accumulated across threads, landing in a flight recorder and a
+//! sampled JSONL sink.
+//!
+//! # The partition invariant
+//!
+//! A [`TraceBuilder`] is a *baton*: it starts a monotonic clock when
+//! the request is first seen and every [`mark`](TraceBuilder::mark)
+//! closes the interval since the previous mark, attributing it to one
+//! named segment. Segments therefore partition the request's lifetime
+//! exactly — `sum(segment durations) == wall latency` is arithmetic
+//! (telescoping sums of `Instant` differences), not a measurement that
+//! happens to work out. The builder is plain owned data (`Send`), so it
+//! rides inside the server's queued job from the admission thread to
+//! whichever worker claims it; the clock never restarts at the handoff,
+//! which is what makes queue wait a first-class measured segment.
+//!
+//! # Sinks
+//!
+//! A finished record goes to the [`Tracer`], which keeps it in two
+//! places:
+//!
+//! * the **flight recorder** — two fixed-size rings, one of the most
+//!   recent traces and one of the most recent *non-OK* traces. Errors
+//!   are kept separately so a burst of healthy traffic cannot evict the
+//!   one trace a post-mortem needs. [`Tracer::flush`] drains both
+//!   (deduplicated) into the final report; [`Tracer::drain_recent`]
+//!   feeds the in-band `TRACE` op without touching the error ring.
+//! * the **JSONL sink** — power-of-two sampled (like the cache
+//!   profiler's ring buffer), except that non-OK outcomes are *always*
+//!   written: every `DEADLINE_EXCEEDED`, `BUSY`, and `INTERNAL` is
+//!   captured even at 1/1024 sampling.
+//!
+//! Trace ids are derived from a seed and a sequence number through a
+//! SplitMix64 finalizer, so a seeded server run produces the same ids
+//! request-for-request — failures reproduce by id.
+
+use std::collections::VecDeque;
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::json::Json;
+
+/// Canonical segment names in waterfall order. A trace need not contain
+/// every segment (a cache hit has no `compute`; a shed request only has
+/// `admission`), but renderers should present the ones it has in this
+/// order.
+pub const SEGMENTS: [&str; 6] = ["admission", "queue", "cache", "compute", "serialize", "write"];
+
+/// SplitMix64 finalizer: the workspace-standard bit mixer, used here to
+/// turn `seed + sequence` into a well-scrambled, reproducible trace id.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Everything tunable about a [`Tracer`].
+#[derive(Clone, Debug)]
+pub struct TraceConfig {
+    /// Master switch. Disabled tracers hand out inert builders whose
+    /// every method is a branch on `None` — no clock reads, no
+    /// allocation (the pattern [`crate::Registry::disabled`] set).
+    pub enabled: bool,
+    /// Capacity of each flight-recorder ring (recent and errors).
+    pub flight_len: usize,
+    /// log2 of the JSONL sampling period: OK traces with
+    /// `seq % 2^k == 0` are written. 0 = every trace.
+    pub sample_period_log2: u32,
+    /// Seed mixed into every trace id (reuse the workload seed so a
+    /// rerun reproduces ids).
+    pub seed: u64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self { enabled: true, flight_len: 64, sample_period_log2: 4, seed: 0x5EED }
+    }
+}
+
+/// A completed, immutable trace: the wide event for one request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceRecord {
+    /// Reproducible id (`mix64(seed + seq)`), rendered as 16 hex digits.
+    pub trace_id: u64,
+    /// Sequence number within the tracer's lifetime (drives sampling).
+    pub seq: u64,
+    /// Operation name (`path` / `reach` / `match` / ...).
+    pub op: String,
+    /// Final status taxonomy string (`OK`, `BUSY`, `INTERNAL`, ...).
+    pub outcome: String,
+    /// Start offset from the tracer's epoch, in nanoseconds.
+    pub start_ns: u64,
+    /// Total wall latency: exactly the sum of the segment durations.
+    pub wall_ns: u64,
+    /// `(segment name, duration ns)`, in first-mark order; names repeat
+    /// never (marks with the same name merge).
+    pub segments: Vec<(String, u64)>,
+    /// Free-form `(key, value)` annotations (cache hit/miss, shard,
+    /// cancel polls, fault kinds, ...).
+    pub tags: Vec<(String, Json)>,
+}
+
+impl TraceRecord {
+    /// The trace id as the 16-hex-digit string renderers print.
+    pub fn id_hex(&self) -> String {
+        format!("{:016x}", self.trace_id)
+    }
+
+    /// Duration of the named segment, 0 when absent.
+    pub fn segment_ns(&self, name: &str) -> u64 {
+        self.segments.iter().find(|(n, _)| n == name).map_or(0, |&(_, d)| d)
+    }
+
+    /// Value of the named tag, if present.
+    pub fn tag(&self, key: &str) -> Option<&Json> {
+        self.tags.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// The record as a JSON object (one flight-recorder entry / one
+    /// JSONL line).
+    pub fn to_json(&self) -> Json {
+        let segments = self
+            .segments
+            .iter()
+            .map(|(name, dur)| Json::obj().field("name", name.as_str()).field("dur_ns", *dur))
+            .collect();
+        let mut tags = Json::obj();
+        for (k, v) in &self.tags {
+            tags = tags.field(k, v.clone());
+        }
+        Json::obj()
+            .field("trace_id", self.id_hex())
+            .field("seq", self.seq)
+            .field("op", self.op.as_str())
+            .field("outcome", self.outcome.as_str())
+            .field("start_ns", self.start_ns)
+            .field("wall_ns", self.wall_ns)
+            .field("segments", Json::Arr(segments))
+            .field("tags", tags)
+    }
+
+    /// Parse a record back from its [`to_json`](Self::to_json) form.
+    /// Every malformed shape is a structured [`TraceParseError`] — the
+    /// corruption sweeps assert this never panics.
+    pub fn from_json(json: &Json) -> Result<Self, TraceParseError> {
+        let field = |name: &'static str| json.get(name).ok_or(TraceParseError::MissingField(name));
+        let id_text = field("trace_id")?.as_str().ok_or(TraceParseError::BadField("trace_id"))?;
+        let trace_id =
+            u64::from_str_radix(id_text, 16).map_err(|_| TraceParseError::BadField("trace_id"))?;
+        let num = |name: &'static str| {
+            field(name).and_then(|v| v.as_u64().ok_or(TraceParseError::BadField(name)))
+        };
+        let text = |name: &'static str| {
+            field(name).and_then(|v| {
+                v.as_str().map(str::to_string).ok_or(TraceParseError::BadField(name))
+            })
+        };
+        let mut segments = Vec::new();
+        for seg in field("segments")?.as_arr().ok_or(TraceParseError::BadField("segments"))? {
+            let name = seg
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or(TraceParseError::BadField("segments"))?;
+            let dur = seg
+                .get("dur_ns")
+                .and_then(Json::as_u64)
+                .ok_or(TraceParseError::BadField("segments"))?;
+            segments.push((name.to_string(), dur));
+        }
+        let tags = match json.get("tags") {
+            None => Vec::new(),
+            Some(Json::Obj(fields)) => fields.clone(),
+            Some(_) => return Err(TraceParseError::BadField("tags")),
+        };
+        Ok(Self {
+            trace_id,
+            seq: num("seq")?,
+            op: text("op")?,
+            outcome: text("outcome")?,
+            start_ns: num("start_ns")?,
+            wall_ns: num("wall_ns")?,
+            segments,
+            tags,
+        })
+    }
+}
+
+/// Why a trace record could not be parsed back from JSON.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TraceParseError {
+    /// A required field was absent.
+    MissingField(&'static str),
+    /// A field was present but had the wrong type or range.
+    BadField(&'static str),
+}
+
+impl std::fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::MissingField(name) => write!(f, "trace record is missing field `{name}`"),
+            Self::BadField(name) => write!(f, "trace record field `{name}` is malformed"),
+        }
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+/// Live state of one in-flight trace (absent on disabled tracers).
+#[derive(Debug)]
+struct BuilderInner {
+    trace_id: u64,
+    seq: u64,
+    op: String,
+    start_ns: u64,
+    cursor: Instant,
+    segments: Vec<(String, u64)>,
+    tags: Vec<(String, Json)>,
+}
+
+/// The per-request baton: owned, `Send`, carried with the request
+/// across threads. See the module docs for the partition invariant.
+#[derive(Debug)]
+pub struct TraceBuilder {
+    inner: Option<BuilderInner>,
+}
+
+impl TraceBuilder {
+    /// An inert builder (what disabled tracers hand out).
+    pub fn inert() -> Self {
+        Self { inner: None }
+    }
+
+    /// True when this builder actually records (tracer was enabled).
+    pub fn is_live(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Rename the operation (useful when the op is only known after the
+    /// request frame parses).
+    pub fn set_op(&mut self, op: &str) {
+        if let Some(inner) = &mut self.inner {
+            inner.op = op.to_string();
+        }
+    }
+
+    /// Close the interval since the previous mark (or the start) and
+    /// attribute it to `segment`. Marks with a name already present
+    /// merge into that segment, so a segment interrupted and resumed
+    /// (compute around a fault, say) still reads as one duration.
+    pub fn mark(&mut self, segment: &str) {
+        let Some(inner) = &mut self.inner else {
+            return;
+        };
+        let now = Instant::now();
+        let dur = now.duration_since(inner.cursor).as_nanos() as u64;
+        inner.cursor = now;
+        match inner.segments.iter_mut().find(|(n, _)| n == segment) {
+            Some((_, total)) => *total += dur,
+            None => inner.segments.push((segment.to_string(), dur)),
+        }
+    }
+
+    /// Attach a `(key, value)` annotation; later writes win on render
+    /// but both are kept (tags are an append-only log).
+    pub fn tag(&mut self, key: &str, value: impl Into<Json>) {
+        if let Some(inner) = &mut self.inner {
+            inner.tags.push((key.to_string(), value.into()));
+        }
+    }
+
+    /// Seal the trace with its final outcome. `wall_ns` is defined as
+    /// the sum of the segment durations — call this immediately after
+    /// the final [`mark`](Self::mark). Returns `None` on inert
+    /// builders.
+    pub fn finish(self, outcome: &str) -> Option<TraceRecord> {
+        let inner = self.inner?;
+        let wall_ns = inner.segments.iter().map(|&(_, d)| d).sum();
+        Some(TraceRecord {
+            trace_id: inner.trace_id,
+            seq: inner.seq,
+            op: inner.op,
+            outcome: outcome.to_string(),
+            start_ns: inner.start_ns,
+            wall_ns,
+            segments: inner.segments,
+            tags: inner.tags,
+        })
+    }
+}
+
+/// The two flight-recorder rings (under one lock; see [`Tracer`]).
+#[derive(Debug, Default)]
+struct FlightRings {
+    recent: VecDeque<TraceRecord>,
+    errors: VecDeque<TraceRecord>,
+}
+
+/// The per-server trace collector: id allocation, the flight recorder,
+/// and the sampled JSONL sink. Shared by reference (the server holds it
+/// inside its `Arc`); all interior state is atomics or mutexes.
+pub struct Tracer {
+    cfg: TraceConfig,
+    epoch: Instant,
+    seq: AtomicU64,
+    recorded: AtomicU64,
+    sampled: AtomicU64,
+    rings: Mutex<FlightRings>,
+    sink: Mutex<Option<Box<dyn Write + Send>>>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("cfg", &self.cfg)
+            .field("seq", &self.seq.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Tracer {
+    /// A tracer with the given configuration; the epoch (origin of
+    /// every `start_ns`) is now.
+    pub fn new(cfg: TraceConfig) -> Self {
+        Self {
+            cfg,
+            epoch: Instant::now(),
+            seq: AtomicU64::new(0),
+            recorded: AtomicU64::new(0),
+            sampled: AtomicU64::new(0),
+            rings: Mutex::new(FlightRings::default()),
+            sink: Mutex::new(None),
+        }
+    }
+
+    /// An inert tracer: `begin` hands out inert builders and `record`
+    /// is a no-op. The overhead baseline.
+    pub fn disabled() -> Self {
+        Self::new(TraceConfig { enabled: false, ..TraceConfig::default() })
+    }
+
+    /// True when builders from this tracer record.
+    pub fn is_enabled(&self) -> bool {
+        self.cfg.enabled
+    }
+
+    /// Attach the JSONL sink sampled records are written to (one JSON
+    /// object per line).
+    pub fn attach_jsonl_sink(&self, sink: Box<dyn Write + Send>) {
+        *lock_or_recover(&self.sink) = Some(sink);
+    }
+
+    /// Begin a trace whose clock starts now.
+    pub fn begin(&self, op: &str) -> TraceBuilder {
+        self.begin_at(Instant::now(), op)
+    }
+
+    /// Begin a trace whose clock starts at `at` (captured before the
+    /// request frame was read, so the `admission` segment includes the
+    /// read itself).
+    pub fn begin_at(&self, at: Instant, op: &str) -> TraceBuilder {
+        if !self.cfg.enabled {
+            return TraceBuilder::inert();
+        }
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let start_ns = at.checked_duration_since(self.epoch).unwrap_or_default().as_nanos() as u64;
+        TraceBuilder {
+            inner: Some(BuilderInner {
+                trace_id: mix64(self.cfg.seed.wrapping_add(seq)),
+                seq,
+                op: op.to_string(),
+                start_ns,
+                cursor: at,
+                segments: Vec::new(),
+                tags: Vec::new(),
+            }),
+        }
+    }
+
+    /// Whether a finished trace is written to the JSONL sink: every
+    /// non-OK outcome, plus one OK trace per `2^sample_period_log2`.
+    fn is_sampled(&self, seq: u64, outcome: &str) -> bool {
+        outcome != "OK" || seq & ((1u64 << self.cfg.sample_period_log2.min(63)) - 1) == 0
+    }
+
+    /// File a finished record: always into the flight recorder, into
+    /// the JSONL sink when sampled.
+    pub fn record(&self, record: TraceRecord) {
+        if !self.cfg.enabled {
+            return;
+        }
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+        if self.is_sampled(record.seq, &record.outcome) {
+            self.sampled.fetch_add(1, Ordering::Relaxed);
+            let mut sink = lock_or_recover(&self.sink);
+            if let Some(w) = sink.as_mut() {
+                // A full disk must not take the server down with it.
+                let _ = writeln!(w, "{}", record.to_json().render());
+                let _ = w.flush();
+            }
+        }
+        let mut rings = lock_or_recover(&self.rings);
+        let cap = self.cfg.flight_len.max(1);
+        if record.outcome != "OK" {
+            if rings.errors.len() >= cap {
+                rings.errors.pop_front();
+            }
+            rings.errors.push_back(record.clone());
+        }
+        if rings.recent.len() >= cap {
+            rings.recent.pop_front();
+        }
+        rings.recent.push_back(record);
+    }
+
+    /// Total traces recorded / written to the JSONL sink so far.
+    pub fn counts(&self) -> (u64, u64) {
+        (self.recorded.load(Ordering::Relaxed), self.sampled.load(Ordering::Relaxed))
+    }
+
+    /// Drain the recent ring (the in-band `TRACE` op). The error ring
+    /// is deliberately left intact so the final report's post-mortem
+    /// section survives live introspection.
+    pub fn drain_recent(&self) -> Vec<TraceRecord> {
+        lock_or_recover(&self.rings).recent.drain(..).collect()
+    }
+
+    /// Drain everything — errors first, then remaining recent traces,
+    /// deduplicated by sequence number and sorted by it. This is the
+    /// flush into the final report on drain (and what a panic handler
+    /// should call).
+    pub fn flush(&self) -> Vec<TraceRecord> {
+        let mut rings = lock_or_recover(&self.rings);
+        let mut out: Vec<TraceRecord> = rings.errors.drain(..).collect();
+        for r in rings.recent.drain(..) {
+            if !out.iter().any(|e| e.seq == r.seq) {
+                out.push(r);
+            }
+        }
+        out.sort_by_key(|r| r.seq);
+        out
+    }
+}
+
+/// Survive a poisoned lock: a panicking recorder thread must not wedge
+/// every later trace.
+fn lock_or_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn segments_partition_wall_exactly() {
+        let tracer = Tracer::new(TraceConfig::default());
+        let mut tb = tracer.begin("path");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        tb.mark("admission");
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        tb.mark("queue");
+        tb.mark("compute");
+        let rec = tb.finish("OK").expect("live builder");
+        let sum: u64 = rec.segments.iter().map(|&(_, d)| d).sum();
+        assert_eq!(sum, rec.wall_ns, "partition invariant is exact");
+        assert!(rec.segment_ns("admission") >= 2_000_000);
+        assert!(rec.segment_ns("queue") >= 1_000_000);
+    }
+
+    #[test]
+    fn repeated_marks_merge_into_one_segment() {
+        let tracer = Tracer::new(TraceConfig::default());
+        let mut tb = tracer.begin("path");
+        tb.mark("compute");
+        tb.mark("cache");
+        tb.mark("compute");
+        let rec = tb.finish("OK").expect("live");
+        assert_eq!(rec.segments.iter().filter(|(n, _)| n == "compute").count(), 1);
+        let sum: u64 = rec.segments.iter().map(|&(_, d)| d).sum();
+        assert_eq!(sum, rec.wall_ns);
+    }
+
+    #[test]
+    fn trace_ids_are_seeded_and_reproducible() {
+        let a = Tracer::new(TraceConfig { seed: 7, ..TraceConfig::default() });
+        let b = Tracer::new(TraceConfig { seed: 7, ..TraceConfig::default() });
+        let other = Tracer::new(TraceConfig { seed: 8, ..TraceConfig::default() });
+        let id = |t: &Tracer| t.begin("path").finish("OK").expect("live").trace_id;
+        let first_a = id(&a);
+        assert_eq!(first_a, id(&b), "same seed + seq -> same id");
+        assert_ne!(first_a, id(&other), "different seed -> different id");
+        let second = a.begin("path").finish("OK").expect("live");
+        assert_eq!(second.seq, 1);
+        assert_ne!(second.trace_id, first_a, "ids vary per sequence");
+    }
+
+    #[test]
+    fn disabled_tracer_is_inert() {
+        let tracer = Tracer::disabled();
+        let mut tb = tracer.begin("path");
+        assert!(!tb.is_live());
+        tb.mark("queue");
+        tb.tag("k", 1u64);
+        assert!(tb.finish("OK").is_none());
+        assert_eq!(tracer.counts(), (0, 0));
+        assert!(tracer.flush().is_empty());
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let tracer = Tracer::new(TraceConfig { seed: 42, ..TraceConfig::default() });
+        let mut tb = tracer.begin("reach");
+        tb.mark("admission");
+        tb.mark("queue");
+        tb.tag("cache", "miss");
+        tb.tag("cancel_polls", 17u64);
+        let rec = tb.finish("DEADLINE_EXCEEDED").expect("live");
+        let json = rec.to_json();
+        let back = TraceRecord::from_json(&json).expect("parses");
+        assert_eq!(back, rec);
+        // And through text, like a JSONL line.
+        let reparsed = crate::json::parse(&json.render()).expect("valid json");
+        assert_eq!(TraceRecord::from_json(&reparsed).expect("parses"), rec);
+    }
+
+    #[test]
+    fn malformed_records_are_structured_errors() {
+        let good = Tracer::new(TraceConfig::default())
+            .begin("path")
+            .finish("OK")
+            .expect("live")
+            .to_json();
+        assert!(TraceRecord::from_json(&Json::obj()).is_err());
+        let bad_id = Json::obj().field("trace_id", "zz-not-hex");
+        assert_eq!(TraceRecord::from_json(&bad_id), Err(TraceParseError::BadField("trace_id")));
+        // Dropping any one field keeps the error structured.
+        if let Json::Obj(fields) = &good {
+            for skip in 0..fields.len() {
+                let partial = Json::Obj(
+                    fields
+                        .iter()
+                        .enumerate()
+                        .filter(|&(i, _)| i != skip)
+                        .map(|(_, kv)| kv.clone())
+                        .collect(),
+                );
+                // `tags` is genuinely optional; everything else must err.
+                if fields[skip].0 != "tags" {
+                    assert!(TraceRecord::from_json(&partial).is_err(), "dropped {skip}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flight_recorder_keeps_errors_through_ok_floods() {
+        let tracer = Tracer::new(TraceConfig { flight_len: 4, ..TraceConfig::default() });
+        let rec = |outcome: &str| {
+            let tb = tracer.begin("path");
+            let r = tb.finish(outcome).expect("live");
+            tracer.record(r);
+        };
+        rec("INTERNAL");
+        for _ in 0..20 {
+            rec("OK");
+        }
+        let all = tracer.flush();
+        assert!(
+            all.iter().any(|r| r.outcome == "INTERNAL"),
+            "the error ring must survive an OK flood"
+        );
+        assert!(all.windows(2).all(|w| w[0].seq < w[1].seq), "flush sorts by seq");
+        assert!(tracer.flush().is_empty(), "flush drains");
+    }
+
+    #[test]
+    fn drain_recent_leaves_the_error_ring() {
+        let tracer = Tracer::new(TraceConfig { flight_len: 8, ..TraceConfig::default() });
+        tracer.record(tracer.begin("path").finish("INTERNAL").expect("live"));
+        tracer.record(tracer.begin("path").finish("OK").expect("live"));
+        let drained = tracer.drain_recent();
+        assert_eq!(drained.len(), 2, "recent ring had both");
+        let remaining = tracer.flush();
+        assert_eq!(remaining.len(), 1);
+        assert_eq!(remaining[0].outcome, "INTERNAL");
+    }
+
+    #[test]
+    fn sampling_keeps_every_non_ok_and_one_in_2k_oks() {
+        let tracer = Tracer::new(TraceConfig { sample_period_log2: 2, ..TraceConfig::default() });
+        let lines = Arc::new(Mutex::new(Vec::<u8>::new()));
+        struct Sink(Arc<Mutex<Vec<u8>>>);
+        impl Write for Sink {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().expect("sink lock").extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        tracer.attach_jsonl_sink(Box::new(Sink(Arc::clone(&lines))));
+        for i in 0..8u64 {
+            let outcome = if i == 5 { "BUSY" } else { "OK" };
+            tracer.record(tracer.begin("path").finish(outcome).expect("live"));
+        }
+        let text = String::from_utf8(lines.lock().expect("sink lock").clone()).expect("utf8");
+        let parsed: Vec<TraceRecord> = text
+            .lines()
+            .map(|l| TraceRecord::from_json(&crate::json::parse(l).expect("line json")).expect("rec"))
+            .collect();
+        // seq 0 and 4 by period 4; seq 5 because it is BUSY.
+        assert_eq!(parsed.iter().map(|r| r.seq).collect::<Vec<_>>(), vec![0, 4, 5]);
+        assert_eq!(tracer.counts(), (8, 3));
+    }
+
+    #[test]
+    fn builders_cross_threads() {
+        let tracer = Tracer::new(TraceConfig::default());
+        let mut tb = tracer.begin("path");
+        tb.mark("admission");
+        let handle = std::thread::spawn(move || {
+            tb.mark("queue");
+            tb.finish("OK").expect("live")
+        });
+        let rec = handle.join().expect("worker thread");
+        assert_eq!(rec.segments.len(), 2);
+        assert_eq!(rec.wall_ns, rec.segment_ns("admission") + rec.segment_ns("queue"));
+    }
+}

@@ -1,0 +1,171 @@
+//! Fault-injection hardening for the trace-record codec: seeded
+//! mutations and truncations over real JSONL trace-log lines and over
+//! the v5 report's `traces` section must always come back as `Ok` or a
+//! structured error — never a panic. The clean round trip is asserted
+//! lossless first, so the sweep is corrupting real wire bytes, not a
+//! hand-built approximation.
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+use cachegraph_obs::{parse_json, Json, Report, TraceConfig, TraceParseError, TraceRecord, Tracer};
+use cachegraph_rng::corrupt::Corruptor;
+
+/// A `Write` sink the test can read back after the tracer is done.
+struct SharedSink(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedSink {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().expect("sink lock").extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Drive a real tracer through a handful of requests (hits, misses, a
+/// panic, a shed) and return the JSONL its sink received plus the
+/// records the flight recorder kept.
+fn sample_traces() -> (String, Vec<TraceRecord>) {
+    let tracer = Tracer::new(TraceConfig {
+        sample_period_log2: 0, // sample everything into the sink
+        ..TraceConfig::default()
+    });
+    let buf = Arc::new(Mutex::new(Vec::new()));
+    tracer.attach_jsonl_sink(Box::new(SharedSink(Arc::clone(&buf))));
+    for (op, outcome, hit) in [
+        ("path", "OK", true),
+        ("path", "OK", false),
+        ("reach", "INTERNAL", false),
+        ("match", "BUSY", false),
+    ] {
+        let mut tb = tracer.begin(op);
+        tb.mark("admission");
+        tb.mark("queue");
+        tb.tag("cache", if hit { "hit" } else { "miss" });
+        tb.tag("cache_shard", 3u64);
+        tb.mark("cache");
+        if !hit {
+            tb.tag("cancel_polls", 17u64);
+            tb.mark("compute");
+        }
+        if outcome == "INTERNAL" {
+            tb.tag("panic", true);
+        }
+        tb.mark("serialize");
+        tb.mark("write");
+        if let Some(record) = tb.finish(outcome) {
+            tracer.record(record);
+        }
+    }
+    let jsonl = String::from_utf8(buf.lock().expect("sink lock").clone()).expect("utf8 jsonl");
+    (jsonl, tracer.flush())
+}
+
+#[test]
+fn clean_trace_jsonl_round_trips_losslessly() {
+    let (jsonl, kept) = sample_traces();
+    let lines: Vec<&str> = jsonl.lines().collect();
+    assert_eq!(lines.len(), 4, "every record was sampled into the sink");
+    for (line, original) in lines.iter().zip(&kept) {
+        let parsed = TraceRecord::from_json(&parse_json(line).expect("line parses"))
+            .expect("record decodes");
+        assert_eq!(&parsed, original, "JSONL round trip is lossless");
+    }
+}
+
+#[test]
+fn seeded_mutations_never_panic_the_trace_decoder() {
+    let (jsonl, _) = sample_traces();
+    let pristine = jsonl.into_bytes();
+    for seed in 0..600u64 {
+        let mut bytes = pristine.clone();
+        let mutations = Corruptor::new(seed).mutate_n(&mut bytes, 1 + (seed % 4) as usize);
+        // Invalid UTF-8 is rejected before any parser runs — that *is*
+        // the hardened path for bit-flipped multibyte text.
+        let Ok(text) = std::str::from_utf8(&bytes) else { continue };
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            if let Ok(json) = parse_json(line) {
+                // Ok or a structured TraceParseError; a panic aborts the
+                // test with the seed and mutation list.
+                if let Err(e) = TraceRecord::from_json(&json) {
+                    assert!(
+                        matches!(e, TraceParseError::MissingField(_) | TraceParseError::BadField(_)),
+                        "seed {seed}: unstructured error ({mutations:?})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn every_truncation_of_a_trace_line_is_rejected() {
+    let (jsonl, _) = sample_traces();
+    let line = jsonl.lines().next().expect("at least one record");
+    for cut in 0..line.len() {
+        if !line.is_char_boundary(cut) {
+            continue;
+        }
+        assert!(
+            parse_json(&line[..cut]).is_err(),
+            "a {cut}-byte prefix must not parse as a full record"
+        );
+    }
+}
+
+#[test]
+fn report_trace_section_mutants_degrade_structurally() {
+    let (_, kept) = sample_traces();
+    let mut report = Report::new("trace-harden");
+    for record in &kept {
+        report.push_trace(record.to_json());
+    }
+    let pristine = report.render().into_bytes();
+    let mut loaded_ok = 0u32;
+    for seed in 0..500u64 {
+        let mut bytes = pristine.clone();
+        Corruptor::new(seed).mutate_n(&mut bytes, 1 + (seed % 3) as usize);
+        let Ok(text) = std::str::from_utf8(&bytes) else { continue };
+        let Ok(mutant) = Report::load_str(text) else { continue };
+        loaded_ok += 1;
+        for section in &mutant.traces {
+            // Decoding a mutated section is allowed to fail, never to
+            // panic; a decoded record keeps its accessors total.
+            if let Ok(record) = TraceRecord::from_json(section) {
+                let _ = record.id_hex();
+                let _ = record.segment_ns("queue");
+                let _ = record.tag("panic");
+            }
+        }
+    }
+    // Sanity: some single-byte mutants (e.g. inside a string) still load.
+    assert!(loaded_ok > 0, "mutation sweep looks mis-wired: nothing ever loads");
+}
+
+#[test]
+fn v4_documents_load_with_empty_traces() {
+    // A pre-tracing (v4) report has no `traces` section; it must load
+    // under the current schema with an empty trace list, and a v5
+    // document with traces must round-trip them.
+    let v4 = Json::obj()
+        .field("schema_version", 4u64)
+        .field("tool", "cachegraph")
+        .field("report", "old-serve-run")
+        .field("experiments", Json::Arr(vec![Json::obj().field("name", "serve.state")]));
+    let loaded = Report::load_str(&v4.render()).expect("v4 loads forward");
+    assert!(loaded.traces.is_empty(), "missing section reads as empty, not an error");
+
+    let (_, kept) = sample_traces();
+    let mut v5 = Report::new("new-serve-run");
+    for record in &kept {
+        v5.push_trace(record.to_json());
+    }
+    let reloaded = Report::load_str(&v5.render()).expect("v5 round-trips");
+    assert_eq!(reloaded.traces.len(), kept.len());
+}

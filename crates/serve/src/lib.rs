@@ -24,10 +24,17 @@
 //! * **panic isolation** — `catch_unwind` per request: a poisoned
 //!   request answers `INTERNAL` and the server lives;
 //! * **graceful shutdown** — stop accepting, drain in-flight work under
-//!   a drain deadline, leave a final schema-v4 metrics report;
+//!   a drain deadline, leave a final schema-v5 metrics report;
 //! * **chaos** ([`FaultPlan`]) — one-shot `panic:OP,hang:OP,kill:OP`
 //!   injections (the PR 3 supervisor grammar) so the whole taxonomy is
-//!   testable from a real client.
+//!   testable from a real client;
+//! * **request tracing** — every admitted request carries a
+//!   `cachegraph_obs::trace` wide event across threads (admission →
+//!   queue → cache → compute → serialize → write; segment durations sum
+//!   to wall latency by construction), landing in a flight recorder
+//!   drained by the in-band `trace` op and flushed into the final
+//!   report; the `stats` op answers a live load snapshot inline, so it
+//!   works even while the queue sheds.
 //!
 //! ```no_run
 //! use cachegraph_serve::{start, request_once, FaultPlan, Request, Response, ServerConfig};

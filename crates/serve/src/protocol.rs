@@ -166,10 +166,16 @@ pub enum Op {
     Reach,
     /// Maximum bipartite matching size on the companion bipartite graph.
     Match,
-    /// Metrics snapshot as a schema-v4 report document.
+    /// Metrics snapshot as a schema-versioned report document.
     Metrics,
     /// Liveness / readiness probe.
     Health,
+    /// Live introspection: queue depth / watermark, shed counts, cache
+    /// hit rate, worker busy gauges, latency percentiles.
+    Stats,
+    /// Drain the flight recorder's recent ring: the last N completed
+    /// request traces, as schema-v5 trace objects.
+    Trace,
     /// Graceful shutdown: stop accepting, drain, flush final report.
     Shutdown,
 }
@@ -183,6 +189,8 @@ impl Op {
             Self::Match => "match",
             Self::Metrics => "metrics",
             Self::Health => "health",
+            Self::Stats => "stats",
+            Self::Trace => "trace",
             Self::Shutdown => "shutdown",
         }
     }
@@ -195,6 +203,8 @@ impl Op {
             "match" => Some(Self::Match),
             "metrics" => Some(Self::Metrics),
             "health" => Some(Self::Health),
+            "stats" => Some(Self::Stats),
+            "trace" => Some(Self::Trace),
             "shutdown" => Some(Self::Shutdown),
             _ => None,
         }
@@ -387,7 +397,16 @@ mod tests {
 
     #[test]
     fn every_op_round_trips() {
-        for op in [Op::Path, Op::Reach, Op::Match, Op::Metrics, Op::Health, Op::Shutdown] {
+        for op in [
+            Op::Path,
+            Op::Reach,
+            Op::Match,
+            Op::Metrics,
+            Op::Health,
+            Op::Stats,
+            Op::Trace,
+            Op::Shutdown,
+        ] {
             assert_eq!(Op::parse(op.name()), Some(op));
             let req = if matches!(op, Op::Path | Op::Reach) {
                 Request { op, src: 1, dst: 2, deadline_ms: Some(9) }

@@ -47,11 +47,11 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use cachegraph_obs::{Json, Registry, Report, Snapshot};
+use cachegraph_obs::{Json, Registry, Report, Snapshot, TraceBuilder, TraceConfig, Tracer};
 
 use crate::cache::ShardedLru;
 use crate::engine::{EngineConfig, QueryEngine, QueryError};
-use crate::protocol::{read_frame, write_frame, Op, Request, Response, WireError};
+use crate::protocol::{encode_frame, read_frame, write_frame, Op, Request, Response, WireError};
 
 /// Survive poisoned locks: a panicking thread must not wedge the queue.
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -142,6 +142,10 @@ pub struct ServerConfig {
     pub cache_shards: usize,
     /// Result cache per-shard capacity.
     pub cache_per_shard: usize,
+    /// Request-scoped tracing: flight-recorder depth, JSONL sampling,
+    /// trace-id seed. Tracing is on by default; disabling it makes
+    /// every trace call a branch on `None` (the overhead baseline).
+    pub trace: TraceConfig,
 }
 
 impl Default for ServerConfig {
@@ -158,16 +162,21 @@ impl Default for ServerConfig {
             hang_ms: 400,
             cache_shards: 8,
             cache_per_shard: 128,
+            trace: TraceConfig::default(),
         }
     }
 }
 
-/// One admitted query waiting for (or held by) a worker.
+/// One admitted query waiting for (or held by) a worker. The trace
+/// builder rides along: its monotonic cursor was started on the
+/// admission thread, so the worker's first mark measures queue wait
+/// without any cross-thread clock handoff.
 struct Job {
     stream: TcpStream,
     req: Request,
     enqueued: Instant,
     deadline: Instant,
+    tb: TraceBuilder,
 }
 
 struct Metrics {
@@ -177,7 +186,12 @@ struct Metrics {
     deadline_exceeded: cachegraph_obs::Counter,
     bad_request: cachegraph_obs::Counter,
     torn_writes: cachegraph_obs::Counter,
+    op_path: cachegraph_obs::Counter,
+    op_reach: cachegraph_obs::Counter,
+    op_match: cachegraph_obs::Counter,
     queue_depth: cachegraph_obs::Gauge,
+    queue_high_watermark: cachegraph_obs::Gauge,
+    workers_busy: cachegraph_obs::Gauge,
     latency_ns: cachegraph_obs::Histogram,
 }
 
@@ -186,11 +200,13 @@ struct Shared {
     engine: QueryEngine,
     cache: ShardedLru<Json>,
     fault_plan: FaultPlan,
+    tracer: Tracer,
     queue: Mutex<VecDeque<Job>>,
     available: Condvar,
     shutting_down: AtomicBool,
     shedding: AtomicBool,
     in_flight: AtomicUsize,
+    high_watermark: AtomicUsize,
     registry: Registry,
     m: Metrics,
     port: u16,
@@ -213,7 +229,59 @@ impl Shared {
         }
     }
 
-    /// The `metrics` answer payload: a full schema-v4 report document.
+    /// Count one arriving query request against its per-op counter
+    /// (sheds included: the counters audit demand, not completions).
+    fn count_op(&self, op: Op) {
+        match op {
+            Op::Path => self.m.op_path.incr(),
+            Op::Reach => self.m.op_reach.incr(),
+            Op::Match => self.m.op_match.incr(),
+            _ => {}
+        }
+    }
+
+    /// The `stats` answer payload: a small live snapshot, answered
+    /// inline on the admission thread so it works even while the queue
+    /// is shedding — that is the moment it is most needed.
+    fn stats_payload(&self) -> Json {
+        let snapshot = self.registry.snapshot();
+        let counter = |name: &str| snapshot.counters.get(name).copied().unwrap_or(0);
+        let mut latency = Json::obj();
+        if let Some(h) = snapshot.histograms.get("serve.latency_ns") {
+            for (label, q) in [("p50_ns", 0.50), ("p90_ns", 0.90), ("p99_ns", 0.99)] {
+                latency = latency.field(label, h.percentile(q).unwrap_or(0));
+            }
+        }
+        Json::obj()
+            .field("queue_depth", self.queue_depth())
+            .field("queue_high_watermark", self.high_watermark.load(Ordering::Relaxed))
+            .field("shedding", self.shedding.load(Ordering::Relaxed))
+            .field("workers", self.cfg.workers.max(1))
+            .field("workers_busy", self.in_flight.load(Ordering::Relaxed))
+            .field("cache_hit_ratio", self.cache.hit_ratio())
+            .field("ok", counter("serve.ok"))
+            .field("shed", counter("serve.shed"))
+            .field("deadline_exceeded", counter("serve.deadline_exceeded"))
+            .field("panics", counter("serve.panics"))
+            .field("bad_request", counter("serve.bad_request"))
+            .field("torn_writes", counter("serve.torn_writes"))
+            .field("op_path", counter("serve.op.path"))
+            .field("op_reach", counter("serve.op.reach"))
+            .field("op_match", counter("serve.op.match"))
+            .field("latency", latency)
+    }
+
+    /// The `trace` answer payload: drain the flight recorder's recent
+    /// ring. The error ring is untouched, so live introspection cannot
+    /// rob the final report's post-mortem section.
+    fn trace_payload(&self) -> Json {
+        let traces: Vec<Json> =
+            self.tracer.drain_recent().iter().map(cachegraph_obs::TraceRecord::to_json).collect();
+        Json::obj().field("count", traces.len()).field("traces", Json::Arr(traces))
+    }
+
+    /// The `metrics` answer payload: a full schema-versioned report
+    /// document (traces excluded — use `trace` / the final report).
     fn metrics_report(&self) -> Json {
         self.sync_cache_gauges();
         let mut report = Report::new("cachegraph-serve");
@@ -222,6 +290,7 @@ impl Shared {
             Json::obj()
                 .field("name", "serve.state")
                 .field("queue_depth", self.queue_depth())
+                .field("queue_high_watermark", self.high_watermark.load(Ordering::Relaxed))
                 .field("shedding", self.shedding.load(Ordering::Relaxed))
                 .field("in_flight", self.in_flight.load(Ordering::Relaxed))
                 .field("cache_hit_ratio", self.cache.hit_ratio())
@@ -258,9 +327,13 @@ impl Shared {
         Ok(())
     }
 
-    /// Run one admitted query. Called inside `catch_unwind`; panics
-    /// (injected or real) are the caller's to absorb.
-    fn handle_query(&self, req: &Request, deadline: Instant) -> Response {
+    /// Run one admitted query, marking trace segments as it goes:
+    /// `cache` after the result-cache probe, `compute` after the engine
+    /// returns (tagged with the cancellation closure's poll count).
+    /// Called inside `catch_unwind`; panics (injected or real) are the
+    /// caller's to absorb — the builder keeps whatever marks landed
+    /// before the panic, which is exactly what the post-mortem wants.
+    fn handle_query(&self, req: &Request, deadline: Instant, tb: &mut TraceBuilder) -> Response {
         // Compute-boundary deadline check: queries short enough to
         // finish under the in-kernel poll interval (or stalled by a
         // hang fault before compute began) still honour the deadline.
@@ -277,11 +350,23 @@ impl Shared {
             ));
         }
         let key = cache_key(req.op, req.src, req.dst);
-        if let Some(hit) = self.cache.get(key) {
+        let probe = self.cache.get(key);
+        tb.mark("cache");
+        tb.tag("cache", if probe.is_some() { "hit" } else { "miss" });
+        tb.tag("cache_shard", self.cache.shard_of(key) as u64);
+        if let Some(hit) = probe {
             self.m.ok.incr();
             return Response::Ok(hit);
         }
-        let mut cancel = || Instant::now() >= deadline;
+        // Count the solver's deadline polls: one closure call per
+        // kernel-side cancellation check (Dijkstra every 64 extract-
+        // mins, FW per tile kernel call, matching per augmentation
+        // round — see each crate's `cancel` module).
+        let mut polls = 0u64;
+        let mut cancel = || {
+            polls += 1;
+            Instant::now() >= deadline
+        };
         let computed = match req.op {
             Op::Path => self.engine.path(req.src, req.dst, &mut cancel),
             Op::Reach => self.engine.reach(req.src, req.dst, &mut cancel),
@@ -290,8 +375,12 @@ impl Shared {
             // hand-crafted frame cannot crash a worker.
             Op::Metrics => return Response::Ok(self.metrics_report()),
             Op::Health => return Response::Ok(self.health_payload()),
+            Op::Stats => return Response::Ok(self.stats_payload()),
+            Op::Trace => return Response::Ok(self.trace_payload()),
             Op::Shutdown => return Response::Ok(Json::obj().field("draining", true)),
         };
+        tb.mark("compute");
+        tb.tag("cancel_polls", polls);
         match computed {
             Ok(data) => {
                 self.cache.put(key, data.clone());
@@ -341,20 +430,45 @@ impl ServerHandle {
         self.shared.shutting_down.load(Ordering::Acquire)
     }
 
+    /// Attach the JSONL sink the tracer writes sampled traces to. Call
+    /// before serving traffic (traces completed earlier are not
+    /// rewritten).
+    pub fn attach_trace_sink(&self, sink: Box<dyn Write + Send>) {
+        self.shared.tracer.attach_jsonl_sink(sink);
+    }
+
     /// Wait for the server to finish (after a `shutdown` request
     /// drains it) and return the final metrics snapshot, with cache
     /// gauges synced.
-    pub fn join(mut self) -> Snapshot {
+    pub fn join(self) -> Snapshot {
+        self.join_report().0
+    }
+
+    /// [`join`](Self::join), plus the final report: metrics, the
+    /// `serve.state` experiment, and the flushed flight recorder (both
+    /// rings — the post-mortem section). This is the v5 document the
+    /// chaos suite parses back.
+    pub fn join_report(mut self) -> (Snapshot, Report) {
         for h in self.acceptor.take().into_iter().chain(self.workers.drain(..)) {
             // A panicked service thread already isolated the damage;
             // the final snapshot is still valid.
             let _ = h.join();
         }
         self.shared.sync_cache_gauges();
-        self.shared.registry.snapshot()
+        let snapshot = self.shared.registry.snapshot();
+        let report = match Report::from_json(&self.shared.metrics_report()) {
+            Ok(r) => r,
+            Err(_) => Report::new("cachegraph-serve"),
+        };
+        let mut report = report;
+        for trace in self.shared.tracer.flush() {
+            report.push_trace(trace.to_json());
+        }
+        (snapshot, report)
     }
 
-    /// The final report document (schema v4) for the current state.
+    /// The final report document for the current state (metrics only;
+    /// [`join_report`](Self::join_report) adds the flight recorder).
     pub fn report_json(&self) -> Json {
         self.shared.metrics_report()
     }
@@ -387,21 +501,29 @@ pub fn start_on(
         deadline_exceeded: registry.counter("serve.deadline_exceeded"),
         bad_request: registry.counter("serve.bad_request"),
         torn_writes: registry.counter("serve.torn_writes"),
+        op_path: registry.counter("serve.op.path"),
+        op_reach: registry.counter("serve.op.reach"),
+        op_match: registry.counter("serve.op.match"),
         queue_depth: registry.gauge("serve.queue_depth"),
+        queue_high_watermark: registry.gauge("serve.queue_high_watermark"),
+        workers_busy: registry.gauge("serve.workers_busy"),
         latency_ns: registry.histogram("serve.latency_ns"),
     };
     let cache = ShardedLru::new(cfg.cache_shards, cfg.cache_per_shard);
     let workers = cfg.workers.max(1);
+    let tracer = Tracer::new(cfg.trace.clone());
     let shared = Arc::new(Shared {
         cfg,
         engine,
         cache,
         fault_plan,
+        tracer,
         queue: Mutex::new(VecDeque::new()),
         available: Condvar::new(),
         shutting_down: AtomicBool::new(false),
         shedding: AtomicBool::new(false),
         in_flight: AtomicUsize::new(0),
+        high_watermark: AtomicUsize::new(0),
         registry,
         m,
         port,
@@ -441,7 +563,12 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
 }
 
 /// Read one request frame and route it: inline op, shed, or enqueue.
+///
+/// The trace clock starts *before* the frame read, so the `admission`
+/// segment covers everything the request waited on up front: socket
+/// read, parse, the admission decision, and the enqueue itself.
 fn admit_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
+    let arrived = Instant::now();
     let timeout = Duration::from_millis(shared.cfg.read_timeout_ms.max(1));
     let _ = stream.set_read_timeout(Some(timeout));
     let _ = stream.set_nodelay(true);
@@ -463,6 +590,12 @@ fn admit_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
         Op::Metrics => {
             let _ = write_frame(&mut stream, &Response::Ok(shared.metrics_report()).to_json());
         }
+        Op::Stats => {
+            let _ = write_frame(&mut stream, &Response::Ok(shared.stats_payload()).to_json());
+        }
+        Op::Trace => {
+            let _ = write_frame(&mut stream, &Response::Ok(shared.trace_payload()).to_json());
+        }
         Op::Shutdown => {
             shared.shutting_down.store(true, Ordering::Release);
             shared.available.notify_all();
@@ -471,18 +604,37 @@ fn admit_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
             let _ = TcpStream::connect(("127.0.0.1", shared.port));
         }
         Op::Path | Op::Reach | Op::Match => {
+            shared.count_op(req.op);
+            let mut tb = shared.tracer.begin_at(arrived, req.op.name());
             if let Err(resp) = shared.admit() {
+                // Shed and drain refusals are traced too: every BUSY /
+                // SHUTTING_DOWN is a non-OK outcome, so the sampler
+                // always captures it.
+                tb.mark("admission");
                 let _ = write_frame(&mut stream, &resp.to_json());
+                tb.mark("write");
+                if let Some(rec) = tb.finish(resp.status()) {
+                    shared.tracer.record(rec);
+                }
                 return;
             }
             let now = Instant::now();
             let ms = req.deadline_ms.unwrap_or(shared.cfg.default_deadline_ms).max(1);
-            let job = Job { stream, req, enqueued: now, deadline: now + Duration::from_millis(ms) };
+            tb.mark("admission");
+            let job = Job {
+                stream,
+                req,
+                enqueued: now,
+                deadline: now + Duration::from_millis(ms),
+                tb,
+            };
             let depth = {
                 let mut q = lock(&shared.queue);
                 q.push_back(job);
                 q.len()
             };
+            shared.high_watermark.fetch_max(depth, Ordering::Relaxed);
+            shared.m.queue_high_watermark.set(shared.high_watermark.load(Ordering::Relaxed) as i64);
             shared.m.queue_depth.set(depth as i64);
             shared.available.notify_one();
         }
@@ -511,20 +663,32 @@ fn worker_loop(shared: &Arc<Shared>) {
         let Some(mut job) = job else {
             return;
         };
-        shared.in_flight.fetch_add(1, Ordering::SeqCst);
+        let busy = shared.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+        shared.m.workers_busy.set(busy as i64);
         shared.m.queue_depth.set(shared.queue_depth() as i64);
         serve_job(shared, &mut job);
         shared.m.latency_ns.record(job.enqueued.elapsed().as_nanos() as u64);
-        shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+        let busy = shared.in_flight.fetch_sub(1, Ordering::SeqCst) - 1;
+        shared.m.workers_busy.set(busy as i64);
     }
 }
 
 /// Handle one dequeued job: deadline re-check, fault injection, the
 /// query itself under `catch_unwind`, and the response write.
+///
+/// The first mark closes the `queue` segment (time from enqueue to the
+/// worker claiming the job). The trace builder stays *outside* the
+/// `catch_unwind` closure's panic path — whatever marks and tags
+/// landed before a panic survive into the `INTERNAL` partial trace,
+/// which is the whole point of the flight recorder.
 fn serve_job(shared: &Arc<Shared>, job: &mut Job) {
+    job.tb.mark("queue");
     if Instant::now() >= job.deadline {
         shared.m.deadline_exceeded.incr();
         let _ = write_frame(&mut job.stream, &Response::DeadlineExceeded.to_json());
+        job.tb.mark("write");
+        job.tb.tag("expired_in_queue", true);
+        finish_trace(shared, job, "DEADLINE_EXCEEDED");
         return;
     }
     let fault = shared.fault_plan.take(job.req.op.name());
@@ -534,31 +698,61 @@ fn serve_job(shared: &Arc<Shared>, job: &mut Job) {
         let _ = job.stream.write_all(&[0, 0, 0, 64, b'{', b'"']);
         let _ = job.stream.flush();
         shared.m.torn_writes.incr();
+        job.tb.mark("write");
+        job.tb.tag("fault", "kill");
+        job.tb.tag("torn_write", true);
+        finish_trace(shared, job, "INTERNAL");
         return; // dropping the stream cuts the connection
     }
-    let outcome = catch_unwind(AssertUnwindSafe(|| {
-        match fault {
-            Some(Fault::Panic) => {
-                // tidy: allow(panic-policy) -- injected fault; absorbed by catch_unwind below
-                panic!("injected fault: panic on `{}`", job.req.op.name());
+    let outcome = {
+        let shared = Arc::clone(shared);
+        let req = job.req.clone();
+        let deadline = job.deadline;
+        let tb = &mut job.tb;
+        catch_unwind(AssertUnwindSafe(move || {
+            match fault {
+                Some(Fault::Panic) => {
+                    // tidy: allow(panic-policy) -- injected fault; absorbed by catch_unwind below
+                    panic!("injected fault: panic on `{}`", req.op.name());
+                }
+                Some(Fault::Hang) => {
+                    // Injected stall: long enough to blow most deadlines,
+                    // short enough to keep chaos tests fast.
+                    std::thread::sleep(Duration::from_millis(shared.cfg.hang_ms));
+                    // Attribute the stall to compute (merged with any
+                    // real compute time that follows).
+                    tb.mark("compute");
+                    tb.tag("fault", "hang");
+                }
+                _ => {}
             }
-            Some(Fault::Hang) => {
-                // Injected stall: long enough to blow most deadlines,
-                // short enough to keep chaos tests fast.
-                std::thread::sleep(Duration::from_millis(shared.cfg.hang_ms));
-            }
-            _ => {}
-        }
-        shared.handle_query(&job.req, job.deadline)
-    }));
+            shared.handle_query(&req, deadline, tb)
+        }))
+    };
     let response = match outcome {
         Ok(resp) => resp,
         Err(_) => {
             shared.m.panics.incr();
+            // Close the open interval: the time up to the panic is
+            // compute time the request actually spent.
+            job.tb.mark("compute");
+            job.tb.tag("panic", true);
             Response::Internal("handler panicked; request poisoned, server alive".to_string())
         }
     };
-    let _ = write_frame(&mut job.stream, &response.to_json());
+    let bytes = encode_frame(&response.to_json());
+    job.tb.mark("serialize");
+    let _ = job.stream.write_all(&bytes).and_then(|()| job.stream.flush());
+    job.tb.mark("write");
+    finish_trace(shared, job, response.status());
+}
+
+/// Seal the job's trace and file it with the tracer.
+fn finish_trace(shared: &Arc<Shared>, job: &mut Job, outcome: &str) {
+    let tb = std::mem::replace(&mut job.tb, TraceBuilder::inert());
+    if let Some(rec) = tb.finish(outcome) {
+        shared.tracer.record(rec);
+    }
 }
 
 /// Drain after shutdown: wait (bounded by the drain deadline) for the

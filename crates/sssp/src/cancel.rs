@@ -17,7 +17,10 @@
 //! references the observability layer (the obs-purity fixture pair
 //! `obs_pos_cancel.rs` / `obs_neg_cancel.rs` in `cachegraph-tidy`
 //! documents exactly this seam); callers build the closure from a
-//! deadline, an `AtomicBool`, or anything else.
+//! deadline, an `AtomicBool`, or anything else. The poll cadence is
+//! also the unit of the serve layer's `cancel_polls` trace tag: one
+//! count per [`CANCEL_CHECK_INTERVAL`] extract-mins, so a request
+//! trace exposes how often a query could have been abandoned.
 
 use cachegraph_graph::{Graph, VertexId, Weight, INF};
 use cachegraph_pq::{DecreaseKeyQueue, IndexedBinaryHeap};

@@ -1,0 +1,15 @@
+// tidy: kernel
+
+/// The segment-handoff style the serving layer uses: kernel code calls
+/// a plain `FnMut(u32)` progress hook at phase boundaries and never
+/// names cachegraph_obs — the caller owns the trace builder and decides
+/// what a boundary means (a segment mark, a cancel poll, nothing).
+pub fn relax_all(dist: &mut [u64], boundary: &mut impl FnMut(u32)) -> bool {
+    let mut phase = 0u32;
+    for d in dist.iter_mut() {
+        *d = d.wrapping_add(1);
+        phase = phase.wrapping_add(1);
+    }
+    boundary(phase);
+    true
+}

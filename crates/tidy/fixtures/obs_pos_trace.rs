@@ -1,0 +1,14 @@
+// tidy: kernel
+
+/// A kernel that stamps trace segments itself: naming the
+/// `cachegraph_obs` trace builder from inside the relaxation loop must
+/// be flagged — segment marking belongs to the serving layer that owns
+/// the request, not to kernel code.
+pub fn relax_all(dist: &mut [u64]) -> bool {
+    let mut tb = cachegraph_obs::TraceBuilder::inert();
+    for d in dist.iter_mut() {
+        *d = d.wrapping_add(1);
+    }
+    tb.mark("compute");
+    true
+}

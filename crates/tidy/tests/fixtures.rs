@@ -337,6 +337,26 @@ fn obs_accepts_generic_cancel_hook_pattern() {
 }
 
 #[test]
+fn obs_flags_trace_builder_reference_in_kernel() {
+    // Request tracing is a serving-layer concern: a kernel that names
+    // the cachegraph_obs trace builder to stamp its own segments must
+    // be flagged.
+    let sf = lib_file(include_str!("../fixtures/obs_pos_trace.rs"));
+    let diags = rules::obs_purity::check(&sf);
+    assert_eq!(rules_of(&diags), ["obs-purity"]);
+    assert_eq!(diags[0].line, 8, "the qualified path inside the function body");
+}
+
+#[test]
+fn obs_accepts_generic_boundary_hook_for_tracing() {
+    // The handoff style the serve layer's trace marks ride on: kernel
+    // code reports phase boundaries through a plain FnMut and never
+    // names cachegraph_obs, so the marked file stays clean.
+    let sf = lib_file(include_str!("../fixtures/obs_neg_trace.rs"));
+    assert!(rules::obs_purity::check(&sf).is_empty());
+}
+
+#[test]
 fn obs_accepts_generic_event_hook_pattern() {
     // The event-callback style the hierarchy's profiler hooks use:
     // kernel code emits plain enum events through a generic FnMut and
