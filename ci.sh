@@ -20,9 +20,12 @@ mkdir -p target/ci-metrics
 cargo run -q --release -p cachegraph-analyze -- --sweep \
   | tee target/ci-metrics/analyze.txt
 
-echo "==> cachegraph-check (model-check fw::parallel)"
-# Footprint oracle sweep + bounded schedule exploration + barrier-omission
-# mutation sensitivity; failures print the schedule and replay seed.
+echo "==> cachegraph-check (model-check all TaskGraph drivers)"
+# Extended check matrix: footprint oracle sweep + bounded schedule
+# exploration for fw::parallel AND the three TaskGraph drivers
+# (delta-stepping sssp, partitioned matching, tiled boolean closure),
+# then barrier-omission mutation sensitivity per driver — every seeded
+# mutation must be DETECTED. Failures print the schedule and replay seed.
 cargo run -q --release -p cachegraph-check
 
 echo "==> clippy (deny warnings)"
@@ -33,7 +36,9 @@ echo "==> obs overhead gate (enabled-path budgets, release, 3-trial median)"
 # tiled unit: exact-event mode must stay within 1.15x, sampled 1/64
 # mode within 1.05x. The traced serve path (request tracing on vs off,
 # order-balanced ABBA blocks over the request loop) must stay within
-# 1.10x. The bench exits nonzero on a breach.
+# 1.10x, and parallel FW through the shared TaskGraph executor within
+# 1.05x of the hand-rolled phase loop. The bench exits nonzero on a
+# breach.
 cargo bench -q -p cachegraph-bench --bench obs_overhead -- --gate
 
 echo "==> repro --quick perf smoke (metrics -> target/ci-metrics)"

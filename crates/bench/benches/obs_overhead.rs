@@ -33,6 +33,7 @@ use cachegraph_bench::{bench_median, bench_report, black_box};
 use cachegraph_fw::instrumented::{
     sim_tiled_bdl, sim_tiled_bdl_classified, sim_tiled_bdl_profiled,
 };
+use cachegraph_fw::parallel::{fw_tiled_parallel, fw_tiled_parallel_handrolled};
 use cachegraph_fw::{fw_tiled, fw_tiled_observed, FwMatrix, INF};
 use cachegraph_layout::BlockLayout;
 use cachegraph_obs::{Registry, TraceConfig};
@@ -46,6 +47,40 @@ const EXACT_BUDGET: f64 = 1.15;
 const SAMPLED_BUDGET: f64 = 1.05;
 /// Traced serve path versus the same round with tracing disabled.
 const TRACED_SERVE_BUDGET: f64 = 1.10;
+/// Parallel FW through the shared TaskGraph executor versus the
+/// hand-rolled PR 5 phase loop it replaced: the generic dispatch
+/// (`cachegraph_plan::run_tasks`) must stay within noise of the
+/// bespoke loop.
+const TASKGRAPH_DISPATCH_BUDGET: f64 = 1.05;
+
+/// Parallel FW shape for the dispatch budget: large enough that each
+/// phase spawns real work per worker, small enough for a quick gate.
+const PAR_N: usize = 256;
+const PAR_B: usize = 16;
+const PAR_THREADS: usize = 4;
+
+/// One parallel FW solve, timed. Both entry points run the identical
+/// monomorphized kernel over the identical task plan; the only
+/// difference is who walks the task list.
+fn parallel_fw_round(costs: &[u32], handrolled: bool) -> std::time::Duration {
+    let mut m = FwMatrix::from_costs(BlockLayout::new(PAR_N, PAR_B), costs);
+    let t = std::time::Instant::now();
+    if handrolled {
+        fw_tiled_parallel_handrolled(&mut m, PAR_B, PAR_THREADS);
+    } else {
+        fw_tiled_parallel(&mut m, PAR_B, PAR_THREADS);
+    }
+    let wall = t.elapsed();
+    black_box(m.dist(0, PAR_N - 1));
+    wall
+}
+
+/// Best-of-3 parallel solve: scheduler noise is one-sided (a preempted
+/// solve can only be slower, never faster), so the min compares the two
+/// dispatchers' clean paths instead of whichever got descheduled.
+fn parallel_fw_best(costs: &[u32], handrolled: bool) -> std::time::Duration {
+    (0..3).map(|_| parallel_fw_round(costs, handrolled)).min().expect("nonempty range")
+}
 
 /// FW tiled unit the enabled-path suite simulates (quick repro scale).
 const SIM_N: usize = 96;
@@ -171,10 +206,30 @@ fn run_gate() {
     }
     serve_ratios.sort_by(f64::total_cmp);
 
+    // TaskGraph dispatch budget: the same ABBA discipline (hand-rolled,
+    // taskgraph, taskgraph, hand-rolled per block) because both sides
+    // spawn scoped threads and whole-machine noise epochs would
+    // otherwise decide the ratio.
+    let par_costs = random_costs(PAR_N, 0.3, 47);
+    let par_blocks = 7;
+    parallel_fw_round(&par_costs, true); // warmup both paths
+    parallel_fw_round(&par_costs, false);
+    let mut par_ratios = Vec::with_capacity(par_blocks);
+    for _ in 0..par_blocks {
+        let h1 = parallel_fw_best(&par_costs, true);
+        let g1 = parallel_fw_best(&par_costs, false);
+        let g2 = parallel_fw_best(&par_costs, false);
+        let h2 = parallel_fw_best(&par_costs, true);
+        let hand = (h1 + h2).as_secs_f64().max(1e-12);
+        par_ratios.push((g1 + g2).as_secs_f64() / hand);
+    }
+    par_ratios.sort_by(f64::total_cmp);
+
     let base = baseline.as_secs_f64().max(1e-12);
     let exact_ratio = exact.as_secs_f64() / base;
     let sampled_ratio = sampled.as_secs_f64() / base;
     let traced_ratio = serve_ratios[serve_blocks / 2];
+    let dispatch_ratio = par_ratios[par_blocks / 2];
     println!("obs_overhead gate (median of {trials}, FW tiled n={SIM_N} b={SIM_B}):");
     println!("  baseline (classified, no profiler): {baseline:?}");
     println!("  exact-event profiled:   {exact:?}  ({exact_ratio:.3}x, budget {EXACT_BUDGET}x)");
@@ -184,6 +239,10 @@ fn run_gate() {
     );
     println!(
         "  serve rounds traced:    {serve_traced:?} total  (median block ratio {traced_ratio:.3}x, budget {TRACED_SERVE_BUDGET}x)"
+    );
+    println!(
+        "  taskgraph dispatch:     parallel FW n={PAR_N} b={PAR_B} threads={PAR_THREADS}  \
+         (median block ratio {dispatch_ratio:.3}x vs hand-rolled, budget {TASKGRAPH_DISPATCH_BUDGET}x)"
     );
     let mut breached = false;
     if exact_ratio > EXACT_BUDGET {
@@ -196,6 +255,12 @@ fn run_gate() {
     }
     if traced_ratio > TRACED_SERVE_BUDGET {
         eprintln!("BUDGET BREACH: traced serve {traced_ratio:.3}x > {TRACED_SERVE_BUDGET}x");
+        breached = true;
+    }
+    if dispatch_ratio > TASKGRAPH_DISPATCH_BUDGET {
+        eprintln!(
+            "BUDGET BREACH: taskgraph dispatch {dispatch_ratio:.3}x > {TASKGRAPH_DISPATCH_BUDGET}x"
+        );
         breached = true;
     }
     if breached {
@@ -282,5 +347,15 @@ fn main() {
     });
     bench_report("obs_overhead", "serve_round_traced", samples, || {
         black_box(serve_round(true, 60));
+    });
+
+    // TaskGraph dispatch: parallel FW through the shared executor vs
+    // the hand-rolled phase loop it replaced.
+    let par_costs = random_costs(PAR_N, 0.3, 47);
+    bench_report("obs_overhead", "fw_parallel_handrolled", samples, || {
+        black_box(parallel_fw_round(&par_costs, true));
+    });
+    bench_report("obs_overhead", "fw_parallel_taskgraph", samples, || {
+        black_box(parallel_fw_round(&par_costs, false));
     });
 }

@@ -13,7 +13,11 @@
 //!   of the FWI kernel per step, in exactly `fwi_raw`'s operation order.
 //!
 //! A schedule is a sequence of worker ids; the scheduler runs the next
-//! step of the named worker at each position. Per phase the explorer
+//! step of the named worker at each position. The scheduler itself —
+//! interleaving enumeration, seeded sampling, canonical-state
+//! comparison — is the generic engine in [`cachegraph_plan::schedule`],
+//! shared with the delta-stepping, matching, and closure checkers; this
+//! module contributes the FW step semantics and phase structure. Per phase the explorer
 //! enumerates **every** interleaving when their number is within
 //! [`ExploreOptions::exhaustive_bound`], otherwise it samples
 //! seeded-random schedules (`cachegraph-rng`), and checks two things on
@@ -33,6 +37,9 @@ use std::fmt;
 use cachegraph_fw::plan::{Planner, TileTask};
 use cachegraph_fw::{fw_tiled, FwMatrix, INF};
 use cachegraph_layout::BlockLayout;
+use cachegraph_plan::schedule::{
+    explore_phase as explore_phase_generic, worker_steps, ScheduleOptions,
+};
 use cachegraph_rng::StdRng;
 
 use crate::shadow::{Race, ShadowStorage};
@@ -97,7 +104,7 @@ impl fmt::Display for RaceViolation {
         write!(
             f,
             "t={} {}: {} at cell {} (tasks {} vs {}) on schedule {:?}, replay seed {:#x}",
-            self.t, self.phase, self.race.kind, self.race.cell, self.race.task, self.race.other,
+            self.t, self.phase, self.race.kind, self.race.unit, self.race.task, self.race.other,
             self.schedule, self.seed
         )
     }
@@ -183,83 +190,6 @@ fn k_step(shadow: &mut ShadowStorage, task: &TileTask, k: usize, b: usize, tid: 
     }
 }
 
-/// Execute one schedule from the phase-start state. Returns the end
-/// state and the first race observed (if any).
-fn run_schedule(
-    start: &ShadowStorage,
-    workers: &[Vec<(usize, usize)>],
-    tasks: &[TileTask],
-    b: usize,
-    schedule: &[u16],
-) -> (ShadowStorage, Option<Race>) {
-    let mut shadow = start.clone();
-    let mut pos = vec![0usize; workers.len()];
-    let mut first = None;
-    for &w in schedule {
-        let wi = w as usize;
-        let (ti, k) = workers[wi][pos[wi]];
-        pos[wi] += 1;
-        // tidy note: task ids fit u16 — tiles² per phase, asserted by the
-        // planner sweep sizes used here.
-        k_step(&mut shadow, &tasks[ti], k, b, ti as u16, &mut first);
-    }
-    (shadow, first)
-}
-
-/// Number of distinct interleavings of step sequences with the given
-/// lengths — the multinomial `(Σc)! / Πc!` — computed as a product of
-/// binomials, saturating at `cap + 1` (so `result > cap` means "over").
-fn interleaving_count(counts: &[usize], cap: u128) -> u128 {
-    let mut result: u128 = 1;
-    let mut total: u128 = 0;
-    for &c in counts {
-        let k = c as u128;
-        total += k;
-        // result *= C(total, k), incrementally (each prefix is integral).
-        for i in 1..=k {
-            result = result.saturating_mul(total - k + i) / i;
-            if result > cap {
-                return cap + 1;
-            }
-        }
-    }
-    result
-}
-
-/// Visit every distinct interleaving of workers with the given remaining
-/// step counts, depth-first in worker-id order.
-fn for_each_interleaving(counts: &mut [usize], prefix: &mut Vec<u16>, visit: &mut impl FnMut(&[u16])) {
-    let mut exhausted = true;
-    for w in 0..counts.len() {
-        if counts[w] > 0 {
-            exhausted = false;
-            counts[w] -= 1;
-            prefix.push(w as u16);
-            for_each_interleaving(counts, prefix, visit);
-            prefix.pop();
-            counts[w] += 1;
-        }
-    }
-    if exhausted {
-        visit(prefix);
-    }
-}
-
-/// Draw one uniformly-random schedule over the remaining step counts.
-fn sample_schedule(counts: &[usize], rng: &mut StdRng) -> Vec<u16> {
-    let mut remaining = counts.to_vec();
-    let total: usize = remaining.iter().sum();
-    let mut schedule = Vec::with_capacity(total);
-    for _ in 0..total {
-        let live: Vec<usize> =
-            (0..remaining.len()).filter(|&w| remaining[w] > 0).collect();
-        let w = live[rng.gen_range(0..live.len())];
-        remaining[w] -= 1;
-        schedule.push(w as u16);
-    }
-    schedule
-}
-
 struct PhaseCtx {
     t: usize,
     phase: &'static str,
@@ -267,8 +197,11 @@ struct PhaseCtx {
     threads: usize,
 }
 
-/// Explore one parallel phase. On return `shadow` holds the canonical
-/// end-of-phase state (what the barriered driver computes).
+/// Explore one parallel phase through the generic engine in
+/// [`cachegraph_plan::schedule`]: one step = one outer-`k` iteration of
+/// a task's kernel ([`k_step`]), workers chunked exactly like
+/// `run_parallel`. On return `shadow` holds the canonical end-of-phase
+/// state (what the barriered driver computes).
 fn explore_phase(
     shadow: &mut ShadowStorage,
     tasks: &[TileTask],
@@ -281,88 +214,40 @@ fn explore_phase(
     if tasks.is_empty() {
         return;
     }
-    // Worker step sequences, mirroring `run_parallel`'s chunking.
-    let threads = ctx.threads.min(tasks.len()).max(1);
-    let chunk = tasks.len().div_ceil(threads);
-    let mut workers: Vec<Vec<(usize, usize)>> = Vec::new();
-    for (w, slice) in tasks.chunks(chunk).enumerate() {
-        let mut steps = Vec::new();
-        for off in 0..slice.len() {
-            let ti = w * chunk + off;
-            for k in 0..ctx.b {
-                steps.push((ti, k));
-            }
-        }
-        workers.push(steps);
+    let workers = worker_steps(&vec![ctx.b; tasks.len()], ctx.threads);
+    let sched_opts =
+        ScheduleOptions { exhaustive_bound: opts.exhaustive_bound, samples: opts.samples };
+    let (canonical, outcome) = explore_phase_generic(
+        shadow,
+        &workers,
+        &sched_opts,
+        rng,
+        &mut |s, ti, k| {
+            let mut first = None;
+            // tidy note: task ids fit u16 — tiles² per phase, asserted by
+            // the planner sweep sizes used here.
+            k_step(s, &tasks[ti], k, ctx.b, ti as u16, &mut first);
+            first
+        },
+        &mut |end, canon| {
+            end.values().iter().zip(canon.values()).position(|(a, b)| a != b)
+        },
+    );
+    report.schedules += outcome.schedules;
+    if outcome.sampled {
+        report.exhaustive = false;
     }
-    let counts: Vec<usize> = workers.iter().map(Vec::len).collect();
-
-    // Canonical end state: workers in order — the same task order as the
-    // sequential tiled driver. Races the shadow reports here are
-    // schedule-independent (e.g. a merged barrier-omission phase).
-    let serial: Vec<u16> = workers
-        .iter()
-        .enumerate()
-        .flat_map(|(w, steps)| std::iter::repeat_n(w as u16, steps.len()))
-        .collect();
-    let (canonical, canonical_race) = run_schedule(shadow, &workers, tasks, ctx.b, &serial);
-
-    let mut race_seen = canonical_race.is_some();
-    if let Some(race) = canonical_race {
+    if let Some((schedule, race)) = outcome.race {
         report.violations.push(RaceViolation {
             t: ctx.t,
             phase: ctx.phase,
-            schedule: serial.clone(),
+            schedule,
             race,
             seed: report.config.seed,
         });
     }
-
-    let mut mismatch_seen = false;
-    let mut run_one = |schedule: &[u16], report: &mut ExploreReport| {
-        let (end, race) = run_schedule(shadow, &workers, tasks, ctx.b, schedule);
-        report.schedules += 1;
-        if let Some(race) = race {
-            if !race_seen {
-                race_seen = true;
-                report.violations.push(RaceViolation {
-                    t: ctx.t,
-                    phase: ctx.phase,
-                    schedule: schedule.to_vec(),
-                    race,
-                    seed: report.config.seed,
-                });
-            }
-            return;
-        }
-        if !mismatch_seen {
-            if let Some(cell) =
-                end.values().iter().zip(canonical.values()).position(|(a, b)| a != b)
-            {
-                mismatch_seen = true;
-                report.mismatches.push(ScheduleMismatch {
-                    t: ctx.t,
-                    phase: ctx.phase,
-                    schedule: schedule.to_vec(),
-                    cell,
-                });
-            }
-        }
-    };
-
-    let total = interleaving_count(&counts, u128::from(opts.exhaustive_bound));
-    if total <= u128::from(opts.exhaustive_bound) {
-        let mut remaining = counts.clone();
-        let mut prefix = Vec::new();
-        for_each_interleaving(&mut remaining, &mut prefix, &mut |schedule| {
-            run_one(schedule, report);
-        });
-    } else {
-        report.exhaustive = false;
-        for _ in 0..opts.samples {
-            let schedule = sample_schedule(&counts, rng);
-            run_one(&schedule, report);
-        }
+    if let Some((schedule, cell)) = outcome.mismatch {
+        report.mismatches.push(ScheduleMismatch { t: ctx.t, phase: ctx.phase, schedule, cell });
     }
     *shadow = canonical;
 }
@@ -443,6 +328,7 @@ pub fn explore_config(cfg: &Config, opts: &ExploreOptions) -> ExploreReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cachegraph_plan::schedule::{for_each_interleaving, interleaving_count, sample_schedule};
 
     #[test]
     fn interleaving_counts_are_multinomials() {

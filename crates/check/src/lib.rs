@@ -45,15 +45,39 @@
 //! loop; the per-cell reader/writer sets make detection granularity
 //! per-access anyway). See DESIGN.md §10.
 //!
+//! Beyond the FW driver, the same machinery checks the other parallel
+//! drivers built on the `cachegraph-plan` TaskGraph runtime, via the
+//! shared script-replay engine in [`driver`]: the real algorithm runs
+//! *serially* through its sink-generic task bodies, recording each
+//! task's ordered unit-access script, and the scripts are replayed
+//! against `cachegraph_plan::ShadowMem` over enumerated/sampled
+//! interleavings. Per-driver checkers (oracle + replay + seeded
+//! barrier-omission mutation + drift guard against a serial reference):
+//!
+//! * [`delta`] — delta-stepping SSSP (`cachegraph_sssp::delta`);
+//! * [`matching`] — parallel partitioned matching
+//!   (`cachegraph_matching::parallel`);
+//! * [`closure`] — parallel tiled boolean closure
+//!   (`cachegraph_fw::closure_parallel`).
+//!
 //! Run the full pass (footprint sweep + bounded exploration + mutation
-//! sensitivity) with `cargo run -p cachegraph-check`; the same checks
-//! run under `cargo test -p cachegraph-check` as tier-1 tests.
+//! sensitivity, for all four drivers) with
+//! `cargo run -p cachegraph-check`; the same checks run under
+//! `cargo test -p cachegraph-check` as tier-1 tests.
 
+pub mod closure;
+pub mod delta;
+pub mod driver;
 pub mod explore;
+pub mod matching;
 pub mod oracle;
 pub mod shadow;
 
+pub use closure::{check_closure, check_closure_mutation, ClosureConfig};
+pub use delta::{check_delta, check_delta_mutation, DeltaConfig};
+pub use driver::{DriverReport, DriverViolation, PhaseScripts, Script, ScriptSink, ScriptedShadow};
 pub use explore::{explore_config, Config, ExploreOptions, ExploreReport, RaceViolation};
+pub use matching::{check_matching, check_matching_mutation, MatchingConfig};
 pub use oracle::{
     check_footprints, check_phase_footprints, sweep_footprints, FootprintViolation, OverlapKind,
 };

@@ -7,7 +7,10 @@
 //!    configurations (exhaustive where the interleaving count allows,
 //!    seeded-random otherwise);
 //! 3. one barrier-omission mutation, asserting the checker *detects*
-//!    the seeded race (sensitivity check).
+//!    the seeded race (sensitivity check);
+//! 4. the same three-part pass (oracle + script replay + seeded
+//!    mutation) for each TaskGraph driver: delta-stepping SSSP,
+//!    parallel partitioned matching, parallel tiled boolean closure.
 //!
 //! Any violation prints the offending schedule and the seed to replay it
 //! (`cargo run -p cachegraph-check -- --seed <seed>`). Exit codes:
@@ -15,7 +18,11 @@
 
 use std::process::ExitCode;
 
-use cachegraph_check::{explore_config, sweep_footprints, Config, ExploreOptions};
+use cachegraph_check::{
+    check_closure, check_closure_mutation, check_delta, check_delta_mutation, check_matching,
+    check_matching_mutation, explore_config, sweep_footprints, ClosureConfig, Config, DeltaConfig,
+    DriverReport, ExploreOptions, MatchingConfig,
+};
 
 /// Sweep ceiling for the footprint oracle.
 const SWEEP_N: usize = 20;
@@ -60,6 +67,29 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     Ok(args)
+}
+
+/// Print one driver checker's result; set `failed` on any violation.
+fn print_driver(label: &str, report: &DriverReport, failed: &mut bool) {
+    let mode = if report.exhaustive { "exhaustive" } else { "sampled" };
+    if report.is_clean() {
+        println!("driver: {label}: {} schedules ({mode}), clean", report.schedules);
+    } else {
+        *failed = true;
+        println!("driver: {label}: {} schedules ({mode}), VIOLATIONS", report.schedules);
+        for v in &report.footprint_violations {
+            println!("  oracle: {v}");
+        }
+        for v in &report.races {
+            println!("  race: {v}");
+        }
+        for v in &report.mismatches {
+            println!("  mismatch: {v}");
+        }
+        if !report.final_matches_reference {
+            println!("  final state diverges from the serial reference");
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -122,6 +152,36 @@ fn main() -> ExitCode {
     } else {
         failed = true;
         println!("mutation: {cfg}: race NOT detected — the checker is insensitive");
+    }
+
+    // 4. TaskGraph driver checkers: oracle + script replay per driver.
+    for &(n, threads) in &[(12usize, 2usize), (12, 4), (16, 3)] {
+        let cfg = DeltaConfig { n, density: 0.12, max_weight: 20, delta: 6, threads, seed: args.seed };
+        print_driver(&cfg.to_string(), &check_delta(&cfg, &opts), &mut failed);
+    }
+    for &(n, parts, threads) in &[(16usize, 4usize, 2usize), (16, 4, 4), (24, 4, 3)] {
+        let cfg = MatchingConfig { n, density: 0.15, parts, threads, seed: args.seed };
+        print_driver(&cfg.to_string(), &check_matching(&cfg, &opts), &mut failed);
+    }
+    for &(n, b, threads) in &[(10usize, 3usize, 2usize), (12, 4, 4), (16, 5, 3)] {
+        let cfg = ClosureConfig { n, density: 0.12, b, threads, seed: args.seed };
+        print_driver(&cfg.to_string(), &check_closure(&cfg, &opts), &mut failed);
+    }
+
+    // 5. Seeded barrier-omission mutations per driver: each must be
+    // detected on its guaranteed-conflict fixture.
+    let mutations: [(&str, DriverReport); 3] = [
+        ("delta", check_delta_mutation(2, args.seed, &opts)),
+        ("matching", check_matching_mutation(2, args.seed, &opts)),
+        ("closure", check_closure_mutation(2, args.seed, &opts)),
+    ];
+    for (name, report) in &mutations {
+        if let Some(v) = report.races.first() {
+            println!("mutation: {name} phase barrier removed: detected ({})", v.detail);
+        } else {
+            failed = true;
+            println!("mutation: {name}: race NOT detected — the checker is insensitive");
+        }
     }
 
     if failed {

@@ -10,7 +10,8 @@
 //! 2. no task's read footprint intersects any other task's write
 //!    footprint (everything a task reads is stable for the whole phase).
 //!
-//! The check is pure set arithmetic over the declared cell ranges; the
+//! The set arithmetic itself is the generic oracle in
+//! [`cachegraph_plan::footprint`] (shared with every driver checker); the
 //! companion test in `cachegraph-fw` (`phase_tasks_access_disjoint_cells`)
 //! proves the declared ranges cover every access the real kernel makes,
 //! so together they discharge the driver's soundness argument.
@@ -21,23 +22,7 @@ use std::fmt;
 use cachegraph_fw::plan::{Planner, TileTask};
 use cachegraph_layout::BlockLayout;
 
-/// How two task footprints illegally overlap.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum OverlapKind {
-    /// Two tasks of one phase may write a common cell.
-    WriteWrite,
-    /// One task may read a cell another task of the same phase writes.
-    ReadWrite,
-}
-
-impl fmt::Display for OverlapKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            OverlapKind::WriteWrite => write!(f, "write/write"),
-            OverlapKind::ReadWrite => write!(f, "read/write"),
-        }
-    }
-}
+pub use cachegraph_plan::OverlapKind;
 
 /// One footprint-disjointness violation found by the oracle.
 #[derive(Clone, Debug)]
@@ -96,40 +81,17 @@ pub fn check_phase_footprints(
     footprints: &[(BTreeSet<usize>, BTreeSet<usize>)],
     out: &mut Vec<FootprintViolation>,
 ) {
-    let reads: Vec<&BTreeSet<usize>> = footprints.iter().map(|(r, _)| r).collect();
-    let writes: Vec<&BTreeSet<usize>> = footprints.iter().map(|(_, w)| w).collect();
-    for x in 0..footprints.len() {
-        for y in 0..footprints.len() {
-            if x == y {
-                continue;
-            }
-            if x < y {
-                if let Some(&cell) = writes[x].intersection(writes[y]).next() {
-                    out.push(FootprintViolation {
-                        n,
-                        b,
-                        t,
-                        phase,
-                        writer: x,
-                        other: y,
-                        cell,
-                        kind: OverlapKind::WriteWrite,
-                    });
-                }
-            }
-            if let Some(&cell) = writes[x].intersection(reads[y]).next() {
-                out.push(FootprintViolation {
-                    n,
-                    b,
-                    t,
-                    phase,
-                    writer: x,
-                    other: y,
-                    cell,
-                    kind: OverlapKind::ReadWrite,
-                });
-            }
-        }
+    for o in cachegraph_plan::phase_overlaps(footprints) {
+        out.push(FootprintViolation {
+            n,
+            b,
+            t,
+            phase,
+            writer: o.writer,
+            other: o.other,
+            cell: o.unit,
+            kind: o.kind,
+        });
     }
 }
 

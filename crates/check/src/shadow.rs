@@ -1,154 +1,21 @@
 //! Epoch-stamped shadow storage: the safe stand-in for `SharedStorage`.
 //!
-//! Where the real driver shares one allocation through raw pointers, the
-//! explorer runs over this shadow: plain values plus, per cell, the
-//! phase epoch of the last write and the set of tasks that read or wrote
-//! the cell *in the current phase*. Any same-phase conflicting access —
-//! two writers, a read of a concurrently written cell, or a write of a
-//! concurrently read cell — is reported at the access that completes the
-//! conflict. Because both orders of a conflicting pair are detected
-//! (reader-first via the writer's check of the reader set, writer-first
-//! via the reader's check of the writer stamp), a race is flagged on
-//! *every* schedule that runs the conflicting tasks in one phase, not
-//! just the interleavings that actually corrupt a value.
+//! The mechanism — per-cell phase epochs, current-phase reader/writer
+//! sets, conflict detection on both orders of a racing pair — now lives
+//! in [`cachegraph_plan::shadow`], generic over the stored value, where
+//! every driver checker shares it. This module pins the FW
+//! instantiation: the shadow of the distance matrix is a
+//! [`ShadowMem`](cachegraph_plan::ShadowMem) over [`Weight`] cells,
+//! and `Race.unit` is a flat storage index.
 
 use cachegraph_graph::Weight;
 
-/// How a pair of same-phase accesses conflicts.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum RaceKind {
-    /// Two tasks wrote the same cell in one phase.
-    WriteWrite,
-    /// A task read a cell another task of the same phase writes.
-    ReadOfConcurrentWrite,
-    /// A task wrote a cell another task of the same phase already read.
-    WriteAfterRead,
-}
+pub use cachegraph_plan::shadow::{Race, RaceKind};
 
-impl std::fmt::Display for RaceKind {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            RaceKind::WriteWrite => write!(f, "write/write"),
-            RaceKind::ReadOfConcurrentWrite => write!(f, "read of concurrently written cell"),
-            RaceKind::WriteAfterRead => write!(f, "write of concurrently read cell"),
-        }
-    }
-}
-
-/// One detected race: `task`'s access conflicted with `other`'s earlier
-/// same-phase access to `cell`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct Race {
-    /// Conflict flavor.
-    pub kind: RaceKind,
-    /// Flat storage index of the contended cell.
-    pub cell: usize,
-    /// Task performing the access that completed the conflict.
-    pub task: u16,
-    /// Task whose earlier access it conflicts with.
-    pub other: u16,
-}
-
-/// Shadow of the FW matrix storage with per-cell epoch stamps and
-/// current-phase access bookkeeping. Cloning snapshots the full state,
-/// which is how the explorer rewinds to a phase start between schedules.
-#[derive(Clone)]
-pub struct ShadowStorage {
-    values: Vec<Weight>,
-    /// Phase epoch of the last write per cell (0 = initial load).
-    write_epoch: Vec<u64>,
-    /// Task that wrote the cell in the current phase, if any.
-    phase_writer: Vec<Option<u16>>,
-    /// Tasks that read the cell in the current phase. Task counts per
-    /// phase are tiny (at most tiles²), so a plain Vec beats a set.
-    phase_readers: Vec<Vec<u16>>,
-    /// Cells touched this phase — makes `begin_phase` O(touched).
-    touched: Vec<usize>,
-    epoch: u64,
-}
-
-impl ShadowStorage {
-    /// Shadow an initial storage snapshot (epoch 0, no phase active).
-    pub fn new(values: Vec<Weight>) -> Self {
-        let len = values.len();
-        Self {
-            values,
-            write_epoch: vec![0; len],
-            phase_writer: vec![None; len],
-            phase_readers: vec![Vec::new(); len],
-            touched: Vec::new(),
-            epoch: 0,
-        }
-    }
-
-    /// Start the next phase: bump the epoch and clear the per-phase
-    /// reader/writer bookkeeping (the barrier the real driver gets from
-    /// joining its scoped threads).
-    pub fn begin_phase(&mut self) {
-        self.epoch += 1;
-        for &idx in &self.touched {
-            self.phase_writer[idx] = None;
-            self.phase_readers[idx].clear();
-        }
-        self.touched.clear();
-    }
-
-    /// Current phase epoch.
-    pub fn epoch(&self) -> u64 {
-        self.epoch
-    }
-
-    /// The shadowed cell values.
-    pub fn values(&self) -> &[Weight] {
-        &self.values
-    }
-
-    /// Read `idx` as `task`. Reports a race if another task of the
-    /// current phase has written the cell.
-    pub fn read(&mut self, idx: usize, task: u16) -> (Weight, Option<Race>) {
-        let race = match self.phase_writer[idx] {
-            Some(w) if w != task => Some(Race {
-                kind: RaceKind::ReadOfConcurrentWrite,
-                cell: idx,
-                task,
-                other: w,
-            }),
-            _ => None,
-        };
-        if !self.phase_readers[idx].contains(&task) {
-            if self.phase_readers[idx].is_empty() && self.phase_writer[idx].is_none() {
-                self.touched.push(idx);
-            }
-            self.phase_readers[idx].push(task);
-        }
-        (self.values[idx], race)
-    }
-
-    /// Write `v` to `idx` as `task`. Reports a race if another task of
-    /// the current phase has written or read the cell.
-    pub fn write(&mut self, idx: usize, task: u16, v: Weight) -> Option<Race> {
-        let race = match self.phase_writer[idx] {
-            Some(w) if w != task => Some(Race { kind: RaceKind::WriteWrite, cell: idx, task, other: w }),
-            _ => self
-                .phase_readers[idx]
-                .iter()
-                .find(|&&r| r != task)
-                .map(|&r| Race { kind: RaceKind::WriteAfterRead, cell: idx, task, other: r }),
-        };
-        if self.phase_readers[idx].is_empty() && self.phase_writer[idx].is_none() {
-            self.touched.push(idx);
-        }
-        self.phase_writer[idx] = Some(task);
-        self.write_epoch[idx] = self.epoch;
-        self.values[idx] = v;
-        race
-    }
-
-    /// Epoch of the last write to `idx` (0 = never written since load).
-    pub fn last_write_epoch(&self, idx: usize) -> u64 {
-        self.write_epoch[idx]
-    }
-}
+/// Shadow of the FW matrix storage: plan shadow memory over `Weight`
+/// cells. Cloning snapshots the full state, which is how the explorer
+/// rewinds to a phase start between schedules.
+pub type ShadowStorage = cachegraph_plan::ShadowMem<Weight>;
 
 #[cfg(test)]
 mod tests {

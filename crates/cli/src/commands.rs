@@ -30,7 +30,10 @@ use cachegraph_layout::{select_block_size, BlockLayout, RowMajor, ZMorton};
 use cachegraph_matching::instrumented::{
     sim_find_matching_partitioned_profiled, sim_find_matching_profiled,
 };
-use cachegraph_matching::{find_matching, find_matching_partitioned, Matching, PartitionScheme};
+use cachegraph_matching::{
+    find_matching, find_matching_partitioned, find_matching_partitioned_parallel, Matching,
+    PartitionScheme,
+};
 use cachegraph_obs::{
     compare_reports, Json, Registry, Report, TraceConfig, TraceRecord, DEFAULT_THRESHOLD,
 };
@@ -42,8 +45,8 @@ use cachegraph_sssp::instrumented::{
     sim_dijkstra_adj_list_observed, sim_dijkstra_adj_list_profiled,
 };
 use cachegraph_sssp::{
-    dijkstra, dijkstra_binary_heap, dijkstra_dense, dijkstra_lazy, dijkstra_lazy_sequence,
-    kruskal, prim_binary_heap,
+    delta_stepping, delta_stepping_parallel, dijkstra, dijkstra_binary_heap, dijkstra_dense,
+    dijkstra_lazy, dijkstra_lazy_sequence, kruskal, prim_binary_heap,
 };
 
 use crate::args::{Args, ArgsError};
@@ -581,6 +584,77 @@ fn repro_unit_matching(full: bool) -> Result<UnitOutput, String> {
     Ok(rep.finish(&registry))
 }
 
+/// Parallel Dijkstra unit: the delta-stepping TaskGraph driver across a
+/// thread sweep, every run checked bit-identical (dist AND pred) to the
+/// serial bucket loop, which itself is checked against Dijkstra. Wall
+/// times land in the metrics as per-thread gauges.
+fn repro_unit_parallel_dijkstra(full: bool) -> Result<UnitOutput, String> {
+    let scale = if full { "full" } else { "quick" };
+    let registry = Registry::new();
+    let mut rep = UnitReport::new();
+    let dn = if full { 4096 } else { 512 };
+    let delta = 16;
+    let g = generators::random_directed(dn, 0.02, 100, 11).build_array();
+    rep.line(&format!("repro ({scale}): parallel Dijkstra (delta-stepping) n={dn} delta={delta}"));
+    let reference = dijkstra_binary_heap(&g, 0);
+    let serial = delta_stepping(&g, 0, delta);
+    if serial.dist != reference.dist {
+        return Err("internal error: serial delta-stepping disagrees with Dijkstra".into());
+    }
+    for threads in [1usize, 2, 4] {
+        let t = Instant::now();
+        let par = delta_stepping_parallel(&g, 0, delta, threads);
+        let wall = t.elapsed();
+        if par.dist != serial.dist || par.pred != serial.pred {
+            return Err(format!(
+                "internal error: parallel delta-stepping diverged at threads={threads}"
+            ));
+        }
+        registry
+            .gauge(&format!("sssp.parallel.threads{threads}_us"))
+            .set(i64::try_from(wall.as_micros()).unwrap_or(i64::MAX));
+        rep.line(&format!(
+            "  delta.parallel threads={threads}: {wall:?}, dist+pred identical to serial"
+        ));
+    }
+    Ok(rep.finish(&registry))
+}
+
+/// Parallel matching unit: the partitioned TaskGraph driver across a
+/// thread sweep, every run checked bit-identical (mate array AND
+/// partition statistics) to the serial partitioned driver.
+fn repro_unit_parallel_matching(full: bool) -> Result<UnitOutput, String> {
+    let scale = if full { "full" } else { "quick" };
+    let registry = Registry::new();
+    let mut rep = UnitReport::new();
+    let mn = if full { 1024 } else { 256 };
+    let scheme = PartitionScheme::Contiguous(8);
+    let g = generators::random_bipartite(mn, 0.1, 5);
+    let arr = g.build_array();
+    rep.line(&format!("repro ({scale}): parallel matching n={mn} parts=8"));
+    let (serial, sstats) = find_matching_partitioned(&arr, mn / 2, g.edges(), scheme);
+    for threads in [1usize, 2, 4] {
+        let t = Instant::now();
+        let (par, pstats) =
+            find_matching_partitioned_parallel(&arr, mn / 2, g.edges(), scheme, threads);
+        let wall = t.elapsed();
+        if par.mate != serial.mate || pstats != sstats {
+            return Err(format!(
+                "internal error: parallel matching diverged at threads={threads}"
+            ));
+        }
+        registry
+            .gauge(&format!("matching.parallel.threads{threads}_us"))
+            .set(i64::try_from(wall.as_micros()).unwrap_or(i64::MAX));
+        rep.line(&format!(
+            "  matching.parallel threads={threads}: {wall:?}, size {} identical to serial",
+            par.size
+        ));
+    }
+    registry.gauge("matching.parallel.size").set(i64::try_from(serial.size).unwrap_or(i64::MAX));
+    Ok(rep.finish(&registry))
+}
+
 /// Merge the `metrics` fragments of completed units into one report
 /// `metrics` section (counters/gauges/histograms union, spans
 /// concatenated). Unit metric names are prefixed per subsystem, so the
@@ -613,8 +687,9 @@ fn merge_unit_metrics(fragments: &[&Json]) -> Json {
 
 /// `repro`: an instrumented pass over the paper's core algorithms at a
 /// quick (default, also `--quick`) or `--full` scale, run under the
-/// supervisor ([`cachegraph_bench::supervisor`]): each of the three
-/// experiments (`fw`, `dijkstra`, `matching`) executes isolated, a panic
+/// supervisor ([`cachegraph_bench::supervisor`]): each of the five
+/// experiments (`fw`, `dijkstra`, `matching`, `parallel-dijkstra`,
+/// `parallel-matching`) executes isolated, a panic
 /// or `--timeout-secs` overrun degrades to a structured outcome in the
 /// report, `--journal FILE` streams one checkpoint record per
 /// experiment, and `--resume FILE` skips experiments already completed
@@ -649,6 +724,8 @@ fn cmd_repro(args: Args, out: &mut dyn Write) -> Result<(), CliError> {
         Unit::new("fw", move || repro_unit_fw(full)),
         Unit::new("dijkstra", move || repro_unit_dijkstra(full)),
         Unit::new("matching", move || repro_unit_matching(full)),
+        Unit::new("parallel-dijkstra", move || repro_unit_parallel_dijkstra(full)),
+        Unit::new("parallel-matching", move || repro_unit_parallel_matching(full)),
     ];
     let summary = run_supervised(units, &config, out)?;
 
@@ -1001,6 +1078,8 @@ fn cmd_serve(args: Args, out: &mut dyn Write) -> Result<(), CliError> {
             apsp_threshold: args.parse_or("apsp-threshold", 128, "integer")?,
             tile: args.parse_or("tile", 8, "integer")?,
             landmarks: args.parse_or("landmarks", 8, "integer")?,
+            threads: args.parse_or("threads", 2, "integer")?,
+            delta: args.parse_or("delta", 16, "integer")?,
         },
         workers: args.parse_or("workers", 4, "integer")?,
         queue_high: args.parse_or("queue-high", 64, "integer")?,

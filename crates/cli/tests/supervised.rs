@@ -73,8 +73,9 @@ fn kill_then_resume_completes_the_run() {
         .collect();
     assert_eq!(completed, ["fw", "dijkstra"], "two checkpoints before the kill");
 
-    // Phase 2: resume replays the journal, re-runs only 'matching', and
-    // the merged report holds every experiment exactly once.
+    // Phase 2: resume replays the journal, re-runs 'matching' and the
+    // two parallel units that never started, and the merged report
+    // holds every experiment exactly once.
     let resumed = run(&[
         "repro",
         "--quick",
@@ -90,11 +91,17 @@ fn kill_then_resume_completes_the_run() {
         .lines()
         .filter(|l| l.starts_with("## [") && l.contains("restored from journal"))
         .count();
-    assert_eq!(progress_restored, 2, "fw and dijkstra restore, matching re-runs: {text}");
+    assert_eq!(progress_restored, 2, "fw and dijkstra restore, the rest re-runs: {text}");
 
     let report = Report::load(&metrics).expect("merged report parses");
-    assert_eq!(report.experiments.len(), 3);
-    for (id, want_restored) in [("fw", true), ("dijkstra", true), ("matching", false)] {
+    assert_eq!(report.experiments.len(), 5);
+    for (id, want_restored) in [
+        ("fw", true),
+        ("dijkstra", true),
+        ("matching", false),
+        ("parallel-dijkstra", false),
+        ("parallel-matching", false),
+    ] {
         let (outcome, restored) = outcome_of(&report, id);
         assert_eq!(outcome, "completed", "experiment {id}");
         assert_eq!(restored, want_restored, "experiment {id}");
@@ -193,8 +200,8 @@ fn resume_survives_a_corrupted_journal() {
     assert_eq!(output.status.code(), Some(0), "stderr: {}", stderr(&output));
     assert!(stdout(&output).contains("re-running everything"), "{}", stdout(&output));
     let report = Report::load(Path::new(&metrics)).expect("report parses");
-    assert_eq!(report.experiments.len(), 3);
-    for id in ["fw", "dijkstra", "matching"] {
+    assert_eq!(report.experiments.len(), 5);
+    for id in ["fw", "dijkstra", "matching", "parallel-dijkstra", "parallel-matching"] {
         let (outcome, restored) = outcome_of(&report, id);
         assert_eq!(outcome, "completed", "experiment {id}");
         assert!(!restored, "experiment {id} must have re-run");

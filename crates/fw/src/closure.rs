@@ -48,8 +48,27 @@ impl BitMatrix {
         self.bits[i * self.words_per_row + j / 64] |= 1 << (j % 64);
     }
 
+    /// Words per bit-packed row (the word stride of the footprint
+    /// units used by the parallel closure driver).
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// The raw bit words, row-major — row `i` is
+    /// `bits()[i * words_per_row()..][..words_per_row()]`. Exposed for
+    /// the parallel closure driver's checker, which replays row tasks
+    /// against shadow memory at word granularity.
+    pub fn bits(&self) -> &[u64] {
+        &self.bits
+    }
+
+    /// Mutable raw bit words, row-major.
+    pub fn bits_mut(&mut self) -> &mut [u64] {
+        &mut self.bits
+    }
+
     /// `row(dst) |= row(src)`; returns true if `dst` changed.
-    fn or_row_into(&mut self, src: usize, dst: usize) -> bool {
+    pub(crate) fn or_row_into(&mut self, src: usize, dst: usize) -> bool {
         debug_assert_ne!(src, dst);
         let w = self.words_per_row;
         let (s, d) = (src * w, dst * w);

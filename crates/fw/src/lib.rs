@@ -42,6 +42,7 @@
 mod auto;
 mod cancel;
 pub mod closure;
+pub mod closure_parallel;
 mod copy_tiled;
 pub mod instrumented;
 mod iterative;
@@ -58,6 +59,10 @@ mod tiled;
 pub use auto::{solve_apsp, solve_apsp_with_cache, DEFAULT_L1_ASSOC, DEFAULT_L1_BYTES};
 pub use cancel::{fw_tiled_cancellable, run_tiled_cancellable, FwCancelled};
 pub use closure::{transitive_closure, transitive_closure_of, transitive_closure_tiled, BitMatrix};
+pub use closure_parallel::{
+    close_band, closure_band_plan, propagate_row, transitive_closure_tiled_parallel,
+    transitive_closure_tiled_parallel_cancellable, ClosureBandPlan,
+};
 pub use copy_tiled::{fw_tiled_copy, fw_tiled_copy_with};
 pub use cachegraph_graph::{Weight, INF};
 pub use iterative::{fw_iterative, fw_iterative_slice};

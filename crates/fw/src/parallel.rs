@@ -106,10 +106,33 @@ unsafe fn fwi_raw(data: SharedStorage, a: View, b: View, c: View, size: usize) {
     }
 }
 
-/// Run `tasks` across `threads` scoped workers. Each finished task bumps
+/// Run `tasks` across `threads` scoped workers via the shared
+/// [`cachegraph_plan::run_tasks`] executor — the same chunking the
+/// `cachegraph-check` explorer models. Each finished task bumps
 /// `kernel_calls` — a `cachegraph-obs` counter shared across the scoped
 /// threads (a disabled handle reduces to a branch per task).
 fn run_parallel(data: SharedStorage, tasks: &[TileTask], b: usize, threads: usize, kernel_calls: &Counter) {
+    cachegraph_plan::run_tasks(tasks, threads, |t| {
+        // SAFETY: each task's A tile is written by exactly one task in
+        // this phase; B/C tiles are only read and are not any task's A
+        // tile in this phase (proven by the footprint oracle); with one
+        // worker the executor runs tasks inline, single-threaded.
+        unsafe { fwi_raw(data, t.a, t.b, t.c, b) };
+        kernel_calls.incr();
+    });
+}
+
+/// The pre-runtime PR 5 phase loop, kept verbatim as the baseline the
+/// `obs_overhead` TaskGraph-dispatch budget compares against. Not part
+/// of the public API surface.
+#[doc(hidden)]
+fn run_parallel_handrolled(
+    data: SharedStorage,
+    tasks: &[TileTask],
+    b: usize,
+    threads: usize,
+    kernel_calls: &Counter,
+) {
     if tasks.is_empty() {
         return;
     }
@@ -138,6 +161,36 @@ fn run_parallel(data: SharedStorage, tasks: &[TileTask], b: usize, threads: usiz
             });
         }
     });
+}
+
+/// [`fw_tiled_parallel`] driven by the hand-rolled PR 5 loop instead of
+/// the shared TaskGraph executor. Exists solely so the dispatch-overhead
+/// benchmark has a baseline; results are identical.
+#[doc(hidden)]
+pub fn fw_tiled_parallel_handrolled<L: StridedView>(m: &mut FwMatrix<L>, b: usize, threads: usize) {
+    let registry = Registry::disabled();
+    let kernel_calls = registry.counter("fw.kernel_calls");
+    let n = m.n();
+    assert!(threads >= 1, "need at least one thread");
+    let layout = m.layout().clone();
+    let planner = Planner::new(&layout, n, b);
+    let storage = m.storage_mut();
+    let data = SharedStorage { ptr: storage.as_mut_ptr(), len: storage.len() };
+
+    let mut phase2 = Vec::new();
+    let mut phase3 = Vec::new();
+    for t in 0..planner.real_tiles() {
+        let diag = planner.phase1(t);
+        // SAFETY: no other thread is running.
+        unsafe { fwi_raw(data, diag.a, diag.b, diag.c, b) };
+        kernel_calls.incr();
+
+        planner.phase2(t, &mut phase2);
+        run_parallel_handrolled(data, &phase2, b, threads, &kernel_calls);
+
+        planner.phase3(t, &mut phase3);
+        run_parallel_handrolled(data, &phase3, b, threads, &kernel_calls);
+    }
 }
 
 /// Parallel tiled Floyd-Warshall with tile size `b` on `threads` threads.

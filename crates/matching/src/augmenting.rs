@@ -14,6 +14,7 @@
 //! — it exists as an extension and as a differential-testing oracle.
 
 use cachegraph_graph::{Graph, VertexId};
+use cachegraph_plan::{NoSink, UnitSink};
 
 use crate::FREE;
 
@@ -82,9 +83,26 @@ pub(crate) fn augment_once<G: Graph>(
     m: &mut Matching,
     s: &mut AugmentScratch,
 ) -> bool {
+    augment_once_sink(g, n_left, m, s, &mut NoSink)
+}
+
+/// [`augment_once`] with every access to the `mate` array reported to a
+/// [`UnitSink`] (unit = vertex id). `cachegraph-check`'s matching driver
+/// records these scripts to replay augmentation rounds against shadow
+/// memory, and the differential footprint test compares them with the
+/// declared per-part footprints. The sink is observational only: with
+/// [`NoSink`] this compiles to exactly the un-instrumented round.
+pub(crate) fn augment_once_sink<G: Graph, S: UnitSink>(
+    g: &G,
+    n_left: usize,
+    m: &mut Matching,
+    s: &mut AugmentScratch,
+    sink: &mut S,
+) -> bool {
     s.visited.fill(false);
     s.queue.clear();
     for (u, &mate) in m.mate.iter().enumerate().take(n_left) {
+        sink.read(u as u64);
         if mate == FREE {
             s.visited[u] = true;
             s.queue.push(u as VertexId);
@@ -101,6 +119,7 @@ pub(crate) fn augment_once<G: Graph>(
             }
             s.visited[r as usize] = true;
             s.parent[r as usize] = u;
+            sink.read(r as u64);
             let rm = m.mate[r as usize];
             if rm == FREE {
                 endpoint = Some(r);
@@ -118,7 +137,10 @@ pub(crate) fn augment_once<G: Graph>(
     // Flip the alternating path back to its free left origin.
     loop {
         let left = s.parent[right as usize];
+        sink.read(left as u64);
         let next_right = m.mate[left as usize];
+        sink.write(right as u64);
+        sink.write(left as u64);
         m.mate[right as usize] = left;
         m.mate[left as usize] = right;
         if next_right == FREE {
@@ -140,6 +162,25 @@ pub fn find_matching<G: Graph>(g: &G, n_left: usize, initial: Matching) -> Match
     let mut m = initial;
     let mut scratch = AugmentScratch::new(n, n_left);
     while augment_once(g, n_left, &mut m, &mut scratch) {}
+    m
+}
+
+/// [`find_matching`] with every `mate` access reported to a
+/// [`UnitSink`] (unit = vertex id): the Fig. 8 loop, plus one trailing
+/// no-op round (the failed search that proves maximality), exactly as
+/// the plain driver executes it.
+pub fn find_matching_recorded<G: Graph, S: UnitSink>(
+    g: &G,
+    n_left: usize,
+    initial: Matching,
+    sink: &mut S,
+) -> Matching {
+    let n = g.num_vertices();
+    assert!(n_left <= n, "left side larger than the graph");
+    assert_eq!(initial.mate.len(), n, "initial matching has wrong size");
+    let mut m = initial;
+    let mut scratch = AugmentScratch::new(n, n_left);
+    while augment_once_sink(g, n_left, &mut m, &mut scratch, sink) {}
     m
 }
 

@@ -41,14 +41,21 @@ mod cancel;
 mod hopcroft_karp;
 pub mod instrumented;
 pub mod maxflow;
+pub mod parallel;
 pub mod partition;
 mod partitioned;
 pub mod verify;
 
-pub use augmenting::{find_matching, find_matching_fast, Matching};
+pub use augmenting::{find_matching, find_matching_fast, find_matching_recorded, Matching};
 pub use cancel::{find_matching_cancellable, MatchCancelled};
 pub use hopcroft_karp::hopcroft_karp;
-pub use partitioned::{find_matching_partitioned, PartitionScheme};
+pub use parallel::{
+    find_matching_partitioned_parallel, find_matching_partitioned_parallel_cancellable,
+    MatchingPartPlan,
+};
+pub use partitioned::{
+    build_local_parts, find_matching_partitioned, LocalPart, PartitionScheme, PartitionedStats,
+};
 
 /// Sentinel for "unmatched".
 pub const FREE: u32 = u32::MAX;

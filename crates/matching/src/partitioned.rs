@@ -75,6 +75,69 @@ pub fn find_matching_partitioned(
     scheme: PartitionScheme,
 ) -> (Matching, PartitionedStats) {
     let n = g.num_vertices();
+    let (parts, internal) = build_local_parts(n, n_left, edges, scheme);
+
+    // Phase 1: local matchings (working sets sized to the cache).
+    let mut union = Matching::empty(n);
+    for part in &parts {
+        if let Some(local) = part.solve() {
+            merge_local(part, &local, &mut union);
+        }
+    }
+    let stats = PartitionedStats {
+        local_matched: union.size,
+        internal_edges: internal,
+        parts: parts.len(),
+    };
+
+    // Phase 2: finish on the whole graph from the union.
+    let m = find_matching(g, n_left, union);
+    (m, stats)
+}
+
+/// One sub-problem of the Fig. 9 decomposition: the vertices of a part
+/// (locals numbered left-first, so `members[local] = global`) and its
+/// internal edges in local ids (both arcs).
+#[derive(Clone, Debug)]
+pub struct LocalPart {
+    /// Global vertex id per local id, left vertices first.
+    pub members: Vec<VertexId>,
+    /// Number of left vertices in this part (locals `0..left_count`).
+    pub left_count: usize,
+    /// Internal edges in local ids, both arcs per undirected edge.
+    pub edges: Vec<Edge>,
+}
+
+impl LocalPart {
+    /// A part contributes a local solve only if it has vertices and
+    /// internal edges; otherwise it is skipped (the serial driver's
+    /// `continue`).
+    pub fn is_trivial(&self) -> bool {
+        self.members.is_empty() || self.edges.is_empty()
+    }
+
+    /// Solve this sub-problem with the Fig. 8 algorithm; `None` for
+    /// trivial parts.
+    pub fn solve(&self) -> Option<Matching> {
+        if self.is_trivial() {
+            return None;
+        }
+        let sub = AdjacencyArray::from_edges(self.members.len(), &self.edges);
+        Some(find_matching(&sub, self.left_count, Matching::empty(self.members.len())))
+    }
+}
+
+/// Carve the graph into per-part sub-problems under `scheme`: the
+/// shared front half of [`find_matching_partitioned`] and its parallel
+/// counterpart
+/// ([`find_matching_partitioned_parallel`](crate::find_matching_partitioned_parallel)).
+/// Returns the parts and the internal-edge count.
+pub fn build_local_parts(
+    n: usize,
+    n_left: usize,
+    edges: &[Edge],
+    scheme: PartitionScheme,
+) -> (Vec<LocalPart>, usize) {
     let (part, p) = assign_parts(n, n_left, edges, scheme);
 
     // Split vertices per part, locals numbered left-first.
@@ -114,28 +177,25 @@ pub fn find_matching_partitioned(
         }
     }
 
-    // Phase 1: local matchings (working sets sized to the cache).
-    let mut union = Matching::empty(n);
-    for k in 0..p {
-        let n_local = members[k].len();
-        if n_local == 0 || local_edges[k].is_empty() {
-            continue;
-        }
-        let sub = AdjacencyArray::from_edges(n_local, &local_edges[k]);
-        let local = find_matching(&sub, left_count[k], Matching::empty(n_local));
-        for (lv, &gv) in members[k].iter().enumerate() {
-            let lm = local.mate[lv];
-            if lm != FREE {
-                union.mate[gv as usize] = members[k][lm as usize];
-            }
-        }
-        union.size += local.size;
-    }
-    let stats = PartitionedStats { local_matched: union.size, internal_edges: internal, parts: p };
+    let parts = members
+        .into_iter()
+        .zip(left_count)
+        .zip(local_edges)
+        .map(|((members, left_count), edges)| LocalPart { members, left_count, edges })
+        .collect();
+    (parts, internal)
+}
 
-    // Phase 2: finish on the whole graph from the union.
-    let m = find_matching(g, n_left, union);
-    (m, stats)
+/// Write a solved part's matching into the global union — the serial
+/// driver's exact merge statements, shared with the parallel driver.
+pub(crate) fn merge_local(part: &LocalPart, local: &Matching, union: &mut Matching) {
+    for (lv, &gv) in part.members.iter().enumerate() {
+        let lm = local.mate[lv];
+        if lm != FREE {
+            union.mate[gv as usize] = part.members[lm as usize];
+        }
+    }
+    union.size += local.size;
 }
 
 #[cfg(test)]

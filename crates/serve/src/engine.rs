@@ -14,20 +14,32 @@
 //!   upper bound per query. Sketches are advisory — queries are still
 //!   answered exactly by a target-pruned cancellable Dijkstra — but the
 //!   bound ships in the answer so clients can see how tight it was;
+//! * for small instances, an exact reachability matrix via the
+//!   *parallel* tiled boolean closure — `reach` becomes one bit read;
 //! * a companion bipartite graph for the `match` op, solved once (and
-//!   cached) by the cancellable Fig. 8 matcher.
+//!   cached) by the parallel partitioned Fig. 9 matcher.
+//!
+//! The `sssp` op runs the parallel delta-stepping driver at query time:
+//! a full single-source tree is exactly the shape where the TaskGraph
+//! parallelism pays, unlike point queries, which a target-pruned serial
+//! Dijkstra answers with less work.
 //!
 //! Every potentially long computation takes the caller's cancellation
 //! closure; the engine itself never looks at clocks or the
 //! observability layer — deadlines are the server's business,
-//! propagated down as a plain `FnMut() -> bool`.
+//! propagated down as a `Fn() -> bool + Sync` hook that parallel
+//! drivers poll from every worker.
 
-use cachegraph_fw::{fw_tiled_cancellable, FwMatrix};
-use cachegraph_graph::{generators, AdjacencyArray, EdgeListBuilder, Graph, VertexId, Weight, INF};
+use cachegraph_fw::{
+    fw_tiled_cancellable, transitive_closure_tiled_parallel, BitMatrix, FwMatrix,
+};
+use cachegraph_graph::{
+    generators, AdjacencyArray, Edge, EdgeListBuilder, VertexId, Weight, INF,
+};
 use cachegraph_layout::BlockLayout;
-use cachegraph_matching::{find_matching_cancellable, Matching};
+use cachegraph_matching::{find_matching_partitioned_parallel_cancellable, PartitionScheme};
 use cachegraph_obs::Json;
-use cachegraph_sssp::dijkstra_to;
+use cachegraph_sssp::{delta_stepping_parallel_cancellable, dijkstra_to};
 use std::sync::Mutex;
 use std::sync::{MutexGuard, PoisonError};
 
@@ -55,6 +67,11 @@ pub struct EngineConfig {
     pub tile: usize,
     /// Number of landmarks when sketching.
     pub landmarks: usize,
+    /// Worker threads for the parallel TaskGraph drivers (delta-stepping
+    /// `sssp`, partitioned `match`, closure precompute).
+    pub threads: usize,
+    /// Bucket width for the delta-stepping `sssp` op.
+    pub delta: Weight,
 }
 
 impl Default for EngineConfig {
@@ -67,6 +84,8 @@ impl Default for EngineConfig {
             apsp_threshold: 128,
             tile: 8,
             landmarks: 8,
+            threads: 2,
+            delta: 16,
         }
     }
 }
@@ -111,11 +130,19 @@ pub struct QueryEngine {
     n: usize,
     /// Row-major exact APSP distances (small instances only).
     apsp: Option<Vec<Weight>>,
+    /// Exact reachability bits (small instances only), built by the
+    /// parallel tiled boolean closure.
+    closure: Option<BitMatrix>,
     landmarks: Vec<Landmark>,
     bipartite: AdjacencyArray,
+    /// The companion graph's edge list, kept for the partitioned
+    /// parallel matcher (partitioning needs the edges, not the CSR).
+    bip_edges: Vec<Edge>,
     n_left: usize,
     /// Memoised maximum-matching size for the companion graph.
     matching_size: Mutex<Option<usize>>,
+    threads: usize,
+    delta: Weight,
 }
 
 impl QueryEngine {
@@ -123,22 +150,33 @@ impl QueryEngine {
     /// APSP table (tiled FW, cancellable with a never-firing closure —
     /// startup has no deadline) or landmark sketches.
     pub fn build(cfg: &EngineConfig) -> Self {
+        let threads = cfg.threads.max(1);
         let builder = generators::random_directed(cfg.n, cfg.density, cfg.max_weight, cfg.seed);
         let graph = builder.build_array();
-        let (apsp, landmarks) = if cfg.n <= cfg.apsp_threshold {
-            (Some(Self::apsp_table(&builder, cfg)), Vec::new())
+        let (apsp, closure, landmarks) = if cfg.n <= cfg.apsp_threshold {
+            let reach = transitive_closure_tiled_parallel(
+                BitMatrix::from_graph(&graph),
+                cfg.tile.max(1),
+                threads,
+            );
+            (Some(Self::apsp_table(&builder, cfg)), Some(reach), Vec::new())
         } else {
-            (None, Self::sketch(&builder, &graph, cfg))
+            (None, None, Self::sketch(&builder, &graph, cfg))
         };
         let bip = generators::random_bipartite(cfg.n, cfg.density.max(0.02), cfg.seed + 1);
+        let bip_edges = bip.edges().to_vec();
         Self {
             graph,
             n: cfg.n,
             apsp,
+            closure,
             landmarks,
             bipartite: bip.build_array(),
+            bip_edges,
             n_left: cfg.n / 2,
             matching_size: Mutex::new(None),
+            threads,
+            delta: cfg.delta.max(1),
         }
     }
 
@@ -217,14 +255,15 @@ impl QueryEngine {
         &self,
         src: VertexId,
         dst: VertexId,
-        cancel: &mut impl FnMut() -> bool,
+        cancel: &(impl Fn() -> bool + Sync),
     ) -> Result<Weight, QueryError> {
         self.check_vertex(src)?;
         self.check_vertex(dst)?;
         if let Some(apsp) = &self.apsp {
             return Ok(apsp[src as usize * self.n + dst as usize]);
         }
-        let r = dijkstra_to(&self.graph, src, Some(dst), cancel)
+        let mut poll = || cancel();
+        let r = dijkstra_to(&self.graph, src, Some(dst), &mut poll)
             .map_err(|_| QueryError::Cancelled)?;
         Ok(r.dist[dst as usize])
     }
@@ -235,7 +274,7 @@ impl QueryEngine {
         &self,
         src: VertexId,
         dst: VertexId,
-        cancel: &mut impl FnMut() -> bool,
+        cancel: &(impl Fn() -> bool + Sync),
     ) -> Result<Json, QueryError> {
         let d = self.distance(src, dst, cancel)?;
         let mut json = Json::obj().field("reachable", d != INF);
@@ -251,27 +290,63 @@ impl QueryEngine {
         Ok(json)
     }
 
-    /// The `reach` answer payload.
+    /// The `reach` answer payload: one bit read when the closure matrix
+    /// was precomputed, otherwise derived from the exact distance.
     pub fn reach(
         &self,
         src: VertexId,
         dst: VertexId,
-        cancel: &mut impl FnMut() -> bool,
+        cancel: &(impl Fn() -> bool + Sync),
     ) -> Result<Json, QueryError> {
+        if let Some(closure) = &self.closure {
+            self.check_vertex(src)?;
+            self.check_vertex(dst)?;
+            return Ok(Json::obj().field("reachable", closure.get(src as usize, dst as usize)));
+        }
         let d = self.distance(src, dst, cancel)?;
         Ok(Json::obj().field("reachable", d != INF))
     }
 
+    /// The `sssp` answer payload: a full single-source shortest-path
+    /// tree from `src`, computed by the parallel delta-stepping driver
+    /// under the caller's cancellation, summarised as the number of
+    /// reached vertices and the tree's eccentricity.
+    pub fn sssp(
+        &self,
+        src: VertexId,
+        cancel: &(impl Fn() -> bool + Sync),
+    ) -> Result<Json, QueryError> {
+        self.check_vertex(src)?;
+        let r = delta_stepping_parallel_cancellable(&self.graph, src, self.delta, self.threads, cancel)
+            .map_err(|_| QueryError::Cancelled)?;
+        let reached = r.dist.iter().filter(|&&d| d != INF).count();
+        let eccentricity = r.dist.iter().filter(|&&d| d != INF).max().copied().unwrap_or(0);
+        Ok(Json::obj()
+            .field("src", u64::from(src))
+            .field("reached", reached as u64)
+            .field("eccentricity", u64::from(eccentricity))
+            .field("threads", self.threads as u64))
+    }
+
     /// The `match` answer payload: maximum-matching size on the
-    /// companion bipartite graph. Computed once under the caller's
-    /// cancellation, then memoised.
-    pub fn matching(&self, cancel: &mut impl FnMut() -> bool) -> Result<Json, QueryError> {
+    /// companion bipartite graph, computed once by the parallel
+    /// partitioned matcher under the caller's cancellation, then
+    /// memoised. Partitioning can only shrink the augmenting work, not
+    /// the answer: the size of a maximum matching is unique.
+    pub fn matching(&self, cancel: &(impl Fn() -> bool + Sync)) -> Result<Json, QueryError> {
         if let Some(size) = *lock(&self.matching_size) {
             return Ok(Self::match_json(size, self.n_left));
         }
-        let n = self.bipartite.num_vertices();
-        let m = find_matching_cancellable(&self.bipartite, self.n_left, Matching::empty(n), cancel)
-            .map_err(|_| QueryError::Cancelled)?;
+        let scheme = PartitionScheme::Contiguous(self.threads.max(2));
+        let (m, _) = find_matching_partitioned_parallel_cancellable(
+            &self.bipartite,
+            self.n_left,
+            &self.bip_edges,
+            scheme,
+            self.threads,
+            cancel,
+        )
+        .map_err(|_| QueryError::Cancelled)?;
         *lock(&self.matching_size) = Some(m.size);
         Ok(Self::match_json(m.size, self.n_left))
     }
@@ -284,7 +359,7 @@ impl QueryEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cachegraph_matching::find_matching;
+    use cachegraph_matching::{find_matching, Matching};
     use cachegraph_sssp::dijkstra_binary_heap;
 
     fn small_cfg() -> EngineConfig {
@@ -305,7 +380,7 @@ mod tests {
         for src in [0u32, 5, 17] {
             let plain = dijkstra_binary_heap(&g, src);
             for dst in 0..cfg.n as u32 {
-                let d = e.distance(src, dst, &mut || false).expect("not cancelled");
+                let d = e.distance(src, dst, &|| false).expect("not cancelled");
                 assert_eq!(d, plain.dist[dst as usize], "{src} -> {dst}");
             }
         }
@@ -320,7 +395,7 @@ mod tests {
             .build_array();
         let plain = dijkstra_binary_heap(&g, 3);
         for dst in [0u32, 50, 120, 199] {
-            let d = e.distance(3, dst, &mut || false).expect("not cancelled");
+            let d = e.distance(3, dst, &|| false).expect("not cancelled");
             assert_eq!(d, plain.dist[dst as usize], "3 -> {dst}");
             // The sketch estimate is an upper bound on the true distance.
             let est = e.estimate(3, dst);
@@ -332,14 +407,14 @@ mod tests {
     fn cancellation_propagates_from_distance_queries() {
         let cfg = large_cfg();
         let e = QueryEngine::build(&cfg);
-        let r = e.distance(0, 199, &mut || true);
+        let r = e.distance(0, 199, &|| true);
         assert_eq!(r, Err(QueryError::Cancelled));
     }
 
     #[test]
     fn bad_vertices_are_rejected_not_panicked() {
         let e = QueryEngine::build(&small_cfg());
-        let r = e.distance(0, 9999, &mut || false);
+        let r = e.distance(0, 9999, &|| false);
         assert_eq!(r, Err(QueryError::BadVertex { v: 9999, n: 48 }));
         assert!(r.unwrap_err().to_string().contains("out of range"));
     }
@@ -351,19 +426,49 @@ mod tests {
         let b = generators::random_bipartite(cfg.n, cfg.density.max(0.02), cfg.seed + 1);
         let g = b.build_array();
         let direct = find_matching(&g, cfg.n / 2, Matching::empty(cfg.n));
-        let first = e.matching(&mut || false).expect("not cancelled");
+        let first = e.matching(&|| false).expect("not cancelled");
         assert_eq!(first.get("matching_size").and_then(Json::as_u64), Some(direct.size as u64));
         // Second call hits the memo: a cancel-everything closure cannot
         // touch it any more.
-        let second = e.matching(&mut || true).expect("memoised");
+        let second = e.matching(&|| true).expect("memoised");
         assert_eq!(second.get("matching_size"), first.get("matching_size"));
     }
 
     #[test]
     fn path_payload_shape() {
         let e = QueryEngine::build(&small_cfg());
-        let p = e.path(0, 1, &mut || false).expect("ok");
+        let p = e.path(0, 1, &|| false).expect("ok");
         assert!(p.get("reachable").is_some());
         assert!(p.get("dist").is_some());
+    }
+
+    #[test]
+    fn sssp_payload_matches_serial_delta_stepping() {
+        let cfg = EngineConfig { threads: 4, ..small_cfg() };
+        let e = QueryEngine::build(&cfg);
+        let g = generators::random_directed(cfg.n, cfg.density, cfg.max_weight, cfg.seed)
+            .build_array();
+        let serial = cachegraph_sssp::delta_stepping(&g, 5, cfg.delta);
+        let reached = serial.dist.iter().filter(|&&d| d != INF).count() as u64;
+        let ecc = u64::from(serial.dist.iter().filter(|&&d| d != INF).max().copied().unwrap_or(0));
+        let json = e.sssp(5, &|| false).expect("not cancelled");
+        assert_eq!(json.get("reached").and_then(Json::as_u64), Some(reached));
+        assert_eq!(json.get("eccentricity").and_then(Json::as_u64), Some(ecc));
+        assert_eq!(e.sssp(9999, &|| false), Err(QueryError::BadVertex { v: 9999, n: cfg.n }));
+    }
+
+    #[test]
+    fn reach_reads_closure_bits_and_agrees_with_distance() {
+        let e = QueryEngine::build(&small_cfg());
+        assert!(e.closure.is_some(), "small instance should precompute the closure");
+        for (s, d) in [(0u32, 1u32), (3, 40), (7, 7), (19, 2)] {
+            let bit = e.reach(s, d, &|| false).expect("ok");
+            let dist = e.distance(s, d, &|| false).expect("ok");
+            assert_eq!(
+                bit.get("reachable"),
+                Some(&Json::Bool(dist != INF)),
+                "{s} -> {d}: closure bit disagrees with distance"
+            );
+        }
     }
 }

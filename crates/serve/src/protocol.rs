@@ -164,6 +164,9 @@ pub enum Op {
     Path,
     /// Point-to-point reachability: `src`, `dst`.
     Reach,
+    /// Full single-source shortest-path tree summary from `src`,
+    /// computed by the parallel delta-stepping driver.
+    Sssp,
     /// Maximum bipartite matching size on the companion bipartite graph.
     Match,
     /// Metrics snapshot as a schema-versioned report document.
@@ -186,6 +189,7 @@ impl Op {
         match self {
             Self::Path => "path",
             Self::Reach => "reach",
+            Self::Sssp => "sssp",
             Self::Match => "match",
             Self::Metrics => "metrics",
             Self::Health => "health",
@@ -200,6 +204,7 @@ impl Op {
         match s {
             "path" => Some(Self::Path),
             "reach" => Some(Self::Reach),
+            "sssp" => Some(Self::Sssp),
             "match" => Some(Self::Match),
             "metrics" => Some(Self::Metrics),
             "health" => Some(Self::Health),
@@ -236,6 +241,11 @@ impl Request {
         Self { op: Op::Reach, src, dst, deadline_ms: None }
     }
 
+    /// A single-source shortest-path tree query (parallel driver).
+    pub fn sssp(src: u32) -> Self {
+        Self { op: Op::Sssp, src, dst: 0, deadline_ms: None }
+    }
+
     /// An operation without vertex arguments.
     pub fn plain(op: Op) -> Self {
         Self { op, src: 0, dst: 0, deadline_ms: None }
@@ -252,6 +262,8 @@ impl Request {
         let mut json = Json::obj().field("op", self.op.name());
         if matches!(self.op, Op::Path | Op::Reach) {
             json = json.field("src", u64::from(self.src)).field("dst", u64::from(self.dst));
+        } else if self.op == Op::Sssp {
+            json = json.field("src", u64::from(self.src));
         }
         if let Some(ms) = self.deadline_ms {
             json = json.field("deadline_ms", ms);
@@ -278,6 +290,8 @@ impl Request {
         };
         let (src, dst) = if matches!(op, Op::Path | Op::Reach) {
             (vertex("src")?, vertex("dst")?)
+        } else if op == Op::Sssp {
+            (vertex("src")?, 0)
         } else {
             (0, 0)
         };
@@ -400,6 +414,7 @@ mod tests {
         for op in [
             Op::Path,
             Op::Reach,
+            Op::Sssp,
             Op::Match,
             Op::Metrics,
             Op::Health,
@@ -410,6 +425,8 @@ mod tests {
             assert_eq!(Op::parse(op.name()), Some(op));
             let req = if matches!(op, Op::Path | Op::Reach) {
                 Request { op, src: 1, dst: 2, deadline_ms: Some(9) }
+            } else if op == Op::Sssp {
+                Request::sssp(1).with_deadline_ms(9)
             } else {
                 Request::plain(op)
             };

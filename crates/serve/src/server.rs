@@ -42,7 +42,7 @@ use std::collections::{BTreeMap, VecDeque};
 use std::io::Write;
 use std::net::{TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -188,6 +188,7 @@ struct Metrics {
     torn_writes: cachegraph_obs::Counter,
     op_path: cachegraph_obs::Counter,
     op_reach: cachegraph_obs::Counter,
+    op_sssp: cachegraph_obs::Counter,
     op_match: cachegraph_obs::Counter,
     queue_depth: cachegraph_obs::Gauge,
     queue_high_watermark: cachegraph_obs::Gauge,
@@ -235,6 +236,7 @@ impl Shared {
         match op {
             Op::Path => self.m.op_path.incr(),
             Op::Reach => self.m.op_reach.incr(),
+            Op::Sssp => self.m.op_sssp.incr(),
             Op::Match => self.m.op_match.incr(),
             _ => {}
         }
@@ -267,6 +269,7 @@ impl Shared {
             .field("torn_writes", counter("serve.torn_writes"))
             .field("op_path", counter("serve.op.path"))
             .field("op_reach", counter("serve.op.reach"))
+            .field("op_sssp", counter("serve.op.sssp"))
             .field("op_match", counter("serve.op.match"))
             .field("latency", latency)
     }
@@ -342,7 +345,12 @@ impl Shared {
             return Response::DeadlineExceeded;
         }
         let n = self.engine.num_vertices() as u32;
-        if matches!(req.op, Op::Path | Op::Reach) && (req.src >= n || req.dst >= n) {
+        let bad_vertex = match req.op {
+            Op::Path | Op::Reach => req.src >= n || req.dst >= n,
+            Op::Sssp => req.src >= n,
+            _ => false,
+        };
+        if bad_vertex {
             self.m.bad_request.incr();
             return Response::BadRequest(format!(
                 "vertex out of range (n = {n}, src = {}, dst = {})",
@@ -362,15 +370,18 @@ impl Shared {
         // kernel-side cancellation check (Dijkstra every 64 extract-
         // mins, FW per tile kernel call, matching per augmentation
         // round — see each crate's `cancel` module).
-        let mut polls = 0u64;
-        let mut cancel = || {
-            polls += 1;
+        // An atomic, because the parallel TaskGraph drivers (`sssp`,
+        // `match`) poll the same hook from every worker thread.
+        let polls = AtomicU64::new(0);
+        let cancel = || {
+            polls.fetch_add(1, Ordering::Relaxed);
             Instant::now() >= deadline
         };
         let computed = match req.op {
-            Op::Path => self.engine.path(req.src, req.dst, &mut cancel),
-            Op::Reach => self.engine.reach(req.src, req.dst, &mut cancel),
-            Op::Match => self.engine.matching(&mut cancel),
+            Op::Path => self.engine.path(req.src, req.dst, &cancel),
+            Op::Reach => self.engine.reach(req.src, req.dst, &cancel),
+            Op::Sssp => self.engine.sssp(req.src, &cancel),
+            Op::Match => self.engine.matching(&cancel),
             // Inline ops never reach the queue; answer anyway so a
             // hand-crafted frame cannot crash a worker.
             Op::Metrics => return Response::Ok(self.metrics_report()),
@@ -380,7 +391,7 @@ impl Shared {
             Op::Shutdown => return Response::Ok(Json::obj().field("draining", true)),
         };
         tb.mark("compute");
-        tb.tag("cancel_polls", polls);
+        tb.tag("cancel_polls", polls.into_inner());
         match computed {
             Ok(data) => {
                 self.cache.put(key, data.clone());
@@ -405,7 +416,8 @@ fn cache_key(op: Op, src: u32, dst: u32) -> u64 {
     let tag: u64 = match op {
         Op::Path => 0,
         Op::Reach => 1,
-        _ => 2,
+        Op::Sssp => 2,
+        _ => 3,
     };
     (tag << 62) | (u64::from(src) << 31) | u64::from(dst)
 }
@@ -503,6 +515,7 @@ pub fn start_on(
         torn_writes: registry.counter("serve.torn_writes"),
         op_path: registry.counter("serve.op.path"),
         op_reach: registry.counter("serve.op.reach"),
+        op_sssp: registry.counter("serve.op.sssp"),
         op_match: registry.counter("serve.op.match"),
         queue_depth: registry.gauge("serve.queue_depth"),
         queue_high_watermark: registry.gauge("serve.queue_high_watermark"),
@@ -603,7 +616,7 @@ fn admit_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
             // Wake the acceptor out of its blocking accept.
             let _ = TcpStream::connect(("127.0.0.1", shared.port));
         }
-        Op::Path | Op::Reach | Op::Match => {
+        Op::Path | Op::Reach | Op::Sssp | Op::Match => {
             shared.count_op(req.op);
             let mut tb = shared.tracer.begin_at(arrived, req.op.name());
             if let Err(resp) = shared.admit() {
@@ -816,7 +829,7 @@ mod tests {
     #[test]
     fn cache_key_is_injective_over_ops_and_vertices() {
         let mut seen = std::collections::BTreeSet::new();
-        for op in [Op::Path, Op::Reach, Op::Match] {
+        for op in [Op::Path, Op::Reach, Op::Sssp, Op::Match] {
             for src in [0u32, 1, 77, 1_000_000] {
                 for dst in [0u32, 2, 78, 999_999] {
                     let k = cache_key(op, src, dst);

@@ -27,6 +27,7 @@
 
 mod bellman_ford;
 mod cancel;
+pub mod delta;
 mod dense_dijkstra;
 mod dijkstra;
 pub mod instrumented;
@@ -38,6 +39,10 @@ mod traversal;
 pub use bellman_ford::bellman_ford;
 pub use cancel::{
     dijkstra_cancellable, dijkstra_to, distance_to, Cancelled, CANCEL_CHECK_INTERVAL,
+};
+pub use delta::{
+    delta_stepping, delta_stepping_parallel, delta_stepping_parallel_cancellable, DeltaPhasePlan,
+    Proposal,
 };
 pub use dense_dijkstra::dijkstra_dense;
 pub use dijkstra::{apsp_dijkstra, dijkstra, dijkstra_binary_heap, SsspResult};

@@ -1,0 +1,115 @@
+//! Seeded property matrix for the parallel delta-stepping driver:
+//! every (threads, shape) cell must produce `dist` AND `pred` arrays
+//! bit-identical to the serial driver, and distances equal to
+//! Dijkstra's. Every assertion prints the seed so a failure replays
+//! deterministically.
+
+use cachegraph_graph::{generators, AdjacencyArray, EdgeListBuilder, Weight, INF};
+use cachegraph_sssp::{delta_stepping, delta_stepping_parallel, dijkstra_binary_heap};
+
+const THREADS: &[usize] = &[1, 2, 4];
+const DELTAS: &[Weight] = &[1, 3, 8];
+
+/// Assert the full matrix property for one graph under one seed label.
+fn assert_matrix(g: &AdjacencyArray, seed: u64, label: &str) {
+    let reference = dijkstra_binary_heap(g, 0);
+    for &delta in DELTAS {
+        let serial = delta_stepping(g, 0, delta);
+        assert_eq!(
+            serial.dist, reference.dist,
+            "seed {seed:#x} {label} delta {delta}: serial dist != dijkstra"
+        );
+        for &threads in THREADS {
+            let par = delta_stepping_parallel(g, 0, delta, threads);
+            assert_eq!(
+                par.dist, serial.dist,
+                "seed {seed:#x} {label} delta {delta} threads {threads}: dist diverged"
+            );
+            assert_eq!(
+                par.pred, serial.pred,
+                "seed {seed:#x} {label} delta {delta} threads {threads}: pred diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn single_vertex() {
+    let g = EdgeListBuilder::new(1).build_array();
+    assert_matrix(&g, 0, "n=1");
+}
+
+#[test]
+fn disconnected_components() {
+    for seed in [0x5eed, 0xace0, 0xbeef] {
+        // Two random halves with no cross edges: everything in the
+        // second half must stay at INF under every thread count.
+        let half = generators::random_directed(10, 0.3, 9, seed);
+        let mut b = EdgeListBuilder::new(20);
+        for e in half.edges() {
+            b.add(e.from, e.to, e.weight);
+            b.add(e.from + 10, e.to + 10, e.weight);
+        }
+        let g = b.build_array();
+        assert_matrix(&g, seed, "disconnected");
+        let serial = delta_stepping(&g, 0, 3);
+        assert!(
+            serial.dist[10..].iter().all(|&d| d == INF),
+            "seed {seed:#x}: unreachable component got a finite distance"
+        );
+    }
+}
+
+#[test]
+fn zero_weight_edges() {
+    for seed in [0x5eed, 0xace0] {
+        // A zero-weight cycle plus random weighted chords: zero-weight
+        // relaxations stay in the current bucket and must terminate.
+        let n = 12u32;
+        let mut b = EdgeListBuilder::new(n as usize);
+        for v in 0..n {
+            b.add(v, (v + 1) % n, 0);
+        }
+        let chords = generators::random_directed(n as usize, 0.25, 7, seed);
+        for e in chords.edges() {
+            b.add(e.from, e.to, e.weight);
+        }
+        assert_matrix(&b.build_array(), seed, "zero-weight");
+    }
+}
+
+#[test]
+fn long_path_spanning_many_buckets() {
+    let n = 40u32;
+    let mut b = EdgeListBuilder::new(n as usize);
+    for v in 0..n - 1 {
+        b.add(v, v + 1, 1 + (v % 5));
+    }
+    assert_matrix(&b.build_array(), 0, "path");
+}
+
+#[test]
+fn random_graph_sweep() {
+    for seed in [0x5eed, 0xace0, 0xbeef, 0xcafe] {
+        for (n, density) in [(16, 0.2), (48, 0.08)] {
+            let g = generators::random_directed(n, density, 20, seed).build_array();
+            assert_matrix(&g, seed, "random");
+        }
+    }
+}
+
+#[test]
+fn more_threads_than_vertices() {
+    for seed in [0x5eed, 0xace0] {
+        let g = generators::random_directed(5, 0.4, 6, seed).build_array();
+        let serial = delta_stepping(&g, 0, 2);
+        for threads in [7, 16] {
+            let par = delta_stepping_parallel(&g, 0, 2, threads);
+            assert_eq!(
+                (par.dist, par.pred),
+                (serial.dist.clone(), serial.pred.clone()),
+                "seed {seed:#x} threads {threads}: oversubscribed run diverged"
+            );
+        }
+    }
+}

@@ -24,6 +24,7 @@ pub const DEPENDENCY_ALLOWLIST: &[&str] = &[
     "cachegraph-sssp",
     "cachegraph-matching",
     "cachegraph-rng",
+    "cachegraph-plan",
     "cachegraph-bench",
     "cachegraph-cli",
     "cachegraph-tidy",
